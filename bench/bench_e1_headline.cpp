@@ -1,0 +1,109 @@
+// E1 — the paper's §6 headline experiment.
+//
+// "We used a query sequence of size 100 BP, which was compared with a
+//  database of size 10 MBP. [The FPGA] took 0.77 s ... an optimized C
+//  program on a Pentium 4 3 GHz took 191.32 s ... speedup of 246.9."
+//
+// Reproduction: a planted-homolog synthetic database (ground-truth
+// coordinates), the same 100-element array configuration synthesized (in
+// the model) for the xc2vp70, and this host's measured software baseline.
+//
+//  * software seconds: measured wall time of the linear-space SW kernel —
+//    the same algorithm the paper's C program ran;
+//  * FPGA seconds: the analytic cycle count at the modelled clock. The
+//    analytic count is *verified* here: a functional cycle-accurate run on
+//    a prefix of the database must produce identical per-cycle totals and
+//    identical score/coordinates to the software kernel;
+//  * the paper's own numbers are printed alongside for shape comparison.
+//
+// Default database is 2 MBP so the whole bench suite stays quick;
+// SWR_FULL=1 switches to the paper's 10 MBP.
+#include <cinttypes>
+#include <cstdio>
+
+#include "align/sw_linear.hpp"
+#include "align/sw_profile.hpp"
+#include "bench_util.hpp"
+#include "core/accelerator.hpp"
+#include "seq/workload.hpp"
+
+using namespace swr;
+
+int main() {
+  const std::size_t query_len = 100;
+  const std::size_t db_len = bench::full_scale() ? 10'000'000 : 2'000'000;
+  const std::size_t npes = 100;
+  const align::Scoring sc = align::Scoring::paper_default();
+
+  bench::header("E1: 100 BP query vs " + std::to_string(db_len / 1'000'000) +
+                " MBP database (paper Section 6)");
+
+  seq::PlantedWorkloadSpec spec;
+  spec.query_len = query_len;
+  spec.database_len = db_len;
+  spec.plant_offset = db_len / 2;
+  spec.plant_substitution_rate = 0.05;
+  spec.seed = 20070326;  // IPDPS 2007
+  std::printf("generating planted workload (seed %llu)...\n",
+              static_cast<unsigned long long>(spec.seed));
+  const seq::PlantedWorkload wl = seq::make_planted_workload(spec);
+
+  // --- software baselines (measured on this host) ---
+  const std::uint64_t cells = static_cast<std::uint64_t>(query_len) * db_len;
+  bench::Timer sw_timer;
+  const align::LocalScoreResult sw = align::sw_linear(wl.database, wl.query, sc);
+  const double sw_seconds = sw_timer.seconds();
+  std::printf("software linear SW:   score=%d end=(%zu,%zu)  %.3f s  (%.1f MCUPS)\n", sw.score,
+              sw.end.i, sw.end.j, sw_seconds, static_cast<double>(cells) / sw_seconds / 1e6);
+
+  // The query-profile kernel is the stronger "optimized C program"; the
+  // speedup row uses whichever baseline is faster on this host.
+  bench::Timer prof_timer;
+  const align::LocalScoreResult swp = align::sw_linear_profiled(wl.database, wl.query, sc);
+  double prof_seconds = prof_timer.seconds();
+  std::printf("software profiled SW: score=%d end=(%zu,%zu)  %.3f s  (%.1f MCUPS)  [%s]\n",
+              swp.score, swp.end.i, swp.end.j, prof_seconds,
+              static_cast<double>(cells) / prof_seconds / 1e6,
+              swp == sw ? "agrees" : "MISMATCH");
+  if (!(swp == sw)) return 1;
+  const double best_sw_seconds = std::min(sw_seconds, prof_seconds);
+
+  // --- accelerator: functional verification on a prefix ---
+  core::SmithWatermanAccelerator acc(core::xc2vp70(), npes, sc);
+  const std::size_t prefix_len = std::min<std::size_t>(db_len, 200'000);
+  const seq::Sequence prefix = wl.database.subsequence(0, prefix_len);
+  const core::JobResult vr = acc.run(wl.query, prefix);
+  const align::LocalScoreResult sw_prefix = align::sw_linear(prefix, wl.query, sc);
+  const core::CyclePrediction pp = core::predict_cycles(query_len, prefix_len, npes, true);
+  const bool functional_ok = (vr.best == sw_prefix) && (vr.stats.total_cycles == pp.total_cycles);
+  std::printf("cycle-level verification on %zu-base prefix: %s (measured %" PRIu64
+              " cycles, predicted %" PRIu64 ")\n",
+              prefix_len, functional_ok ? "OK" : "MISMATCH", vr.stats.total_cycles,
+              pp.total_cycles);
+  if (!functional_ok) return 1;
+
+  // --- accelerator time for the full job (verified cycle model) ---
+  const core::CyclePrediction p = core::predict_cycles(query_len, db_len, npes, true);
+  const double freq = acc.freq_mhz();
+  const double hw_seconds = core::cycles_to_seconds(p.total_cycles, freq);
+  std::printf("accelerator: %zu PEs @ %.1f MHz, %" PRIu64 " cycles -> %.4f s (%.2f GCUPS)\n",
+              npes, freq, p.total_cycles, hw_seconds,
+              static_cast<double>(cells) / hw_seconds / 1e9);
+
+  // --- the table ---
+  std::printf("\n%-34s %14s %14s %10s\n", "row", "software (s)", "FPGA (s)", "speedup");
+  bench::rule(76);
+  std::printf("%-34s %14.3f %14.3f %10.1f\n", "paper (P4 3GHz vs xc2vp70, 10MBP)", 191.323, 0.775,
+              246.9);
+  std::printf("%-34s %14.3f %14.4f %10.1f\n",
+              ("measured (this host vs model, " + std::to_string(db_len / 1'000'000) + "MBP)")
+                  .c_str(),
+              best_sw_seconds, hw_seconds, best_sw_seconds / hw_seconds);
+  bench::rule(76);
+
+  std::printf("\nshape check: accelerator wins by %.0fx (paper: 246.9x). The absolute ratio\n"
+              "depends on this host's CPU vs a 2007 P4; the ordering and magnitude class\n"
+              "are the reproduced result. Ground truth: plant at [%zu, %zu), hit end i=%zu.\n",
+              best_sw_seconds / hw_seconds, wl.plant_begin, wl.plant_end, sw.end.i);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E3 — the paper's §1 motivation, quantified: heuristics (BLAST-family)
+// vs exact Smith-Waterman vs the accelerator.
+//
+// "In order to obtain results faster, heuristic methods such as BLAST and
+//  Fasta have been proposed. However, the performance gain is often
+//  achieved by reducing the quality of the results produced."
+//
+// Sweep the divergence of a planted homolog and report, for each engine:
+// recall (did it find the plant?), score recovered, and time. Exact SW
+// (software + accelerator model) always finds it; seed-and-extend gets
+// faster but blind as divergence grows — the gap the accelerator exists
+// to close without paying the software-exact price.
+#include <cstdio>
+
+#include "align/seed_extend.hpp"
+#include "align/sw_profile.hpp"
+#include "bench_util.hpp"
+#include "core/accelerator.hpp"
+#include "seq/mutate.hpp"
+#include "seq/random.hpp"
+
+using namespace swr;
+
+int main() {
+  const std::size_t db_len = bench::full_scale() ? 2'000'000 : 400'000;
+  const std::size_t query_len = 100;
+  const align::Scoring sc = align::Scoring::paper_default();
+  const std::size_t trials = 8;
+
+  bench::header("E3: heuristic vs exact (paper Section 1 motivation)");
+  std::printf("%zu trials per divergence; %zu BP query planted in %zu BP database\n\n", trials,
+              query_len, db_len);
+
+  core::SmithWatermanAccelerator acc(core::xc2vp70(), 100, sc);
+
+  std::printf("%-11s | %8s %9s | %8s %9s %9s | %12s\n", "divergence", "SW rec.", "sw time",
+              "heu rec.", "heu time", "speedup", "FPGA t_model");
+  bench::rule(84);
+  for (const double rate : {0.02, 0.10, 0.20, 0.30, 0.40}) {
+    std::size_t sw_recall = 0;
+    std::size_t heu_recall = 0;
+    double sw_time = 0.0;
+    double heu_time = 0.0;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      seq::RandomSequenceGenerator gen(9000 + trial * 131 + static_cast<std::uint64_t>(rate * 1000));
+      const seq::Sequence q = gen.uniform(seq::dna(), query_len);
+      seq::Sequence db = gen.uniform(seq::dna(), db_len / 2);
+      const std::size_t at = db.size();
+      db.append(seq::point_mutate(q, rate, gen.engine()));
+      db.append(gen.uniform(seq::dna(), db_len - db.size()));
+
+      // Detection threshold: comfortably above the random-background score
+      // for this search space (E-value well below 1e-3).
+      const align::Score threshold = 35;
+
+      bench::Timer t_sw;
+      const align::LocalScoreResult exact = align::sw_linear_profiled(db, q, sc);
+      sw_time += t_sw.seconds();
+      if (exact.score >= threshold && exact.end.i >= at && exact.end.i <= at + query_len + 20) {
+        ++sw_recall;
+      }
+
+      bench::Timer t_heu;
+      const auto hits = align::seed_extend_search(db, q, sc, align::SeedExtendOptions{});
+      heu_time += t_heu.seconds();
+      for (const align::SeedHit& h : hits) {
+        if (h.score >= threshold && h.begin.i >= at - 10 && h.end.i <= at + query_len + 20) {
+          ++heu_recall;
+          break;
+        }
+      }
+    }
+    const double fpga_t = acc.predict_seconds(query_len, db_len);
+    char label[16];
+    std::snprintf(label, sizeof label, "%.0f%%", rate * 100);
+    std::printf("%-11s | %5zu/%-2zu %8.3fs | %5zu/%-2zu %8.3fs %8.1fx | %11.4fs\n", label,
+                sw_recall, trials, sw_time, heu_recall, trials, heu_time, sw_time / heu_time,
+                fpga_t);
+  }
+  bench::rule(84);
+  std::printf("\nexpected shape: exact SW holds 100%% recall at every divergence; the heuristic\n"
+              "is ~an order of magnitude faster but its recall collapses once substitutions\n"
+              "break every seed — while the modelled accelerator delivers exactness at\n"
+              "heuristic-class latency. That is the paper's case for exact hardware.\n");
+  return 0;
+}

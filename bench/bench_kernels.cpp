@@ -1,0 +1,186 @@
+// K — kernel microbenchmarks (google-benchmark): CUPS of every software
+// aligner and of the cycle-accurate hardware model. Supporting data for
+// E1/F3 and for the README performance table.
+#include <benchmark/benchmark.h>
+
+#include "align/banded.hpp"
+#include "align/gotoh.hpp"
+#include "align/hirschberg.hpp"
+#include "align/local_linear.hpp"
+#include "align/nw.hpp"
+#include "align/sw_antidiag.hpp"
+#include "align/sw_full.hpp"
+#include "align/sw_linear.hpp"
+#include "align/sw_profile.hpp"
+#include "core/accelerator.hpp"
+#include "par/wavefront.hpp"
+#include "seq/packed.hpp"
+#include "seq/random.hpp"
+
+namespace {
+
+using namespace swr;
+
+const align::Scoring kSc = align::Scoring::paper_default();
+
+seq::Sequence make_dna(std::size_t n, std::uint64_t seed) {
+  seq::RandomSequenceGenerator gen(seed);
+  return gen.uniform(seq::dna(), n);
+}
+
+void report_cups(benchmark::State& state, std::size_t m, std::size_t n) {
+  state.counters["CUPS"] = benchmark::Counter(
+      static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_SwLinear(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const seq::Sequence a = make_dna(100'000, 1);
+  const seq::Sequence b = make_dna(m, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::sw_linear(a, b, kSc));
+  }
+  report_cups(state, a.size(), b.size());
+}
+BENCHMARK(BM_SwLinear)->Arg(50)->Arg(100)->Arg(400);
+
+void BM_SwProfiled(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const seq::Sequence a = make_dna(100'000, 1);
+  const seq::Sequence b = make_dna(m, 2);
+  const align::QueryProfile profile(b, kSc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::sw_linear_profiled(a.codes(), profile));
+  }
+  report_cups(state, a.size(), b.size());
+}
+BENCHMARK(BM_SwProfiled)->Arg(100)->Arg(400);
+
+void BM_SwAntiDiagSwar(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const seq::Sequence a = make_dna(100'000, 1);
+  const seq::Sequence b = make_dna(m, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::sw_linear_antidiag(a, b, kSc));
+  }
+  report_cups(state, a.size(), b.size());
+}
+BENCHMARK(BM_SwAntiDiagSwar)->Arg(100)->Arg(400);
+
+void BM_SwFullMatrix(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const seq::Sequence a = make_dna(n, 3);
+  const seq::Sequence b = make_dna(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::sw_matrix(a, b, kSc));
+  }
+  report_cups(state, n, n);
+}
+BENCHMARK(BM_SwFullMatrix)->Arg(256)->Arg(1024);
+
+void BM_NwScore(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const seq::Sequence a = make_dna(n, 5);
+  const seq::Sequence b = make_dna(n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::nw_score(a.codes(), b.codes(), kSc));
+  }
+  report_cups(state, n, n);
+}
+BENCHMARK(BM_NwScore)->Arg(1024);
+
+void BM_Hirschberg(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const seq::Sequence a = make_dna(n, 7);
+  const seq::Sequence b = make_dna(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::hirschberg_cigar(a.codes(), b.codes(), kSc));
+  }
+  report_cups(state, n, n);  // ~2x the cells of one pass, reported as-is
+}
+BENCHMARK(BM_Hirschberg)->Arg(1024);
+
+void BM_GotohLinear(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const seq::Sequence a = make_dna(n, 9);
+  const seq::Sequence b = make_dna(200, 10);
+  align::AffineScoring sc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::gotoh_local_score(a.codes(), b.codes(), sc));
+  }
+  report_cups(state, n, 200);
+}
+BENCHMARK(BM_GotohLinear)->Arg(20'000);
+
+void BM_BandedSw(benchmark::State& state) {
+  const std::size_t band = static_cast<std::size_t>(state.range(0));
+  const seq::Sequence a = make_dna(20'000, 11);
+  const seq::Sequence b = make_dna(20'000, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::banded_sw(a.codes(), b.codes(), band, kSc));
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(a.size()) * static_cast<double>(2 * band + 1) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BandedSw)->Arg(16)->Arg(128);
+
+void BM_Wavefront(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const seq::Sequence a = make_dna(4'000, 13);
+  const seq::Sequence b = make_dna(4'000, 14);
+  par::WavefrontConfig cfg;
+  cfg.threads = threads;
+  cfg.row_block = 512;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(par::wavefront_sw(a, b, kSc, cfg));
+  }
+  report_cups(state, a.size(), b.size());
+}
+BENCHMARK(BM_Wavefront)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_CycleAccurateArray(benchmark::State& state) {
+  // Simulation throughput of the functional hardware model itself
+  // (PE-cycles per second) — the cost of cycle accuracy.
+  const std::size_t npes = static_cast<std::size_t>(state.range(0));
+  const seq::Sequence q = make_dna(npes, 15);
+  const seq::Sequence db = make_dna(20'000, 16);
+  core::ArrayController<core::ScorePe> ctl(npes, 16, kSc, 16u << 20, true, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctl.run(q, db));
+  }
+  report_cups(state, q.size(), db.size());
+}
+BENCHMARK(BM_CycleAccurateArray)->Arg(25)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_PackedDnaRoundTrip(benchmark::State& state) {
+  const seq::Sequence s = make_dna(1'000'000, 17);
+  for (auto _ : state) {
+    const seq::PackedDna p(s);
+    benchmark::DoNotOptimize(p.storage_bytes());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_PackedDnaRoundTrip);
+
+void BM_LocalAlignRetrieval(benchmark::State& state) {
+  // Full §2.3 pipeline in software (forward + reverse + anchored +
+  // Hirschberg) on a planted hit.
+  const seq::Sequence a = make_dna(50'000, 18);
+  seq::Sequence db = a.subsequence(0, 20'000);
+  db.append(make_dna(100, 19));
+  db.append(a.subsequence(20'000, 30'000));
+  const seq::Sequence q = a.subsequence(30'000, 120);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::local_align_linear(db, q, kSc));
+  }
+  report_cups(state, db.size(), q.size());
+}
+BENCHMARK(BM_LocalAlignRetrieval)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// T2 — paper Table 2: "Characteristics of the Generated Circuit" —
+// resource usage of the prototype on the Xilinx xc2vp70.
+//
+// The paper reports, for 100 elements: ~25 % flip-flops, ~65 % LUTs,
+// under 70 % of the slices, 7 % IOBs, 1 GCLK. We print the same row from
+// the structural resource model (see core/resource_model.hpp for the
+// calibration) plus a sweep over element counts and the maximum array
+// every catalogued device can hold — the "there is space to add much more
+// elements" observation of figure 8.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/resource_model.hpp"
+
+using namespace swr;
+using namespace swr::core;
+
+int main() {
+  const PeFeatures pe{16, 32, true, false};
+
+  bench::header("T2: resource usage on the xc2vp70 (paper Table 2)");
+  std::printf("%-10s %10s %10s %10s %8s %7s %10s %8s\n", "elements", "slices", "flipflops",
+              "LUTs", "IOBs", "GCLKs", "freq MHz", "power W");
+  bench::rule(82);
+  for (const std::size_t n : {25u, 50u, 100u, 150u}) {
+    const ResourceEstimate e = estimate_resources(xc2vp70(), n, pe);
+    const PowerEstimate p = estimate_power(e);
+    std::printf("%-10zu %6zu=%2.0f%% %6zu=%2.0f%% %6zu=%2.0f%% %3zu=%1.0f%% %7zu %10.1f %8.2f\n",
+                n, e.slices, e.slice_util * 100, e.flipflops, e.ff_util * 100, e.luts,
+                e.lut_util * 100, e.iobs, e.iob_util * 100, e.gclks, e.freq_mhz,
+                p.total_watts());
+  }
+  bench::rule(82);
+  std::printf("paper row (100 elements): slices <70%%, flip-flops 25%%, LUTs 65%%, IOBs 7%%, "
+              "1 GCLK\n");
+
+  bench::header("Design space: largest array per device (linear PE, 16-bit)");
+  std::printf("%-12s %10s %12s %14s %12s\n", "device", "max PEs", "freq MHz", "peak GCUPS",
+              "slices");
+  bench::rule(66);
+  for (const FpgaDevice& dev : device_catalog()) {
+    const std::size_t n = max_elements(dev, pe);
+    const ResourceEstimate e = estimate_resources(dev, n, pe);
+    // Peak GCUPS: every PE retires one cell per cycle at the clock.
+    const double gcups = static_cast<double>(n) * e.freq_mhz * 1e6 / 1e9;
+    std::printf("%-12s %10zu %12.1f %14.2f %12zu\n", dev.name.c_str(), n, e.freq_mhz, gcups,
+                e.slices);
+  }
+  bench::rule(66);
+  return 0;
+}

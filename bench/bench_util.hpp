@@ -1,0 +1,46 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// These benches print the same rows/series the paper reports (see
+// DESIGN.md experiment index); google-benchmark is used for the kernel
+// microbenches, while the table benches use this tiny harness so their
+// output is the table itself.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace swr::bench {
+
+/// Wall-clock timer.
+class Timer {
+ public:
+  Timer() : t0_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// True when the environment opts into the full-size (paper-scale)
+/// workloads: SWR_FULL=1 runs the 10 MBP headline database etc.
+inline bool full_scale() {
+  const char* v = std::getenv("SWR_FULL");
+  return v != nullptr && std::string(v) == "1";
+}
+
+/// Prints a horizontal rule sized to the table width.
+inline void rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Section header.
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace swr::bench

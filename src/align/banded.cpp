@@ -1,0 +1,178 @@
+#include "align/banded.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace swr::align {
+namespace {
+
+// Shared banded row kernel. `global` selects NW-style borders (gap-scaled,
+// no clamp) versus SW-style (zero borders, zero clamp). Cells outside the
+// band are kNegInf.
+template <bool Global>
+LocalScoreResult banded_kernel(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                               std::size_t band, const Scoring& sc) {
+  sc.validate();
+  const std::size_t n = b.size();
+  std::vector<Score> row(n + 1, kNegInf);
+  row[0] = 0;
+  const std::size_t first_cols = std::min(n, band);
+  for (std::size_t j = 1; j <= first_cols; ++j) {
+    row[j] = Global ? static_cast<Score>(j) * sc.gap : Score{0};
+  }
+
+  LocalScoreResult best;
+  if constexpr (Global) best.score = kNegInf;
+
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    const std::size_t lo = (i > band) ? i - band : 1;
+    const std::size_t hi = std::min(n, i + band);
+    if (lo > n) break;  // band has left the matrix entirely
+    // D(i, lo-1): inside the band only when lo-1 >= i-band, i.e. lo > i-band.
+    Score diag = row[lo - 1];
+    Score left = kNegInf;
+    if (lo == 1) {
+      left = Global ? static_cast<Score>(i) * sc.gap : Score{0};
+      if constexpr (Global) {
+        if (i > band) left = kNegInf;  // column 0 outside band
+      }
+    }
+    if (lo >= 2) row[lo - 2] = kNegInf;  // expire cells that fell out of the band
+    if (lo >= 1) row[lo - 1] = left;
+    const seq::Code ai = a[i - 1];
+    for (std::size_t j = lo; j <= hi; ++j) {
+      const Score up = row[j];  // D(i-1, j); kNegInf when outside previous band
+      Score v = diag == kNegInf ? kNegInf : diag + sc.substitution(ai, b[j - 1]);
+      if (up != kNegInf) v = std::max(v, up + sc.gap);
+      if (left != kNegInf) v = std::max(v, left + sc.gap);
+      if constexpr (!Global) v = std::max(v, Score{0});
+      diag = up;
+      left = v;
+      row[j] = v;
+      if constexpr (!Global) {
+        if (v > best.score) {
+          best.score = v;
+          best.end = Cell{i, j};
+        } else if (v == best.score && v > 0 && tie_break_prefers(Cell{i, j}, best.end)) {
+          best.end = Cell{i, j};
+        }
+      }
+    }
+    if (hi < n) row[hi + 1] = kNegInf;  // right edge of the band
+  }
+  if constexpr (Global) {
+    best.score = row[n];
+    best.end = Cell{a.size(), n};
+  }
+  return best;
+}
+
+}  // namespace
+
+Score banded_nw_score(std::span<const seq::Code> a, std::span<const seq::Code> b, std::size_t band,
+                      const Scoring& sc) {
+  const std::size_t diff =
+      a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+  if (band < diff) return kNegInf;  // corner unreachable inside the band
+  return banded_kernel<true>(a, b, band, sc).score;
+}
+
+LocalScoreResult banded_sw(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                           std::size_t band, const Scoring& sc) {
+  return banded_kernel<false>(a, b, band, sc);
+}
+
+LocalAlignment banded_nw_align(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                               std::size_t band, const Scoring& sc) {
+  sc.validate();
+  const std::size_t diff = a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+  if (band < diff) {
+    throw std::invalid_argument("banded_nw_align: band smaller than the length difference");
+  }
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  const std::size_t width = 2 * band + 1;
+
+  // Band-compressed storage: row i keeps columns [i-band, i+band]; cell
+  // (i, j) lives at offset j - i + band.
+  std::vector<Score> d((m + 1) * width, kNegInf);
+  const auto at = [&](std::size_t i, std::size_t j) -> Score& {
+    return d[i * width + (j + band - i)];
+  };
+  const auto in_band = [&](std::size_t i, std::size_t j) {
+    return j + band >= i && j <= i + band && j <= n;
+  };
+
+  at(0, 0) = 0;
+  for (std::size_t j = 1; j <= std::min(n, band); ++j) at(0, j) = static_cast<Score>(j) * sc.gap;
+  for (std::size_t i = 1; i <= m; ++i) {
+    const std::size_t lo = (i > band) ? i - band : 0;
+    const std::size_t hi = std::min(n, i + band);
+    for (std::size_t j = lo; j <= hi; ++j) {
+      if (j == 0) {
+        at(i, 0) = static_cast<Score>(i) * sc.gap;
+        continue;
+      }
+      Score v = kNegInf;
+      if (in_band(i - 1, j - 1) && at(i - 1, j - 1) != kNegInf) {
+        v = std::max(v, at(i - 1, j - 1) + sc.substitution(a[i - 1], b[j - 1]));
+      }
+      if (in_band(i - 1, j) && at(i - 1, j) != kNegInf) {
+        v = std::max(v, at(i - 1, j) + sc.gap);
+      }
+      if (in_band(i, j - 1) && at(i, j - 1) != kNegInf) {
+        v = std::max(v, at(i, j - 1) + sc.gap);
+      }
+      at(i, j) = v;
+    }
+  }
+
+  LocalAlignment out;
+  out.score = at(m, n);
+  out.begin = (m == 0 && n == 0) ? Cell{0, 0} : Cell{1, 1};
+  out.end = Cell{m, n};
+
+  Cigar rev;
+  std::size_t i = m;
+  std::size_t j = n;
+  while (i > 0 || j > 0) {
+    const Score v = at(i, j);
+    if (i > 0 && j > 0 && in_band(i - 1, j - 1) && at(i - 1, j - 1) != kNegInf &&
+        v == at(i - 1, j - 1) + sc.substitution(a[i - 1], b[j - 1])) {
+      rev.push(a[i - 1] == b[j - 1] ? EditOp::Match : EditOp::Mismatch);
+      --i;
+      --j;
+    } else if (i > 0 && in_band(i - 1, j) && at(i - 1, j) != kNegInf &&
+               v == at(i - 1, j) + sc.gap) {
+      rev.push(EditOp::Delete);
+      --i;
+    } else if (j > 0 && in_band(i, j - 1) && at(i, j - 1) != kNegInf &&
+               v == at(i, j - 1) + sc.gap) {
+      rev.push(EditOp::Insert);
+      --j;
+    } else {
+      throw std::logic_error("banded_nw_align: traceback escaped the band");
+    }
+  }
+  rev.reverse();
+  out.cigar = std::move(rev);
+  return out;
+}
+
+std::size_t required_band(const Cigar& cigar, Cell begin) {
+  std::ptrdiff_t drift = static_cast<std::ptrdiff_t>(begin.i) - static_cast<std::ptrdiff_t>(begin.j);
+  std::size_t band = static_cast<std::size_t>(std::abs(drift));
+  for (const EditRun& r : cigar.runs()) {
+    switch (r.op) {
+      case EditOp::Match:
+      case EditOp::Mismatch: break;  // no drift change
+      case EditOp::Insert: drift -= static_cast<std::ptrdiff_t>(r.len); break;
+      case EditOp::Delete: drift += static_cast<std::ptrdiff_t>(r.len); break;
+    }
+    band = std::max(band, static_cast<std::size_t>(std::abs(drift)));
+  }
+  return band;
+}
+
+}  // namespace swr::align

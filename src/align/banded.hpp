@@ -1,0 +1,53 @@
+// Banded dynamic programming (restricted-divergence alignment).
+//
+// Z-align [3] — the parallel strategy the paper positions its accelerator
+// inside — bounds the number of anti-diagonals ("superior and inferior
+// divergences") needed to retrieve an alignment and then works in user-
+// restricted memory. The banded kernels here are the software form of that
+// idea: only cells with |i - j| <= band are computed, giving
+// O((|a|+|b|) * band) time and O(band) space.
+#pragma once
+
+#include <span>
+
+#include "align/cigar.hpp"
+#include "align/result.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::align {
+
+/// Global (NW) score restricted to the band |i - j| <= band. Converges to
+/// the exact nw_score once the band covers the optimal path's divergence;
+/// with a too-small band the result is a lower bound (possibly kNegInf when
+/// the corner is unreachable, i.e. band < ||a|-|b||).
+Score banded_nw_score(std::span<const seq::Code> a, std::span<const seq::Code> b, std::size_t band,
+                      const Scoring& sc);
+
+/// Local (SW) best score + end cell restricted to the band. Lower bound of
+/// the unrestricted sw result; equal once the band covers the best local
+/// alignment's divergence.
+LocalScoreResult banded_sw(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                           std::size_t band, const Scoring& sc);
+
+/// Smallest band for which a transcript stays inside the band: the maximum
+/// |i - j| drift along the path starting at `begin`. Used to pick the
+/// Z-align-style divergence bound after a first alignment pass.
+std::size_t required_band(const Cigar& cigar, Cell begin);
+
+/// Global alignment with traceback, restricted to the band: the
+/// "user-restricted memory space" retrieval of Z-align [3]. Stores only
+/// the band-compressed matrix — O(|a| * (2*band+1)) cells instead of
+/// O(|a| * |b|).
+/// @throws std::invalid_argument when band < ||a|-|b|| (corner
+/// unreachable), std::logic_error if the traceback escapes the band
+/// (cannot happen when the band covers the optimal divergence).
+LocalAlignment banded_nw_align(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                               std::size_t band, const Scoring& sc);
+
+/// Cells a banded retrieval of this window will store — the caller's
+/// memory-budget check.
+[[nodiscard]] constexpr std::size_t banded_cells(std::size_t rows, std::size_t band) noexcept {
+  return (rows + 1) * (2 * band + 1);
+}
+
+}  // namespace swr::align

@@ -1,0 +1,173 @@
+#include "align/cigar.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace swr::align {
+namespace {
+
+char op_letter(EditOp op) {
+  switch (op) {
+    case EditOp::Match:
+    case EditOp::Mismatch: return 'M';
+    case EditOp::Insert: return 'I';
+    case EditOp::Delete: return 'D';
+  }
+  return '?';
+}
+
+}  // namespace
+
+void Cigar::push(EditOp op, std::size_t len) {
+  if (len == 0) return;
+  if (!runs_.empty() && runs_.back().op == op) {
+    runs_.back().len += len;
+  } else {
+    runs_.push_back(EditRun{op, len});
+  }
+}
+
+std::size_t Cigar::columns() const noexcept {
+  std::size_t n = 0;
+  for (const EditRun& r : runs_) n += r.len;
+  return n;
+}
+
+std::size_t Cigar::consumed_i() const noexcept {
+  std::size_t n = 0;
+  for (const EditRun& r : runs_) {
+    if (r.op != EditOp::Insert) n += r.len;
+  }
+  return n;
+}
+
+std::size_t Cigar::consumed_j() const noexcept {
+  std::size_t n = 0;
+  for (const EditRun& r : runs_) {
+    if (r.op != EditOp::Delete) n += r.len;
+  }
+  return n;
+}
+
+void Cigar::reverse() { std::reverse(runs_.begin(), runs_.end()); }
+
+void Cigar::append(const Cigar& tail) {
+  for (const EditRun& r : tail.runs_) push(r.op, r.len);
+}
+
+std::string Cigar::to_string() const {
+  std::ostringstream os;
+  // Adjacent Match/Mismatch runs both render as 'M'; merge them for the
+  // compact form so "2M(match)1M(mismatch)" prints as "3M".
+  std::size_t pending = 0;
+  char pending_letter = 0;
+  for (const EditRun& r : runs_) {
+    const char letter = op_letter(r.op);
+    if (letter == pending_letter) {
+      pending += r.len;
+    } else {
+      if (pending_letter != 0) os << pending << pending_letter;
+      pending_letter = letter;
+      pending = r.len;
+    }
+  }
+  if (pending_letter != 0) os << pending << pending_letter;
+  return os.str();
+}
+
+Score score_of(const Cigar& cigar, const seq::Sequence& a, const seq::Sequence& b, Cell begin,
+               const Scoring& sc) {
+  std::size_t i = begin.i;  // 1-based position of the NEXT residue of a to consume
+  std::size_t j = begin.j;
+  Score total = 0;
+  for (const EditRun& r : cigar.runs()) {
+    for (std::size_t k = 0; k < r.len; ++k) {
+      switch (r.op) {
+        case EditOp::Match:
+        case EditOp::Mismatch: {
+          if (i > a.size() || j > b.size() || i == 0 || j == 0) {
+            throw std::invalid_argument("score_of: transcript leaves sequence bounds");
+          }
+          const bool same = a[i - 1] == b[j - 1];
+          if (same != (r.op == EditOp::Match)) {
+            throw std::invalid_argument("score_of: transcript op disagrees with residues");
+          }
+          total += sc.substitution(a[i - 1], b[j - 1]);
+          ++i;
+          ++j;
+          break;
+        }
+        case EditOp::Insert:
+          if (j > b.size() || j == 0) {
+            throw std::invalid_argument("score_of: transcript leaves sequence bounds");
+          }
+          total += sc.gap;
+          ++j;
+          break;
+        case EditOp::Delete:
+          if (i > a.size() || i == 0) {
+            throw std::invalid_argument("score_of: transcript leaves sequence bounds");
+          }
+          total += sc.gap;
+          ++i;
+          break;
+      }
+    }
+  }
+  return total;
+}
+
+double cigar_identity(const Cigar& cigar) {
+  const std::size_t cols = cigar.columns();
+  if (cols == 0) return 1.0;
+  std::size_t matches = 0;
+  for (const EditRun& r : cigar.runs()) {
+    if (r.op == EditOp::Match) matches += r.len;
+  }
+  return static_cast<double>(matches) / static_cast<double>(cols);
+}
+
+std::string format_alignment(const Cigar& cigar, const seq::Sequence& a, const seq::Sequence& b,
+                             Cell begin) {
+  std::string top;
+  std::string mid;
+  std::string bot;
+  std::size_t i = begin.i;
+  std::size_t j = begin.j;
+  const auto emit = [&](char t, char m, char bch) {
+    top += t;
+    top += ' ';
+    mid += m;
+    mid += ' ';
+    bot += bch;
+    bot += ' ';
+  };
+  for (const EditRun& r : cigar.runs()) {
+    for (std::size_t k = 0; k < r.len; ++k) {
+      switch (r.op) {
+        case EditOp::Match:
+          emit(a.alphabet().letter(a[i - 1]), '|', b.alphabet().letter(b[j - 1]));
+          ++i;
+          ++j;
+          break;
+        case EditOp::Mismatch:
+          emit(a.alphabet().letter(a[i - 1]), ' ', b.alphabet().letter(b[j - 1]));
+          ++i;
+          ++j;
+          break;
+        case EditOp::Insert:
+          emit('-', ' ', b.alphabet().letter(b[j - 1]));
+          ++j;
+          break;
+        case EditOp::Delete:
+          emit(a.alphabet().letter(a[i - 1]), ' ', '-');
+          ++i;
+          break;
+      }
+    }
+  }
+  return top + "\n" + mid + "\n" + bot + "\n";
+}
+
+}  // namespace swr::align

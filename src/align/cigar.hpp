@@ -1,0 +1,96 @@
+// Edit transcripts (CIGAR-style) and alignment pretty-printing.
+//
+// A transcript describes an alignment path through the DP matrix. The
+// pretty-printer reproduces the three-line layout of the paper's figure 1
+// (sequence / bars / sequence with '-' for gaps and per-column scores).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "align/result.hpp"
+#include "align/scoring.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::align {
+
+/// One alignment column class.
+enum class EditOp : std::uint8_t {
+  Match,     ///< residues from both sequences, equal
+  Mismatch,  ///< residues from both sequences, different
+  Insert,    ///< residue from the second sequence only (gap in the first)
+  Delete,    ///< residue from the first sequence only (gap in the second)
+};
+
+/// Single run of one operation.
+struct EditRun {
+  EditOp op;
+  std::size_t len;
+
+  friend bool operator==(const EditRun&, const EditRun&) = default;
+};
+
+/// Run-length-encoded edit transcript.
+class Cigar {
+ public:
+  Cigar() = default;
+
+  /// Appends `len` columns of `op`, merging with the previous run.
+  void push(EditOp op, std::size_t len = 1);
+
+  [[nodiscard]] const std::vector<EditRun>& runs() const noexcept { return runs_; }
+  [[nodiscard]] bool empty() const noexcept { return runs_.empty(); }
+
+  /// Total alignment columns.
+  [[nodiscard]] std::size_t columns() const noexcept;
+  /// Residues consumed from the first sequence (rows).
+  [[nodiscard]] std::size_t consumed_i() const noexcept;
+  /// Residues consumed from the second sequence (columns).
+  [[nodiscard]] std::size_t consumed_j() const noexcept;
+
+  /// Reverses the transcript in place (used when tracebacks are collected
+  /// end-to-begin).
+  void reverse();
+
+  /// Concatenates another transcript (Hirschberg merge step).
+  void append(const Cigar& tail);
+
+  /// Compact text form, e.g. "5M1I3M2D" (M covers match and mismatch, as in
+  /// SAM).
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Cigar&, const Cigar&) = default;
+
+ private:
+  std::vector<EditRun> runs_;
+};
+
+/// A fully resolved local alignment: score, matrix coordinates of the first
+/// and last aligned pair (1-based, inclusive), and the transcript.
+struct LocalAlignment {
+  Score score = 0;
+  Cell begin{};  ///< first aligned pair; begin.i indexes sequence a, begin.j sequence b
+  Cell end{};    ///< last aligned pair
+  Cigar cigar;
+};
+
+/// Recomputes the score of a transcript applied to (sub)sequences of a and b
+/// starting at `begin` (1-based). Verifies that the transcript stays inside
+/// both sequences. @throws std::invalid_argument on a transcript that does
+/// not fit.
+Score score_of(const Cigar& cigar, const seq::Sequence& a, const seq::Sequence& b, Cell begin,
+               const Scoring& sc);
+
+/// Identity over transcript columns: matches / columns.
+double cigar_identity(const Cigar& cigar);
+
+/// Renders the figure-1 style three-line alignment view.
+/// Example:
+///   A C T T G T C C G -
+///   | |   | | |   | |
+///   A G - T G T C A G A
+std::string format_alignment(const Cigar& cigar, const seq::Sequence& a, const seq::Sequence& b,
+                             Cell begin);
+
+}  // namespace swr::align

@@ -1,0 +1,110 @@
+#include "align/evalue.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace swr::align {
+namespace {
+
+// phi(lambda) = sum_ij p_i p_j e^{lambda s_ij} - 1; lambda* is its unique
+// positive root when the expected score is negative and some s_ij > 0.
+double phi(double lambda, const Scoring& sc, std::span<const double> freqs) {
+  double sum = 0.0;
+  const std::size_t n = freqs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double s = sc.substitution(static_cast<seq::Code>(i), static_cast<seq::Code>(j));
+      sum += freqs[i] * freqs[j] * std::exp(lambda * s);
+    }
+  }
+  return sum - 1.0;
+}
+
+double phi_prime(double lambda, const Scoring& sc, std::span<const double> freqs) {
+  double sum = 0.0;
+  const std::size_t n = freqs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double s = sc.substitution(static_cast<seq::Code>(i), static_cast<seq::Code>(j));
+      sum += freqs[i] * freqs[j] * s * std::exp(lambda * s);
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+KarlinParams solve_karlin(const Scoring& sc, std::span<const double> freqs) {
+  sc.validate();
+  if (freqs.empty()) throw std::invalid_argument("solve_karlin: empty frequencies");
+  double total = 0.0;
+  for (const double f : freqs) {
+    if (f < 0.0) throw std::invalid_argument("solve_karlin: negative frequency");
+    total += f;
+  }
+  if (std::abs(total - 1.0) > 1e-6) {
+    throw std::invalid_argument("solve_karlin: frequencies must sum to 1");
+  }
+
+  // Preconditions of the theory: negative expected score, positive scores
+  // achievable.
+  double expected = 0.0;
+  double max_s = -1e9;
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    for (std::size_t j = 0; j < freqs.size(); ++j) {
+      const double s = sc.substitution(static_cast<seq::Code>(i), static_cast<seq::Code>(j));
+      expected += freqs[i] * freqs[j] * s;
+      max_s = std::max(max_s, s);
+    }
+  }
+  if (expected >= 0.0) {
+    throw std::invalid_argument("solve_karlin: expected score must be negative");
+  }
+  if (max_s <= 0.0) {
+    throw std::invalid_argument("solve_karlin: no positive substitution score");
+  }
+
+  // Bracket the root: phi(0) = 0 with phi'(0) = expected < 0, and
+  // phi -> +inf, so the positive root lies right of some hi with
+  // phi(hi) > 0.
+  double hi = 1.0;
+  while (phi(hi, sc, freqs) < 0.0) hi *= 2.0;
+  double lo = 0.0;
+
+  // Newton from the upper end, with bisection fallback to stay bracketed.
+  double lambda = hi;
+  for (int it = 0; it < 200; ++it) {
+    const double f = phi(lambda, sc, freqs);
+    if (std::abs(f) < 1e-12) break;
+    if (f > 0.0) {
+      hi = lambda;
+    } else {
+      lo = lambda;
+    }
+    const double fp = phi_prime(lambda, sc, freqs);
+    double next = lambda - f / fp;
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    lambda = next;
+  }
+
+  KarlinParams p;
+  p.lambda = lambda;
+  p.k = 0.1;  // crude standard approximation; see header
+  return p;
+}
+
+KarlinParams solve_karlin_uniform(const Scoring& sc, std::size_t alphabet_size) {
+  if (alphabet_size == 0) throw std::invalid_argument("solve_karlin_uniform: empty alphabet");
+  const std::vector<double> freqs(alphabet_size, 1.0 / static_cast<double>(alphabet_size));
+  return solve_karlin(sc, freqs);
+}
+
+double bit_score(Score raw, const KarlinParams& p) {
+  return (p.lambda * raw - std::log(p.k)) / std::log(2.0);
+}
+
+double e_value(Score raw, std::size_t m, std::size_t n, const KarlinParams& p) {
+  return p.k * static_cast<double>(m) * static_cast<double>(n) * std::exp(-p.lambda * raw);
+}
+
+}  // namespace swr::align

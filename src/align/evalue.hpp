@@ -1,0 +1,46 @@
+// Karlin-Altschul statistics for local alignment scores.
+//
+// A raw Smith-Waterman score is only meaningful against the background of
+// chance: database scans (host/batch) report hits, and the question "is
+// score 42 good?" depends on the scoring scheme and the search space.
+// Karlin & Altschul showed that for ungapped local alignments the number
+// of chance hits with score >= S follows E = K * m * n * exp(-lambda*S),
+// with lambda the unique positive root of  sum_ij p_i p_j e^{lambda s_ij} = 1.
+// This module solves for lambda (Newton iteration with a bisection
+// safety net), derives bit scores and E-values, and is what turns the
+// scanner's raw top-k list into a ranked, interpretable report.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "align/scoring.hpp"
+
+namespace swr::align {
+
+/// Karlin-Altschul parameters for a scheme over residue frequencies.
+struct KarlinParams {
+  double lambda = 0.0;  ///< scale of the score distribution
+  double k = 0.0;       ///< search-space correction constant
+};
+
+/// Solves for lambda given substitution scores and residue background
+/// frequencies (`freqs[i]` for code i; must sum to ~1). Uses the uniform
+/// match/mismatch scheme or the substitution matrix in `sc`.
+/// K is estimated with the standard crude approximation K ~ 0.1 (exact K
+/// requires the full Karlin sum; the E-value ordering is driven by
+/// lambda). @throws std::invalid_argument if the scheme has non-negative
+/// expected score (no local-alignment statistics exist) or bad freqs.
+KarlinParams solve_karlin(const Scoring& sc, std::span<const double> freqs);
+
+/// Convenience: uniform background over the alphabet the scoring uses
+/// (size 4 for DNA-style uniform schemes, or the matrix's alphabet).
+KarlinParams solve_karlin_uniform(const Scoring& sc, std::size_t alphabet_size);
+
+/// Normalised bit score: (lambda*S - ln K) / ln 2.
+double bit_score(Score raw, const KarlinParams& p);
+
+/// Expected chance hits with score >= raw in an m x n search space.
+double e_value(Score raw, std::size_t m, std::size_t n, const KarlinParams& p);
+
+}  // namespace swr::align

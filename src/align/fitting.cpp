@@ -1,0 +1,111 @@
+#include "align/fitting.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace swr::align {
+namespace {
+
+void check(const seq::Sequence& a, const seq::Sequence& b, const Scoring& sc) {
+  sc.validate();
+  if (a.alphabet().id() != b.alphabet().id()) {
+    throw std::invalid_argument("fitting: alphabet mismatch between sequences");
+  }
+}
+
+}  // namespace
+
+FittingResult fitting_score(const seq::Sequence& a, const seq::Sequence& b, const Scoring& sc) {
+  check(a, b, sc);
+  FittingResult out;
+  const std::size_t n = b.size();
+  if (n == 0) return out;  // empty query fits anywhere for free
+
+  // row[j] = best score of aligning b[1..j] ending exactly at (i, j),
+  // database prefix free: D(i, 0) = 0 for every i.
+  std::vector<Score> row(n + 1);
+  for (std::size_t j = 0; j <= n; ++j) row[j] = static_cast<Score>(j) * sc.gap;
+
+  // The query may also be placed entirely against gaps (empty database or
+  // i = 0 band): that is the initial candidate.
+  Score best = row[n];
+  std::size_t best_i = 0;
+
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    Score diag = row[0];
+    row[0] = 0;
+    Score left = 0;
+    const seq::Code ai = a[i - 1];
+    for (std::size_t j = 1; j <= n; ++j) {
+      const Score up = row[j];
+      Score v = diag + sc.substitution(ai, b[j - 1]);
+      v = std::max(v, up + sc.gap);
+      v = std::max(v, left + sc.gap);
+      diag = up;
+      left = v;
+      row[j] = v;
+    }
+    if (row[n] > best) {
+      best = row[n];
+      best_i = i;
+    }
+  }
+  out.score = best;
+  out.end = Cell{best_i, n};
+  out.begin = Cell{0, 0};  // resolved by fitting_align; kept cheap here
+  return out;
+}
+
+LocalAlignment fitting_align(const seq::Sequence& a, const seq::Sequence& b, const Scoring& sc) {
+  check(a, b, sc);
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  LocalAlignment out;
+  if (n == 0) return out;
+
+  std::vector<Score> d((m + 1) * (n + 1));
+  const auto at = [&](std::size_t i, std::size_t j) -> Score& { return d[i * (n + 1) + j]; };
+  for (std::size_t i = 0; i <= m; ++i) at(i, 0) = 0;
+  for (std::size_t j = 1; j <= n; ++j) at(0, j) = static_cast<Score>(j) * sc.gap;
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      const Score diag = at(i - 1, j - 1) + sc.substitution(a[i - 1], b[j - 1]);
+      const Score up = at(i - 1, j) + sc.gap;
+      const Score left = at(i, j - 1) + sc.gap;
+      at(i, j) = std::max({diag, up, left});
+    }
+  }
+
+  std::size_t end_i = 0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    if (at(i, n) > at(end_i, n)) end_i = i;
+  }
+  out.score = at(end_i, n);
+  out.end = Cell{end_i, n};
+
+  Cigar rev;
+  std::size_t i = end_i;
+  std::size_t j = n;
+  while (j > 0) {
+    if (i > 0 && at(i, j) == at(i - 1, j - 1) + sc.substitution(a[i - 1], b[j - 1])) {
+      rev.push(a[i - 1] == b[j - 1] ? EditOp::Match : EditOp::Mismatch);
+      --i;
+      --j;
+    } else if (i > 0 && at(i, j) == at(i - 1, j) + sc.gap) {
+      rev.push(EditOp::Delete);
+      --i;
+    } else if (at(i, j) == at(i, j - 1) + sc.gap) {
+      rev.push(EditOp::Insert);
+      --j;
+    } else {
+      throw std::logic_error("fitting_align: traceback found no predecessor");
+    }
+  }
+  out.begin = Cell{i + 1, 1};
+  rev.reverse();
+  out.cigar = std::move(rev);
+  return out;
+}
+
+}  // namespace swr::align

@@ -1,0 +1,39 @@
+// Fitting (semi-global) alignment: the whole query, somewhere in the
+// database.
+//
+// Local alignment may trim an unlucky query prefix/suffix; a database
+// *mapping* use of the accelerator often wants the entire query placed
+// (free database ends, query fully consumed). This sits between global
+// and local: column borders are free (database prefix/suffix), row borders
+// are charged (every query residue must be used), no zero-clamp.
+//
+// Invariants (tests): nw_score(a,b) <= fitting <= sw score; equals |b| *
+// match when b occurs verbatim in a.
+#pragma once
+
+#include <span>
+
+#include "align/cigar.hpp"
+#include "align/result.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::align {
+
+/// Best fitting score and the database row range it occupies: the whole of
+/// `b` aligned against a[begin.i .. end.i]. Score can be negative (a hostile
+/// query still has to be placed somewhere).
+struct FittingResult {
+  Score score = 0;
+  Cell begin{};  ///< first aligned pair (begin.j == 1 unless b is empty)
+  Cell end{};    ///< last aligned pair (end.j == |b|)
+};
+
+/// Linear-space fitting score + end cell (canonical tie-break on ties).
+/// @throws std::invalid_argument on alphabet mismatch / invalid scoring.
+FittingResult fitting_score(const seq::Sequence& a, const seq::Sequence& b, const Scoring& sc);
+
+/// Full fitting alignment with transcript (quadratic space, traceback
+/// preference diagonal > delete > insert).
+LocalAlignment fitting_align(const seq::Sequence& a, const seq::Sequence& b, const Scoring& sc);
+
+}  // namespace swr::align

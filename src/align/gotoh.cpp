@@ -1,0 +1,169 @@
+#include "align/gotoh.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace swr::align {
+namespace {
+
+struct Layers {
+  std::vector<Score> h;  // best score ending at (i,j) any way
+  std::vector<Score> e;  // best ending with a gap in `a` (insert)
+  std::vector<Score> f;  // best ending with a gap in `b` (delete)
+  std::size_t cols;
+
+  Layers(std::size_t rows, std::size_t cols_)
+      : h(rows * cols_, 0), e(rows * cols_, kNegInf), f(rows * cols_, kNegInf), cols(cols_) {}
+  [[nodiscard]] std::size_t idx(std::size_t i, std::size_t j) const { return i * cols + j; }
+};
+
+}  // namespace
+
+LocalAlignment gotoh_local_align(const seq::Sequence& a, const seq::Sequence& b,
+                                 const AffineScoring& sc) {
+  sc.validate();
+  if (a.alphabet().id() != b.alphabet().id()) {
+    throw std::invalid_argument("gotoh_local_align: alphabet mismatch between sequences");
+  }
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  Layers L(m + 1, n + 1);
+
+  LocalScoreResult best;
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::size_t c = L.idx(i, j);
+      const Score e = std::max(L.e[L.idx(i, j - 1)] + sc.gap_extend,
+                               L.h[L.idx(i, j - 1)] + sc.gap_open + sc.gap_extend);
+      const Score f = std::max(L.f[L.idx(i - 1, j)] + sc.gap_extend,
+                               L.h[L.idx(i - 1, j)] + sc.gap_open + sc.gap_extend);
+      const Score diag = L.h[L.idx(i - 1, j - 1)] + sc.substitution(a[i - 1], b[j - 1]);
+      const Score h = std::max({Score{0}, diag, e, f});
+      L.e[c] = e;
+      L.f[c] = f;
+      L.h[c] = h;
+      fold_best(best, h, Cell{i, j});
+    }
+  }
+
+  LocalAlignment out;
+  out.score = best.score;
+  out.end = best.end;
+  if (best.score <= 0) return out;
+
+  // Traceback across the three layers. `layer` 0=H, 1=E(insert run),
+  // 2=F(delete run).
+  Cigar rev;
+  std::size_t i = best.end.i;
+  std::size_t j = best.end.j;
+  int layer = 0;
+  while (true) {
+    if (layer == 0) {
+      const Score h = L.h[L.idx(i, j)];
+      if (h == 0) break;
+      if (h == L.h[L.idx(i - 1, j - 1)] + sc.substitution(a[i - 1], b[j - 1])) {
+        rev.push(a[i - 1] == b[j - 1] ? EditOp::Match : EditOp::Mismatch);
+        --i;
+        --j;
+      } else if (h == L.f[L.idx(i, j)]) {
+        layer = 2;
+      } else if (h == L.e[L.idx(i, j)]) {
+        layer = 1;
+      } else {
+        throw std::logic_error("gotoh traceback: H has no predecessor");
+      }
+    } else if (layer == 1) {
+      const Score e = L.e[L.idx(i, j)];
+      rev.push(EditOp::Insert);
+      if (e == L.e[L.idx(i, j - 1)] + sc.gap_extend) {
+        --j;  // stay in E (longer gap)
+      } else if (e == L.h[L.idx(i, j - 1)] + sc.gap_open + sc.gap_extend) {
+        --j;
+        layer = 0;
+      } else {
+        throw std::logic_error("gotoh traceback: E has no predecessor");
+      }
+    } else {
+      const Score f = L.f[L.idx(i, j)];
+      rev.push(EditOp::Delete);
+      if (f == L.f[L.idx(i - 1, j)] + sc.gap_extend) {
+        --i;
+      } else if (f == L.h[L.idx(i - 1, j)] + sc.gap_open + sc.gap_extend) {
+        --i;
+        layer = 0;
+      } else {
+        throw std::logic_error("gotoh traceback: F has no predecessor");
+      }
+    }
+  }
+  out.begin = Cell{i + 1, j + 1};
+  rev.reverse();
+  out.cigar = std::move(rev);
+  return out;
+}
+
+LocalScoreResult gotoh_local_score(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                                   const AffineScoring& sc) {
+  sc.validate();
+  LocalScoreResult best;
+  const std::size_t n = b.size();
+  std::vector<Score> h(n + 1, 0);
+  std::vector<Score> e(n + 1, kNegInf);
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    Score diag = h[0];
+    Score f = kNegInf;
+    Score left_h = 0;  // H(i, j-1)
+    h[0] = 0;
+    const seq::Code ai = a[i - 1];
+    for (std::size_t j = 1; j <= n; ++j) {
+      const Score up_h = h[j];
+      e[j] = std::max(e[j] + sc.gap_extend, up_h + sc.gap_open + sc.gap_extend);
+      f = std::max(f + sc.gap_extend, left_h + sc.gap_open + sc.gap_extend);
+      Score v = diag + sc.substitution(ai, b[j - 1]);
+      v = std::max({v, e[j], f, Score{0}});
+      diag = up_h;
+      left_h = v;
+      h[j] = v;
+      if (v > best.score) {
+        best.score = v;
+        best.end = Cell{i, j};
+      } else if (v == best.score && v > 0 && tie_break_prefers(Cell{i, j}, best.end)) {
+        best.end = Cell{i, j};
+      }
+    }
+  }
+  return best;
+}
+
+Score gotoh_global_score(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                         const AffineScoring& sc) {
+  sc.validate();
+  const std::size_t n = b.size();
+  std::vector<Score> h(n + 1);
+  std::vector<Score> e(n + 1, kNegInf);
+  h[0] = 0;
+  for (std::size_t j = 1; j <= n; ++j) {
+    h[j] = sc.gap_open + static_cast<Score>(j) * sc.gap_extend;
+    e[j] = h[j];
+  }
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    Score diag = h[0];
+    h[0] = sc.gap_open + static_cast<Score>(i) * sc.gap_extend;
+    Score f = h[0];
+    Score left_h = h[0];
+    const seq::Code ai = a[i - 1];
+    for (std::size_t j = 1; j <= n; ++j) {
+      const Score up_h = h[j];
+      e[j] = std::max(e[j] + sc.gap_extend, up_h + sc.gap_open + sc.gap_extend);
+      f = std::max(f + sc.gap_extend, left_h + sc.gap_open + sc.gap_extend);
+      Score v = std::max({diag + sc.substitution(ai, b[j - 1]), e[j], f});
+      diag = up_h;
+      left_h = v;
+      h[j] = v;
+    }
+  }
+  return h[n];
+}
+
+}  // namespace swr::align

@@ -1,0 +1,32 @@
+// Gotoh's affine-gap alignment (paper §1 [11]).
+//
+// The related-work architecture [2]/[32] (XC2V6000) accelerates SW with an
+// affine gap model; this module is its software twin and the reference for
+// the AffinePe hardware variant. A gap of length k costs open + k*extend.
+#pragma once
+
+#include <span>
+
+#include "align/cigar.hpp"
+#include "align/result.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::align {
+
+/// Full-matrix affine-gap local alignment with traceback (three DP layers
+/// H/E/F). Deterministic traceback: diagonal > delete > insert, gap
+/// extension preferred over re-opening.
+/// @throws std::invalid_argument on alphabet mismatch or invalid scoring.
+LocalAlignment gotoh_local_align(const seq::Sequence& a, const seq::Sequence& b,
+                                 const AffineScoring& sc);
+
+/// Linear-space affine local score + end cell (canonical tie-break) — what
+/// the affine systolic PE computes.
+LocalScoreResult gotoh_local_score(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                                   const AffineScoring& sc);
+
+/// Linear-space affine *global* score.
+Score gotoh_global_score(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                         const AffineScoring& sc);
+
+}  // namespace swr::align

@@ -1,0 +1,99 @@
+#include "align/hirschberg.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "align/nw.hpp"
+
+namespace swr::align {
+namespace {
+
+// NW last row over *reversed* inputs: row[j] = score of globally aligning
+// the suffix a[i..) against the suffix of b of length j.
+std::vector<Score> nw_last_row_rev(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                                   const Scoring& sc) {
+  std::vector<seq::Code> ra(a.rbegin(), a.rend());
+  std::vector<seq::Code> rb(b.rbegin(), b.rend());
+  return nw_last_row(ra, rb, sc);
+}
+
+void hirschberg_rec(std::span<const seq::Code> a, std::span<const seq::Code> b, const Scoring& sc,
+                    Cigar& out) {
+  if (a.empty()) {
+    out.push(EditOp::Insert, b.size());
+    return;
+  }
+  if (b.empty()) {
+    out.push(EditOp::Delete, a.size());
+    return;
+  }
+  if (a.size() == 1) {
+    // Base case: align one residue of `a` against all of `b` directly.
+    // Either a[0] pairs with some b[k] (gaps around it) or it is deleted.
+    // Pairing with the best-scoring b[k] is optimal when the whole row is
+    // gaps otherwise; scan candidates explicitly.
+    const Score all_gaps = sc.gap * static_cast<Score>(b.size() + 1);
+    Score best = all_gaps;
+    std::size_t best_k = b.size();  // sentinel: no pairing (delete a[0])
+    for (std::size_t k = 0; k < b.size(); ++k) {
+      const Score v = sc.gap * static_cast<Score>(b.size() - 1) + sc.substitution(a[0], b[k]);
+      if (v > best) {
+        best = v;
+        best_k = k;
+      }
+    }
+    if (best_k == b.size()) {
+      // Deleting a[0] and inserting all of b beats any pairing.
+      out.push(EditOp::Delete, 1);
+      out.push(EditOp::Insert, b.size());
+    } else {
+      out.push(EditOp::Insert, best_k);
+      out.push(a[0] == b[best_k] ? EditOp::Match : EditOp::Mismatch, 1);
+      out.push(EditOp::Insert, b.size() - best_k - 1);
+    }
+    return;
+  }
+
+  const std::size_t mid = a.size() / 2;
+  const std::vector<Score> fwd = nw_last_row(a.subspan(0, mid), b, sc);
+  const std::vector<Score> bwd = nw_last_row_rev(a.subspan(mid), b, sc);
+
+  // Choose the split column k maximising fwd[k] + bwd[|b|-k].
+  std::size_t split = 0;
+  Score best = kNegInf;
+  for (std::size_t k = 0; k <= b.size(); ++k) {
+    const Score v = fwd[k] + bwd[b.size() - k];
+    if (v > best) {
+      best = v;
+      split = k;
+    }
+  }
+
+  hirschberg_rec(a.subspan(0, mid), b.subspan(0, split), sc, out);
+  hirschberg_rec(a.subspan(mid), b.subspan(split), sc, out);
+}
+
+}  // namespace
+
+Cigar hirschberg_cigar(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                       const Scoring& sc) {
+  sc.validate();
+  Cigar out;
+  hirschberg_rec(a, b, sc, out);
+  return out;
+}
+
+LocalAlignment hirschberg_align(const seq::Sequence& a, const seq::Sequence& b, const Scoring& sc) {
+  if (a.alphabet().id() != b.alphabet().id()) {
+    throw std::invalid_argument("hirschberg_align: alphabet mismatch between sequences");
+  }
+  LocalAlignment out;
+  out.cigar = hirschberg_cigar(a.codes(), b.codes(), sc);
+  out.begin = (a.empty() && b.empty()) ? Cell{0, 0} : Cell{1, 1};
+  out.end = Cell{a.size(), b.size()};
+  out.score = score_of(out.cigar, a, b, out.begin, sc);
+  return out;
+}
+
+}  // namespace swr::align

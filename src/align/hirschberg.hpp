@@ -1,0 +1,29 @@
+// Hirschberg's divide-and-conquer global alignment in linear space
+// (paper §2.3, [15]).
+//
+// Myers & Miller observed that the quadratic space of plain DP makes long-
+// sequence alignment impractical; Hirschberg recovers the full transcript
+// in O(|b|) space by splitting `a` in half, locating the column where the
+// optimal path crosses the midline (forward last-row + backward last-row of
+// the reversed halves), and recursing. Roughly doubles the cell count
+// versus one full-matrix pass — the classic space/time trade the paper
+// cites.
+#pragma once
+
+#include <span>
+
+#include "align/cigar.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::align {
+
+/// Global alignment transcript of a vs b in O(|b|) space.
+/// Score of the returned transcript equals nw_score(a, b, sc); tests
+/// enforce this. @throws std::invalid_argument on alphabet mismatch.
+LocalAlignment hirschberg_align(const seq::Sequence& a, const seq::Sequence& b, const Scoring& sc);
+
+/// Raw-span variant used by the host pipeline on alignment windows.
+Cigar hirschberg_cigar(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                       const Scoring& sc);
+
+}  // namespace swr::align

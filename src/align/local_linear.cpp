@@ -1,0 +1,101 @@
+#include "align/local_linear.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "align/hirschberg.hpp"
+#include "align/sw_linear.hpp"
+
+namespace swr::align {
+
+LocalScoreResult anchored_best_end(const seq::Sequence& a, const seq::Sequence& b, Cell begin,
+                                   std::size_t end_limit_i, std::size_t end_limit_j,
+                                   const Scoring& sc) {
+  sc.validate();
+  if (begin.i == 0 || begin.j == 0 || begin.i > end_limit_i || begin.j > end_limit_j ||
+      end_limit_i > a.size() || end_limit_j > b.size()) {
+    throw std::invalid_argument("anchored_best_end: bad window");
+  }
+  // DP over the window rows [begin.i, end_limit_i], cols [begin.j,
+  // end_limit_j]. Paths must originate at cell (begin.i-1, begin.j-1); all
+  // other window borders are unreachable (-inf) and there is no zero-clamp
+  // (no restart inside the window).
+  const std::size_t w = end_limit_j - begin.j + 1;
+  std::vector<Score> row(w + 1, kNegInf);
+  row[0] = 0;  // the anchor corner
+
+  LocalScoreResult best;
+  best.score = kNegInf;
+  for (std::size_t i = begin.i; i <= end_limit_i; ++i) {
+    Score diag = row[0];
+    Score left = kNegInf;
+    row[0] = kNegInf;  // only the very first row may leave the anchor corner
+    const seq::Code ai = a[i - 1];
+    for (std::size_t jj = 1; jj <= w; ++jj) {
+      const std::size_t j = begin.j + jj - 1;
+      const Score up = row[jj];
+      Score v = diag == kNegInf ? kNegInf : diag + sc.substitution(ai, b[j - 1]);
+      if (up != kNegInf) v = std::max(v, up + sc.gap);
+      if (left != kNegInf) v = std::max(v, left + sc.gap);
+      diag = up;
+      left = v;
+      row[jj] = v;
+      if (v > best.score) {
+        best.score = v;
+        best.end = Cell{i, j};
+      } else if (v == best.score && tie_break_prefers(Cell{i, j}, best.end)) {
+        best.end = Cell{i, j};
+      }
+    }
+  }
+  return best;
+}
+
+LocalAlignment local_align_linear(const seq::Sequence& a, const seq::Sequence& b, const Scoring& sc,
+                                  const ScorePassFn& pass) {
+  if (a.alphabet().id() != b.alphabet().id()) {
+    throw std::invalid_argument("local_align_linear: alphabet mismatch between sequences");
+  }
+  sc.validate();
+
+  // Step 1: forward pass -> best score and an end cell.
+  const LocalScoreResult fwd = pass(a, b, sc);
+  LocalAlignment out;
+  out.score = fwd.score;
+  if (fwd.score <= 0) return out;  // empty alignment
+
+  // Step 2: reverse pass over the reversed prefixes ending at fwd.end.
+  const seq::Sequence ra = a.subsequence(0, fwd.end.i).reversed();
+  const seq::Sequence rb = b.subsequence(0, fwd.end.j).reversed();
+  const LocalScoreResult rev = pass(ra, rb, sc);
+  if (rev.score != fwd.score) {
+    throw std::logic_error("local_align_linear: reverse pass score disagrees with forward pass");
+  }
+  const Cell begin{fwd.end.i - rev.end.i + 1, fwd.end.j - rev.end.j + 1};
+
+  // Step 3: the begin cell may belong to a co-optimal alignment other than
+  // the one ending at fwd.end; find the end that pairs with this begin.
+  const LocalScoreResult anchored = anchored_best_end(a, b, begin, fwd.end.i, fwd.end.j, sc);
+  if (anchored.score != fwd.score) {
+    throw std::logic_error("local_align_linear: anchored scan score disagrees with forward pass");
+  }
+
+  // Step 4: the window [begin, anchored.end] is a global alignment problem.
+  const auto wa = a.codes().subspan(begin.i - 1, anchored.end.i - begin.i + 1);
+  const auto wb = b.codes().subspan(begin.j - 1, anchored.end.j - begin.j + 1);
+  out.begin = begin;
+  out.end = anchored.end;
+  out.cigar = hirschberg_cigar(wa, wb, sc);
+  return out;
+}
+
+LocalAlignment local_align_linear(const seq::Sequence& a, const seq::Sequence& b,
+                                  const Scoring& sc) {
+  return local_align_linear(a, b, sc,
+                            [](const seq::Sequence& x, const seq::Sequence& y, const Scoring& s) {
+                              return sw_linear(x, y, s);
+                            });
+}
+
+}  // namespace swr::align

@@ -1,0 +1,48 @@
+// Linear-space local alignment retrieval — the paper's §2.3 recipe.
+//
+// 1. Forward pass (the phase the FPGA accelerates): best score S and the
+//    cell where the best local alignment *ends*.
+// 2. Reverse pass over the reversed prefixes: the cell where an optimal
+//    local alignment *begins*.
+// 3. An anchored forward scan from that begin locates a matching end (the
+//    begin found in step 2 may belong to a different co-optimal alignment
+//    than the end found in step 1 — the scan re-pairs them consistently).
+// 4. The windowed problem is now global; Hirschberg retrieves the
+//    transcript in linear space.
+//
+// Peak memory is O(|a| + |b|) throughout — never the O(|a|*|b|) matrix.
+// The host pipeline (src/host) runs steps 1-2 on the accelerator model and
+// 3-4 on the CPU, exactly the hardware/software split the paper proposes.
+#pragma once
+
+#include <functional>
+
+#include "align/cigar.hpp"
+#include "align/result.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::align {
+
+/// Pluggable engine for the two score+coordinate passes, so the same
+/// pipeline code runs on software SW (default) or on the accelerator
+/// facade. Receives (a, b, scoring); must honour the canonical tie-break.
+using ScorePassFn =
+    std::function<LocalScoreResult(const seq::Sequence&, const seq::Sequence&, const Scoring&)>;
+
+/// Full local alignment of a vs b in linear space.
+/// @throws std::invalid_argument on alphabet mismatch or invalid scoring.
+LocalAlignment local_align_linear(const seq::Sequence& a, const seq::Sequence& b,
+                                  const Scoring& sc);
+
+/// As above with a custom engine for the forward/reverse passes.
+LocalAlignment local_align_linear(const seq::Sequence& a, const seq::Sequence& b, const Scoring& sc,
+                                  const ScorePassFn& pass);
+
+/// Step-3 primitive, exposed for tests: best cell of any local alignment
+/// constrained to *start* at `begin` (1-based), searching the window up to
+/// (end_limit_i, end_limit_j) inclusive. Runs in O(window columns) space.
+LocalScoreResult anchored_best_end(const seq::Sequence& a, const seq::Sequence& b, Cell begin,
+                                   std::size_t end_limit_i, std::size_t end_limit_j,
+                                   const Scoring& sc);
+
+}  // namespace swr::align

@@ -1,0 +1,54 @@
+// Myers & Miller's affine-gap global alignment in linear space
+// (paper §1, reference [25]: "Optimal alignments in linear space").
+//
+// Hirschberg's divide-and-conquer assumes per-column gap costs; with
+// affine gaps a deletion may *span the split row*, so the split must also
+// decide whether it happens inside a gap. Myers & Miller extend the
+// forward/backward rows with the Gotoh F-layer and thread two boundary
+// flags (tb, te) through the recursion: the gap-open charge at the top and
+// bottom boundary of each subproblem (zero when the parent split inside a
+// running gap).
+//
+// This is the retrieval engine for the affine accelerator path: the
+// AffinePe array produces score+coordinates, this produces the transcript
+// — both in linear space, completing the §2.3 recipe for the [2]/[32]
+// gap model.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "align/cigar.hpp"
+#include "align/result.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::align {
+
+/// Affine global alignment transcript in O(|b|) space. The transcript's
+/// affine score equals gotoh_global_score(a, b, sc) (tests enforce it).
+Cigar myers_miller_cigar(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                         const AffineScoring& sc);
+
+/// Wrapper with sequences and score computation.
+/// @throws std::invalid_argument on alphabet mismatch.
+LocalAlignment myers_miller_align(const seq::Sequence& a, const seq::Sequence& b,
+                                  const AffineScoring& sc);
+
+/// Affine *local* alignment in linear space: forward/reverse Gotoh passes
+/// for the coordinates (the affine accelerator's job), then Myers-Miller
+/// on the window. The affine twin of local_align_linear.
+LocalAlignment gotoh_local_align_linear(const seq::Sequence& a, const seq::Sequence& b,
+                                        const AffineScoring& sc);
+
+/// Pluggable engine for the two affine score+coordinate passes — the hook
+/// the AffineHostPipeline uses to run them on the AffineAccelerator.
+using AffineScorePassFn = std::function<LocalScoreResult(const seq::Sequence&,
+                                                         const seq::Sequence&,
+                                                         const AffineScoring&)>;
+
+/// As above with a custom pass engine (must honour the canonical
+/// tie-break, as the hardware does).
+LocalAlignment gotoh_local_align_linear(const seq::Sequence& a, const seq::Sequence& b,
+                                        const AffineScoring& sc, const AffineScorePassFn& pass);
+
+}  // namespace swr::align

@@ -1,0 +1,156 @@
+#include "align/near_best.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "align/hirschberg.hpp"
+
+namespace swr::align {
+namespace {
+
+// Rolling-row SW in which masked rows are impassable: their cells are
+// forced to 0, so no path crosses a previously-reported alignment.
+LocalScoreResult masked_forward(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                                const std::vector<bool>& row_masked, const Scoring& sc) {
+  LocalScoreResult best;
+  std::vector<Score> row(b.size() + 1, 0);
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    if (row_masked[i - 1]) {
+      std::fill(row.begin(), row.end(), Score{0});
+      continue;
+    }
+    Score diag = row[0];
+    Score left = 0;
+    const seq::Code ai = a[i - 1];
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const Score up = row[j];
+      Score v = diag + sc.substitution(ai, b[j - 1]);
+      v = std::max(v, up + sc.gap);
+      v = std::max(v, left + sc.gap);
+      v = std::max(v, Score{0});
+      diag = up;
+      left = v;
+      row[j] = v;
+      if (v > best.score) {
+        best.score = v;
+        best.end = Cell{i, j};
+      } else if (v == best.score && v > 0 && tie_break_prefers(Cell{i, j}, best.end)) {
+        best.end = Cell{i, j};
+      }
+    }
+  }
+  return best;
+}
+
+// Anchored-start scan (see local_linear.cpp) that additionally treats
+// masked rows as impassable (-inf).
+LocalScoreResult masked_anchored(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                                 const std::vector<bool>& row_masked, Cell begin,
+                                 std::size_t end_i, std::size_t end_j, const Scoring& sc) {
+  const std::size_t w = end_j - begin.j + 1;
+  std::vector<Score> row(w + 1, kNegInf);
+  row[0] = 0;
+  LocalScoreResult best;
+  best.score = kNegInf;
+  for (std::size_t i = begin.i; i <= end_i; ++i) {
+    if (row_masked[i - 1]) {
+      std::fill(row.begin(), row.end(), kNegInf);
+      continue;
+    }
+    Score diag = row[0];
+    Score left = kNegInf;
+    row[0] = kNegInf;
+    const seq::Code ai = a[i - 1];
+    for (std::size_t jj = 1; jj <= w; ++jj) {
+      const std::size_t j = begin.j + jj - 1;
+      const Score up = row[jj];
+      Score v = diag == kNegInf ? kNegInf : diag + sc.substitution(ai, b[j - 1]);
+      if (up != kNegInf) v = std::max(v, up + sc.gap);
+      if (left != kNegInf) v = std::max(v, left + sc.gap);
+      diag = up;
+      left = v;
+      row[jj] = v;
+      if (v > best.score) {
+        best.score = v;
+        best.end = Cell{i, j};
+      } else if (v == best.score && v != kNegInf && tie_break_prefers(Cell{i, j}, best.end)) {
+        best.end = Cell{i, j};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void NearBestOptions::validate() const {
+  if (min_score < 1) throw std::invalid_argument("NearBestOptions: min_score must be >= 1");
+  if (max_alignments == 0) throw std::invalid_argument("NearBestOptions: zero max_alignments");
+}
+
+LocalScoreResult sw_linear_row_masked(const seq::Sequence& a, const seq::Sequence& b,
+                                      const std::vector<bool>& row_masked, const Scoring& sc) {
+  sc.validate();
+  if (a.alphabet().id() != b.alphabet().id()) {
+    throw std::invalid_argument("sw_linear_row_masked: alphabet mismatch");
+  }
+  if (row_masked.size() != a.size()) {
+    throw std::invalid_argument("sw_linear_row_masked: mask size must be |a|");
+  }
+  return masked_forward(a.codes(), b.codes(), row_masked, sc);
+}
+
+std::vector<LocalAlignment> near_best_alignments(const seq::Sequence& a, const seq::Sequence& b,
+                                                 const Scoring& sc, const NearBestOptions& opt) {
+  opt.validate();
+  sc.validate();
+  if (a.alphabet().id() != b.alphabet().id()) {
+    throw std::invalid_argument("near_best_alignments: alphabet mismatch");
+  }
+
+  std::vector<LocalAlignment> out;
+  std::vector<bool> masked(a.size(), false);
+  while (out.size() < opt.max_alignments) {
+    // Phase 1: best end among unmasked paths.
+    const LocalScoreResult fwd = masked_forward(a.codes(), b.codes(), masked, sc);
+    if (fwd.score < opt.min_score) break;
+
+    // Phase 2: begin via the reversed prefixes (mask reversed alongside).
+    std::vector<seq::Code> ra(a.codes().begin(),
+                              a.codes().begin() + static_cast<std::ptrdiff_t>(fwd.end.i));
+    std::reverse(ra.begin(), ra.end());
+    std::vector<seq::Code> rb(b.codes().begin(),
+                              b.codes().begin() + static_cast<std::ptrdiff_t>(fwd.end.j));
+    std::reverse(rb.begin(), rb.end());
+    std::vector<bool> rmask(masked.begin(),
+                            masked.begin() + static_cast<std::ptrdiff_t>(fwd.end.i));
+    std::reverse(rmask.begin(), rmask.end());
+    const LocalScoreResult rev = masked_forward(ra, rb, rmask, sc);
+    if (rev.score != fwd.score) {
+      throw std::logic_error("near_best_alignments: reverse pass disagrees with forward pass");
+    }
+    const Cell begin{fwd.end.i - rev.end.i + 1, fwd.end.j - rev.end.j + 1};
+
+    // Phase 3: re-pair begin with a consistent end (masked anchored scan).
+    const LocalScoreResult anch =
+        masked_anchored(a.codes(), b.codes(), masked, begin, fwd.end.i, fwd.end.j, sc);
+    if (anch.score != fwd.score) {
+      throw std::logic_error("near_best_alignments: anchored scan disagrees with forward pass");
+    }
+
+    // Phase 4: Hirschberg on the (unmasked-by-construction) window.
+    LocalAlignment al;
+    al.score = fwd.score;
+    al.begin = begin;
+    al.end = anch.end;
+    al.cigar = hirschberg_cigar(a.codes().subspan(begin.i - 1, anch.end.i - begin.i + 1),
+                                b.codes().subspan(begin.j - 1, anch.end.j - begin.j + 1), sc);
+    out.push_back(std::move(al));
+
+    // Mask the reported database rows.
+    for (std::size_t i = begin.i; i <= anch.end.i; ++i) masked[i - 1] = true;
+  }
+  return out;
+}
+
+}  // namespace swr::align

@@ -1,0 +1,44 @@
+// Near-best non-overlapping local alignments (paper §2.4, [6]).
+//
+// Chen & Schmidt's multi-cluster strategy — which the paper cites as a
+// consumer of exactly the score+coordinates output our accelerator
+// produces — retrieves not just the single best local alignment but a set
+// of near-best, non-overlapping ones. This module implements that phase
+// in linear space: repeatedly find the best alignment among paths that
+// avoid previously-reported rows of `a`, retrieve it (§2.3 recipe), then
+// mask its row span.
+//
+// Non-overlap is enforced on the first sequence (`a`, the database side):
+// no two reported alignments share a database position — the form of
+// non-overlap a database scan needs.
+#pragma once
+
+#include <vector>
+
+#include "align/cigar.hpp"
+#include "align/result.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::align {
+
+/// Stop conditions for the near-best enumeration.
+struct NearBestOptions {
+  Score min_score = 1;             ///< report alignments scoring at least this
+  std::size_t max_alignments = 10; ///< hard cap on reported alignments
+
+  /// @throws std::invalid_argument on min_score < 1 or zero cap.
+  void validate() const;
+};
+
+/// Best local alignment among paths avoiding masked rows of `a`
+/// (`row_masked[i-1]` masks row i). Exposed for tests.
+LocalScoreResult sw_linear_row_masked(const seq::Sequence& a, const seq::Sequence& b,
+                                      const std::vector<bool>& row_masked, const Scoring& sc);
+
+/// All near-best, database-side non-overlapping local alignments, best
+/// first (scores non-increasing).
+/// @throws std::invalid_argument on alphabet mismatch or bad options.
+std::vector<LocalAlignment> near_best_alignments(const seq::Sequence& a, const seq::Sequence& b,
+                                                 const Scoring& sc, const NearBestOptions& opt);
+
+}  // namespace swr::align

@@ -1,0 +1,85 @@
+#include "align/nw.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swr::align {
+
+LocalAlignment nw_align(const seq::Sequence& a, const seq::Sequence& b, const Scoring& sc) {
+  sc.validate();
+  if (a.alphabet().id() != b.alphabet().id()) {
+    throw std::invalid_argument("nw_align: alphabet mismatch between sequences");
+  }
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  std::vector<Score> d((m + 1) * (n + 1), 0);
+  const auto at = [&](std::size_t i, std::size_t j) -> Score& { return d[i * (n + 1) + j]; };
+
+  for (std::size_t i = 1; i <= m; ++i) at(i, 0) = at(i - 1, 0) + sc.gap;
+  for (std::size_t j = 1; j <= n; ++j) at(0, j) = at(0, j - 1) + sc.gap;
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      const Score diag = at(i - 1, j - 1) + sc.substitution(a[i - 1], b[j - 1]);
+      const Score up = at(i - 1, j) + sc.gap;
+      const Score left = at(i, j - 1) + sc.gap;
+      at(i, j) = std::max({diag, up, left});
+    }
+  }
+
+  LocalAlignment out;
+  out.score = at(m, n);
+  out.begin = Cell{1, 1};
+  out.end = Cell{m, n};
+
+  Cigar rev;
+  std::size_t i = m;
+  std::size_t j = n;
+  while (i > 0 || j > 0) {
+    if (i > 0 && j > 0 && at(i, j) == at(i - 1, j - 1) + sc.substitution(a[i - 1], b[j - 1])) {
+      rev.push(a[i - 1] == b[j - 1] ? EditOp::Match : EditOp::Mismatch);
+      --i;
+      --j;
+    } else if (i > 0 && at(i, j) == at(i - 1, j) + sc.gap) {
+      rev.push(EditOp::Delete);
+      --i;
+    } else if (j > 0 && at(i, j) == at(i, j - 1) + sc.gap) {
+      rev.push(EditOp::Insert);
+      --j;
+    } else {
+      throw std::logic_error("nw_align: traceback found no predecessor");
+    }
+  }
+  rev.reverse();
+  out.cigar = std::move(rev);
+  if (m == 0 && n == 0) out.begin = out.end = Cell{0, 0};
+  return out;
+}
+
+std::vector<Score> nw_last_row(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                               const Scoring& sc) {
+  sc.validate();
+  std::vector<Score> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = static_cast<Score>(j) * sc.gap;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    Score diag = row[0];
+    row[0] = static_cast<Score>(i) * sc.gap;
+    Score left = row[0];
+    const seq::Code ai = a[i - 1];
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const Score up = row[j];
+      Score v = diag + sc.substitution(ai, b[j - 1]);
+      v = std::max(v, up + sc.gap);
+      v = std::max(v, left + sc.gap);
+      diag = up;
+      left = v;
+      row[j] = v;
+    }
+  }
+  return row;
+}
+
+Score nw_score(std::span<const seq::Code> a, std::span<const seq::Code> b, const Scoring& sc) {
+  return nw_last_row(a, b, sc).back();
+}
+
+}  // namespace swr::align

@@ -1,0 +1,33 @@
+// Needleman-Wunsch global alignment (paper §1 / [26]).
+//
+// Needed in its own right (the "global" comparison type of §2.1) and as the
+// building block of Hirschberg's linear-space retrieval: once the
+// accelerator has produced begin/end coordinates, the windowed problem "is
+// transformed into a global alignment problem" (paper §2.3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "align/cigar.hpp"
+#include "align/result.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::align {
+
+/// Global alignment of a vs b: full matrix + traceback.
+/// The returned LocalAlignment spans the whole of both sequences
+/// (begin = (1,1), end = (|a|,|b|)); score may be negative.
+/// @throws std::invalid_argument on alphabet mismatch or invalid scoring.
+LocalAlignment nw_align(const seq::Sequence& a, const seq::Sequence& b, const Scoring& sc);
+
+/// Global alignment score only, O(|b|) space.
+Score nw_score(std::span<const seq::Code> a, std::span<const seq::Code> b, const Scoring& sc);
+
+/// Last row of the NW matrix: scores of globally aligning all of `a`
+/// against every prefix of `b`. This is the forward half of Hirschberg's
+/// split step. O(|b|) space.
+std::vector<Score> nw_last_row(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                               const Scoring& sc);
+
+}  // namespace swr::align

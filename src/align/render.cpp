@@ -1,0 +1,67 @@
+#include "align/render.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace swr::align {
+
+std::string render_matrix_with_arrows(const SimilarityMatrix& m, const seq::Sequence& a,
+                                      const seq::Sequence& b, const Scoring& sc,
+                                      const LocalAlignment* path) {
+  // Mark the traceback cells.
+  std::vector<std::vector<bool>> on_path(m.rows(), std::vector<bool>(m.cols(), false));
+  if (path != nullptr && path->score > 0) {
+    // Walk matrix cells from the zero corner the traceback stops at.
+    std::size_t ci = path->begin.i - 1;
+    std::size_t cj = path->begin.j - 1;
+    on_path[ci][cj] = true;
+    for (const EditRun& r : path->cigar.runs()) {
+      for (std::size_t k = 0; k < r.len; ++k) {
+        switch (r.op) {
+          case EditOp::Match:
+          case EditOp::Mismatch:
+            ++ci;
+            ++cj;
+            break;
+          case EditOp::Insert: ++cj; break;
+          case EditOp::Delete: ++ci; break;
+        }
+        on_path[ci][cj] = true;
+      }
+    }
+  }
+
+  std::ostringstream os;
+  constexpr int kCell = 8;
+  os << std::setw(kCell) << ' ';
+  os << std::setw(kCell) << ' ';
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    os << std::setw(kCell) << b.alphabet().letter(b[j]);
+  }
+  os << '\n';
+
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    if (i == 0) {
+      os << std::setw(kCell) << ' ';
+    } else {
+      os << std::setw(kCell) << a.alphabet().letter(a[i - 1]);
+    }
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      std::string cell;
+      if (i > 0 && j > 0 && m(i, j) > 0) {
+        const Score v = m(i, j);
+        if (v == m(i - 1, j - 1) + sc.substitution(a[i - 1], b[j - 1])) cell += '\\';
+        if (v == m(i - 1, j) + sc.gap) cell += '^';
+        if (v == m(i, j - 1) + sc.gap) cell += '<';
+      }
+      cell += std::to_string(m(i, j));
+      if (i < on_path.size() && j < on_path[i].size() && on_path[i][j]) cell += '*';
+      os << std::setw(kCell) << cell;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace swr::align

@@ -1,0 +1,22 @@
+// Similarity-matrix rendering with predecessor arrows — the presentation
+// of the paper's figure 2, where "the arrows indicate the cell from where
+// the value was obtained" and the traceback is highlighted.
+#pragma once
+
+#include <string>
+
+#include "align/cigar.hpp"
+#include "align/sw_full.hpp"
+
+namespace swr::align {
+
+/// Renders the matrix with per-cell predecessor arrows:
+///   '\' diagonal, '^' upper, '<' left (multiple arrows render in that
+/// priority order, one char each, matching the figure's multi-arrow
+/// cells). Cells on the traceback path of `path` (if non-null) are marked
+/// with '*'.
+std::string render_matrix_with_arrows(const SimilarityMatrix& m, const seq::Sequence& a,
+                                      const seq::Sequence& b, const Scoring& sc,
+                                      const LocalAlignment* path = nullptr);
+
+}  // namespace swr::align

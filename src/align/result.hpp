@@ -1,0 +1,53 @@
+// Result types shared by all aligners (software and hardware).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+
+#include "align/scoring.hpp"
+
+namespace swr::align {
+
+/// A cell of the DP matrix, 1-based: i indexes the first sequence (rows),
+/// j the second (columns). Cell{0,0} is the empty-prefix corner.
+struct Cell {
+  std::size_t i = 0;
+  std::size_t j = 0;
+
+  friend bool operator==(const Cell&, const Cell&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Cell& c) {
+  return os << '(' << c.i << ',' << c.j << ')';
+}
+
+/// Canonical tie-break among equal-scoring cells, matching the hardware:
+/// smallest column j first, then smallest row i (see DESIGN.md §3).
+/// Returns true if `cand` should replace `best` given equal scores.
+[[nodiscard]] constexpr bool tie_break_prefers(const Cell& cand, const Cell& best) noexcept {
+  return cand.j < best.j || (cand.j == best.j && cand.i < best.i);
+}
+
+/// Output of the accelerated phase (paper §5): the best local score and the
+/// DP cell where it occurs — i.e. where the best local alignment *ends*.
+struct LocalScoreResult {
+  Score score = 0;
+  Cell end{};
+
+  friend bool operator==(const LocalScoreResult&, const LocalScoreResult&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const LocalScoreResult& r) {
+  return os << "score=" << r.score << " end=" << r.end;
+}
+
+/// Folds a candidate cell score into a running best under the canonical
+/// strictly-greater / (j,i)-lexicographic policy.
+inline void fold_best(LocalScoreResult& best, Score score, Cell cell) noexcept {
+  if (score > best.score || (score == best.score && score > 0 && tie_break_prefers(cell, best.end))) {
+    best.score = score;
+    best.end = cell;
+  }
+}
+
+}  // namespace swr::align

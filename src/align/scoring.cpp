@@ -1,0 +1,75 @@
+#include "align/scoring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swr::align {
+
+SubstitutionMatrix::SubstitutionMatrix(const seq::Alphabet& ab, Score match, Score mismatch)
+    : ab_(&ab), n_(ab.size()), table_(n_ * n_, mismatch) {
+  for (std::size_t i = 0; i < n_; ++i) table_[i * n_ + i] = match;
+}
+
+SubstitutionMatrix::SubstitutionMatrix(const seq::Alphabet& ab, std::vector<Score> table)
+    : ab_(&ab), n_(ab.size()), table_(std::move(table)) {
+  if (table_.size() != n_ * n_) {
+    throw std::invalid_argument("SubstitutionMatrix: table size != n*n");
+  }
+}
+
+Score SubstitutionMatrix::max_entry() const noexcept {
+  return *std::max_element(table_.begin(), table_.end());
+}
+
+Score SubstitutionMatrix::min_entry() const noexcept {
+  return *std::min_element(table_.begin(), table_.end());
+}
+
+const SubstitutionMatrix& blosum62() {
+  // Row/column order matches seq::protein(): A R N D C Q E G H I L K M F P S T W Y V X.
+  // Values are the standard half-bit BLOSUM62 entries; X scores as the
+  // conventional -1 against everything and against itself.
+  static const SubstitutionMatrix kBlosum62{seq::protein(), std::vector<Score>{
+      //  A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V   X
+          4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0, -1,  // A
+         -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3, -1,  // R
+         -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3, -1,  // N
+         -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3, -1,  // D
+          0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1, -1,  // C
+         -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2, -1,  // Q
+         -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2, -1,  // E
+          0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3, -1,  // G
+         -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3, -1,  // H
+         -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3, -1,  // I
+         -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1, -1,  // L
+         -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2, -1,  // K
+         -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1, -1,  // M
+         -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1, -1,  // F
+         -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2, -1,  // P
+          1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2, -1,  // S
+          0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0, -1,  // T
+         -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3, -1,  // W
+         -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1, -1,  // Y
+          0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4, -1,  // V
+         -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  // X
+  }};
+  return kBlosum62;
+}
+
+void Scoring::validate() const {
+  if (gap >= 0) throw std::invalid_argument("Scoring: gap penalty must be negative");
+  if (matrix == nullptr) {
+    if (match <= 0) throw std::invalid_argument("Scoring: match must be positive");
+    if (mismatch >= match) throw std::invalid_argument("Scoring: mismatch must be below match");
+  }
+}
+
+void AffineScoring::validate() const {
+  if (gap_open > 0) throw std::invalid_argument("AffineScoring: gap_open must be <= 0");
+  if (gap_extend >= 0) throw std::invalid_argument("AffineScoring: gap_extend must be negative");
+  if (matrix == nullptr && match <= 0) {
+    throw std::invalid_argument("AffineScoring: match must be positive");
+  }
+}
+
+}  // namespace swr::align

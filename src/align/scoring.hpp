@@ -1,0 +1,97 @@
+// Scoring schemes for pairwise alignment.
+//
+// The paper's evaluation uses the classic DNA scheme match=+1, mismatch=-1,
+// gap=-2 with a linear gap model (equation 1). Substitution matrices
+// (BLOSUM62) and affine gaps (Gotoh) are provided for the related-work
+// reproductions ([21] SAMBA and [23] PROSIDIS are protein; [2]/[32] is
+// affine-gap).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/alphabet.hpp"
+
+namespace swr::align {
+
+/// Alignment score type. 32 bits is enough for multi-MBP sequences with
+/// small per-column scores; the *hardware* model uses narrower saturating
+/// registers and is tested against this wide software truth.
+using Score = std::int32_t;
+
+/// Sentinel for "no path": low enough that adding per-column penalties can
+/// never wrap around.
+inline constexpr Score kNegInf = INT32_MIN / 4;
+
+/// A dense substitution matrix over an alphabet.
+class SubstitutionMatrix {
+ public:
+  /// Uniform matrix: `match` on the diagonal, `mismatch` elsewhere.
+  SubstitutionMatrix(const seq::Alphabet& ab, Score match, Score mismatch);
+
+  /// Matrix from an explicit row-major table of size n*n.
+  /// @throws std::invalid_argument if the table size is wrong.
+  SubstitutionMatrix(const seq::Alphabet& ab, std::vector<Score> table);
+
+  [[nodiscard]] const seq::Alphabet& alphabet() const noexcept { return *ab_; }
+
+  /// Score of substituting residue code `x` for `y` (unchecked).
+  [[nodiscard]] Score operator()(seq::Code x, seq::Code y) const noexcept {
+    return table_[static_cast<std::size_t>(x) * n_ + y];
+  }
+
+  /// Largest entry (used by hardware bit-width sizing).
+  [[nodiscard]] Score max_entry() const noexcept;
+  /// Smallest entry.
+  [[nodiscard]] Score min_entry() const noexcept;
+
+ private:
+  const seq::Alphabet* ab_;
+  std::size_t n_;
+  std::vector<Score> table_;
+};
+
+/// The BLOSUM62 matrix over the library's 21-letter protein alphabet.
+const SubstitutionMatrix& blosum62();
+
+/// Linear-gap scoring scheme (paper equation 1).
+struct Scoring {
+  Score match = 1;       ///< used when `matrix == nullptr`
+  Score mismatch = -1;   ///< used when `matrix == nullptr`
+  Score gap = -2;        ///< penalty per inserted/deleted residue (must be < 0)
+  const SubstitutionMatrix* matrix = nullptr;  ///< optional, overrides match/mismatch
+
+  /// Substitution score for residue codes `x`, `y`.
+  [[nodiscard]] Score substitution(seq::Code x, seq::Code y) const noexcept {
+    if (matrix != nullptr) return (*matrix)(x, y);
+    return x == y ? match : mismatch;
+  }
+
+  /// @throws std::invalid_argument unless gap < 0 and (for the uniform
+  /// scheme) match > 0 > mismatch — the preconditions under which local
+  /// alignments never begin or end with a gap, which the coordinate
+  /// semantics rely on.
+  void validate() const;
+
+  /// The paper's DNA scheme: +1 / -1 / -2.
+  static Scoring paper_default() noexcept { return Scoring{}; }
+};
+
+/// Affine-gap scheme (Gotoh): a gap of length k costs open + k * extend.
+struct AffineScoring {
+  Score match = 2;
+  Score mismatch = -1;
+  Score gap_open = -2;    ///< charged once when a gap starts (must be <= 0)
+  Score gap_extend = -1;  ///< charged per gap residue (must be < 0)
+  const SubstitutionMatrix* matrix = nullptr;
+
+  [[nodiscard]] Score substitution(seq::Code x, seq::Code y) const noexcept {
+    if (matrix != nullptr) return (*matrix)(x, y);
+    return x == y ? match : mismatch;
+  }
+
+  /// @throws std::invalid_argument on non-negative extension or positive open.
+  void validate() const;
+};
+
+}  // namespace swr::align

@@ -1,0 +1,143 @@
+#include "align/seed_extend.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swr::align {
+namespace {
+
+// X-drop ungapped extension around a seed match: db[di..di+k) already
+// equals query[qi..qi+k). Returns the maximal-scoring ungapped segment
+// pair through the seed.
+SeedHit extend_ungapped(const seq::Sequence& db, const seq::Sequence& query, std::size_t di,
+                        std::size_t qi, std::size_t k, const Scoring& sc, Score x_drop) {
+  // Seed itself: k exact matches (scored via the scheme so substitution
+  // matrices with non-uniform diagonals stay correct).
+  Score score = 0;
+  for (std::size_t t = 0; t < k; ++t) score += sc.substitution(db[di + t], query[qi + t]);
+
+  // Extend right.
+  Score run = 0;
+  Score best_right = 0;
+  std::size_t right = 0;  // residues beyond the seed kept on the right
+  for (std::size_t t = 0; di + k + t < db.size() && qi + k + t < query.size(); ++t) {
+    run += sc.substitution(db[di + k + t], query[qi + k + t]);
+    if (run > best_right) {
+      best_right = run;
+      right = t + 1;
+    } else if (best_right - run >= x_drop) {
+      break;
+    }
+  }
+
+  // Extend left.
+  run = 0;
+  Score best_left = 0;
+  std::size_t left = 0;
+  for (std::size_t t = 1; t <= di && t <= qi; ++t) {
+    run += sc.substitution(db[di - t], query[qi - t]);
+    if (run > best_left) {
+      best_left = run;
+      left = t;
+    } else if (best_left - run >= x_drop) {
+      break;
+    }
+  }
+
+  SeedHit hit;
+  hit.score = score + best_left + best_right;
+  hit.begin = Cell{di - left + 1, qi - left + 1};
+  hit.end = Cell{di + k + right, qi + k + right};
+  return hit;
+}
+
+}  // namespace
+
+void SeedExtendOptions::validate() const {
+  if (k == 0 || k > 32) throw std::invalid_argument("SeedExtendOptions: k must be in [1,32]");
+  if (x_drop <= 0) throw std::invalid_argument("SeedExtendOptions: x_drop must be positive");
+  if (max_hits == 0) throw std::invalid_argument("SeedExtendOptions: zero max_hits");
+}
+
+KmerIndex::KmerIndex(const seq::Sequence& query, std::size_t k) : k_(k), len_(query.size()) {
+  if (k == 0 || k > 32) throw std::invalid_argument("KmerIndex: k must be in [1,32]");
+  if (query.alphabet().id() != seq::AlphabetId::Dna) {
+    throw std::invalid_argument("KmerIndex: seeding requires DNA");
+  }
+  if (query.size() < k) return;
+  const std::uint64_t mask = (k == 32) ? ~std::uint64_t{0} : ((std::uint64_t{1} << (2 * k)) - 1);
+  std::uint64_t packed = 0;
+  for (std::size_t p = 0; p < query.size(); ++p) {
+    packed = ((packed << 2) | query[p]) & mask;
+    if (p + 1 >= k) {
+      positions_[packed].push_back(static_cast<std::uint32_t>(p + 1 - k));
+    }
+  }
+}
+
+const std::vector<std::uint32_t>* KmerIndex::lookup(std::uint64_t packed) const {
+  const auto it = positions_.find(packed);
+  return it == positions_.end() ? nullptr : &it->second;
+}
+
+std::vector<SeedHit> seed_extend_search(const seq::Sequence& db, const seq::Sequence& query,
+                                        const KmerIndex& index, const Scoring& sc,
+                                        const SeedExtendOptions& opt) {
+  opt.validate();
+  sc.validate();
+  if (db.alphabet().id() != seq::AlphabetId::Dna) {
+    throw std::invalid_argument("seed_extend_search: database must be DNA");
+  }
+  if (index.k() != opt.k) {
+    throw std::invalid_argument("seed_extend_search: index k differs from options k");
+  }
+
+  // Best hit per diagonal (diag = db_pos - query_pos, offset to stay
+  // non-negative). One extension per (diagonal, first seed) keeps the work
+  // linear-ish; later seeds on an already-extended diagonal are skipped if
+  // they fall inside the extended span — the standard BLAST two-hit
+  // simplification collapsed to one.
+  std::unordered_map<std::ptrdiff_t, SeedHit> per_diag;
+  const std::size_t k = opt.k;
+  if (db.size() < k || query.size() < k) return {};
+
+  const std::uint64_t mask = (k == 32) ? ~std::uint64_t{0} : ((std::uint64_t{1} << (2 * k)) - 1);
+  std::uint64_t packed = 0;
+  for (std::size_t p = 0; p < db.size(); ++p) {
+    packed = ((packed << 2) | db[p]) & mask;
+    if (p + 1 < k) continue;
+    const std::size_t di = p + 1 - k;
+    const auto* qpos = index.lookup(packed);
+    if (qpos == nullptr) continue;
+    for (const std::uint32_t qi : *qpos) {
+      const std::ptrdiff_t diag =
+          static_cast<std::ptrdiff_t>(di) - static_cast<std::ptrdiff_t>(qi);
+      const auto it = per_diag.find(diag);
+      if (it != per_diag.end() && di + 1 >= it->second.begin.i && di + k <= it->second.end.i) {
+        continue;  // seed inside an already-extended span on this diagonal
+      }
+      const SeedHit hit = extend_ungapped(db, query, di, qi, k, sc, opt.x_drop);
+      if (it == per_diag.end() || hit.score > it->second.score) {
+        per_diag[diag] = hit;
+      }
+    }
+  }
+
+  std::vector<SeedHit> hits;
+  hits.reserve(per_diag.size());
+  for (const auto& [diag, hit] : per_diag) hits.push_back(hit);
+  std::sort(hits.begin(), hits.end(), [](const SeedHit& x, const SeedHit& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return tie_break_prefers(x.end, y.end);
+  });
+  if (hits.size() > opt.max_hits) hits.resize(opt.max_hits);
+  return hits;
+}
+
+std::vector<SeedHit> seed_extend_search(const seq::Sequence& db, const seq::Sequence& query,
+                                        const Scoring& sc, const SeedExtendOptions& opt) {
+  const KmerIndex index(query, opt.k);
+  return seed_extend_search(db, query, index, sc, opt);
+}
+
+}  // namespace swr::align

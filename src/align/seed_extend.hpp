@@ -1,0 +1,73 @@
+// Seed-and-extend heuristic search (BLAST-family baseline, paper §1).
+//
+// The paper motivates exact hardware acceleration by the classic trade:
+// "heuristic methods such as BLAST and Fasta ... the performance gain is
+// often achieved by reducing the quality of the results". This module is
+// that contrast made runnable: a k-mer index over the query, database
+// scanning for exact seed hits, and X-drop ungapped extension — orders of
+// magnitude fewer cell inspections than Smith-Waterman, with a measurable
+// recall loss at higher divergence (bench_e3_heuristic quantifies it
+// against the exact engines).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "align/result.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::align {
+
+/// Heuristic parameters.
+struct SeedExtendOptions {
+  std::size_t k = 11;          ///< seed length (BLASTN default)
+  Score x_drop = 16;           ///< stop extending after the score falls this far
+  std::size_t max_hits = 32;   ///< diagonals extended per query (best first is
+                               ///< not known a priori; this caps work)
+
+  /// @throws std::invalid_argument on k == 0 or k > 32 or x_drop <= 0.
+  void validate() const;
+};
+
+/// A heuristic hit: ungapped segment pair and its score.
+struct SeedHit {
+  Score score = 0;
+  Cell begin{};  ///< first aligned pair (db, query), 1-based
+  Cell end{};    ///< last aligned pair
+
+  friend bool operator==(const SeedHit&, const SeedHit&) = default;
+};
+
+/// K-mer index over a query sequence (positions of every k-mer).
+class KmerIndex {
+ public:
+  /// @throws std::invalid_argument on bad options or a non-DNA sequence
+  /// (seeding uses 2-bit packing; protein seeding would need a different
+  /// hash and is out of scope).
+  KmerIndex(const seq::Sequence& query, std::size_t k);
+
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] std::size_t query_len() const noexcept { return len_; }
+
+  /// Query positions (0-based) where this packed k-mer occurs.
+  [[nodiscard]] const std::vector<std::uint32_t>* lookup(std::uint64_t packed) const;
+
+ private:
+  std::size_t k_;
+  std::size_t len_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> positions_;
+};
+
+/// Scans `db` for seed hits of `index`'s query and extends each without
+/// gaps under X-drop; returns the best-scoring hit per inspected diagonal,
+/// globally sorted best first (at most opt.max_hits).
+std::vector<SeedHit> seed_extend_search(const seq::Sequence& db, const seq::Sequence& query,
+                                        const KmerIndex& index, const Scoring& sc,
+                                        const SeedExtendOptions& opt);
+
+/// Convenience: builds the index and searches.
+std::vector<SeedHit> seed_extend_search(const seq::Sequence& db, const seq::Sequence& query,
+                                        const Scoring& sc, const SeedExtendOptions& opt);
+
+}  // namespace swr::align

@@ -1,0 +1,178 @@
+#include "align/sw_antidiag.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "align/sw_linear.hpp"
+#include "align/swar.hpp"
+
+namespace swr::align {
+namespace {
+
+using namespace swar;
+
+// Unaligned 4-lane load/store on a uint16_t buffer.
+std::uint64_t load4(const std::uint16_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+void store4(std::uint16_t* p, std::uint64_t v) { std::memcpy(p, &v, sizeof v); }
+
+// Four consecutive bytes spread into four 16-bit lanes.
+std::uint64_t load4_bytes_to_lanes(const seq::Code* p) {
+  std::uint32_t b;
+  std::memcpy(&b, p, sizeof b);
+  std::uint64_t x = b;
+  x = (x | (x << 16)) & 0x0000FFFF'0000FFFFULL;
+  x = (x | (x << 8)) & 0x00FF00FF'00FF00FFULL;
+  return x;
+}
+
+struct Bias {
+  Score bsub = 0;     // added to every substitution score to make it >= 0
+  Score max_sub = 0;  // largest substitution entry
+  Score min_sub = 0;  // smallest
+};
+
+Bias scheme_bias(const Scoring& sc) {
+  Bias b;
+  if (sc.matrix != nullptr) {
+    b.max_sub = sc.matrix->max_entry();
+    b.min_sub = sc.matrix->min_entry();
+  } else {
+    b.max_sub = sc.match;
+    b.min_sub = std::min(sc.mismatch, sc.match);
+  }
+  b.bsub = b.min_sub < 0 ? -b.min_sub : 0;
+  return b;
+}
+
+}  // namespace
+
+bool antidiag_swar_applicable(std::size_t a_len, std::size_t b_len, const Scoring& sc) {
+  const Bias bias = scheme_bias(sc);
+  if (bias.max_sub <= 0) return true;  // scores stay at 0 anyway
+  const std::size_t shorter = std::min(a_len, b_len);
+  // Largest achievable cell value plus the substitution bias must stay
+  // below the lanes' no-high-bit bound.
+  const std::uint64_t hmax =
+      static_cast<std::uint64_t>(shorter) * static_cast<std::uint64_t>(bias.max_sub);
+  return hmax + static_cast<std::uint64_t>(bias.bsub) <= 0x7FFF;
+}
+
+LocalScoreResult sw_linear_antidiag_codes(std::span<const seq::Code> a,
+                                          std::span<const seq::Code> b, const Scoring& sc) {
+  sc.validate();
+  if (!antidiag_swar_applicable(a.size(), b.size(), sc)) {
+    return sw_linear_codes(a, b, sc);  // scalar fallback, identical semantics
+  }
+  LocalScoreResult best;
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  if (m == 0 || n == 0) return best;
+
+  const Bias bias = scheme_bias(sc);
+  const std::uint64_t bsub_v = broadcast16(static_cast<std::uint16_t>(bias.bsub));
+  const std::uint64_t gpen_v = broadcast16(static_cast<std::uint16_t>(-sc.gap));
+  const bool uniform = (sc.matrix == nullptr);
+  const std::uint64_t match_v =
+      broadcast16(static_cast<std::uint16_t>(sc.match + bias.bsub));
+  const std::uint64_t mism_v =
+      broadcast16(static_cast<std::uint16_t>(sc.mismatch + bias.bsub));
+  const std::uint64_t b7fff = broadcast16(0x7FFF);
+
+  // Reversed copy of b: anti-diagonal lanes walk b backwards, so the
+  // reversed array turns the per-lane gather into one contiguous 4-byte
+  // load (uniform-scoring fast path).
+  std::vector<seq::Code> rb(b.rbegin(), b.rend());
+
+  // Three rotating anti-diagonal buffers indexed by row i (0..m+1); index
+  // i holds H(i, d - i) for that buffer's diagonal. Zero-initialised so
+  // never-yet-active indices read as matrix borders.
+  std::vector<std::uint16_t> buf0(m + 2, 0);
+  std::vector<std::uint16_t> buf1(m + 2, 0);
+  std::vector<std::uint16_t> buf2(m + 2, 0);
+  std::uint16_t* prev2 = buf0.data();
+  std::uint16_t* prev = buf1.data();
+  std::uint16_t* cur = buf2.data();
+
+  const auto fold_lane = [&](std::size_t i, std::size_t d, std::uint16_t v) {
+    const Score s = static_cast<Score>(v);
+    const Cell cell{i, d - i};
+    if (s > best.score || (s == best.score && s > 0 && tie_break_prefers(cell, best.end))) {
+      best.score = s;
+      best.end = cell;
+    }
+  };
+
+  for (std::size_t d = 2; d <= m + n; ++d) {
+    const std::size_t ilo = d > n ? d - n : 1;
+    const std::size_t ihi = std::min(m, d - 1);
+    std::size_t i = ilo;
+
+    // Vector body: four rows at a time.
+    for (; i + 3 <= ihi; i += 4) {
+      // Substitution lanes for rows i..i+3 (columns d-i..d-i-3).
+      std::uint64_t subb;
+      if (uniform) {
+        const std::uint64_t ax = load4_bytes_to_lanes(a.data() + (i - 1));
+        const std::uint64_t bx = load4_bytes_to_lanes(rb.data() + (n - d + i));
+        const std::uint64_t z = ax ^ bx;
+        // Lanes with z != 0 (codes are tiny; the +0x7FFF trick sets the
+        // high bit exactly on nonzero lanes).
+        const std::uint64_t ne = (((z + b7fff) & kHi16) >> 15) * 0xFFFF;
+        subb = (match_v & ~ne) | (mism_v & ne);
+      } else {
+        subb = 0;
+        for (unsigned k = 0; k < 4; ++k) {
+          subb = set_lane16(
+              subb, k,
+              static_cast<std::uint16_t>(sc.substitution(a[i + k - 1], b[d - i - k - 1]) +
+                                         bias.bsub));
+        }
+      }
+
+      const std::uint64_t diag = load4(prev2 + i - 1);
+      const std::uint64_t up = load4(prev + i - 1);
+      const std::uint64_t left = load4(prev + i);
+      const std::uint64_t diag_path = sats16(add16(diag, subb), bsub_v);
+      const std::uint64_t gap_path = sats16(max16(up, left), gpen_v);
+      const std::uint64_t h = max16(diag_path, gap_path);
+      store4(cur + i, h);
+
+      const std::uint16_t chunk_max = hmax16(h);
+      if (chunk_max >= static_cast<std::uint16_t>(best.score) && chunk_max > 0) {
+        for (unsigned k = 0; k < 4; ++k) fold_lane(i + k, d, lane16(h, k));
+      }
+    }
+
+    // Scalar tail.
+    for (; i <= ihi; ++i) {
+      const Score sub = sc.substitution(a[i - 1], b[d - i - 1]);
+      Score v = static_cast<Score>(prev2[i - 1]) + sub;
+      v = std::max(v, static_cast<Score>(std::max(prev[i - 1], prev[i])) + sc.gap);
+      v = std::max(v, Score{0});
+      cur[i] = static_cast<std::uint16_t>(v);
+      if (v > 0) fold_lane(i, d, static_cast<std::uint16_t>(v));
+    }
+
+    std::uint16_t* recycled = prev2;
+    prev2 = prev;
+    prev = cur;
+    cur = recycled;
+  }
+  return best;
+}
+
+LocalScoreResult sw_linear_antidiag(const seq::Sequence& a, const seq::Sequence& b,
+                                    const Scoring& sc) {
+  if (a.alphabet().id() != b.alphabet().id()) {
+    throw std::invalid_argument("sw_linear_antidiag: alphabet mismatch");
+  }
+  return sw_linear_antidiag_codes(a.codes(), b.codes(), sc);
+}
+
+}  // namespace swr::align

@@ -1,0 +1,116 @@
+#include "align/sw_full.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace swr::align {
+namespace {
+
+void check_inputs(const seq::Sequence& a, const seq::Sequence& b, const Scoring& sc) {
+  sc.validate();
+  if (a.alphabet().id() != b.alphabet().id()) {
+    throw std::invalid_argument("smith-waterman: alphabet mismatch between sequences");
+  }
+}
+
+}  // namespace
+
+std::string SimilarityMatrix::format(const seq::Sequence& a, const seq::Sequence& b) const {
+  std::ostringstream os;
+  constexpr int kWidth = 4;
+  os << std::setw(kWidth) << ' ' << std::setw(kWidth) << ' ';
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    os << std::setw(kWidth) << b.alphabet().letter(b[j]);
+  }
+  os << '\n';
+  for (std::size_t i = 0; i < rows_; ++i) {
+    if (i == 0) {
+      os << std::setw(kWidth) << ' ';
+    } else {
+      os << std::setw(kWidth) << a.alphabet().letter(a[i - 1]);
+    }
+    for (std::size_t j = 0; j < cols_; ++j) {
+      os << std::setw(kWidth) << (*this)(i, j);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+SimilarityMatrix sw_matrix(const seq::Sequence& a, const seq::Sequence& b, const Scoring& sc) {
+  check_inputs(a, b, sc);
+  SimilarityMatrix m(a.size() + 1, b.size() + 1);
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const Score diag = m(i - 1, j - 1) + sc.substitution(a[i - 1], b[j - 1]);
+      const Score up = m(i - 1, j) + sc.gap;
+      const Score left = m(i, j - 1) + sc.gap;
+      m(i, j) = std::max({Score{0}, diag, up, left});
+    }
+  }
+  return m;
+}
+
+LocalScoreResult sw_best(const SimilarityMatrix& m) {
+  LocalScoreResult best;
+  // Column-major scan would find the canonical cell first, but fold_best's
+  // tie-break makes scan order irrelevant; keep the cache-friendly order.
+  for (std::size_t i = 1; i < m.rows(); ++i) {
+    for (std::size_t j = 1; j < m.cols(); ++j) {
+      fold_best(best, m(i, j), Cell{i, j});
+    }
+  }
+  return best;
+}
+
+std::vector<Cell> sw_all_best_cells(const SimilarityMatrix& m) {
+  const LocalScoreResult best = sw_best(m);
+  std::vector<Cell> cells;
+  if (best.score <= 0) return cells;
+  for (std::size_t i = 1; i < m.rows(); ++i) {
+    for (std::size_t j = 1; j < m.cols(); ++j) {
+      if (m(i, j) == best.score) cells.push_back(Cell{i, j});
+    }
+  }
+  return cells;
+}
+
+LocalAlignment sw_align(const seq::Sequence& a, const seq::Sequence& b, const Scoring& sc) {
+  const SimilarityMatrix m = sw_matrix(a, b, sc);
+  const LocalScoreResult best = sw_best(m);
+
+  LocalAlignment out;
+  out.score = best.score;
+  out.end = best.end;
+  if (best.score <= 0) return out;  // empty alignment
+
+  // Trace back from the best cell until a zero cell, collecting ops
+  // end-to-begin. Preference order: diagonal, up (delete), left (insert).
+  Cigar rev;
+  std::size_t i = best.end.i;
+  std::size_t j = best.end.j;
+  while (m(i, j) > 0) {
+    const Score v = m(i, j);
+    if (i > 0 && j > 0 && v == m(i - 1, j - 1) + sc.substitution(a[i - 1], b[j - 1])) {
+      rev.push(a[i - 1] == b[j - 1] ? EditOp::Match : EditOp::Mismatch);
+      --i;
+      --j;
+    } else if (i > 0 && v == m(i - 1, j) + sc.gap) {
+      rev.push(EditOp::Delete);
+      --i;
+    } else if (j > 0 && v == m(i, j - 1) + sc.gap) {
+      rev.push(EditOp::Insert);
+      --j;
+    } else {
+      throw std::logic_error("sw_align: traceback found no predecessor");
+    }
+  }
+  out.begin = Cell{i + 1, j + 1};
+  rev.reverse();
+  out.cigar = std::move(rev);
+  return out;
+}
+
+}  // namespace swr::align

@@ -1,0 +1,60 @@
+// Full-matrix Smith-Waterman (paper §2.2): quadratic space, exact
+// traceback. This is the reference oracle every other implementation —
+// linear-space software, wavefront-parallel, and the systolic hardware
+// model — is tested against. It is deliberately simple rather than fast.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "align/cigar.hpp"
+#include "align/result.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::align {
+
+/// The fully materialised similarity matrix D of size (|a|+1) x (|b|+1).
+class SimilarityMatrix {
+ public:
+  SimilarityMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), values_(rows * cols, 0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] Score operator()(std::size_t i, std::size_t j) const noexcept {
+    return values_[i * cols_ + j];
+  }
+  [[nodiscard]] Score& operator()(std::size_t i, std::size_t j) noexcept {
+    return values_[i * cols_ + j];
+  }
+
+  /// Renders the matrix with sequence letters as headers — the layout of
+  /// the paper's figure 2.
+  [[nodiscard]] std::string format(const seq::Sequence& a, const seq::Sequence& b) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Score> values_;
+};
+
+/// Builds the full similarity matrix for a (rows) vs b (columns).
+/// @throws std::invalid_argument on alphabet mismatch or invalid scoring.
+SimilarityMatrix sw_matrix(const seq::Sequence& a, const seq::Sequence& b, const Scoring& sc);
+
+/// Best local score and its end cell, canonical tie-break (DESIGN.md §3).
+LocalScoreResult sw_best(const SimilarityMatrix& m);
+
+/// Full-matrix Smith-Waterman: score, begin/end coordinates, transcript.
+/// Traceback prefers diagonal over up (delete) over left (insert), which
+/// together with the canonical best-cell tie-break makes the result
+/// deterministic. Returns an empty alignment (score 0) when no positive-
+/// scoring pair of segments exists.
+LocalAlignment sw_align(const seq::Sequence& a, const seq::Sequence& b, const Scoring& sc);
+
+/// All cells that attain the best (positive) score — figure 2's "many best
+/// local alignments can exist" observation. Empty if the best score is 0.
+std::vector<Cell> sw_all_best_cells(const SimilarityMatrix& m);
+
+}  // namespace swr::align

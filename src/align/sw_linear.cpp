@@ -1,0 +1,82 @@
+#include "align/sw_linear.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swr::align {
+namespace {
+
+// Shared rolling-row kernel. `in_boundary` supplies column j_offset
+// (empty = zeros); when `out_boundary` is non-null the last column is
+// captured there.
+LocalScoreResult run_kernel(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                            std::span<const Score> in_boundary, std::size_t j_offset,
+                            const Scoring& sc, std::vector<Score>* out_boundary) {
+  sc.validate();
+  if (!in_boundary.empty() && in_boundary.size() != a.size() + 1) {
+    throw std::invalid_argument("sw_linear_chunk: boundary size must be |a|+1");
+  }
+
+  LocalScoreResult best;
+  std::vector<Score> row(b.size() + 1, 0);
+  if (out_boundary != nullptr) {
+    out_boundary->assign(a.size() + 1, 0);
+    (*out_boundary)[0] = 0;
+  }
+
+  const bool uniform = (sc.matrix == nullptr);
+  const Score match = sc.match;
+  const Score mismatch = sc.mismatch;
+  const Score gap = sc.gap;
+
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    // diag starts as D(i-1, j_offset); left as D(i, j_offset).
+    Score diag = in_boundary.empty() ? Score{0} : in_boundary[i - 1];
+    Score left = in_boundary.empty() ? Score{0} : in_boundary[i];
+    row[0] = left;
+    const seq::Code ai = a[i - 1];
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const Score up = row[j];
+      const Score sub = uniform ? (ai == b[j - 1] ? match : mismatch) : sc.substitution(ai, b[j - 1]);
+      Score v = diag + sub;
+      v = std::max(v, up + gap);
+      v = std::max(v, left + gap);
+      v = std::max(v, Score{0});
+      diag = up;
+      left = v;
+      row[j] = v;
+      if (v > best.score) {
+        best.score = v;
+        best.end = Cell{i, j_offset + j};
+      } else if (v == best.score && v > 0 && tie_break_prefers(Cell{i, j_offset + j}, best.end)) {
+        best.end = Cell{i, j_offset + j};
+      }
+    }
+    if (out_boundary != nullptr) (*out_boundary)[i] = row[b.size()];
+  }
+  return best;
+}
+
+}  // namespace
+
+LocalScoreResult sw_linear(const seq::Sequence& a, const seq::Sequence& b, const Scoring& sc) {
+  if (a.alphabet().id() != b.alphabet().id()) {
+    throw std::invalid_argument("sw_linear: alphabet mismatch between sequences");
+  }
+  return run_kernel(a.codes(), b.codes(), {}, 0, sc, nullptr);
+}
+
+LocalScoreResult sw_linear_codes(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                                 const Scoring& sc) {
+  return run_kernel(a, b, {}, 0, sc, nullptr);
+}
+
+ChunkResult sw_linear_chunk(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                            std::span<const Score> in_boundary, std::size_t j_offset,
+                            const Scoring& sc) {
+  ChunkResult out;
+  out.best = run_kernel(a, b, in_boundary, j_offset, sc, &out.boundary);
+  return out;
+}
+
+}  // namespace swr::align

@@ -1,0 +1,44 @@
+// Linear-space Smith-Waterman: best score + end coordinates.
+//
+// This is exactly the computation the paper's FPGA performs (§5) and also
+// the "optimized C program [that] implemented the same algorithm (i.e.
+// computation of the same matrix and highest score)" used as the software
+// baseline in §6. It keeps one rolling DP row — O(|b|) memory — and
+// reports the canonical best cell (DESIGN.md §3 tie-break).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "align/result.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::align {
+
+/// Linear-space SW over a (rows) vs b (columns).
+/// @throws std::invalid_argument on alphabet mismatch or invalid scoring.
+LocalScoreResult sw_linear(const seq::Sequence& a, const seq::Sequence& b, const Scoring& sc);
+
+/// As above over raw code spans (no alphabet check) — the hot path the
+/// benches time as the software baseline.
+LocalScoreResult sw_linear_codes(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                                 const Scoring& sc);
+
+/// One vertical chunk of the matrix: columns [j_offset+1, j_offset+|b|] of
+/// a larger alignment of `a` against a longer second sequence.
+///
+/// This is the software twin of the paper's figure-7 query partitioning:
+/// the systolic array processes the query N columns at a time and keeps the
+/// boundary column in board SRAM between passes. `in_boundary` is the
+/// previous chunk's last column — D(i, j_offset) for i = 0..|a|, or empty
+/// for the first chunk (zeros). The result carries this chunk's last column
+/// and the chunk-local best folded with *global* coordinates.
+struct ChunkResult {
+  LocalScoreResult best;         ///< coordinates are global (j includes j_offset)
+  std::vector<Score> boundary;   ///< D(i, j_offset + |b|) for i = 0..|a|
+};
+ChunkResult sw_linear_chunk(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                            std::span<const Score> in_boundary, std::size_t j_offset,
+                            const Scoring& sc);
+
+}  // namespace swr::align

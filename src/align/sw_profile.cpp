@@ -1,0 +1,76 @@
+#include "align/sw_profile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swr::align {
+
+QueryProfile::QueryProfile(const seq::Sequence& query, const Scoring& sc)
+    : len_(query.size()), sc_(sc) {
+  sc.validate();
+  const std::size_t nres = query.alphabet().size();
+  rows_.resize(nres * len_);
+  for (std::size_t c = 0; c < nres; ++c) {
+    Score* row = rows_.data() + c * len_;
+    for (std::size_t j = 0; j < len_; ++j) {
+      row[j] = sc.substitution(static_cast<seq::Code>(c), query[j]);
+    }
+  }
+}
+
+LocalScoreResult sw_linear_profiled(std::span<const seq::Code> a, const QueryProfile& profile) {
+  const std::size_t n = profile.query_len();
+  const Score gap = profile.scoring().gap;
+  LocalScoreResult best;
+  if (n == 0 || a.empty()) return best;
+
+  std::vector<Score> row(n + 1, 0);
+  Score* const h = row.data();
+
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    const Score* const prof = profile.row(a[i - 1]);
+    Score diag = 0;  // D(i-1, 0) border
+    Score left = 0;  // D(i, 0) border
+    Score row_max = 0;
+    // Inner loop: no substitution lookup, no coordinate bookkeeping —
+    // only the recurrence and a running row maximum.
+    for (std::size_t j = 1; j <= n; ++j) {
+      const Score up = h[j];
+      Score v = diag + prof[j - 1];
+      const Score g = (up > left ? up : left) + gap;
+      if (g > v) v = g;
+      if (v < 0) v = 0;
+      diag = up;
+      left = v;
+      h[j] = v;
+      if (v > row_max) row_max = v;
+    }
+    // Canonical coordinates: only rows that reach the global best get a
+    // second (cheap, rare) scan. The canonical policy is (j, i)-
+    // lexicographic among maxima, so a *tie* in a later row still wins if
+    // it sits in an earlier column — hence >= here and the explicit
+    // tie-break below.
+    if (row_max >= best.score && row_max > 0) {
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (h[j] > best.score) {
+          best.score = h[j];
+          best.end = Cell{i, j};
+        } else if (h[j] == best.score && tie_break_prefers(Cell{i, j}, best.end)) {
+          best.end = Cell{i, j};
+        }
+      }
+    }
+  }
+  return best;
+}
+
+LocalScoreResult sw_linear_profiled(const seq::Sequence& a, const seq::Sequence& query,
+                                    const Scoring& sc) {
+  if (a.alphabet().id() != query.alphabet().id()) {
+    throw std::invalid_argument("sw_linear_profiled: alphabet mismatch");
+  }
+  const QueryProfile profile(query, sc);
+  return sw_linear_profiled(a.codes(), profile);
+}
+
+}  // namespace swr::align

@@ -1,0 +1,51 @@
+// Query-profile Smith-Waterman — the "optimized C program" tier.
+//
+// The paper's software baseline is an optimized C implementation of the
+// same linear-space score+coordinates computation (§6). This kernel is
+// our strongest software contender for the E1 speedup measurement: a
+// precomputed query profile (one score row per database residue) removes
+// the substitution lookup/branch from the inner loop, the row is walked
+// with restrict-style local state, and best-cell tracking is hoisted into
+// a cheap per-row pass. Bit-identical results to sw_linear (tests enforce
+// score AND canonical coordinates).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "align/result.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::align {
+
+/// Precomputed substitution rows for one query against one scoring scheme:
+/// profile(c)[j] = substitution(c, query[j]). Reusable across database
+/// records — exactly how a scan amortises setup.
+class QueryProfile {
+ public:
+  /// @throws std::invalid_argument on invalid scoring.
+  QueryProfile(const seq::Sequence& query, const Scoring& sc);
+
+  [[nodiscard]] std::size_t query_len() const noexcept { return len_; }
+  [[nodiscard]] const Scoring& scoring() const noexcept { return sc_; }
+
+  /// Profile row for database residue code `c` (unchecked).
+  [[nodiscard]] const Score* row(seq::Code c) const noexcept {
+    return rows_.data() + static_cast<std::size_t>(c) * len_;
+  }
+
+ private:
+  std::size_t len_;
+  Scoring sc_;
+  std::vector<Score> rows_;
+};
+
+/// Profile-driven linear-space SW over a (rows) vs the profile's query
+/// (columns). Identical results to sw_linear(a, query, sc).
+LocalScoreResult sw_linear_profiled(std::span<const seq::Code> a, const QueryProfile& profile);
+
+/// Convenience wrapper building the profile on the fly.
+LocalScoreResult sw_linear_profiled(const seq::Sequence& a, const seq::Sequence& query,
+                                    const Scoring& sc);
+
+}  // namespace swr::align

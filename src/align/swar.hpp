@@ -1,0 +1,77 @@
+// SWAR (SIMD within a register) primitives: four 16-bit unsigned lanes in
+// one uint64_t.
+//
+// The wavefront observation the paper builds its hardware on — cells of
+// one anti-diagonal are mutually independent — also vectorises in plain
+// C++: these lane operations let the software kernel update four
+// anti-diagonal cells per arithmetic op with no intrinsics, portably.
+//
+// Preconditions: unless stated otherwise, every lane value stays below
+// 0x8000 (the "no high bit" invariant). Plain uint64 addition is then
+// carry-safe across lanes, and comparisons reduce to borrow tricks on the
+// high bit. The alignment kernel enforces the invariant by biasing and by
+// bounding the achievable score before choosing this path.
+#pragma once
+
+#include <cstdint>
+
+namespace swr::align::swar {
+
+inline constexpr std::uint64_t kHi16 = 0x8000'8000'8000'8000ULL;
+inline constexpr std::uint64_t kLo16 = 0x0001'0001'0001'0001ULL;
+
+/// Broadcasts a 16-bit value to all four lanes.
+[[nodiscard]] constexpr std::uint64_t broadcast16(std::uint16_t v) noexcept {
+  return kLo16 * v;
+}
+
+/// Extracts lane `k` (0 = least significant).
+[[nodiscard]] constexpr std::uint16_t lane16(std::uint64_t x, unsigned k) noexcept {
+  return static_cast<std::uint16_t>(x >> (16 * k));
+}
+
+/// Replaces lane `k`.
+[[nodiscard]] constexpr std::uint64_t set_lane16(std::uint64_t x, unsigned k,
+                                                 std::uint16_t v) noexcept {
+  const unsigned sh = 16 * k;
+  return (x & ~(0xFFFFULL << sh)) | (static_cast<std::uint64_t>(v) << sh);
+}
+
+/// Per-lane add. Requires per-lane sums < 0x10000 (guaranteed when both
+/// operands honour the no-high-bit invariant).
+[[nodiscard]] constexpr std::uint64_t add16(std::uint64_t x, std::uint64_t y) noexcept {
+  return x + y;
+}
+
+/// Per-lane mask (0xFFFF / 0x0000): lanes where x >= y. Requires the
+/// no-high-bit invariant on both operands.
+[[nodiscard]] constexpr std::uint64_t ge_mask16(std::uint64_t x, std::uint64_t y) noexcept {
+  // With high bits clear, (x | 0x8000) - y never borrows across lanes;
+  // the high bit survives exactly when x >= y.
+  const std::uint64_t t = ((x | kHi16) - y) & kHi16;
+  return (t >> 15) * 0xFFFF;
+}
+
+/// Per-lane maximum (no-high-bit invariant).
+[[nodiscard]] constexpr std::uint64_t max16(std::uint64_t x, std::uint64_t y) noexcept {
+  const std::uint64_t m = ge_mask16(x, y);
+  return (x & m) | (y & ~m);
+}
+
+/// Per-lane saturating subtract: max(x - y, 0) (no-high-bit invariant).
+[[nodiscard]] constexpr std::uint64_t sats16(std::uint64_t x, std::uint64_t y) noexcept {
+  const std::uint64_t m = ge_mask16(x, y);  // lanes where x >= y
+  return (x - (y & m)) & m;                 // subtract only where safe, zero elsewhere
+}
+
+/// Horizontal maximum across the four lanes.
+[[nodiscard]] constexpr std::uint16_t hmax16(std::uint64_t x) noexcept {
+  std::uint16_t best = 0;
+  for (unsigned k = 0; k < 4; ++k) {
+    const std::uint16_t v = lane16(x, k);
+    if (v > best) best = v;
+  }
+  return best;
+}
+
+}  // namespace swr::align::swar

@@ -1,0 +1,92 @@
+#include "cli/args.hpp"
+
+namespace swr::cli {
+
+ArgParser& ArgParser::flag(const std::string& name) {
+  declared_flags_.insert(name);
+  return *this;
+}
+
+ArgParser& ArgParser::option(const std::string& name, std::optional<std::string> def) {
+  declared_options_[name] = std::move(def);
+  return *this;
+}
+
+void ArgParser::parse(const std::vector<std::string>& args) {
+  bool options_done = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (options_done || a.size() < 3 || a.substr(0, 2) != "--") {
+      if (!options_done && a == "--") {
+        options_done = true;
+        continue;
+      }
+      positionals_.push_back(a);
+      continue;
+    }
+    std::string name = a.substr(2);
+    std::optional<std::string> inline_value;
+    if (const std::size_t eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    if (declared_flags_.count(name) != 0) {
+      if (inline_value) throw ArgError("flag --" + name + " does not take a value");
+      seen_flags_.insert(name);
+      continue;
+    }
+    const auto it = declared_options_.find(name);
+    if (it == declared_options_.end()) throw ArgError("unknown option --" + name);
+    if (inline_value) {
+      values_[name] = *inline_value;
+    } else {
+      if (i + 1 >= args.size()) throw ArgError("option --" + name + " needs a value");
+      values_[name] = args[++i];
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  if (declared_flags_.count(name) == 0) throw ArgError("flag --" + name + " was not declared");
+  return seen_flags_.count(name) != 0;
+}
+
+std::optional<std::string> ArgParser::get_optional(const std::string& name) const {
+  const auto decl = declared_options_.find(name);
+  if (decl == declared_options_.end()) throw ArgError("option --" + name + " was not declared");
+  const auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  return decl->second;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  const auto v = get_optional(name);
+  if (!v) throw ArgError("option --" + name + " is required");
+  return *v;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const std::int64_t n = std::stoll(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument("trailing");
+    return n;
+  } catch (const std::exception&) {
+    throw ArgError("option --" + name + " expects an integer, got '" + v + "'");
+  }
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument("trailing");
+    return d;
+  } catch (const std::exception&) {
+    throw ArgError("option --" + name + " expects a number, got '" + v + "'");
+  }
+}
+
+}  // namespace swr::cli

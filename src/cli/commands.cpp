@@ -1,0 +1,376 @@
+#include "cli/commands.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "align/evalue.hpp"
+#include "align/fitting.hpp"
+#include "align/hirschberg.hpp"
+#include "align/local_linear.hpp"
+#include "align/myers_miller.hpp"
+#include "align/near_best.hpp"
+#include "align/nw.hpp"
+#include "align/seed_extend.hpp"
+#include "align/sw_full.hpp"
+#include "cli/args.hpp"
+#include "core/accelerator.hpp"
+#include "host/batch.hpp"
+#include "seq/codon.hpp"
+#include "seq/fasta.hpp"
+#include "seq/fastq.hpp"
+
+namespace swr::cli {
+namespace {
+
+const seq::Alphabet& alphabet_by_name(const std::string& name) {
+  if (name == "dna") return seq::dna();
+  if (name == "rna") return seq::rna();
+  if (name == "protein") return seq::protein();
+  throw ArgError("unknown alphabet '" + name + "' (dna|rna|protein)");
+}
+
+align::Scoring scoring_from(const ArgParser& args, const seq::Alphabet& ab) {
+  align::Scoring sc;
+  if (ab.id() == seq::AlphabetId::Protein) {
+    sc.matrix = &align::blosum62();
+    sc.gap = -8;
+  }
+  if (const auto v = args.get_optional("match")) sc.match = static_cast<align::Score>(std::stol(*v));
+  if (const auto v = args.get_optional("mismatch")) {
+    sc.mismatch = static_cast<align::Score>(std::stol(*v));
+  }
+  if (const auto v = args.get_optional("gap")) sc.gap = static_cast<align::Score>(std::stol(*v));
+  sc.validate();
+  return sc;
+}
+
+seq::Sequence first_record(const std::string& path, const seq::Alphabet& ab) {
+  const auto recs = seq::read_fasta_file(path, ab);
+  if (recs.empty()) throw ArgError("no FASTA records in '" + path + "'");
+  return recs.front();
+}
+
+align::AffineScoring affine_scoring_from(const ArgParser& args, const seq::Alphabet& ab) {
+  align::AffineScoring sc;
+  if (ab.id() == seq::AlphabetId::Protein) {
+    sc.matrix = &align::blosum62();
+    sc.gap_open = -10;
+    sc.gap_extend = -1;
+  }
+  if (const auto v = args.get_optional("match")) sc.match = static_cast<align::Score>(std::stol(*v));
+  if (const auto v = args.get_optional("mismatch")) {
+    sc.mismatch = static_cast<align::Score>(std::stol(*v));
+  }
+  if (const auto v = args.get_optional("gap-open")) {
+    sc.gap_open = static_cast<align::Score>(std::stol(*v));
+  }
+  if (const auto v = args.get_optional("gap-extend")) {
+    sc.gap_extend = static_cast<align::Score>(std::stol(*v));
+  }
+  sc.validate();
+  return sc;
+}
+
+int cmd_align(const std::vector<std::string>& argv, std::ostream& out) {
+  ArgParser args;
+  args.option("mode", "local")
+      .option("alphabet", "dna")
+      .option("match")
+      .option("mismatch")
+      .option("gap")
+      .option("gap-open")
+      .option("gap-extend")
+      .flag("affine")
+      .option("engine", "sw")
+      .option("pes", "100");
+  args.parse(argv);
+  if (args.positionals().size() != 2) {
+    throw ArgError("align needs exactly two FASTA files");
+  }
+  const std::string mode = args.get("mode");
+  if (mode != "local" && mode != "global" && mode != "fitting") {
+    throw ArgError("unknown mode '" + mode + "' (local|global|fitting)");
+  }
+  const std::string engine_opt = args.get("engine");
+  if (engine_opt != "sw" && engine_opt != "accel") {
+    throw ArgError("unknown engine '" + engine_opt + "' (sw|accel)");
+  }
+  const seq::Alphabet& ab = alphabet_by_name(args.get("alphabet"));
+  const bool affine = args.has("affine");
+  if (affine && mode == "fitting") {
+    throw ArgError("--affine supports local and global modes only");
+  }
+  const seq::Sequence a = first_record(args.positionals()[0], ab);
+  const seq::Sequence b = first_record(args.positionals()[1], ab);
+
+  align::LocalAlignment al;
+  if (affine) {
+    const align::AffineScoring asc = affine_scoring_from(args, ab);
+    al = (mode == "local") ? align::gotoh_local_align_linear(a, b, asc)
+                           : align::myers_miller_align(a, b, asc);
+    out << "a: " << a.name() << " (" << a.size() << " residues)\n";
+    out << "b: " << b.name() << " (" << b.size() << " residues)\n";
+    out << "mode: " << mode << " (affine)  score: " << al.score << "\n";
+    if (!al.cigar.empty()) {
+      out << "a[" << al.begin.i << ".." << al.end.i << "]  b[" << al.begin.j << ".." << al.end.j
+          << "]  identity " << static_cast<int>(align::cigar_identity(al.cigar) * 100.0)
+          << "%\n";
+      out << "cigar: " << al.cigar.to_string() << "\n";
+      out << align::format_alignment(al.cigar, a, b, al.begin);
+    } else {
+      out << "(empty alignment)\n";
+    }
+    return 0;
+  }
+  const align::Scoring sc = scoring_from(args, ab);
+  if (mode == "local") {
+    const std::string engine = engine_opt;
+    if (engine == "accel") {
+      core::SmithWatermanAccelerator acc(core::xc2vp70(),
+                                         static_cast<std::size_t>(args.get_int("pes")), sc);
+      const align::ScorePassFn pass = [&acc](const seq::Sequence& rows, const seq::Sequence& cols,
+                                             const align::Scoring&) {
+        return acc.run(cols, rows).best;
+      };
+      al = align::local_align_linear(a, b, sc, pass);
+    } else {
+      al = align::local_align_linear(a, b, sc);
+    }
+  } else if (mode == "global") {
+    al = align::hirschberg_align(a, b, sc);
+  } else {
+    al = align::fitting_align(a, b, sc);
+  }
+
+  out << "a: " << a.name() << " (" << a.size() << " residues)\n";
+  out << "b: " << b.name() << " (" << b.size() << " residues)\n";
+  out << "mode: " << mode << "  score: " << al.score << "\n";
+  if (!al.cigar.empty()) {
+    out << "a[" << al.begin.i << ".." << al.end.i << "]  b[" << al.begin.j << ".." << al.end.j
+        << "]  identity " << static_cast<int>(align::cigar_identity(al.cigar) * 100.0) << "%\n";
+    out << "cigar: " << al.cigar.to_string() << "\n";
+    out << align::format_alignment(al.cigar, a, b, al.begin);
+  } else {
+    out << "(empty alignment)\n";
+  }
+  return 0;
+}
+
+int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
+  ArgParser args;
+  args.option("alphabet", "dna")
+      .option("top", "10")
+      .option("min-score", "20")
+      .option("pes", "100")
+      .option("match")
+      .option("mismatch")
+      .option("gap");
+  args.parse(argv);
+  if (args.positionals().size() != 2) {
+    throw ArgError("scan needs <query.fa> <database.fa>");
+  }
+  const seq::Alphabet& ab = alphabet_by_name(args.get("alphabet"));
+  const align::Scoring sc = scoring_from(args, ab);
+  const seq::Sequence query = first_record(args.positionals()[0], ab);
+  const auto records = seq::read_fasta_file(args.positionals()[1], ab);
+
+  core::SmithWatermanAccelerator acc(core::xc2vp70(),
+                                     static_cast<std::size_t>(args.get_int("pes")), sc);
+  host::ScanOptions opt;
+  opt.top_k = static_cast<std::size_t>(args.get_int("top"));
+  opt.min_score = static_cast<align::Score>(args.get_int("min-score"));
+  const host::ScanResult scan = host::scan_database(acc, query, records, opt);
+
+  const align::KarlinParams kp = align::solve_karlin_uniform(sc, ab.size());
+  std::uint64_t total = 0;
+  for (const auto& rec : records) total += rec.size();
+
+  out << "query: " << query.name() << " (" << query.size() << " residues)\n";
+  out << "database: " << records.size() << " records, " << total << " residues\n";
+  out << "hits (top " << opt.top_k << ", score >= " << opt.min_score << "):\n";
+  for (std::size_t k = 0; k < scan.hits.size(); ++k) {
+    const host::Hit& h = scan.hits[k];
+    std::ostringstream e;
+    e.precision(2);
+    e << std::scientific << align::e_value(h.result.score, query.size(), total, kp);
+    out << "  " << (k + 1) << ". " << records[h.record].name() << "  score " << h.result.score
+        << "  E " << e.str() << "  end (" << h.result.end.i << "," << h.result.end.j << ")\n";
+  }
+  if (scan.hits.empty()) out << "  (none)\n";
+  return 0;
+}
+
+int cmd_translate(const std::vector<std::string>& argv, std::ostream& out) {
+  ArgParser args;
+  args.option("frame", "0").flag("six");
+  args.parse(argv);
+  if (args.positionals().size() != 1) throw ArgError("translate needs <dna.fa>");
+  const auto records = seq::read_fasta_file(args.positionals()[0], seq::dna());
+  for (const seq::Sequence& rec : records) {
+    if (args.has("six")) {
+      const auto frames = seq::six_frame_translation(rec);
+      for (std::size_t f = 0; f < frames.size(); ++f) {
+        out << ">" << rec.name() << " | " << (f < 3 ? "fwd" : "rev") << " frame " << (f % 3)
+            << "\n"
+            << frames[f].to_string() << "\n";
+      }
+    } else {
+      const auto frame = static_cast<unsigned>(args.get_int("frame"));
+      const seq::Sequence prot = seq::translate(rec, frame);
+      out << ">" << rec.name() << " | frame " << frame << "\n" << prot.to_string() << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_orfs(const std::vector<std::string>& argv, std::ostream& out) {
+  ArgParser args;
+  args.option("min-codons", "30");
+  args.parse(argv);
+  if (args.positionals().size() != 1) throw ArgError("orfs needs <dna.fa>");
+  const auto records = seq::read_fasta_file(args.positionals()[0], seq::dna());
+  const auto min_codons = static_cast<std::size_t>(args.get_int("min-codons"));
+  for (const seq::Sequence& rec : records) {
+    const auto orfs = seq::find_orfs(rec, min_codons);
+    out << rec.name() << ": " << orfs.size() << " ORFs (>= " << min_codons << " codons)\n";
+    for (const seq::OpenReadingFrame& o : orfs) {
+      out << "  " << (o.reverse ? "rev" : "fwd") << " frame " << o.frame << "  [" << o.begin
+          << ", " << o.end << ")  " << o.codons() << " codons  "
+          << seq::orf_protein(rec, o).to_string() << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_nearbest(const std::vector<std::string>& argv, std::ostream& out) {
+  ArgParser args;
+  args.option("alphabet", "dna")
+      .option("max", "5")
+      .option("min-score", "20")
+      .option("match")
+      .option("mismatch")
+      .option("gap");
+  args.parse(argv);
+  if (args.positionals().size() != 2) throw ArgError("nearbest needs <a.fa> <b.fa>");
+  const seq::Alphabet& ab = alphabet_by_name(args.get("alphabet"));
+  const align::Scoring sc = scoring_from(args, ab);
+  const seq::Sequence a = first_record(args.positionals()[0], ab);
+  const seq::Sequence b = first_record(args.positionals()[1], ab);
+  align::NearBestOptions opt;
+  opt.max_alignments = static_cast<std::size_t>(args.get_int("max"));
+  opt.min_score = static_cast<align::Score>(args.get_int("min-score"));
+  const auto set = align::near_best_alignments(a, b, sc, opt);
+  out << set.size() << " non-overlapping alignments (score >= " << opt.min_score << "):\n";
+  for (std::size_t k = 0; k < set.size(); ++k) {
+    out << "  " << (k + 1) << ". score " << set[k].score << "  a[" << set[k].begin.i << ".."
+        << set[k].end.i << "]  b[" << set[k].begin.j << ".." << set[k].end.j << "]  "
+        << set[k].cigar.to_string() << "\n";
+  }
+  return 0;
+}
+
+int cmd_map(const std::vector<std::string>& argv, std::ostream& out) {
+  ArgParser args;
+  args.option("k", "15").option("pad", "20").option("min-score", "20");
+  args.parse(argv);
+  if (args.positionals().size() != 2) throw ArgError("map needs <reads.fq> <reference.fa>");
+  const auto reads = seq::read_fastq_file(args.positionals()[0], seq::dna());
+  const seq::Sequence ref = first_record(args.positionals()[1], seq::dna());
+  const align::Scoring sc = align::Scoring::paper_default();
+  align::SeedExtendOptions seed_opt;
+  seed_opt.k = static_cast<std::size_t>(args.get_int("k"));
+  const auto pad = static_cast<std::size_t>(args.get_int("pad"));
+  const auto min_score = static_cast<align::Score>(args.get_int("min-score"));
+
+  std::size_t mapped = 0;
+  for (const seq::FastqRecord& read : reads) {
+    const auto hits = align::seed_extend_search(ref, read.sequence, sc, seed_opt);
+    if (hits.empty()) {
+      out << read.sequence.name() << "\tunmapped (no seed)\n";
+      continue;
+    }
+    const std::size_t diag = hits[0].begin.i - hits[0].begin.j;
+    const std::size_t w_begin = diag > pad ? diag - pad : 0;
+    const seq::Sequence window = ref.subsequence(w_begin, read.sequence.size() + 2 * pad);
+    const align::LocalAlignment fit = align::fitting_align(window, read.sequence, sc);
+    if (fit.score < min_score) {
+      out << read.sequence.name() << "\tunmapped (score " << fit.score << ")\n";
+      continue;
+    }
+    ++mapped;
+    out << read.sequence.name() << "\t" << (w_begin + fit.begin.i - 1) << "\tscore "
+        << fit.score << "\t" << fit.cigar.to_string() << "\n";
+  }
+  out << "mapped " << mapped << "/" << reads.size() << " reads\n";
+  return 0;
+}
+
+int cmd_design(const std::vector<std::string>& argv, std::ostream& out) {
+  ArgParser args;
+  args.option("query", "100").option("db", "1000000");
+  args.parse(argv);
+  const auto m = static_cast<std::size_t>(args.get_int("query"));
+  const auto n = static_cast<std::size_t>(args.get_int("db"));
+  const core::PeFeatures pe{16, 32, true, false};
+  out << "workload: " << m << " x " << n << "\n";
+  for (const core::FpgaDevice& dev : core::device_catalog()) {
+    const std::size_t pes = core::max_elements(dev, pe);
+    const core::ResourceEstimate e = core::estimate_resources(dev, pes, pe);
+    const core::CyclePrediction p = core::predict_cycles(m, n, pes, true);
+    std::ostringstream t;
+    t.precision(3);
+    t << std::fixed << core::cycles_to_seconds(p.total_cycles, e.freq_mhz) * 1e3;
+    out << "  " << dev.name << ": " << pes << " PEs @ ";
+    std::ostringstream fr;
+    fr.precision(1);
+    fr << std::fixed << e.freq_mhz;
+    out << fr.str() << " MHz, " << p.passes << " passes, " << t.str() << " ms\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return "swr — reconfigurable sequence comparison (IPDPS'07 reproduction)\n"
+         "usage: swr <command> [options]\n"
+         "commands:\n"
+         "  align <a.fa> <b.fa>  [--mode local|global|fitting] [--engine sw|accel]\n"
+         "                       [--alphabet dna|rna|protein] [--match N --mismatch N --gap N]\n"
+         "                       [--pes N]\n"
+         "                       [--affine --gap-open N --gap-extend N]\n"
+         "  scan <query.fa> <db.fa>  [--top K] [--min-score S] [--pes N] [--alphabet ...]\n"
+         "  nearbest <a.fa> <b.fa>  [--max K] [--min-score S]\n"
+         "  map <reads.fq> <reference.fa>  [--k N] [--pad N] [--min-score S]\n"
+         "  translate <dna.fa>  [--frame 0|1|2 | --six]\n"
+         "  orfs <dna.fa>  [--min-codons N]\n"
+         "  design  [--query M --db N]\n"
+         "  help\n";
+}
+
+int run_command(const std::string& command, const std::vector<std::string>& args,
+                std::ostream& out, std::ostream& err) {
+  try {
+    if (command == "align") return cmd_align(args, out);
+    if (command == "scan") return cmd_scan(args, out);
+    if (command == "translate") return cmd_translate(args, out);
+    if (command == "orfs") return cmd_orfs(args, out);
+    if (command == "nearbest") return cmd_nearbest(args, out);
+    if (command == "map") return cmd_map(args, out);
+    if (command == "design") return cmd_design(args, out);
+    if (command == "help" || command.empty()) {
+      out << usage();
+      return 0;
+    }
+    err << "swr: unknown command '" << command << "'\n" << usage();
+    return 2;
+  } catch (const ArgError& e) {
+    err << "swr " << command << ": " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    err << "swr " << command << ": " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace swr::cli

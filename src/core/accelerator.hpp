@@ -1,0 +1,109 @@
+// Public facade of the reconfigurable accelerator.
+//
+// Bundles the cycle-level array + controller with the synthesis model for
+// a chosen device: one object that behaves like the board the paper
+// prototyped — run a comparison, get the best score, its coordinates, the
+// measured cycle count and the modelled wall-clock time at the synthesized
+// frequency.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+#include "core/controller.hpp"
+#include "core/device.hpp"
+#include "core/performance_model.hpp"
+#include "core/resource_model.hpp"
+
+namespace swr::core {
+
+/// Outcome of one accelerator job.
+struct JobResult {
+  align::LocalScoreResult best;  ///< score + end cell (i = db row, j = query column)
+  RunStats stats;                ///< measured on the cycle-level model
+  double seconds = 0.0;          ///< stats.total_cycles at the modelled clock
+  double gcups = 0.0;            ///< useful cell updates per second / 1e9
+};
+
+/// The accelerator, templated over the PE datapath (ScorePe = the paper's
+/// design; AffinePe = the [2]/[32]-style extension).
+template <typename Pe>
+class BasicAccelerator {
+ public:
+  using Scoring = typename SystolicArray<Pe>::Scoring;
+
+  /// Synthesizes (in the model) `num_pes` elements onto `dev`.
+  /// @throws std::invalid_argument when the configuration does not fit the
+  /// device — the model's equivalent of a failed place-and-route.
+  BasicAccelerator(const FpgaDevice& dev, std::size_t num_pes, const Scoring& scoring,
+                   unsigned score_bits = 16, unsigned cycle_bits = 32,
+                   bool charge_query_load = true, bool shuffle_evaluation = false)
+      : device_(dev),
+        features_{score_bits, cycle_bits, /*coordinate_tracking=*/true,
+                  /*affine=*/std::is_same_v<Pe, AffinePe>},
+        synth_(estimate_resources(dev, num_pes, features_)),
+        controller_(num_pes, score_bits, scoring, dev.board_sram_bytes, charge_query_load,
+                    shuffle_evaluation) {
+    if (!synth_.fits) {
+      throw std::invalid_argument("BasicAccelerator: " + std::to_string(num_pes) +
+                                  " elements do not fit device " + dev.name);
+    }
+  }
+
+  /// Runs a comparison on the cycle-level model. Coordinates follow the
+  /// library convention: i = database position, j = query position,
+  /// 1-based; canonical tie-break.
+  JobResult run(const seq::Sequence& query, const seq::Sequence& db) {
+    JobResult r;
+    r.best = controller_.run(query, db);
+    r.stats = controller_.run_stats();
+    r.seconds = cycles_to_seconds(r.stats.total_cycles, synth_.freq_mhz);
+    r.gcups = r.stats.cell_updates == 0 ? 0.0 : core::gcups(r.stats.cell_updates, r.seconds);
+    return r;
+  }
+
+  /// The reverse pass of the §2.3 recipe: re-runs over the reversed
+  /// prefixes that end at `end`, locating where the best alignment begins.
+  JobResult run_reverse(const seq::Sequence& query, const seq::Sequence& db,
+                        const align::Cell& end) {
+    if (end.i > db.size() || end.j > query.size() || end.i == 0 || end.j == 0) {
+      throw std::invalid_argument("BasicAccelerator::run_reverse: end cell outside matrix");
+    }
+    const seq::Sequence rq = query.subsequence(0, end.j).reversed();
+    const seq::Sequence rdb = db.subsequence(0, end.i).reversed();
+    return run(rq, rdb);
+  }
+
+  /// Modelled synthesis outcome (Table-2 material).
+  [[nodiscard]] const ResourceEstimate& synthesis() const noexcept { return synth_; }
+  [[nodiscard]] const FpgaDevice& device() const noexcept { return device_; }
+  [[nodiscard]] const PeFeatures& features() const noexcept { return features_; }
+  [[nodiscard]] double freq_mhz() const noexcept { return synth_.freq_mhz; }
+  [[nodiscard]] std::size_t num_pes() const noexcept { return synth_.num_pes; }
+
+  /// Direct access for traces and white-box tests.
+  [[nodiscard]] ArrayController<Pe>& controller() noexcept { return controller_; }
+
+  /// Analytic time (seconds) this accelerator would need for an
+  /// (m x n) job — the verified extrapolation used for MBP-scale benches.
+  [[nodiscard]] double predict_seconds(std::size_t query_len, std::size_t db_len) const {
+    const CyclePrediction p =
+        predict_cycles(query_len, db_len, num_pes(), /*charge_query_load=*/true);
+    return cycles_to_seconds(p.total_cycles, synth_.freq_mhz);
+  }
+
+ private:
+  FpgaDevice device_;
+  PeFeatures features_;
+  ResourceEstimate synth_;
+  ArrayController<Pe> controller_;
+};
+
+/// The paper's accelerator: linear gaps, coordinate tracking.
+using SmithWatermanAccelerator = BasicAccelerator<ScorePe>;
+/// Affine-gap extension.
+using AffineAccelerator = BasicAccelerator<AffinePe>;
+
+}  // namespace swr::core

@@ -1,0 +1,32 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+
+namespace swr::core {
+namespace {
+
+void check_common(std::size_t num_pes, unsigned score_bits, unsigned cycle_bits,
+                  std::size_t sram_bytes) {
+  if (num_pes == 0) throw std::invalid_argument("ArrayConfig: zero PEs");
+  if (score_bits < 2 || score_bits > 32) {
+    throw std::invalid_argument("ArrayConfig: score_bits must be in [2,32]");
+  }
+  if (cycle_bits < 8 || cycle_bits > 64) {
+    throw std::invalid_argument("ArrayConfig: cycle_bits must be in [8,64]");
+  }
+  if (sram_bytes == 0) throw std::invalid_argument("ArrayConfig: zero SRAM");
+}
+
+}  // namespace
+
+void ArrayConfig::validate() const {
+  check_common(num_pes, score_bits, cycle_bits, sram_capacity_bytes);
+  scoring.validate();
+}
+
+void AffineArrayConfig::validate() const {
+  check_common(num_pes, score_bits, cycle_bits, sram_capacity_bytes);
+  scoring.validate();
+}
+
+}  // namespace swr::core

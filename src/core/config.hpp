@@ -1,0 +1,60 @@
+// Configuration of the systolic accelerator.
+#pragma once
+
+#include <cstddef>
+
+#include "align/scoring.hpp"
+
+namespace swr::core {
+
+/// Parameters of one synthesized array (paper §5/§6: the prototype is 100
+/// elements on a Xilinx xc2vp70).
+struct ArrayConfig {
+  /// Number of processing elements N. Queries longer than N are
+  /// partitioned (figure 7).
+  std::size_t num_pes = 100;
+
+  /// Width of every score register/datapath in bits (saturating two's
+  /// complement). SAMBA used 12 [21]; we default to 16. The accelerator
+  /// reports saturation counts so an under-provisioned width is visible.
+  unsigned score_bits = 16;
+
+  /// Width of the Cl/Bc row-tracking counters. Must cover the database
+  /// length (the row coordinate); 32 bits covers 4 GBP.
+  unsigned cycle_bits = 32;
+
+  /// Board SRAM capacity in bytes, holding the database stream and (for
+  /// partitioned queries) the boundary column between passes.
+  std::size_t sram_capacity_bytes = 64u << 20;
+
+  /// Extra idle cycles charged per pass for (re)loading the query chunk
+  /// into the SP registers by shifting it through the chain: one cycle per
+  /// element, as in [21]'s SAMBA splicing.
+  bool charge_query_load = true;
+
+  /// Debug: randomise module evaluation order every cycle to prove the
+  /// two-phase design is order independent.
+  bool shuffle_evaluation = false;
+
+  /// Linear-gap scoring implemented by the ScorePe datapath (Co/Su/In-Re
+  /// constants of figure 6, generalised to an optional substitution table).
+  align::Scoring scoring = align::Scoring::paper_default();
+
+  /// @throws std::invalid_argument on a meaningless configuration.
+  void validate() const;
+};
+
+/// Affine variant ([2]/[32]'s gap model on our coordinate-tracking array).
+struct AffineArrayConfig {
+  std::size_t num_pes = 100;
+  unsigned score_bits = 16;
+  unsigned cycle_bits = 32;
+  std::size_t sram_capacity_bytes = 64u << 20;
+  bool charge_query_load = true;
+  bool shuffle_evaluation = false;
+  align::AffineScoring scoring{};
+
+  void validate() const;
+};
+
+}  // namespace swr::core

@@ -1,0 +1,26 @@
+#include "core/device.hpp"
+
+namespace swr::core {
+
+const std::vector<FpgaDevice>& device_catalog() {
+  static const std::vector<FpgaDevice> kCatalog = {
+      // name        slices   FFs     LUTs    IOBs  BRAM(Kb) board SRAM      fmax
+      {"xc2vp70",    33088,   66176,  66176,  996,  5904,    64u << 20,      180.0},
+      {"xc2v6000",   33792,   67584,  67584,  1104, 2592,    32u << 20,      150.0},
+      {"xcv2000e",   19200,   38400,  38400,  804,  655,     16u << 20,      85.0},
+      {"xcv1000",    12288,   24576,  24576,  512,  131,     8u << 20,       70.0},
+      {"xc2vp100",   44096,   88192,  88192,  1164, 7992,    64u << 20,      180.0},
+  };
+  return kCatalog;
+}
+
+const FpgaDevice& device(const std::string& name) {
+  for (const FpgaDevice& d : device_catalog()) {
+    if (d.name == name) return d;
+  }
+  throw std::invalid_argument("device: unknown FPGA '" + name + "'");
+}
+
+const FpgaDevice& xc2vp70() { return device("xc2vp70"); }
+
+}  // namespace swr::core

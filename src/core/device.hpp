@@ -1,0 +1,38 @@
+// FPGA device catalog.
+//
+// Capacities of the parts named in the paper and its related-work table
+// (Table 1): the xc2vp70 prototype target, [32]'s XC2V6000, [37]'s
+// XCV2000E and [23]'s Virtex XCV1000-class part. Numbers are the vendor
+// datasheet capacities; `datapath_fmax_mhz` is the model's calibrated
+// ceiling for this style of datapath on that family (see resource_model).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace swr::core {
+
+/// One FPGA part.
+struct FpgaDevice {
+  std::string name;
+  std::size_t slices = 0;
+  std::size_t flipflops = 0;
+  std::size_t luts = 0;
+  std::size_t iobs = 0;
+  std::size_t bram_kbits = 0;
+  std::size_t board_sram_bytes = 0;  ///< off-chip SRAM on the typical board
+  double datapath_fmax_mhz = 0.0;    ///< uncongested fmax for this datapath
+};
+
+/// All catalogued devices.
+const std::vector<FpgaDevice>& device_catalog();
+
+/// Lookup by name. @throws std::invalid_argument on unknown device.
+const FpgaDevice& device(const std::string& name);
+
+/// The paper's prototype part (Xilinx Virtex-II Pro xc2vp70).
+const FpgaDevice& xc2vp70();
+
+}  // namespace swr::core

@@ -1,0 +1,48 @@
+// Multi-board database partitioning.
+//
+// The paper's conclusion points at integrating the accelerator with
+// cluster strategies ([3], [7]): several boards, each scanning a slice of
+// the database. The correctness subtlety is alignments that straddle a
+// slice boundary; this scheduler gives each board an overlap margin large
+// enough that every positive-scoring local alignment of an m-base query
+// lies wholly inside at least one slice, so folding the per-board bests
+// under the canonical tie-break is exact (tests prove equality with the
+// single-board run).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/accelerator.hpp"
+
+namespace swr::core {
+
+/// Upper bound on the database rows any positive-scoring local alignment
+/// of an m-residue query can span: m matches can pay for at most
+/// m*match/|gap| deletions (see multiboard.cpp for the derivation).
+std::size_t max_alignment_rows(std::size_t query_len, const align::Scoring& sc);
+
+/// Result of a partitioned scan.
+struct MultiBoardResult {
+  align::LocalScoreResult best;      ///< global coordinates, canonical tie-break
+  std::vector<JobResult> board_jobs; ///< per-board outcomes (local coords)
+  double seconds = 0.0;              ///< modelled wall time: max over boards
+  std::uint64_t total_cycles = 0;    ///< sum over boards (energy-style metric)
+};
+
+/// A set of boards. Accelerators are not movable (the internal simulator
+/// holds a pointer to the array module), hence the unique_ptr fleet.
+using BoardFleet = std::vector<std::unique_ptr<SmithWatermanAccelerator>>;
+
+/// Runs `query` against `db` split across `boards` identical accelerators.
+/// The boards are simulated sequentially but modelled as parallel: the
+/// reported time is the slowest board's.
+/// @throws std::invalid_argument on zero boards or alphabet mismatch.
+MultiBoardResult multiboard_run(BoardFleet& boards, const seq::Sequence& query,
+                                const seq::Sequence& db);
+
+/// Convenience: builds `n` identical boards on one device.
+BoardFleet make_board_fleet(const FpgaDevice& dev, std::size_t n, std::size_t pes_per_board,
+                            const align::Scoring& sc);
+
+}  // namespace swr::core

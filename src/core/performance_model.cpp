@@ -1,0 +1,67 @@
+#include "core/performance_model.hpp"
+
+#include <stdexcept>
+
+namespace swr::core {
+
+CyclePrediction predict_cycles(std::size_t query_len, std::size_t db_len, std::size_t num_pes,
+                               bool charge_query_load) {
+  if (num_pes == 0) throw std::invalid_argument("predict_cycles: zero PEs");
+  CyclePrediction p;
+  if (query_len == 0 || db_len == 0) return p;
+  p.passes = (query_len + num_pes - 1) / num_pes;
+  p.load_cycles = charge_query_load ? query_len : 0;  // sum of chunk sizes = m
+  p.compute_cycles = p.passes * (db_len + num_pes - 1);
+  p.drain_cycles = p.passes * num_pes;
+  p.total_cycles = p.load_cycles + p.compute_cycles + p.drain_cycles;
+  return p;
+}
+
+CyclePrediction predict_cycles_multibase(std::size_t query_len, std::size_t db_len,
+                                         std::size_t num_pes, std::size_t bases_per_pe,
+                                         bool charge_query_load) {
+  if (num_pes == 0) throw std::invalid_argument("predict_cycles_multibase: zero PEs");
+  if (bases_per_pe == 0) throw std::invalid_argument("predict_cycles_multibase: zero bases");
+  CyclePrediction p;
+  if (query_len == 0 || db_len == 0) return p;
+  const std::size_t cols_per_pass = num_pes * bases_per_pe;
+  p.passes = (query_len + cols_per_pass - 1) / cols_per_pass;
+  p.load_cycles = charge_query_load ? query_len : 0;
+  // Every database base is held for bases_per_pe cycles while the PE
+  // walks its columns; the pipeline is num_pes stages deep.
+  p.compute_cycles = p.passes * bases_per_pe * (db_len + num_pes - 1);
+  // The drain chain carries bases_per_pe slots per PE.
+  p.drain_cycles = p.passes * num_pes * bases_per_pe;
+  p.total_cycles = p.load_cycles + p.compute_cycles + p.drain_cycles;
+  return p;
+}
+
+double cycles_to_seconds(std::uint64_t cycles, double freq_mhz) {
+  if (freq_mhz <= 0.0) throw std::invalid_argument("cycles_to_seconds: non-positive frequency");
+  return static_cast<double>(cycles) / (freq_mhz * 1e6);
+}
+
+double gcups(std::uint64_t cell_updates, double seconds) {
+  if (seconds <= 0.0) throw std::invalid_argument("gcups: non-positive time");
+  return static_cast<double>(cell_updates) / seconds / 1e9;
+}
+
+void QueryLoadModel::validate() const {
+  if (reconfig_seconds_per_pass < 0.0) {
+    throw std::invalid_argument("QueryLoadModel: negative reconfiguration time");
+  }
+}
+
+double job_seconds(std::size_t query_len, std::size_t db_len, std::size_t num_pes,
+                   double freq_mhz, const QueryLoadModel& load) {
+  load.validate();
+  const CyclePrediction p =
+      predict_cycles(query_len, db_len, num_pes, /*charge_query_load=*/!load.dynamic_reconfig);
+  double secs = cycles_to_seconds(p.total_cycles, freq_mhz);
+  if (load.dynamic_reconfig) {
+    secs += static_cast<double>(p.passes) * load.reconfig_seconds_per_pass;
+  }
+  return secs;
+}
+
+}  // namespace swr::core

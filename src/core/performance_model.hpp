@@ -1,0 +1,69 @@
+// Analytic timing of the systolic array.
+//
+// Cycle counts of a synchronous systolic design are deterministic:
+//
+//   per pass:  [query load]  chunk cycles
+//              [stream]      n + N - 1 cycles (database + pipeline flush)
+//              [drain]       N cycles (result shift-out)
+//   passes:    ceil(m / N)
+//
+// The functional controller (core/controller.hpp) *measures* the same
+// quantities on the cycle-level model; tests assert the prediction matches
+// the measurement exactly, which is what licenses using the analytic form
+// to extrapolate the paper's 10 MBP headline workload without simulating
+// 10^9 PE-cycles in the benches.
+#pragma once
+
+#include <cstdint>
+
+namespace swr::core {
+
+/// Cycle prediction for one job.
+struct CyclePrediction {
+  std::uint64_t passes = 0;
+  std::uint64_t load_cycles = 0;
+  std::uint64_t compute_cycles = 0;
+  std::uint64_t drain_cycles = 0;
+  std::uint64_t total_cycles = 0;
+};
+
+/// Predicts cycles for aligning an m-base query to an n-base database on
+/// an N-element array. Matches ArrayController's measured RunStats.
+CyclePrediction predict_cycles(std::size_t query_len, std::size_t db_len, std::size_t num_pes,
+                               bool charge_query_load);
+
+/// [12]-style time-multiplexed variant: each PE serves `bases_per_pe`
+/// query columns round-robin, so a pass covers N*B columns but every
+/// database base occupies the pipeline for B cycles. B = 1 reduces to
+/// predict_cycles. @throws std::invalid_argument on zero PEs/bases.
+CyclePrediction predict_cycles_multibase(std::size_t query_len, std::size_t db_len,
+                                         std::size_t num_pes, std::size_t bases_per_pe,
+                                         bool charge_query_load);
+
+/// Seconds for `cycles` at `freq_mhz`.
+double cycles_to_seconds(std::uint64_t cycles, double freq_mhz);
+
+/// Cell updates per second: cells / seconds, in GCUPS.
+double gcups(std::uint64_t cell_updates, double seconds);
+
+/// How the query chunk reaches the PEs between passes (paper §4).
+struct QueryLoadModel {
+  /// true = [13]-style partial reconfiguration: no per-base load cycles,
+  /// but a fixed reconfiguration stall per pass ("configuration time ...
+  /// normally takes milliseconds"). false = register shift-in, one cycle
+  /// per base (the design this paper and [21] use).
+  bool dynamic_reconfig = false;
+  double reconfig_seconds_per_pass = 2e-3;
+
+  void validate() const;
+};
+
+/// End-to-end job seconds for an (m x n) comparison on an N-element array
+/// at `freq_mhz`, under the given loading strategy. With register loading
+/// this equals cycles_to_seconds(predict_cycles(...,true)); with dynamic
+/// reconfiguration the load cycles vanish but every pass stalls for the
+/// reconfiguration time.
+double job_seconds(std::size_t query_len, std::size_t db_len, std::size_t num_pes,
+                   double freq_mhz, const QueryLoadModel& load);
+
+}  // namespace swr::core

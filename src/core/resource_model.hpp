@@ -1,0 +1,101 @@
+// Synthesis resource & frequency model.
+//
+// We cannot run ISE, so Table 2 (resource usage of the 100-element
+// prototype on the xc2vp70) is reproduced with a structural model:
+//
+//   * flip-flops per PE are counted exactly from the architecture's
+//     register inventory (A, B, Bs, output pipeline, Cl/Bc counters,
+//     drain chain — see core/pe.hpp);
+//   * LUTs per PE are the structural operator count (adders, comparators,
+//     max trees, muxes) scaled by a technology-mapping factor calibrated
+//     once against the paper's reported utilisation (~25 % FFs / ~65 %
+//     LUTs / <70 % slices for 100 elements);
+//   * clock frequency degrades with slice utilisation (routing
+//     congestion): f = fmax / (1 + alpha * slice_util).
+//
+// The model is used three ways: the Table-2 bench, the "how many PEs fit
+// on device X" design-space exploration, and the coordinate-tracking
+// ablation (what the Bs/Cl/Bc feature costs in area — the paper's
+// contribution is precisely spending that area to get coordinates out).
+#pragma once
+
+#include <cstddef>
+
+#include "core/device.hpp"
+
+namespace swr::core {
+
+/// Which PE datapath is synthesized.
+struct PeFeatures {
+  unsigned score_bits = 16;
+  unsigned cycle_bits = 32;
+  bool coordinate_tracking = true;  ///< the paper's Bs/Cl/Bc + drain chain
+  bool affine = false;              ///< [2]/[32]-style E/F layers
+
+  /// [13]-style JBits loading: the query base is burned into the LUT
+  /// configuration by partial reconfiguration instead of living in SP
+  /// registers. Saves "2 flip-flops for each base storage" and ~25 % of
+  /// the comparator circuit (paper §4), at the price of a milliseconds-
+  /// scale reconfiguration per query chunk — see performance_model's
+  /// QueryLoadModel for the time side of the trade.
+  bool jbits_loading = false;
+
+  /// [12] Kestrel-style time multiplexing: each PE holds `bases_per_pe`
+  /// query bases and serves its columns round-robin, one per cycle. The
+  /// datapath (adders, comparators) is shared; the per-column state
+  /// (A, B, Bs, Bc, SP) replicates — the paper's §4 observation that
+  /// "to put more bases at each cell requires more registers per element
+  /// and thus decreases the maximum number of computing elements".
+  std::size_t bases_per_pe = 1;
+};
+
+/// Modelled power draw of a synthesized array (Virtex-II-era CMOS:
+/// leakage proportional to occupied slices plus switching power per
+/// slice-MHz). Coefficients are representative, not vendor-exact; the
+/// model exists for energy *comparisons* between configurations.
+struct PowerEstimate {
+  double static_watts = 0.0;
+  double dynamic_watts = 0.0;  ///< at the estimate's clock
+
+  [[nodiscard]] double total_watts() const noexcept { return static_watts + dynamic_watts; }
+  /// Energy for a job of `seconds` at this configuration.
+  [[nodiscard]] double job_joules(double seconds) const noexcept {
+    return total_watts() * seconds;
+  }
+};
+
+/// Modelled synthesis result for one configuration on one device.
+struct ResourceEstimate {
+  std::size_t num_pes = 0;
+  std::size_t flipflops = 0;
+  std::size_t luts = 0;
+  std::size_t slices = 0;
+  std::size_t iobs = 0;
+  std::size_t gclks = 1;
+  double ff_util = 0.0;
+  double lut_util = 0.0;
+  double slice_util = 0.0;
+  double iob_util = 0.0;
+  bool fits = false;
+  double freq_mhz = 0.0;
+};
+
+/// Per-PE register (flip-flop) count — exact structural inventory.
+std::size_t pe_flipflops(const PeFeatures& f);
+
+/// Per-PE LUT count — structural operator estimate x mapping factor.
+std::size_t pe_luts(const PeFeatures& f);
+
+/// Full-array estimate on a device. @throws std::invalid_argument on zero
+/// PEs.
+ResourceEstimate estimate_resources(const FpgaDevice& dev, std::size_t num_pes,
+                                    const PeFeatures& features);
+
+/// Largest array that fits the device (all of FFs, LUTs, slices under
+/// 100 %). Returns 0 if even one PE does not fit.
+std::size_t max_elements(const FpgaDevice& dev, const PeFeatures& features);
+
+/// Power model for a synthesized configuration.
+PowerEstimate estimate_power(const ResourceEstimate& synth);
+
+}  // namespace swr::core

@@ -1,0 +1,141 @@
+// The systolic array (paper figure 5): a chain of PEs plus the array-level
+// mode and input registers. Templated over the PE type so the linear-gap
+// design (ScorePe) and the affine extension (AffinePe) share one chassis.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "core/pe.hpp"
+#include "hw/module.hpp"
+#include "hw/satarith.hpp"
+
+namespace swr::core {
+
+namespace detail {
+template <typename Pe>
+struct PeTraits;
+
+template <>
+struct PeTraits<ScorePe> {
+  using Scoring = align::Scoring;
+  using Context = PeContext;
+};
+
+template <>
+struct PeTraits<AffinePe> {
+  using Scoring = align::AffineScoring;
+  using Context = AffinePeContext;
+};
+}  // namespace detail
+
+/// A chain of `n` PEs with a registered input link and a registered
+/// array-wide mode, evaluated in two phases: every PE reads only pre-edge
+/// neighbour state, so evaluation order is irrelevant.
+template <typename Pe>
+class SystolicArray final : public hw::Module {
+ public:
+  using Scoring = typename detail::PeTraits<Pe>::Scoring;
+  using Context = typename detail::PeTraits<Pe>::Context;
+
+  SystolicArray(std::size_t n, unsigned score_bits, Scoring scoring)
+      : hw::Module("systolic_array"), sat_(score_bits), scoring_(scoring), pes_(n) {
+    if (n == 0) throw std::invalid_argument("SystolicArray: zero PEs");
+    scoring_.validate();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return pes_.size(); }
+
+  /// Loads a query chunk into the SP registers. Elements beyond the chunk
+  /// are marked inactive (figure-7 padding). @throws std::invalid_argument
+  /// if the chunk exceeds the array.
+  void load_query(std::span<const seq::Code> chunk) {
+    if (chunk.size() > pes_.size()) {
+      throw std::invalid_argument("SystolicArray::load_query: chunk longer than array");
+    }
+    for (std::size_t j = 0; j < pes_.size(); ++j) {
+      const bool active = j < chunk.size();
+      pes_[j].load_query_base(active ? chunk[j] : seq::Code{0}, active);
+    }
+  }
+
+  /// Query packing (ScorePe only): loads several queries separated by
+  /// barrier columns, so one database pass serves them all. Total columns
+  /// needed: sum of lengths + one barrier between consecutive queries.
+  /// Returns the starting PE index of each query.
+  /// @throws std::invalid_argument if the packing exceeds the array.
+  std::vector<std::size_t> load_packed(const std::vector<std::span<const seq::Code>>& queries) {
+    static_assert(std::is_same_v<Pe, ScorePe>,
+                  "query packing requires the linear-gap ScorePe (barrier columns do not "
+                  "isolate the affine E layer)");
+    std::size_t need = queries.empty() ? 0 : queries.size() - 1;  // barriers
+    for (const auto& q : queries) need += q.size();
+    if (need > pes_.size()) {
+      throw std::invalid_argument("SystolicArray::load_packed: queries do not fit the array");
+    }
+    std::vector<std::size_t> starts;
+    starts.reserve(queries.size());
+    std::size_t j = 0;
+    for (std::size_t k = 0; k < queries.size(); ++k) {
+      if (k > 0) pes_[j++].load_barrier();
+      starts.push_back(j);
+      for (const seq::Code c : queries[k]) pes_[j++].load_query_base(c, true);
+    }
+    for (; j < pes_.size(); ++j) pes_[j].load_query_base(0, false);
+    return starts;
+  }
+
+  /// Drives the input wires for the current cycle (testbench style: set
+  /// before the clock edge, latched by PE 0 at commit).
+  void drive_input(const PeLink& link) noexcept { in_ = link; }
+
+  /// Drives the array mode wires for the current cycle (controller FSM
+  /// output, combinationally visible to all PEs).
+  void set_mode(ArrayMode mode) noexcept { mode_ = mode; }
+
+  void evaluate() override {
+    const ArrayMode mode = mode_;
+    const Context ctx{sat_, scoring_};
+    static constexpr DrainSlot kEmptySlot{};
+    // PE 0 reads the input wires; PE j>0 reads PE j-1's registered
+    // output. All register reads are pre-edge values.
+    pes_[0].evaluate(mode, in_, kEmptySlot, ctx);
+    for (std::size_t j = 1; j < pes_.size(); ++j) {
+      pes_[j].evaluate(mode, pes_[j - 1].out(), pes_[j - 1].drain_slot(), ctx);
+    }
+  }
+
+  void commit() override {
+    for (Pe& pe : pes_) pe.commit();
+  }
+
+  void reset() override {
+    in_ = PeLink{};
+    mode_ = ArrayMode::Idle;
+    for (Pe& pe : pes_) pe.reset();
+  }
+
+  /// Per-pass reset of PE state without losing the loaded query.
+  void reset_pass() noexcept { reset(); }
+
+  /// Output of the last PE: the boundary-column stream (figure 7).
+  [[nodiscard]] const PeLink& boundary_out() const noexcept { return pes_.back().out(); }
+  /// Drain chain output (valid during drain, one result per cycle).
+  [[nodiscard]] const DrainSlot& drain_out() const noexcept { return pes_.back().drain_slot(); }
+
+  [[nodiscard]] const Pe& pe(std::size_t j) const { return pes_.at(j); }
+  [[nodiscard]] const hw::SatArith& sat() const noexcept { return sat_; }
+  [[nodiscard]] const Scoring& scoring() const noexcept { return scoring_; }
+
+ private:
+  hw::SatArith sat_;
+  Scoring scoring_;
+  std::vector<Pe> pes_;
+  PeLink in_{};
+  ArrayMode mode_ = ArrayMode::Idle;
+};
+
+}  // namespace swr::core

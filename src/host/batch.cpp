@@ -1,0 +1,73 @@
+#include "host/batch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "seq/complexity.hpp"
+
+namespace swr::host {
+
+bool hit_ranks_before(const Hit& x, const Hit& y) {
+  if (x.result.score != y.result.score) return x.result.score > y.result.score;
+  if (x.record != y.record) return x.record < y.record;
+  return align::tie_break_prefers(x.result.end, y.result.end);
+}
+
+void ScanOptions::validate() const {
+  if (top_k == 0) throw std::invalid_argument("ScanOptions: zero top_k");
+  if (min_score < 1) throw std::invalid_argument("ScanOptions: min_score must be >= 1");
+}
+
+ScanResult scan_database(core::SmithWatermanAccelerator& accelerator, const seq::Sequence& query,
+                         const std::vector<seq::Sequence>& records, const ScanOptions& opt) {
+  opt.validate();
+  ScanResult out;
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    const seq::Sequence& rec = records[r];
+    if (rec.alphabet().id() != query.alphabet().id()) {
+      throw std::invalid_argument("scan_database: record " + std::to_string(r) +
+                                  " alphabet mismatch");
+    }
+    ++out.records_scanned;
+    if (rec.empty() || query.empty()) continue;
+    const core::JobResult job = accelerator.run(query, rec);
+    out.cell_updates += job.stats.cell_updates;
+    out.board_seconds += job.seconds;
+    if (job.best.score < opt.min_score) continue;
+    if (opt.dust_filter && rec.alphabet().id() == seq::AlphabetId::Dna) {
+      const auto masks = seq::find_low_complexity(rec, opt.dust_window, opt.dust_threshold);
+      const std::size_t end_pos = job.best.end.i;  // 1-based
+      bool masked = false;
+      for (const seq::MaskedInterval& iv : masks) {
+        if (end_pos > iv.begin && end_pos <= iv.end) {
+          masked = true;
+          break;
+        }
+      }
+      if (masked) continue;
+    }
+
+    Hit hit;
+    hit.record = r;
+    hit.result = job.best;
+    hit.board_seconds = job.seconds;
+    // Insert in rank order, keeping at most top_k (small k: linear is fine
+    // and keeps the order fully deterministic).
+    const auto pos = std::upper_bound(out.hits.begin(), out.hits.end(), hit, hit_ranks_before);
+    out.hits.insert(pos, std::move(hit));
+    if (out.hits.size() > opt.top_k) out.hits.pop_back();
+  }
+  return out;
+}
+
+PipelineResult retrieve_hit(core::SmithWatermanAccelerator& accelerator, const PciConfig& pci,
+                            const seq::Sequence& query, const std::vector<seq::Sequence>& records,
+                            const Hit& hit) {
+  if (hit.record >= records.size()) {
+    throw std::invalid_argument("retrieve_hit: record index out of range");
+  }
+  HostPipeline pipe(accelerator, pci);
+  return pipe.align(query, records[hit.record]);
+}
+
+}  // namespace swr::host

@@ -1,0 +1,64 @@
+// Batch database scanning — the SAMBA-style workload (paper Table 1:
+// query vs a database of many sequences).
+//
+// Streams every record of a sequence database through one accelerator,
+// keeping the top-k hits (score + record + coordinates). Optionally
+// retrieves the full alignment for each reported hit through the §2.3
+// pipeline. This is the layer a command-line search tool would sit on.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "align/cigar.hpp"
+#include "core/accelerator.hpp"
+#include "host/pipeline.hpp"
+
+namespace swr::host {
+
+/// One database hit.
+struct Hit {
+  std::size_t record = 0;            ///< index into the database vector
+  align::LocalScoreResult result{};  ///< score + end cell within that record
+  double board_seconds = 0.0;        ///< modelled accelerator time for the record
+};
+
+/// Hit ordering: higher score first; ties by record index, then canonical
+/// cell order — fully deterministic.
+bool hit_ranks_before(const Hit& x, const Hit& y);
+
+/// Scan configuration.
+struct ScanOptions {
+  std::size_t top_k = 10;       ///< hits to keep
+  align::Score min_score = 1;   ///< ignore records scoring below this
+
+  /// DUST low-complexity filter (DNA records only): suppress hits whose
+  /// end position lies inside a masked interval — the classic defence
+  /// against poly-A/microsatellite junk hits flooding the top-k.
+  bool dust_filter = false;
+  std::size_t dust_window = 64;
+  double dust_threshold = 2.0;
+
+  void validate() const;
+};
+
+/// Outcome of a scan.
+struct ScanResult {
+  std::vector<Hit> hits;          ///< ranked best-first, size <= top_k
+  std::size_t records_scanned = 0;
+  std::uint64_t cell_updates = 0; ///< total matrix cells across records
+  double board_seconds = 0.0;     ///< modelled accelerator time, summed
+};
+
+/// Scans `records` with `query` on `accelerator`.
+/// @throws std::invalid_argument on bad options or alphabet mismatch.
+ScanResult scan_database(core::SmithWatermanAccelerator& accelerator, const seq::Sequence& query,
+                         const std::vector<seq::Sequence>& records, const ScanOptions& opt);
+
+/// Retrieves the full alignment for one hit via the host pipeline.
+PipelineResult retrieve_hit(core::SmithWatermanAccelerator& accelerator, const PciConfig& pci,
+                            const seq::Sequence& query, const std::vector<seq::Sequence>& records,
+                            const Hit& hit);
+
+}  // namespace swr::host

@@ -1,0 +1,43 @@
+#include "host/fleet_scan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swr::host {
+
+ScanResult scan_database_fleet(core::BoardFleet& fleet, const seq::Sequence& query,
+                               const std::vector<seq::Sequence>& records,
+                               const ScanOptions& opt) {
+  if (fleet.empty()) throw std::invalid_argument("scan_database_fleet: empty fleet");
+  opt.validate();
+
+  ScanResult out;
+  std::vector<double> board_seconds(fleet.size(), 0.0);
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    const seq::Sequence& rec = records[r];
+    if (rec.alphabet().id() != query.alphabet().id()) {
+      throw std::invalid_argument("scan_database_fleet: record " + std::to_string(r) +
+                                  " alphabet mismatch");
+    }
+    ++out.records_scanned;
+    if (rec.empty() || query.empty()) continue;
+    const std::size_t board = r % fleet.size();
+    const core::JobResult job = fleet[board]->run(query, rec);
+    out.cell_updates += job.stats.cell_updates;
+    board_seconds[board] += job.seconds;
+    if (job.best.score < opt.min_score) continue;
+
+    Hit hit;
+    hit.record = r;
+    hit.result = job.best;
+    hit.board_seconds = job.seconds;
+    const auto pos = std::upper_bound(out.hits.begin(), out.hits.end(), hit, hit_ranks_before);
+    out.hits.insert(pos, std::move(hit));
+    if (out.hits.size() > opt.top_k) out.hits.pop_back();
+  }
+  // Boards run in parallel: the fleet finishes with its busiest member.
+  out.board_seconds = *std::max_element(board_seconds.begin(), board_seconds.end());
+  return out;
+}
+
+}  // namespace swr::host

@@ -1,0 +1,21 @@
+// Fleet database scanning: the batch scanner spread over several boards —
+// records dealt round-robin, per-board top-k merged. The conclusion's
+// cluster scenario applied to the SAMBA-style multi-record workload.
+#pragma once
+
+#include "core/multiboard.hpp"
+#include "host/batch.hpp"
+
+namespace swr::host {
+
+/// Fleet version of scan_database: records are distributed round-robin
+/// over the boards (simulated sequentially, modelled as parallel — the
+/// reported board time is the busiest board's). Hit results are identical
+/// to the single-board scan (tests enforce it); only the time model
+/// changes.
+/// @throws std::invalid_argument on an empty fleet / bad options.
+ScanResult scan_database_fleet(core::BoardFleet& fleet, const seq::Sequence& query,
+                               const std::vector<seq::Sequence>& records,
+                               const ScanOptions& opt);
+
+}  // namespace swr::host

@@ -1,0 +1,73 @@
+// Host <-> board transfer model.
+//
+// The paper's §3 argues that the host/FPGA channel is the classic killer
+// of FPGA bioinformatics ports — RC-BLAST [19] spent longer shipping data
+// than software took to finish the whole job — and that the proposed
+// design wins because "only a few bytes need to be transferred to the
+// host ... in few milliseconds through the PCI bus". This model makes
+// that argument quantitative: a bandwidth + per-transaction latency cost
+// for every movement between host and board.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace swr::host {
+
+/// Bus parameters. Defaults approximate 32-bit/33 MHz PCI as deployed in
+/// the paper's era: ~110 MB/s sustained, tens of microseconds of driver +
+/// DMA setup latency per transaction.
+struct PciConfig {
+  double bandwidth_bytes_per_s = 110.0 * 1024 * 1024;
+  double per_transfer_latency_s = 50e-6;
+
+  /// @throws std::invalid_argument on non-positive parameters.
+  void validate() const {
+    if (bandwidth_bytes_per_s <= 0.0) {
+      throw std::invalid_argument("PciConfig: non-positive bandwidth");
+    }
+    if (per_transfer_latency_s < 0.0) {
+      throw std::invalid_argument("PciConfig: negative latency");
+    }
+  }
+};
+
+/// Accumulating transfer-cost model.
+class PciModel {
+ public:
+  explicit PciModel(const PciConfig& cfg) : cfg_(cfg) { cfg.validate(); }
+
+  /// Cost of one transaction of `bytes`.
+  [[nodiscard]] double transfer_seconds(std::size_t bytes) const noexcept {
+    return cfg_.per_transfer_latency_s +
+           static_cast<double>(bytes) / cfg_.bandwidth_bytes_per_s;
+  }
+
+  /// Records a transaction and returns its cost.
+  double transfer(std::size_t bytes) {
+    const double s = transfer_seconds(bytes);
+    total_seconds_ += s;
+    total_bytes_ += bytes;
+    ++transactions_;
+    return s;
+  }
+
+  [[nodiscard]] double total_seconds() const noexcept { return total_seconds_; }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] std::uint64_t transactions() const noexcept { return transactions_; }
+  [[nodiscard]] const PciConfig& config() const noexcept { return cfg_; }
+
+  void reset() noexcept {
+    total_seconds_ = 0.0;
+    total_bytes_ = 0;
+    transactions_ = 0;
+  }
+
+ private:
+  PciConfig cfg_;
+  double total_seconds_ = 0.0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t transactions_ = 0;
+};
+
+}  // namespace swr::host

@@ -1,0 +1,80 @@
+// The full hardware/software co-design pipeline the paper proposes:
+//
+//   host ──PCI──▶ board: query + database
+//   board: forward pass  → best score + END coordinates    (accelerated)
+//   board: reverse pass  → BEGIN coordinates               (accelerated)
+//   board ──PCI──▶ host: a few bytes of score + coordinates
+//   host:  anchored re-pair + Hirschberg on the window     (software, §2.3)
+//   result: the actual optimal local alignment, linear space end to end.
+//
+// Timing is split three ways — modelled FPGA seconds (verified cycle
+// counts at the synthesized clock), modelled PCI seconds, and *measured*
+// host CPU seconds — so the benches can show where the time goes and why
+// coordinate output (vs shipping the matrix) keeps the bus out of the
+// critical path.
+#pragma once
+
+#include <cstdint>
+
+#include "align/cigar.hpp"
+#include "core/accelerator.hpp"
+#include "host/pci.hpp"
+
+namespace swr::host {
+
+/// Where the time went for one pipeline run.
+struct PipelineTiming {
+  double fpga_seconds = 0.0;      ///< both accelerator passes, modelled
+  double transfer_seconds = 0.0;  ///< PCI in + out, modelled
+  double host_seconds = 0.0;      ///< anchored scan + Hirschberg, measured
+
+  [[nodiscard]] double total() const noexcept {
+    return fpga_seconds + transfer_seconds + host_seconds;
+  }
+};
+
+/// A retrieved alignment plus the cost breakdown.
+struct PipelineResult {
+  align::LocalAlignment alignment;  ///< i = database position, j = query position
+  PipelineTiming timing;
+  core::RunStats forward_stats;
+  core::RunStats reverse_stats;
+  std::uint64_t bytes_to_board = 0;
+  std::uint64_t bytes_from_board = 0;
+};
+
+/// Drives a SmithWatermanAccelerator through the complete §2.3 recipe.
+class HostPipeline {
+ public:
+  /// The pipeline borrows the accelerator (one job at a time).
+  HostPipeline(core::SmithWatermanAccelerator& accelerator, const PciConfig& pci);
+
+  /// Aligns `query` against `db`, returning the optimal local alignment.
+  /// @throws std::invalid_argument on alphabet mismatch.
+  PipelineResult align(const seq::Sequence& query, const seq::Sequence& db);
+
+  [[nodiscard]] const PciModel& pci() const noexcept { return pci_; }
+
+ private:
+  core::SmithWatermanAccelerator& acc_;
+  PciModel pci_;
+};
+
+/// The affine-gap twin: AffineAccelerator passes for the coordinates
+/// ([2]/[32]'s gap model with this paper's Bs/Cl/Bc tracking), Myers &
+/// Miller [25] on the host for the transcript — linear space end to end.
+class AffineHostPipeline {
+ public:
+  AffineHostPipeline(core::AffineAccelerator& accelerator, const PciConfig& pci);
+
+  /// @throws std::invalid_argument on alphabet mismatch.
+  PipelineResult align(const seq::Sequence& query, const seq::Sequence& db);
+
+  [[nodiscard]] const PciModel& pci() const noexcept { return pci_; }
+
+ private:
+  core::AffineAccelerator& acc_;
+  PciModel pci_;
+};
+
+}  // namespace swr::host

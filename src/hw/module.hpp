@@ -1,0 +1,67 @@
+// Two-phase clocked simulation primitives.
+//
+// The paper prototyped its design in SystemC before synthesis; this is our
+// from-scratch equivalent of the slice of SystemC the design needs. Every
+// Module is evaluated in two phases per clock:
+//
+//   evaluate()  — combinational: read current register values and inputs,
+//                 compute next-state; MUST NOT change visible state.
+//   commit()    — sequential: latch next-state into the registers.
+//
+// Because all evaluate() calls see only pre-edge values, module evaluation
+// order within a cycle cannot change behaviour — the property that makes a
+// systolic array race-free by construction, and which the simulator
+// actively checks in debug runs by shuffling evaluation order.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace swr::hw {
+
+/// A clocked hardware module.
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Combinational phase: compute next state from current state + inputs.
+  virtual void evaluate() = 0;
+  /// Clock edge: make next state current.
+  virtual void commit() = 0;
+  /// Returns to the power-on state.
+  virtual void reset() = 0;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// A register with two-phase update semantics. Holds its current value
+/// until commit() latches the staged next value.
+template <typename T>
+class Reg {
+ public:
+  Reg() = default;
+  explicit Reg(T reset_value) : cur_(reset_value), nxt_(reset_value), reset_(reset_value) {}
+
+  /// Current (pre-edge) value — what combinational logic reads.
+  [[nodiscard]] const T& get() const noexcept { return cur_; }
+  /// Stages the post-edge value.
+  void set_next(const T& v) noexcept { nxt_ = v; }
+  /// Latches. Called from the owning module's commit().
+  void commit() noexcept { cur_ = nxt_; }
+  /// Back to the reset value.
+  void reset() noexcept { cur_ = nxt_ = reset_; }
+
+ private:
+  T cur_{};
+  T nxt_{};
+  T reset_{};
+};
+
+}  // namespace swr::hw

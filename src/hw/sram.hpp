@@ -1,0 +1,91 @@
+// Board SRAM model.
+//
+// The paper stores the streamed database sequence — and, for partitioned
+// queries, the boundary-column scores between passes — in the FPGA board's
+// SRAM (§5: "a large database sequence can be put in the FPGA board SRAM
+// memory that can handle several megabytes"). This model tracks capacity
+// and traffic so the benches can report the memory footprint the design
+// actually needs (the "reduced memory space" of the title) and so that a
+// configuration whose boundary data does not fit fails loudly.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace swr::hw {
+
+/// Word-addressable SRAM with a fixed byte capacity.
+class Sram {
+ public:
+  /// @throws std::invalid_argument on zero capacity.
+  explicit Sram(std::size_t capacity_bytes) : capacity_(capacity_bytes) {
+    if (capacity_bytes == 0) throw std::invalid_argument("Sram: zero capacity");
+  }
+
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t used_bytes() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t free_bytes() const noexcept { return capacity_ - data_.size(); }
+
+  /// Allocates a region of `bytes`, returning its base address.
+  /// @throws std::length_error when the region does not fit — the model's
+  /// version of "this query/database combination exceeds the board".
+  std::size_t allocate(std::size_t bytes, const std::string& what) {
+    if (bytes > free_bytes()) {
+      throw std::length_error("Sram: cannot allocate " + std::to_string(bytes) + " bytes for " +
+                              what + " (" + std::to_string(free_bytes()) + " free of " +
+                              std::to_string(capacity_) + ")");
+    }
+    const std::size_t base = data_.size();
+    data_.resize(data_.size() + bytes, 0);
+    return base;
+  }
+
+  /// Releases everything (between accelerator jobs).
+  void clear() noexcept {
+    data_.clear();
+    reads_ = writes_ = 0;
+  }
+
+  /// @throws std::out_of_range outside any allocated region.
+  [[nodiscard]] std::uint8_t read8(std::size_t addr) const {
+    bounds(addr, 1);
+    ++reads_;
+    return data_[addr];
+  }
+  void write8(std::size_t addr, std::uint8_t v) {
+    bounds(addr, 1);
+    ++writes_;
+    data_[addr] = v;
+  }
+
+  [[nodiscard]] std::uint32_t read32(std::size_t addr) const {
+    bounds(addr, 4);
+    ++reads_;
+    std::uint32_t v = 0;
+    for (int k = 3; k >= 0; --k) v = (v << 8) | data_[addr + static_cast<std::size_t>(k)];
+    return v;
+  }
+  void write32(std::size_t addr, std::uint32_t v) {
+    bounds(addr, 4);
+    ++writes_;
+    for (std::size_t k = 0; k < 4; ++k) data_[addr + k] = static_cast<std::uint8_t>(v >> (8 * k));
+  }
+
+  /// Access counters (for the bandwidth model in benches).
+  [[nodiscard]] std::uint64_t read_count() const noexcept { return reads_; }
+  [[nodiscard]] std::uint64_t write_count() const noexcept { return writes_; }
+
+ private:
+  void bounds(std::size_t addr, std::size_t len) const {
+    if (addr + len > data_.size()) throw std::out_of_range("Sram: access outside allocated region");
+  }
+
+  std::size_t capacity_;
+  std::vector<std::uint8_t> data_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace swr::hw

@@ -1,0 +1,44 @@
+// Named activity counters shared by the hardware models.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace swr::hw {
+
+/// A bag of monotonically increasing named counters (cycles, cell updates,
+/// SRAM traffic, saturations, ...). Deliberately a std::map so dumps are
+/// deterministic and alphabetical.
+class Stats {
+ public:
+  void add(const std::string& key, std::uint64_t n = 1) { counters_[key] += n; }
+  void set(const std::string& key, std::uint64_t n) { counters_[key] = n; }
+
+  [[nodiscard]] std::uint64_t get(const std::string& key) const {
+    const auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const noexcept {
+    return counters_;
+  }
+
+  void clear() noexcept { counters_.clear(); }
+
+  /// Merges another stats bag into this one (summing).
+  void merge(const Stats& other) {
+    for (const auto& [k, v] : other.counters_) counters_[k] += v;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Stats& s) {
+    for (const auto& [k, v] : s.counters_) os << k << " = " << v << '\n';
+    return os;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace swr::hw

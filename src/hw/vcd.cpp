@@ -1,0 +1,84 @@
+#include "hw/vcd.hpp"
+
+#include <stdexcept>
+
+namespace swr::hw {
+namespace {
+
+// Short printable identifier for signal #k (VCD identifier alphabet).
+std::string vcd_id(std::size_t k) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + k % 94));
+    k /= 94;
+  } while (k != 0);
+  return id;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(std::ostream& out, std::string design_name, std::string timescale)
+    : out_(out), design_(std::move(design_name)), timescale_(std::move(timescale)) {}
+
+void VcdWriter::add_signal(const std::string& name, unsigned width,
+                           std::function<std::uint64_t()> probe) {
+  if (header_done_) throw std::logic_error("VcdWriter: add_signal after first sample");
+  if (name.empty()) throw std::invalid_argument("VcdWriter: empty signal name");
+  if (width == 0 || width > 64) throw std::invalid_argument("VcdWriter: width must be 1..64");
+  if (!probe) throw std::invalid_argument("VcdWriter: null probe");
+  Signal s;
+  s.name = name;
+  s.width = width;
+  s.probe = std::move(probe);
+  s.id = vcd_id(signals_.size());
+  signals_.push_back(std::move(s));
+}
+
+void VcdWriter::emit_header() {
+  out_ << "$timescale " << timescale_ << " $end\n";
+  out_ << "$scope module " << design_ << " $end\n";
+  for (const Signal& s : signals_) {
+    out_ << "$var wire " << s.width << ' ' << s.id << ' ' << s.name << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  header_done_ = true;
+}
+
+void VcdWriter::emit_value(const Signal& s, std::uint64_t v) {
+  if (s.width == 1) {
+    out_ << (v & 1u) << s.id << '\n';
+    return;
+  }
+  out_ << 'b';
+  bool started = false;
+  for (int bit = static_cast<int>(s.width) - 1; bit >= 0; --bit) {
+    const unsigned b = (v >> bit) & 1u;
+    if (b != 0) started = true;
+    if (started || bit == 0) out_ << b;
+  }
+  out_ << ' ' << s.id << '\n';
+}
+
+void VcdWriter::sample(std::uint64_t t) {
+  if (!header_done_) emit_header();
+  if (have_time_ && t <= last_time_) {
+    throw std::logic_error("VcdWriter: non-increasing sample time");
+  }
+  bool time_emitted = false;
+  for (Signal& s : signals_) {
+    const std::uint64_t v = s.probe();
+    if (!s.dumped || v != s.last) {
+      if (!time_emitted) {
+        out_ << '#' << t << '\n';
+        time_emitted = true;
+      }
+      emit_value(s, v);
+      s.dumped = true;
+      s.last = v;
+    }
+  }
+  have_time_ = true;
+  last_time_ = t;
+}
+
+}  // namespace swr::hw

@@ -1,0 +1,55 @@
+// VCD (Value Change Dump) waveform writer.
+//
+// The figure-5 traces (which PE computes which cell, when Bs/Bc update) are
+// dumped in the standard VCD format so they can be inspected in any
+// waveform viewer — the same artifact an RTL simulation of the paper's
+// design would produce.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace swr::hw {
+
+/// Streams value changes of probed signals to a VCD file.
+class VcdWriter {
+ public:
+  /// `timescale` is the VCD timescale string, e.g. "1ns".
+  VcdWriter(std::ostream& out, std::string design_name, std::string timescale = "1ns");
+
+  /// Adds a probe before the header is emitted. `width` in bits; `probe`
+  /// is sampled every sample() call. @throws std::logic_error after the
+  /// first sample, std::invalid_argument on zero width or empty name.
+  void add_signal(const std::string& name, unsigned width, std::function<std::uint64_t()> probe);
+
+  /// Samples all probes at time `t`, writing changes only. Emits the
+  /// header on the first call. Times must be strictly increasing;
+  /// @throws std::logic_error otherwise.
+  void sample(std::uint64_t t);
+
+ private:
+  struct Signal {
+    std::string name;
+    unsigned width;
+    std::function<std::uint64_t()> probe;
+    std::string id;
+    std::uint64_t last = 0;
+    bool dumped = false;
+  };
+
+  void emit_header();
+  void emit_value(const Signal& s, std::uint64_t v);
+
+  std::ostream& out_;
+  std::string design_;
+  std::string timescale_;
+  std::vector<Signal> signals_;
+  bool header_done_ = false;
+  bool have_time_ = false;
+  std::uint64_t last_time_ = 0;
+};
+
+}  // namespace swr::hw

@@ -1,0 +1,95 @@
+// Minimal fixed-size thread pool.
+//
+// The wavefront engine (paper §2.4, figure 3) pins one worker per column
+// block, mirroring the P1..P4 processors of the figure. Workers are plain
+// std::jthread-style loops over a mutex-protected queue; the pool is small
+// and boring on purpose — determinism and clean shutdown over throughput
+// tricks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace swr::par {
+
+/// Fixed set of workers executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// @throws std::invalid_argument on zero threads.
+  explicit ThreadPool(std::size_t threads) {
+    if (threads == 0) throw std::invalid_argument("ThreadPool: zero threads");
+    workers_.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task. @throws std::invalid_argument on an empty task,
+  /// std::logic_error after shutdown began.
+  void submit(std::function<void()> task) {
+    if (!task) throw std::invalid_argument("ThreadPool::submit: empty task");
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) throw std::logic_error("ThreadPool::submit: pool is stopping");
+      queue_.push(std::move(task));
+      ++outstanding_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping and drained
+        task = std::move(queue_.front());
+        queue_.pop();
+      }
+      task();
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        --outstanding_;
+        if (outstanding_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::queue<std::function<void()>> queue_;
+  std::size_t outstanding_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace swr::par

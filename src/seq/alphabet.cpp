@@ -1,0 +1,35 @@
+#include "seq/alphabet.hpp"
+
+namespace swr::seq {
+
+const Alphabet& dna() {
+  static const Alphabet kDna{AlphabetId::Dna, "ACGT"};
+  return kDna;
+}
+
+const Alphabet& rna() {
+  static const Alphabet kRna{AlphabetId::Rna, "ACGU"};
+  return kRna;
+}
+
+const Alphabet& protein() {
+  static const Alphabet kProtein{AlphabetId::Protein, "ARNDCQEGHILKMFPSTWYVX"};
+  return kProtein;
+}
+
+const Alphabet& alphabet(AlphabetId id) {
+  switch (id) {
+    case AlphabetId::Dna: return dna();
+    case AlphabetId::Rna: return rna();
+    case AlphabetId::Protein: return protein();
+  }
+  throw std::invalid_argument("alphabet: unknown id");
+}
+
+Code dna_complement(Code code) {
+  if (code >= 4) throw std::out_of_range("dna_complement: bad code");
+  // A(0)<->T(3), C(1)<->G(2): complement is 3 - code.
+  return static_cast<Code>(3 - code);
+}
+
+}  // namespace swr::seq

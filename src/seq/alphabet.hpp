@@ -1,0 +1,108 @@
+// Alphabet definitions for biological sequences.
+//
+// An Alphabet maps residue characters (e.g. 'A', 'C', 'G', 'T') to small
+// dense integer codes and back. Dense codes are what every other layer of
+// the library operates on: the software aligners index substitution tables
+// with them and the systolic hardware model stores them in 2- or 5-bit
+// registers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace swr::seq {
+
+/// Dense residue code. Valid codes are < Alphabet::size(); kInvalidCode
+/// marks characters outside the alphabet.
+using Code = std::uint8_t;
+
+inline constexpr Code kInvalidCode = 0xFF;
+
+/// Identifies one of the built-in alphabets.
+enum class AlphabetId : std::uint8_t {
+  Dna,      ///< A C G T
+  Rna,      ///< A C G U
+  Protein,  ///< 20 standard amino acids + X (unknown)
+};
+
+/// Immutable residue alphabet: character <-> dense-code mapping.
+///
+/// Lookup tables are built once at construction; all queries are O(1) and
+/// noexcept. Lower-case input characters are accepted and mapped like their
+/// upper-case counterparts.
+class Alphabet {
+ public:
+  /// Builds an alphabet over the given residue letters (upper-case).
+  /// @throws std::invalid_argument on duplicate or non-ASCII letters.
+  explicit Alphabet(AlphabetId id, std::string_view letters) : id_(id), letters_(letters) {
+    if (letters.size() >= kInvalidCode) {
+      throw std::invalid_argument("Alphabet: too many letters");
+    }
+    to_code_.fill(kInvalidCode);
+    for (std::size_t i = 0; i < letters.size(); ++i) {
+      const char upper = letters[i];
+      if (static_cast<unsigned char>(upper) >= 128) {
+        throw std::invalid_argument("Alphabet: non-ASCII letter");
+      }
+      const char lower = (upper >= 'A' && upper <= 'Z') ? static_cast<char>(upper - 'A' + 'a') : upper;
+      if (to_code_[static_cast<unsigned char>(upper)] != kInvalidCode) {
+        throw std::invalid_argument("Alphabet: duplicate letter");
+      }
+      to_code_[static_cast<unsigned char>(upper)] = static_cast<Code>(i);
+      to_code_[static_cast<unsigned char>(lower)] = static_cast<Code>(i);
+    }
+  }
+
+  /// Which built-in alphabet this is.
+  [[nodiscard]] AlphabetId id() const noexcept { return id_; }
+
+  /// Number of residues in the alphabet.
+  [[nodiscard]] std::size_t size() const noexcept { return letters_.size(); }
+
+  /// Dense code for a character, or kInvalidCode if not in the alphabet.
+  [[nodiscard]] Code code(char c) const noexcept { return to_code_[static_cast<unsigned char>(c)]; }
+
+  /// True iff the character belongs to the alphabet (case-insensitive).
+  [[nodiscard]] bool contains(char c) const noexcept { return code(c) != kInvalidCode; }
+
+  /// Upper-case letter for a dense code. @throws std::out_of_range on bad code.
+  [[nodiscard]] char letter(Code code) const {
+    if (code >= letters_.size()) throw std::out_of_range("Alphabet::letter: bad code");
+    return letters_[code];
+  }
+
+  /// All letters, in code order.
+  [[nodiscard]] std::string_view letters() const noexcept { return letters_; }
+
+  /// Minimum number of bits needed to store one dense code.
+  [[nodiscard]] unsigned bits_per_code() const noexcept {
+    unsigned bits = 1;
+    while ((std::size_t{1} << bits) < letters_.size()) ++bits;
+    return bits;
+  }
+
+ private:
+  AlphabetId id_;
+  std::string letters_;
+  std::array<Code, 256> to_code_{};
+};
+
+/// The 4-letter DNA alphabet (A=0, C=1, G=2, T=3).
+const Alphabet& dna();
+/// The 4-letter RNA alphabet (A=0, C=1, G=2, U=3).
+const Alphabet& rna();
+/// The 20 standard amino acids plus X, in BLOSUM row order
+/// (A R N D C Q E G H I L K M F P S T W Y V X).
+const Alphabet& protein();
+
+/// Lookup by id.
+const Alphabet& alphabet(AlphabetId id);
+
+/// DNA complement of a dense code (A<->T, C<->G). @throws std::out_of_range.
+Code dna_complement(Code code);
+
+}  // namespace swr::seq

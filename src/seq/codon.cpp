@@ -1,0 +1,118 @@
+#include "seq/codon.hpp"
+
+#include <stdexcept>
+#include <optional>
+
+namespace swr::seq {
+namespace {
+
+// Standard genetic code, indexed b1*16 + b2*4 + b3 with A=0 C=1 G=2 T=3.
+// '*' marks stop codons (rendered as 'X' in the protein alphabet).
+constexpr char kCodonTable[65] =
+    //  AA.  AC.  AG.  AT.   (b3 cycles A C G T)
+    "KNKN" "TTTT" "RSRS" "IIMI"   // A..
+    "QHQH" "PPPP" "RRRR" "LLLL"   // C..
+    "EDED" "AAAA" "GGGG" "VVVV"   // G..
+    "*Y*Y" "SSSS" "*CWC" "LFLF";  // T..
+
+unsigned codon_index(Code b1, Code b2, Code b3) {
+  if (b1 >= 4 || b2 >= 4 || b3 >= 4) {
+    throw std::invalid_argument("translate_codon: code outside DNA alphabet");
+  }
+  return static_cast<unsigned>(b1) * 16 + static_cast<unsigned>(b2) * 4 + b3;
+}
+
+}  // namespace
+
+bool is_stop_codon(Code b1, Code b2, Code b3) {
+  return kCodonTable[codon_index(b1, b2, b3)] == '*';
+}
+
+Code translate_codon(Code b1, Code b2, Code b3) {
+  const char aa = kCodonTable[codon_index(b1, b2, b3)];
+  return protein().code(aa == '*' ? 'X' : aa);
+}
+
+Sequence translate(const Sequence& dna_seq, unsigned frame) {
+  if (dna_seq.alphabet().id() != AlphabetId::Dna) {
+    throw std::invalid_argument("translate: sequence is not DNA");
+  }
+  if (frame >= 3) throw std::invalid_argument("translate: frame must be 0, 1 or 2");
+  std::vector<Code> aa;
+  if (dna_seq.size() >= frame + 3) {
+    aa.reserve((dna_seq.size() - frame) / 3);
+    for (std::size_t p = frame; p + 3 <= dna_seq.size(); p += 3) {
+      aa.push_back(translate_codon(dna_seq[p], dna_seq[p + 1], dna_seq[p + 2]));
+    }
+  }
+  return Sequence(protein(), std::move(aa),
+                  dna_seq.name().empty() ? std::string{}
+                                         : dna_seq.name() + "(frame " + std::to_string(frame) + ")");
+}
+
+std::array<Sequence, 6> six_frame_translation(const Sequence& dna_seq) {
+  const Sequence rc = dna_seq.reverse_complemented();
+  return {translate(dna_seq, 0), translate(dna_seq, 1), translate(dna_seq, 2),
+          translate(rc, 0),      translate(rc, 1),      translate(rc, 2)};
+}
+
+namespace {
+
+void scan_strand(const Sequence& strand, bool reverse, std::size_t min_codons,
+                 std::vector<OpenReadingFrame>& out) {
+  const Code a = dna().code('A');
+  const Code t = dna().code('T');
+  const Code g = dna().code('G');
+  for (unsigned frame = 0; frame < 3; ++frame) {
+    std::optional<std::size_t> start;
+    for (std::size_t p = frame; p + 3 <= strand.size(); p += 3) {
+      const Code b1 = strand[p];
+      const Code b2 = strand[p + 1];
+      const Code b3 = strand[p + 2];
+      if (!start && b1 == a && b2 == t && b3 == g) {
+        start = p;
+        continue;
+      }
+      if (start && is_stop_codon(b1, b2, b3)) {
+        OpenReadingFrame orf;
+        orf.frame = frame;
+        orf.reverse = reverse;
+        orf.begin = *start;
+        orf.end = p + 3;
+        if (orf.codons() >= min_codons) out.push_back(orf);
+        start.reset();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<OpenReadingFrame> find_orfs(const Sequence& dna_seq, std::size_t min_codons) {
+  if (dna_seq.alphabet().id() != AlphabetId::Dna) {
+    throw std::invalid_argument("find_orfs: sequence is not DNA");
+  }
+  if (min_codons == 0) throw std::invalid_argument("find_orfs: min_codons must be >= 1");
+  std::vector<OpenReadingFrame> out;
+  scan_strand(dna_seq, /*reverse=*/false, min_codons, out);
+  scan_strand(dna_seq.reverse_complemented(), /*reverse=*/true, min_codons, out);
+  return out;
+}
+
+Sequence orf_protein(const Sequence& dna_seq, const OpenReadingFrame& orf) {
+  if (dna_seq.alphabet().id() != AlphabetId::Dna) {
+    throw std::invalid_argument("orf_protein: sequence is not DNA");
+  }
+  const Sequence strand = orf.reverse ? dna_seq.reverse_complemented() : dna_seq;
+  if (orf.end > strand.size() || orf.begin + 3 > orf.end || (orf.end - orf.begin) % 3 != 0) {
+    throw std::invalid_argument("orf_protein: ORF outside sequence or misaligned");
+  }
+  std::vector<Code> aa;
+  aa.reserve(orf.codons());
+  for (std::size_t p = orf.begin; p + 3 < orf.end; p += 3) {  // excludes the stop
+    aa.push_back(translate_codon(strand[p], strand[p + 1], strand[p + 2]));
+  }
+  return Sequence(protein(), std::move(aa), "orf");
+}
+
+}  // namespace swr::seq

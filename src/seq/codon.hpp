@@ -1,0 +1,53 @@
+// Genetic-code translation: DNA -> protein.
+//
+// The related-work architectures ([21], [23]) search amino-acid databases
+// while this paper's evaluation is DNA; translated search (6-frame) is the
+// classic bridge between the two and lets the protein scoring stack
+// (BLOSUM62 + affine PEs) run over nucleotide databases.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace swr::seq {
+
+/// Translates a DNA codon (three 2-bit codes) to a protein code under the
+/// standard genetic code. Stop codons translate to 'X' (the library's
+/// unknown residue) — callers that need ORF semantics split on is_stop().
+Code translate_codon(Code b1, Code b2, Code b3);
+
+/// True iff the codon is a stop (TAA, TAG, TGA).
+bool is_stop_codon(Code b1, Code b2, Code b3);
+
+/// Translates a DNA sequence in reading frame `frame` (0, 1 or 2): codons
+/// start at position `frame`; a trailing partial codon is dropped.
+/// @throws std::invalid_argument unless the input is DNA and frame < 3.
+Sequence translate(const Sequence& dna_seq, unsigned frame = 0);
+
+/// All six reading frames: 0..2 forward, 3..5 on the reverse complement.
+/// Result[f] carries a "(frame f)" name suffix.
+std::array<Sequence, 6> six_frame_translation(const Sequence& dna_seq);
+
+/// An open reading frame: ATG .. stop in one frame of one strand.
+struct OpenReadingFrame {
+  unsigned frame = 0;      ///< 0..2 within the scanned strand
+  bool reverse = false;    ///< true = found on the reverse complement
+  std::size_t begin = 0;   ///< 0-based offset of the ATG on the scanned strand
+  std::size_t end = 0;     ///< one past the stop codon (same strand coords)
+
+  /// Codons between start and stop, exclusive of the stop.
+  [[nodiscard]] std::size_t codons() const noexcept { return (end - begin) / 3 - 1; }
+};
+
+/// All ORFs with at least `min_codons` coding codons (start included, stop
+/// excluded), over both strands. Within a frame, ORFs are the maximal
+/// ATG..stop spans (first ATG after the previous stop).
+/// @throws std::invalid_argument unless the input is DNA or min_codons==0.
+std::vector<OpenReadingFrame> find_orfs(const Sequence& dna_seq, std::size_t min_codons);
+
+/// The protein coded by an ORF (start codon's M included, stop excluded).
+Sequence orf_protein(const Sequence& dna_seq, const OpenReadingFrame& orf);
+
+}  // namespace swr::seq

@@ -1,0 +1,68 @@
+#include "seq/complexity.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace swr::seq {
+namespace {
+
+void check_dna(const Sequence& s) {
+  if (s.alphabet().id() != AlphabetId::Dna) {
+    throw std::invalid_argument("complexity: sequence is not DNA");
+  }
+}
+
+}  // namespace
+
+double dust_score(const Sequence& s, std::size_t begin, std::size_t len) {
+  check_dna(s);
+  if (len < 3) throw std::invalid_argument("dust_score: window must have at least 3 bases");
+  if (begin + len > s.size()) throw std::invalid_argument("dust_score: window outside sequence");
+
+  std::array<std::uint32_t, 64> counts{};
+  unsigned triplet = (s[begin] << 2) | s[begin + 1];
+  for (std::size_t p = begin + 2; p < begin + len; ++p) {
+    triplet = ((triplet << 2) | s[p]) & 0x3F;
+    ++counts[triplet];
+  }
+  const std::size_t n_triplets = len - 2;
+  double sum = 0.0;
+  for (const std::uint32_t c : counts) {
+    sum += static_cast<double>(c) * (static_cast<double>(c) - 1.0) / 2.0;
+  }
+  return n_triplets > 1 ? sum / static_cast<double>(n_triplets - 1) : 0.0;
+}
+
+std::vector<MaskedInterval> find_low_complexity(const Sequence& s, std::size_t window,
+                                                double threshold) {
+  check_dna(s);
+  if (window < 3) throw std::invalid_argument("find_low_complexity: window must be >= 3");
+  if (threshold <= 0.0) throw std::invalid_argument("find_low_complexity: threshold must be > 0");
+
+  std::vector<MaskedInterval> out;
+  if (s.size() < 3) return out;
+  const std::size_t w = std::min(window, s.size());
+  const std::size_t step = std::max<std::size_t>(w / 2, 1);
+
+  for (std::size_t pos = 0; pos < s.size(); pos += step) {
+    const std::size_t len = std::min(w, s.size() - pos);
+    if (len < 3) break;
+    if (dust_score(s, pos, len) < threshold) continue;
+    const std::size_t end = pos + len;
+    if (!out.empty() && pos <= out.back().end) {
+      out.back().end = std::max(out.back().end, end);
+    } else {
+      out.push_back(MaskedInterval{pos, end});
+    }
+  }
+  return out;
+}
+
+double masked_fraction(const std::vector<MaskedInterval>& intervals, std::size_t seq_len) {
+  if (seq_len == 0) return 0.0;
+  std::size_t covered = 0;
+  for (const MaskedInterval& iv : intervals) covered += iv.end - iv.begin;
+  return static_cast<double>(covered) / static_cast<double>(seq_len);
+}
+
+}  // namespace swr::seq

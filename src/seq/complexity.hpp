@@ -1,0 +1,44 @@
+// Low-complexity detection (DUST-style).
+//
+// Database scans drown in spurious hits from simple repeats (poly-A runs,
+// microsatellites): a random query aligns "well" against AAAA... by
+// chance, polluting the top-k list the accelerator produces. The classic
+// countermeasure is DUST: score windows by triplet over-representation and
+// mask the offenders before scanning. This module implements that filter
+// over the 2-bit DNA alphabet.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace swr::seq {
+
+/// A half-open masked interval [begin, end) of sequence positions.
+struct MaskedInterval {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  friend bool operator==(const MaskedInterval&, const MaskedInterval&) = default;
+};
+
+/// DUST score of one window: sum over distinct triplets of c*(c-1)/2
+/// (c = triplet count), normalised by (window_triplets - 1). A uniform
+/// random 64-base window scores ~0.5; a homopolymer run scores ~window/2.
+/// @throws std::invalid_argument unless the input is DNA and the window
+/// has at least 3 bases.
+double dust_score(const Sequence& s, std::size_t begin, std::size_t len);
+
+/// Scans with a sliding window, merging adjacent flagged windows into
+/// maximal masked intervals. `threshold` ~2.0 flags strong repeats while
+/// leaving random sequence alone (the conventional DUST level).
+/// @throws std::invalid_argument on a non-DNA input, window < 3, or a
+/// non-positive threshold.
+std::vector<MaskedInterval> find_low_complexity(const Sequence& s, std::size_t window = 64,
+                                                double threshold = 2.0);
+
+/// Fraction of positions covered by the intervals.
+double masked_fraction(const std::vector<MaskedInterval>& intervals, std::size_t seq_len);
+
+}  // namespace swr::seq

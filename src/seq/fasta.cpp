@@ -1,0 +1,93 @@
+#include "seq/fasta.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace swr::seq {
+namespace {
+
+std::string trim(std::string s) {
+  const auto is_space = [](char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; };
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && is_space(s[b])) ++b;
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+std::vector<Sequence> read_fasta(std::istream& in, const Alphabet& ab) {
+  std::vector<Sequence> records;
+  std::string line;
+  std::string name;
+  std::vector<Code> codes;
+  bool in_record = false;
+  std::size_t lineno = 0;
+
+  const auto flush = [&] {
+    if (in_record) {
+      records.emplace_back(ab, std::move(codes), std::move(name));
+      codes = {};
+      name = {};
+    }
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == ';') continue;  // blank or legacy comment line
+    if (t[0] == '>') {
+      flush();
+      in_record = true;
+      name = trim(t.substr(1));
+      continue;
+    }
+    if (!in_record) {
+      throw FastaError("FASTA line " + std::to_string(lineno) + ": sequence data before any '>' header");
+    }
+    for (const char c : t) {
+      const Code code = ab.code(c);
+      if (code == kInvalidCode) {
+        throw FastaError("FASTA line " + std::to_string(lineno) + ": invalid residue '" +
+                         std::string(1, c) + "'");
+      }
+      codes.push_back(code);
+    }
+  }
+  flush();
+  return records;
+}
+
+std::vector<Sequence> read_fasta_file(const std::string& path, const Alphabet& ab) {
+  std::ifstream in(path);
+  if (!in) throw FastaError("FASTA: cannot open '" + path + "'");
+  return read_fasta(in, ab);
+}
+
+void write_fasta(std::ostream& out, const std::vector<Sequence>& records, std::size_t width) {
+  for (const Sequence& rec : records) {
+    out << '>' << rec.name() << '\n';
+    const std::string text = rec.to_string();
+    if (width == 0) {
+      out << text << '\n';
+    } else {
+      for (std::size_t i = 0; i < text.size(); i += width) {
+        out << text.substr(i, width) << '\n';
+      }
+      if (text.empty()) out << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path, const std::vector<Sequence>& records,
+                      std::size_t width) {
+  std::ofstream out(path);
+  if (!out) throw FastaError("FASTA: cannot open '" + path + "' for writing");
+  write_fasta(out, records, width);
+  if (!out) throw FastaError("FASTA: write failure on '" + path + "'");
+}
+
+}  // namespace swr::seq

@@ -1,0 +1,41 @@
+// Minimal, strict FASTA reader/writer.
+//
+// Supports multi-record files, arbitrary line wrapping, CRLF line endings
+// and comment lines (';', a legacy FASTA extension). Parsing is strict:
+// residues outside the requested alphabet are an error with a line number,
+// not silently dropped — a corrupted database should fail loudly before it
+// reaches the accelerator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace swr::seq {
+
+/// Error raised on malformed FASTA input; message includes the line number.
+class FastaError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Reads every record from a FASTA stream. Record names are the full header
+/// line after '>' (leading/trailing whitespace trimmed).
+/// @throws FastaError on malformed input.
+std::vector<Sequence> read_fasta(std::istream& in, const Alphabet& ab);
+
+/// Reads every record from a FASTA file. @throws FastaError (including on
+/// unopenable files).
+std::vector<Sequence> read_fasta_file(const std::string& path, const Alphabet& ab);
+
+/// Writes records in FASTA format, wrapping sequence lines at `width`
+/// characters (width 0 = no wrapping).
+void write_fasta(std::ostream& out, const std::vector<Sequence>& records, std::size_t width = 70);
+
+/// Writes records to a FASTA file. @throws FastaError on I/O failure.
+void write_fasta_file(const std::string& path, const std::vector<Sequence>& records,
+                      std::size_t width = 70);
+
+}  // namespace swr::seq

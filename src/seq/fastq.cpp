@@ -1,0 +1,91 @@
+#include "seq/fastq.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace swr::seq {
+namespace {
+
+std::string strip_cr(std::string s) {
+  if (!s.empty() && s.back() == '\r') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+double FastqRecord::mean_quality() const noexcept {
+  if (qualities.empty()) return 0.0;
+  double sum = 0.0;
+  for (const std::uint8_t q : qualities) sum += q;
+  return sum / static_cast<double>(qualities.size());
+}
+
+std::vector<FastqRecord> read_fastq(std::istream& in, const Alphabet& ab) {
+  std::vector<FastqRecord> records;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string header = strip_cr(line);
+    if (header.empty()) continue;  // tolerate blank separator lines
+    if (header[0] != '@') {
+      throw FastqError("FASTQ line " + std::to_string(lineno) + ": expected '@' header");
+    }
+    std::string seq_line;
+    std::string plus_line;
+    std::string qual_line;
+    if (!std::getline(in, seq_line) || !std::getline(in, plus_line) ||
+        !std::getline(in, qual_line)) {
+      throw FastqError("FASTQ line " + std::to_string(lineno) + ": truncated record");
+    }
+    lineno += 3;
+    seq_line = strip_cr(seq_line);
+    plus_line = strip_cr(plus_line);
+    qual_line = strip_cr(qual_line);
+    if (plus_line.empty() || plus_line[0] != '+') {
+      throw FastqError("FASTQ line " + std::to_string(lineno - 1) + ": expected '+' separator");
+    }
+    if (qual_line.size() != seq_line.size()) {
+      throw FastqError("FASTQ line " + std::to_string(lineno) +
+                       ": quality length differs from sequence length");
+    }
+    FastqRecord rec;
+    try {
+      rec.sequence = Sequence(ab, seq_line, header.substr(1));
+    } catch (const std::invalid_argument& e) {
+      throw FastqError("FASTQ line " + std::to_string(lineno - 2) + ": " + e.what());
+    }
+    rec.qualities.reserve(qual_line.size());
+    for (const char c : qual_line) {
+      if (c < '!' || c > '~') {
+        throw FastqError("FASTQ line " + std::to_string(lineno) + ": bad quality character");
+      }
+      rec.qualities.push_back(static_cast<std::uint8_t>(c - '!'));
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::vector<FastqRecord> read_fastq_file(const std::string& path, const Alphabet& ab) {
+  std::ifstream in(path);
+  if (!in) throw FastqError("FASTQ: cannot open '" + path + "'");
+  return read_fastq(in, ab);
+}
+
+void write_fastq(std::ostream& out, const std::vector<FastqRecord>& records) {
+  for (const FastqRecord& rec : records) {
+    if (rec.qualities.size() != rec.sequence.size()) {
+      throw std::invalid_argument("write_fastq: quality/sequence length mismatch");
+    }
+    out << '@' << rec.sequence.name() << '\n' << rec.sequence.to_string() << "\n+\n";
+    for (const std::uint8_t q : rec.qualities) {
+      if (q > 93) throw std::invalid_argument("write_fastq: quality above 93");
+      out << static_cast<char>('!' + q);
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace swr::seq

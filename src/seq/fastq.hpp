@@ -1,0 +1,46 @@
+// FASTQ reader/writer: sequences with per-base quality scores.
+//
+// Short-read mapping — the fitting-alignment use case — arrives as FASTQ.
+// Qualities are Phred+33 encoded; the reader validates record structure
+// (4 lines, matching lengths, '+' separator) and decodes qualities to
+// integers.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace swr::seq {
+
+/// Error with the offending line number in the message.
+class FastqError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One read: sequence + Phred quality per base.
+struct FastqRecord {
+  Sequence sequence;
+  std::vector<std::uint8_t> qualities;  ///< Phred scores (0..93)
+
+  /// Mean Phred quality (0 for an empty read).
+  [[nodiscard]] double mean_quality() const noexcept;
+};
+
+/// Reads all records from a FASTQ stream over the given alphabet.
+/// @throws FastqError on malformed input.
+std::vector<FastqRecord> read_fastq(std::istream& in, const Alphabet& ab);
+
+/// Reads a FASTQ file. @throws FastqError (including unopenable files).
+std::vector<FastqRecord> read_fastq_file(const std::string& path, const Alphabet& ab);
+
+/// Writes records in FASTQ format (Phred+33).
+/// @throws std::invalid_argument on a quality/sequence length mismatch or
+/// a quality above 93.
+void write_fastq(std::ostream& out, const std::vector<FastqRecord>& records);
+
+}  // namespace swr::seq

@@ -1,0 +1,55 @@
+#include "seq/mutate.hpp"
+
+#include <stdexcept>
+
+namespace swr::seq {
+
+void MutationModel::validate() const {
+  const auto bad = [](double r) { return r < 0.0 || r > 1.0; };
+  if (bad(substitution_rate) || bad(insertion_rate) || bad(deletion_rate)) {
+    throw std::invalid_argument("MutationModel: rate outside [0,1]");
+  }
+  if (substitution_rate + insertion_rate + deletion_rate > 1.0) {
+    throw std::invalid_argument("MutationModel: combined rates exceed 1");
+  }
+}
+
+Sequence mutate(const Sequence& ancestor, const MutationModel& model, std::mt19937_64& rng) {
+  model.validate();
+  const Alphabet& ab = ancestor.alphabet();
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<std::size_t> any(0, ab.size() - 1);
+  // Draw a *different* residue than `c` uniformly.
+  const auto other = [&](Code c) {
+    std::uniform_int_distribution<std::size_t> d(0, ab.size() - 2);
+    const auto x = d(rng);
+    return static_cast<Code>(x >= c ? x + 1 : x);
+  };
+
+  std::vector<Code> out;
+  out.reserve(ancestor.size());
+  for (std::size_t i = 0; i < ancestor.size(); ++i) {
+    const double u = coin(rng);
+    if (u < model.deletion_rate) continue;
+    if (u < model.deletion_rate + model.insertion_rate) {
+      out.push_back(static_cast<Code>(any(rng)));
+      out.push_back(ancestor[i]);
+      continue;
+    }
+    if (u < model.deletion_rate + model.insertion_rate + model.substitution_rate) {
+      out.push_back(other(ancestor[i]));
+      continue;
+    }
+    out.push_back(ancestor[i]);
+  }
+  return Sequence(ab, std::move(out),
+                  ancestor.name().empty() ? std::string{} : ancestor.name() + "(mut)");
+}
+
+Sequence point_mutate(const Sequence& ancestor, double rate, std::mt19937_64& rng) {
+  MutationModel m;
+  m.substitution_rate = rate;
+  return mutate(ancestor, m, rng);
+}
+
+}  // namespace swr::seq

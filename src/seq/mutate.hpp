@@ -1,0 +1,33 @@
+// Mutation models: derive a homologous sequence from an ancestor.
+//
+// Used by the workload generators to plant a known-similar region inside a
+// random database, which gives the benches a ground truth for the
+// coordinate output — the part of the paper's design (Bs/Cl/Bc registers)
+// that distinguishes it from score-only accelerators.
+#pragma once
+
+#include <random>
+
+#include "seq/sequence.hpp"
+
+namespace swr::seq {
+
+/// Per-position mutation probabilities.
+struct MutationModel {
+  double substitution_rate = 0.0;  ///< P(replace base with a different one)
+  double insertion_rate = 0.0;     ///< P(insert a random base before position)
+  double deletion_rate = 0.0;      ///< P(drop the base)
+
+  /// @throws std::invalid_argument if any rate is outside [0,1] or the
+  /// combined per-position probability exceeds 1.
+  void validate() const;
+};
+
+/// Applies the model to `ancestor`, producing a mutated descendant.
+/// Deterministic given the engine state.
+Sequence mutate(const Sequence& ancestor, const MutationModel& model, std::mt19937_64& rng);
+
+/// Convenience: descendant with only substitutions at `rate`.
+Sequence point_mutate(const Sequence& ancestor, double rate, std::mt19937_64& rng);
+
+}  // namespace swr::seq

@@ -1,0 +1,31 @@
+#include "seq/packed.hpp"
+
+#include <stdexcept>
+
+namespace swr::seq {
+
+PackedDna::PackedDna(const Sequence& s) {
+  if (s.alphabet().id() != AlphabetId::Dna) {
+    throw std::invalid_argument("PackedDna: sequence is not DNA");
+  }
+  words_.reserve((s.size() + 31) / 32);
+  for (std::size_t i = 0; i < s.size(); ++i) push_back(s[i]);
+}
+
+void PackedDna::push_back(Code c) {
+  if (c >= 4) throw std::invalid_argument("PackedDna::push_back: bad code");
+  const std::size_t word = size_ >> 5;
+  const unsigned shift = (size_ & 31u) * 2;
+  if (word == words_.size()) words_.push_back(0);
+  words_[word] |= static_cast<std::uint64_t>(c) << shift;
+  ++size_;
+}
+
+Sequence PackedDna::unpack(std::string name) const {
+  std::vector<Code> codes;
+  codes.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) codes.push_back((*this)[i]);
+  return Sequence(dna(), std::move(codes), std::move(name));
+}
+
+}  // namespace swr::seq

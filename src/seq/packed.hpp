@@ -1,0 +1,55 @@
+// PackedDna: 2-bit-per-base storage for DNA sequences.
+//
+// This models how the accelerator's board SRAM actually holds the database
+// sequence (paper §5: "a large database sequence can be put in the FPGA
+// board SRAM memory"): 2 bits per base, 4 bases per byte. It is also the
+// memory-frugal representation the host uses for multi-MBP synthetic
+// databases in the benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace swr::seq {
+
+/// DNA sequence packed at 2 bits per base.
+class PackedDna {
+ public:
+  PackedDna() = default;
+
+  /// Packs an unpacked DNA sequence. @throws std::invalid_argument if the
+  /// sequence is not over the DNA alphabet.
+  explicit PackedDna(const Sequence& s);
+
+  /// Number of bases.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Dense code (0..3) of base `i` (unchecked).
+  [[nodiscard]] Code operator[](std::size_t i) const noexcept {
+    return static_cast<Code>((words_[i >> 5] >> ((i & 31u) * 2)) & 0x3u);
+  }
+
+  /// Dense code of base `i`. @throws std::out_of_range.
+  [[nodiscard]] Code at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("PackedDna::at");
+    return (*this)[i];
+  }
+
+  /// Appends one base code (0..3). @throws std::invalid_argument on bad code.
+  void push_back(Code c);
+
+  /// Unpacks back to a Sequence.
+  [[nodiscard]] Sequence unpack(std::string name = {}) const;
+
+  /// Storage footprint in bytes (what the SRAM model charges for).
+  [[nodiscard]] std::size_t storage_bytes() const noexcept { return words_.size() * sizeof(std::uint64_t); }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace swr::seq

@@ -1,0 +1,37 @@
+#include "seq/random.hpp"
+
+#include <stdexcept>
+
+namespace swr::seq {
+
+Sequence RandomSequenceGenerator::uniform(const Alphabet& ab, std::size_t n, std::string name) {
+  std::uniform_int_distribution<std::size_t> dist(0, ab.size() - 1);
+  std::vector<Code> codes;
+  codes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) codes.push_back(static_cast<Code>(dist(rng_)));
+  return Sequence(ab, std::move(codes), std::move(name));
+}
+
+Sequence RandomSequenceGenerator::dna_with_gc(std::size_t n, double gc, std::string name) {
+  if (gc < 0.0 || gc > 1.0) throw std::invalid_argument("dna_with_gc: gc outside [0,1]");
+  const Alphabet& ab = dna();
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::vector<Code> codes;
+  codes.reserve(n);
+  const Code a = ab.code('A');
+  const Code c = ab.code('C');
+  const Code g = ab.code('G');
+  const Code t = ab.code('T');
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = coin(rng_);
+    Code base;
+    if (u < gc / 2) base = g;
+    else if (u < gc) base = c;
+    else if (u < gc + (1.0 - gc) / 2) base = a;
+    else base = t;
+    codes.push_back(base);
+  }
+  return Sequence(ab, std::move(codes), std::move(name));
+}
+
+}  // namespace swr::seq

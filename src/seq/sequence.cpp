@@ -1,0 +1,81 @@
+#include "seq/sequence.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swr::seq {
+
+Sequence::Sequence(const Alphabet& ab, std::string_view text, std::string name)
+    : alphabet_(&ab), name_(std::move(name)) {
+  codes_.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const Code c = ab.code(text[i]);
+    if (c == kInvalidCode) {
+      throw std::invalid_argument("Sequence: invalid character '" + std::string(1, text[i]) +
+                                  "' at position " + std::to_string(i));
+    }
+    codes_.push_back(c);
+  }
+}
+
+Sequence::Sequence(const Alphabet& ab, std::vector<Code> codes, std::string name)
+    : alphabet_(&ab), codes_(std::move(codes)), name_(std::move(name)) {
+  for (std::size_t i = 0; i < codes_.size(); ++i) {
+    if (codes_[i] >= ab.size()) {
+      throw std::invalid_argument("Sequence: invalid code at position " + std::to_string(i));
+    }
+  }
+}
+
+std::string Sequence::to_string() const {
+  std::string out;
+  out.reserve(codes_.size());
+  for (const Code c : codes_) out.push_back(alphabet_->letter(c));
+  return out;
+}
+
+Sequence Sequence::subsequence(std::size_t begin, std::size_t len) const {
+  if (begin > codes_.size()) begin = codes_.size();
+  len = std::min(len, codes_.size() - begin);
+  std::vector<Code> sub(codes_.begin() + static_cast<std::ptrdiff_t>(begin),
+                        codes_.begin() + static_cast<std::ptrdiff_t>(begin + len));
+  return Sequence(*alphabet_, std::move(sub), name_);
+}
+
+Sequence Sequence::reversed() const {
+  std::vector<Code> rev(codes_.rbegin(), codes_.rend());
+  return Sequence(*alphabet_, std::move(rev), name_.empty() ? name_ : name_ + "(rev)");
+}
+
+Sequence Sequence::complemented() const {
+  if (alphabet_->id() == AlphabetId::Protein) {
+    throw std::logic_error("Sequence::complemented: protein has no complement");
+  }
+  std::vector<Code> comp;
+  comp.reserve(codes_.size());
+  for (const Code c : codes_) comp.push_back(dna_complement(c));
+  return Sequence(*alphabet_, std::move(comp), name_.empty() ? name_ : name_ + "(comp)");
+}
+
+Sequence Sequence::reverse_complemented() const {
+  Sequence comp = complemented();
+  std::reverse(comp.codes_.begin(), comp.codes_.end());
+  return comp;
+}
+
+void Sequence::append(const Sequence& other) {
+  if (other.alphabet_->id() != alphabet_->id()) {
+    throw std::invalid_argument("Sequence::append: alphabet mismatch");
+  }
+  codes_.insert(codes_.end(), other.codes_.begin(), other.codes_.end());
+}
+
+double identity(const Sequence& a, const Sequence& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("identity: length mismatch");
+  if (a.empty()) return 1.0;
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) same += (a[i] == b[i]) ? 1 : 0;
+  return static_cast<double>(same) / static_cast<double>(a.size());
+}
+
+}  // namespace swr::seq

@@ -1,0 +1,86 @@
+// Sequence: an immutable-ish biological sequence stored as dense codes.
+//
+// All aligners and the hardware model consume `Sequence` (or a span of its
+// codes). The class keeps the alphabet alongside the codes so mixed-alphabet
+// comparisons are caught early instead of producing garbage scores.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/alphabet.hpp"
+
+namespace swr::seq {
+
+/// A named biological sequence over a fixed alphabet.
+class Sequence {
+ public:
+  Sequence() : alphabet_(&seq::dna()) {}
+
+  /// Parses `text` over `ab`. @throws std::invalid_argument on a character
+  /// outside the alphabet (the message names the offending position).
+  Sequence(const Alphabet& ab, std::string_view text, std::string name = {});
+
+  /// Wraps pre-encoded codes. @throws std::invalid_argument on a bad code.
+  Sequence(const Alphabet& ab, std::vector<Code> codes, std::string name = {});
+
+  /// Convenience: DNA sequence from text.
+  static Sequence dna(std::string_view text, std::string name = {}) {
+    return Sequence(seq::dna(), text, std::move(name));
+  }
+  /// Convenience: protein sequence from text.
+  static Sequence protein(std::string_view text, std::string name = {}) {
+    return Sequence(seq::protein(), text, std::move(name));
+  }
+
+  [[nodiscard]] const Alphabet& alphabet() const noexcept { return *alphabet_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return codes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return codes_.empty(); }
+
+  /// Dense code of the residue at `i` (0-based, unchecked).
+  [[nodiscard]] Code operator[](std::size_t i) const noexcept { return codes_[i]; }
+  /// Dense code of the residue at `i`. @throws std::out_of_range.
+  [[nodiscard]] Code at(std::size_t i) const { return codes_.at(i); }
+
+  [[nodiscard]] std::span<const Code> codes() const noexcept { return codes_; }
+
+  /// Re-materialises the textual form (upper-case letters).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Subsequence [begin, begin+len). Clamped to the sequence end.
+  [[nodiscard]] Sequence subsequence(std::size_t begin, std::size_t len) const;
+
+  /// The sequence reversed (used by the §2.3 reverse pass).
+  [[nodiscard]] Sequence reversed() const;
+
+  /// DNA/RNA complement. @throws std::logic_error for protein.
+  [[nodiscard]] Sequence complemented() const;
+
+  /// DNA/RNA reverse complement.
+  [[nodiscard]] Sequence reverse_complemented() const;
+
+  /// Appends another sequence. @throws std::invalid_argument on alphabet
+  /// mismatch.
+  void append(const Sequence& other);
+
+  friend bool operator==(const Sequence& a, const Sequence& b) {
+    return a.alphabet_->id() == b.alphabet_->id() && a.codes_ == b.codes_;
+  }
+
+ private:
+  const Alphabet* alphabet_;
+  std::vector<Code> codes_;
+  std::string name_;
+};
+
+/// Fraction of positions at which two equal-length sequences agree.
+/// @throws std::invalid_argument if the lengths differ.
+double identity(const Sequence& a, const Sequence& b);
+
+}  // namespace swr::seq

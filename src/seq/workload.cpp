@@ -1,0 +1,39 @@
+#include "seq/workload.hpp"
+
+#include <stdexcept>
+
+namespace swr::seq {
+
+PlantedWorkload make_planted_workload(const PlantedWorkloadSpec& spec) {
+  RandomSequenceGenerator gen(spec.seed);
+  PlantedWorkload wl;
+  wl.query = gen.uniform(dna(), spec.query_len, "query");
+
+  Sequence planted = point_mutate(wl.query, spec.plant_substitution_rate, gen.engine());
+  if (spec.plant_offset + planted.size() > spec.database_len) {
+    throw std::invalid_argument("make_planted_workload: plant does not fit database");
+  }
+
+  Sequence db = gen.uniform(dna(), spec.plant_offset, "database");
+  db.append(planted);
+  wl.plant_begin = spec.plant_offset;
+  wl.plant_end = spec.plant_offset + planted.size();
+  db.append(gen.uniform(dna(), spec.database_len - wl.plant_end));
+  db.set_name("database");
+  wl.database = std::move(db);
+  return wl;
+}
+
+HomologPair make_homolog_pair(std::size_t ancestor_len, const MutationModel& model,
+                              std::uint64_t seed) {
+  RandomSequenceGenerator gen(seed);
+  const Sequence ancestor = gen.uniform(dna(), ancestor_len, "ancestor");
+  HomologPair pair;
+  pair.a = mutate(ancestor, model, gen.engine());
+  pair.a.set_name("homolog_a");
+  pair.b = mutate(ancestor, model, gen.engine());
+  pair.b.set_name("homolog_b");
+  return pair;
+}
+
+}  // namespace swr::seq

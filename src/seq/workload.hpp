@@ -1,0 +1,52 @@
+// Benchmark workload generation with ground truth.
+//
+// The paper's headline experiment (§6) compares a 100 BP query against a
+// 10 MBP database. We reproduce it with synthetic databases into which a
+// mutated copy of the query is planted at a known offset: the planted
+// region is the expected best local alignment, so the benches can check
+// not only the score but the *coordinates* the architecture reports.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "seq/mutate.hpp"
+#include "seq/random.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::seq {
+
+/// Parameters for a planted-homolog database workload.
+struct PlantedWorkloadSpec {
+  std::size_t query_len = 100;        ///< paper §6: 100 BP query
+  std::size_t database_len = 1'000'000;
+  std::size_t plant_offset = 0;       ///< 0-based DB position of the planted copy
+  double plant_substitution_rate = 0.05;  ///< divergence of the planted homolog
+  std::uint64_t seed = 42;
+};
+
+/// A generated workload: query, database, and where the homolog was planted.
+struct PlantedWorkload {
+  Sequence query;
+  Sequence database;
+  std::size_t plant_begin = 0;  ///< 0-based DB index of the first planted base
+  std::size_t plant_end = 0;    ///< one past the last planted base
+};
+
+/// Generates the workload. The planted copy is embedded verbatim-after-
+/// mutation in otherwise uniform random DNA.
+/// @throws std::invalid_argument if the plant does not fit the database.
+PlantedWorkload make_planted_workload(const PlantedWorkloadSpec& spec);
+
+/// A pair of independently mutated descendants of one ancestor — the
+/// classic "compare two homologous genes" workload (used by the wavefront
+/// and retrieval benches where both sequences are comparable in size).
+struct HomologPair {
+  Sequence a;
+  Sequence b;
+};
+
+HomologPair make_homolog_pair(std::size_t ancestor_len, const MutationModel& model,
+                              std::uint64_t seed);
+
+}  // namespace swr::seq

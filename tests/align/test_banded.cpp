@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "align/banded.hpp"
+#include "align/nw.hpp"
+#include "align/sw_full.hpp"
+#include "seq/workload.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::align;
+
+const Scoring kSc = Scoring::paper_default();
+
+TEST(BandedNw, FullBandEqualsExact) {
+  const seq::Sequence a = swr::test::random_dna(50, 1);
+  const seq::Sequence b = swr::test::random_dna(60, 2);
+  const std::size_t full_band = a.size() + b.size();
+  EXPECT_EQ(banded_nw_score(a.codes(), b.codes(), full_band, kSc),
+            nw_score(a.codes(), b.codes(), kSc));
+}
+
+TEST(BandedNw, ScoreIsMonotoneInBand) {
+  const seq::Sequence a = swr::test::random_dna(70, 5);
+  const seq::Sequence b = swr::test::random_dna(70, 6);
+  Score prev = kNegInf;
+  for (std::size_t band = 0; band <= 70; band += 5) {
+    const Score s = banded_nw_score(a.codes(), b.codes(), band, kSc);
+    EXPECT_GE(s, prev) << "band " << band;
+    prev = s;
+  }
+  EXPECT_EQ(prev, nw_score(a.codes(), b.codes(), kSc));
+}
+
+TEST(BandedNw, UnreachableCornerIsNegInf) {
+  const seq::Sequence a = swr::test::random_dna(10, 1);
+  const seq::Sequence b = swr::test::random_dna(30, 2);
+  EXPECT_EQ(banded_nw_score(a.codes(), b.codes(), 5, kSc), kNegInf);
+}
+
+TEST(BandedNw, BandZeroIsDiagonalOnly) {
+  // With band 0 and equal lengths, the only path is the pure diagonal.
+  const seq::Sequence a = seq::Sequence::dna("ACGTAC");
+  const seq::Sequence b = seq::Sequence::dna("ACCTAC");
+  Score diag = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diag += kSc.substitution(a[i], b[i]);
+  EXPECT_EQ(banded_nw_score(a.codes(), b.codes(), 0, kSc), diag);
+}
+
+TEST(BandedSw, WideBandEqualsUnbanded) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const seq::Sequence a = swr::test::random_dna(60, 100 + seed);
+    const seq::Sequence b = swr::test::random_dna(45, 200 + seed);
+    const LocalScoreResult exact = sw_best(sw_matrix(a, b, kSc));
+    const LocalScoreResult banded = banded_sw(a.codes(), b.codes(), a.size() + b.size(), kSc);
+    EXPECT_EQ(banded, exact) << "seed " << seed;
+  }
+}
+
+TEST(BandedSw, NarrowBandIsLowerBound) {
+  const seq::Sequence a = swr::test::random_dna(80, 9);
+  const seq::Sequence b = swr::test::random_dna(80, 10);
+  const LocalScoreResult exact = sw_best(sw_matrix(a, b, kSc));
+  for (const std::size_t band : {0u, 1u, 2u, 4u, 8u}) {
+    EXPECT_LE(banded_sw(a.codes(), b.codes(), band, kSc).score, exact.score) << "band " << band;
+  }
+}
+
+TEST(BandedSw, ConvergesOnceBandCoversDivergence) {
+  // Homologs with small indels: the optimal path drifts only a little, so
+  // a modest band already recovers the exact score — the Z-align [3]
+  // restricted-memory premise.
+  seq::MutationModel mm;
+  mm.substitution_rate = 0.05;
+  mm.insertion_rate = 0.01;
+  mm.deletion_rate = 0.01;
+  const auto pair = seq::make_homolog_pair(600, mm, 123);
+  const LocalAlignment exact = sw_align(pair.a, pair.b, kSc);
+  const std::size_t needed = required_band(exact.cigar, exact.begin);
+  const LocalScoreResult banded = banded_sw(pair.a.codes(), pair.b.codes(), needed, kSc);
+  EXPECT_EQ(banded.score, exact.score);
+  EXPECT_LT(needed, 60u);  // far below the 600-wide full matrix
+}
+
+TEST(RequiredBand, TracksPathDrift) {
+  Cigar c;
+  c.push(EditOp::Match, 3);
+  c.push(EditOp::Delete, 2);  // drift +2
+  c.push(EditOp::Match, 1);
+  c.push(EditOp::Insert, 5);  // drift -3
+  EXPECT_EQ(required_band(c, Cell{1, 1}), 3u);
+  // A begin cell off the main diagonal contributes initial drift.
+  EXPECT_EQ(required_band(Cigar{}, Cell{10, 4}), 6u);
+}
+
+}  // namespace

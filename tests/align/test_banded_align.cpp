@@ -1,0 +1,76 @@
+// banded_nw_align: restricted-memory global retrieval (Z-align phase 4).
+#include <gtest/gtest.h>
+
+#include "align/banded.hpp"
+#include "align/nw.hpp"
+#include "seq/workload.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::align;
+
+const Scoring kSc = Scoring::paper_default();
+
+TEST(BandedNwAlign, FullBandReproducesNw) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const seq::Sequence a = swr::test::random_dna(40 + 3 * seed, 600 + seed);
+    const seq::Sequence b = swr::test::random_dna(50, 700 + seed);
+    const LocalAlignment exact = nw_align(a, b, kSc);
+    const LocalAlignment banded =
+        banded_nw_align(a.codes(), b.codes(), a.size() + b.size(), kSc);
+    EXPECT_EQ(banded.score, exact.score) << "seed " << seed;
+    EXPECT_EQ(score_of(banded.cigar, a, b, Cell{1, 1}, kSc), exact.score) << "seed " << seed;
+    EXPECT_EQ(banded.cigar.consumed_i(), a.size());
+    EXPECT_EQ(banded.cigar.consumed_j(), b.size());
+  }
+}
+
+TEST(BandedNwAlign, SufficientBandIsExactOnHomologs) {
+  seq::MutationModel mm;
+  mm.substitution_rate = 0.05;
+  mm.insertion_rate = 0.02;
+  mm.deletion_rate = 0.02;
+  const auto pair = seq::make_homolog_pair(800, mm, 21);
+  const LocalAlignment exact = nw_align(pair.a, pair.b, kSc);
+  const std::size_t band = required_band(exact.cigar, Cell{1, 1}) + 1;
+  const LocalAlignment banded = banded_nw_align(pair.a.codes(), pair.b.codes(), band, kSc);
+  EXPECT_EQ(banded.score, exact.score);
+  EXPECT_EQ(score_of(banded.cigar, pair.a, pair.b, Cell{1, 1}, kSc), exact.score);
+  // Memory: far below the full matrix.
+  EXPECT_LT(banded_cells(pair.a.size(), band), pair.a.size() * pair.b.size() / 4);
+}
+
+TEST(BandedNwAlign, TooSmallBandForLengthDiffRejected) {
+  const seq::Sequence a = swr::test::random_dna(10, 1);
+  const seq::Sequence b = swr::test::random_dna(30, 2);
+  EXPECT_THROW((void)banded_nw_align(a.codes(), b.codes(), 10, kSc), std::invalid_argument);
+}
+
+TEST(BandedNwAlign, NarrowBandScoreIsLowerBound) {
+  const seq::Sequence a = swr::test::random_dna(60, 5);
+  const seq::Sequence b = swr::test::random_dna(60, 6);
+  const LocalAlignment narrow = banded_nw_align(a.codes(), b.codes(), 2, kSc);
+  EXPECT_LE(narrow.score, nw_score(a.codes(), b.codes(), kSc));
+  // Whatever path it found must still be a valid transcript of that score.
+  EXPECT_EQ(score_of(narrow.cigar, a, b, Cell{1, 1}, kSc), narrow.score);
+}
+
+TEST(BandedNwAlign, EmptyInputs) {
+  const seq::Sequence e = seq::Sequence::dna("");
+  const seq::Sequence s = seq::Sequence::dna("ACG");
+  const LocalAlignment both = banded_nw_align(e.codes(), e.codes(), 0, kSc);
+  EXPECT_EQ(both.score, 0);
+  EXPECT_TRUE(both.cigar.empty());
+  const LocalAlignment left = banded_nw_align(e.codes(), s.codes(), 3, kSc);
+  EXPECT_EQ(left.score, -6);
+  EXPECT_EQ(left.cigar.to_string(), "3I");
+}
+
+TEST(BandedCells, Formula) {
+  EXPECT_EQ(banded_cells(100, 10), 101u * 21u);
+  EXPECT_EQ(banded_cells(0, 0), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "align/cigar.hpp"
+#include "seq/sequence.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::align;
+
+TEST(Cigar, PushMergesAdjacentRuns) {
+  Cigar c;
+  c.push(EditOp::Match, 2);
+  c.push(EditOp::Match, 3);
+  c.push(EditOp::Insert);
+  ASSERT_EQ(c.runs().size(), 2u);
+  EXPECT_EQ(c.runs()[0], (EditRun{EditOp::Match, 5}));
+  EXPECT_EQ(c.runs()[1], (EditRun{EditOp::Insert, 1}));
+}
+
+TEST(Cigar, PushZeroLenIsNoop) {
+  Cigar c;
+  c.push(EditOp::Match, 0);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Cigar, ConsumedCounts) {
+  Cigar c;
+  c.push(EditOp::Match, 3);
+  c.push(EditOp::Mismatch, 1);
+  c.push(EditOp::Insert, 2);
+  c.push(EditOp::Delete, 4);
+  EXPECT_EQ(c.columns(), 10u);
+  EXPECT_EQ(c.consumed_i(), 8u);  // M + X + D
+  EXPECT_EQ(c.consumed_j(), 6u);  // M + X + I
+}
+
+TEST(Cigar, ToStringMergesMatchAndMismatch) {
+  Cigar c;
+  c.push(EditOp::Match, 2);
+  c.push(EditOp::Mismatch, 1);
+  c.push(EditOp::Delete, 2);
+  c.push(EditOp::Insert, 1);
+  EXPECT_EQ(c.to_string(), "3M2D1I");
+}
+
+TEST(Cigar, ReverseAndAppend) {
+  Cigar c;
+  c.push(EditOp::Match, 2);
+  c.push(EditOp::Insert, 1);
+  c.reverse();
+  EXPECT_EQ(c.to_string(), "1I2M");
+  Cigar tail;
+  tail.push(EditOp::Match, 4);
+  c.append(tail);
+  EXPECT_EQ(c.to_string(), "1I6M");
+}
+
+TEST(CigarIdentity, CountsMatchColumns) {
+  Cigar c;
+  c.push(EditOp::Match, 3);
+  c.push(EditOp::Mismatch, 1);
+  EXPECT_DOUBLE_EQ(cigar_identity(c), 0.75);
+  EXPECT_DOUBLE_EQ(cigar_identity(Cigar{}), 1.0);
+}
+
+TEST(ScoreOf, DetectsOpResidueDisagreement) {
+  const seq::Sequence a = seq::Sequence::dna("AC");
+  const seq::Sequence b = seq::Sequence::dna("AG");
+  Cigar c;
+  c.push(EditOp::Match, 2);  // second column is actually a mismatch
+  EXPECT_THROW((void)score_of(c, a, b, Cell{1, 1}, Scoring::paper_default()),
+               std::invalid_argument);
+}
+
+TEST(ScoreOf, DetectsOutOfBounds) {
+  const seq::Sequence a = seq::Sequence::dna("AC");
+  const seq::Sequence b = seq::Sequence::dna("AC");
+  Cigar c;
+  c.push(EditOp::Match, 3);
+  EXPECT_THROW((void)score_of(c, a, b, Cell{1, 1}, Scoring::paper_default()),
+               std::invalid_argument);
+}
+
+TEST(FormatAlignment, ThreeLineLayout) {
+  const seq::Sequence a = seq::Sequence::dna("ACT");
+  const seq::Sequence b = seq::Sequence::dna("AGT");
+  Cigar c;
+  c.push(EditOp::Match);
+  c.push(EditOp::Mismatch);
+  c.push(EditOp::Match);
+  EXPECT_EQ(format_alignment(c, a, b, Cell{1, 1}),
+            "A C T \n"
+            "|   | \n"
+            "A G T \n");
+}
+
+TEST(FormatAlignment, GapsRenderAsDashes) {
+  const seq::Sequence a = seq::Sequence::dna("AC");
+  const seq::Sequence b = seq::Sequence::dna("AGC");
+  Cigar c;
+  c.push(EditOp::Match);
+  c.push(EditOp::Insert);
+  c.push(EditOp::Match);
+  EXPECT_EQ(format_alignment(c, a, b, Cell{1, 1}),
+            "A - C \n"
+            "|   | \n"
+            "A G C \n");
+}
+
+}  // namespace

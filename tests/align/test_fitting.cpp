@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "align/fitting.hpp"
+#include "align/nw.hpp"
+#include "align/sw_full.hpp"
+#include "seq/mutate.hpp"
+#include "seq/random.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::align;
+
+const Scoring kSc = Scoring::paper_default();
+
+TEST(Fitting, ExactSubstringScoresFullQuery) {
+  const seq::Sequence a = seq::Sequence::dna("TTTTACGTACGTTTT");
+  const seq::Sequence b = seq::Sequence::dna("ACGTACG");
+  const FittingResult r = fitting_score(a, b, kSc);
+  EXPECT_EQ(r.score, 7);
+  EXPECT_EQ(r.end, (Cell{11, 7}));
+  const LocalAlignment al = fitting_align(a, b, kSc);
+  EXPECT_EQ(al.score, 7);
+  EXPECT_EQ(al.begin, (Cell{5, 1}));
+  EXPECT_EQ(al.end, (Cell{11, 7}));
+  EXPECT_EQ(al.cigar.to_string(), "7M");
+}
+
+TEST(Fitting, WholeQueryIsAlwaysConsumed) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const seq::Sequence a = swr::test::random_dna(120, 1000 + seed);
+    const seq::Sequence b = swr::test::random_dna(30, 2000 + seed);
+    const LocalAlignment al = fitting_align(a, b, kSc);
+    EXPECT_EQ(al.cigar.consumed_j(), b.size()) << "seed " << seed;
+    EXPECT_EQ(al.end.j, b.size()) << "seed " << seed;
+  }
+}
+
+TEST(Fitting, ScoreBracketedByGlobalAndLocal) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const seq::Sequence a = swr::test::random_dna(90, 3000 + seed);
+    const seq::Sequence b = swr::test::random_dna(40, 4000 + seed);
+    const Score fit = fitting_score(a, b, kSc).score;
+    EXPECT_GE(fit, nw_score(a.codes(), b.codes(), kSc)) << "seed " << seed;
+    EXPECT_LE(fit, sw_best(sw_matrix(a, b, kSc)).score) << "seed " << seed;
+  }
+}
+
+TEST(Fitting, ScoreOnlyMatchesTracebackVersion) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const seq::Sequence a = swr::test::random_dna(70, 5000 + seed);
+    const seq::Sequence b = swr::test::random_dna(25, 6000 + seed);
+    const FittingResult fast = fitting_score(a, b, kSc);
+    const LocalAlignment full = fitting_align(a, b, kSc);
+    EXPECT_EQ(fast.score, full.score) << "seed " << seed;
+    EXPECT_EQ(fast.end, full.end) << "seed " << seed;
+    EXPECT_EQ(score_of(full.cigar, a, b, full.begin, kSc), full.score) << "seed " << seed;
+  }
+}
+
+TEST(Fitting, HostileQueryScoresNegative) {
+  const seq::Sequence a = seq::Sequence::dna("AAAAAAAA");
+  const seq::Sequence b = seq::Sequence::dna("TTT");
+  // Best placement: three mismatches (-3) beats gaps.
+  EXPECT_EQ(fitting_score(a, b, kSc).score, -3);
+}
+
+TEST(Fitting, EmptyQueryAndEmptyDatabase) {
+  EXPECT_EQ(fitting_score(seq::Sequence::dna("ACGT"), seq::Sequence::dna(""), kSc).score, 0);
+  // Empty database: the query must align against gaps.
+  EXPECT_EQ(fitting_score(seq::Sequence::dna(""), seq::Sequence::dna("ACG"), kSc).score, -6);
+}
+
+TEST(Fitting, MappedHomologRecoversPosition) {
+  seq::RandomSequenceGenerator gen(9);
+  const seq::Sequence read = gen.uniform(seq::dna(), 50, "read");
+  seq::Sequence genome = gen.uniform(seq::dna(), 700);
+  const std::size_t at = genome.size();
+  genome.append(seq::point_mutate(read, 0.06, gen.engine()));
+  genome.append(gen.uniform(seq::dna(), 700));
+  const LocalAlignment al = fitting_align(genome, read, kSc);
+  EXPECT_GE(al.begin.i, at - 2);
+  EXPECT_LE(al.end.i, at + read.size() + 4);
+  EXPECT_GT(al.score, 25);
+}
+
+TEST(Fitting, AlphabetMismatchRejected) {
+  EXPECT_THROW((void)fitting_score(seq::Sequence::dna("ACGT"), seq::Sequence::protein("ARND"),
+                                   kSc),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "align/gotoh.hpp"
+#include "align/sw_full.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::align;
+
+AffineScoring default_affine() {
+  AffineScoring sc;
+  sc.match = 2;
+  sc.mismatch = -1;
+  sc.gap_open = -2;
+  sc.gap_extend = -1;
+  return sc;
+}
+
+TEST(GotohLocal, IdenticalSequences) {
+  const seq::Sequence s = seq::Sequence::dna("ACGTACGT");
+  const LocalAlignment al = gotoh_local_align(s, s, default_affine());
+  EXPECT_EQ(al.score, 16);
+  EXPECT_EQ(al.cigar.to_string(), "8M");
+}
+
+TEST(GotohLocal, LongGapCheaperThanTwoShortOnes) {
+  // With open=-4/extend=-1 a single 2-gap costs 6, two separate 1-gaps
+  // cost 10: the affine optimum must use the contiguous gap.
+  AffineScoring sc;
+  sc.match = 3;
+  sc.mismatch = -3;
+  sc.gap_open = -4;
+  sc.gap_extend = -1;
+  const seq::Sequence a = seq::Sequence::dna("ACGTCCGGTT");
+  const seq::Sequence b = seq::Sequence::dna("ACGTGGTT");  // CC deleted
+  const LocalAlignment al = gotoh_local_align(a, b, sc);
+  EXPECT_EQ(al.score, 3 * 8 - (4 + 2 * 1));
+  EXPECT_EQ(al.cigar.to_string(), "4M2D4M");
+}
+
+TEST(GotohLocal, ScoreOnlyMatchesFullTraceback) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const seq::Sequence a = swr::test::random_dna(60, 300 + seed);
+    const seq::Sequence b = swr::test::random_dna(45, 400 + seed);
+    const LocalAlignment full = gotoh_local_align(a, b, default_affine());
+    const LocalScoreResult lin = gotoh_local_score(a.codes(), b.codes(), default_affine());
+    EXPECT_EQ(lin.score, full.score) << "seed " << seed;
+    EXPECT_EQ(lin.end, full.end) << "seed " << seed;
+  }
+}
+
+TEST(GotohLocal, TracebackScoreConsistency) {
+  AffineScoring sc = default_affine();
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const seq::Sequence a = swr::test::random_dna(50, 500 + seed);
+    const seq::Sequence b = swr::test::random_dna(70, 600 + seed);
+    const LocalAlignment al = gotoh_local_align(a, b, sc);
+    if (al.score <= 0) continue;
+    // Recompute the transcript score with affine gap accounting.
+    Score total = 0;
+    std::size_t i = al.begin.i;
+    std::size_t j = al.begin.j;
+    for (const EditRun& r : al.cigar.runs()) {
+      switch (r.op) {
+        case EditOp::Match:
+        case EditOp::Mismatch:
+          for (std::size_t k = 0; k < r.len; ++k) {
+            total += sc.substitution(a[i - 1], b[j - 1]);
+            ++i;
+            ++j;
+          }
+          break;
+        case EditOp::Insert:
+          total += sc.gap_open + static_cast<Score>(r.len) * sc.gap_extend;
+          j += r.len;
+          break;
+        case EditOp::Delete:
+          total += sc.gap_open + static_cast<Score>(r.len) * sc.gap_extend;
+          i += r.len;
+          break;
+      }
+    }
+    EXPECT_EQ(total, al.score) << "seed " << seed;
+  }
+}
+
+TEST(GotohLocal, ReducesToLinearWhenOpenIsZero) {
+  // With gap_open = 0 the affine model is exactly the linear model with
+  // gap = gap_extend; Gotoh must agree with plain SW.
+  AffineScoring affine;
+  affine.match = 1;
+  affine.mismatch = -1;
+  affine.gap_open = 0;
+  affine.gap_extend = -2;
+  Scoring linear = Scoring::paper_default();
+
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const seq::Sequence a = swr::test::random_dna(40, 700 + seed);
+    const seq::Sequence b = swr::test::random_dna(55, 800 + seed);
+    EXPECT_EQ(gotoh_local_score(a.codes(), b.codes(), affine).score,
+              sw_best(sw_matrix(a, b, linear)).score)
+        << "seed " << seed;
+  }
+}
+
+TEST(GotohGlobal, IdenticalAndEmpty) {
+  const AffineScoring sc = default_affine();
+  const seq::Sequence s = seq::Sequence::dna("ACGT");
+  EXPECT_EQ(gotoh_global_score(s.codes(), s.codes(), sc), 8);
+  // Empty vs k bases: one gap of length k.
+  const seq::Sequence e = seq::Sequence::dna("");
+  EXPECT_EQ(gotoh_global_score(e.codes(), s.codes(), sc),
+            sc.gap_open + 4 * sc.gap_extend);
+  EXPECT_EQ(gotoh_global_score(e.codes(), e.codes(), sc), 0);
+}
+
+TEST(GotohGlobal, GlobalIsLowerBoundOfLocal) {
+  const AffineScoring sc = default_affine();
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const seq::Sequence a = swr::test::random_dna(33, 900 + seed);
+    const seq::Sequence b = swr::test::random_dna(47, 950 + seed);
+    EXPECT_LE(gotoh_global_score(a.codes(), b.codes(), sc),
+              gotoh_local_score(a.codes(), b.codes(), sc).score)
+        << "seed " << seed;
+  }
+}
+
+TEST(GotohLocal, ProteinBlosum62) {
+  AffineScoring sc;
+  sc.matrix = &blosum62();
+  sc.gap_open = -10;
+  sc.gap_extend = -1;
+  const seq::Sequence a = swr::test::random_protein(60, 3);
+  const seq::Sequence b = swr::test::random_protein(80, 4);
+  const LocalAlignment full = gotoh_local_align(a, b, sc);
+  const LocalScoreResult lin = gotoh_local_score(a.codes(), b.codes(), sc);
+  EXPECT_EQ(lin.score, full.score);
+  EXPECT_EQ(lin.end, full.end);
+}
+
+TEST(GotohLocal, AlphabetMismatchRejected) {
+  EXPECT_THROW(
+      (void)gotoh_local_align(seq::Sequence::dna("ACGT"), seq::Sequence::protein("ARND"),
+                              default_affine()),
+      std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "align/near_best.hpp"
+#include "align/sw_full.hpp"
+#include "seq/mutate.hpp"
+#include "seq/random.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::align;
+
+const Scoring kSc = Scoring::paper_default();
+
+// Database with three diverged copies of the query planted far apart.
+struct ThreePlants {
+  seq::Sequence query;
+  seq::Sequence db;
+  std::size_t offsets[3] = {500, 2000, 3500};
+};
+
+ThreePlants make_three_plants(std::uint64_t seed) {
+  seq::RandomSequenceGenerator gen(seed);
+  ThreePlants tp;
+  tp.query = gen.uniform(seq::dna(), 60, "q");
+  seq::Sequence db = gen.uniform(seq::dna(), 500);
+  for (int k = 0; k < 3; ++k) {
+    tp.offsets[k] = db.size();
+    db.append(seq::point_mutate(tp.query, 0.03 + 0.03 * k, gen.engine()));
+    db.append(gen.uniform(seq::dna(), 1000));
+  }
+  tp.db = std::move(db);
+  return tp;
+}
+
+TEST(NearBest, FirstAlignmentIsTheGlobalBest) {
+  const seq::Sequence a = swr::test::random_dna(200, 1);
+  const seq::Sequence b = swr::test::random_dna(100, 2);
+  NearBestOptions opt;
+  opt.max_alignments = 1;
+  const auto set = near_best_alignments(a, b, kSc, opt);
+  const LocalAlignment best = sw_align(a, b, kSc);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0].score, best.score);
+  EXPECT_EQ(set[0].end, best.end);
+}
+
+TEST(NearBest, FindsAllPlantedCopies) {
+  const ThreePlants tp = make_three_plants(9);
+  NearBestOptions opt;
+  opt.max_alignments = 3;
+  opt.min_score = 20;
+  const auto set = near_best_alignments(tp.db, tp.query, kSc, opt);
+  ASSERT_EQ(set.size(), 3u);
+  // Each alignment must land on a distinct planted window.
+  std::vector<bool> found(3, false);
+  for (const LocalAlignment& al : set) {
+    for (int k = 0; k < 3; ++k) {
+      if (al.end.i >= tp.offsets[k] && al.end.i <= tp.offsets[k] + 70) found[k] = true;
+    }
+  }
+  EXPECT_TRUE(found[0] && found[1] && found[2]);
+}
+
+TEST(NearBest, ScoresAreNonIncreasing) {
+  const ThreePlants tp = make_three_plants(10);
+  NearBestOptions opt;
+  opt.max_alignments = 5;
+  opt.min_score = 10;
+  const auto set = near_best_alignments(tp.db, tp.query, kSc, opt);
+  for (std::size_t k = 1; k < set.size(); ++k) {
+    EXPECT_LE(set[k].score, set[k - 1].score);
+  }
+}
+
+TEST(NearBest, DatabaseRowSpansAreDisjoint) {
+  const ThreePlants tp = make_three_plants(11);
+  NearBestOptions opt;
+  opt.max_alignments = 6;
+  opt.min_score = 8;
+  const auto set = near_best_alignments(tp.db, tp.query, kSc, opt);
+  for (std::size_t x = 0; x < set.size(); ++x) {
+    for (std::size_t y = x + 1; y < set.size(); ++y) {
+      const bool disjoint =
+          set[x].end.i < set[y].begin.i || set[y].end.i < set[x].begin.i;
+      EXPECT_TRUE(disjoint) << "alignments " << x << " and " << y << " overlap";
+    }
+  }
+}
+
+TEST(NearBest, TranscriptsScoreAsReported) {
+  const ThreePlants tp = make_three_plants(12);
+  NearBestOptions opt;
+  opt.max_alignments = 4;
+  opt.min_score = 10;
+  for (const LocalAlignment& al : near_best_alignments(tp.db, tp.query, kSc, opt)) {
+    EXPECT_EQ(score_of(al.cigar, tp.db, tp.query, al.begin, kSc), al.score);
+  }
+}
+
+TEST(NearBest, MinScoreCutsOff) {
+  const ThreePlants tp = make_three_plants(13);
+  NearBestOptions loose;
+  loose.max_alignments = 3;
+  loose.min_score = 10;
+  const auto all = near_best_alignments(tp.db, tp.query, kSc, loose);
+  ASSERT_EQ(all.size(), 3u);
+  ASSERT_GT(all[0].score, all[2].score) << "fixture needs distinct plant scores";
+
+  // A threshold strictly between the best and worst plant must cut the
+  // worst one (and only alignments at/above the threshold may appear).
+  NearBestOptions strict;
+  strict.max_alignments = 10;
+  strict.min_score = all[2].score + 1;
+  const auto set = near_best_alignments(tp.db, tp.query, kSc, strict);
+  EXPECT_GE(set.size(), 1u);
+  EXPECT_LT(set.size(), 3u);
+  for (const LocalAlignment& al : set) EXPECT_GE(al.score, strict.min_score);
+}
+
+TEST(NearBest, NoHitsOnHopelessInput) {
+  NearBestOptions opt;
+  const auto set = near_best_alignments(seq::Sequence::dna("AAAAAA"),
+                                        seq::Sequence::dna("TTTTTT"), kSc, opt);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(NearBest, OptionValidation) {
+  NearBestOptions opt;
+  opt.min_score = 0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = NearBestOptions{};
+  opt.max_alignments = 0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+}
+
+TEST(SwLinearRowMasked, MaskedRowsAreImpassable) {
+  const seq::Sequence a = seq::Sequence::dna("ACGTACGT");
+  const seq::Sequence b = seq::Sequence::dna("ACGTACGT");
+  std::vector<bool> none(a.size(), false);
+  EXPECT_EQ(sw_linear_row_masked(a, b, none, kSc).score, 8);
+  std::vector<bool> mid(a.size(), false);
+  mid[3] = true;  // row 4 blocked: best unmasked run is 4 (rows 5..8)
+  EXPECT_EQ(sw_linear_row_masked(a, b, mid, kSc).score, 4);
+  std::vector<bool> all(a.size(), true);
+  EXPECT_EQ(sw_linear_row_masked(a, b, all, kSc).score, 0);
+  EXPECT_THROW((void)sw_linear_row_masked(a, b, std::vector<bool>(3, false), kSc),
+               std::invalid_argument);
+}
+
+}  // namespace

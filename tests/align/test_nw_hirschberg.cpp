@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "align/hirschberg.hpp"
+#include "align/nw.hpp"
+#include "seq/workload.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::align;
+
+const Scoring kSc = Scoring::paper_default();
+
+TEST(Nw, IdenticalSequences) {
+  const seq::Sequence s = seq::Sequence::dna("ACGTAC");
+  const LocalAlignment al = nw_align(s, s, kSc);
+  EXPECT_EQ(al.score, 6);
+  EXPECT_EQ(al.cigar.to_string(), "6M");
+}
+
+TEST(Nw, EmptyAgainstNonEmptyIsAllGaps) {
+  const LocalAlignment al = nw_align(seq::Sequence::dna(""), seq::Sequence::dna("ACG"), kSc);
+  EXPECT_EQ(al.score, -6);
+  EXPECT_EQ(al.cigar.to_string(), "3I");
+}
+
+TEST(Nw, BothEmpty) {
+  const LocalAlignment al = nw_align(seq::Sequence::dna(""), seq::Sequence::dna(""), kSc);
+  EXPECT_EQ(al.score, 0);
+  EXPECT_TRUE(al.cigar.empty());
+}
+
+TEST(Nw, KnownSmallCase) {
+  // GATTACA vs GCATGCU-style sanity with DNA letters: GATTACA vs GATGCA.
+  const seq::Sequence a = seq::Sequence::dna("GATTACA");
+  const seq::Sequence b = seq::Sequence::dna("GATGCA");
+  const LocalAlignment al = nw_align(a, b, kSc);
+  EXPECT_EQ(al.score, nw_score(a.codes(), b.codes(), kSc));
+  EXPECT_EQ(score_of(al.cigar, a, b, Cell{1, 1}, kSc), al.score);
+}
+
+TEST(Nw, LastRowEndsWithGlobalScore) {
+  const seq::Sequence a = swr::test::random_dna(40, 1);
+  const seq::Sequence b = swr::test::random_dna(55, 2);
+  const auto row = nw_last_row(a.codes(), b.codes(), kSc);
+  ASSERT_EQ(row.size(), b.size() + 1);
+  EXPECT_EQ(row.back(), nw_score(a.codes(), b.codes(), kSc));
+  EXPECT_EQ(row.front(), static_cast<Score>(a.size()) * kSc.gap);
+}
+
+TEST(Nw, TracebackConsumesBothSequences) {
+  const seq::Sequence a = swr::test::random_dna(30, 3);
+  const seq::Sequence b = swr::test::random_dna(20, 4);
+  const LocalAlignment al = nw_align(a, b, kSc);
+  EXPECT_EQ(al.cigar.consumed_i(), a.size());
+  EXPECT_EQ(al.cigar.consumed_j(), b.size());
+}
+
+// Hirschberg property sweep: transcript score equals the NW optimum and
+// consumes both sequences, across shapes incl. degenerate ones.
+class HirschbergEquivalence
+    : public testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(HirschbergEquivalence, TranscriptIsOptimal) {
+  const auto [m, n, seed] = GetParam();
+  const seq::Sequence a = swr::test::random_dna(m, seed);
+  const seq::Sequence b = swr::test::random_dna(n, seed + 1);
+  const LocalAlignment al = hirschberg_align(a, b, kSc);
+  EXPECT_EQ(al.score, nw_score(a.codes(), b.codes(), kSc));
+  EXPECT_EQ(al.cigar.consumed_i(), a.size());
+  EXPECT_EQ(al.cigar.consumed_j(), b.size());
+  if (m > 0 || n > 0) {
+    EXPECT_EQ(score_of(al.cigar, a, b, Cell{1, 1}, kSc), al.score);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HirschbergEquivalence,
+                         testing::Combine(testing::Values<std::size_t>(0, 1, 2, 3, 17, 64, 111),
+                                          testing::Values<std::size_t>(0, 1, 2, 19, 73, 128),
+                                          testing::Values<std::uint64_t>(10, 11)));
+
+TEST(Hirschberg, AgreesWithNwOnHomologs) {
+  // Realistic case: two 1 kbp homologs, where the optimal path wanders.
+  seq::MutationModel mm;
+  mm.substitution_rate = 0.05;
+  mm.insertion_rate = 0.02;
+  mm.deletion_rate = 0.02;
+  const auto pair = seq::make_homolog_pair(1000, mm, 77);
+  const LocalAlignment al = hirschberg_align(pair.a, pair.b, kSc);
+  EXPECT_EQ(al.score, nw_score(pair.a.codes(), pair.b.codes(), kSc));
+  EXPECT_GT(cigar_identity(al.cigar), 0.8);
+}
+
+TEST(Hirschberg, AlternativeScoringScheme) {
+  Scoring sc;
+  sc.match = 3;
+  sc.mismatch = -2;
+  sc.gap = -4;
+  const seq::Sequence a = swr::test::random_dna(83, 20);
+  const seq::Sequence b = swr::test::random_dna(90, 21);
+  EXPECT_EQ(hirschberg_align(a, b, sc).score, nw_score(a.codes(), b.codes(), sc));
+}
+
+TEST(Hirschberg, AlphabetMismatchRejected) {
+  EXPECT_THROW(
+      (void)hirschberg_align(seq::Sequence::dna("ACGT"), seq::Sequence::protein("ARND"), kSc),
+      std::invalid_argument);
+}
+
+}  // namespace

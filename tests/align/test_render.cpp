@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "align/render.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::align;
+
+const Scoring kSc = Scoring::paper_default();
+
+TEST(Render, Figure2ArrowsAndPath) {
+  // The paper's figure-2 example with its traceback highlighted.
+  const seq::Sequence s = seq::Sequence::dna("TATGGAC");
+  const seq::Sequence t = seq::Sequence::dna("TAGTGACT");
+  const SimilarityMatrix m = sw_matrix(s, t, kSc);
+  const LocalAlignment al = sw_align(s, t, kSc);
+  const std::string text = render_matrix_with_arrows(m, s, t, kSc, &al);
+  // Diagonal arrows on the match cells; the best cell 3 is on the path.
+  EXPECT_NE(text.find("\\3*"), std::string::npos) << text;
+  EXPECT_NE(text.find("\\1"), std::string::npos);
+  // Path marks exactly: corner (4,4) value 0 marked, then 1*, 2*, 3*.
+  EXPECT_NE(text.find("0*"), std::string::npos);
+  EXPECT_NE(text.find("\\2*"), std::string::npos);
+}
+
+TEST(Render, MultipleArrowsOnTiedPredecessors) {
+  // A cell whose value is reachable both diagonally and via a gap shows
+  // more than one arrow — figure 2's "many arrows can exist" remark.
+  // Craft: b = "AA", a = "A": cell (1,2) = max(0, 0-1, 0-2, 1-2) -> 0;
+  // use a scheme where ties arise: match 2, gap -1: D(1,2) = max(0+2?,...)
+  Scoring sc;
+  sc.match = 2;
+  sc.mismatch = -2;
+  sc.gap = -1;
+  const seq::Sequence a = seq::Sequence::dna("AA");
+  const seq::Sequence b = seq::Sequence::dna("AA");
+  const SimilarityMatrix m = sw_matrix(a, b, sc);
+  // D(2,1): diag(1,0)=0 +2 = 2; up D(1,1)=2 -1 = 1; -> '\2'.
+  // D(2,2): diag D(1,1)=2 +2 = 4.
+  // D(1,2): diag 0+2=2, left D(1,1)-1=1 -> '\'.
+  const std::string text = render_matrix_with_arrows(m, a, b, sc, nullptr);
+  EXPECT_NE(text.find('\\'), std::string::npos);
+  EXPECT_NE(text.find("4"), std::string::npos);
+}
+
+TEST(Render, NoPathMarksWithoutPath) {
+  const seq::Sequence s = seq::Sequence::dna("AC");
+  const SimilarityMatrix m = sw_matrix(s, s, kSc);
+  const std::string text = render_matrix_with_arrows(m, s, s, kSc, nullptr);
+  EXPECT_EQ(text.find('*'), std::string::npos);
+}
+
+TEST(Render, GapArrowsAppearWhereGapsWin) {
+  // Force an up-arrow: a cell fed by a gap from above.
+  Scoring sc;
+  sc.match = 5;
+  sc.mismatch = -1;
+  sc.gap = -1;
+  const seq::Sequence a = seq::Sequence::dna("AT");
+  const seq::Sequence b = seq::Sequence::dna("A");
+  // D(1,1)=5 (match); D(2,1)= max(0, diag 0-? T vs A -1, up 5-1=4) = 4 '^'.
+  const SimilarityMatrix m = sw_matrix(a, b, sc);
+  const std::string text = render_matrix_with_arrows(m, a, b, sc, nullptr);
+  EXPECT_NE(text.find("^4"), std::string::npos) << text;
+}
+
+}  // namespace

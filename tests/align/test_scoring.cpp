@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "align/cigar.hpp"
+#include "align/scoring.hpp"
+#include "seq/sequence.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::align;
+
+TEST(Scoring, PaperDefaultValues) {
+  const Scoring sc = Scoring::paper_default();
+  EXPECT_EQ(sc.match, 1);
+  EXPECT_EQ(sc.mismatch, -1);
+  EXPECT_EQ(sc.gap, -2);
+  EXPECT_NO_THROW(sc.validate());
+}
+
+TEST(Scoring, SubstitutionUniform) {
+  const Scoring sc = Scoring::paper_default();
+  EXPECT_EQ(sc.substitution(0, 0), 1);
+  EXPECT_EQ(sc.substitution(0, 3), -1);
+}
+
+TEST(Scoring, ValidationRejectsBadSchemes) {
+  Scoring sc;
+  sc.gap = 0;
+  EXPECT_THROW(sc.validate(), std::invalid_argument);
+  sc = Scoring{};
+  sc.match = 0;
+  EXPECT_THROW(sc.validate(), std::invalid_argument);
+  sc = Scoring{};
+  sc.mismatch = 2;
+  EXPECT_THROW(sc.validate(), std::invalid_argument);
+}
+
+TEST(Scoring, Figure1AlignmentScore) {
+  // Paper figure 1:
+  //   A C T T G T C C G -
+  //   A G - T G T C A G A
+  // 6 matches (+6), 2 mismatches (-2), 2 gaps (-4): total 0.
+  // Column classes: M X D M M M M X M I (via the transcript below).
+  const seq::Sequence a = seq::Sequence::dna("ACTTGTCCG");
+  const seq::Sequence b = seq::Sequence::dna("AGTGTCAGA");
+  Cigar cg;
+  cg.push(EditOp::Match);     // A/A
+  cg.push(EditOp::Mismatch);  // C/G
+  cg.push(EditOp::Delete);    // T/-
+  cg.push(EditOp::Match);     // T/T
+  cg.push(EditOp::Match);     // G/G
+  cg.push(EditOp::Match);     // T/T
+  cg.push(EditOp::Match);     // C/C
+  cg.push(EditOp::Mismatch);  // C/A
+  cg.push(EditOp::Match);     // G/G
+  cg.push(EditOp::Insert);    // -/A
+  EXPECT_EQ(score_of(cg, a, b, Cell{1, 1}, Scoring::paper_default()), 0);
+}
+
+TEST(SubstitutionMatrix, UniformConstructor) {
+  const SubstitutionMatrix m(seq::dna(), 5, -4);
+  EXPECT_EQ(m(0, 0), 5);
+  EXPECT_EQ(m(0, 1), -4);
+  EXPECT_EQ(m.max_entry(), 5);
+  EXPECT_EQ(m.min_entry(), -4);
+}
+
+TEST(SubstitutionMatrix, RejectsWrongTableSize) {
+  EXPECT_THROW(SubstitutionMatrix(seq::dna(), std::vector<Score>(15, 0)), std::invalid_argument);
+}
+
+TEST(Blosum62, KnownEntries) {
+  const SubstitutionMatrix& m = blosum62();
+  const auto& ab = seq::protein();
+  const auto c = [&](char x) { return ab.code(x); };
+  EXPECT_EQ(m(c('A'), c('A')), 4);
+  EXPECT_EQ(m(c('W'), c('W')), 11);
+  EXPECT_EQ(m(c('W'), c('A')), -3);
+  EXPECT_EQ(m(c('E'), c('Q')), 2);
+  EXPECT_EQ(m(c('I'), c('V')), 3);
+  EXPECT_EQ(m(c('X'), c('X')), -1);
+}
+
+TEST(Blosum62, IsSymmetric) {
+  const SubstitutionMatrix& m = blosum62();
+  const std::size_t n = seq::protein().size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(m(static_cast<seq::Code>(i), static_cast<seq::Code>(j)),
+                m(static_cast<seq::Code>(j), static_cast<seq::Code>(i)))
+          << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Blosum62, DiagonalIsRowMaximum) {
+  // BLOSUM62 property (holds for all rows except X): self-substitution is
+  // the best score in the row.
+  const SubstitutionMatrix& m = blosum62();
+  const std::size_t n = seq::protein().size() - 1;  // exclude X
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_LE(m(static_cast<seq::Code>(i), static_cast<seq::Code>(j)),
+                m(static_cast<seq::Code>(i), static_cast<seq::Code>(i)));
+    }
+  }
+}
+
+TEST(AffineScoring, Validation) {
+  AffineScoring sc;
+  EXPECT_NO_THROW(sc.validate());
+  sc.gap_extend = 0;
+  EXPECT_THROW(sc.validate(), std::invalid_argument);
+  sc = AffineScoring{};
+  sc.gap_open = 1;
+  EXPECT_THROW(sc.validate(), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "align/seed_extend.hpp"
+#include "align/sw_linear.hpp"
+#include "seq/mutate.hpp"
+#include "seq/random.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::align;
+
+const Scoring kSc = Scoring::paper_default();
+
+TEST(KmerIndex, IndexesEveryPosition) {
+  const seq::Sequence q = seq::Sequence::dna("ACGTACGT");
+  const KmerIndex idx(q, 4);
+  // ACGT occurs at positions 0 and 4.
+  std::uint64_t packed = 0;
+  for (int p = 0; p < 4; ++p) packed = (packed << 2) | q[static_cast<std::size_t>(p)];
+  const auto* pos = idx.lookup(packed);
+  ASSERT_NE(pos, nullptr);
+  EXPECT_EQ(*pos, (std::vector<std::uint32_t>{0, 4}));
+  EXPECT_EQ(idx.lookup(~std::uint64_t{0} & 0xFF), nullptr);
+}
+
+TEST(KmerIndex, ShortQueryHasNoKmers) {
+  const KmerIndex idx(seq::Sequence::dna("ACG"), 8);
+  EXPECT_EQ(idx.query_len(), 3u);
+}
+
+TEST(KmerIndex, Validation) {
+  EXPECT_THROW(KmerIndex(seq::Sequence::dna("ACGT"), 0), std::invalid_argument);
+  EXPECT_THROW(KmerIndex(seq::Sequence::dna("ACGT"), 33), std::invalid_argument);
+  EXPECT_THROW(KmerIndex(seq::Sequence::protein("ARNDARND"), 4), std::invalid_argument);
+}
+
+TEST(SeedExtend, FindsExactPlantedCopy) {
+  seq::RandomSequenceGenerator gen(1);
+  const seq::Sequence q = gen.uniform(seq::dna(), 60, "q");
+  seq::Sequence db = gen.uniform(seq::dna(), 3000);
+  const std::size_t at = db.size();
+  db.append(q);
+  db.append(gen.uniform(seq::dna(), 3000));
+
+  SeedExtendOptions opt;
+  const auto hits = seed_extend_search(db, q, kSc, opt);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].score, 60);  // perfect ungapped copy
+  EXPECT_EQ(hits[0].begin, (Cell{at + 1, 1}));
+  EXPECT_EQ(hits[0].end, (Cell{at + 60, 60}));
+}
+
+TEST(SeedExtend, HitScoreNeverExceedsExactOptimum) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    seq::RandomSequenceGenerator gen(100 + seed);
+    const seq::Sequence q = gen.uniform(seq::dna(), 50);
+    seq::Sequence db = gen.uniform(seq::dna(), 1500);
+    db.append(seq::point_mutate(q, 0.05, gen.engine()));
+    db.append(gen.uniform(seq::dna(), 1500));
+    const Score exact = sw_linear(db, q, kSc).score;
+    SeedExtendOptions opt;
+    for (const SeedHit& h : seed_extend_search(db, q, kSc, opt)) {
+      EXPECT_LE(h.score, exact) << "seed " << seed;
+      // Reported segment really scores what it claims (ungapped).
+      Score check = 0;
+      for (std::size_t t = 0; t < h.end.i - h.begin.i + 1; ++t) {
+        check += kSc.substitution(db[h.begin.i - 1 + t], q[h.begin.j - 1 + t]);
+      }
+      EXPECT_EQ(check, h.score) << "seed " << seed;
+    }
+  }
+}
+
+TEST(SeedExtend, RecallDegradesWithDivergence) {
+  // The paper's §1 point: the heuristic misses what exact SW finds once
+  // divergence breaks the seeds. At 2% a 60-mer almost surely keeps an
+  // 11-mer intact; at 35% it almost surely does not.
+  std::size_t found_low = 0;
+  std::size_t found_high = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    seq::RandomSequenceGenerator gen(300 + seed);
+    const seq::Sequence q = gen.uniform(seq::dna(), 60);
+    for (const double rate : {0.02, 0.35}) {
+      seq::Sequence db = gen.uniform(seq::dna(), 2000);
+      const std::size_t at = db.size();
+      db.append(seq::point_mutate(q, rate, gen.engine()));
+      db.append(gen.uniform(seq::dna(), 2000));
+      SeedExtendOptions opt;
+      bool on_plant = false;
+      for (const SeedHit& h : seed_extend_search(db, q, kSc, opt)) {
+        if (h.begin.i >= at - 5 && h.end.i <= at + 70 && h.score >= 20) on_plant = true;
+      }
+      (rate < 0.1 ? found_low : found_high) += on_plant ? 1 : 0;
+    }
+  }
+  EXPECT_GE(found_low, 9u);   // near-perfect recall at 2%
+  EXPECT_LE(found_high, 4u);  // mostly blind at 35%
+}
+
+TEST(SeedExtend, MaxHitsCapsOutput) {
+  seq::RandomSequenceGenerator gen(7);
+  const seq::Sequence q = gen.uniform(seq::dna(), 40);
+  seq::Sequence db = gen.uniform(seq::dna(), 500);
+  for (int rep = 0; rep < 6; ++rep) {
+    db.append(q);
+    db.append(gen.uniform(seq::dna(), 500));
+  }
+  SeedExtendOptions opt;
+  opt.max_hits = 3;
+  EXPECT_EQ(seed_extend_search(db, q, kSc, opt).size(), 3u);
+}
+
+TEST(SeedExtend, HitsAreSortedBestFirst) {
+  seq::RandomSequenceGenerator gen(8);
+  const seq::Sequence q = gen.uniform(seq::dna(), 50);
+  seq::Sequence db = gen.uniform(seq::dna(), 1000);
+  db.append(seq::point_mutate(q, 0.02, gen.engine()));
+  db.append(gen.uniform(seq::dna(), 1000));
+  db.append(seq::point_mutate(q, 0.10, gen.engine()));
+  db.append(gen.uniform(seq::dna(), 1000));
+  const auto hits = seed_extend_search(db, q, kSc, SeedExtendOptions{});
+  for (std::size_t k = 1; k < hits.size(); ++k) {
+    EXPECT_GE(hits[k - 1].score, hits[k].score);
+  }
+}
+
+TEST(SeedExtend, EmptyWhenNothingSeeds) {
+  // All-A query vs all-T database: no shared k-mer.
+  const seq::Sequence q = seq::Sequence::dna(std::string(40, 'A'));
+  const seq::Sequence db = seq::Sequence::dna(std::string(500, 'T'));
+  EXPECT_TRUE(seed_extend_search(db, q, kSc, SeedExtendOptions{}).empty());
+}
+
+TEST(SeedExtend, Validation) {
+  SeedExtendOptions bad;
+  bad.k = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = SeedExtendOptions{};
+  bad.x_drop = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = SeedExtendOptions{};
+  bad.max_hits = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  // Index/options k mismatch.
+  const seq::Sequence q = seq::Sequence::dna("ACGTACGTACGT");
+  const KmerIndex idx(q, 4);
+  SeedExtendOptions opt;
+  opt.k = 5;
+  EXPECT_THROW((void)seed_extend_search(q, q, idx, kSc, opt), std::invalid_argument);
+}
+
+}  // namespace

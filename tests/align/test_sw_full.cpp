@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "align/sw_full.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::align;
+
+const Scoring kSc = Scoring::paper_default();
+
+// Paper figure 2: s = TATGGAC (rows), t = TAGTGACT (columns), +1/-1/-2.
+TEST(SwFull, Figure2GoldenMatrix) {
+  const seq::Sequence s = seq::Sequence::dna("TATGGAC");
+  const seq::Sequence t = seq::Sequence::dna("TAGTGACT");
+  const SimilarityMatrix m = sw_matrix(s, t, kSc);
+  ASSERT_EQ(m.rows(), 8u);
+  ASSERT_EQ(m.cols(), 9u);
+
+  const Score expected[8][9] = {
+      {0, 0, 0, 0, 0, 0, 0, 0, 0},  //
+      {0, 1, 0, 0, 1, 0, 0, 0, 1},  // T
+      {0, 0, 2, 0, 0, 0, 1, 0, 0},  // A
+      {0, 1, 0, 1, 1, 0, 0, 0, 1},  // T
+      {0, 0, 0, 1, 0, 2, 0, 0, 0},  // G
+      {0, 0, 0, 1, 0, 1, 1, 0, 0},  // G
+      {0, 0, 1, 0, 0, 0, 2, 0, 0},  // A
+      {0, 0, 0, 0, 0, 0, 0, 3, 1},  // C
+  };
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) {
+      EXPECT_EQ(m(i, j), expected[i][j]) << "cell (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(SwFull, Figure2BestAndTraceback) {
+  const seq::Sequence s = seq::Sequence::dna("TATGGAC");
+  const seq::Sequence t = seq::Sequence::dna("TAGTGACT");
+  const LocalAlignment al = sw_align(s, t, kSc);
+  EXPECT_EQ(al.score, 3);
+  EXPECT_EQ(al.end, (Cell{7, 7}));
+  EXPECT_EQ(al.begin, (Cell{5, 5}));
+  EXPECT_EQ(al.cigar.to_string(), "3M");  // GAC aligned to GAC
+  EXPECT_EQ(score_of(al.cigar, s, t, al.begin, kSc), al.score);
+}
+
+TEST(SwFull, IdenticalSequencesAlignFully) {
+  const seq::Sequence s = seq::Sequence::dna("ACGTACGTGG");
+  const LocalAlignment al = sw_align(s, s, kSc);
+  EXPECT_EQ(al.score, static_cast<Score>(s.size()));
+  EXPECT_EQ(al.begin, (Cell{1, 1}));
+  EXPECT_EQ(al.end, (Cell{s.size(), s.size()}));
+  EXPECT_DOUBLE_EQ(cigar_identity(al.cigar), 1.0);
+}
+
+TEST(SwFull, DisjointAlphabetscoreZero) {
+  // All-A vs all-T: every substitution is a mismatch, so the empty
+  // alignment (score 0) is optimal.
+  const LocalAlignment al = sw_align(seq::Sequence::dna("AAAA"), seq::Sequence::dna("TTTT"), kSc);
+  EXPECT_EQ(al.score, 0);
+  EXPECT_TRUE(al.cigar.empty());
+  EXPECT_EQ(al.end, (Cell{0, 0}));
+}
+
+TEST(SwFull, EmptyInputs) {
+  EXPECT_EQ(sw_align(seq::Sequence::dna(""), seq::Sequence::dna("ACGT"), kSc).score, 0);
+  EXPECT_EQ(sw_align(seq::Sequence::dna("ACGT"), seq::Sequence::dna(""), kSc).score, 0);
+  EXPECT_EQ(sw_align(seq::Sequence::dna(""), seq::Sequence::dna(""), kSc).score, 0);
+}
+
+TEST(SwFull, AlphabetMismatchRejected) {
+  EXPECT_THROW((void)sw_align(seq::Sequence::dna("ACGT"), seq::Sequence::protein("ARND"), kSc),
+               std::invalid_argument);
+}
+
+TEST(SwFull, TracebackScoreAlwaysMatchesCell) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const seq::Sequence a = swr::test::random_dna(40 + seed, 100 + seed);
+    const seq::Sequence b = swr::test::random_dna(60, 200 + seed);
+    const LocalAlignment al = sw_align(a, b, kSc);
+    if (al.score > 0) {
+      EXPECT_EQ(score_of(al.cigar, a, b, al.begin, kSc), al.score) << "seed " << seed;
+      // Transcript must span exactly begin..end.
+      EXPECT_EQ(al.begin.i + al.cigar.consumed_i() - 1, al.end.i);
+      EXPECT_EQ(al.begin.j + al.cigar.consumed_j() - 1, al.end.j);
+      // Local alignments never begin or end with a gap.
+      EXPECT_NE(al.cigar.runs().front().op, EditOp::Insert);
+      EXPECT_NE(al.cigar.runs().front().op, EditOp::Delete);
+      EXPECT_NE(al.cigar.runs().back().op, EditOp::Insert);
+      EXPECT_NE(al.cigar.runs().back().op, EditOp::Delete);
+    }
+  }
+}
+
+TEST(SwFull, AllBestCellsShareTheBestScore) {
+  const seq::Sequence a = seq::Sequence::dna("ACACAC");
+  const seq::Sequence b = seq::Sequence::dna("ACGTAC");
+  const SimilarityMatrix m = sw_matrix(a, b, kSc);
+  const LocalScoreResult best = sw_best(m);
+  const auto cells = sw_all_best_cells(m);
+  ASSERT_FALSE(cells.empty());
+  for (const Cell& c : cells) EXPECT_EQ(m(c.i, c.j), best.score);
+  // The canonical cell is the (j, i)-lexicographic minimum.
+  Cell canon = cells.front();
+  for (const Cell& c : cells) {
+    if (tie_break_prefers(c, canon)) canon = c;
+  }
+  EXPECT_EQ(best.end, canon);
+}
+
+TEST(SwFull, ScoreMonotoneInMatchReward) {
+  const seq::Sequence a = swr::test::random_dna(60, 42);
+  const seq::Sequence b = swr::test::random_dna(60, 43);
+  Scoring hi = kSc;
+  hi.match = 3;
+  EXPECT_GE(sw_align(a, b, hi).score, sw_align(a, b, kSc).score);
+}
+
+TEST(SwFull, MatrixFormatShowsHeaders) {
+  const seq::Sequence a = seq::Sequence::dna("AC");
+  const seq::Sequence b = seq::Sequence::dna("AG");
+  const std::string text = sw_matrix(a, b, kSc).format(a, b);
+  EXPECT_NE(text.find('A'), std::string::npos);
+  EXPECT_NE(text.find('G'), std::string::npos);
+  EXPECT_NE(text.find('\n'), std::string::npos);
+}
+
+}  // namespace

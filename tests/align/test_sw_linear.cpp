@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "align/sw_full.hpp"
+#include "align/sw_linear.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::align;
+
+const Scoring kSc = Scoring::paper_default();
+
+TEST(SwLinear, MatchesFullMatrixOnFigure2) {
+  const seq::Sequence s = seq::Sequence::dna("TATGGAC");
+  const seq::Sequence t = seq::Sequence::dna("TAGTGACT");
+  EXPECT_EQ(sw_linear(s, t, kSc), sw_best(sw_matrix(s, t, kSc)));
+}
+
+TEST(SwLinear, EmptyInputsScoreZero) {
+  EXPECT_EQ(sw_linear(seq::Sequence::dna(""), seq::Sequence::dna("ACG"), kSc).score, 0);
+  EXPECT_EQ(sw_linear(seq::Sequence::dna("ACG"), seq::Sequence::dna(""), kSc).score, 0);
+}
+
+TEST(SwLinear, AlphabetMismatchRejected) {
+  EXPECT_THROW((void)sw_linear(seq::Sequence::dna("ACGT"), seq::Sequence::protein("ARND"), kSc),
+               std::invalid_argument);
+}
+
+// Property sweep: linear == full matrix (score AND canonical end cell)
+// across sizes, seeds and scoring schemes.
+class SwLinearEquivalence
+    : public testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::uint64_t, int>> {};
+
+TEST_P(SwLinearEquivalence, AgreesWithFullMatrix) {
+  const auto [m, n, seed, scheme] = GetParam();
+  const seq::Sequence a = swr::test::random_dna(m, seed);
+  const seq::Sequence b = swr::test::random_dna(n, seed + 9999);
+  Scoring sc = kSc;
+  if (scheme == 1) {
+    sc.match = 2;
+    sc.mismatch = -3;
+    sc.gap = -5;
+  } else if (scheme == 2) {
+    sc.match = 5;
+    sc.mismatch = -4;
+    sc.gap = -1;
+  }
+  EXPECT_EQ(sw_linear(a, b, sc), sw_best(sw_matrix(a, b, sc)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SwLinearEquivalence,
+    testing::Combine(testing::Values<std::size_t>(1, 7, 33, 128), testing::Values<std::size_t>(1, 13, 64, 200),
+                     testing::Values<std::uint64_t>(1, 2, 3), testing::Values(0, 1, 2)));
+
+TEST(SwLinear, ProteinWithBlosum62MatchesFull) {
+  Scoring sc;
+  sc.matrix = &blosum62();
+  sc.gap = -8;
+  const seq::Sequence a = swr::test::random_protein(70, 5);
+  const seq::Sequence b = swr::test::random_protein(90, 6);
+  EXPECT_EQ(sw_linear(a, b, sc), sw_best(sw_matrix(a, b, sc)));
+}
+
+TEST(SwLinearChunk, SingleChunkEqualsWhole) {
+  const seq::Sequence a = swr::test::random_dna(120, 11);
+  const seq::Sequence b = swr::test::random_dna(50, 12);
+  const ChunkResult r = sw_linear_chunk(a.codes(), b.codes(), {}, 0, kSc);
+  EXPECT_EQ(r.best, sw_linear(a, b, kSc));
+  ASSERT_EQ(r.boundary.size(), a.size() + 1);
+  // Boundary must equal the last column of the full matrix.
+  const SimilarityMatrix m = sw_matrix(a, b, kSc);
+  for (std::size_t i = 0; i <= a.size(); ++i) EXPECT_EQ(r.boundary[i], m(i, b.size()));
+}
+
+// Property: splitting the columns into chunks and chaining boundaries
+// reproduces the monolithic result exactly — the software twin of the
+// figure-7 partitioning the hardware relies on.
+class SwLinearChunking : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(SwLinearChunking, ChainedChunksEqualMonolithic) {
+  const std::size_t chunk_cols = GetParam();
+  const seq::Sequence a = swr::test::random_dna(150, 21);
+  const seq::Sequence b = swr::test::random_dna(97, 22);
+
+  LocalScoreResult best;
+  std::vector<Score> boundary;  // empty = zeros for the first chunk
+  for (std::size_t q = 0; q < b.size(); q += chunk_cols) {
+    const std::size_t len = std::min(chunk_cols, b.size() - q);
+    const ChunkResult r =
+        sw_linear_chunk(a.codes(), b.codes().subspan(q, len), boundary, q, kSc);
+    fold_best(best, r.best.score, r.best.end);
+    boundary = r.boundary;
+  }
+  EXPECT_EQ(best, sw_linear(a, b, kSc));
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, SwLinearChunking,
+                         testing::Values<std::size_t>(1, 2, 5, 16, 50, 96, 97, 200));
+
+TEST(SwLinearChunk, RejectsWrongBoundarySize) {
+  const seq::Sequence a = swr::test::random_dna(10, 1);
+  const seq::Sequence b = swr::test::random_dna(5, 2);
+  const std::vector<Score> bad(3, 0);
+  EXPECT_THROW((void)sw_linear_chunk(a.codes(), b.codes(), bad, 0, kSc), std::invalid_argument);
+}
+
+TEST(SwLinear, CanonicalTieBreakPrefersSmallestColumn) {
+  // Two disjoint perfect hits of the same score; the canonical result is
+  // the one in the leftmost column (smallest j), not the first in row
+  // order.
+  //        b:   G G G A C G T
+  // a = ACGT appears at columns 4..7 (j); also plant an equal-scoring hit
+  // earlier in rows but later in columns to stress the (j, i) order.
+  const seq::Sequence a = seq::Sequence::dna("TTTTACGT");
+  const seq::Sequence b = seq::Sequence::dna("ACGTTTTT");
+  const LocalScoreResult r = sw_linear(a, b, kSc);
+  const SimilarityMatrix m = sw_matrix(a, b, kSc);
+  const auto cells = sw_all_best_cells(m);
+  Cell canon = cells.front();
+  for (const Cell& c : cells) {
+    if (tie_break_prefers(c, canon)) canon = c;
+  }
+  EXPECT_EQ(r.end, canon);
+}
+
+}  // namespace

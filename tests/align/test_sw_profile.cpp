@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "align/sw_linear.hpp"
+#include "align/sw_profile.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::align;
+
+const Scoring kSc = Scoring::paper_default();
+
+TEST(QueryProfile, RowsMatchScoringFunction) {
+  const seq::Sequence q = seq::Sequence::dna("ACGTT");
+  const QueryProfile prof(q, kSc);
+  EXPECT_EQ(prof.query_len(), 5u);
+  for (seq::Code c = 0; c < 4; ++c) {
+    const Score* row = prof.row(c);
+    for (std::size_t j = 0; j < q.size(); ++j) {
+      EXPECT_EQ(row[j], kSc.substitution(c, q[j]));
+    }
+  }
+}
+
+// The profiled kernel must be bit-identical to sw_linear — score AND
+// canonical coordinates — across sizes and schemes.
+class ProfiledEquivalence
+    : public testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(ProfiledEquivalence, MatchesReferenceKernel) {
+  const auto [m, n, seed] = GetParam();
+  const seq::Sequence a = swr::test::random_dna(m, seed * 3 + 11);
+  const seq::Sequence q = swr::test::random_dna(n, seed * 5 + 13);
+  EXPECT_EQ(sw_linear_profiled(a, q, kSc), sw_linear(a, q, kSc));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ProfiledEquivalence,
+                         testing::Combine(testing::Values<std::size_t>(1, 64, 500, 2000),
+                                          testing::Values<std::size_t>(1, 16, 100),
+                                          testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(Profiled, TieBreakAcrossRowsPrefersSmallerColumn) {
+  // Two equal-scoring perfect hits: (later row, earlier column) must win
+  // under the canonical (j, i) policy — the case a naive "first maximum
+  // wins" kernel gets wrong.
+  // "ACG" (query cols 3..5) hits a's rows 2..4; "GGA" (query cols 1..3)
+  // hits rows 11..13. Both score 3; canonical (j, i) order selects the
+  // row-13 hit because its column is smaller.
+  const seq::Sequence a = seq::Sequence::dna("TACGTTTTTTGGA");
+  const seq::Sequence q = seq::Sequence::dna("GGACG");
+  const LocalScoreResult ref = sw_linear(a, q, kSc);
+  ASSERT_EQ(ref.score, 3);
+  ASSERT_EQ(ref.end, (Cell{13, 3}));
+  EXPECT_EQ(sw_linear_profiled(a, q, kSc), ref);
+}
+
+TEST(Profiled, ProteinMatrixScoring) {
+  Scoring sc;
+  sc.matrix = &blosum62();
+  sc.gap = -8;
+  const seq::Sequence a = swr::test::random_protein(300, 21);
+  const seq::Sequence q = swr::test::random_protein(40, 22);
+  EXPECT_EQ(sw_linear_profiled(a, q, sc), sw_linear(a, q, sc));
+}
+
+TEST(Profiled, ProfileReuseAcrossRecords) {
+  const seq::Sequence q = swr::test::random_dna(32, 31);
+  const QueryProfile prof(q, kSc);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const seq::Sequence rec = swr::test::random_dna(200, 100 + seed);
+    EXPECT_EQ(sw_linear_profiled(rec.codes(), prof), sw_linear(rec, q, kSc)) << seed;
+  }
+}
+
+TEST(Profiled, EmptyInputs) {
+  EXPECT_EQ(sw_linear_profiled(seq::Sequence::dna(""), seq::Sequence::dna("ACG"), kSc).score, 0);
+  EXPECT_EQ(sw_linear_profiled(seq::Sequence::dna("ACG"), seq::Sequence::dna(""), kSc).score, 0);
+}
+
+TEST(Profiled, AlphabetMismatchRejected) {
+  EXPECT_THROW(
+      (void)sw_linear_profiled(seq::Sequence::dna("ACGT"), seq::Sequence::protein("ARND"), kSc),
+      std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// SWAR lane primitives + the anti-diagonal kernel.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "align/sw_antidiag.hpp"
+#include "align/sw_linear.hpp"
+#include "align/swar.hpp"
+#include "seq/workload.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::align;
+using namespace swr::align::swar;
+
+TEST(Swar, BroadcastAndLanes) {
+  const std::uint64_t v = broadcast16(0x1234);
+  for (unsigned k = 0; k < 4; ++k) EXPECT_EQ(lane16(v, k), 0x1234);
+  const std::uint64_t w = set_lane16(v, 2, 0x7FFF);
+  EXPECT_EQ(lane16(w, 2), 0x7FFF);
+  EXPECT_EQ(lane16(w, 1), 0x1234);
+}
+
+TEST(Swar, RandomizedLaneOpsMatchScalar) {
+  // Property check of add16/max16/sats16/ge_mask16 against per-lane scalar
+  // math, under the no-high-bit invariant.
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::uint32_t> val(0, 0x3FFF);  // sums stay < 0x8000
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::uint64_t x = 0;
+    std::uint64_t y = 0;
+    std::uint16_t xs[4];
+    std::uint16_t ys[4];
+    for (unsigned k = 0; k < 4; ++k) {
+      xs[k] = static_cast<std::uint16_t>(val(rng));
+      ys[k] = static_cast<std::uint16_t>(val(rng));
+      x = set_lane16(x, k, xs[k]);
+      y = set_lane16(y, k, ys[k]);
+    }
+    const std::uint64_t sum = add16(x, y);
+    const std::uint64_t mx = max16(x, y);
+    const std::uint64_t ss = sats16(x, y);
+    const std::uint64_t ge = ge_mask16(x, y);
+    for (unsigned k = 0; k < 4; ++k) {
+      EXPECT_EQ(lane16(sum, k), static_cast<std::uint16_t>(xs[k] + ys[k]));
+      EXPECT_EQ(lane16(mx, k), std::max(xs[k], ys[k]));
+      EXPECT_EQ(lane16(ss, k), xs[k] >= ys[k] ? xs[k] - ys[k] : 0);
+      EXPECT_EQ(lane16(ge, k), xs[k] >= ys[k] ? 0xFFFF : 0x0000);
+    }
+  }
+}
+
+TEST(Swar, HmaxFindsLaneMaximum) {
+  std::uint64_t v = 0;
+  v = set_lane16(v, 0, 10);
+  v = set_lane16(v, 1, 500);
+  v = set_lane16(v, 2, 499);
+  v = set_lane16(v, 3, 3);
+  EXPECT_EQ(hmax16(v), 500);
+  EXPECT_EQ(hmax16(0), 0);
+}
+
+// ---- the anti-diagonal kernel ------------------------------------------
+
+const Scoring kSc = Scoring::paper_default();
+
+TEST(AntiDiag, Figure2Example) {
+  const seq::Sequence s = seq::Sequence::dna("TAGTGACT");
+  const seq::Sequence t = seq::Sequence::dna("TATGGAC");
+  EXPECT_EQ(sw_linear_antidiag(s, t, kSc), sw_linear(s, t, kSc));
+}
+
+class AntiDiagEquivalence
+    : public testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::uint64_t, int>> {};
+
+TEST_P(AntiDiagEquivalence, MatchesReferenceKernel) {
+  const auto [m, n, seed, scheme] = GetParam();
+  Scoring sc = kSc;
+  if (scheme == 1) {
+    sc.match = 4;
+    sc.mismatch = -3;
+    sc.gap = -5;
+  }
+  const seq::Sequence a = swr::test::random_dna(m, seed * 3 + 77);
+  const seq::Sequence b = swr::test::random_dna(n, seed * 5 + 88);
+  EXPECT_EQ(sw_linear_antidiag(a, b, sc), sw_linear(a, b, sc));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AntiDiagEquivalence,
+                         testing::Combine(testing::Values<std::size_t>(1, 2, 3, 4, 5, 8, 37, 250),
+                                          testing::Values<std::size_t>(1, 2, 3, 4, 5, 9, 41, 180),
+                                          testing::Values<std::uint64_t>(1, 2),
+                                          testing::Values(0, 1)));
+
+TEST(AntiDiag, ProteinMatrixScoring) {
+  Scoring sc;
+  sc.matrix = &blosum62();
+  sc.gap = -8;
+  const seq::Sequence a = swr::test::random_protein(130, 5);
+  const seq::Sequence b = swr::test::random_protein(90, 6);
+  EXPECT_EQ(sw_linear_antidiag(a, b, sc), sw_linear(a, b, sc));
+}
+
+TEST(AntiDiag, TieBreakCanonical) {
+  // Same construction as the profiled-kernel tie test: later row, smaller
+  // column must win.
+  const seq::Sequence a = seq::Sequence::dna("TACGTTTTTTGGA");
+  const seq::Sequence b = seq::Sequence::dna("GGACG");
+  const LocalScoreResult ref = sw_linear(a, b, kSc);
+  ASSERT_EQ(ref.end, (Cell{13, 3}));
+  EXPECT_EQ(sw_linear_antidiag(a, b, kSc), ref);
+}
+
+TEST(AntiDiag, FallbackWhenScoreUnbounded) {
+  // 40000-long identical sequences would overflow 16-bit lanes (score
+  // 40000 * 1 > 0x7FFF): applicability says no, and the kernel must still
+  // return the exact (scalar-fallback) result on a smaller-but-deep case.
+  Scoring sc = kSc;
+  sc.match = 30000;  // absurd on purpose
+  sc.mismatch = -1;
+  EXPECT_FALSE(antidiag_swar_applicable(10, 10, sc));
+  const seq::Sequence s = swr::test::random_dna(20, 9);
+  EXPECT_EQ(sw_linear_antidiag(s, s, sc), sw_linear(s, s, sc));
+}
+
+TEST(AntiDiag, ApplicabilityBound) {
+  EXPECT_TRUE(antidiag_swar_applicable(100, 1'000'000, kSc));   // min side 100
+  EXPECT_TRUE(antidiag_swar_applicable(30'000, 30'000, kSc));   // 30000 < 0x7FFF
+  EXPECT_FALSE(antidiag_swar_applicable(40'000, 40'000, kSc));  // 40000 > 0x7FFF
+}
+
+TEST(AntiDiag, EmptyAndMismatch) {
+  EXPECT_EQ(sw_linear_antidiag(seq::Sequence::dna(""), seq::Sequence::dna("ACG"), kSc).score, 0);
+  EXPECT_THROW(
+      (void)sw_linear_antidiag(seq::Sequence::dna("ACGT"), seq::Sequence::protein("ARND"), kSc),
+      std::invalid_argument);
+}
+
+TEST(AntiDiag, HomologPairStress) {
+  seq::MutationModel mm;
+  mm.substitution_rate = 0.05;
+  mm.insertion_rate = 0.02;
+  mm.deletion_rate = 0.02;
+  const auto pair = seq::make_homolog_pair(1500, mm, 17);
+  EXPECT_EQ(sw_linear_antidiag(pair.a, pair.b, kSc), sw_linear(pair.a, pair.b, kSc));
+}
+
+}  // namespace

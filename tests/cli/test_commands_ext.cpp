@@ -1,0 +1,129 @@
+// Tests of the extended swr subcommands: affine alignment, nearbest, map.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "align/gotoh.hpp"
+#include "cli/commands.hpp"
+#include "seq/fasta.hpp"
+#include "seq/fastq.hpp"
+#include "seq/mutate.hpp"
+#include "seq/random.hpp"
+
+namespace {
+
+using namespace swr;
+
+std::string write_fa(const std::string& stem, const std::vector<seq::Sequence>& recs) {
+  const std::string path = testing::TempDir() + "/" + stem + ".fa";
+  seq::write_fasta_file(path, recs);
+  return path;
+}
+
+struct RunResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+RunResult run(const std::string& cmd, const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = cli::run_command(cmd, args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(CliAffine, LocalAffineMatchesGotoh) {
+  seq::RandomSequenceGenerator gen(3);
+  const seq::Sequence a = gen.uniform(seq::dna(), 200, "a");
+  const seq::Sequence b = gen.uniform(seq::dna(), 60, "b");
+  const std::string fa = write_fa("cli_aff_a", {a});
+  const std::string fb = write_fa("cli_aff_b", {b});
+  const RunResult r = run("align", {fa, fb, "--affine"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  align::AffineScoring sc;  // CLI defaults for DNA
+  const align::LocalScoreResult oracle = align::gotoh_local_score(a.codes(), b.codes(), sc);
+  EXPECT_NE(r.out.find("score: " + std::to_string(oracle.score)), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("(affine)"), std::string::npos);
+}
+
+TEST(CliAffine, GlobalAffineRuns) {
+  const std::string fa = write_fa("cli_aff_g1", {seq::Sequence::dna("ACGTACCCCGT", "a")});
+  const std::string fb = write_fa("cli_aff_g2", {seq::Sequence::dna("ACGTACGT", "b")});
+  const RunResult r = run("align", {fa, fb, "--affine", "--mode", "global", "--gap-open", "-4",
+                                    "--gap-extend", "-1"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("mode: global (affine)"), std::string::npos);
+}
+
+TEST(CliAffine, FittingAffineRejected) {
+  EXPECT_EQ(run("align", {"x.fa", "y.fa", "--affine", "--mode", "fitting"}).code, 2);
+}
+
+TEST(CliNearBest, EnumeratesPlantedCopies) {
+  seq::RandomSequenceGenerator gen(4);
+  const seq::Sequence q = gen.uniform(seq::dna(), 50, "q");
+  seq::Sequence db = gen.uniform(seq::dna(), 800);
+  db.append(q);
+  db.append(gen.uniform(seq::dna(), 800));
+  db.append(seq::point_mutate(q, 0.05, gen.engine()));
+  db.append(gen.uniform(seq::dna(), 800));
+  db.set_name("db");
+  const std::string fdb = write_fa("cli_nb_db", {db});
+  const std::string fq = write_fa("cli_nb_q", {q});
+  const RunResult r = run("nearbest", {fdb, fq, "--max", "4", "--min-score", "25"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("2 non-overlapping alignments"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("1. score 50"), std::string::npos) << r.out;
+}
+
+TEST(CliMap, MapsReadsToReference) {
+  seq::RandomSequenceGenerator gen(5);
+  const seq::Sequence ref = gen.uniform(seq::dna(), 5000, "ref");
+  std::vector<seq::FastqRecord> reads;
+  for (int k = 0; k < 4; ++k) {
+    seq::FastqRecord rec;
+    rec.sequence = seq::point_mutate(ref.subsequence(500 + 900 * static_cast<std::size_t>(k), 60),
+                                     0.02, gen.engine());
+    rec.sequence.set_name("r" + std::to_string(k));
+    rec.qualities.assign(rec.sequence.size(), 35);
+    reads.push_back(std::move(rec));
+  }
+  const std::string fq_path = testing::TempDir() + "/cli_reads.fq";
+  {
+    std::ofstream f(fq_path);
+    seq::write_fastq(f, reads);
+  }
+  const std::string ref_path = write_fa("cli_map_ref", {ref});
+  const RunResult r = run("map", {fq_path, ref_path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("mapped 4/4 reads"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("r0\t"), std::string::npos);
+}
+
+TEST(CliMap, UnmappableReadReported) {
+  seq::RandomSequenceGenerator gen(6);
+  const seq::Sequence ref = gen.uniform(seq::dna(), 2000, "ref");
+  seq::FastqRecord alien;
+  alien.sequence = seq::Sequence::dna(std::string(50, 'A'), "alien");
+  alien.qualities.assign(50, 30);
+  const std::string fq_path = testing::TempDir() + "/cli_alien.fq";
+  {
+    std::ofstream f(fq_path);
+    seq::write_fastq(f, {alien});
+  }
+  const std::string ref_path = write_fa("cli_map_ref2", {ref});
+  const RunResult r = run("map", {fq_path, ref_path});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("unmapped"), std::string::npos) << r.out;
+}
+
+TEST(CliHelp, MentionsNewCommands) {
+  const RunResult r = run("help", {});
+  EXPECT_NE(r.out.find("nearbest"), std::string::npos);
+  EXPECT_NE(r.out.find("map <reads.fq>"), std::string::npos);
+  EXPECT_NE(r.out.find("--affine"), std::string::npos);
+}
+
+}  // namespace

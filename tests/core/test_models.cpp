@@ -1,0 +1,229 @@
+// Resource / frequency / performance model tests, incl. the Table-2
+// calibration targets.
+#include <gtest/gtest.h>
+
+#include "core/device.hpp"
+#include "core/performance_model.hpp"
+#include "core/resource_model.hpp"
+
+namespace {
+
+using namespace swr::core;
+
+const PeFeatures kPaperPe{16, 32, true, false};
+
+TEST(DeviceCatalog, ContainsThePaperParts) {
+  EXPECT_NO_THROW((void)device("xc2vp70"));
+  EXPECT_NO_THROW((void)device("xc2v6000"));
+  EXPECT_NO_THROW((void)device("xcv2000e"));
+  EXPECT_THROW((void)device("xc9999"), std::invalid_argument);
+  EXPECT_EQ(xc2vp70().slices, 33088u);
+}
+
+TEST(ResourceModel, Table2CalibrationFor100Elements) {
+  // Paper Table 2 for the 100-element xc2vp70 prototype: ~25 % flip-flops,
+  // ~65 % LUTs, under 70 % of the slices, 7 % IOBs, 1 GCLK. The model must
+  // land in those bands.
+  const ResourceEstimate e = estimate_resources(xc2vp70(), 100, kPaperPe);
+  EXPECT_TRUE(e.fits);
+  EXPECT_NEAR(e.ff_util, 0.25, 0.05);
+  EXPECT_NEAR(e.lut_util, 0.65, 0.05);
+  EXPECT_LT(e.slice_util, 0.70);
+  EXPECT_GT(e.slice_util, 0.55);
+  EXPECT_NEAR(e.iob_util, 0.07, 0.02);
+  EXPECT_EQ(e.gclks, 1u);
+}
+
+TEST(ResourceModel, ResourcesGrowLinearlyWithElements) {
+  const ResourceEstimate e50 = estimate_resources(xc2vp70(), 50, kPaperPe);
+  const ResourceEstimate e100 = estimate_resources(xc2vp70(), 100, kPaperPe);
+  const ResourceEstimate e150 = estimate_resources(xc2vp70(), 150, kPaperPe);
+  EXPECT_EQ(e100.flipflops - e50.flipflops, e150.flipflops - e100.flipflops);
+  EXPECT_EQ(e100.luts - e50.luts, e150.luts - e100.luts);
+}
+
+TEST(ResourceModel, FrequencyDegradesWithUtilisation) {
+  const ResourceEstimate small = estimate_resources(xc2vp70(), 10, kPaperPe);
+  const ResourceEstimate large = estimate_resources(xc2vp70(), 150, kPaperPe);
+  EXPECT_GT(small.freq_mhz, large.freq_mhz);
+  EXPECT_LT(small.freq_mhz, xc2vp70().datapath_fmax_mhz);
+}
+
+TEST(ResourceModel, MaxElementsIsTightOnEveryDevice) {
+  for (const FpgaDevice& dev : device_catalog()) {
+    const std::size_t n = max_elements(dev, kPaperPe);
+    ASSERT_GT(n, 0u) << dev.name;
+    EXPECT_TRUE(estimate_resources(dev, n, kPaperPe).fits) << dev.name;
+    EXPECT_FALSE(estimate_resources(dev, n + 1, kPaperPe).fits) << dev.name;
+  }
+}
+
+TEST(ResourceModel, CoordinateTrackingAblation) {
+  // Dropping the Bs/Cl/Bc machinery (a score-only accelerator, like most
+  // related work) must shrink the PE and let more elements fit.
+  PeFeatures score_only = kPaperPe;
+  score_only.coordinate_tracking = false;
+  EXPECT_LT(pe_flipflops(score_only), pe_flipflops(kPaperPe));
+  EXPECT_LT(pe_luts(score_only), pe_luts(kPaperPe));
+  EXPECT_GT(max_elements(xc2vp70(), score_only), max_elements(xc2vp70(), kPaperPe));
+}
+
+TEST(ResourceModel, NarrowerDatapathFitsMoreElements) {
+  PeFeatures narrow = kPaperPe;
+  narrow.score_bits = 12;  // SAMBA-style 12-bit PEs
+  narrow.cycle_bits = 24;
+  EXPECT_GT(max_elements(xc2vp70(), narrow), max_elements(xc2vp70(), kPaperPe));
+}
+
+TEST(ResourceModel, ZeroPesRejected) {
+  EXPECT_THROW((void)estimate_resources(xc2vp70(), 0, kPaperPe), std::invalid_argument);
+}
+
+TEST(PerformanceModel, CycleFormula) {
+  // m=100, n=10e6, N=100: 1 pass, load 100, stream n+N-1, drain N.
+  const CyclePrediction p = predict_cycles(100, 10'000'000, 100, true);
+  EXPECT_EQ(p.passes, 1u);
+  EXPECT_EQ(p.load_cycles, 100u);
+  EXPECT_EQ(p.compute_cycles, 10'000'099u);
+  EXPECT_EQ(p.drain_cycles, 100u);
+  EXPECT_EQ(p.total_cycles, 10'000'299u);
+}
+
+TEST(PerformanceModel, MultiPass) {
+  const CyclePrediction p = predict_cycles(250, 1000, 100, true);
+  EXPECT_EQ(p.passes, 3u);
+  EXPECT_EQ(p.load_cycles, 250u);
+  EXPECT_EQ(p.compute_cycles, 3u * 1099u);
+  EXPECT_EQ(p.drain_cycles, 300u);
+}
+
+TEST(PerformanceModel, EmptyJobIsFree) {
+  EXPECT_EQ(predict_cycles(0, 1000, 100, true).total_cycles, 0u);
+  EXPECT_EQ(predict_cycles(10, 0, 100, true).total_cycles, 0u);
+}
+
+TEST(PerformanceModel, SecondsAndGcups) {
+  EXPECT_DOUBLE_EQ(cycles_to_seconds(1'000'000, 100.0), 0.01);
+  EXPECT_DOUBLE_EQ(gcups(2'000'000'000, 1.0), 2.0);
+  EXPECT_THROW((void)cycles_to_seconds(1, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)gcups(1, 0.0), std::invalid_argument);
+}
+
+TEST(QueryLoadModel, RegisterShiftMatchesPlainPrediction) {
+  const QueryLoadModel reg{};  // register shifting (default)
+  const double s = job_seconds(200, 100'000, 100, 100.0, reg);
+  EXPECT_DOUBLE_EQ(s, cycles_to_seconds(predict_cycles(200, 100'000, 100, true).total_cycles,
+                                        100.0));
+}
+
+TEST(QueryLoadModel, ReconfigRemovesLoadCyclesButAddsStalls) {
+  QueryLoadModel jbits;
+  jbits.dynamic_reconfig = true;
+  jbits.reconfig_seconds_per_pass = 2e-3;
+  const double s = job_seconds(200, 100'000, 100, 100.0, jbits);
+  const CyclePrediction p = predict_cycles(200, 100'000, 100, false);
+  EXPECT_DOUBLE_EQ(s, cycles_to_seconds(p.total_cycles, 100.0) + 2 * 2e-3);
+}
+
+TEST(QueryLoadModel, ReconfigLosesOnManyPasses) {
+  // The paper's §4 point about [13]: milliseconds of reconfiguration per
+  // chunk swamp the cycles it saves once long queries force many passes.
+  QueryLoadModel reg{};
+  QueryLoadModel jbits;
+  jbits.dynamic_reconfig = true;
+  const double reg_s = job_seconds(10'000, 100'000, 100, 100.0, reg);
+  const double jbits_s = job_seconds(10'000, 100'000, 100, 100.0, jbits);
+  EXPECT_GT(jbits_s, reg_s);
+  // But for a single short pass against a huge database it is harmless.
+  const double reg_1 = job_seconds(100, 50'000'000, 100, 100.0, reg);
+  const double jbits_1 = job_seconds(100, 50'000'000, 100, 100.0, jbits);
+  EXPECT_NEAR(jbits_1 / reg_1, 1.0, 0.01);
+}
+
+TEST(QueryLoadModel, Validation) {
+  QueryLoadModel bad;
+  bad.reconfig_seconds_per_pass = -1.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(ResourceModel, MultiBasePeTradesRegistersForColumns) {
+  // [12]: more bases per element = more registers per element (state
+  // replicates) but the shared datapath means LUTs grow slower than
+  // columns served.
+  PeFeatures b1 = kPaperPe;
+  PeFeatures b4 = kPaperPe;
+  b4.bases_per_pe = 4;
+  // Registers grow much faster than LUTs: the column state replicates,
+  // the datapath is shared.
+  const double ff_ratio =
+      static_cast<double>(pe_flipflops(b4)) / static_cast<double>(pe_flipflops(b1));
+  const double lut_ratio = static_cast<double>(pe_luts(b4)) / static_cast<double>(pe_luts(b1));
+  EXPECT_GT(ff_ratio, 2.0);
+  EXPECT_LT(lut_ratio, 1.5);
+  EXPECT_GT(ff_ratio, lut_ratio);
+  // Columns of query served per device: multi-base wins on capacity...
+  const std::size_t cols1 = max_elements(xc2vp70(), b1) * 1;
+  const std::size_t cols4 = max_elements(xc2vp70(), b4) * 4;
+  EXPECT_GT(cols4, cols1);
+}
+
+TEST(PerformanceModel, MultiBaseReducesToPlainAtOneBase) {
+  const CyclePrediction a = predict_cycles(230, 5000, 32, true);
+  const CyclePrediction b = predict_cycles_multibase(230, 5000, 32, 1, true);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.passes, b.passes);
+}
+
+TEST(PerformanceModel, MultiBaseTradesPassesForCycleRate) {
+  // 4 bases per PE: 4x fewer passes for long queries, but 4x cycles per
+  // pass — roughly a wash on throughput, the win is query capacity.
+  const CyclePrediction plain = predict_cycles(800, 100'000, 100, false);
+  const CyclePrediction multi = predict_cycles_multibase(800, 100'000, 100, 4, false);
+  EXPECT_EQ(plain.passes, 8u);
+  EXPECT_EQ(multi.passes, 2u);
+  EXPECT_NEAR(static_cast<double>(multi.total_cycles) /
+                  static_cast<double>(plain.total_cycles),
+              1.0, 0.05);
+  EXPECT_THROW((void)predict_cycles_multibase(1, 1, 0, 1, false), std::invalid_argument);
+  EXPECT_THROW((void)predict_cycles_multibase(1, 1, 1, 0, false), std::invalid_argument);
+}
+
+TEST(PowerModel, ScalesWithAreaAndClock) {
+  const ResourceEstimate small = estimate_resources(xc2vp70(), 25, kPaperPe);
+  const ResourceEstimate large = estimate_resources(xc2vp70(), 150, kPaperPe);
+  const PowerEstimate ps = estimate_power(small);
+  const PowerEstimate pl = estimate_power(large);
+  EXPECT_GT(pl.static_watts, ps.static_watts);
+  EXPECT_GT(pl.dynamic_watts, ps.dynamic_watts);
+  EXPECT_GT(pl.total_watts(), 0.0);
+  // Energy of a fixed job: bigger array burns more watts but finishes
+  // sooner; sanity-check the arithmetic only.
+  EXPECT_DOUBLE_EQ(pl.job_joules(2.0), pl.total_watts() * 2.0);
+}
+
+TEST(ResourceModel, JbitsLoadingShrinksThePe) {
+  PeFeatures jbits = kPaperPe;
+  jbits.jbits_loading = true;
+  EXPECT_LT(pe_flipflops(jbits), pe_flipflops(kPaperPe));
+  EXPECT_LT(pe_luts(jbits), pe_luts(kPaperPe));
+  EXPECT_GT(max_elements(xc2vp70(), jbits), max_elements(xc2vp70(), kPaperPe));
+}
+
+TEST(PerformanceModel, HeadlineShapeHolds) {
+  // Paper §6 shape: a 100-element array at the modelled clock finishes the
+  // 100 BP x 10 MBP job in well under a second, versus minutes in the
+  // paper's software measurement.
+  const ResourceEstimate e = estimate_resources(xc2vp70(), 100, kPaperPe);
+  const CyclePrediction p = predict_cycles(100, 10'000'000, 100, true);
+  const double secs = cycles_to_seconds(p.total_cycles, e.freq_mhz);
+  EXPECT_LT(secs, 1.0);
+  EXPECT_GT(secs, 0.01);
+  // The paper's own software figure: 191.323 s on a P4 3 GHz. Our model's
+  // speedup against that datum lands in the hundreds, like the reported
+  // 246.9.
+  const double paper_software_seconds = 191.323;
+  const double speedup = paper_software_seconds / secs;
+  EXPECT_GT(speedup, 100.0);
+}
+
+}  // namespace

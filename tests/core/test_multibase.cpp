@@ -1,0 +1,92 @@
+// The [12]-style multi-base (time-multiplexed) array against the software
+// oracle and its analytic cycle model.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "align/sw_linear.hpp"
+#include "core/multibase.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::core;
+
+const align::Scoring kSc = align::Scoring::paper_default();
+
+TEST(MultiBase, OneBasePerPeBehavesLikeThePlainArray) {
+  const seq::Sequence q = swr::test::random_dna(12, 1);
+  const seq::Sequence db = swr::test::random_dna(60, 2);
+  MultiBaseController ctl(12, 1, 16, kSc, 1 << 20, true);
+  EXPECT_EQ(ctl.run(q, db), align::sw_linear(db, q, kSc));
+}
+
+class MultiBaseEquivalence
+    : public testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(MultiBaseEquivalence, MatchesSoftwareOracle) {
+  const auto [m, n, npes, bases, seed] = GetParam();
+  const seq::Sequence query = swr::test::random_dna(m, seed * 23 + 5);
+  const seq::Sequence db = swr::test::random_dna(n, seed * 29 + 6);
+  MultiBaseController ctl(npes, bases, 16, kSc, 4 << 20, true);
+  EXPECT_EQ(ctl.run(query, db), align::sw_linear(db, query, kSc))
+      << "m=" << m << " n=" << n << " npes=" << npes << " bases=" << bases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultiBaseEquivalence,
+    testing::Combine(testing::Values<std::size_t>(1, 7, 16, 23, 50),
+                     testing::Values<std::size_t>(1, 11, 64),
+                     testing::Values<std::size_t>(1, 3, 8),
+                     testing::Values<std::size_t>(1, 2, 4),
+                     testing::Values<std::uint64_t>(1, 2)));
+
+TEST(MultiBase, MeasuredCyclesMatchAnalyticModel) {
+  for (const auto& [m, n, npes, bases] :
+       std::vector<std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>>{
+           {8, 30, 4, 2}, {20, 50, 4, 3}, {50, 40, 8, 4}, {9, 25, 3, 3}}) {
+    const seq::Sequence query = swr::test::random_dna(m, 70);
+    const seq::Sequence db = swr::test::random_dna(n, 71);
+    MultiBaseController ctl(npes, bases, 16, kSc, 4 << 20, true);
+    (void)ctl.run(query, db);
+    const RunStats& st = ctl.run_stats();
+    const CyclePrediction p = predict_cycles_multibase(m, n, npes, bases, true);
+    EXPECT_EQ(st.passes, p.passes) << m << " " << n << " " << npes << " " << bases;
+    EXPECT_EQ(st.load_cycles, p.load_cycles);
+    EXPECT_EQ(st.compute_cycles, p.compute_cycles);
+    EXPECT_EQ(st.drain_cycles, p.drain_cycles);
+    EXPECT_EQ(st.total_cycles, p.total_cycles);
+  }
+}
+
+TEST(MultiBase, FewerPassesThanSingleBase) {
+  // 8 PEs x 4 bases = 32 columns/pass: a 64-base query needs 2 passes
+  // instead of 8.
+  const seq::Sequence q = swr::test::random_dna(64, 80);
+  const seq::Sequence db = swr::test::random_dna(100, 81);
+  MultiBaseController multi(8, 4, 16, kSc, 1 << 20, true);
+  (void)multi.run(q, db);
+  EXPECT_EQ(multi.run_stats().passes, 2u);
+}
+
+TEST(MultiBase, PartitionedBoundaryReplayIsExact) {
+  // Query far longer than one pass: boundary columns must chain exactly.
+  const seq::Sequence q = swr::test::random_dna(70, 90);
+  const seq::Sequence db = swr::test::random_dna(90, 91);
+  MultiBaseController ctl(4, 4, 16, kSc, 1 << 20, true);  // 16 cols/pass -> 5 passes
+  EXPECT_EQ(ctl.run(q, db), align::sw_linear(db, q, kSc));
+  EXPECT_EQ(ctl.run_stats().passes, 5u);
+}
+
+TEST(MultiBase, Validation) {
+  EXPECT_THROW(MultiBaseController(0, 2, 16, kSc, 1 << 20, true), std::invalid_argument);
+  EXPECT_THROW(MultiBaseController(2, 0, 16, kSc, 1 << 20, true), std::invalid_argument);
+  MultiBaseController ctl(2, 2, 16, kSc, 1 << 20, true);
+  EXPECT_THROW((void)ctl.run(seq::Sequence::dna("AC"), seq::Sequence::protein("AR")),
+               std::invalid_argument);
+  EXPECT_EQ(ctl.run(seq::Sequence::dna(""), seq::Sequence::dna("ACG")).score, 0);
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Unit tests of the figure-6 PE datapath, driven cycle by cycle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/pe.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::core;
+
+struct PeHarness {
+  hw::SatArith sat{16};
+  align::Scoring sc = align::Scoring::paper_default();
+  ScorePe pe;
+
+  PeHarness() { pe.load_query_base(seq::dna().code('A'), true); }
+
+  // One compute cycle with the given inputs; returns the PE output link
+  // after the clock edge.
+  PeLink clock(seq::Code base, align::Score c, bool valid = true) {
+    pe.evaluate(ArrayMode::Compute, PeLink{base, c, 0, valid}, DrainSlot{}, PeContext{sat, sc});
+    pe.commit();
+    return pe.out();
+  }
+};
+
+TEST(ScorePe, MatchTakesDiagonalPlusCo) {
+  PeHarness h;
+  // First cell: A=B=C=0, match 'A' -> D = max(0, 0+1, 0-2) = 1.
+  const PeLink out = h.clock(seq::dna().code('A'), 0);
+  EXPECT_TRUE(out.valid);
+  EXPECT_EQ(out.score, 1);
+  EXPECT_EQ(out.base, seq::dna().code('A'));
+  EXPECT_EQ(h.pe.reg_b(), 1);   // D becomes the upper cell
+  EXPECT_EQ(h.pe.reg_a(), 0);   // C becomes the diagonal
+  EXPECT_EQ(h.pe.reg_bs(), 1);  // column best updated
+  EXPECT_EQ(h.pe.reg_bc(), 1u); // at row 1
+  EXPECT_EQ(h.pe.reg_cl(), 1u);
+}
+
+TEST(ScorePe, MismatchUsesSuAndClampsAtZero) {
+  PeHarness h;
+  const PeLink out = h.clock(seq::dna().code('T'), 0);
+  // D = max(0, 0-1, 0-2) = 0.
+  EXPECT_EQ(out.score, 0);
+  EXPECT_EQ(h.pe.reg_bs(), 0);  // zero never recorded as a best
+  EXPECT_EQ(h.pe.reg_bc(), 0u);
+}
+
+TEST(ScorePe, GapPathUsesMaxOfUpperAndLeft) {
+  PeHarness h;
+  (void)h.clock(seq::dna().code('A'), 0);  // B register now 1
+  // Mismatch with C=5: D = max(0, A+Su, max(B=1, C=5) - 2) = 3.
+  const PeLink out = h.clock(seq::dna().code('T'), 5);
+  EXPECT_EQ(out.score, 3);
+}
+
+TEST(ScorePe, BubbleCyclesHoldState) {
+  PeHarness h;
+  (void)h.clock(seq::dna().code('A'), 0);
+  const align::Score bs = h.pe.reg_bs();
+  const std::uint64_t cl = h.pe.reg_cl();
+  const PeLink out = h.clock(seq::dna().code('A'), 0, /*valid=*/false);
+  EXPECT_FALSE(out.valid);
+  EXPECT_EQ(h.pe.reg_bs(), bs);
+  EXPECT_EQ(h.pe.reg_cl(), cl);  // Cl only counts valid cycles
+}
+
+TEST(ScorePe, BsKeepsFirstMaximum) {
+  // Strictly-greater update: a later equal score must not move Bc.
+  PeHarness h;
+  (void)h.clock(seq::dna().code('A'), 0);  // row 1: D=1, Bs=1, Bc=1
+  (void)h.clock(seq::dna().code('T'), 2);  // row 2: D = max(0, 0-1, max(1,2)-2) = 0
+  (void)h.clock(seq::dna().code('A'), 0);  // row 3: D = max(0, 2+1?...)
+  // Regardless of later equal scores, Bc stays at the first row where the
+  // current Bs value was set.
+  const std::uint64_t bc = h.pe.reg_bc();
+  const align::Score bs = h.pe.reg_bs();
+  (void)h.clock(seq::dna().code('T'), bs + 2);  // left gap gives exactly bs again
+  EXPECT_EQ(h.pe.reg_bs(), bs);
+  EXPECT_EQ(h.pe.reg_bc(), bc);
+}
+
+TEST(ScorePe, SaturatesAtConfiguredWidth) {
+  hw::SatArith sat(4);  // range [-8, 7]
+  align::Scoring sc = align::Scoring::paper_default();
+  ScorePe pe;
+  pe.load_query_base(seq::dna().code('A'), true);
+  PeLink in{seq::dna().code('A'), 0, 0, true};
+  // Repeated matches with a growing left input would exceed 7.
+  for (int k = 0; k < 20; ++k) {
+    pe.evaluate(ArrayMode::Compute, in, DrainSlot{}, PeContext{sat, sc});
+    pe.commit();
+    in.score = pe.out().score;
+  }
+  EXPECT_EQ(pe.out().score, 7);  // pinned at the positive rail
+  EXPECT_GT(sat.saturation_count(), 0u);
+}
+
+TEST(ScorePe, DrainLoadAndShift) {
+  PeHarness h;
+  (void)h.clock(seq::dna().code('A'), 0);  // Bs=1, Bc=1
+  h.pe.evaluate(ArrayMode::DrainLoad, PeLink{}, DrainSlot{}, PeContext{h.sat, h.sc});
+  h.pe.commit();
+  EXPECT_EQ(h.pe.drain_slot().bs, 1);
+  EXPECT_EQ(h.pe.drain_slot().bc, 1u);
+  // Shift: the neighbour's slot replaces ours.
+  h.pe.evaluate(ArrayMode::DrainShift, PeLink{}, DrainSlot{42, 7}, PeContext{h.sat, h.sc});
+  h.pe.commit();
+  EXPECT_EQ(h.pe.drain_slot().bs, 42);
+  EXPECT_EQ(h.pe.drain_slot().bc, 7u);
+}
+
+TEST(ScorePe, IdleHoldsEverything) {
+  PeHarness h;
+  (void)h.clock(seq::dna().code('A'), 0);
+  const align::Score a = h.pe.reg_a();
+  const align::Score b = h.pe.reg_b();
+  h.pe.evaluate(ArrayMode::Idle, PeLink{seq::dna().code('T'), 9, 0, true}, DrainSlot{},
+                PeContext{h.sat, h.sc});
+  h.pe.commit();
+  EXPECT_EQ(h.pe.reg_a(), a);
+  EXPECT_EQ(h.pe.reg_b(), b);
+  EXPECT_FALSE(h.pe.out().valid);
+}
+
+TEST(ScorePe, ResetClearsStateButKeepsQueryBase) {
+  PeHarness h;
+  (void)h.clock(seq::dna().code('A'), 3);
+  h.pe.reset();
+  EXPECT_EQ(h.pe.reg_a(), 0);
+  EXPECT_EQ(h.pe.reg_b(), 0);
+  EXPECT_EQ(h.pe.reg_bs(), 0);
+  EXPECT_EQ(h.pe.reg_cl(), 0u);
+  EXPECT_TRUE(h.pe.active());
+  // Still matches 'A' after reset: SP survived.
+  const PeLink out = h.clock(seq::dna().code('A'), 0);
+  EXPECT_EQ(out.score, 1);
+}
+
+TEST(ScorePe, SinglePeColumnMatchesDpColumn) {
+  // A lone PE owns one matrix column. Stream 200 random database bases
+  // through it (left border C = 0) and check every emitted cell against
+  // the full-matrix oracle's first column — plus Bs/Bc against the column
+  // argmax under the first-maximum rule.
+  std::mt19937_64 rng(424242);
+  std::uniform_int_distribution<int> base(0, 3);
+  for (const char qc : std::string("ACGT")) {
+    PeHarness h;
+    h.pe.reset();
+    h.pe.load_query_base(seq::dna().code(qc), true);
+    std::vector<seq::Code> db;
+    for (int k = 0; k < 200; ++k) db.push_back(static_cast<seq::Code>(base(rng)));
+
+    align::Score up = 0;  // D(i-1, 1)
+    align::Score diag = 0;
+    align::Score best = 0;
+    std::uint64_t best_row = 0;
+    for (std::size_t i = 1; i <= db.size(); ++i) {
+      const PeLink out = h.clock(db[i - 1], 0);
+      const align::Score sub =
+          (db[i - 1] == seq::dna().code(qc)) ? h.sc.match : h.sc.mismatch;
+      const align::Score expected = std::max(
+          {align::Score{0}, static_cast<align::Score>(diag + sub),
+           static_cast<align::Score>(std::max(up, align::Score{0}) + h.sc.gap)});
+      ASSERT_EQ(out.score, expected) << "query " << qc << " row " << i;
+      diag = 0;  // C is always 0 on the border
+      up = expected;
+      if (expected > best) {
+        best = expected;
+        best_row = i;
+      }
+    }
+    EXPECT_EQ(h.pe.reg_bs(), best) << "query " << qc;
+    EXPECT_EQ(h.pe.reg_bc(), best_row) << "query " << qc;
+  }
+}
+
+}  // namespace

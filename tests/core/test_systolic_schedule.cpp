@@ -1,0 +1,111 @@
+// Schedule tests: the anti-diagonal wavefront of figures 4-5 — which PE
+// computes which matrix cell at which cycle — observed on the cycle-level
+// model through the controller's per-cycle probe.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "align/sw_full.hpp"
+#include "core/controller.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::core;
+
+struct Emission {
+  std::uint64_t cycle;
+  std::size_t pe;
+  align::Score score;
+};
+
+TEST(SystolicSchedule, AntiDiagonalWavefront) {
+  // Query ACGAT resident, database CTTAG streamed — the exact example of
+  // figure 4. Record every PE output event.
+  const seq::Sequence query = seq::Sequence::dna("ACGAT");
+  const seq::Sequence db = seq::Sequence::dna("CTTAG");
+  const align::Scoring sc = align::Scoring::paper_default();
+
+  ArrayController<ScorePe> ctl(5, 16, sc, 1 << 20, /*charge_query_load=*/false,
+                               /*shuffle=*/false);
+  std::vector<Emission> emissions;
+  ctl.set_observer([&](const SystolicArray<ScorePe>& arr, std::uint64_t cycle) {
+    for (std::size_t j = 0; j < arr.size(); ++j) {
+      if (arr.pe(j).out().valid) emissions.push_back({cycle, j, arr.pe(j).out().score});
+    }
+  });
+  (void)ctl.run(query, db);
+
+  // Every valid emission from PE j at (relative) cycle t corresponds to
+  // cell (i = t - j, j+1); PEs on one anti-diagonal fire the same cycle.
+  ASSERT_FALSE(emissions.empty());
+  const std::uint64_t t0 = emissions.front().cycle;  // PE 0, row 1
+  const align::SimilarityMatrix m = align::sw_matrix(db, query, sc);
+  std::size_t checked = 0;
+  for (const Emission& e : emissions) {
+    const std::uint64_t rel = e.cycle - t0;
+    ASSERT_GE(rel, e.pe);
+    const std::size_t i = static_cast<std::size_t>(rel - e.pe) + 1;  // row
+    if (i > db.size()) continue;  // pipeline flush bubbles
+    EXPECT_EQ(e.score, m(i, e.pe + 1)) << "cycle " << e.cycle << " pe " << e.pe;
+    ++checked;
+  }
+  EXPECT_EQ(checked, db.size() * query.size());  // every cell exactly once
+}
+
+TEST(SystolicSchedule, MaximumParallelismOnLongDiagonals) {
+  // With |db| >= N, some cycle must have all N PEs emitting at once —
+  // figure 3(c)'s full-parallelism phase.
+  const seq::Sequence query = swr::test::random_dna(8, 1);
+  const seq::Sequence db = swr::test::random_dna(32, 2);
+  ArrayController<ScorePe> ctl(8, 16, align::Scoring::paper_default(), 1 << 20, false, false);
+  std::size_t max_active = 0;
+  ctl.set_observer([&](const SystolicArray<ScorePe>& arr, std::uint64_t) {
+    std::size_t active = 0;
+    for (std::size_t j = 0; j < arr.size(); ++j) {
+      if (arr.pe(j).out().valid) ++active;
+    }
+    max_active = std::max(max_active, active);
+  });
+  (void)ctl.run(query, db);
+  EXPECT_EQ(max_active, 8u);
+}
+
+TEST(SystolicSchedule, TotalValidEmissionsEqualCellCount) {
+  const seq::Sequence query = swr::test::random_dna(6, 3);
+  const seq::Sequence db = swr::test::random_dna(17, 4);
+  ArrayController<ScorePe> ctl(6, 16, align::Scoring::paper_default(), 1 << 20, false, false);
+  std::uint64_t emissions = 0;
+  ctl.set_observer([&](const SystolicArray<ScorePe>& arr, std::uint64_t) {
+    for (std::size_t j = 0; j < arr.size(); ++j) {
+      if (arr.pe(j).out().valid) ++emissions;
+    }
+  });
+  (void)ctl.run(query, db);
+  EXPECT_EQ(emissions, static_cast<std::uint64_t>(query.size()) * db.size());
+}
+
+TEST(SystolicSchedule, BaseStreamPropagatesUnchanged) {
+  // The database base must arrive at PE j exactly j cycles after PE 0,
+  // unmodified (figure 4's flowing sequence).
+  const seq::Sequence query = swr::test::random_dna(4, 5);
+  const seq::Sequence db = swr::test::random_dna(10, 6);
+  ArrayController<ScorePe> ctl(4, 16, align::Scoring::paper_default(), 1 << 20, false, false);
+  std::map<std::size_t, std::vector<seq::Code>> seen;  // pe -> bases in order
+  ctl.set_observer([&](const SystolicArray<ScorePe>& arr, std::uint64_t) {
+    for (std::size_t j = 0; j < arr.size(); ++j) {
+      if (arr.pe(j).out().valid) seen[j].push_back(arr.pe(j).out().base);
+    }
+  });
+  (void)ctl.run(query, db);
+  for (std::size_t j = 0; j < 4; ++j) {
+    ASSERT_EQ(seen[j].size(), db.size()) << "pe " << j;
+    for (std::size_t i = 0; i < db.size(); ++i) {
+      EXPECT_EQ(seen[j][i], db[i]) << "pe " << j << " pos " << i;
+    }
+  }
+}
+
+}  // namespace

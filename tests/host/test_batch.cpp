@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "align/sw_linear.hpp"
+#include "host/batch.hpp"
+#include "seq/mutate.hpp"
+#include "seq/random.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::host;
+
+const align::Scoring kSc = align::Scoring::paper_default();
+
+// A small database: record 3 and 7 contain diverged copies of the query.
+struct ScanFixture {
+  seq::Sequence query;
+  std::vector<seq::Sequence> records;
+
+  explicit ScanFixture(std::uint64_t seed) {
+    seq::RandomSequenceGenerator gen(seed);
+    query = gen.uniform(seq::dna(), 48, "q");
+    for (int r = 0; r < 10; ++r) {
+      seq::Sequence rec = gen.uniform(seq::dna(), 300, "rec" + std::to_string(r));
+      if (r == 3 || r == 7) {
+        seq::Sequence hit = seq::point_mutate(query, r == 3 ? 0.02 : 0.10, gen.engine());
+        seq::Sequence prefix = rec.subsequence(0, 100);
+        prefix.append(hit);
+        prefix.append(rec.subsequence(100, 200 - hit.size()));
+        rec = std::move(prefix);
+        rec.set_name("rec" + std::to_string(r));
+      }
+      records.push_back(std::move(rec));
+    }
+  }
+};
+
+TEST(Scan, FindsThePlantedRecordsInRankOrder) {
+  ScanFixture fx(42);
+  core::SmithWatermanAccelerator acc(core::xc2vp70(), 48, kSc);
+  ScanOptions opt;
+  opt.top_k = 2;
+  opt.min_score = 15;
+  const ScanResult r = scan_database(acc, fx.query, fx.records, opt);
+  ASSERT_EQ(r.hits.size(), 2u);
+  EXPECT_EQ(r.hits[0].record, 3u);  // 2% divergence beats 10%
+  EXPECT_EQ(r.hits[1].record, 7u);
+  EXPECT_GT(r.hits[0].result.score, r.hits[1].result.score);
+  EXPECT_EQ(r.records_scanned, 10u);
+}
+
+TEST(Scan, HitsMatchPerRecordOracle) {
+  ScanFixture fx(43);
+  core::SmithWatermanAccelerator acc(core::xc2vp70(), 48, kSc);
+  ScanOptions opt;
+  opt.top_k = 10;
+  const ScanResult r = scan_database(acc, fx.query, fx.records, opt);
+  for (const Hit& h : r.hits) {
+    EXPECT_EQ(h.result, align::sw_linear(fx.records[h.record], fx.query, kSc))
+        << "record " << h.record;
+  }
+}
+
+TEST(Scan, TopKBoundsAndOrdering) {
+  ScanFixture fx(44);
+  core::SmithWatermanAccelerator acc(core::xc2vp70(), 48, kSc);
+  ScanOptions opt;
+  opt.top_k = 4;
+  const ScanResult r = scan_database(acc, fx.query, fx.records, opt);
+  EXPECT_LE(r.hits.size(), 4u);
+  for (std::size_t k = 1; k < r.hits.size(); ++k) {
+    EXPECT_TRUE(hit_ranks_before(r.hits[k - 1], r.hits[k]) ||
+                r.hits[k - 1].result.score == r.hits[k].result.score);
+    EXPECT_GE(r.hits[k - 1].result.score, r.hits[k].result.score);
+  }
+}
+
+TEST(Scan, CellAccountingSumsRecordSizes) {
+  ScanFixture fx(45);
+  core::SmithWatermanAccelerator acc(core::xc2vp70(), 48, kSc);
+  const ScanResult r = scan_database(acc, fx.query, fx.records, ScanOptions{});
+  std::uint64_t expect = 0;
+  for (const seq::Sequence& rec : fx.records) {
+    expect += static_cast<std::uint64_t>(rec.size()) * fx.query.size();
+  }
+  EXPECT_EQ(r.cell_updates, expect);
+  EXPECT_GT(r.board_seconds, 0.0);
+}
+
+TEST(Scan, EmptyRecordsAreSkipped) {
+  core::SmithWatermanAccelerator acc(core::xc2vp70(), 8, kSc);
+  const std::vector<seq::Sequence> recs = {seq::Sequence::dna(""), seq::Sequence::dna("ACGT")};
+  const ScanResult r = scan_database(acc, seq::Sequence::dna("ACGT"), recs, ScanOptions{});
+  ASSERT_EQ(r.hits.size(), 1u);
+  EXPECT_EQ(r.hits[0].record, 1u);
+}
+
+TEST(Scan, RetrieveHitReturnsFullAlignment) {
+  ScanFixture fx(46);
+  core::SmithWatermanAccelerator acc(core::xc2vp70(), 48, kSc);
+  ScanOptions opt;
+  opt.top_k = 1;
+  const ScanResult r = scan_database(acc, fx.query, fx.records, opt);
+  ASSERT_FALSE(r.hits.empty());
+  const PipelineResult pr = retrieve_hit(acc, PciConfig{}, fx.query, fx.records, r.hits[0]);
+  EXPECT_EQ(pr.alignment.score, r.hits[0].result.score);
+  EXPECT_EQ(pr.alignment.end, r.hits[0].result.end);
+  EXPECT_EQ(align::score_of(pr.alignment.cigar, fx.records[r.hits[0].record], fx.query,
+                            pr.alignment.begin, kSc),
+            pr.alignment.score);
+}
+
+TEST(Scan, DustFilterSuppressesRepeatHits) {
+  // A poly-A-rich query "hits" a poly-A record purely by low complexity;
+  // with the DUST filter on, that junk hit disappears while the real
+  // planted homolog in a clean record survives.
+  seq::RandomSequenceGenerator gen(64);
+  seq::Sequence query = seq::Sequence::dna(std::string(30, 'A'), "polyA_query");
+  query.append(gen.uniform(seq::dna(), 40));
+
+  std::vector<seq::Sequence> records;
+  records.push_back(seq::Sequence::dna(std::string(400, 'A'), "junk_polyA"));
+  seq::Sequence clean = gen.uniform(seq::dna(), 300, "clean_hit");
+  clean.append(seq::point_mutate(query, 0.02, gen.engine()));
+  records.push_back(std::move(clean));
+
+  core::SmithWatermanAccelerator acc(core::xc2vp70(), 50, align::Scoring::paper_default());
+  ScanOptions no_filter;
+  no_filter.min_score = 20;
+  const ScanResult raw = scan_database(acc, query, records, no_filter);
+  ASSERT_EQ(raw.hits.size(), 2u);  // the junk record scores too
+
+  ScanOptions filtered = no_filter;
+  filtered.dust_filter = true;
+  filtered.dust_window = 16;  // tight windows: mask the repeat, spare the tail
+  const ScanResult fr = scan_database(acc, query, records, filtered);
+  ASSERT_EQ(fr.hits.size(), 1u);
+  EXPECT_EQ(fr.hits[0].record, 1u);  // only the clean record survives
+}
+
+TEST(Scan, Validation) {
+  core::SmithWatermanAccelerator acc(core::xc2vp70(), 8, kSc);
+  ScanOptions bad;
+  bad.top_k = 0;
+  EXPECT_THROW((void)scan_database(acc, seq::Sequence::dna("AC"), {}, bad),
+               std::invalid_argument);
+  bad = ScanOptions{};
+  bad.min_score = 0;
+  EXPECT_THROW((void)scan_database(acc, seq::Sequence::dna("AC"), {}, bad),
+               std::invalid_argument);
+  const std::vector<seq::Sequence> mixed = {seq::Sequence::protein("AR")};
+  EXPECT_THROW((void)scan_database(acc, seq::Sequence::dna("AC"), mixed, ScanOptions{}),
+               std::invalid_argument);
+  Hit h;
+  h.record = 5;
+  EXPECT_THROW((void)retrieve_hit(acc, PciConfig{}, seq::Sequence::dna("AC"), {}, h),
+               std::invalid_argument);
+}
+
+}  // namespace

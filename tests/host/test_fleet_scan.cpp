@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "host/fleet_scan.hpp"
+#include "seq/mutate.hpp"
+#include "seq/random.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::host;
+
+const align::Scoring kSc = align::Scoring::paper_default();
+
+struct Fixture {
+  seq::Sequence query;
+  std::vector<seq::Sequence> records;
+
+  explicit Fixture(std::uint64_t seed) {
+    seq::RandomSequenceGenerator gen(seed);
+    query = gen.uniform(seq::dna(), 40, "q");
+    for (int r = 0; r < 9; ++r) {
+      seq::Sequence rec = gen.uniform(seq::dna(), 250, "rec" + std::to_string(r));
+      if (r % 4 == 1) rec.append(seq::point_mutate(query, 0.03 * (r + 1), gen.engine()));
+      records.push_back(std::move(rec));
+    }
+  }
+};
+
+TEST(FleetScan, HitsIdenticalToSingleBoardScan) {
+  const Fixture fx(21);
+  core::SmithWatermanAccelerator solo(core::xc2vp70(), 40, kSc);
+  ScanOptions opt;
+  opt.top_k = 4;
+  opt.min_score = 15;
+  const ScanResult single = scan_database(solo, fx.query, fx.records, opt);
+
+  for (const std::size_t boards : {1u, 2u, 3u, 5u}) {
+    core::BoardFleet fleet = core::make_board_fleet(core::xc2vp70(), boards, 40, kSc);
+    const ScanResult fr = scan_database_fleet(fleet, fx.query, fx.records, opt);
+    ASSERT_EQ(fr.hits.size(), single.hits.size()) << boards << " boards";
+    for (std::size_t k = 0; k < fr.hits.size(); ++k) {
+      EXPECT_EQ(fr.hits[k].record, single.hits[k].record);
+      EXPECT_EQ(fr.hits[k].result, single.hits[k].result);
+    }
+    EXPECT_EQ(fr.records_scanned, single.records_scanned);
+    EXPECT_EQ(fr.cell_updates, single.cell_updates);
+  }
+}
+
+TEST(FleetScan, ParallelTimeShrinksWithBoards) {
+  const Fixture fx(22);
+  ScanOptions opt;
+  core::BoardFleet one = core::make_board_fleet(core::xc2vp70(), 1, 40, kSc);
+  core::BoardFleet three = core::make_board_fleet(core::xc2vp70(), 3, 40, kSc);
+  const double t1 = scan_database_fleet(one, fx.query, fx.records, opt).board_seconds;
+  const double t3 = scan_database_fleet(three, fx.query, fx.records, opt).board_seconds;
+  EXPECT_LT(t3, t1);
+  EXPECT_GT(t3, t1 / 4.0);  // 3 boards can't beat 3x by much (uneven records)
+}
+
+TEST(FleetScan, Validation) {
+  core::BoardFleet empty;
+  EXPECT_THROW((void)scan_database_fleet(empty, seq::Sequence::dna("AC"), {}, ScanOptions{}),
+               std::invalid_argument);
+  core::BoardFleet fleet = core::make_board_fleet(core::xc2vp70(), 1, 8, kSc);
+  const std::vector<seq::Sequence> mixed = {seq::Sequence::protein("AR")};
+  EXPECT_THROW(
+      (void)scan_database_fleet(fleet, seq::Sequence::dna("AC"), mixed, ScanOptions{}),
+      std::invalid_argument);
+}
+
+}  // namespace

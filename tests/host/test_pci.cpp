@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "host/pci.hpp"
+
+namespace {
+
+using namespace swr::host;
+
+TEST(PciModel, TransferCostIsLatencyPlusBandwidth) {
+  PciConfig cfg;
+  cfg.bandwidth_bytes_per_s = 100e6;
+  cfg.per_transfer_latency_s = 1e-4;
+  const PciModel pci(cfg);
+  EXPECT_DOUBLE_EQ(pci.transfer_seconds(0), 1e-4);
+  EXPECT_DOUBLE_EQ(pci.transfer_seconds(100'000'000), 1.0 + 1e-4);
+}
+
+TEST(PciModel, AccumulatesTraffic) {
+  PciModel pci(PciConfig{});
+  (void)pci.transfer(1000);
+  (void)pci.transfer(2000);
+  EXPECT_EQ(pci.total_bytes(), 3000u);
+  EXPECT_EQ(pci.transactions(), 2u);
+  EXPECT_GT(pci.total_seconds(), 0.0);
+  pci.reset();
+  EXPECT_EQ(pci.total_bytes(), 0u);
+  EXPECT_EQ(pci.transactions(), 0u);
+  EXPECT_DOUBLE_EQ(pci.total_seconds(), 0.0);
+}
+
+TEST(PciModel, SmallResultTransfersAreMilliseconds) {
+  // The paper's point: a few bytes of score+coordinates cross the bus in
+  // well under a millisecond, while a full similarity matrix would not.
+  const PciModel pci{PciConfig{}};
+  EXPECT_LT(pci.transfer_seconds(20), 1e-3);
+  const std::size_t full_matrix_bytes = std::size_t{100} * 10'000'000 * 4;  // 100 x 10M ints
+  EXPECT_GT(pci.transfer_seconds(full_matrix_bytes), 30.0);
+}
+
+TEST(PciConfig, Validation) {
+  PciConfig bad;
+  bad.bandwidth_bytes_per_s = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = PciConfig{};
+  bad.per_transfer_latency_s = -1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+}  // namespace

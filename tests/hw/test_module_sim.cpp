@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "hw/module.hpp"
+#include "hw/simulator.hpp"
+
+namespace {
+
+using namespace swr::hw;
+
+// A 2-stage shift register: out follows in with 2 cycles of latency.
+class Shifter final : public Module {
+ public:
+  Shifter() : Module("shifter") {}
+
+  void drive(int v) { in_ = v; }
+  [[nodiscard]] int out() const { return s2_.get(); }
+
+  void evaluate() override {
+    s1_.set_next(in_);
+    s2_.set_next(s1_.get());
+  }
+  void commit() override {
+    s1_.commit();
+    s2_.commit();
+  }
+  void reset() override {
+    s1_.reset();
+    s2_.reset();
+  }
+
+ private:
+  int in_ = 0;
+  Reg<int> s1_{0};
+  Reg<int> s2_{0};
+};
+
+TEST(Reg, TwoPhaseSemantics) {
+  Reg<int> r{7};
+  EXPECT_EQ(r.get(), 7);
+  r.set_next(9);
+  EXPECT_EQ(r.get(), 7);  // not visible before commit
+  r.commit();
+  EXPECT_EQ(r.get(), 9);
+  r.reset();
+  EXPECT_EQ(r.get(), 7);
+}
+
+TEST(Simulator, StepAdvancesCycleAndState) {
+  Shifter sh;
+  Simulator sim;
+  sim.add(&sh);
+  sh.drive(5);
+  sim.step();
+  EXPECT_EQ(sim.cycle(), 1u);
+  EXPECT_EQ(sh.out(), 0);  // latency 2
+  sim.step();
+  EXPECT_EQ(sh.out(), 5);
+}
+
+TEST(Simulator, RunUntilStopsOnPredicate) {
+  Shifter sh;
+  Simulator sim;
+  sim.add(&sh);
+  sh.drive(3);
+  EXPECT_TRUE(sim.run_until([&] { return sh.out() == 3; }, 10));
+  EXPECT_EQ(sim.cycle(), 2u);
+}
+
+TEST(Simulator, RunUntilHonoursBudget) {
+  Shifter sh;
+  Simulator sim;
+  sim.add(&sh);
+  EXPECT_FALSE(sim.run_until([&] { return sh.out() == 42; }, 5));
+  EXPECT_EQ(sim.cycle(), 5u);
+}
+
+TEST(Simulator, ResetRestoresModulesAndCycle) {
+  Shifter sh;
+  Simulator sim;
+  sim.add(&sh);
+  sh.drive(1);
+  sim.step();
+  sim.step();
+  sim.reset();
+  EXPECT_EQ(sim.cycle(), 0u);
+  EXPECT_EQ(sh.out(), 0);
+}
+
+TEST(Simulator, RejectsNullModuleAndPredicate) {
+  Simulator sim;
+  EXPECT_THROW(sim.add(nullptr), std::invalid_argument);
+  EXPECT_THROW((void)sim.run_until({}, 1), std::invalid_argument);
+}
+
+TEST(Simulator, ShuffledEvaluationOrderIsEquivalent) {
+  // Two chained shifters driven identically: results must match between a
+  // fixed-order and a shuffled-order simulator, because two-phase modules
+  // only read pre-edge state.
+  const auto run = [](bool shuffle) {
+    Shifter a;
+    Shifter b;
+    Simulator sim(shuffle, 99);
+    sim.add(&a);
+    sim.add(&b);
+    std::vector<int> outs;
+    for (int t = 0; t < 10; ++t) {
+      a.drive(t);
+      b.drive(a.out());
+      sim.step();
+      outs.push_back(b.out());
+    }
+    return outs;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "hw/satarith.hpp"
+
+namespace {
+
+using swr::hw::SatArith;
+using swr::hw::counter_bits_for;
+
+TEST(SatArith, RangeForWidth) {
+  const SatArith s16(16);
+  EXPECT_EQ(s16.min(), -32768);
+  EXPECT_EQ(s16.max(), 32767);
+  const SatArith s12(12);
+  EXPECT_EQ(s12.min(), -2048);
+  EXPECT_EQ(s12.max(), 2047);
+  const SatArith s32(32);
+  EXPECT_EQ(s32.min(), INT32_MIN);
+  EXPECT_EQ(s32.max(), INT32_MAX);
+}
+
+TEST(SatArith, RejectsBadWidths) {
+  EXPECT_THROW(SatArith(1), std::invalid_argument);
+  EXPECT_THROW(SatArith(33), std::invalid_argument);
+}
+
+TEST(SatArith, AddWithinRangeIsExact) {
+  const SatArith s(12);
+  EXPECT_EQ(s.add(100, 200), 300);
+  EXPECT_EQ(s.add(-100, 50), -50);
+  EXPECT_EQ(s.saturation_count(), 0u);
+}
+
+TEST(SatArith, AddSaturatesHighAndLow) {
+  const SatArith s(8);  // range [-128, 127]
+  EXPECT_EQ(s.add(120, 120), 127);
+  EXPECT_EQ(s.add(-120, -120), -128);
+  EXPECT_EQ(s.saturation_count(), 2u);
+}
+
+TEST(SatArith, SaturationCountResets) {
+  const SatArith s(8);
+  (void)s.add(127, 127);
+  EXPECT_EQ(s.saturation_count(), 1u);
+  s.reset_saturation_count();
+  EXPECT_EQ(s.saturation_count(), 0u);
+}
+
+TEST(SatArith, ClampAt32BitBoundaries) {
+  const SatArith s(32);
+  EXPECT_EQ(s.add(INT32_MAX, 1), INT32_MAX);
+  EXPECT_EQ(s.add(INT32_MIN, -1), INT32_MIN);
+}
+
+TEST(SatArith, Representable) {
+  const SatArith s(8);
+  EXPECT_TRUE(s.representable(127));
+  EXPECT_FALSE(s.representable(128));
+  EXPECT_TRUE(s.representable(-128));
+  EXPECT_FALSE(s.representable(-129));
+}
+
+TEST(SatArith, SaturationOrderIndependentOfSign) {
+  // Property: for any width w, add(max, x>0) == max.
+  for (unsigned w = 2; w <= 16; ++w) {
+    const SatArith s(w);
+    EXPECT_EQ(s.add(s.max(), 1), s.max()) << "width " << w;
+    EXPECT_EQ(s.add(s.min(), -1), s.min()) << "width " << w;
+  }
+}
+
+TEST(CounterBits, CoversMaxValue) {
+  EXPECT_EQ(counter_bits_for(0), 1u);
+  EXPECT_EQ(counter_bits_for(1), 1u);
+  EXPECT_EQ(counter_bits_for(2), 2u);
+  EXPECT_EQ(counter_bits_for(255), 8u);
+  EXPECT_EQ(counter_bits_for(256), 9u);
+  EXPECT_EQ(counter_bits_for(10'000'000), 24u);
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "hw/sram.hpp"
+
+namespace {
+
+using swr::hw::Sram;
+
+TEST(Sram, AllocateTracksUsage) {
+  Sram s(1024);
+  EXPECT_EQ(s.capacity_bytes(), 1024u);
+  const std::size_t a = s.allocate(100, "db");
+  EXPECT_EQ(a, 0u);
+  const std::size_t b = s.allocate(200, "boundary");
+  EXPECT_EQ(b, 100u);
+  EXPECT_EQ(s.used_bytes(), 300u);
+  EXPECT_EQ(s.free_bytes(), 724u);
+}
+
+TEST(Sram, AllocateOverflowNamesTheRegion) {
+  Sram s(64);
+  try {
+    (void)s.allocate(100, "database");
+    FAIL() << "expected length_error";
+  } catch (const std::length_error& e) {
+    EXPECT_NE(std::string(e.what()).find("database"), std::string::npos);
+  }
+}
+
+TEST(Sram, ZeroCapacityRejected) { EXPECT_THROW(Sram(0), std::invalid_argument); }
+
+TEST(Sram, ByteReadWriteRoundTrip) {
+  Sram s(16);
+  (void)s.allocate(8, "r");
+  s.write8(3, 0xAB);
+  EXPECT_EQ(s.read8(3), 0xAB);
+  EXPECT_EQ(s.read8(0), 0);  // zero-initialised
+}
+
+TEST(Sram, Word32RoundTripIncludingNegatives) {
+  Sram s(16);
+  (void)s.allocate(8, "r");
+  s.write32(0, 0xDEADBEEF);
+  EXPECT_EQ(s.read32(0), 0xDEADBEEFu);
+  const std::int32_t neg = -12345;
+  s.write32(4, static_cast<std::uint32_t>(neg));
+  EXPECT_EQ(static_cast<std::int32_t>(s.read32(4)), neg);
+}
+
+TEST(Sram, OutOfBoundsAccessThrows) {
+  Sram s(16);
+  (void)s.allocate(4, "r");
+  EXPECT_THROW((void)s.read8(4), std::out_of_range);
+  EXPECT_THROW(s.write8(4, 1), std::out_of_range);
+  EXPECT_THROW((void)s.read32(1), std::out_of_range);  // crosses the end
+  EXPECT_THROW(s.write32(2, 0), std::out_of_range);
+}
+
+TEST(Sram, TrafficCountersAccumulateAndClear) {
+  Sram s(16);
+  (void)s.allocate(8, "r");
+  s.write8(0, 1);
+  s.write32(4, 2);
+  (void)s.read8(0);
+  (void)s.read32(4);
+  EXPECT_EQ(s.write_count(), 2u);
+  EXPECT_EQ(s.read_count(), 2u);
+  s.clear();
+  EXPECT_EQ(s.used_bytes(), 0u);
+  EXPECT_EQ(s.read_count(), 0u);
+  EXPECT_EQ(s.write_count(), 0u);
+}
+
+}  // namespace

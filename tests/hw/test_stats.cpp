@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hw/stats.hpp"
+
+namespace {
+
+using swr::hw::Stats;
+
+TEST(Stats, AddAccumulates) {
+  Stats s;
+  s.add("cycles");
+  s.add("cycles", 9);
+  EXPECT_EQ(s.get("cycles"), 10u);
+  EXPECT_EQ(s.get("missing"), 0u);
+}
+
+TEST(Stats, SetOverwrites) {
+  Stats s;
+  s.add("x", 5);
+  s.set("x", 2);
+  EXPECT_EQ(s.get("x"), 2u);
+}
+
+TEST(Stats, MergeSums) {
+  Stats a;
+  a.add("cells", 100);
+  a.add("only_a", 1);
+  Stats b;
+  b.add("cells", 50);
+  b.add("only_b", 2);
+  a.merge(b);
+  EXPECT_EQ(a.get("cells"), 150u);
+  EXPECT_EQ(a.get("only_a"), 1u);
+  EXPECT_EQ(a.get("only_b"), 2u);
+}
+
+TEST(Stats, DumpIsAlphabetical) {
+  Stats s;
+  s.add("zeta", 1);
+  s.add("alpha", 2);
+  std::ostringstream os;
+  os << s;
+  const std::string text = os.str();
+  EXPECT_LT(text.find("alpha"), text.find("zeta"));
+}
+
+TEST(Stats, ClearEmpties) {
+  Stats s;
+  s.add("x");
+  s.clear();
+  EXPECT_TRUE(s.all().empty());
+}
+
+}  // namespace

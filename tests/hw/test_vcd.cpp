@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "hw/vcd.hpp"
+
+namespace {
+
+using swr::hw::VcdWriter;
+
+TEST(Vcd, HeaderListsSignals) {
+  std::ostringstream out;
+  VcdWriter vcd(out, "dut", "1ns");
+  std::uint64_t v = 0;
+  vcd.add_signal("clk", 1, [&] { return v; });
+  vcd.add_signal("bus", 8, [&] { return v * 3; });
+  vcd.sample(0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(text.find("$scope module dut $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 1 ! clk $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 8 \" bus $end"), std::string::npos);
+  EXPECT_NE(text.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(Vcd, EmitsOnlyChanges) {
+  std::ostringstream out;
+  VcdWriter vcd(out, "dut");
+  std::uint64_t v = 0;
+  vcd.add_signal("sig", 4, [&] { return v; });
+  vcd.sample(0);  // initial dump
+  vcd.sample(1);  // no change -> no #1 timestamp
+  v = 5;
+  vcd.sample(2);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("#0"), std::string::npos);
+  EXPECT_EQ(text.find("#1"), std::string::npos);
+  EXPECT_NE(text.find("#2"), std::string::npos);
+  EXPECT_NE(text.find("b101 !"), std::string::npos);
+}
+
+TEST(Vcd, ScalarSignalsUseCompactForm) {
+  std::ostringstream out;
+  VcdWriter vcd(out, "dut");
+  std::uint64_t v = 1;
+  vcd.add_signal("bit", 1, [&] { return v; });
+  vcd.sample(0);
+  EXPECT_NE(out.str().find("1!"), std::string::npos);
+}
+
+TEST(Vcd, RejectsBadUsage) {
+  std::ostringstream out;
+  VcdWriter vcd(out, "dut");
+  EXPECT_THROW(vcd.add_signal("", 1, [] { return 0u; }), std::invalid_argument);
+  EXPECT_THROW(vcd.add_signal("x", 0, [] { return 0u; }), std::invalid_argument);
+  EXPECT_THROW(vcd.add_signal("x", 65, [] { return 0u; }), std::invalid_argument);
+  EXPECT_THROW(vcd.add_signal("x", 1, {}), std::invalid_argument);
+  vcd.add_signal("ok", 2, [] { return std::uint64_t{1}; });
+  vcd.sample(5);
+  EXPECT_THROW(vcd.add_signal("late", 1, [] { return 0u; }), std::logic_error);
+  EXPECT_THROW(vcd.sample(5), std::logic_error);  // non-increasing time
+}
+
+TEST(Vcd, ZeroValueRendersSingleZero) {
+  std::ostringstream out;
+  VcdWriter vcd(out, "dut");
+  vcd.add_signal("w", 8, [] { return std::uint64_t{0}; });
+  vcd.sample(0);
+  EXPECT_NE(out.str().find("b0 !"), std::string::npos);
+}
+
+}  // namespace

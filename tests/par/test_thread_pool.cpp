@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "par/thread_pool.hpp"
+
+namespace {
+
+using swr::par::ThreadPool;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int k = 0; k < 50; ++k) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  SUCCEED();
+}
+
+TEST(ThreadPool, TasksMaySubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] {
+    for (int k = 0; k < 10; ++k) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ParallelExecutionActuallyOverlaps) {
+  ThreadPool pool(2);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  for (int k = 0; k < 8; ++k) {
+    pool.submit([&] {
+      const int now = in_flight.fetch_add(1) + 1;
+      int seen = max_in_flight.load();
+      while (seen < now && !max_in_flight.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      in_flight.fetch_sub(1);
+    });
+  }
+  pool.wait_idle();
+  // On a single-core host the scheduler may still serialise, so only
+  // assert it never exceeds the worker count.
+  EXPECT_LE(max_in_flight.load(), 2);
+  EXPECT_GE(max_in_flight.load(), 1);
+}
+
+TEST(ThreadPool, RejectsBadUsage) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit({}), std::invalid_argument);
+}
+
+TEST(ThreadPool, SizeReportsWorkers) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int k = 0; k < 20; ++k) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(count.load(), 20);
+}
+
+}  // namespace

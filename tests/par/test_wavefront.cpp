@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "align/sw_linear.hpp"
+#include "par/wavefront.hpp"
+#include "seq/workload.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::par;
+
+const align::Scoring kSc = align::Scoring::paper_default();
+
+TEST(Wavefront, Figure2Example) {
+  const seq::Sequence s = seq::Sequence::dna("TATGGAC");
+  const seq::Sequence t = seq::Sequence::dna("TAGTGACT");
+  WavefrontConfig cfg;
+  cfg.threads = 2;
+  cfg.row_block = 2;
+  EXPECT_EQ(wavefront_sw(s, t, kSc, cfg), align::sw_linear(s, t, kSc));
+}
+
+TEST(Wavefront, EmptyInputs) {
+  WavefrontConfig cfg;
+  EXPECT_EQ(wavefront_sw(seq::Sequence::dna(""), seq::Sequence::dna("ACG"), kSc, cfg).score, 0);
+  EXPECT_EQ(wavefront_sw(seq::Sequence::dna("ACG"), seq::Sequence::dna(""), kSc, cfg).score, 0);
+}
+
+TEST(Wavefront, ValidatesConfigAndAlphabets) {
+  WavefrontConfig bad;
+  bad.threads = 0;
+  EXPECT_THROW(
+      (void)wavefront_sw(seq::Sequence::dna("AC"), seq::Sequence::dna("AC"), kSc, bad),
+      std::invalid_argument);
+  bad = WavefrontConfig{};
+  bad.row_block = 0;
+  EXPECT_THROW(
+      (void)wavefront_sw(seq::Sequence::dna("AC"), seq::Sequence::dna("AC"), kSc, bad),
+      std::invalid_argument);
+  EXPECT_THROW((void)wavefront_sw(seq::Sequence::dna("AC"), seq::Sequence::protein("AR"), kSc,
+                                  WavefrontConfig{}),
+               std::invalid_argument);
+}
+
+// Central property: identical to the sequential kernel — score AND
+// canonical coordinates — across thread counts, block shapes and sizes.
+class WavefrontEquivalence
+    : public testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>> {
+};
+
+TEST_P(WavefrontEquivalence, MatchesSequentialKernel) {
+  const auto [threads, row_block, m, n] = GetParam();
+  const seq::Sequence a = swr::test::random_dna(m, m * 3 + n);
+  const seq::Sequence b = swr::test::random_dna(n, n * 5 + m);
+  WavefrontConfig cfg;
+  cfg.threads = threads;
+  cfg.row_block = row_block;
+  EXPECT_EQ(wavefront_sw(a, b, kSc, cfg), align::sw_linear(a, b, kSc))
+      << "threads=" << threads << " row_block=" << row_block << " m=" << m << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WavefrontEquivalence,
+                         testing::Combine(testing::Values<std::size_t>(1, 2, 4, 7),
+                                          testing::Values<std::size_t>(1, 16, 500),
+                                          testing::Values<std::size_t>(1, 50, 333),
+                                          testing::Values<std::size_t>(1, 61, 256)));
+
+TEST(Wavefront, MoreColumnBlocksThanColumnsIsClamped) {
+  const seq::Sequence a = swr::test::random_dna(40, 1);
+  const seq::Sequence b = swr::test::random_dna(3, 2);
+  WavefrontConfig cfg;
+  cfg.threads = 8;  // more workers than columns
+  EXPECT_EQ(wavefront_sw(a, b, kSc, cfg), align::sw_linear(a, b, kSc));
+}
+
+TEST(Wavefront, ExplicitColBlocksOverride) {
+  const seq::Sequence a = swr::test::random_dna(100, 5);
+  const seq::Sequence b = swr::test::random_dna(100, 6);
+  WavefrontConfig cfg;
+  cfg.threads = 2;
+  cfg.col_blocks = 13;  // deliberately mismatched with the thread count
+  cfg.row_block = 7;
+  EXPECT_EQ(wavefront_sw(a, b, kSc, cfg), align::sw_linear(a, b, kSc));
+}
+
+TEST(Wavefront, HomologWorkload) {
+  seq::MutationModel mm;
+  mm.substitution_rate = 0.05;
+  mm.insertion_rate = 0.02;
+  mm.deletion_rate = 0.02;
+  const auto pair = seq::make_homolog_pair(2000, mm, 99);
+  WavefrontConfig cfg;
+  cfg.threads = 4;
+  cfg.row_block = 128;
+  EXPECT_EQ(wavefront_sw(pair.a, pair.b, kSc, cfg), align::sw_linear(pair.a, pair.b, kSc));
+}
+
+TEST(Wavefront, SubstitutionMatrixScoring) {
+  align::Scoring sc;
+  sc.matrix = &align::blosum62();
+  sc.gap = -8;
+  const seq::Sequence a = swr::test::random_protein(120, 7);
+  const seq::Sequence b = swr::test::random_protein(140, 8);
+  WavefrontConfig cfg;
+  cfg.threads = 3;
+  cfg.row_block = 32;
+  EXPECT_EQ(wavefront_sw(a, b, sc, cfg), align::sw_linear(a, b, sc));
+}
+
+}  // namespace

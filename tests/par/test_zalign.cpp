@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "align/sw_full.hpp"
+#include "align/banded.hpp"
+#include "par/zalign.hpp"
+#include "seq/workload.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::par;
+
+const align::Scoring kSc = align::Scoring::paper_default();
+
+ZAlignOptions small_opts() {
+  ZAlignOptions opt;
+  opt.wavefront.threads = 2;
+  opt.wavefront.row_block = 64;
+  return opt;
+}
+
+TEST(ZAlign, MatchesFullMatrixOracleScore) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const seq::Sequence a = swr::test::random_dna(150, seed);
+    const seq::Sequence b = swr::test::random_dna(120, seed + 50);
+    const ZAlignResult z = zalign(a, b, kSc, small_opts());
+    const align::LocalAlignment full = align::sw_align(a, b, kSc);
+    EXPECT_EQ(z.alignment.score, full.score) << "seed " << seed;
+    if (full.score > 0) {
+      EXPECT_EQ(align::score_of(z.alignment.cigar, a, b, z.alignment.begin, kSc), full.score);
+    }
+  }
+}
+
+TEST(ZAlign, HomologsUseBandedRetrieval) {
+  seq::MutationModel mm;
+  mm.substitution_rate = 0.05;
+  mm.insertion_rate = 0.01;
+  mm.deletion_rate = 0.01;
+  const auto pair = seq::make_homolog_pair(1500, mm, 77);
+  const ZAlignResult z = zalign(pair.a, pair.b, kSc, small_opts());
+  EXPECT_EQ(z.mode, RetrievalMode::Banded);
+  EXPECT_GT(z.band, 0u);
+  // Restricted memory: orders of magnitude below the full matrix.
+  EXPECT_LT(z.retrieval_cells, pair.a.size() * pair.b.size() / 10);
+  EXPECT_EQ(z.alignment.score, align::sw_align(pair.a, pair.b, kSc).score);
+  EXPECT_EQ(align::score_of(z.alignment.cigar, pair.a, pair.b, z.alignment.begin, kSc),
+            z.alignment.score);
+}
+
+TEST(ZAlign, TinyBudgetFallsBackToHirschberg) {
+  seq::MutationModel mm;
+  mm.substitution_rate = 0.05;
+  const auto pair = seq::make_homolog_pair(600, mm, 31);
+  ZAlignOptions opt = small_opts();
+  opt.max_retrieval_cells = 16;  // nothing fits this
+  const ZAlignResult z = zalign(pair.a, pair.b, kSc, opt);
+  EXPECT_EQ(z.mode, RetrievalMode::Hirschberg);
+  EXPECT_EQ(z.alignment.score, align::sw_align(pair.a, pair.b, kSc).score);
+  EXPECT_EQ(align::score_of(z.alignment.cigar, pair.a, pair.b, z.alignment.begin, kSc),
+            z.alignment.score);
+}
+
+TEST(ZAlign, BandCoversTheReportedAlignment) {
+  seq::MutationModel mm;
+  mm.substitution_rate = 0.04;
+  mm.insertion_rate = 0.02;
+  mm.deletion_rate = 0.02;
+  const auto pair = seq::make_homolog_pair(900, mm, 41);
+  const ZAlignResult z = zalign(pair.a, pair.b, kSc, small_opts());
+  ASSERT_EQ(z.mode, RetrievalMode::Banded);
+  // The transcript's drift (relative to the window origin) fits the band.
+  EXPECT_LE(align::required_band(z.alignment.cigar, align::Cell{1, 1}), z.band);
+}
+
+TEST(ZAlign, NoPositiveAlignment) {
+  const ZAlignResult z =
+      zalign(seq::Sequence::dna("AAAA"), seq::Sequence::dna("TTTT"), kSc, small_opts());
+  EXPECT_EQ(z.alignment.score, 0);
+  EXPECT_EQ(z.mode, RetrievalMode::None);
+}
+
+TEST(ZAlign, Validation) {
+  ZAlignOptions opt = small_opts();
+  opt.max_retrieval_cells = 0;
+  EXPECT_THROW((void)zalign(seq::Sequence::dna("AC"), seq::Sequence::dna("AC"), kSc, opt),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)zalign(seq::Sequence::dna("AC"), seq::Sequence::protein("AR"), kSc, small_opts()),
+      std::invalid_argument);
+}
+
+}  // namespace

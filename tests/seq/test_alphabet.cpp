@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "seq/alphabet.hpp"
+
+namespace {
+
+using namespace swr::seq;
+
+TEST(Alphabet, DnaCodesAreDense) {
+  const Alphabet& ab = dna();
+  EXPECT_EQ(ab.size(), 4u);
+  EXPECT_EQ(ab.code('A'), 0);
+  EXPECT_EQ(ab.code('C'), 1);
+  EXPECT_EQ(ab.code('G'), 2);
+  EXPECT_EQ(ab.code('T'), 3);
+}
+
+TEST(Alphabet, LowerCaseMapsLikeUpper) {
+  const Alphabet& ab = dna();
+  for (const char c : std::string("acgt")) {
+    EXPECT_EQ(ab.code(c), ab.code(static_cast<char>(c - 'a' + 'A')));
+  }
+}
+
+TEST(Alphabet, InvalidCharactersReturnSentinel) {
+  const Alphabet& ab = dna();
+  EXPECT_EQ(ab.code('N'), kInvalidCode);
+  EXPECT_EQ(ab.code('x'), kInvalidCode);
+  EXPECT_EQ(ab.code(' '), kInvalidCode);
+  EXPECT_EQ(ab.code('\0'), kInvalidCode);
+  EXPECT_FALSE(ab.contains('U'));
+  EXPECT_TRUE(rna().contains('U'));
+}
+
+TEST(Alphabet, RoundTripLetterCode) {
+  for (const Alphabet* ab : {&dna(), &rna(), &protein()}) {
+    for (std::size_t i = 0; i < ab->size(); ++i) {
+      const char letter = ab->letter(static_cast<Code>(i));
+      EXPECT_EQ(ab->code(letter), static_cast<Code>(i));
+    }
+  }
+}
+
+TEST(Alphabet, LetterThrowsOnBadCode) {
+  EXPECT_THROW((void)dna().letter(4), std::out_of_range);
+  EXPECT_THROW((void)protein().letter(21), std::out_of_range);
+}
+
+TEST(Alphabet, ProteinHas21Letters) {
+  EXPECT_EQ(protein().size(), 21u);
+  EXPECT_EQ(protein().letters().front(), 'A');
+  EXPECT_EQ(protein().letters().back(), 'X');
+}
+
+TEST(Alphabet, BitsPerCode) {
+  EXPECT_EQ(dna().bits_per_code(), 2u);
+  EXPECT_EQ(protein().bits_per_code(), 5u);
+}
+
+TEST(Alphabet, DuplicateLetterRejected) {
+  EXPECT_THROW(Alphabet(AlphabetId::Dna, "ACGA"), std::invalid_argument);
+}
+
+TEST(Alphabet, LookupById) {
+  EXPECT_EQ(&alphabet(AlphabetId::Dna), &dna());
+  EXPECT_EQ(&alphabet(AlphabetId::Rna), &rna());
+  EXPECT_EQ(&alphabet(AlphabetId::Protein), &protein());
+}
+
+TEST(DnaComplement, PairsAreInvolutions) {
+  EXPECT_EQ(dna_complement(dna().code('A')), dna().code('T'));
+  EXPECT_EQ(dna_complement(dna().code('C')), dna().code('G'));
+  for (Code c = 0; c < 4; ++c) EXPECT_EQ(dna_complement(dna_complement(c)), c);
+  EXPECT_THROW((void)dna_complement(4), std::out_of_range);
+}
+
+}  // namespace

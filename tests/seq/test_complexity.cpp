@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "seq/complexity.hpp"
+#include "seq/random.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr::seq;
+
+TEST(Dust, HomopolymerScoresHigh) {
+  const Sequence poly_a = Sequence::dna(std::string(64, 'A'));
+  // All 62 triplets identical: sum = 62*61/2, normalised by 61 -> 31.
+  EXPECT_NEAR(dust_score(poly_a, 0, 64), 31.0, 1e-9);
+}
+
+TEST(Dust, RandomDnaScoresNearOne) {
+  const Sequence r = swr::test::random_dna(2000, 5);
+  double total = 0.0;
+  int windows = 0;
+  for (std::size_t p = 0; p + 64 <= r.size(); p += 64) {
+    total += dust_score(r, p, 64);
+    ++windows;
+  }
+  // Expected for uniform random: ~C(62,2)/64/61 ~ 0.48.
+  EXPECT_NEAR(total / windows, 0.48, 0.2);
+}
+
+TEST(Dust, DinucleotideRepeatScoresHigh) {
+  std::string at;
+  for (int k = 0; k < 32; ++k) at += "AT";
+  EXPECT_GT(dust_score(Sequence::dna(at), 0, 64), 10.0);
+}
+
+TEST(Dust, Validation) {
+  const Sequence s = Sequence::dna("ACGT");
+  EXPECT_THROW((void)dust_score(s, 0, 2), std::invalid_argument);
+  EXPECT_THROW((void)dust_score(s, 2, 3), std::invalid_argument);
+  EXPECT_THROW((void)dust_score(Sequence::protein("ARNDA"), 0, 3), std::invalid_argument);
+}
+
+TEST(FindLowComplexity, MasksThePlantedRepeat) {
+  RandomSequenceGenerator gen(9);
+  Sequence s = gen.uniform(dna(), 1000);
+  const std::size_t at = s.size();
+  s.append(Sequence::dna(std::string(200, 'A')));
+  s.append(gen.uniform(dna(), 1000));
+
+  const auto masks = find_low_complexity(s);
+  ASSERT_FALSE(masks.empty());
+  bool covered = false;
+  for (const MaskedInterval& iv : masks) {
+    if (iv.begin <= at + 20 && iv.end >= at + 180) covered = true;
+  }
+  EXPECT_TRUE(covered);
+  // Random flanks mostly unmasked.
+  EXPECT_LT(masked_fraction(masks, s.size()), 0.25);
+}
+
+TEST(FindLowComplexity, CleanRandomSequenceIsUnmasked) {
+  const Sequence r = swr::test::random_dna(5000, 11);
+  EXPECT_TRUE(find_low_complexity(r).empty());
+}
+
+TEST(FindLowComplexity, AdjacentWindowsMerge) {
+  Sequence s = Sequence::dna(std::string(300, 'G'));
+  const auto masks = find_low_complexity(s);
+  ASSERT_EQ(masks.size(), 1u);
+  EXPECT_EQ(masks[0].begin, 0u);
+  EXPECT_EQ(masks[0].end, 300u);
+  EXPECT_DOUBLE_EQ(masked_fraction(masks, 300), 1.0);
+}
+
+TEST(FindLowComplexity, ShortAndEmptyInputs) {
+  EXPECT_TRUE(find_low_complexity(Sequence::dna("AC")).empty());
+  EXPECT_TRUE(find_low_complexity(Sequence::dna("")).empty());
+  EXPECT_DOUBLE_EQ(masked_fraction({}, 0), 0.0);
+}
+
+TEST(FindLowComplexity, Validation) {
+  EXPECT_THROW((void)find_low_complexity(Sequence::dna("ACGT"), 2), std::invalid_argument);
+  EXPECT_THROW((void)find_low_complexity(Sequence::dna("ACGT"), 64, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)find_low_complexity(Sequence::protein("ARND")), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "seq/fasta.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr::seq;
+
+TEST(Fasta, ParsesMultiRecord) {
+  std::istringstream in(">one first record\nACGT\nTTAA\n>two\nGG\n");
+  const auto recs = read_fasta(in, dna());
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].name(), "one first record");
+  EXPECT_EQ(recs[0].to_string(), "ACGTTTAA");
+  EXPECT_EQ(recs[1].name(), "two");
+  EXPECT_EQ(recs[1].to_string(), "GG");
+}
+
+TEST(Fasta, HandlesCrlfBlankAndCommentLines) {
+  std::istringstream in(">r\r\n; legacy comment\r\nAC\r\n\r\nGT\r\n");
+  const auto recs = read_fasta(in, dna());
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].to_string(), "ACGT");
+}
+
+TEST(Fasta, EmptyRecordAllowed) {
+  std::istringstream in(">empty\n>full\nA\n");
+  const auto recs = read_fasta(in, dna());
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_TRUE(recs[0].empty());
+  EXPECT_EQ(recs[1].to_string(), "A");
+}
+
+TEST(Fasta, RejectsDataBeforeHeader) {
+  std::istringstream in("ACGT\n");
+  EXPECT_THROW((void)read_fasta(in, dna()), FastaError);
+}
+
+TEST(Fasta, RejectsInvalidResidueWithLineNumber) {
+  std::istringstream in(">r\nACGT\nACNT\n");
+  try {
+    (void)read_fasta(in, dna());
+    FAIL() << "expected FastaError";
+  } catch (const FastaError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Fasta, WriteWrapsLines) {
+  std::ostringstream out;
+  write_fasta(out, {Sequence::dna("ACGTACGTAC", "r")}, 4);
+  EXPECT_EQ(out.str(), ">r\nACGT\nACGT\nAC\n");
+}
+
+TEST(Fasta, WriteNoWrap) {
+  std::ostringstream out;
+  write_fasta(out, {Sequence::dna("ACGTACGTAC", "r")}, 0);
+  EXPECT_EQ(out.str(), ">r\nACGTACGTAC\n");
+}
+
+TEST(Fasta, RoundTripManyRecords) {
+  std::vector<Sequence> recs;
+  for (int k = 0; k < 8; ++k) {
+    Sequence s = swr::test::random_dna(10 + 37 * static_cast<std::size_t>(k), 50 + k);
+    s.set_name("rec" + std::to_string(k));
+    recs.push_back(std::move(s));
+  }
+  std::ostringstream out;
+  write_fasta(out, recs, 13);
+  std::istringstream in(out.str());
+  const auto back = read_fasta(in, dna());
+  ASSERT_EQ(back.size(), recs.size());
+  for (std::size_t k = 0; k < recs.size(); ++k) {
+    EXPECT_EQ(back[k], recs[k]);
+    EXPECT_EQ(back[k].name(), recs[k].name());
+  }
+}
+
+TEST(Fasta, FileRoundTripAndMissingFile) {
+  const std::string path = testing::TempDir() + "/swr_fasta_test.fa";
+  write_fasta_file(path, {Sequence::dna("ACGT", "f")});
+  const auto recs = read_fasta_file(path, dna());
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].to_string(), "ACGT");
+  EXPECT_THROW((void)read_fasta_file("/nonexistent/nope.fa", dna()), FastaError);
+}
+
+TEST(Fasta, ProteinAlphabetSupported) {
+  std::istringstream in(">p\nARNDC\n");
+  const auto recs = read_fasta(in, protein());
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].to_string(), "ARNDC");
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "seq/fastq.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr::seq;
+
+TEST(Fastq, ParsesWellFormedRecords) {
+  std::istringstream in("@read1 extra\nACGT\n+\nIIII\n@read2\nGG\n+read2\n!~\n");
+  const auto recs = read_fastq(in, dna());
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].sequence.name(), "read1 extra");
+  EXPECT_EQ(recs[0].sequence.to_string(), "ACGT");
+  EXPECT_EQ(recs[0].qualities, (std::vector<std::uint8_t>{40, 40, 40, 40}));
+  EXPECT_EQ(recs[1].qualities, (std::vector<std::uint8_t>{0, 93}));
+}
+
+TEST(Fastq, MeanQuality) {
+  std::istringstream in("@r\nAC\n+\n!I\n");
+  const auto recs = read_fastq(in, dna());
+  EXPECT_DOUBLE_EQ(recs[0].mean_quality(), 20.0);
+  EXPECT_DOUBLE_EQ(FastqRecord{}.mean_quality(), 0.0);
+}
+
+TEST(Fastq, CrlfTolerated) {
+  std::istringstream in("@r\r\nACGT\r\n+\r\nIIII\r\n");
+  const auto recs = read_fastq(in, dna());
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].sequence.to_string(), "ACGT");
+}
+
+TEST(Fastq, RejectsMalformedInput) {
+  {
+    std::istringstream in("ACGT\n");
+    EXPECT_THROW((void)read_fastq(in, dna()), FastqError);
+  }
+  {
+    std::istringstream in("@r\nACGT\n+\n");  // truncated
+    EXPECT_THROW((void)read_fastq(in, dna()), FastqError);
+  }
+  {
+    std::istringstream in("@r\nACGT\nIIII\nIIII\n");  // missing '+'
+    EXPECT_THROW((void)read_fastq(in, dna()), FastqError);
+  }
+  {
+    std::istringstream in("@r\nACGT\n+\nII\n");  // length mismatch
+    EXPECT_THROW((void)read_fastq(in, dna()), FastqError);
+  }
+  {
+    std::istringstream in("@r\nACXT\n+\nIIII\n");  // bad residue
+    EXPECT_THROW((void)read_fastq(in, dna()), FastqError);
+  }
+  {
+    std::istringstream in(std::string("@r\nAC\n+\nI") + '\t' + "\n");  // bad quality char
+    EXPECT_THROW((void)read_fastq(in, dna()), FastqError);
+  }
+}
+
+TEST(Fastq, RoundTrip) {
+  std::vector<FastqRecord> recs;
+  for (int k = 0; k < 4; ++k) {
+    FastqRecord r;
+    r.sequence = swr::test::random_dna(20 + static_cast<std::size_t>(k) * 7, 900 + k);
+    r.sequence.set_name("read" + std::to_string(k));
+    for (std::size_t i = 0; i < r.sequence.size(); ++i) {
+      r.qualities.push_back(static_cast<std::uint8_t>((i * 7 + k) % 94));
+    }
+    recs.push_back(std::move(r));
+  }
+  std::ostringstream out;
+  write_fastq(out, recs);
+  std::istringstream in(out.str());
+  const auto back = read_fastq(in, dna());
+  ASSERT_EQ(back.size(), recs.size());
+  for (std::size_t k = 0; k < recs.size(); ++k) {
+    EXPECT_EQ(back[k].sequence, recs[k].sequence);
+    EXPECT_EQ(back[k].qualities, recs[k].qualities);
+  }
+}
+
+TEST(Fastq, WriteValidation) {
+  FastqRecord bad;
+  bad.sequence = Sequence::dna("ACGT");
+  bad.qualities = {1, 2};
+  std::ostringstream out;
+  EXPECT_THROW(write_fastq(out, {bad}), std::invalid_argument);
+  bad.qualities = {1, 2, 3, 94};
+  EXPECT_THROW(write_fastq(out, {bad}), std::invalid_argument);
+}
+
+TEST(Fastq, MissingFile) {
+  EXPECT_THROW((void)read_fastq_file("/nonexistent/reads.fq", dna()), FastqError);
+}
+
+}  // namespace

@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "seq/packed.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr::seq;
+
+TEST(PackedDna, RoundTripsArbitraryLengths) {
+  // Cover every word-boundary case: 0..67 spans two 64-bit words.
+  for (std::size_t n = 0; n <= 67; ++n) {
+    const Sequence s = swr::test::random_dna(n, 1000 + n);
+    const PackedDna p(s);
+    ASSERT_EQ(p.size(), n);
+    Sequence u = p.unpack();
+    EXPECT_EQ(u.codes().size(), s.codes().size());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(p[i], s[i]) << "position " << i << " length " << n;
+    }
+  }
+}
+
+TEST(PackedDna, FourBasesPerByte) {
+  const Sequence s = swr::test::random_dna(1024, 3);
+  const PackedDna p(s);
+  EXPECT_LE(p.storage_bytes(), 1024u / 4 + 8);
+}
+
+TEST(PackedDna, PushBackMatchesBulkPack) {
+  const Sequence s = swr::test::random_dna(129, 9);
+  PackedDna p;
+  for (std::size_t i = 0; i < s.size(); ++i) p.push_back(s[i]);
+  EXPECT_EQ(p.unpack(), s);
+}
+
+TEST(PackedDna, AtChecksBounds) {
+  PackedDna p(Sequence::dna("ACG"));
+  EXPECT_EQ(p.at(2), dna().code('G'));
+  EXPECT_THROW((void)p.at(3), std::out_of_range);
+}
+
+TEST(PackedDna, RejectsBadCodeAndNonDna) {
+  PackedDna p;
+  EXPECT_THROW(p.push_back(4), std::invalid_argument);
+  EXPECT_THROW(PackedDna{Sequence::protein("AR")}, std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "seq/mutate.hpp"
+#include "seq/random.hpp"
+#include "seq/sequence.hpp"
+
+namespace {
+
+using namespace swr::seq;
+
+TEST(RandomSequence, DeterministicForSeed) {
+  RandomSequenceGenerator g1(123);
+  RandomSequenceGenerator g2(123);
+  EXPECT_EQ(g1.uniform(dna(), 500), g2.uniform(dna(), 500));
+}
+
+TEST(RandomSequence, DifferentSeedsDiffer) {
+  RandomSequenceGenerator g1(1);
+  RandomSequenceGenerator g2(2);
+  EXPECT_FALSE(g1.uniform(dna(), 500) == g2.uniform(dna(), 500));
+}
+
+TEST(RandomSequence, UniformCoversAlphabet) {
+  RandomSequenceGenerator g(7);
+  const Sequence s = g.uniform(dna(), 4000);
+  std::size_t counts[4] = {0, 0, 0, 0};
+  for (std::size_t i = 0; i < s.size(); ++i) ++counts[s[i]];
+  for (const std::size_t c : counts) {
+    EXPECT_GT(c, 800u);  // ~1000 expected; generous band
+    EXPECT_LT(c, 1200u);
+  }
+}
+
+TEST(RandomSequence, GcContentIsRespected) {
+  RandomSequenceGenerator g(11);
+  const Sequence s = g.dna_with_gc(20000, 0.7);
+  std::size_t gc = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = dna().letter(s[i]);
+    gc += (c == 'G' || c == 'C') ? 1 : 0;
+  }
+  const double frac = static_cast<double>(gc) / static_cast<double>(s.size());
+  EXPECT_NEAR(frac, 0.7, 0.02);
+  EXPECT_THROW((void)g.dna_with_gc(10, 1.5), std::invalid_argument);
+}
+
+TEST(Mutate, ZeroRatesAreIdentity) {
+  std::mt19937_64 rng(5);
+  const Sequence s = Sequence::dna("ACGTACGTTT");
+  EXPECT_EQ(mutate(s, MutationModel{}, rng), s);
+}
+
+TEST(Mutate, SubstitutionRateOneChangesEveryBase) {
+  std::mt19937_64 rng(5);
+  const Sequence s = Sequence::dna("ACGTACGTACGTACGT");
+  const Sequence m = point_mutate(s, 1.0, rng);
+  ASSERT_EQ(m.size(), s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_NE(m[i], s[i]);
+}
+
+TEST(Mutate, SubstitutionRateRoughlyHolds) {
+  std::mt19937_64 rng(17);
+  RandomSequenceGenerator g(18);
+  const Sequence s = g.uniform(dna(), 20000);
+  const Sequence m = point_mutate(s, 0.1, rng);
+  EXPECT_NEAR(identity(s, m), 0.9, 0.01);
+}
+
+TEST(Mutate, DeletionShortens) {
+  std::mt19937_64 rng(3);
+  RandomSequenceGenerator g(4);
+  const Sequence s = g.uniform(dna(), 10000);
+  MutationModel mm;
+  mm.deletion_rate = 0.2;
+  const Sequence m = mutate(s, mm, rng);
+  EXPECT_NEAR(static_cast<double>(m.size()), 8000.0, 300.0);
+}
+
+TEST(Mutate, InsertionLengthens) {
+  std::mt19937_64 rng(3);
+  RandomSequenceGenerator g(4);
+  const Sequence s = g.uniform(dna(), 10000);
+  MutationModel mm;
+  mm.insertion_rate = 0.2;
+  const Sequence m = mutate(s, mm, rng);
+  EXPECT_NEAR(static_cast<double>(m.size()), 12000.0, 300.0);
+}
+
+TEST(Mutate, ValidatesRates) {
+  MutationModel mm;
+  mm.substitution_rate = 0.7;
+  mm.insertion_rate = 0.4;
+  EXPECT_THROW(mm.validate(), std::invalid_argument);
+  mm = MutationModel{};
+  mm.deletion_rate = -0.1;
+  EXPECT_THROW(mm.validate(), std::invalid_argument);
+}
+
+}  // namespace

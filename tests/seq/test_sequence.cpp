@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "seq/sequence.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr::seq;
+
+TEST(Sequence, ParsesAndRoundTrips) {
+  const Sequence s = Sequence::dna("ACGTacgt", "demo");
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_EQ(s.name(), "demo");
+  EXPECT_EQ(s.to_string(), "ACGTACGT");
+}
+
+TEST(Sequence, RejectsInvalidCharacterWithPosition) {
+  try {
+    (void)Sequence::dna("ACGNX");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("position 3"), std::string::npos);
+  }
+}
+
+TEST(Sequence, RejectsInvalidCode) {
+  EXPECT_THROW(Sequence(dna(), std::vector<Code>{0, 1, 7}), std::invalid_argument);
+}
+
+TEST(Sequence, EmptySequence) {
+  const Sequence s = Sequence::dna("");
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.to_string(), "");
+  EXPECT_TRUE(s.reversed().empty());
+}
+
+TEST(Sequence, Subsequence) {
+  const Sequence s = Sequence::dna("ACGTTGCA");
+  EXPECT_EQ(s.subsequence(2, 3).to_string(), "GTT");
+  EXPECT_EQ(s.subsequence(6, 100).to_string(), "CA");   // clamped length
+  EXPECT_EQ(s.subsequence(100, 3).to_string(), "");     // clamped begin
+  EXPECT_EQ(s.subsequence(0, s.size()).to_string(), s.to_string());
+}
+
+TEST(Sequence, Reversed) {
+  const Sequence s = Sequence::dna("ACGT");
+  EXPECT_EQ(s.reversed().to_string(), "TGCA");
+  EXPECT_EQ(s.reversed().reversed(), s);
+}
+
+TEST(Sequence, Complement) {
+  const Sequence s = Sequence::dna("AACGT");
+  EXPECT_EQ(s.complemented().to_string(), "TTGCA");
+  EXPECT_EQ(s.reverse_complemented().to_string(), "ACGTT");
+  EXPECT_THROW((void)Sequence::protein("ARN").complemented(), std::logic_error);
+}
+
+TEST(Sequence, ReverseComplementIsInvolution) {
+  const Sequence s = swr::test::random_dna(257, 7);
+  EXPECT_EQ(s.reverse_complemented().reverse_complemented(), s);
+}
+
+TEST(Sequence, AppendChecksAlphabet) {
+  Sequence s = Sequence::dna("AC");
+  s.append(Sequence::dna("GT"));
+  EXPECT_EQ(s.to_string(), "ACGT");
+  EXPECT_THROW(s.append(Sequence::protein("AR")), std::invalid_argument);
+}
+
+TEST(Sequence, EqualityRequiresSameAlphabet) {
+  // Same dense codes, different alphabets: A/C in DNA vs A/R in protein.
+  const Sequence d(dna(), std::vector<Code>{0, 1});
+  const Sequence p(protein(), std::vector<Code>{0, 1});
+  EXPECT_FALSE(d == p);
+}
+
+TEST(Identity, CountsMatchingPositions) {
+  EXPECT_DOUBLE_EQ(identity(Sequence::dna("ACGT"), Sequence::dna("ACGA")), 0.75);
+  EXPECT_DOUBLE_EQ(identity(Sequence::dna(""), Sequence::dna("")), 1.0);
+  EXPECT_THROW((void)identity(Sequence::dna("AC"), Sequence::dna("A")), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "align/sw_linear.hpp"
+#include "seq/workload.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::seq;
+
+TEST(PlantedWorkload, GeneratesRequestedShape) {
+  PlantedWorkloadSpec spec;
+  spec.query_len = 80;
+  spec.database_len = 5000;
+  spec.plant_offset = 1234;
+  spec.seed = 99;
+  const PlantedWorkload wl = make_planted_workload(spec);
+  EXPECT_EQ(wl.query.size(), 80u);
+  EXPECT_EQ(wl.database.size(), 5000u);
+  EXPECT_EQ(wl.plant_begin, 1234u);
+  EXPECT_EQ(wl.plant_end, 1234u + 80u);
+}
+
+TEST(PlantedWorkload, PlantIsNearIdenticalToQuery) {
+  PlantedWorkloadSpec spec;
+  spec.query_len = 200;
+  spec.database_len = 2000;
+  spec.plant_offset = 700;
+  spec.plant_substitution_rate = 0.05;
+  const PlantedWorkload wl = make_planted_workload(spec);
+  const Sequence planted = wl.database.subsequence(wl.plant_begin, wl.plant_end - wl.plant_begin);
+  EXPECT_GT(identity(planted, wl.query), 0.88);
+}
+
+TEST(PlantedWorkload, BestLocalHitLandsOnThePlant) {
+  // The ground-truth property the coordinate-reporting benches rely on.
+  PlantedWorkloadSpec spec;
+  spec.query_len = 100;
+  spec.database_len = 20000;
+  spec.plant_offset = 7777;
+  spec.plant_substitution_rate = 0.04;
+  spec.seed = 5;
+  const PlantedWorkload wl = make_planted_workload(spec);
+  const align::LocalScoreResult r =
+      align::sw_linear(wl.database, wl.query, align::Scoring::paper_default());
+  // End coordinate (db side) must fall inside the planted window.
+  EXPECT_GE(r.end.i, wl.plant_begin);
+  EXPECT_LE(r.end.i, wl.plant_end + 5);
+  // Score must be close to a perfect match of the query.
+  EXPECT_GT(r.score, static_cast<align::Score>(spec.query_len / 2));
+}
+
+TEST(PlantedWorkload, RejectsPlantOutsideDatabase) {
+  PlantedWorkloadSpec spec;
+  spec.query_len = 100;
+  spec.database_len = 150;
+  spec.plant_offset = 100;
+  EXPECT_THROW((void)make_planted_workload(spec), std::invalid_argument);
+}
+
+TEST(PlantedWorkload, DeterministicForSeed) {
+  PlantedWorkloadSpec spec;
+  spec.seed = 77;
+  spec.database_len = 3000;
+  spec.plant_offset = 10;
+  const PlantedWorkload a = make_planted_workload(spec);
+  const PlantedWorkload b = make_planted_workload(spec);
+  EXPECT_EQ(a.query, b.query);
+  EXPECT_EQ(a.database, b.database);
+}
+
+TEST(HomologPair, SharesAncestry) {
+  MutationModel mm;
+  mm.substitution_rate = 0.03;
+  mm.insertion_rate = 0.01;
+  mm.deletion_rate = 0.01;
+  const HomologPair pair = make_homolog_pair(4000, mm, 31);
+  // Both near 4000 long and highly alignable.
+  EXPECT_NEAR(static_cast<double>(pair.a.size()), 4000.0, 200.0);
+  EXPECT_NEAR(static_cast<double>(pair.b.size()), 4000.0, 200.0);
+  const align::LocalScoreResult r =
+      align::sw_linear(pair.a, pair.b, align::Scoring::paper_default());
+  EXPECT_GT(r.score, 2000);  // unrelated 4k sequences score far below this
+}
+
+}  // namespace

@@ -1,0 +1,34 @@
+// End-to-end smoke: the paper's figure-2 example through every layer.
+#include <gtest/gtest.h>
+
+#include "align/sw_full.hpp"
+#include "align/sw_linear.hpp"
+#include "core/accelerator.hpp"
+#include "par/wavefront.hpp"
+
+namespace {
+
+using namespace swr;
+
+TEST(Smoke, Figure2ExampleAgreesAcrossAllEngines) {
+  // Paper figure 2: s = TATGGAC (columns here), t = TAGTGACT (rows here).
+  const seq::Sequence query = seq::Sequence::dna("TATGGAC");
+  const seq::Sequence db = seq::Sequence::dna("TAGTGACT");
+  const align::Scoring sc = align::Scoring::paper_default();
+
+  const align::LocalScoreResult full = align::sw_best(align::sw_matrix(db, query, sc));
+  const align::LocalScoreResult linear = align::sw_linear(db, query, sc);
+  EXPECT_EQ(full, linear);
+
+  par::WavefrontConfig wf;
+  wf.threads = 2;
+  wf.row_block = 3;
+  EXPECT_EQ(full, par::wavefront_sw(db, query, sc, wf));
+
+  core::SmithWatermanAccelerator acc(core::xc2vp70(), 4, sc);
+  const core::JobResult job = acc.run(query, db);
+  EXPECT_EQ(full, job.best);
+  EXPECT_GT(job.stats.total_cycles, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Cross-engine fuzz: the library's central invariant, hammered.
+//
+// For a batch of randomized workloads (sizes, seeds, scoring schemes,
+// array widths, thread counts), every engine that claims to compute the
+// best local score + canonical coordinates must agree exactly:
+//
+//   sw_full  (quadratic oracle)
+//   sw_linear
+//   sw_linear_profiled
+//   wavefront_sw
+//   ArrayController<ScorePe>  (cycle-accurate hardware model)
+//   multiboard_run            (partitioned fleet)
+//
+// and the affine pair gotoh_local_score == ArrayController<AffinePe>.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "align/gotoh.hpp"
+#include "align/sw_antidiag.hpp"
+#include "align/sw_full.hpp"
+#include "align/sw_linear.hpp"
+#include "align/sw_profile.hpp"
+#include "core/multibase.hpp"
+#include "core/multiboard.hpp"
+#include "par/wavefront.hpp"
+#include "seq/random.hpp"
+
+namespace {
+
+using namespace swr;
+
+struct FuzzCase {
+  std::size_t m;         // db rows
+  std::size_t n;         // query cols
+  align::Scoring sc;
+  std::size_t npes;
+  std::size_t threads;
+  std::size_t boards;
+  std::uint64_t seed;
+};
+
+FuzzCase draw_case(std::mt19937_64& rng) {
+  std::uniform_int_distribution<std::size_t> msize(1, 220);
+  std::uniform_int_distribution<std::size_t> nsize(1, 70);
+  std::uniform_int_distribution<int> match(1, 5);
+  std::uniform_int_distribution<int> mism(-5, 0);
+  std::uniform_int_distribution<int> gap(-6, -1);
+  std::uniform_int_distribution<std::size_t> pes(1, 24);
+  std::uniform_int_distribution<std::size_t> thr(1, 4);
+  std::uniform_int_distribution<std::size_t> brd(1, 4);
+  FuzzCase c;
+  c.m = msize(rng);
+  c.n = nsize(rng);
+  c.sc.match = match(rng);
+  c.sc.mismatch = std::min(mism(rng), c.sc.match - 1);
+  c.sc.gap = gap(rng);
+  c.npes = pes(rng);
+  c.threads = thr(rng);
+  c.boards = brd(rng);
+  c.seed = rng();
+  return c;
+}
+
+class CrossEngineFuzz : public testing::TestWithParam<int> {};
+
+TEST_P(CrossEngineFuzz, AllEnginesAgree) {
+  std::mt19937_64 rng(0xF00D + static_cast<unsigned>(GetParam()));
+  for (int iter = 0; iter < 8; ++iter) {
+    const FuzzCase c = draw_case(rng);
+    seq::RandomSequenceGenerator gen(c.seed);
+    const seq::Sequence db = gen.uniform(seq::dna(), c.m);
+    const seq::Sequence query = gen.uniform(seq::dna(), c.n);
+
+    const align::LocalScoreResult oracle = align::sw_best(align::sw_matrix(db, query, c.sc));
+    const std::string ctx = "case m=" + std::to_string(c.m) + " n=" + std::to_string(c.n) +
+                            " match=" + std::to_string(c.sc.match) +
+                            " mism=" + std::to_string(c.sc.mismatch) +
+                            " gap=" + std::to_string(c.sc.gap) +
+                            " pes=" + std::to_string(c.npes) + " seed=" + std::to_string(c.seed);
+
+    EXPECT_EQ(align::sw_linear(db, query, c.sc), oracle) << "sw_linear " << ctx;
+    EXPECT_EQ(align::sw_linear_profiled(db, query, c.sc), oracle) << "profiled " << ctx;
+    EXPECT_EQ(align::sw_linear_antidiag(db, query, c.sc), oracle) << "antidiag " << ctx;
+
+    par::WavefrontConfig wf;
+    wf.threads = c.threads;
+    wf.row_block = 1 + c.m / 3;
+    EXPECT_EQ(par::wavefront_sw(db, query, c.sc, wf), oracle) << "wavefront " << ctx;
+
+    core::ArrayController<core::ScorePe> ctl(c.npes, 16, c.sc, 8u << 20, true, false);
+    EXPECT_EQ(ctl.run(query, db), oracle) << "systolic " << ctx;
+
+    core::BoardFleet fleet = core::make_board_fleet(core::xc2vp70(), c.boards,
+                                                    std::min<std::size_t>(c.n, 150) + 1, c.sc);
+    EXPECT_EQ(core::multiboard_run(fleet, query, db).best, oracle) << "multiboard " << ctx;
+
+    core::MultiBaseController mb(std::max<std::size_t>(c.npes / 2, 1), 1 + c.seed % 4, 16, c.sc,
+                                 8u << 20, true);
+    EXPECT_EQ(mb.run(query, db), oracle) << "multibase " << ctx;
+  }
+}
+
+TEST_P(CrossEngineFuzz, AffineEnginesAgree) {
+  std::mt19937_64 rng(0xBEEF + static_cast<unsigned>(GetParam()));
+  std::uniform_int_distribution<std::size_t> msize(1, 150);
+  std::uniform_int_distribution<std::size_t> nsize(1, 50);
+  std::uniform_int_distribution<int> open(-6, 0);
+  std::uniform_int_distribution<int> ext(-4, -1);
+  std::uniform_int_distribution<std::size_t> pes(1, 16);
+  for (int iter = 0; iter < 6; ++iter) {
+    align::AffineScoring sc;
+    sc.match = 2;
+    sc.mismatch = -1;
+    sc.gap_open = open(rng);
+    sc.gap_extend = ext(rng);
+    const std::size_t m = msize(rng);
+    const std::size_t n = nsize(rng);
+    const std::size_t npes = pes(rng);
+    seq::RandomSequenceGenerator gen(rng());
+    const seq::Sequence db = gen.uniform(seq::dna(), m);
+    const seq::Sequence query = gen.uniform(seq::dna(), n);
+
+    const align::LocalScoreResult oracle =
+        align::gotoh_local_score(db.codes(), query.codes(), sc);
+    core::ArrayController<core::AffinePe> ctl(npes, 16, sc, 8u << 20, true, false);
+    EXPECT_EQ(ctl.run(query, db), oracle)
+        << "affine m=" << m << " n=" << n << " npes=" << npes << " open=" << sc.gap_open
+        << " ext=" << sc.gap_extend;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, CrossEngineFuzz, testing::Range(0, 8));
+
+}  // namespace

@@ -1,0 +1,24 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "seq/random.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::test {
+
+/// Deterministic random DNA of length n.
+inline seq::Sequence random_dna(std::size_t n, std::uint64_t seed) {
+  seq::RandomSequenceGenerator gen(seed);
+  return gen.uniform(seq::dna(), n);
+}
+
+/// Deterministic random protein of length n.
+inline seq::Sequence random_protein(std::size_t n, std::uint64_t seed) {
+  seq::RandomSequenceGenerator gen(seed);
+  return gen.uniform(seq::protein(), n);
+}
+
+}  // namespace swr::test

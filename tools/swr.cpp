@@ -1,0 +1,14 @@
+// swr — the command-line front end. All logic lives in src/cli (testable);
+// this file only splits argv.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  const std::string command = argc > 1 ? argv[1] : "help";
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+  return swr::cli::run_command(command, args, std::cout, std::cerr);
+}
