@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_a2_loading.cpp" "bench/CMakeFiles/bench_a2_loading.dir/bench_a2_loading.cpp.o" "gcc" "bench/CMakeFiles/bench_a2_loading.dir/bench_a2_loading.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/repro_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/repro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/repro_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/repro_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/repro_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/repro_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_loading.dir/bench_a2_loading.cpp.o"
+  "CMakeFiles/bench_a2_loading.dir/bench_a2_loading.cpp.o.d"
+  "bench_a2_loading"
+  "bench_a2_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_heuristic.dir/bench_e3_heuristic.cpp.o"
+  "CMakeFiles/bench_e3_heuristic.dir/bench_e3_heuristic.cpp.o.d"
+  "bench_e3_heuristic"
+  "bench_e3_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_wavefront.dir/bench_fig3_wavefront.cpp.o"
+  "CMakeFiles/bench_fig3_wavefront.dir/bench_fig3_wavefront.cpp.o.d"
+  "bench_fig3_wavefront"
+  "bench_fig3_wavefront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_wavefront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

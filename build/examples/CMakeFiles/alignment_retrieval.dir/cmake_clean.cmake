@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alignment_retrieval.dir/alignment_retrieval.cpp.o"
+  "CMakeFiles/alignment_retrieval.dir/alignment_retrieval.cpp.o.d"
+  "alignment_retrieval"
+  "alignment_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alignment_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translated_search.dir/translated_search.cpp.o"
+  "CMakeFiles/translated_search.dir/translated_search.cpp.o.d"
+  "translated_search"
+  "translated_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translated_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

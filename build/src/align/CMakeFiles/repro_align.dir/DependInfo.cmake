@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/banded.cpp" "src/align/CMakeFiles/repro_align.dir/banded.cpp.o" "gcc" "src/align/CMakeFiles/repro_align.dir/banded.cpp.o.d"
+  "/root/repo/src/align/cigar.cpp" "src/align/CMakeFiles/repro_align.dir/cigar.cpp.o" "gcc" "src/align/CMakeFiles/repro_align.dir/cigar.cpp.o.d"
+  "/root/repo/src/align/evalue.cpp" "src/align/CMakeFiles/repro_align.dir/evalue.cpp.o" "gcc" "src/align/CMakeFiles/repro_align.dir/evalue.cpp.o.d"
+  "/root/repo/src/align/fitting.cpp" "src/align/CMakeFiles/repro_align.dir/fitting.cpp.o" "gcc" "src/align/CMakeFiles/repro_align.dir/fitting.cpp.o.d"
+  "/root/repo/src/align/gotoh.cpp" "src/align/CMakeFiles/repro_align.dir/gotoh.cpp.o" "gcc" "src/align/CMakeFiles/repro_align.dir/gotoh.cpp.o.d"
+  "/root/repo/src/align/hirschberg.cpp" "src/align/CMakeFiles/repro_align.dir/hirschberg.cpp.o" "gcc" "src/align/CMakeFiles/repro_align.dir/hirschberg.cpp.o.d"
+  "/root/repo/src/align/local_linear.cpp" "src/align/CMakeFiles/repro_align.dir/local_linear.cpp.o" "gcc" "src/align/CMakeFiles/repro_align.dir/local_linear.cpp.o.d"
+  "/root/repo/src/align/myers_miller.cpp" "src/align/CMakeFiles/repro_align.dir/myers_miller.cpp.o" "gcc" "src/align/CMakeFiles/repro_align.dir/myers_miller.cpp.o.d"
+  "/root/repo/src/align/near_best.cpp" "src/align/CMakeFiles/repro_align.dir/near_best.cpp.o" "gcc" "src/align/CMakeFiles/repro_align.dir/near_best.cpp.o.d"
+  "/root/repo/src/align/nw.cpp" "src/align/CMakeFiles/repro_align.dir/nw.cpp.o" "gcc" "src/align/CMakeFiles/repro_align.dir/nw.cpp.o.d"
+  "/root/repo/src/align/render.cpp" "src/align/CMakeFiles/repro_align.dir/render.cpp.o" "gcc" "src/align/CMakeFiles/repro_align.dir/render.cpp.o.d"
+  "/root/repo/src/align/scoring.cpp" "src/align/CMakeFiles/repro_align.dir/scoring.cpp.o" "gcc" "src/align/CMakeFiles/repro_align.dir/scoring.cpp.o.d"
+  "/root/repo/src/align/seed_extend.cpp" "src/align/CMakeFiles/repro_align.dir/seed_extend.cpp.o" "gcc" "src/align/CMakeFiles/repro_align.dir/seed_extend.cpp.o.d"
+  "/root/repo/src/align/sw_antidiag.cpp" "src/align/CMakeFiles/repro_align.dir/sw_antidiag.cpp.o" "gcc" "src/align/CMakeFiles/repro_align.dir/sw_antidiag.cpp.o.d"
+  "/root/repo/src/align/sw_full.cpp" "src/align/CMakeFiles/repro_align.dir/sw_full.cpp.o" "gcc" "src/align/CMakeFiles/repro_align.dir/sw_full.cpp.o.d"
+  "/root/repo/src/align/sw_linear.cpp" "src/align/CMakeFiles/repro_align.dir/sw_linear.cpp.o" "gcc" "src/align/CMakeFiles/repro_align.dir/sw_linear.cpp.o.d"
+  "/root/repo/src/align/sw_profile.cpp" "src/align/CMakeFiles/repro_align.dir/sw_profile.cpp.o" "gcc" "src/align/CMakeFiles/repro_align.dir/sw_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/repro_seq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_cli.dir/args.cpp.o"
+  "CMakeFiles/repro_cli.dir/args.cpp.o.d"
+  "CMakeFiles/repro_cli.dir/commands.cpp.o"
+  "CMakeFiles/repro_cli.dir/commands.cpp.o.d"
+  "librepro_cli.a"
+  "librepro_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

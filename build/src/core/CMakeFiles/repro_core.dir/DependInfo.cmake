@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/repro_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/device.cpp" "src/core/CMakeFiles/repro_core.dir/device.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/device.cpp.o.d"
+  "/root/repo/src/core/multibase.cpp" "src/core/CMakeFiles/repro_core.dir/multibase.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/multibase.cpp.o.d"
+  "/root/repo/src/core/multiboard.cpp" "src/core/CMakeFiles/repro_core.dir/multiboard.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/multiboard.cpp.o.d"
+  "/root/repo/src/core/performance_model.cpp" "src/core/CMakeFiles/repro_core.dir/performance_model.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/performance_model.cpp.o.d"
+  "/root/repo/src/core/resource_model.cpp" "src/core/CMakeFiles/repro_core.dir/resource_model.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/resource_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/repro_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/repro_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/repro_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_core.dir/config.cpp.o"
+  "CMakeFiles/repro_core.dir/config.cpp.o.d"
+  "CMakeFiles/repro_core.dir/device.cpp.o"
+  "CMakeFiles/repro_core.dir/device.cpp.o.d"
+  "CMakeFiles/repro_core.dir/multibase.cpp.o"
+  "CMakeFiles/repro_core.dir/multibase.cpp.o.d"
+  "CMakeFiles/repro_core.dir/multiboard.cpp.o"
+  "CMakeFiles/repro_core.dir/multiboard.cpp.o.d"
+  "CMakeFiles/repro_core.dir/performance_model.cpp.o"
+  "CMakeFiles/repro_core.dir/performance_model.cpp.o.d"
+  "CMakeFiles/repro_core.dir/resource_model.cpp.o"
+  "CMakeFiles/repro_core.dir/resource_model.cpp.o.d"
+  "librepro_core.a"
+  "librepro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

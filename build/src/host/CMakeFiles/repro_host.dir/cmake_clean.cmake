@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_host.dir/batch.cpp.o"
+  "CMakeFiles/repro_host.dir/batch.cpp.o.d"
+  "CMakeFiles/repro_host.dir/fleet_scan.cpp.o"
+  "CMakeFiles/repro_host.dir/fleet_scan.cpp.o.d"
+  "CMakeFiles/repro_host.dir/pipeline.cpp.o"
+  "CMakeFiles/repro_host.dir/pipeline.cpp.o.d"
+  "librepro_host.a"
+  "librepro_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_hw.dir/vcd.cpp.o"
+  "CMakeFiles/repro_hw.dir/vcd.cpp.o.d"
+  "librepro_hw.a"
+  "librepro_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

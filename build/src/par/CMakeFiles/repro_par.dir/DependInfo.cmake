@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/par/wavefront.cpp" "src/par/CMakeFiles/repro_par.dir/wavefront.cpp.o" "gcc" "src/par/CMakeFiles/repro_par.dir/wavefront.cpp.o.d"
+  "/root/repo/src/par/zalign.cpp" "src/par/CMakeFiles/repro_par.dir/zalign.cpp.o" "gcc" "src/par/CMakeFiles/repro_par.dir/zalign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/repro_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/repro_seq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

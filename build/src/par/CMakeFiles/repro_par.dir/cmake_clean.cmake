@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_par.dir/wavefront.cpp.o"
+  "CMakeFiles/repro_par.dir/wavefront.cpp.o.d"
+  "CMakeFiles/repro_par.dir/zalign.cpp.o"
+  "CMakeFiles/repro_par.dir/zalign.cpp.o.d"
+  "librepro_par.a"
+  "librepro_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

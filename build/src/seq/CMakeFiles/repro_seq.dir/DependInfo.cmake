@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/alphabet.cpp" "src/seq/CMakeFiles/repro_seq.dir/alphabet.cpp.o" "gcc" "src/seq/CMakeFiles/repro_seq.dir/alphabet.cpp.o.d"
+  "/root/repo/src/seq/codon.cpp" "src/seq/CMakeFiles/repro_seq.dir/codon.cpp.o" "gcc" "src/seq/CMakeFiles/repro_seq.dir/codon.cpp.o.d"
+  "/root/repo/src/seq/complexity.cpp" "src/seq/CMakeFiles/repro_seq.dir/complexity.cpp.o" "gcc" "src/seq/CMakeFiles/repro_seq.dir/complexity.cpp.o.d"
+  "/root/repo/src/seq/fasta.cpp" "src/seq/CMakeFiles/repro_seq.dir/fasta.cpp.o" "gcc" "src/seq/CMakeFiles/repro_seq.dir/fasta.cpp.o.d"
+  "/root/repo/src/seq/fastq.cpp" "src/seq/CMakeFiles/repro_seq.dir/fastq.cpp.o" "gcc" "src/seq/CMakeFiles/repro_seq.dir/fastq.cpp.o.d"
+  "/root/repo/src/seq/mutate.cpp" "src/seq/CMakeFiles/repro_seq.dir/mutate.cpp.o" "gcc" "src/seq/CMakeFiles/repro_seq.dir/mutate.cpp.o.d"
+  "/root/repo/src/seq/packed.cpp" "src/seq/CMakeFiles/repro_seq.dir/packed.cpp.o" "gcc" "src/seq/CMakeFiles/repro_seq.dir/packed.cpp.o.d"
+  "/root/repo/src/seq/random.cpp" "src/seq/CMakeFiles/repro_seq.dir/random.cpp.o" "gcc" "src/seq/CMakeFiles/repro_seq.dir/random.cpp.o.d"
+  "/root/repo/src/seq/sequence.cpp" "src/seq/CMakeFiles/repro_seq.dir/sequence.cpp.o" "gcc" "src/seq/CMakeFiles/repro_seq.dir/sequence.cpp.o.d"
+  "/root/repo/src/seq/workload.cpp" "src/seq/CMakeFiles/repro_seq.dir/workload.cpp.o" "gcc" "src/seq/CMakeFiles/repro_seq.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

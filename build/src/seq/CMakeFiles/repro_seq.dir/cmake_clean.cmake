@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_seq.dir/alphabet.cpp.o"
+  "CMakeFiles/repro_seq.dir/alphabet.cpp.o.d"
+  "CMakeFiles/repro_seq.dir/codon.cpp.o"
+  "CMakeFiles/repro_seq.dir/codon.cpp.o.d"
+  "CMakeFiles/repro_seq.dir/complexity.cpp.o"
+  "CMakeFiles/repro_seq.dir/complexity.cpp.o.d"
+  "CMakeFiles/repro_seq.dir/fasta.cpp.o"
+  "CMakeFiles/repro_seq.dir/fasta.cpp.o.d"
+  "CMakeFiles/repro_seq.dir/fastq.cpp.o"
+  "CMakeFiles/repro_seq.dir/fastq.cpp.o.d"
+  "CMakeFiles/repro_seq.dir/mutate.cpp.o"
+  "CMakeFiles/repro_seq.dir/mutate.cpp.o.d"
+  "CMakeFiles/repro_seq.dir/packed.cpp.o"
+  "CMakeFiles/repro_seq.dir/packed.cpp.o.d"
+  "CMakeFiles/repro_seq.dir/random.cpp.o"
+  "CMakeFiles/repro_seq.dir/random.cpp.o.d"
+  "CMakeFiles/repro_seq.dir/sequence.cpp.o"
+  "CMakeFiles/repro_seq.dir/sequence.cpp.o.d"
+  "CMakeFiles/repro_seq.dir/workload.cpp.o"
+  "CMakeFiles/repro_seq.dir/workload.cpp.o.d"
+  "librepro_seq.a"
+  "librepro_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

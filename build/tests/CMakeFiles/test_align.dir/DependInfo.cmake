@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/align/test_banded.cpp" "tests/CMakeFiles/test_align.dir/align/test_banded.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_banded.cpp.o.d"
+  "/root/repo/tests/align/test_banded_align.cpp" "tests/CMakeFiles/test_align.dir/align/test_banded_align.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_banded_align.cpp.o.d"
+  "/root/repo/tests/align/test_cigar.cpp" "tests/CMakeFiles/test_align.dir/align/test_cigar.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_cigar.cpp.o.d"
+  "/root/repo/tests/align/test_evalue.cpp" "tests/CMakeFiles/test_align.dir/align/test_evalue.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_evalue.cpp.o.d"
+  "/root/repo/tests/align/test_fitting.cpp" "tests/CMakeFiles/test_align.dir/align/test_fitting.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_fitting.cpp.o.d"
+  "/root/repo/tests/align/test_gotoh.cpp" "tests/CMakeFiles/test_align.dir/align/test_gotoh.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_gotoh.cpp.o.d"
+  "/root/repo/tests/align/test_local_linear.cpp" "tests/CMakeFiles/test_align.dir/align/test_local_linear.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_local_linear.cpp.o.d"
+  "/root/repo/tests/align/test_myers_miller.cpp" "tests/CMakeFiles/test_align.dir/align/test_myers_miller.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_myers_miller.cpp.o.d"
+  "/root/repo/tests/align/test_near_best.cpp" "tests/CMakeFiles/test_align.dir/align/test_near_best.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_near_best.cpp.o.d"
+  "/root/repo/tests/align/test_nw_hirschberg.cpp" "tests/CMakeFiles/test_align.dir/align/test_nw_hirschberg.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_nw_hirschberg.cpp.o.d"
+  "/root/repo/tests/align/test_render.cpp" "tests/CMakeFiles/test_align.dir/align/test_render.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_render.cpp.o.d"
+  "/root/repo/tests/align/test_scoring.cpp" "tests/CMakeFiles/test_align.dir/align/test_scoring.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_scoring.cpp.o.d"
+  "/root/repo/tests/align/test_seed_extend.cpp" "tests/CMakeFiles/test_align.dir/align/test_seed_extend.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_seed_extend.cpp.o.d"
+  "/root/repo/tests/align/test_sw_full.cpp" "tests/CMakeFiles/test_align.dir/align/test_sw_full.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_sw_full.cpp.o.d"
+  "/root/repo/tests/align/test_sw_linear.cpp" "tests/CMakeFiles/test_align.dir/align/test_sw_linear.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_sw_linear.cpp.o.d"
+  "/root/repo/tests/align/test_sw_profile.cpp" "tests/CMakeFiles/test_align.dir/align/test_sw_profile.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_sw_profile.cpp.o.d"
+  "/root/repo/tests/align/test_swar.cpp" "tests/CMakeFiles/test_align.dir/align/test_swar.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_swar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/repro_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/repro_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/repro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/repro_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/repro_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/repro_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/repro_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

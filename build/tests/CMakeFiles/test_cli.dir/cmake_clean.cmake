@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cli.dir/cli/test_args.cpp.o"
+  "CMakeFiles/test_cli.dir/cli/test_args.cpp.o.d"
+  "CMakeFiles/test_cli.dir/cli/test_commands.cpp.o"
+  "CMakeFiles/test_cli.dir/cli/test_commands.cpp.o.d"
+  "CMakeFiles/test_cli.dir/cli/test_commands_ext.cpp.o"
+  "CMakeFiles/test_cli.dir/cli/test_commands_ext.cpp.o.d"
+  "test_cli"
+  "test_cli.pdb"
+  "test_cli[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_affine.cpp" "tests/CMakeFiles/test_core.dir/core/test_affine.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_affine.cpp.o.d"
+  "/root/repo/tests/core/test_controller.cpp" "tests/CMakeFiles/test_core.dir/core/test_controller.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_controller.cpp.o.d"
+  "/root/repo/tests/core/test_models.cpp" "tests/CMakeFiles/test_core.dir/core/test_models.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_models.cpp.o.d"
+  "/root/repo/tests/core/test_multibase.cpp" "tests/CMakeFiles/test_core.dir/core/test_multibase.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_multibase.cpp.o.d"
+  "/root/repo/tests/core/test_multiboard.cpp" "tests/CMakeFiles/test_core.dir/core/test_multiboard.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_multiboard.cpp.o.d"
+  "/root/repo/tests/core/test_pe.cpp" "tests/CMakeFiles/test_core.dir/core/test_pe.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pe.cpp.o.d"
+  "/root/repo/tests/core/test_query_packing.cpp" "tests/CMakeFiles/test_core.dir/core/test_query_packing.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_query_packing.cpp.o.d"
+  "/root/repo/tests/core/test_systolic_schedule.cpp" "tests/CMakeFiles/test_core.dir/core/test_systolic_schedule.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_systolic_schedule.cpp.o.d"
+  "/root/repo/tests/core/test_tracer.cpp" "tests/CMakeFiles/test_core.dir/core/test_tracer.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/repro_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/repro_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/repro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/repro_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/repro_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/repro_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/repro_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_affine.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_affine.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_controller.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_controller.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_models.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_models.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_multibase.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_multibase.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_multiboard.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_multiboard.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_pe.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_pe.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_query_packing.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_query_packing.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_systolic_schedule.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_systolic_schedule.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_tracer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_tracer.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host.dir/host/test_affine_pipeline.cpp.o"
+  "CMakeFiles/test_host.dir/host/test_affine_pipeline.cpp.o.d"
+  "CMakeFiles/test_host.dir/host/test_batch.cpp.o"
+  "CMakeFiles/test_host.dir/host/test_batch.cpp.o.d"
+  "CMakeFiles/test_host.dir/host/test_fleet_scan.cpp.o"
+  "CMakeFiles/test_host.dir/host/test_fleet_scan.cpp.o.d"
+  "CMakeFiles/test_host.dir/host/test_pci.cpp.o"
+  "CMakeFiles/test_host.dir/host/test_pci.cpp.o.d"
+  "CMakeFiles/test_host.dir/host/test_pipeline.cpp.o"
+  "CMakeFiles/test_host.dir/host/test_pipeline.cpp.o.d"
+  "test_host"
+  "test_host.pdb"
+  "test_host[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

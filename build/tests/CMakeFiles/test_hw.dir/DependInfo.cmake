@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/test_module_sim.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_module_sim.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_module_sim.cpp.o.d"
+  "/root/repo/tests/hw/test_satarith.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_satarith.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_satarith.cpp.o.d"
+  "/root/repo/tests/hw/test_sram.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_sram.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_sram.cpp.o.d"
+  "/root/repo/tests/hw/test_stats.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_stats.cpp.o.d"
+  "/root/repo/tests/hw/test_vcd.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_vcd.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/repro_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/repro_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/repro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/repro_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/repro_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/repro_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/repro_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/test_module_sim.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_module_sim.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_satarith.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_satarith.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_sram.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_sram.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_stats.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_stats.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_vcd.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_vcd.cpp.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/seq/test_alphabet.cpp" "tests/CMakeFiles/test_seq.dir/seq/test_alphabet.cpp.o" "gcc" "tests/CMakeFiles/test_seq.dir/seq/test_alphabet.cpp.o.d"
+  "/root/repo/tests/seq/test_codon.cpp" "tests/CMakeFiles/test_seq.dir/seq/test_codon.cpp.o" "gcc" "tests/CMakeFiles/test_seq.dir/seq/test_codon.cpp.o.d"
+  "/root/repo/tests/seq/test_complexity.cpp" "tests/CMakeFiles/test_seq.dir/seq/test_complexity.cpp.o" "gcc" "tests/CMakeFiles/test_seq.dir/seq/test_complexity.cpp.o.d"
+  "/root/repo/tests/seq/test_fasta.cpp" "tests/CMakeFiles/test_seq.dir/seq/test_fasta.cpp.o" "gcc" "tests/CMakeFiles/test_seq.dir/seq/test_fasta.cpp.o.d"
+  "/root/repo/tests/seq/test_fastq.cpp" "tests/CMakeFiles/test_seq.dir/seq/test_fastq.cpp.o" "gcc" "tests/CMakeFiles/test_seq.dir/seq/test_fastq.cpp.o.d"
+  "/root/repo/tests/seq/test_packed.cpp" "tests/CMakeFiles/test_seq.dir/seq/test_packed.cpp.o" "gcc" "tests/CMakeFiles/test_seq.dir/seq/test_packed.cpp.o.d"
+  "/root/repo/tests/seq/test_random_mutate.cpp" "tests/CMakeFiles/test_seq.dir/seq/test_random_mutate.cpp.o" "gcc" "tests/CMakeFiles/test_seq.dir/seq/test_random_mutate.cpp.o.d"
+  "/root/repo/tests/seq/test_sequence.cpp" "tests/CMakeFiles/test_seq.dir/seq/test_sequence.cpp.o" "gcc" "tests/CMakeFiles/test_seq.dir/seq/test_sequence.cpp.o.d"
+  "/root/repo/tests/seq/test_workload.cpp" "tests/CMakeFiles/test_seq.dir/seq/test_workload.cpp.o" "gcc" "tests/CMakeFiles/test_seq.dir/seq/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/repro_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/repro_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/repro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/repro_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/repro_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/repro_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/repro_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_seq[1]_include.cmake")
+include("/root/repo/build/tests/test_align[1]_include.cmake")
+include("/root/repo/build/tests/test_hw[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_par[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_host[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swr.dir/swr.cpp.o"
+  "CMakeFiles/swr.dir/swr.cpp.o.d"
+  "swr"
+  "swr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
