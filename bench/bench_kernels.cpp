@@ -1,7 +1,18 @@
 // K — kernel microbenchmarks (google-benchmark): CUPS of every software
 // aligner and of the cycle-accurate hardware model. Supporting data for
 // E1/F3 and for the README performance table.
+//
+// Before the microbenches run, main() executes the scan-engine comparison:
+// the Table-1 workload (100 BP query vs a planted-homolog database)
+// scanned sequentially through the accelerator model and through
+// scan_database_cpu at every SIMD policy and several thread counts. The
+// GCUPS table is printed and dumped machine-readably to BENCH_scan.json.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "align/banded.hpp"
 #include "align/gotoh.hpp"
@@ -9,11 +20,16 @@
 #include "align/local_linear.hpp"
 #include "align/nw.hpp"
 #include "align/sw_antidiag.hpp"
+#include "align/sw_antidiag8.hpp"
 #include "align/sw_full.hpp"
 #include "align/sw_linear.hpp"
 #include "align/sw_profile.hpp"
+#include "bench_util.hpp"
 #include "core/accelerator.hpp"
+#include "host/batch.hpp"
+#include "host/scan_engine.hpp"
 #include "par/wavefront.hpp"
+#include "seq/mutate.hpp"
 #include "seq/packed.hpp"
 #include "seq/random.hpp"
 
@@ -181,6 +197,179 @@ void BM_LocalAlignRetrieval(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalAlignRetrieval)->Unit(benchmark::kMillisecond);
 
+// ---- scan-engine comparison (printed + BENCH_scan.json) ------------------
+
+// The Table-1-style scan workload: 100 BP query, database of 500 BP
+// records with a handful of diverged query copies planted. Default 1 MBP;
+// SWR_FULL=1 scales to the paper's 10 MBP.
+struct ScanWorkload {
+  seq::Sequence query;
+  std::vector<seq::Sequence> records;
+  std::uint64_t cells = 0;  ///< |query| * sum |record|
+};
+
+ScanWorkload make_scan_workload() {
+  ScanWorkload w;
+  const std::size_t n_records = bench::full_scale() ? 20'000 : 2'000;
+  seq::RandomSequenceGenerator gen(2024);
+  w.query = gen.uniform(seq::dna(), 100, "q");
+  w.records.reserve(n_records);
+  for (std::size_t r = 0; r < n_records; ++r) {
+    seq::Sequence rec = gen.uniform(seq::dna(), 500, "rec" + std::to_string(r));
+    if (r % 400 == 17) rec.append(seq::point_mutate(w.query, 0.05, gen.engine()));
+    w.records.push_back(std::move(rec));
+    w.cells += static_cast<std::uint64_t>(w.records.back().size()) * w.query.size();
+  }
+  return w;
+}
+
+struct ScanRow {
+  std::string name;
+  std::string engine;  // "accel_model" | "cpu"
+  std::size_t threads;
+  std::string simd;
+  double seconds;
+  double gcups;
+};
+
+const char* simd_name(host::SimdPolicy p) {
+  switch (p) {
+    case host::SimdPolicy::Scalar: return "scalar";
+    case host::SimdPolicy::Swar16: return "swar16";
+    case host::SimdPolicy::Swar8: return "swar8";
+    default: return "auto";
+  }
+}
+
+void write_scan_json(const ScanWorkload& w, const std::vector<ScanRow>& rows,
+                     double speedup_vs_seq_baseline, double speedup_vs_cpu_scalar) {
+  std::ofstream js("BENCH_scan.json");
+  js << "{\n  \"workload\": {\"query_len\": " << w.query.size()
+     << ", \"records\": " << w.records.size() << ", \"cells\": " << w.cells << "},\n";
+  js << "  \"rows\": [\n";
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const ScanRow& r = rows[k];
+    js << "    {\"name\": \"" << r.name << "\", \"engine\": \"" << r.engine
+       << "\", \"threads\": " << r.threads << ", \"simd\": \"" << r.simd
+       << "\", \"seconds\": " << r.seconds << ", \"gcups\": " << r.gcups << "}"
+       << (k + 1 < rows.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n";
+  js << "  \"speedup_par8_vs_seq_baseline\": " << speedup_vs_seq_baseline << ",\n";
+  js << "  \"speedup_par8_vs_cpu_scalar\": " << speedup_vs_cpu_scalar << "\n}\n";
+}
+
+void run_scan_comparison() {
+  bench::header("scan engines: sequential accel model vs parallel CPU (GCUPS)");
+  const ScanWorkload w = make_scan_workload();
+  std::printf("workload: %zu BP query, %zu records, %.1f MBP database (%s)\n", w.query.size(),
+              w.records.size(), static_cast<double>(w.cells) / w.query.size() / 1e6,
+              bench::full_scale() ? "SWR_FULL" : "default; SWR_FULL=1 for 10 MBP");
+
+  host::ScanOptions opt;
+  opt.top_k = 10;
+  opt.min_score = 20;
+  std::vector<ScanRow> rows;
+
+  // Sequential baseline: the seed scan path — every record simulated
+  // cycle-accurately on the 100-PE accelerator model. Measured on a
+  // subset (it is orders of magnitude slower), rate extrapolates.
+  {
+    const std::size_t subset = std::min<std::size_t>(w.records.size(), 20);
+    const std::vector<seq::Sequence> sub(w.records.begin(),
+                                         w.records.begin() + static_cast<std::ptrdiff_t>(subset));
+    core::SmithWatermanAccelerator acc(core::xc2vp70(), w.query.size(), kSc);
+    const bench::Timer t;
+    const host::ScanResult r = host::scan_database(acc, w.query, sub, opt);
+    const double sub_s = t.seconds();
+    const double full_s = sub_s * static_cast<double>(w.cells) / static_cast<double>(r.cell_updates);
+    rows.push_back({"seq accel model (extrapolated)", "accel_model", 1, "n/a", full_s,
+                    static_cast<double>(w.cells) / full_s / 1e9});
+  }
+
+  const auto cpu_row = [&](const std::string& name, std::size_t threads, host::SimdPolicy p) {
+    host::ScanOptions o = opt;
+    o.threads = threads;
+    o.simd_policy = p;
+    const bench::Timer t;
+    const host::ScanResult r = host::scan_database_cpu(w.query, w.records, kSc, o);
+    const double s = t.seconds();
+    benchmark::DoNotOptimize(&r);
+    rows.push_back(
+        {name, "cpu", threads, simd_name(p), s, static_cast<double>(w.cells) / s / 1e9});
+  };
+  cpu_row("cpu scalar, 1 thread", 1, host::SimdPolicy::Scalar);
+  cpu_row("cpu swar16, 1 thread", 1, host::SimdPolicy::Swar16);
+  cpu_row("cpu swar8, 1 thread", 1, host::SimdPolicy::Swar8);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    cpu_row("cpu auto(8-lane), " + std::to_string(threads) + " threads", threads,
+            host::SimdPolicy::Auto);
+  }
+
+  std::printf("%-34s %8s %7s %10s %10s\n", "engine", "threads", "simd", "seconds", "GCUPS");
+  bench::rule(74);
+  for (const ScanRow& r : rows) {
+    std::printf("%-34s %8zu %7s %10.4f %10.3f\n", r.name.c_str(), r.threads, r.simd.c_str(),
+                r.seconds, r.gcups);
+  }
+  bench::rule(74);
+
+  const ScanRow& par8 = rows.back();  // auto policy, 8 threads
+  const double vs_seq = rows[0].seconds / par8.seconds;
+  const double vs_scalar = rows[1].seconds / par8.seconds;
+  std::printf("parallel 8-thread engine vs sequential accel-model scan: %.1fx\n", vs_seq);
+  std::printf("parallel 8-thread engine vs cpu scalar 1-thread:         %.2fx\n", vs_scalar);
+  write_scan_json(w, rows, vs_seq, vs_scalar);
+  std::printf("machine-readable dump: BENCH_scan.json\n");
+}
+
+// Scan-engine microbenches: whole-database GCUPS per policy/thread count.
+void BM_ScanCpu(benchmark::State& state) {
+  static const ScanWorkload w = make_scan_workload();
+  host::ScanOptions opt;
+  opt.top_k = 10;
+  opt.min_score = 20;
+  opt.threads = static_cast<std::size_t>(state.range(0));
+  opt.simd_policy = static_cast<host::SimdPolicy>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(host::scan_database_cpu(w.query, w.records, kSc, opt));
+  }
+  state.counters["GCUPS"] = benchmark::Counter(
+      static_cast<double>(w.cells) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+  state.SetLabel(std::string(simd_name(opt.simd_policy)) + "/" +
+                 std::to_string(opt.threads) + "t");
+}
+BENCHMARK(BM_ScanCpu)
+    ->Args({1, static_cast<int>(host::SimdPolicy::Scalar)})
+    ->Args({1, static_cast<int>(host::SimdPolicy::Swar16)})
+    ->Args({1, static_cast<int>(host::SimdPolicy::Swar8)})
+    ->Args({2, static_cast<int>(host::SimdPolicy::Auto)})
+    ->Args({8, static_cast<int>(host::SimdPolicy::Auto)})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_SwAntiDiag8(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const seq::Sequence a = make_dna(100'000, 1);
+  const seq::Sequence b = make_dna(m, 2);
+  align::Antidiag8Workspace ws;
+  for (auto _ : state) {
+    // Random DNA vs random DNA stays far below 255, so this measures the
+    // 8-lane fast path (the common case in a database scan).
+    benchmark::DoNotOptimize(align::sw_antidiag8_try(a.codes(), b.codes(), kSc, ws));
+  }
+  report_cups(state, a.size(), b.size());
+}
+BENCHMARK(BM_SwAntiDiag8)->Arg(100)->Arg(400);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  run_scan_comparison();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

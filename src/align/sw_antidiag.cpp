@@ -65,6 +65,13 @@ bool antidiag_swar_applicable(std::size_t a_len, std::size_t b_len, const Scorin
 
 LocalScoreResult sw_linear_antidiag_codes(std::span<const seq::Code> a,
                                           std::span<const seq::Code> b, const Scoring& sc) {
+  AntidiagWorkspace ws;
+  return sw_linear_antidiag_codes(a, b, sc, ws);
+}
+
+LocalScoreResult sw_linear_antidiag_codes(std::span<const seq::Code> a,
+                                          std::span<const seq::Code> b, const Scoring& sc,
+                                          AntidiagWorkspace& ws) {
   sc.validate();
   if (!antidiag_swar_applicable(a.size(), b.size(), sc)) {
     return sw_linear_codes(a, b, sc);  // scalar fallback, identical semantics
@@ -87,17 +94,18 @@ LocalScoreResult sw_linear_antidiag_codes(std::span<const seq::Code> a,
   // Reversed copy of b: anti-diagonal lanes walk b backwards, so the
   // reversed array turns the per-lane gather into one contiguous 4-byte
   // load (uniform-scoring fast path).
-  std::vector<seq::Code> rb(b.rbegin(), b.rend());
+  ws.rb.assign(b.rbegin(), b.rend());
+  const seq::Code* const rb = ws.rb.data();
 
   // Three rotating anti-diagonal buffers indexed by row i (0..m+1); index
   // i holds H(i, d - i) for that buffer's diagonal. Zero-initialised so
   // never-yet-active indices read as matrix borders.
-  std::vector<std::uint16_t> buf0(m + 2, 0);
-  std::vector<std::uint16_t> buf1(m + 2, 0);
-  std::vector<std::uint16_t> buf2(m + 2, 0);
-  std::uint16_t* prev2 = buf0.data();
-  std::uint16_t* prev = buf1.data();
-  std::uint16_t* cur = buf2.data();
+  ws.buf0.assign(m + 2, 0);
+  ws.buf1.assign(m + 2, 0);
+  ws.buf2.assign(m + 2, 0);
+  std::uint16_t* prev2 = ws.buf0.data();
+  std::uint16_t* prev = ws.buf1.data();
+  std::uint16_t* cur = ws.buf2.data();
 
   const auto fold_lane = [&](std::size_t i, std::size_t d, std::uint16_t v) {
     const Score s = static_cast<Score>(v);
@@ -119,7 +127,7 @@ LocalScoreResult sw_linear_antidiag_codes(std::span<const seq::Code> a,
       std::uint64_t subb;
       if (uniform) {
         const std::uint64_t ax = load4_bytes_to_lanes(a.data() + (i - 1));
-        const std::uint64_t bx = load4_bytes_to_lanes(rb.data() + (n - d + i));
+        const std::uint64_t bx = load4_bytes_to_lanes(rb + (n - d + i));
         const std::uint64_t z = ax ^ bx;
         // Lanes with z != 0 (codes are tiny; the +0x7FFF trick sets the
         // high bit exactly on nonzero lanes).

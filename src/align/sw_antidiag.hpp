@@ -14,12 +14,21 @@
 // O(|a|) (three anti-diagonal buffers).
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "align/result.hpp"
 #include "seq/sequence.hpp"
 
 namespace swr::align {
+
+/// Scratch buffers for the 16-bit kernel, reusable across records so a
+/// database scan allocates once per worker thread, not once per record.
+struct AntidiagWorkspace {
+  std::vector<std::uint16_t> buf0, buf1, buf2;  ///< rotating anti-diagonals
+  std::vector<seq::Code> rb;                    ///< reversed copy of b
+};
 
 /// Anti-diagonal SWAR SW over a (rows) vs b (columns).
 /// @throws std::invalid_argument on alphabet mismatch / invalid scoring.
@@ -29,6 +38,12 @@ LocalScoreResult sw_linear_antidiag(const seq::Sequence& a, const seq::Sequence&
 /// Raw-span variant.
 LocalScoreResult sw_linear_antidiag_codes(std::span<const seq::Code> a,
                                           std::span<const seq::Code> b, const Scoring& sc);
+
+/// Raw-span variant with caller-owned scratch (the scan engine's per-thread
+/// reuse path — identical results, no per-record allocation).
+LocalScoreResult sw_linear_antidiag_codes(std::span<const seq::Code> a,
+                                          std::span<const seq::Code> b, const Scoring& sc,
+                                          AntidiagWorkspace& ws);
 
 /// True when the SWAR path can run for these shapes (16-bit score bound
 /// holds); false means the functions above take the scalar fallback.

@@ -1,0 +1,188 @@
+#include "align/sw_antidiag8.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "align/sw_antidiag.hpp"
+#include "align/swar8.hpp"
+
+namespace swr::align {
+namespace {
+
+using namespace swar;
+
+// Unaligned 8-lane load/store on byte buffers.
+std::uint64_t load8(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+void store8(std::uint8_t* p, std::uint64_t v) { std::memcpy(p, &v, sizeof v); }
+
+struct SchemeMagnitudes {
+  Score max_sub = 0;  // largest substitution entry
+  Score min_sub = 0;  // smallest
+  Score gap_mag = 0;  // -gap
+};
+
+SchemeMagnitudes scheme_magnitudes(const Scoring& sc) {
+  SchemeMagnitudes m;
+  if (sc.matrix != nullptr) {
+    m.max_sub = sc.matrix->max_entry();
+    m.min_sub = sc.matrix->min_entry();
+  } else {
+    m.max_sub = sc.match;
+    m.min_sub = std::min(sc.mismatch, sc.match);
+  }
+  m.gap_mag = -sc.gap;
+  return m;
+}
+
+// The per-update constants must themselves fit a lane; otherwise the 8-bit
+// path is structurally unusable (not merely overflow-prone).
+bool magnitudes_fit(const SchemeMagnitudes& m) {
+  return m.max_sub <= 0xFF && -m.min_sub <= 0xFF && m.gap_mag <= 0xFF;
+}
+
+}  // namespace
+
+bool antidiag8_guaranteed(std::size_t a_len, std::size_t b_len, const Scoring& sc) {
+  const SchemeMagnitudes m = scheme_magnitudes(sc);
+  if (!magnitudes_fit(m)) return false;
+  if (m.max_sub <= 0) return true;  // scores stay at 0 anyway
+  const std::size_t shorter = std::min(a_len, b_len);
+  return static_cast<std::uint64_t>(shorter) * static_cast<std::uint64_t>(m.max_sub) <= 0xFF;
+}
+
+std::optional<LocalScoreResult> sw_antidiag8_try(std::span<const seq::Code> a,
+                                                 std::span<const seq::Code> b, const Scoring& sc,
+                                                 Antidiag8Workspace& ws) {
+  sc.validate();
+  const SchemeMagnitudes mags = scheme_magnitudes(sc);
+  if (!magnitudes_fit(mags)) return std::nullopt;
+
+  LocalScoreResult best;
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  if (m == 0 || n == 0) return best;
+
+  // Unlike the biased 16-bit kernel, positive and negative substitution
+  // contributions are applied separately (saturating add, then saturating
+  // subtract), so cell values carry no bias: the full 0..255 range is
+  // usable and a score of exactly 255 is still representable exactly.
+  const bool uniform = (sc.matrix == nullptr);
+  const std::uint64_t match_v = broadcast8(static_cast<std::uint8_t>(sc.match));
+  const std::uint64_t mmpos_v =
+      broadcast8(static_cast<std::uint8_t>(sc.mismatch > 0 ? sc.mismatch : 0));
+  const std::uint64_t mmneg_v =
+      broadcast8(static_cast<std::uint8_t>(sc.mismatch < 0 ? -sc.mismatch : 0));
+  const std::uint64_t gpen_v = broadcast8(static_cast<std::uint8_t>(mags.gap_mag));
+
+  // Reversed copy of b: anti-diagonal lanes walk b backwards, so the
+  // reversed array turns the per-lane gather into one contiguous 8-byte
+  // load (uniform-scoring fast path).
+  ws.rb.assign(b.rbegin(), b.rend());
+  const seq::Code* const rb = ws.rb.data();
+
+  // Three rotating anti-diagonal buffers indexed by row i (0..m+1); index
+  // i holds H(i, d - i) for that buffer's diagonal. Zero-initialised so
+  // never-yet-active indices read as matrix borders.
+  ws.buf0.assign(m + 2, 0);
+  ws.buf1.assign(m + 2, 0);
+  ws.buf2.assign(m + 2, 0);
+  std::uint8_t* prev2 = ws.buf0.data();
+  std::uint8_t* prev = ws.buf1.data();
+  std::uint8_t* cur = ws.buf2.data();
+
+  const auto fold_lane = [&](std::size_t i, std::size_t d, std::uint8_t v) {
+    const Score s = static_cast<Score>(v);
+    const Cell cell{i, d - i};
+    if (s > best.score || (s == best.score && s > 0 && tie_break_prefers(cell, best.end))) {
+      best.score = s;
+      best.end = cell;
+    }
+  };
+
+  for (std::size_t d = 2; d <= m + n; ++d) {
+    const std::size_t ilo = d > n ? d - n : 1;
+    const std::size_t ihi = std::min(m, d - 1);
+    std::size_t i = ilo;
+    std::uint64_t ovf = 0;
+
+    // Vector body: eight rows at a time.
+    for (; i + 7 <= ihi; i += 8) {
+      // Positive / negative substitution lanes for rows i..i+7 (columns
+      // d-i..d-i-7).
+      std::uint64_t sub_pos;
+      std::uint64_t sub_neg;
+      if (uniform) {
+        // Codes are one byte: eight consecutive residues ARE eight lanes.
+        const std::uint64_t ax = load8(a.data() + (i - 1));
+        const std::uint64_t bx = load8(rb + (n - d + i));
+        const std::uint64_t eq = eq_mask8_small(ax, bx);
+        sub_pos = (match_v & eq) | (mmpos_v & ~eq);
+        sub_neg = mmneg_v & ~eq;
+      } else {
+        sub_pos = 0;
+        sub_neg = 0;
+        for (unsigned k = 0; k < 8; ++k) {
+          const Score s = sc.substitution(a[i + k - 1], b[d - i - k - 1]);
+          sub_pos = set_lane8(sub_pos, k, static_cast<std::uint8_t>(s > 0 ? s : 0));
+          sub_neg = set_lane8(sub_neg, k, static_cast<std::uint8_t>(s < 0 ? -s : 0));
+        }
+      }
+
+      const std::uint64_t diag = load8(prev2 + i - 1);
+      const std::uint64_t up = load8(prev + i - 1);
+      const std::uint64_t left = load8(prev + i);
+      const std::uint64_t diag_path = sats8(add8_sat(diag, sub_pos, ovf), sub_neg);
+      const std::uint64_t gap_path = sats8(max8(up, left), gpen_v);
+      const std::uint64_t h = max8(diag_path, gap_path);
+      store8(cur + i, h);
+
+      const std::uint8_t chunk_max = hmax8(h);
+      if (chunk_max >= static_cast<std::uint8_t>(best.score) && chunk_max > 0) {
+        for (unsigned k = 0; k < 8; ++k) fold_lane(i + k, d, lane8(h, k));
+      }
+    }
+
+    // Scalar tail.
+    for (; i <= ihi; ++i) {
+      const Score sub = sc.substitution(a[i - 1], b[d - i - 1]);
+      Score v = static_cast<Score>(prev2[i - 1]) + sub;
+      v = std::max(v, static_cast<Score>(std::max(prev[i - 1], prev[i])) + sc.gap);
+      v = std::max(v, Score{0});
+      if (v > 0xFF) return std::nullopt;  // lane range exceeded
+      cur[i] = static_cast<std::uint8_t>(v);
+      if (v > 0) fold_lane(i, d, static_cast<std::uint8_t>(v));
+    }
+
+    // A saturated lane means some cell's true value exceeds 255; every
+    // later cell could depend on it, so bail out for the 16-bit re-run
+    // before the clamp can propagate.
+    if (ovf != 0) return std::nullopt;
+
+    std::uint8_t* recycled = prev2;
+    prev2 = prev;
+    prev = cur;
+    cur = recycled;
+  }
+  return best;
+}
+
+LocalScoreResult sw_linear_antidiag8_codes(std::span<const seq::Code> a,
+                                           std::span<const seq::Code> b, const Scoring& sc) {
+  Antidiag8Workspace ws;
+  if (const auto r = sw_antidiag8_try(a, b, sc, ws)) return *r;
+  return sw_linear_antidiag_codes(a, b, sc);  // 16-bit lanes, scalar beyond
+}
+
+LocalScoreResult sw_linear_antidiag8(const seq::Sequence& a, const seq::Sequence& b,
+                                     const Scoring& sc) {
+  if (a.alphabet().id() != b.alphabet().id()) {
+    throw std::invalid_argument("sw_linear_antidiag8: alphabet mismatch");
+  }
+  return sw_linear_antidiag8_codes(a.codes(), b.codes(), sc);
+}
+
+}  // namespace swr::align

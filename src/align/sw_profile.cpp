@@ -19,13 +19,19 @@ QueryProfile::QueryProfile(const seq::Sequence& query, const Scoring& sc)
 }
 
 LocalScoreResult sw_linear_profiled(std::span<const seq::Code> a, const QueryProfile& profile) {
+  std::vector<Score> row;
+  return sw_linear_profiled(a, profile, row);
+}
+
+LocalScoreResult sw_linear_profiled(std::span<const seq::Code> a, const QueryProfile& profile,
+                                    std::vector<Score>& row_scratch) {
   const std::size_t n = profile.query_len();
   const Score gap = profile.scoring().gap;
   LocalScoreResult best;
   if (n == 0 || a.empty()) return best;
 
-  std::vector<Score> row(n + 1, 0);
-  Score* const h = row.data();
+  row_scratch.assign(n + 1, 0);
+  Score* const h = row_scratch.data();
 
   for (std::size_t i = 1; i <= a.size(); ++i) {
     const Score* const prof = profile.row(a[i - 1]);

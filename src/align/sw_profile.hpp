@@ -44,6 +44,11 @@ class QueryProfile {
 /// (columns). Identical results to sw_linear(a, query, sc).
 LocalScoreResult sw_linear_profiled(std::span<const seq::Code> a, const QueryProfile& profile);
 
+/// As above with a caller-owned DP row (the scan engine's per-thread reuse
+/// path — identical results, no per-record allocation).
+LocalScoreResult sw_linear_profiled(std::span<const seq::Code> a, const QueryProfile& profile,
+                                    std::vector<Score>& row_scratch);
+
 /// Convenience wrapper building the profile on the fly.
 LocalScoreResult sw_linear_profiled(const seq::Sequence& a, const seq::Sequence& query,
                                     const Scoring& sc);

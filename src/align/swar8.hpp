@@ -1,0 +1,104 @@
+// SWAR (SIMD within a register) primitives: eight 8-bit unsigned lanes in
+// one uint64_t.
+//
+// The 16-bit four-lane primitives (align/swar.hpp) rely on a "no high bit"
+// invariant to make plain uint64 arithmetic carry-safe. Database scans,
+// however, are dominated by records whose best local score is tiny —
+// random DNA against a 100 BP query rarely scores above a few dozen — so
+// halving the lane width doubles the cells updated per arithmetic op. At 8
+// bits the no-high-bit invariant would cap scores at 127, which is too
+// tight; these primitives therefore work over the FULL 0..255 lane range
+// using the classic split-the-high-bit formulations, and the saturating
+// add reports per-lane carry-outs so a kernel can detect overflow exactly
+// and lazily re-run the affected record in 16-bit lanes.
+#pragma once
+
+#include <cstdint>
+
+namespace swr::align::swar {
+
+inline constexpr std::uint64_t kHi8 = 0x8080'8080'8080'8080ULL;
+inline constexpr std::uint64_t kLo8 = 0x0101'0101'0101'0101ULL;
+inline constexpr std::uint64_t kLow7 = 0x7F7F'7F7F'7F7F'7F7FULL;
+
+/// Broadcasts an 8-bit value to all eight lanes.
+[[nodiscard]] constexpr std::uint64_t broadcast8(std::uint8_t v) noexcept {
+  return kLo8 * v;
+}
+
+/// Extracts lane `k` (0 = least significant).
+[[nodiscard]] constexpr std::uint8_t lane8(std::uint64_t x, unsigned k) noexcept {
+  return static_cast<std::uint8_t>(x >> (8 * k));
+}
+
+/// Replaces lane `k`.
+[[nodiscard]] constexpr std::uint64_t set_lane8(std::uint64_t x, unsigned k,
+                                                std::uint8_t v) noexcept {
+  const unsigned sh = 8 * k;
+  return (x & ~(0xFFULL << sh)) | (static_cast<std::uint64_t>(v) << sh);
+}
+
+/// Per-lane wrapped add over the full 0..255 range: low 7 bits are summed
+/// carry-safely, the high bit is recombined by xor.
+[[nodiscard]] constexpr std::uint64_t add8_wrap(std::uint64_t x, std::uint64_t y) noexcept {
+  return ((x & kLow7) + (y & kLow7)) ^ ((x ^ y) & kHi8);
+}
+
+/// Per-lane saturating add (full range). Lanes whose true sum exceeds 255
+/// clamp to 255 and set their high-bit position in `*overflow` (sticky —
+/// the caller ORs runs together and checks once per diagonal).
+[[nodiscard]] constexpr std::uint64_t add8_sat(std::uint64_t x, std::uint64_t y,
+                                               std::uint64_t& overflow) noexcept {
+  const std::uint64_t sum = add8_wrap(x, y);
+  // Carry out of bit 7 per lane: majority(x7, y7, ~sum7).
+  const std::uint64_t carry = ((x & y) | ((x | y) & ~sum)) & kHi8;
+  overflow |= carry;
+  return sum | ((carry >> 7) * 0xFF);
+}
+
+/// Per-lane mask (0xFF / 0x00): lanes where x >= y, full unsigned range.
+[[nodiscard]] constexpr std::uint64_t ge_mask8(std::uint64_t x, std::uint64_t y) noexcept {
+  // Compare the low 7 bits borrow-safely, then resolve with the high bits:
+  // x >= y  iff  x7 > y7, or x7 == y7 and low(x) >= low(y).
+  const std::uint64_t low_ge = (((x & kLow7) | kHi8) - (y & kLow7)) & kHi8;
+  const std::uint64_t xh = x & kHi8;
+  const std::uint64_t yh = y & kHi8;
+  const std::uint64_t ge = (xh & ~yh) | (~(xh ^ yh) & low_ge);
+  return ((ge & kHi8) >> 7) * 0xFF;
+}
+
+/// Per-lane maximum (full range).
+[[nodiscard]] constexpr std::uint64_t max8(std::uint64_t x, std::uint64_t y) noexcept {
+  const std::uint64_t m = ge_mask8(x, y);
+  return (x & m) | (y & ~m);
+}
+
+/// Per-lane saturating subtract: max(x - y, 0) (full range). In lanes
+/// where x >= y the subtrahend is kept and the lane-local subtraction
+/// cannot borrow; elsewhere the subtrahend is masked to zero and the
+/// result is zeroed, so no borrow ever crosses a lane boundary.
+[[nodiscard]] constexpr std::uint64_t sats8(std::uint64_t x, std::uint64_t y) noexcept {
+  const std::uint64_t m = ge_mask8(x, y);
+  return (x - (y & m)) & m;
+}
+
+/// Per-lane equality mask (0xFF / 0x00) for SMALL values (< 0x80 in every
+/// lane — residue codes qualify): z + 0x7F sets the high bit exactly on
+/// nonzero lanes without crossing lane boundaries.
+[[nodiscard]] constexpr std::uint64_t eq_mask8_small(std::uint64_t x, std::uint64_t y) noexcept {
+  const std::uint64_t z = x ^ y;
+  const std::uint64_t ne = (((z + kLow7) & kHi8) >> 7) * 0xFF;
+  return ~ne;
+}
+
+/// Horizontal maximum across the eight lanes.
+[[nodiscard]] constexpr std::uint8_t hmax8(std::uint64_t x) noexcept {
+  std::uint8_t best = 0;
+  for (unsigned k = 0; k < 8; ++k) {
+    const std::uint8_t v = lane8(x, k);
+    if (v > best) best = v;
+  }
+  return best;
+}
+
+}  // namespace swr::align::swar

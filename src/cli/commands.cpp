@@ -15,6 +15,7 @@
 #include "cli/args.hpp"
 #include "core/accelerator.hpp"
 #include "host/batch.hpp"
+#include "host/scan_engine.hpp"
 #include "seq/codon.hpp"
 #include "seq/fasta.hpp"
 #include "seq/fastq.hpp"
@@ -156,12 +157,23 @@ int cmd_align(const std::vector<std::string>& argv, std::ostream& out) {
   return 0;
 }
 
+host::SimdPolicy simd_policy_by_name(const std::string& name) {
+  if (name == "auto") return host::SimdPolicy::Auto;
+  if (name == "scalar") return host::SimdPolicy::Scalar;
+  if (name == "swar16") return host::SimdPolicy::Swar16;
+  if (name == "swar8") return host::SimdPolicy::Swar8;
+  throw ArgError("unknown simd policy '" + name + "' (auto|scalar|swar16|swar8)");
+}
+
 int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
   ArgParser args;
   args.option("alphabet", "dna")
       .option("top", "10")
       .option("min-score", "20")
       .option("pes", "100")
+      .option("engine", "auto")
+      .option("threads", "1")
+      .option("simd", "auto")
       .option("match")
       .option("mismatch")
       .option("gap");
@@ -171,15 +183,36 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
   }
   const seq::Alphabet& ab = alphabet_by_name(args.get("alphabet"));
   const align::Scoring sc = scoring_from(args, ab);
-  const seq::Sequence query = first_record(args.positionals()[0], ab);
-  const auto records = seq::read_fasta_file(args.positionals()[1], ab);
 
-  core::SmithWatermanAccelerator acc(core::xc2vp70(),
-                                     static_cast<std::size_t>(args.get_int("pes")), sc);
   host::ScanOptions opt;
   opt.top_k = static_cast<std::size_t>(args.get_int("top"));
   opt.min_score = static_cast<align::Score>(args.get_int("min-score"));
-  const host::ScanResult scan = host::scan_database(acc, query, records, opt);
+  opt.threads = static_cast<std::size_t>(args.get_int("threads"));
+  opt.simd_policy = simd_policy_by_name(args.get("simd"));
+
+  // "auto" keeps the accelerator model for sequential runs (the paper's
+  // board) and switches to the parallel CPU engine when threads are asked
+  // for. Both report bit-identical hits; tests enforce it.
+  const std::string engine_name = args.get("engine");
+  if (engine_name != "auto" && engine_name != "accel" && engine_name != "cpu") {
+    throw ArgError("unknown engine '" + engine_name + "' (auto|accel|cpu)");
+  }
+  const bool use_cpu = engine_name == "cpu" || (engine_name == "auto" && opt.threads > 1);
+  if (!use_cpu && opt.threads > 1) {
+    throw ArgError("--engine accel is single-threaded; use --engine cpu with --threads");
+  }
+
+  const seq::Sequence query = first_record(args.positionals()[0], ab);
+  const auto records = seq::read_fasta_file(args.positionals()[1], ab);
+
+  host::ScanResult scan;
+  if (use_cpu) {
+    scan = host::scan_database_cpu(query, records, sc, opt);
+  } else {
+    core::SmithWatermanAccelerator acc(core::xc2vp70(),
+                                       static_cast<std::size_t>(args.get_int("pes")), sc);
+    scan = host::scan_database(acc, query, records, opt);
+  }
 
   const align::KarlinParams kp = align::solve_karlin_uniform(sc, ab.size());
   std::uint64_t total = 0;
@@ -340,6 +373,8 @@ std::string usage() {
          "                       [--pes N]\n"
          "                       [--affine --gap-open N --gap-extend N]\n"
          "  scan <query.fa> <db.fa>  [--top K] [--min-score S] [--pes N] [--alphabet ...]\n"
+         "                       [--engine auto|accel|cpu] [--threads N]\n"
+         "                       [--simd auto|scalar|swar16|swar8]\n"
          "  nearbest <a.fa> <b.fa>  [--max K] [--min-score S]\n"
          "  map <reads.fq> <reference.fa>  [--k N] [--pad N] [--min-score S]\n"
          "  translate <dna.fa>  [--frame 0|1|2 | --six]\n"

@@ -16,6 +16,17 @@ bool hit_ranks_before(const Hit& x, const Hit& y) {
 void ScanOptions::validate() const {
   if (top_k == 0) throw std::invalid_argument("ScanOptions: zero top_k");
   if (min_score < 1) throw std::invalid_argument("ScanOptions: min_score must be >= 1");
+  if (threads == 0) throw std::invalid_argument("ScanOptions: zero threads");
+}
+
+bool dust_suppressed(const seq::Sequence& rec, const align::Cell& end, const ScanOptions& opt) {
+  if (!opt.dust_filter || rec.alphabet().id() != seq::AlphabetId::Dna) return false;
+  const auto masks = seq::find_low_complexity(rec, opt.dust_window, opt.dust_threshold);
+  const std::size_t end_pos = end.i;  // 1-based
+  for (const seq::MaskedInterval& iv : masks) {
+    if (end_pos > iv.begin && end_pos <= iv.end) return true;
+  }
+  return false;
 }
 
 ScanResult scan_database(core::SmithWatermanAccelerator& accelerator, const seq::Sequence& query,
@@ -34,18 +45,7 @@ ScanResult scan_database(core::SmithWatermanAccelerator& accelerator, const seq:
     out.cell_updates += job.stats.cell_updates;
     out.board_seconds += job.seconds;
     if (job.best.score < opt.min_score) continue;
-    if (opt.dust_filter && rec.alphabet().id() == seq::AlphabetId::Dna) {
-      const auto masks = seq::find_low_complexity(rec, opt.dust_window, opt.dust_threshold);
-      const std::size_t end_pos = job.best.end.i;  // 1-based
-      bool masked = false;
-      for (const seq::MaskedInterval& iv : masks) {
-        if (end_pos > iv.begin && end_pos <= iv.end) {
-          masked = true;
-          break;
-        }
-      }
-      if (masked) continue;
-    }
+    if (dust_suppressed(rec, job.best.end, opt)) continue;
 
     Hit hit;
     hit.record = r;

@@ -28,6 +28,14 @@ struct Hit {
 /// cell order — fully deterministic.
 bool hit_ranks_before(const Hit& x, const Hit& y);
 
+/// SIMD lane policy for the software (CPU) scan engine.
+enum class SimdPolicy {
+  Auto,    ///< widest first: 8-bit lanes, overflow re-runs in 16-bit, then scalar
+  Scalar,  ///< query-profile scalar kernel only
+  Swar16,  ///< four 16-bit lanes (scalar fallback when the bound fails)
+  Swar8,   ///< eight 8-bit lanes with saturation-detect + lazy 16-bit re-run
+};
+
 /// Scan configuration.
 struct ScanOptions {
   std::size_t top_k = 10;       ///< hits to keep
@@ -40,8 +48,21 @@ struct ScanOptions {
   std::size_t dust_window = 64;
   double dust_threshold = 2.0;
 
+  /// Worker threads for the parallel engines (scan_database_cpu shards
+  /// records across them; scan_database_fleet drives one board per
+  /// worker). 1 = fully sequential. Results are bit-identical across
+  /// thread counts — tests enforce it.
+  std::size_t threads = 1;
+
+  /// Kernel selection for scan_database_cpu.
+  SimdPolicy simd_policy = SimdPolicy::Auto;
+
   void validate() const;
 };
+
+/// True when `opt.dust_filter` suppresses a hit ending at `end` inside
+/// `rec` — shared by every scan engine so filtering stays bit-identical.
+bool dust_suppressed(const seq::Sequence& rec, const align::Cell& end, const ScanOptions& opt);
 
 /// Outcome of a scan.
 struct ScanResult {

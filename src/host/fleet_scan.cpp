@@ -1,42 +1,108 @@
 #include "host/fleet_scan.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <functional>
+#include <mutex>
 #include <stdexcept>
 
+#include "par/thread_pool.hpp"
+
 namespace swr::host {
+namespace {
 
-ScanResult scan_database_fleet(core::BoardFleet& fleet, const seq::Sequence& query,
-                               const std::vector<seq::Sequence>& records,
-                               const ScanOptions& opt) {
-  if (fleet.empty()) throw std::invalid_argument("scan_database_fleet: empty fleet");
-  opt.validate();
+// One board's share of the scan: records r with r % boards == board,
+// scored on that board's own accelerator, folded into a private top-k.
+// Used by both the sequential and the threaded fleet paths so results
+// stay bit-identical.
+struct BoardPartial {
+  std::vector<Hit> hits;
+  std::uint64_t cell_updates = 0;
+  double board_seconds = 0.0;
+};
 
-  ScanResult out;
-  std::vector<double> board_seconds(fleet.size(), 0.0);
-  for (std::size_t r = 0; r < records.size(); ++r) {
+BoardPartial scan_board_share(core::SmithWatermanAccelerator& board, std::size_t board_idx,
+                              std::size_t num_boards, const seq::Sequence& query,
+                              const std::vector<seq::Sequence>& records, const ScanOptions& opt) {
+  BoardPartial p;
+  for (std::size_t r = board_idx; r < records.size(); r += num_boards) {
     const seq::Sequence& rec = records[r];
-    if (rec.alphabet().id() != query.alphabet().id()) {
-      throw std::invalid_argument("scan_database_fleet: record " + std::to_string(r) +
-                                  " alphabet mismatch");
-    }
-    ++out.records_scanned;
     if (rec.empty() || query.empty()) continue;
-    const std::size_t board = r % fleet.size();
-    const core::JobResult job = fleet[board]->run(query, rec);
-    out.cell_updates += job.stats.cell_updates;
-    board_seconds[board] += job.seconds;
+    const core::JobResult job = board.run(query, rec);
+    p.cell_updates += job.stats.cell_updates;
+    p.board_seconds += job.seconds;
     if (job.best.score < opt.min_score) continue;
 
     Hit hit;
     hit.record = r;
     hit.result = job.best;
     hit.board_seconds = job.seconds;
-    const auto pos = std::upper_bound(out.hits.begin(), out.hits.end(), hit, hit_ranks_before);
-    out.hits.insert(pos, std::move(hit));
-    if (out.hits.size() > opt.top_k) out.hits.pop_back();
+    const auto pos = std::upper_bound(p.hits.begin(), p.hits.end(), hit, hit_ranks_before);
+    p.hits.insert(pos, std::move(hit));
+    if (p.hits.size() > opt.top_k) p.hits.pop_back();
   }
+  return p;
+}
+
+}  // namespace
+
+ScanResult scan_database_fleet(core::BoardFleet& fleet, const seq::Sequence& query,
+                               const std::vector<seq::Sequence>& records,
+                               const ScanOptions& opt) {
+  if (fleet.empty()) throw std::invalid_argument("scan_database_fleet: empty fleet");
+  opt.validate();
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    if (records[r].alphabet().id() != query.alphabet().id()) {
+      throw std::invalid_argument("scan_database_fleet: record " + std::to_string(r) +
+                                  " alphabet mismatch");
+    }
+  }
+
+  // Each accelerator is stateful, so a board is the unit of parallelism:
+  // with opt.threads > 1 every pool worker drives whole boards. The record
+  // -> board assignment (round-robin) and the per-board fold are the same
+  // either way, and the final merge is a total order, so hits are
+  // bit-identical to the sequential fleet scan.
+  std::vector<BoardPartial> partials(fleet.size());
+  const std::size_t threads = std::min(opt.threads, fleet.size());
+  if (threads <= 1) {
+    for (std::size_t b = 0; b < fleet.size(); ++b) {
+      partials[b] = scan_board_share(*fleet[b], b, fleet.size(), query, records, opt);
+    }
+  } else {
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+    par::ThreadPool pool(threads);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(fleet.size());
+    for (std::size_t b = 0; b < fleet.size(); ++b) {
+      tasks.emplace_back([&, b] {
+        try {
+          partials[b] = scan_board_share(*fleet[b], b, fleet.size(), query, records, opt);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    pool.submit_bulk(std::move(tasks));
+    pool.wait_idle();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  ScanResult out;
+  out.records_scanned = records.size();
+  double busiest = 0.0;
+  for (BoardPartial& p : partials) {
+    out.cell_updates += p.cell_updates;
+    busiest = std::max(busiest, p.board_seconds);
+    out.hits.insert(out.hits.end(), std::make_move_iterator(p.hits.begin()),
+                    std::make_move_iterator(p.hits.end()));
+  }
+  std::sort(out.hits.begin(), out.hits.end(), hit_ranks_before);
+  if (out.hits.size() > opt.top_k) out.hits.resize(opt.top_k);
   // Boards run in parallel: the fleet finishes with its busiest member.
-  out.board_seconds = *std::max_element(board_seconds.begin(), board_seconds.end());
+  out.board_seconds = busiest;
   return out;
 }
 

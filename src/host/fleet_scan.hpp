@@ -9,10 +9,12 @@
 namespace swr::host {
 
 /// Fleet version of scan_database: records are distributed round-robin
-/// over the boards (simulated sequentially, modelled as parallel — the
-/// reported board time is the busiest board's). Hit results are identical
-/// to the single-board scan (tests enforce it); only the time model
-/// changes.
+/// over the boards (modelled as parallel — the reported board time is the
+/// busiest board's). With `opt.threads > 1` the board simulations
+/// themselves run concurrently on a par::ThreadPool, one worker per board
+/// (each accelerator is stateful, so a board is the unit of parallelism).
+/// Hit results are identical to the single-board scan for every thread
+/// count (tests enforce it); only the wall time changes.
 /// @throws std::invalid_argument on an empty fleet / bad options.
 ScanResult scan_database_fleet(core::BoardFleet& fleet, const seq::Sequence& query,
                                const std::vector<seq::Sequence>& records,

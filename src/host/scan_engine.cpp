@@ -1,0 +1,151 @@
+#include "host/scan_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+
+#include "align/sw_antidiag.hpp"
+#include "align/sw_antidiag8.hpp"
+#include "align/sw_profile.hpp"
+#include "par/thread_pool.hpp"
+
+namespace swr::host {
+namespace {
+
+// Everything one worker owns: the reusable query profile, kernel scratch,
+// and its private top-k. Built once per thread, reused for every record
+// the thread claims — the per-record setup cost is paid exactly once.
+struct Worker {
+  Worker(const seq::Sequence& query, const align::Scoring& sc) : profile(query, sc) {}
+
+  align::QueryProfile profile;
+  std::vector<align::Score> row;  // scalar kernel DP row
+  align::AntidiagWorkspace ws16;
+  align::Antidiag8Workspace ws8;
+  std::vector<Hit> hits;  // sorted by hit_ranks_before, size <= top_k
+  std::uint64_t cell_updates = 0;
+};
+
+align::LocalScoreResult score_record(std::span<const seq::Code> rec,
+                                     std::span<const seq::Code> query, const align::Scoring& sc,
+                                     SimdPolicy policy, Worker& w) {
+  switch (policy) {
+    case SimdPolicy::Scalar:
+      return align::sw_linear_profiled(rec, w.profile, w.row);
+    case SimdPolicy::Swar16:
+      if (align::antidiag_swar_applicable(rec.size(), query.size(), sc)) {
+        return align::sw_linear_antidiag_codes(rec, query, sc, w.ws16);
+      }
+      return align::sw_linear_profiled(rec, w.profile, w.row);
+    case SimdPolicy::Auto:
+    case SimdPolicy::Swar8:
+      // Widest first; a saturated lane aborts the 8-bit pass at the end of
+      // the offending diagonal and the record lazily re-runs one tier down.
+      if (const auto r = align::sw_antidiag8_try(rec, query, sc, w.ws8)) return *r;
+      return score_record(rec, query, sc, SimdPolicy::Swar16, w);
+  }
+  throw std::invalid_argument("scan_database_cpu: unknown SIMD policy");
+}
+
+void insert_top_k(std::vector<Hit>& hits, Hit hit, std::size_t top_k) {
+  const auto pos = std::upper_bound(hits.begin(), hits.end(), hit, hit_ranks_before);
+  hits.insert(pos, std::move(hit));
+  if (hits.size() > top_k) hits.pop_back();
+}
+
+}  // namespace
+
+ScanResult scan_database_cpu(const seq::Sequence& query, const std::vector<seq::Sequence>& records,
+                             const align::Scoring& sc, const ScanOptions& opt) {
+  opt.validate();
+  sc.validate();
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    if (records[r].alphabet().id() != query.alphabet().id()) {
+      throw std::invalid_argument("scan_database_cpu: record " + std::to_string(r) +
+                                  " alphabet mismatch");
+    }
+  }
+
+  ScanResult out;
+  out.records_scanned = records.size();
+  if (query.empty() || records.empty()) return out;
+
+  // Contiguous shards claimed through an atomic cursor: cheap enough to
+  // keep shards small (good balance against wildly varying record
+  // lengths), coarse enough that the cursor is not contended.
+  const std::size_t threads = std::min(opt.threads, records.size());
+  const std::size_t shard =
+      std::max<std::size_t>(1, records.size() / (threads * 8));
+  const std::size_t num_shards = (records.size() + shard - 1) / shard;
+  std::atomic<std::size_t> cursor{0};
+
+  std::vector<Worker> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) workers.emplace_back(query, sc);
+
+  const std::span<const seq::Code> qcodes = query.codes();
+  const auto scan_shards = [&](Worker& w) {
+    for (;;) {
+      const std::size_t s = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (s >= num_shards) return;
+      const std::size_t lo = s * shard;
+      const std::size_t hi = std::min(records.size(), lo + shard);
+      for (std::size_t r = lo; r < hi; ++r) {
+        const seq::Sequence& rec = records[r];
+        if (rec.empty()) continue;
+        w.cell_updates += static_cast<std::uint64_t>(rec.size()) * qcodes.size();
+        const align::LocalScoreResult best =
+            score_record(rec.codes(), qcodes, sc, opt.simd_policy, w);
+        if (best.score < opt.min_score) continue;
+        if (dust_suppressed(rec, best.end, opt)) continue;
+        Hit hit;
+        hit.record = r;
+        hit.result = best;
+        insert_top_k(w.hits, std::move(hit), opt.top_k);
+      }
+    }
+  };
+
+  if (threads == 1) {
+    scan_shards(workers[0]);
+  } else {
+    // A task throwing inside the pool would terminate the process; catch
+    // per task, surface the first failure after the barrier.
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+    par::ThreadPool pool(threads);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      Worker* w = &workers[t];
+      tasks.emplace_back([&, w] {
+        try {
+          scan_shards(*w);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    pool.submit_bulk(std::move(tasks));
+    pool.wait_idle();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  // Deterministic merge: hit_ranks_before is a total order (score desc,
+  // record asc, canonical cell), so sorting the union of the per-worker
+  // top-k lists yields the same ranking no matter how records were
+  // sharded across threads — bit-identical to the sequential scan.
+  for (Worker& w : workers) {
+    out.cell_updates += w.cell_updates;
+    out.hits.insert(out.hits.end(), std::make_move_iterator(w.hits.begin()),
+                    std::make_move_iterator(w.hits.end()));
+  }
+  std::sort(out.hits.begin(), out.hits.end(), hit_ranks_before);
+  if (out.hits.size() > opt.top_k) out.hits.resize(opt.top_k);
+  return out;
+}
+
+}  // namespace swr::host

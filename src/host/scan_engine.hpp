@@ -1,0 +1,45 @@
+// Parallel sharded database-scan engine — the software twin of the
+// SAMBA-style workload (paper Table 1) on host CPUs.
+//
+// scan_database (host/batch.hpp) streams records through the
+// cycle-accurate accelerator model one at a time: faithful, but it
+// exploits neither of the two multiplicative throughput levers a real
+// database scan lives on — inter-record task parallelism and wider
+// intra-record SIMD lanes. This engine exploits both:
+//
+//   * the record list is sharded into contiguous chunks handed to
+//     par::ThreadPool workers through an atomic chunk cursor (dynamic
+//     load balancing — record lengths vary wildly);
+//   * each worker owns one reusable align::QueryProfile plus scalar/SWAR
+//     scratch buffers, so per-record setup is amortised exactly once per
+//     thread;
+//   * per record, the SIMD policy ladder picks the widest exact kernel:
+//     eight 8-bit lanes with saturation-detect, lazily re-run in four
+//     16-bit lanes on overflow, scalar query-profile beyond that;
+//   * every worker keeps its own top-k list; the partial lists are merged
+//     deterministically under hit_ranks_before at the end.
+//
+// The result is BIT-IDENTICAL to the sequential scan for every thread
+// count and SIMD policy — same hits in the same hit_ranks_before order,
+// same cell_updates — because per-record results are engine-invariant
+// (each kernel reproduces sw_linear exactly) and the merge is a total
+// order. Tests enforce this for 1/2/8 threads and all policies.
+#pragma once
+
+#include <vector>
+
+#include "align/scoring.hpp"
+#include "host/batch.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::host {
+
+/// Scans `records` with `query` on the CPU engine. `opt.threads` workers,
+/// `opt.simd_policy` kernels. `cell_updates` counts |query| * |record|
+/// per non-empty record — the same accounting as the accelerator scan.
+/// `board_seconds` is 0: no board is involved.
+/// @throws std::invalid_argument on bad options or alphabet mismatch.
+ScanResult scan_database_cpu(const seq::Sequence& query, const std::vector<seq::Sequence>& records,
+                             const align::Scoring& sc, const ScanOptions& opt);
+
+}  // namespace swr::host

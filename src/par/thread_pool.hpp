@@ -57,6 +57,24 @@ class ThreadPool {
     cv_.notify_one();
   }
 
+  /// Enqueues N tasks under ONE lock acquisition and ONE notify_all —
+  /// the bulk-dispatch path a scan uses to hand a whole shard plan to the
+  /// workers without N lock/notify round-trips. @throws like submit();
+  /// on a bad task the whole batch is rejected before anything enqueues.
+  void submit_bulk(std::vector<std::function<void()>> tasks) {
+    for (const std::function<void()>& t : tasks) {
+      if (!t) throw std::invalid_argument("ThreadPool::submit_bulk: empty task");
+    }
+    if (tasks.empty()) return;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) throw std::logic_error("ThreadPool::submit_bulk: pool is stopping");
+      for (std::function<void()>& t : tasks) queue_.push(std::move(t));
+      outstanding_ += tasks.size();
+    }
+    cv_.notify_all();
+  }
+
   /// Blocks until every submitted task has finished.
   void wait_idle() {
     std::unique_lock<std::mutex> lock(mu_);
@@ -74,13 +92,24 @@ class ThreadPool {
         task = std::move(queue_.front());
         queue_.pop();
       }
-      task();
-      {
-        const std::lock_guard<std::mutex> lock(mu_);
-        --outstanding_;
-        if (outstanding_ == 0) idle_cv_.notify_all();
+      try {
+        task();
+      } catch (...) {
+        finish_one();  // keep wait_idle() honest even on a throwing task
+        throw;         // propagating out of a worker still terminates — by design
       }
+      finish_one();
     }
+  }
+
+  // The zero-crossing of outstanding_ and its notification happen under
+  // the SAME mutex hold. Decrementing outside the lock (or notifying after
+  // releasing it with the count re-checked unlocked) can interleave with a
+  // waiter between its predicate check and its sleep — the classic lost
+  // wakeup. Keeping both under mu_ makes the handoff airtight.
+  void finish_one() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (--outstanding_ == 0) idle_cv_.notify_all();
   }
 
   std::mutex mu_;

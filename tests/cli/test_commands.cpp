@@ -96,6 +96,37 @@ TEST(CliScan, FindsPlantedRecord) {
   EXPECT_NE(r.out.find("E "), std::string::npos);
 }
 
+TEST(CliScan, CpuEngineMatchesAcceleratorScan) {
+  seq::RandomSequenceGenerator gen(10);
+  const seq::Sequence q = gen.uniform(seq::dna(), 50, "query");
+  std::vector<seq::Sequence> db;
+  for (int k = 0; k < 8; ++k) {
+    seq::Sequence rec = gen.uniform(seq::dna(), 300, "rec" + std::to_string(k));
+    if (k == 2 || k == 6) rec.append(seq::point_mutate(q, 0.03 * k, gen.engine()));
+    db.push_back(std::move(rec));
+  }
+  const std::string qf = write_fa("cli_q2", {q});
+  const std::string dbf = write_fa("cli_db2", db);
+  const RunResult accel = run("scan", {qf, dbf, "--top", "4", "--pes", "50"});
+  EXPECT_EQ(accel.code, 0) << accel.err;
+  for (const std::string threads : {"1", "2", "8"}) {
+    const RunResult cpu =
+        run("scan", {qf, dbf, "--top", "4", "--engine", "cpu", "--threads", threads});
+    EXPECT_EQ(cpu.code, 0) << cpu.err;
+    EXPECT_EQ(cpu.out, accel.out) << threads << " threads";  // identical report
+  }
+  // threads > 1 flips the auto engine to cpu — same output again.
+  const RunResult auto2 = run("scan", {qf, dbf, "--top", "4", "--threads", "2"});
+  EXPECT_EQ(auto2.code, 0) << auto2.err;
+  EXPECT_EQ(auto2.out, accel.out);
+}
+
+TEST(CliScan, BadEngineOptionsReturnTwo) {
+  EXPECT_EQ(run("scan", {"q.fa", "db.fa", "--simd", "avx512"}).code, 2);
+  EXPECT_EQ(run("scan", {"q.fa", "db.fa", "--engine", "gpu"}).code, 2);
+  EXPECT_EQ(run("scan", {"q.fa", "db.fa", "--engine", "accel", "--threads", "4"}).code, 2);
+}
+
 TEST(CliTranslate, SingleFrameAndSix) {
   const std::string f = write_fa("cli_t", {seq::Sequence::dna("ATGGCTTAA", "g")});
   const RunResult one = run("translate", {f});

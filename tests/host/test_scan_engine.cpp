@@ -1,0 +1,202 @@
+// The parallel sharded CPU scan engine: bit-identical output to the
+// sequential accelerator scan for every thread count and SIMD policy.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "align/sw_linear.hpp"
+#include "host/fleet_scan.hpp"
+#include "host/scan_engine.hpp"
+#include "seq/mutate.hpp"
+#include "seq/random.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::host;
+
+const align::Scoring kSc = align::Scoring::paper_default();
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+constexpr SimdPolicy kPolicies[] = {SimdPolicy::Auto, SimdPolicy::Scalar, SimdPolicy::Swar16,
+                                    SimdPolicy::Swar8};
+
+void expect_same_scan(const ScanResult& got, const ScanResult& want, const std::string& what) {
+  ASSERT_EQ(got.hits.size(), want.hits.size()) << what;
+  for (std::size_t k = 0; k < got.hits.size(); ++k) {
+    EXPECT_EQ(got.hits[k].record, want.hits[k].record) << what << " hit " << k;
+    EXPECT_EQ(got.hits[k].result, want.hits[k].result) << what << " hit " << k;
+  }
+  EXPECT_EQ(got.records_scanned, want.records_scanned) << what;
+  EXPECT_EQ(got.cell_updates, want.cell_updates) << what;
+}
+
+// A randomized database with wildly varying record lengths (including
+// empty records), several planted homologs, and enough records that every
+// thread count actually shards.
+struct RandomDb {
+  seq::Sequence query;
+  std::vector<seq::Sequence> records;
+
+  explicit RandomDb(std::uint64_t seed, std::size_t n_records = 60) {
+    seq::RandomSequenceGenerator gen(seed);
+    std::mt19937_64 lens(seed * 31 + 5);
+    std::uniform_int_distribution<std::size_t> len(0, 400);
+    query = gen.uniform(seq::dna(), 50, "q");
+    for (std::size_t r = 0; r < n_records; ++r) {
+      seq::Sequence rec = gen.uniform(seq::dna(), len(lens), "rec" + std::to_string(r));
+      if (r % 7 == 3) {
+        rec.append(seq::point_mutate(query, 0.02 * static_cast<double>(r % 5 + 1), gen.engine()));
+      }
+      records.push_back(std::move(rec));
+    }
+  }
+};
+
+TEST(ScanEngine, BitIdenticalToAcceleratorScanAcrossThreadsAndPolicies) {
+  for (const std::uint64_t seed : {101u, 202u}) {
+    const RandomDb db(seed);
+    core::SmithWatermanAccelerator acc(core::xc2vp70(), db.query.size(), kSc);
+    ScanOptions opt;
+    opt.top_k = 8;
+    opt.min_score = 12;
+    const ScanResult ref = scan_database(acc, db.query, db.records, opt);
+    ASSERT_FALSE(ref.hits.empty());
+
+    for (const std::size_t threads : kThreadCounts) {
+      for (const SimdPolicy policy : kPolicies) {
+        ScanOptions copt = opt;
+        copt.threads = threads;
+        copt.simd_policy = policy;
+        const ScanResult got = scan_database_cpu(db.query, db.records, kSc, copt);
+        expect_same_scan(got, ref,
+                         "seed " + std::to_string(seed) + " threads " + std::to_string(threads) +
+                             " policy " + std::to_string(static_cast<int>(policy)));
+        EXPECT_EQ(got.board_seconds, 0.0);
+      }
+    }
+  }
+}
+
+TEST(ScanEngine, HitsMatchPerRecordOracle) {
+  const RandomDb db(7);
+  ScanOptions opt;
+  opt.top_k = 6;
+  opt.threads = 2;
+  const ScanResult r = scan_database_cpu(db.query, db.records, kSc, opt);
+  for (const Hit& h : r.hits) {
+    EXPECT_EQ(h.result, align::sw_linear(db.records[h.record], db.query, kSc))
+        << "record " << h.record;
+  }
+}
+
+TEST(ScanEngine, CellAccountingMatchesSequentialForEveryThreadCount) {
+  const RandomDb db(9);
+  std::uint64_t expect = 0;
+  for (const seq::Sequence& rec : db.records) {
+    if (rec.size() > 0) expect += static_cast<std::uint64_t>(rec.size()) * db.query.size();
+  }
+  for (const std::size_t threads : kThreadCounts) {
+    ScanOptions opt;
+    opt.threads = threads;
+    const ScanResult r = scan_database_cpu(db.query, db.records, kSc, opt);
+    EXPECT_EQ(r.cell_updates, expect) << threads << " threads";
+    EXPECT_EQ(r.records_scanned, db.records.size());
+  }
+}
+
+TEST(ScanEngine, DustFilterParityWithAcceleratorScan) {
+  // Same construction as the batch-scan DUST test: junk poly-A record +
+  // one clean planted homolog. Every engine/thread combination must agree.
+  seq::RandomSequenceGenerator gen(64);
+  seq::Sequence query = seq::Sequence::dna(std::string(30, 'A'), "polyA_query");
+  query.append(gen.uniform(seq::dna(), 40));
+  std::vector<seq::Sequence> records;
+  records.push_back(seq::Sequence::dna(std::string(400, 'A'), "junk_polyA"));
+  seq::Sequence clean = gen.uniform(seq::dna(), 300, "clean_hit");
+  clean.append(seq::point_mutate(query, 0.02, gen.engine()));
+  records.push_back(std::move(clean));
+
+  ScanOptions opt;
+  opt.min_score = 20;
+  opt.dust_filter = true;
+  opt.dust_window = 16;
+  core::SmithWatermanAccelerator acc(core::xc2vp70(), query.size(), kSc);
+  const ScanResult ref = scan_database(acc, query, records, opt);
+  ASSERT_EQ(ref.hits.size(), 1u);
+  EXPECT_EQ(ref.hits[0].record, 1u);
+  for (const std::size_t threads : kThreadCounts) {
+    ScanOptions copt = opt;
+    copt.threads = threads;
+    expect_same_scan(scan_database_cpu(query, records, kSc, copt), ref,
+                     std::to_string(threads) + " threads");
+  }
+}
+
+TEST(ScanEngine, EmptyInputs) {
+  ScanOptions opt;
+  opt.threads = 4;
+  const ScanResult none = scan_database_cpu(seq::Sequence::dna("ACGT"), {}, kSc, opt);
+  EXPECT_TRUE(none.hits.empty());
+  EXPECT_EQ(none.records_scanned, 0u);
+  EXPECT_EQ(none.cell_updates, 0u);
+
+  const std::vector<seq::Sequence> recs = {seq::Sequence::dna(""), seq::Sequence::dna("ACGT")};
+  const ScanResult r = scan_database_cpu(seq::Sequence::dna("ACGT"), recs, kSc, opt);
+  ASSERT_EQ(r.hits.size(), 1u);
+  EXPECT_EQ(r.hits[0].record, 1u);
+  EXPECT_EQ(r.records_scanned, 2u);
+}
+
+TEST(ScanEngine, MoreThreadsThanRecordsIsFine) {
+  const std::vector<seq::Sequence> recs = {seq::Sequence::dna("ACGTACGT")};
+  ScanOptions opt;
+  opt.threads = 16;
+  const ScanResult r = scan_database_cpu(seq::Sequence::dna("ACGT"), recs, kSc, opt);
+  ASSERT_EQ(r.hits.size(), 1u);
+  EXPECT_EQ(r.hits[0].result, align::sw_linear(recs[0], seq::Sequence::dna("ACGT"), kSc));
+}
+
+TEST(ScanEngine, Validation) {
+  ScanOptions bad;
+  bad.threads = 0;
+  EXPECT_THROW((void)scan_database_cpu(seq::Sequence::dna("AC"), {}, kSc, bad),
+               std::invalid_argument);
+  bad = ScanOptions{};
+  bad.top_k = 0;
+  EXPECT_THROW((void)scan_database_cpu(seq::Sequence::dna("AC"), {}, kSc, bad),
+               std::invalid_argument);
+  const std::vector<seq::Sequence> mixed = {seq::Sequence::protein("AR")};
+  for (const std::size_t threads : kThreadCounts) {
+    ScanOptions opt;
+    opt.threads = threads;
+    EXPECT_THROW((void)scan_database_cpu(seq::Sequence::dna("AC"), mixed, kSc, opt),
+                 std::invalid_argument)
+        << threads << " threads";
+  }
+}
+
+TEST(FleetScanParallel, ThreadedFleetIdenticalToSequentialFleet) {
+  const RandomDb db(33, 24);
+  ScanOptions opt;
+  opt.top_k = 5;
+  opt.min_score = 12;
+  for (const std::size_t boards : {1u, 3u}) {
+    core::BoardFleet seq_fleet = core::make_board_fleet(core::xc2vp70(), boards, db.query.size(), kSc);
+    const ScanResult ref = scan_database_fleet(seq_fleet, db.query, db.records, opt);
+    for (const std::size_t threads : {2u, 8u}) {
+      core::BoardFleet par_fleet =
+          core::make_board_fleet(core::xc2vp70(), boards, db.query.size(), kSc);
+      ScanOptions popt = opt;
+      popt.threads = threads;
+      const ScanResult got = scan_database_fleet(par_fleet, db.query, db.records, popt);
+      expect_same_scan(got, ref,
+                       std::to_string(boards) + " boards / " + std::to_string(threads) +
+                           " threads");
+      EXPECT_DOUBLE_EQ(got.board_seconds, ref.board_seconds);
+    }
+  }
+}
+
+}  // namespace

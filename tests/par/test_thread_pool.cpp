@@ -70,6 +70,52 @@ TEST(ThreadPool, SizeReportsWorkers) {
   EXPECT_EQ(pool.size(), 5u);
 }
 
+TEST(ThreadPool, SubmitBulkRunsEveryTask) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int k = 0; k < 100; ++k) {
+    tasks.emplace_back([&count] { count.fetch_add(1); });
+  }
+  pool.submit_bulk(std::move(tasks));
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SubmitBulkRejectsAnyEmptyTaskBeforeEnqueuing) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back([&count] { count.fetch_add(1); });
+  tasks.emplace_back();  // empty — must poison the whole batch
+  EXPECT_THROW(pool.submit_bulk(std::move(tasks)), std::invalid_argument);
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 0);  // nothing from the rejected batch ran
+}
+
+TEST(ThreadPool, SubmitBulkOfNothingIsANoOp) {
+  ThreadPool pool(1);
+  pool.submit_bulk({});
+  pool.wait_idle();
+  SUCCEED();
+}
+
+TEST(ThreadPool, RepeatedBulkWaitCyclesAreLossless) {
+  // Hammers the wait_idle handoff: many rounds of bulk submit + wait on a
+  // small pool — a lost wakeup here would hang the test.
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int k = 0; k < 4; ++k) {
+      tasks.emplace_back([&count] { count.fetch_add(1); });
+    }
+    pool.submit_bulk(std::move(tasks));
+    pool.wait_idle();
+    ASSERT_EQ(count.load(), (round + 1) * 4);
+  }
+}
+
 TEST(ThreadPool, DrainsQueueOnDestruction) {
   std::atomic<int> count{0};
   {
