@@ -9,6 +9,7 @@
 // GCUPS table is printed and dumped machine-readably to BENCH_scan.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -26,12 +27,16 @@
 #include "align/sw_profile.hpp"
 #include "bench_util.hpp"
 #include "core/accelerator.hpp"
+#include "db/builder.hpp"
+#include "db/store.hpp"
 #include "host/batch.hpp"
 #include "host/scan_engine.hpp"
 #include "par/wavefront.hpp"
+#include "seq/fasta.hpp"
 #include "seq/mutate.hpp"
 #include "seq/packed.hpp"
 #include "seq/random.hpp"
+#include "svc/scan_service.hpp"
 
 namespace {
 
@@ -323,6 +328,102 @@ void run_scan_comparison() {
   std::printf("machine-readable dump: BENCH_scan.json\n");
 }
 
+// ---- database load + batch service comparison (BENCH_db.json) -----------
+
+// (a) Opening the same database as FASTA text (parse + validate + encode)
+// vs as a prebuilt .swdb (mmap + header check): the build-once/scan-forever
+// trade the store exists for. (b) Batch throughput through the async scan
+// service at 1/4/16 concurrently dispatched queries.
+void run_db_comparison() {
+  bench::header("database load: FASTA parse vs .swdb mmap open");
+  const ScanWorkload w = make_scan_workload();
+  const std::string fasta_path = "BENCH_db_workload.fa";
+  const std::string swdb_path = "BENCH_db_workload.swdb";
+  seq::write_fasta_file(fasta_path, w.records);
+  const db::BuildStats built = db::build_store(w.records, swdb_path);
+
+  double fasta_s = 1e100;
+  double open_s = 1e100;
+  for (int rep = 0; rep < 5; ++rep) {
+    {
+      const bench::Timer t;
+      const auto recs = seq::read_fasta_file(fasta_path, seq::dna());
+      benchmark::DoNotOptimize(&recs);
+      fasta_s = std::min(fasta_s, t.seconds());
+    }
+    {
+      const bench::Timer t;
+      const db::Store store = db::Store::open(swdb_path);
+      benchmark::DoNotOptimize(&store);
+      open_s = std::min(open_s, t.seconds());
+    }
+  }
+  std::printf("records: %zu (%.1f MBP), .swdb %s, %llu bytes\n", w.records.size(),
+              static_cast<double>(w.cells) / w.query.size() / 1e6,
+              built.encoding == db::Encoding::Packed2 ? "packed2" : "raw8",
+              static_cast<unsigned long long>(built.file_bytes));
+  std::printf("FASTA parse: %10.6f s\n", fasta_s);
+  std::printf(".swdb open:  %10.6f s  (%.0fx faster)\n", open_s, fasta_s / open_s);
+
+  bench::header("batch scan service: throughput vs in-flight queries");
+  const db::Store store = db::Store::open(swdb_path);
+  std::vector<seq::Sequence> queries;
+  seq::RandomSequenceGenerator qgen(777);
+  const std::size_t n_queries = 16;
+  for (std::size_t k = 0; k < n_queries; ++k) {
+    queries.push_back(qgen.uniform(seq::dna(), 100, "q" + std::to_string(k)));
+  }
+  host::ScanOptions opt;
+  opt.top_k = 10;
+  opt.min_score = 20;
+
+  struct BatchRow {
+    std::size_t inflight;
+    double seconds;
+    double qps;
+  };
+  std::vector<BatchRow> batch_rows;
+  std::printf("%zu queries x %zu records, 8 cpu workers\n", queries.size(), store.size());
+  for (const std::size_t inflight : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    svc::ServiceConfig cfg;
+    cfg.cpu_workers = 8;
+    cfg.max_inflight = inflight;
+    cfg.queue_capacity = queries.size();
+    // A few chunks per query, so a single in-flight query cannot keep all
+    // the workers busy — the in-flight knob is what buys concurrency.
+    cfg.chunk_records = (store.size() + 3) / 4;
+    svc::ScanService service(store, cfg);
+    const bench::Timer t;
+    std::vector<svc::Ticket> tickets;
+    tickets.reserve(queries.size());
+    for (const auto& q : queries) tickets.push_back(service.submit(q, opt));
+    for (auto& ticket : tickets) ticket.response.wait();
+    const double s = t.seconds();
+    batch_rows.push_back({inflight, s, static_cast<double>(queries.size()) / s});
+    std::printf("  %2zu in flight: %8.4f s  %8.1f queries/s\n", inflight, s,
+                batch_rows.back().qps);
+  }
+
+  std::ofstream js("BENCH_db.json");
+  js << "{\n  \"workload\": {\"records\": " << w.records.size() << ", \"cells\": " << w.cells
+     << ", \"swdb_bytes\": " << built.file_bytes << ", \"encoding\": \""
+     << (built.encoding == db::Encoding::Packed2 ? "packed2" : "raw8") << "\"},\n";
+  js << "  \"load\": {\"fasta_parse_seconds\": " << fasta_s
+     << ", \"swdb_open_seconds\": " << open_s << ", \"open_speedup\": " << fasta_s / open_s
+     << "},\n";
+  js << "  \"batch\": [\n";
+  for (std::size_t k = 0; k < batch_rows.size(); ++k) {
+    js << "    {\"inflight\": " << batch_rows[k].inflight
+       << ", \"seconds\": " << batch_rows[k].seconds
+       << ", \"queries_per_second\": " << batch_rows[k].qps << "}"
+       << (k + 1 < batch_rows.size() ? "," : "") << "\n";
+  }
+  js << "  ]\n}\n";
+  std::printf("machine-readable dump: BENCH_db.json\n");
+  std::remove(fasta_path.c_str());
+  std::remove(swdb_path.c_str());
+}
+
 // Scan-engine microbenches: whole-database GCUPS per policy/thread count.
 void BM_ScanCpu(benchmark::State& state) {
   static const ScanWorkload w = make_scan_workload();
@@ -367,6 +468,7 @@ BENCHMARK(BM_SwAntiDiag8)->Arg(100)->Arg(400);
 
 int main(int argc, char** argv) {
   run_scan_comparison();
+  run_db_comparison();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

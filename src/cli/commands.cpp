@@ -1,5 +1,9 @@
 #include "cli/commands.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -14,11 +18,14 @@
 #include "align/sw_full.hpp"
 #include "cli/args.hpp"
 #include "core/accelerator.hpp"
+#include "db/builder.hpp"
+#include "db/store.hpp"
 #include "host/batch.hpp"
 #include "host/scan_engine.hpp"
 #include "seq/codon.hpp"
 #include "seq/fasta.hpp"
 #include "seq/fastq.hpp"
+#include "svc/scan_service.hpp"
 
 namespace swr::cli {
 namespace {
@@ -165,6 +172,115 @@ host::SimdPolicy simd_policy_by_name(const std::string& name) {
   throw ArgError("unknown simd policy '" + name + "' (auto|scalar|swar16|swar8)");
 }
 
+/// True when `path` starts with the .swdb magic bytes — `scan` sniffs the
+/// database file instead of trusting its extension.
+bool looks_like_swdb(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::array<char, 8> magic{};
+  in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
+  return in.gcount() == static_cast<std::streamsize>(magic.size()) && magic == db::kMagic;
+}
+
+/// A scan database: either a memory-mapped .swdb store or an in-memory
+/// FASTA record vector, behind the few accessors the reports need.
+struct ScanDatabase {
+  std::optional<db::Store> store;
+  std::vector<seq::Sequence> records;
+
+  [[nodiscard]] std::size_t size() const { return store ? store->size() : records.size(); }
+  [[nodiscard]] std::uint64_t residues() const {
+    if (store) return store->total_residues();
+    std::uint64_t total = 0;
+    for (const auto& rec : records) total += rec.size();
+    return total;
+  }
+  [[nodiscard]] std::string name(std::size_t r) const {
+    return store ? std::string(store->name(r)) : records[r].name();
+  }
+};
+
+ScanDatabase load_scan_database(const std::string& path, const seq::Alphabet& ab) {
+  ScanDatabase database;
+  if (looks_like_swdb(path)) {
+    database.store = db::Store::open(path);
+  } else {
+    database.records = seq::read_fasta_file(path, ab);
+  }
+  return database;
+}
+
+void print_hits(std::ostream& out, const host::ScanResult& scan, const ScanDatabase& database,
+                const seq::Sequence& query, const align::KarlinParams& kp,
+                const host::ScanOptions& opt) {
+  const std::uint64_t total = database.residues();
+  out << "hits (top " << opt.top_k << ", score >= " << opt.min_score << "):\n";
+  for (std::size_t k = 0; k < scan.hits.size(); ++k) {
+    const host::Hit& h = scan.hits[k];
+    std::ostringstream e;
+    e.precision(2);
+    e << std::scientific << align::e_value(h.result.score, query.size(), total, kp);
+    out << "  " << (k + 1) << ". " << database.name(h.record) << "  score " << h.result.score
+        << "  E " << e.str() << "  end (" << h.result.end.i << "," << h.result.end.j << ")\n";
+  }
+  if (scan.hits.empty()) out << "  (none)\n";
+  out << "stats: " << scan.records_scanned << " records scanned, " << scan.cell_updates
+      << " cells, " << scan.swar8_fallbacks << " swar8 fallbacks\n";
+}
+
+/// `scan --batch`: every record of the query file is one query, served
+/// concurrently through svc::ScanService. Results print in submission
+/// order; hits are bit-identical to running `scan` once per query.
+int scan_batch(const ArgParser& args, const seq::Alphabet& ab, const align::Scoring& sc,
+               const host::ScanOptions& opt, const ScanDatabase& database, std::ostream& out) {
+  const auto queries = seq::read_fasta_file(args.positionals()[0], ab);
+  if (queries.empty()) throw ArgError("no query records in '" + args.positionals()[0] + "'");
+
+  svc::ServiceConfig cfg;
+  cfg.cpu_workers = static_cast<std::size_t>(args.get_int("cpu-workers"));
+  cfg.boards = static_cast<std::size_t>(args.get_int("boards"));
+  cfg.board_pes = static_cast<std::size_t>(args.get_int("pes"));
+  cfg.queue_capacity = std::max<std::size_t>(static_cast<std::size_t>(args.get_int("queue")),
+                                             queries.size());
+  cfg.max_inflight = static_cast<std::size_t>(args.get_int("inflight"));
+  cfg.chunk_records = static_cast<std::size_t>(args.get_int("chunk"));
+  cfg.scoring = sc;
+  const std::chrono::milliseconds deadline(args.get_int("deadline-ms"));
+
+  const align::KarlinParams kp = align::solve_karlin_uniform(sc, ab.size());
+  out << "database: " << database.size() << " records, " << database.residues()
+      << " residues\n";
+  out << "service: " << cfg.cpu_workers << " cpu workers, " << cfg.boards << " boards, "
+      << cfg.max_inflight << " in flight, " << cfg.chunk_records << " records/chunk\n";
+
+  std::vector<svc::Ticket> tickets;
+  tickets.reserve(queries.size());
+  {
+    auto run = [&](const auto& db_ref) {
+      svc::ScanService service(db_ref, cfg);
+      for (const seq::Sequence& q : queries) tickets.push_back(service.submit(q, opt, deadline));
+      for (svc::Ticket& t : tickets) t.response.wait();
+    };
+    if (database.store) {
+      run(*database.store);
+    } else {
+      run(database.records);
+    }
+  }
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const svc::ScanResponse& resp = tickets[i].response.get();
+    out << "query " << (i + 1) << "/" << queries.size() << ": " << queries[i].name() << " ("
+        << queries[i].size() << " residues)\n";
+    if (resp.status != svc::QueryStatus::Done) {
+      out << "status: " << svc::to_string(resp.status);
+      if (!resp.error.empty()) out << " (" << resp.error << ")";
+      out << "\n";
+    }
+    print_hits(out, resp.result, database, queries[i], kp, opt);
+  }
+  return 0;
+}
+
 int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
   ArgParser args;
   args.option("alphabet", "dna")
@@ -176,13 +292,18 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
       .option("simd", "auto")
       .option("match")
       .option("mismatch")
-      .option("gap");
+      .option("gap")
+      .flag("batch")
+      .option("cpu-workers", "2")
+      .option("boards", "0")
+      .option("inflight", "4")
+      .option("queue", "64")
+      .option("chunk", "256")
+      .option("deadline-ms", "0");
   args.parse(argv);
   if (args.positionals().size() != 2) {
-    throw ArgError("scan needs <query.fa> <database.fa>");
+    throw ArgError("scan needs <query.fa> <database.fa|database.swdb>");
   }
-  const seq::Alphabet& ab = alphabet_by_name(args.get("alphabet"));
-  const align::Scoring sc = scoring_from(args, ab);
 
   host::ScanOptions opt;
   opt.top_k = static_cast<std::size_t>(args.get_int("top"));
@@ -192,7 +313,8 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
 
   // "auto" keeps the accelerator model for sequential runs (the paper's
   // board) and switches to the parallel CPU engine when threads are asked
-  // for. Both report bit-identical hits; tests enforce it.
+  // for. Both report bit-identical hits; tests enforce it. Validated
+  // before any file is opened so bad options fail as usage errors.
   const std::string engine_name = args.get("engine");
   if (engine_name != "auto" && engine_name != "accel" && engine_name != "cpu") {
     throw ArgError("unknown engine '" + engine_name + "' (auto|accel|cpu)");
@@ -202,35 +324,106 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
     throw ArgError("--engine accel is single-threaded; use --engine cpu with --threads");
   }
 
+  // The database decides the alphabet when it is a .swdb store (it was
+  // fixed at build time); --alphabet governs the FASTA path only.
+  ScanDatabase database = load_scan_database(args.positionals()[1],
+                                             alphabet_by_name(args.get("alphabet")));
+  const seq::Alphabet& ab =
+      database.store ? database.store->alphabet() : alphabet_by_name(args.get("alphabet"));
+  const align::Scoring sc = scoring_from(args, ab);
+
+  if (args.has("batch")) return scan_batch(args, ab, sc, opt, database, out);
+
   const seq::Sequence query = first_record(args.positionals()[0], ab);
-  const auto records = seq::read_fasta_file(args.positionals()[1], ab);
 
   host::ScanResult scan;
   if (use_cpu) {
-    scan = host::scan_database_cpu(query, records, sc, opt);
+    scan = database.store ? host::scan_database_cpu(query, *database.store, sc, opt)
+                          : host::scan_database_cpu(query, database.records, sc, opt);
   } else {
     core::SmithWatermanAccelerator acc(core::xc2vp70(),
                                        static_cast<std::size_t>(args.get_int("pes")), sc);
-    scan = host::scan_database(acc, query, records, opt);
+    scan = database.store ? host::scan_database(acc, query, *database.store, opt)
+                          : host::scan_database(acc, query, database.records, opt);
   }
 
   const align::KarlinParams kp = align::solve_karlin_uniform(sc, ab.size());
-  std::uint64_t total = 0;
-  for (const auto& rec : records) total += rec.size();
-
   out << "query: " << query.name() << " (" << query.size() << " residues)\n";
-  out << "database: " << records.size() << " records, " << total << " residues\n";
-  out << "hits (top " << opt.top_k << ", score >= " << opt.min_score << "):\n";
-  for (std::size_t k = 0; k < scan.hits.size(); ++k) {
-    const host::Hit& h = scan.hits[k];
-    std::ostringstream e;
-    e.precision(2);
-    e << std::scientific << align::e_value(h.result.score, query.size(), total, kp);
-    out << "  " << (k + 1) << ". " << records[h.record].name() << "  score " << h.result.score
-        << "  E " << e.str() << "  end (" << h.result.end.i << "," << h.result.end.j << ")\n";
-  }
-  if (scan.hits.empty()) out << "  (none)\n";
+  out << "database: " << database.size() << " records, " << database.residues()
+      << " residues\n";
+  print_hits(out, scan, database, query, kp, opt);
   return 0;
+}
+
+const char* alphabet_id_name(seq::AlphabetId id) {
+  switch (id) {
+    case seq::AlphabetId::Dna: return "dna";
+    case seq::AlphabetId::Rna: return "rna";
+    case seq::AlphabetId::Protein: return "protein";
+  }
+  return "unknown";
+}
+
+int cmd_swdb(const std::vector<std::string>& argv, std::ostream& out) {
+  if (argv.empty()) throw ArgError("swdb needs a subcommand (build|info)");
+  const std::string sub = argv.front();
+  const std::vector<std::string> rest(argv.begin() + 1, argv.end());
+
+  if (sub == "build") {
+    ArgParser args;
+    args.option("alphabet", "dna").option("encoding", "auto");
+    args.parse(rest);
+    if (args.positionals().size() != 2) throw ArgError("swdb build needs <in.fa> <out.swdb>");
+    const seq::Alphabet& ab = alphabet_by_name(args.get("alphabet"));
+    db::BuildOptions opt;
+    const std::string enc = args.get("encoding");
+    if (enc == "auto") {
+      opt.encoding = db::BuildOptions::Pick::Auto;
+    } else if (enc == "raw8") {
+      opt.encoding = db::BuildOptions::Pick::Raw8;
+    } else if (enc == "packed2") {
+      opt.encoding = db::BuildOptions::Pick::Packed2;
+    } else {
+      throw ArgError("unknown encoding '" + enc + "' (auto|raw8|packed2)");
+    }
+    const db::BuildStats st =
+        db::build_store_from_fasta(args.positionals()[0], args.positionals()[1], ab, opt);
+    out << "wrote " << args.positionals()[1] << ": " << st.records << " records, " << st.residues
+        << " residues, " << st.file_bytes << " bytes ("
+        << (st.encoding == db::Encoding::Packed2 ? "packed2" : "raw8") << ")\n";
+    return 0;
+  }
+
+  if (sub == "info") {
+    ArgParser args;
+    args.flag("verify");
+    args.parse(rest);
+    if (args.positionals().size() != 1) throw ArgError("swdb info needs <db.swdb>");
+    const db::Store store = db::Store::open(args.positionals()[0]);
+    const db::FileHeader& h = store.header();
+    out << store.path() << ":\n";
+    out << "  format v" << h.version << ", alphabet " << alphabet_id_name(store.alphabet().id())
+        << ", encoding " << (store.encoding() == db::Encoding::Packed2 ? "packed2" : "raw8")
+        << "\n";
+    out << "  " << store.size() << " records, " << store.total_residues() << " residues, "
+        << h.payload_bytes << " payload bytes\n";
+    if (!store.empty()) {
+      std::size_t longest = 0;
+      std::size_t shortest = store.length(0);
+      for (std::size_t r = 0; r < store.size(); ++r) {
+        longest = std::max(longest, store.length(r));
+        shortest = std::min(shortest, store.length(r));
+      }
+      out << "  record length " << shortest << ".." << longest << "\n";
+    }
+    if (args.has("verify")) {
+      store.verify_payload();
+      out << "  payload hash OK\n";
+    }
+    return 0;
+  }
+
+  throw ArgError("unknown swdb subcommand '" + sub + "' (build|info)");
 }
 
 int cmd_translate(const std::vector<std::string>& argv, std::ostream& out) {
@@ -372,9 +565,13 @@ std::string usage() {
          "                       [--alphabet dna|rna|protein] [--match N --mismatch N --gap N]\n"
          "                       [--pes N]\n"
          "                       [--affine --gap-open N --gap-extend N]\n"
-         "  scan <query.fa> <db.fa>  [--top K] [--min-score S] [--pes N] [--alphabet ...]\n"
-         "                       [--engine auto|accel|cpu] [--threads N]\n"
+         "  scan <query.fa> <db.fa|db.swdb>  [--top K] [--min-score S] [--pes N]\n"
+         "                       [--alphabet ...] [--engine auto|accel|cpu] [--threads N]\n"
          "                       [--simd auto|scalar|swar16|swar8]\n"
+         "                       [--batch [--cpu-workers N] [--boards N] [--inflight N]\n"
+         "                        [--queue N] [--chunk N] [--deadline-ms N]]\n"
+         "  swdb build <in.fa> <out.swdb>  [--alphabet ...] [--encoding auto|raw8|packed2]\n"
+         "  swdb info <db.swdb>  [--verify]\n"
          "  nearbest <a.fa> <b.fa>  [--max K] [--min-score S]\n"
          "  map <reads.fq> <reference.fa>  [--k N] [--pad N] [--min-score S]\n"
          "  translate <dna.fa>  [--frame 0|1|2 | --six]\n"
@@ -388,6 +585,7 @@ int run_command(const std::string& command, const std::vector<std::string>& args
   try {
     if (command == "align") return cmd_align(args, out);
     if (command == "scan") return cmd_scan(args, out);
+    if (command == "swdb") return cmd_swdb(args, out);
     if (command == "translate") return cmd_translate(args, out);
     if (command == "orfs") return cmd_orfs(args, out);
     if (command == "nearbest") return cmd_nearbest(args, out);

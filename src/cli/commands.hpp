@@ -17,7 +17,11 @@ namespace swr::cli {
 ///
 /// Commands:
 ///   align <a.fa> <b.fa>   pairwise alignment (local/global/fitting)
-///   scan <query.fa> <db.fa>   top-k database scan with E-values
+///   scan <query.fa> <db>  top-k database scan with E-values; the database
+///                         is FASTA text or a prebuilt .swdb store, and
+///                         --batch serves many queries through the async
+///                         scan service
+///   swdb build|info       build / inspect .swdb binary database stores
 ///   translate <dna.fa>    genetic-code translation (one frame or all six)
 ///   orfs <dna.fa>         open reading frames on both strands
 ///   design                FPGA design-space table

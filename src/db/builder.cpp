@@ -1,0 +1,136 @@
+#include "db/builder.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <numeric>
+
+#include "seq/fasta.hpp"
+#include "seq/packed.hpp"
+
+namespace swr::db {
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& why) {
+  throw StoreError("swdb build '" + path + "': " + why);
+}
+
+Encoding pick_encoding(BuildOptions::Pick pick, const seq::Alphabet& ab,
+                       const std::string& path) {
+  switch (pick) {
+    case BuildOptions::Pick::Raw8: return Encoding::Raw8;
+    case BuildOptions::Pick::Packed2:
+      if (ab.size() > 4) fail(path, "packed2 needs a <=4-letter alphabet");
+      return Encoding::Packed2;
+    case BuildOptions::Pick::Auto:
+      return ab.size() <= 4 ? Encoding::Packed2 : Encoding::Raw8;
+  }
+  fail(path, "bad encoding option");
+}
+
+}  // namespace
+
+BuildStats build_store(const std::vector<seq::Sequence>& records, const std::string& path,
+                       const BuildOptions& opt) {
+  const seq::Alphabet& ab = records.empty() ? seq::dna() : records.front().alphabet();
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    if (records[r].alphabet().id() != ab.id()) {
+      fail(path, "record " + std::to_string(r) + " alphabet mismatch");
+    }
+    if (records[r].size() > std::numeric_limits<std::uint32_t>::max()) {
+      fail(path, "record " + std::to_string(r) + " longer than 2^32-1 residues");
+    }
+  }
+  const Encoding enc = pick_encoding(opt.encoding, ab, path);
+
+  // Metadata, name blob and payload are assembled in memory first: the
+  // payload hash has to land in the header, which is written before them.
+  std::vector<RecordMeta> meta(records.size());
+  std::string names;
+  std::vector<std::uint8_t> payload;
+  std::uint64_t residues = 0;
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    const seq::Sequence& rec = records[r];
+    RecordMeta& m = meta[r];
+    m.length = static_cast<std::uint32_t>(rec.size());
+    m.bucket = length_bucket(rec.size());
+    m.name_offset = static_cast<std::uint32_t>(names.size());
+    m.name_length = static_cast<std::uint32_t>(rec.name().size());
+    names += rec.name();
+    m.offset = payload.size();
+    const std::span<const seq::Code> codes = rec.codes();
+    if (enc == Encoding::Packed2) {
+      payload.resize(payload.size() + seq::packed2_bytes(codes.size()));
+      seq::pack2(codes, payload.data() + m.offset);
+    } else {
+      payload.insert(payload.end(), codes.begin(), codes.end());
+    }
+    residues += rec.size();
+  }
+
+  // Length-descending dispatch order (LPT): handing out slices of this
+  // permutation balances wildly varying record lengths across workers.
+  std::vector<std::uint32_t> order(records.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return meta[a].length > meta[b].length;
+  });
+
+  FileHeader h;
+  h.alphabet = static_cast<std::uint8_t>(ab.id());
+  h.encoding = static_cast<std::uint8_t>(enc);
+  h.record_count = records.size();
+  h.total_residues = residues;
+  h.names_bytes = names.size();
+  h.payload_bytes = payload.size();
+
+  // Everything after the header contributes to the payload hash, padding
+  // included — hash and write from one place so they cannot drift apart.
+  const std::size_t name_pad =
+      align8(sizeof(FileHeader) + meta.size() * sizeof(RecordMeta) +
+             order.size() * sizeof(std::uint32_t) + names.size()) -
+      (sizeof(FileHeader) + meta.size() * sizeof(RecordMeta) +
+       order.size() * sizeof(std::uint32_t) + names.size());
+  const std::array<char, 8> zeros{};
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  std::ofstream out;
+  const auto emit = [&](const void* data, std::size_t bytes, bool hashed) {
+    if (hashed) hash = fnv1a(data, bytes, hash);
+    if (out.is_open()) out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+  };
+  const auto emit_sections = [&](bool hashed) {
+    emit(meta.data(), meta.size() * sizeof(RecordMeta), hashed);
+    emit(order.data(), order.size() * sizeof(std::uint32_t), hashed);
+    emit(names.data(), names.size(), hashed);
+    emit(zeros.data(), name_pad, hashed);
+    emit(payload.data(), payload.size(), hashed);
+  };
+
+  emit_sections(/*hashed=*/true);  // first pass: hash only (no stream yet)
+  h.payload_hash = hash;
+  h.header_hash = h.compute_header_hash();
+
+  out.open(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail(path, "cannot open for writing");
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  emit_sections(/*hashed=*/false);  // second pass: write
+  out.flush();
+  if (!out) fail(path, "write failure");
+
+  BuildStats stats;
+  stats.records = records.size();
+  stats.residues = residues;
+  stats.file_bytes = sizeof(FileHeader) + meta.size() * sizeof(RecordMeta) +
+                     order.size() * sizeof(std::uint32_t) + names.size() + name_pad +
+                     payload.size();
+  stats.encoding = enc;
+  return stats;
+}
+
+BuildStats build_store_from_fasta(const std::string& fasta_path, const std::string& db_path,
+                                  const seq::Alphabet& ab, const BuildOptions& opt) {
+  return build_store(seq::read_fasta_file(fasta_path, ab), db_path, opt);
+}
+
+}  // namespace swr::db

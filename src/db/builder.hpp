@@ -1,0 +1,45 @@
+// .swdb writer: preprocess a sequence database once, scan it forever.
+//
+// Builds the binary store described in db/format.hpp from in-memory
+// records or straight from a FASTA file. Encoding::Auto picks the 2-bit
+// packed payload for 4-letter alphabets (DNA/RNA — a 4x smaller resident
+// database, the paper's reduced-memory theme) and raw dense codes
+// otherwise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/format.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::db {
+
+/// Build configuration.
+struct BuildOptions {
+  /// Auto = Packed2 when the alphabet has <= 4 letters, Raw8 otherwise.
+  enum class Pick : std::uint8_t { Auto, Raw8, Packed2 };
+  Pick encoding = Pick::Auto;
+};
+
+/// What the builder wrote — the `swdb build` report and bench material.
+struct BuildStats {
+  std::size_t records = 0;
+  std::uint64_t residues = 0;
+  std::uint64_t file_bytes = 0;
+  Encoding encoding = Encoding::Raw8;
+};
+
+/// Writes `records` (all over the same alphabet) to `path`.
+/// @throws StoreError on I/O failure, mixed alphabets, or a record too
+/// large for the format (length must fit in 32 bits).
+BuildStats build_store(const std::vector<seq::Sequence>& records, const std::string& path,
+                       const BuildOptions& opt = {});
+
+/// Reads `fasta_path` over `ab` and writes the store to `db_path`.
+/// @throws seq::FastaError on parse failure, StoreError on write failure.
+BuildStats build_store_from_fasta(const std::string& fasta_path, const std::string& db_path,
+                                  const seq::Alphabet& ab, const BuildOptions& opt = {});
+
+}  // namespace swr::db

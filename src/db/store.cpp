@@ -1,0 +1,175 @@
+#include "db/store.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "seq/packed.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SWR_DB_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace swr::db {
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& why) {
+  throw StoreError("swdb '" + path + "': " + why);
+}
+
+// Payload bytes record `r` occupies on disk under `enc`.
+std::size_t record_bytes(Encoding enc, std::uint32_t length) {
+  return enc == Encoding::Packed2 ? seq::packed2_bytes(length) : length;
+}
+
+}  // namespace
+
+Store Store::open(const std::string& path) {
+  Store s;
+  s.path_ = path;
+
+#if SWR_DB_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail(path, "cannot open");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail(path, "cannot stat");
+  }
+  s.bytes_ = static_cast<std::size_t>(st.st_size);
+  if (s.bytes_ < sizeof(FileHeader)) {
+    ::close(fd);
+    fail(path, "truncated: smaller than the header");
+  }
+  void* map = ::mmap(nullptr, s.bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) fail(path, "mmap failed");
+  s.data_ = static_cast<const std::uint8_t*>(map);
+  s.mapped_ = true;
+#else
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open");
+  s.fallback_.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  s.data_ = s.fallback_.data();
+  s.bytes_ = s.fallback_.size();
+  if (s.bytes_ < sizeof(FileHeader)) fail(path, "truncated: smaller than the header");
+#endif
+
+  std::memcpy(&s.header_, s.data_, sizeof(FileHeader));
+  const FileHeader& h = s.header_;
+  if (h.magic != kMagic) fail(path, "bad magic (not a .swdb file)");
+  if (h.version != kFormatVersion) {
+    fail(path, "unsupported format version " + std::to_string(h.version));
+  }
+  if (h.header_hash != h.compute_header_hash()) fail(path, "header checksum mismatch");
+  if (h.encoding > static_cast<std::uint8_t>(Encoding::Packed2)) fail(path, "unknown encoding");
+  try {
+    s.alphabet_ = &seq::alphabet(static_cast<seq::AlphabetId>(h.alphabet));
+  } catch (const std::exception&) {
+    fail(path, "unknown alphabet id " + std::to_string(h.alphabet));
+  }
+  if (s.encoding() == Encoding::Packed2 && s.alphabet_->size() > 4) {
+    fail(path, "packed2 encoding with a >4-letter alphabet");
+  }
+
+  // Section bounds. Every size below is validated before the pointer it
+  // guards is formed, so a truncated or lying header cannot produce an
+  // out-of-bounds read later.
+  const std::size_t meta_off = sizeof(FileHeader);
+  const std::size_t n = h.record_count;
+  if (n > (s.bytes_ - meta_off) / sizeof(RecordMeta)) fail(path, "truncated record table");
+  const std::size_t order_off = meta_off + n * sizeof(RecordMeta);
+  if (n > (s.bytes_ - order_off) / sizeof(std::uint32_t)) fail(path, "truncated schedule order");
+  const std::size_t names_off = order_off + n * sizeof(std::uint32_t);
+  if (h.names_bytes > s.bytes_ - names_off) fail(path, "truncated name blob");
+  const std::size_t payload_off = align8(names_off + h.names_bytes);
+  if (payload_off > s.bytes_ || h.payload_bytes > s.bytes_ - payload_off) {
+    fail(path, "truncated payload");
+  }
+
+  s.meta_ = {reinterpret_cast<const RecordMeta*>(s.data_ + meta_off), n};
+  s.order_ = {reinterpret_cast<const std::uint32_t*>(s.data_ + order_off), n};
+  s.names_ = reinterpret_cast<const char*>(s.data_ + names_off);
+  s.payload_ = s.data_ + payload_off;
+
+  for (std::size_t r = 0; r < n; ++r) {
+    const RecordMeta& m = s.meta_[r];
+    const std::size_t rb = record_bytes(s.encoding(), m.length);
+    if (m.offset > h.payload_bytes || rb > h.payload_bytes - m.offset) {
+      fail(path, "record " + std::to_string(r) + " payload range out of bounds");
+    }
+    if (m.name_offset > h.names_bytes || m.name_length > h.names_bytes - m.name_offset) {
+      fail(path, "record " + std::to_string(r) + " name range out of bounds");
+    }
+    if (s.order_[r] >= n) fail(path, "schedule order entry out of range");
+  }
+  return s;
+}
+
+Store::Store(Store&& other) noexcept { *this = std::move(other); }
+
+Store& Store::operator=(Store&& other) noexcept {
+  if (this == &other) return *this;
+  unmap();
+  path_ = std::move(other.path_);
+  header_ = other.header_;
+  alphabet_ = other.alphabet_;
+  data_ = std::exchange(other.data_, nullptr);
+  bytes_ = std::exchange(other.bytes_, 0);
+  mapped_ = std::exchange(other.mapped_, false);
+  fallback_ = std::move(other.fallback_);
+  meta_ = std::exchange(other.meta_, {});
+  order_ = std::exchange(other.order_, {});
+  names_ = std::exchange(other.names_, nullptr);
+  payload_ = std::exchange(other.payload_, nullptr);
+  if (!mapped_ && data_ != nullptr) data_ = fallback_.data();
+  return *this;
+}
+
+Store::~Store() { unmap(); }
+
+void Store::unmap() noexcept {
+#if SWR_DB_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), bytes_);
+  }
+#endif
+  data_ = nullptr;
+  bytes_ = 0;
+  mapped_ = false;
+}
+
+std::string_view Store::name(std::size_t r) const {
+  const RecordMeta& m = meta_at(r);
+  return {names_ + m.name_offset, m.name_length};
+}
+
+std::span<const seq::Code> Store::codes(std::size_t r, std::vector<seq::Code>& scratch) const {
+  const RecordMeta& m = meta_at(r);
+  const std::uint8_t* rec = payload_ + m.offset;
+  if (encoding() == Encoding::Raw8) {
+    return {reinterpret_cast<const seq::Code*>(rec), m.length};
+  }
+  scratch.resize(m.length);
+  seq::unpack2(rec, m.length, scratch.data());
+  return {scratch.data(), scratch.size()};
+}
+
+seq::Sequence Store::sequence(std::size_t r) const {
+  std::vector<seq::Code> codes;
+  const std::span<const seq::Code> view = this->codes(r, codes);
+  if (view.data() != codes.data()) codes.assign(view.begin(), view.end());
+  return seq::Sequence(*alphabet_, std::move(codes), std::string(name(r)));
+}
+
+void Store::verify_payload() const {
+  const std::uint64_t got =
+      fnv1a(data_ + sizeof(FileHeader), bytes_ - sizeof(FileHeader));
+  if (got != header_.payload_hash) fail(path_, "payload checksum mismatch");
+}
+
+}  // namespace swr::db

@@ -1,0 +1,99 @@
+// Zero-copy memory-mapped reader for .swdb sequence database stores.
+//
+// Store::open maps the file read-only, validates the header checksum and
+// every structural bound (section sizes, record offsets, name ranges), and
+// then serves records straight out of the mapping: opening a multi-MBP
+// database costs microseconds instead of the FASTA parse's full pass over
+// the text. Raw8 payloads are served as spans into the map (true
+// zero-copy); Packed2 payloads decode into a caller-provided scratch
+// buffer (no allocation when the buffer is reused, as the scan engines'
+// per-worker scratch is).
+//
+// A Store is immutable and all accessors are const; concurrent reads from
+// many scan workers need no synchronization.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/format.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::db {
+
+/// A read-only, memory-mapped .swdb database.
+class Store {
+ public:
+  /// Maps and validates `path`. Header hash, section bounds and every
+  /// record's offset/name range are checked up front; the residue payload
+  /// is NOT hashed here (see verify_payload). @throws StoreError.
+  static Store open(const std::string& path);
+
+  Store(Store&& other) noexcept;
+  Store& operator=(Store&& other) noexcept;
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+  ~Store();
+
+  /// Number of records.
+  [[nodiscard]] std::size_t size() const noexcept { return meta_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return meta_.empty(); }
+
+  [[nodiscard]] const seq::Alphabet& alphabet() const noexcept { return *alphabet_; }
+  [[nodiscard]] Encoding encoding() const noexcept { return static_cast<Encoding>(header_.encoding); }
+  [[nodiscard]] std::uint64_t total_residues() const noexcept { return header_.total_residues; }
+  [[nodiscard]] const FileHeader& header() const noexcept { return header_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Length (residues) of record `r`. @throws std::out_of_range.
+  [[nodiscard]] std::size_t length(std::size_t r) const { return meta_at(r).length; }
+
+  /// Length bucket of record `r` (format.hpp length_bucket).
+  [[nodiscard]] std::uint32_t bucket(std::size_t r) const { return meta_at(r).bucket; }
+
+  /// Name of record `r`, viewing the mapped name blob.
+  [[nodiscard]] std::string_view name(std::size_t r) const;
+
+  /// Dense codes of record `r`. Raw8: a span into the mapping, scratch
+  /// untouched. Packed2: decoded into `scratch` (resized as needed) and a
+  /// span over it returned. The span is valid until the Store is destroyed
+  /// (Raw8) or `scratch` is next modified (Packed2).
+  [[nodiscard]] std::span<const seq::Code> codes(std::size_t r,
+                                                 std::vector<seq::Code>& scratch) const;
+
+  /// Materializes record `r` as an owning Sequence (name included).
+  [[nodiscard]] seq::Sequence sequence(std::size_t r) const;
+
+  /// The length-descending dispatch permutation (see format.hpp).
+  [[nodiscard]] std::span<const std::uint32_t> schedule_order() const noexcept { return order_; }
+
+  /// Re-hashes everything after the header and compares against the
+  /// header's payload_hash — the full-integrity check tier-1 tests and
+  /// operators run; scans skip it. @throws StoreError on mismatch.
+  void verify_payload() const;
+
+ private:
+  Store() = default;
+  void unmap() noexcept;
+  [[nodiscard]] const RecordMeta& meta_at(std::size_t r) const {
+    if (r >= meta_.size()) throw std::out_of_range("Store: record index out of range");
+    return meta_[r];
+  }
+
+  std::string path_;
+  FileHeader header_{};
+  const seq::Alphabet* alphabet_ = nullptr;
+  const std::uint8_t* data_ = nullptr;  ///< whole file (mmap or owned buffer)
+  std::size_t bytes_ = 0;
+  bool mapped_ = false;                  ///< data_ came from mmap (else fallback_)
+  std::vector<std::uint8_t> fallback_;   ///< non-POSIX read-whole-file path
+  std::span<const RecordMeta> meta_;     ///< views into data_
+  std::span<const std::uint32_t> order_;
+  const char* names_ = nullptr;
+  const std::uint8_t* payload_ = nullptr;
+};
+
+}  // namespace swr::db

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "host/record_source.hpp"
 #include "seq/complexity.hpp"
 
 namespace swr::host {
@@ -29,18 +30,21 @@ bool dust_suppressed(const seq::Sequence& rec, const align::Cell& end, const Sca
   return false;
 }
 
-ScanResult scan_database(core::SmithWatermanAccelerator& accelerator, const seq::Sequence& query,
-                         const std::vector<seq::Sequence>& records, const ScanOptions& opt) {
+namespace {
+
+// One loop for both database representations: the accelerator model
+// consumes whole Sequence objects, so records are materialized one at a
+// time (a copy for the vector path, a decode out of the mapping for the
+// .swdb path) — the board SRAM would hold them anyway.
+ScanResult scan_source(core::SmithWatermanAccelerator& accelerator, const seq::Sequence& query,
+                       const RecordSource& src, const ScanOptions& opt) {
   opt.validate();
+  src.check_alphabet(query, "scan_database");
   ScanResult out;
-  for (std::size_t r = 0; r < records.size(); ++r) {
-    const seq::Sequence& rec = records[r];
-    if (rec.alphabet().id() != query.alphabet().id()) {
-      throw std::invalid_argument("scan_database: record " + std::to_string(r) +
-                                  " alphabet mismatch");
-    }
+  for (std::size_t r = 0; r < src.size(); ++r) {
     ++out.records_scanned;
-    if (rec.empty() || query.empty()) continue;
+    if (src.length(r) == 0 || query.empty()) continue;
+    const seq::Sequence rec = src.sequence(r);
     const core::JobResult job = accelerator.run(query, rec);
     out.cell_updates += job.stats.cell_updates;
     out.board_seconds += job.seconds;
@@ -58,6 +62,18 @@ ScanResult scan_database(core::SmithWatermanAccelerator& accelerator, const seq:
     if (out.hits.size() > opt.top_k) out.hits.pop_back();
   }
   return out;
+}
+
+}  // namespace
+
+ScanResult scan_database(core::SmithWatermanAccelerator& accelerator, const seq::Sequence& query,
+                         const std::vector<seq::Sequence>& records, const ScanOptions& opt) {
+  return scan_source(accelerator, query, RecordSource(records), opt);
+}
+
+ScanResult scan_database(core::SmithWatermanAccelerator& accelerator, const seq::Sequence& query,
+                         const db::Store& store, const ScanOptions& opt) {
+  return scan_source(accelerator, query, RecordSource(store), opt);
 }
 
 PipelineResult retrieve_hit(core::SmithWatermanAccelerator& accelerator, const PciConfig& pci,

@@ -15,6 +15,10 @@
 #include "core/accelerator.hpp"
 #include "host/pipeline.hpp"
 
+namespace swr::db {
+class Store;
+}
+
 namespace swr::host {
 
 /// One database hit.
@@ -64,11 +68,18 @@ struct ScanOptions {
 /// `rec` — shared by every scan engine so filtering stays bit-identical.
 bool dust_suppressed(const seq::Sequence& rec, const align::Cell& end, const ScanOptions& opt);
 
-/// Outcome of a scan.
+/// Outcome of a scan. The per-scan stats are surfaced here so the scan
+/// service and the benches consume them instead of recomputing:
+/// records_scanned counts every record seen (empty ones included),
+/// cell_updates the full |query| x |record| matrix work, and
+/// swar8_fallbacks how many records saturated the 8-bit SWAR lanes and
+/// lazily re-ran one tier down (CPU engine, Auto/Swar8 policies only —
+/// always 0 for the accelerator model and the scalar/16-bit policies).
 struct ScanResult {
   std::vector<Hit> hits;          ///< ranked best-first, size <= top_k
   std::size_t records_scanned = 0;
   std::uint64_t cell_updates = 0; ///< total matrix cells across records
+  std::uint64_t swar8_fallbacks = 0; ///< 8-bit -> 16-bit lazy re-runs
   double board_seconds = 0.0;     ///< modelled accelerator time, summed
 };
 
@@ -76,6 +87,12 @@ struct ScanResult {
 /// @throws std::invalid_argument on bad options or alphabet mismatch.
 ScanResult scan_database(core::SmithWatermanAccelerator& accelerator, const seq::Sequence& query,
                          const std::vector<seq::Sequence>& records, const ScanOptions& opt);
+
+/// Accelerator scan over a memory-mapped .swdb store. Records are decoded
+/// from the mapping one at a time (the board model consumes whole
+/// sequences); hits are bit-identical to the vector overload.
+ScanResult scan_database(core::SmithWatermanAccelerator& accelerator, const seq::Sequence& query,
+                         const db::Store& store, const ScanOptions& opt);
 
 /// Retrieves the full alignment for one hit via the host pipeline.
 PipelineResult retrieve_hit(core::SmithWatermanAccelerator& accelerator, const PciConfig& pci,

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "host/record_source.hpp"
 #include "par/thread_pool.hpp"
 
 namespace swr::host {
@@ -23,11 +24,11 @@ struct BoardPartial {
 
 BoardPartial scan_board_share(core::SmithWatermanAccelerator& board, std::size_t board_idx,
                               std::size_t num_boards, const seq::Sequence& query,
-                              const std::vector<seq::Sequence>& records, const ScanOptions& opt) {
+                              const RecordSource& src, const ScanOptions& opt) {
   BoardPartial p;
-  for (std::size_t r = board_idx; r < records.size(); r += num_boards) {
-    const seq::Sequence& rec = records[r];
-    if (rec.empty() || query.empty()) continue;
+  for (std::size_t r = board_idx; r < src.size(); r += num_boards) {
+    if (src.length(r) == 0 || query.empty()) continue;
+    const seq::Sequence rec = src.sequence(r);
     const core::JobResult job = board.run(query, rec);
     p.cell_updates += job.stats.cell_updates;
     p.board_seconds += job.seconds;
@@ -44,19 +45,11 @@ BoardPartial scan_board_share(core::SmithWatermanAccelerator& board, std::size_t
   return p;
 }
 
-}  // namespace
-
-ScanResult scan_database_fleet(core::BoardFleet& fleet, const seq::Sequence& query,
-                               const std::vector<seq::Sequence>& records,
-                               const ScanOptions& opt) {
+ScanResult scan_fleet_source(core::BoardFleet& fleet, const seq::Sequence& query,
+                             const RecordSource& src, const ScanOptions& opt) {
   if (fleet.empty()) throw std::invalid_argument("scan_database_fleet: empty fleet");
   opt.validate();
-  for (std::size_t r = 0; r < records.size(); ++r) {
-    if (records[r].alphabet().id() != query.alphabet().id()) {
-      throw std::invalid_argument("scan_database_fleet: record " + std::to_string(r) +
-                                  " alphabet mismatch");
-    }
-  }
+  src.check_alphabet(query, "scan_database_fleet");
 
   // Each accelerator is stateful, so a board is the unit of parallelism:
   // with opt.threads > 1 every pool worker drives whole boards. The record
@@ -67,7 +60,7 @@ ScanResult scan_database_fleet(core::BoardFleet& fleet, const seq::Sequence& que
   const std::size_t threads = std::min(opt.threads, fleet.size());
   if (threads <= 1) {
     for (std::size_t b = 0; b < fleet.size(); ++b) {
-      partials[b] = scan_board_share(*fleet[b], b, fleet.size(), query, records, opt);
+      partials[b] = scan_board_share(*fleet[b], b, fleet.size(), query, src, opt);
     }
   } else {
     std::mutex err_mu;
@@ -78,7 +71,7 @@ ScanResult scan_database_fleet(core::BoardFleet& fleet, const seq::Sequence& que
     for (std::size_t b = 0; b < fleet.size(); ++b) {
       tasks.emplace_back([&, b] {
         try {
-          partials[b] = scan_board_share(*fleet[b], b, fleet.size(), query, records, opt);
+          partials[b] = scan_board_share(*fleet[b], b, fleet.size(), query, src, opt);
         } catch (...) {
           const std::lock_guard<std::mutex> lock(err_mu);
           if (!first_error) first_error = std::current_exception();
@@ -91,7 +84,7 @@ ScanResult scan_database_fleet(core::BoardFleet& fleet, const seq::Sequence& que
   }
 
   ScanResult out;
-  out.records_scanned = records.size();
+  out.records_scanned = src.size();
   double busiest = 0.0;
   for (BoardPartial& p : partials) {
     out.cell_updates += p.cell_updates;
@@ -104,6 +97,19 @@ ScanResult scan_database_fleet(core::BoardFleet& fleet, const seq::Sequence& que
   // Boards run in parallel: the fleet finishes with its busiest member.
   out.board_seconds = busiest;
   return out;
+}
+
+}  // namespace
+
+ScanResult scan_database_fleet(core::BoardFleet& fleet, const seq::Sequence& query,
+                               const std::vector<seq::Sequence>& records,
+                               const ScanOptions& opt) {
+  return scan_fleet_source(fleet, query, RecordSource(records), opt);
+}
+
+ScanResult scan_database_fleet(core::BoardFleet& fleet, const seq::Sequence& query,
+                               const db::Store& store, const ScanOptions& opt) {
+  return scan_fleet_source(fleet, query, RecordSource(store), opt);
 }
 
 }  // namespace swr::host

@@ -20,4 +20,10 @@ ScanResult scan_database_fleet(core::BoardFleet& fleet, const seq::Sequence& que
                                const std::vector<seq::Sequence>& records,
                                const ScanOptions& opt);
 
+/// Fleet scan over a memory-mapped .swdb store — same round-robin deal
+/// and merge, records decoded from the mapping as each board consumes
+/// them. Hits are bit-identical to the vector overload.
+ScanResult scan_database_fleet(core::BoardFleet& fleet, const seq::Sequence& query,
+                               const db::Store& store, const ScanOptions& opt);
+
 }  // namespace swr::host

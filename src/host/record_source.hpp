@@ -1,0 +1,87 @@
+// RecordSource: one non-owning facade over the two ways a database
+// reaches a scan engine — an in-memory std::vector<seq::Sequence> (the
+// FASTA path) or a memory-mapped db::Store (the .swdb path).
+//
+// Every scan engine iterates records through this facade, so the two
+// paths share one kernel loop and stay bit-identical by construction.
+// codes() is zero-copy for vectors and Raw8 stores; Packed2 stores decode
+// into the caller's scratch buffer (the engines reuse one per worker, so
+// a scan does no per-record allocation either way).
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/store.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::host {
+
+/// Non-owning view of a scan database. The referenced container/store
+/// must outlive the source (scan calls hold it only for their duration).
+class RecordSource {
+ public:
+  /// Over in-memory records. Empty vectors fall back to the DNA alphabet
+  /// (a scan over zero records never touches it).
+  explicit RecordSource(const std::vector<seq::Sequence>& records) : records_(&records) {}
+
+  /// Over a memory-mapped store.
+  explicit RecordSource(const db::Store& store) : store_(&store) {}
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return store_ != nullptr ? store_->size() : records_->size();
+  }
+
+  [[nodiscard]] const seq::Alphabet& alphabet() const {
+    if (store_ != nullptr) return store_->alphabet();
+    return records_->empty() ? seq::dna() : records_->front().alphabet();
+  }
+
+  [[nodiscard]] std::size_t length(std::size_t r) const {
+    return store_ != nullptr ? store_->length(r) : (*records_)[r].size();
+  }
+
+  /// Dense codes of record `r`; see class comment for scratch semantics.
+  [[nodiscard]] std::span<const seq::Code> codes(std::size_t r,
+                                                 std::vector<seq::Code>& scratch) const {
+    return store_ != nullptr ? store_->codes(r, scratch) : (*records_)[r].codes();
+  }
+
+  [[nodiscard]] std::string_view name(std::size_t r) const {
+    return store_ != nullptr ? store_->name(r) : std::string_view((*records_)[r].name());
+  }
+
+  /// Owning Sequence for record `r` — the accelerator model and the DUST
+  /// filter want whole Sequence objects; the vector path returns a copy.
+  [[nodiscard]] seq::Sequence sequence(std::size_t r) const {
+    return store_ != nullptr ? store_->sequence(r) : (*records_)[r];
+  }
+
+  /// Verifies every record alphabet matches `query`'s. Vector sources
+  /// check per record (mixed vectors are constructible); a store is
+  /// single-alphabet by format. @throws std::invalid_argument naming
+  /// `what` and the offending record.
+  void check_alphabet(const seq::Sequence& query, const char* what) const {
+    if (store_ != nullptr) {
+      if (store_->alphabet().id() != query.alphabet().id()) {
+        throw std::invalid_argument(std::string(what) + ": database alphabet mismatch");
+      }
+      return;
+    }
+    for (std::size_t r = 0; r < records_->size(); ++r) {
+      if ((*records_)[r].alphabet().id() != query.alphabet().id()) {
+        throw std::invalid_argument(std::string(what) + ": record " + std::to_string(r) +
+                                    " alphabet mismatch");
+      }
+    }
+  }
+
+ private:
+  const std::vector<seq::Sequence>* records_ = nullptr;
+  const db::Store* store_ = nullptr;
+};
+
+}  // namespace swr::host

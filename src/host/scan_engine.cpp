@@ -4,6 +4,7 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <numeric>
 #include <stdexcept>
 
 #include "align/sw_antidiag.hpp"
@@ -24,8 +25,10 @@ struct Worker {
   std::vector<align::Score> row;  // scalar kernel DP row
   align::AntidiagWorkspace ws16;
   align::Antidiag8Workspace ws8;
+  std::vector<seq::Code> decode;  // Packed2-store record scratch
   std::vector<Hit> hits;  // sorted by hit_ranks_before, size <= top_k
   std::uint64_t cell_updates = 0;
+  std::uint64_t swar8_fallbacks = 0;
 };
 
 align::LocalScoreResult score_record(std::span<const seq::Code> rec,
@@ -44,6 +47,7 @@ align::LocalScoreResult score_record(std::span<const seq::Code> rec,
       // Widest first; a saturated lane aborts the 8-bit pass at the end of
       // the offending diagonal and the record lazily re-runs one tier down.
       if (const auto r = align::sw_antidiag8_try(rec, query, sc, w.ws8)) return *r;
+      ++w.swar8_fallbacks;
       return score_record(rec, query, sc, SimdPolicy::Swar16, w);
   }
   throw std::invalid_argument("scan_database_cpu: unknown SIMD policy");
@@ -55,30 +59,55 @@ void insert_top_k(std::vector<Hit>& hits, Hit hit, std::size_t top_k) {
   if (hits.size() > top_k) hits.pop_back();
 }
 
-}  // namespace
+// Scores one record and folds any hit into the worker's top-k — shared by
+// the whole-database scan and the id-list chunk scan so both stay
+// bit-identical per record.
+void scan_one(const RecordSource& src, std::size_t r, std::span<const seq::Code> qcodes,
+              const align::Scoring& sc, const ScanOptions& opt, Worker& w) {
+  const std::span<const seq::Code> rec = src.codes(r, w.decode);
+  if (rec.empty()) return;
+  w.cell_updates += static_cast<std::uint64_t>(rec.size()) * qcodes.size();
+  const align::LocalScoreResult best = score_record(rec, qcodes, sc, opt.simd_policy, w);
+  if (best.score < opt.min_score) return;
+  if (opt.dust_filter && dust_suppressed(src.sequence(r), best.end, opt)) return;
+  Hit hit;
+  hit.record = r;
+  hit.result = best;
+  insert_top_k(w.hits, std::move(hit), opt.top_k);
+}
 
-ScanResult scan_database_cpu(const seq::Sequence& query, const std::vector<seq::Sequence>& records,
-                             const align::Scoring& sc, const ScanOptions& opt) {
+// Folds the per-worker partials into one result. Deterministic merge:
+// hit_ranks_before is a total order (score desc, record asc, canonical
+// cell), so sorting the union of the per-worker top-k lists yields the
+// same ranking no matter how records were sharded across threads —
+// bit-identical to the sequential scan.
+void merge_workers(std::vector<Worker>& workers, std::size_t top_k, ScanResult& out) {
+  for (Worker& w : workers) {
+    out.cell_updates += w.cell_updates;
+    out.swar8_fallbacks += w.swar8_fallbacks;
+    out.hits.insert(out.hits.end(), std::make_move_iterator(w.hits.begin()),
+                    std::make_move_iterator(w.hits.end()));
+  }
+  std::sort(out.hits.begin(), out.hits.end(), hit_ranks_before);
+  if (out.hits.size() > top_k) out.hits.resize(top_k);
+}
+
+ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
+                           const align::Scoring& sc, const ScanOptions& opt) {
   opt.validate();
   sc.validate();
-  for (std::size_t r = 0; r < records.size(); ++r) {
-    if (records[r].alphabet().id() != query.alphabet().id()) {
-      throw std::invalid_argument("scan_database_cpu: record " + std::to_string(r) +
-                                  " alphabet mismatch");
-    }
-  }
+  src.check_alphabet(query, "scan_database_cpu");
 
   ScanResult out;
-  out.records_scanned = records.size();
-  if (query.empty() || records.empty()) return out;
+  out.records_scanned = src.size();
+  if (query.empty() || src.size() == 0) return out;
 
   // Contiguous shards claimed through an atomic cursor: cheap enough to
   // keep shards small (good balance against wildly varying record
   // lengths), coarse enough that the cursor is not contended.
-  const std::size_t threads = std::min(opt.threads, records.size());
-  const std::size_t shard =
-      std::max<std::size_t>(1, records.size() / (threads * 8));
-  const std::size_t num_shards = (records.size() + shard - 1) / shard;
+  const std::size_t threads = std::min(opt.threads, src.size());
+  const std::size_t shard = std::max<std::size_t>(1, src.size() / (threads * 8));
+  const std::size_t num_shards = (src.size() + shard - 1) / shard;
   std::atomic<std::size_t> cursor{0};
 
   std::vector<Worker> workers;
@@ -91,20 +120,8 @@ ScanResult scan_database_cpu(const seq::Sequence& query, const std::vector<seq::
       const std::size_t s = cursor.fetch_add(1, std::memory_order_relaxed);
       if (s >= num_shards) return;
       const std::size_t lo = s * shard;
-      const std::size_t hi = std::min(records.size(), lo + shard);
-      for (std::size_t r = lo; r < hi; ++r) {
-        const seq::Sequence& rec = records[r];
-        if (rec.empty()) continue;
-        w.cell_updates += static_cast<std::uint64_t>(rec.size()) * qcodes.size();
-        const align::LocalScoreResult best =
-            score_record(rec.codes(), qcodes, sc, opt.simd_policy, w);
-        if (best.score < opt.min_score) continue;
-        if (dust_suppressed(rec, best.end, opt)) continue;
-        Hit hit;
-        hit.record = r;
-        hit.result = best;
-        insert_top_k(w.hits, std::move(hit), opt.top_k);
-      }
+      const std::size_t hi = std::min(src.size(), lo + shard);
+      for (std::size_t r = lo; r < hi; ++r) scan_one(src, r, qcodes, sc, opt, w);
     }
   };
 
@@ -134,17 +151,46 @@ ScanResult scan_database_cpu(const seq::Sequence& query, const std::vector<seq::
     if (first_error) std::rethrow_exception(first_error);
   }
 
-  // Deterministic merge: hit_ranks_before is a total order (score desc,
-  // record asc, canonical cell), so sorting the union of the per-worker
-  // top-k lists yields the same ranking no matter how records were
-  // sharded across threads — bit-identical to the sequential scan.
-  for (Worker& w : workers) {
-    out.cell_updates += w.cell_updates;
-    out.hits.insert(out.hits.end(), std::make_move_iterator(w.hits.begin()),
-                    std::make_move_iterator(w.hits.end()));
+  merge_workers(workers, opt.top_k, out);
+  return out;
+}
+
+}  // namespace
+
+ScanResult scan_database_cpu(const seq::Sequence& query, const std::vector<seq::Sequence>& records,
+                             const align::Scoring& sc, const ScanOptions& opt) {
+  return scan_source_cpu(query, RecordSource(records), sc, opt);
+}
+
+ScanResult scan_database_cpu(const seq::Sequence& query, const db::Store& store,
+                             const align::Scoring& sc, const ScanOptions& opt) {
+  return scan_source_cpu(query, RecordSource(store), sc, opt);
+}
+
+ScanResult scan_records_cpu(const seq::Sequence& query, const RecordSource& src,
+                            std::span<const std::uint32_t> record_ids, const align::Scoring& sc,
+                            const ScanOptions& opt) {
+  opt.validate();
+  sc.validate();
+  src.check_alphabet(query, "scan_records_cpu");
+  for (const std::uint32_t r : record_ids) {
+    if (r >= src.size()) {
+      throw std::invalid_argument("scan_records_cpu: record id " + std::to_string(r) +
+                                  " out of range");
+    }
   }
-  std::sort(out.hits.begin(), out.hits.end(), hit_ranks_before);
-  if (out.hits.size() > opt.top_k) out.hits.resize(opt.top_k);
+
+  ScanResult out;
+  out.records_scanned = record_ids.size();
+  if (query.empty() || record_ids.empty()) return out;
+
+  std::vector<Worker> workers;
+  workers.emplace_back(query, sc);
+  const std::span<const seq::Code> qcodes = query.codes();
+  for (const std::uint32_t r : record_ids) {
+    scan_one(src, r, qcodes, sc, opt, workers[0]);
+  }
+  merge_workers(workers, opt.top_k, out);
   return out;
 }
 

@@ -24,12 +24,20 @@
 // same cell_updates — because per-record results are engine-invariant
 // (each kernel reproduces sw_linear exactly) and the merge is a total
 // order. Tests enforce this for 1/2/8 threads and all policies.
+//
+// The database reaches the engine either as an in-memory record vector
+// (the FASTA path) or as a memory-mapped db::Store (.swdb) — both run the
+// same loop via host::RecordSource, so their hits are bit-identical too.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "align/scoring.hpp"
+#include "db/store.hpp"
 #include "host/batch.hpp"
+#include "host/record_source.hpp"
 #include "seq/sequence.hpp"
 
 namespace swr::host {
@@ -41,5 +49,22 @@ namespace swr::host {
 /// @throws std::invalid_argument on bad options or alphabet mismatch.
 ScanResult scan_database_cpu(const seq::Sequence& query, const std::vector<seq::Sequence>& records,
                              const align::Scoring& sc, const ScanOptions& opt);
+
+/// Same engine over a memory-mapped .swdb store: no FASTA parse, records
+/// stream straight out of the mapping. Hits are bit-identical to the
+/// vector overload on the same records (tests enforce it).
+ScanResult scan_database_cpu(const seq::Sequence& query, const db::Store& store,
+                             const align::Scoring& sc, const ScanOptions& opt);
+
+/// Single-threaded scan of an explicit record-id list — the dispatch unit
+/// of svc::ScanService (one chunk of a query's work, typically a slice of
+/// the store's schedule_order). `opt.threads` is ignored. Hits carry the
+/// original record ids, so unioning chunk results and sorting under
+/// hit_ranks_before reproduces the whole-database scan exactly.
+/// @throws std::invalid_argument on bad options, alphabet mismatch, or an
+/// id outside the source.
+ScanResult scan_records_cpu(const seq::Sequence& query, const RecordSource& src,
+                            std::span<const std::uint32_t> record_ids, const align::Scoring& sc,
+                            const ScanOptions& opt);
 
 }  // namespace swr::host

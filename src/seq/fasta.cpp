@@ -17,6 +17,39 @@ std::string trim(std::string s) {
   return s.substr(b, e - b);
 }
 
+// Reads one line with any terminator convention: '\n' (Unix), "\r\n"
+// (Windows) or a lone '\r' (classic Mac — std::getline would swallow a
+// whole classic-Mac file as one line). Returns false once the stream is
+// exhausted with nothing read.
+bool get_line_any(std::istream& in, std::string& line) {
+  line.clear();
+  std::streambuf* sb = in.rdbuf();
+  if (!in.good()) return false;
+  int c = sb->sbumpc();
+  if (c == std::char_traits<char>::eof()) {
+    in.setstate(std::ios::eofbit);
+    return false;
+  }
+  for (; c != std::char_traits<char>::eof(); c = sb->sbumpc()) {
+    if (c == '\n') return true;
+    if (c == '\r') {
+      if (sb->sgetc() == '\n') sb->sbumpc();
+      return true;
+    }
+    line.push_back(static_cast<char>(c));
+  }
+  return true;  // final line without a terminator
+}
+
+// An invalid byte quoted for an error message: printable characters as
+// themselves, everything else (control bytes, stray UTF-8) as \xNN.
+std::string printable(char c) {
+  const auto u = static_cast<unsigned char>(c);
+  if (u >= 0x20 && u < 0x7f) return {'\'', c, '\''};
+  static const char* hex = "0123456789abcdef";
+  return {'\'', '\\', 'x', hex[u >> 4], hex[u & 0xf], '\''};
+}
+
 }  // namespace
 
 std::vector<Sequence> read_fasta(std::istream& in, const Alphabet& ab) {
@@ -35,7 +68,7 @@ std::vector<Sequence> read_fasta(std::istream& in, const Alphabet& ab) {
     }
   };
 
-  while (std::getline(in, line)) {
+  while (get_line_any(in, line)) {
     ++lineno;
     const std::string t = trim(line);
     if (t.empty() || t[0] == ';') continue;  // blank or legacy comment line
@@ -48,11 +81,16 @@ std::vector<Sequence> read_fasta(std::istream& in, const Alphabet& ab) {
     if (!in_record) {
       throw FastaError("FASTA line " + std::to_string(lineno) + ": sequence data before any '>' header");
     }
-    for (const char c : t) {
-      const Code code = ab.code(c);
+    // Lower-case residues are valid (Alphabet::code maps them like their
+    // upper-case forms, so soft-masked input normalizes transparently);
+    // anything outside the alphabet fails with line, column and record.
+    const std::size_t lead = line.find_first_not_of(" \t\r\n");
+    for (std::size_t k = 0; k < t.size(); ++k) {
+      const Code code = ab.code(t[k]);
       if (code == kInvalidCode) {
-        throw FastaError("FASTA line " + std::to_string(lineno) + ": invalid residue '" +
-                         std::string(1, c) + "'");
+        throw FastaError("FASTA line " + std::to_string(lineno) + ", column " +
+                         std::to_string(lead + k + 1) + ": invalid residue " + printable(t[k]) +
+                         " in record '" + name + "'");
       }
       codes.push_back(code);
     }

@@ -1,10 +1,12 @@
 // Minimal, strict FASTA reader/writer.
 //
-// Supports multi-record files, arbitrary line wrapping, CRLF line endings
-// and comment lines (';', a legacy FASTA extension). Parsing is strict:
-// residues outside the requested alphabet are an error with a line number,
-// not silently dropped — a corrupted database should fail loudly before it
-// reaches the accelerator.
+// Supports multi-record files, arbitrary line wrapping, every line-ending
+// convention (Unix '\n', Windows "\r\n", classic-Mac lone '\r') and
+// comment lines (';', a legacy FASTA extension). Lower-case (soft-masked)
+// residues are normalized to their upper-case codes. Parsing is otherwise
+// strict: residues outside the requested alphabet are an error naming the
+// line, column and record — not silently dropped — so a corrupted database
+// fails loudly before it reaches the accelerator.
 #pragma once
 
 #include <iosfwd>

@@ -4,6 +4,21 @@
 
 namespace swr::seq {
 
+void pack2(std::span<const Code> codes, std::uint8_t* out) {
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const Code c = codes[i];
+    if (c >= 4) throw std::invalid_argument("pack2: bad code");
+    if ((i & 3u) == 0) out[i >> 2] = 0;
+    out[i >> 2] = static_cast<std::uint8_t>(out[i >> 2] | (c << ((i & 3u) * 2)));
+  }
+}
+
+void unpack2(const std::uint8_t* in, std::size_t n, Code* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<Code>((in[i >> 2] >> ((i & 3u) * 2)) & 0x3u);
+  }
+}
+
 PackedDna::PackedDna(const Sequence& s) {
   if (s.alphabet().id() != AlphabetId::Dna) {
     throw std::invalid_argument("PackedDna: sequence is not DNA");

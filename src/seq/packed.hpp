@@ -8,11 +8,27 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "seq/sequence.hpp"
 
 namespace swr::seq {
+
+/// Bytes needed to hold `n` residues at 2 bits each (4 per byte).
+[[nodiscard]] constexpr std::size_t packed2_bytes(std::size_t n) noexcept {
+  return (n + 3) / 4;
+}
+
+/// Packs `codes` (each < 4) at 2 bits per residue into `out`, which must
+/// hold packed2_bytes(codes.size()) bytes. Residue i lands at bits
+/// [2*(i%4), 2*(i%4)+2) of byte i/4 — the same order PackedDna uses.
+/// This is the on-disk residue encoding of the .swdb store (db/format).
+/// @throws std::invalid_argument on a code >= 4.
+void pack2(std::span<const Code> codes, std::uint8_t* out);
+
+/// Unpacks `n` 2-bit residues from `in` into `out` (n bytes).
+void unpack2(const std::uint8_t* in, std::size_t n, Code* out);
 
 /// DNA sequence packed at 2 bits per base.
 class PackedDna {

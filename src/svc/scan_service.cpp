@@ -1,0 +1,370 @@
+#include "svc/scan_service.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <iterator>
+#include <mutex>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+
+#include "core/accelerator.hpp"
+#include "host/scan_engine.hpp"
+
+namespace swr::svc {
+
+const char* to_string(QueryStatus s) noexcept {
+  switch (s) {
+    case QueryStatus::Done: return "done";
+    case QueryStatus::Cancelled: return "cancelled";
+    case QueryStatus::DeadlineExpired: return "deadline_expired";
+    case QueryStatus::Failed: return "failed";
+  }
+  return "unknown";
+}
+
+void ServiceConfig::validate() const {
+  if (cpu_workers + boards == 0) {
+    throw std::invalid_argument("ServiceConfig: no execution units (cpu_workers + boards == 0)");
+  }
+  if (queue_capacity == 0) throw std::invalid_argument("ServiceConfig: zero queue_capacity");
+  if (max_inflight == 0) throw std::invalid_argument("ServiceConfig: zero max_inflight");
+  if (chunk_records == 0) throw std::invalid_argument("ServiceConfig: zero chunk_records");
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// One admitted query and everything the scheduler tracks about it. All
+// fields are guarded by the service mutex except `query`/`opt`/`ids`,
+// which are immutable after admission (executors read them lock-free).
+struct QueryState {
+  std::uint64_t id = 0;
+  seq::Sequence query;
+  host::ScanOptions opt;
+  Clock::time_point admitted;
+  Clock::time_point deadline;  ///< Clock::time_point::max() = none
+
+  std::span<const std::uint32_t> ids;   ///< dispatch order (service-owned)
+  std::size_t chunk_records = 1;
+  std::size_t chunks_total = 0;
+  std::size_t next_chunk = 0;   ///< first undispatched chunk
+  std::size_t chunks_done = 0;  ///< folded chunks (dispatched or skipped)
+  std::size_t inflight = 0;     ///< chunks executing right now
+
+  host::ScanResult acc;  ///< hits = unsorted union of chunk top-ks
+  bool aborted = false;
+  QueryStatus abort_reason = QueryStatus::Cancelled;
+  std::string error;
+  std::promise<ScanResponse> promise;
+};
+
+}  // namespace
+
+struct ScanService::Impl {
+  // -- immutable after construction ---------------------------------------
+  ServiceConfig cfg;
+  host::RecordSource source;
+  std::vector<std::uint32_t> dispatch_order;  ///< what QueryState::ids views
+  std::vector<std::thread> threads;
+
+  // -- scheduler state, guarded by mu -------------------------------------
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  bool paused = false;
+  bool stopping = false;
+  std::uint64_t next_id = 1;
+  std::uint64_t resolved_count = 0;
+  std::deque<std::shared_ptr<QueryState>> waiting;          ///< admitted, FIFO
+  std::vector<std::shared_ptr<QueryState>> active;          ///< dispatching
+  std::unordered_map<std::uint64_t, std::shared_ptr<QueryState>> live;
+
+  template <typename Db>
+  Impl(const Db& database, ServiceConfig config) : cfg(config), source(database) {
+    cfg.validate();
+    if (cfg.boards > 0 && cfg.board_device == nullptr) cfg.board_device = &core::xc2vp70();
+    cfg.scoring.validate();
+    paused = cfg.start_paused;
+
+    // The dispatch permutation all queries chunk over: the store's
+    // length-descending schedule order when there is one, record order
+    // otherwise. A slice of it is a balanced unit of work either way.
+    dispatch_order.resize(source.size());
+    if constexpr (std::is_same_v<Db, db::Store>) {
+      const auto order = database.schedule_order();
+      dispatch_order.assign(order.begin(), order.end());
+    } else {
+      std::iota(dispatch_order.begin(), dispatch_order.end(), 0u);
+    }
+
+    threads.reserve(cfg.cpu_workers + cfg.boards);
+    for (std::size_t t = 0; t < cfg.cpu_workers; ++t) {
+      threads.emplace_back([this] { executor_loop(/*board=*/nullptr); });
+    }
+    for (std::size_t b = 0; b < cfg.boards; ++b) {
+      threads.emplace_back([this] {
+        core::SmithWatermanAccelerator board(*cfg.board_device, cfg.board_pes, cfg.scoring);
+        executor_loop(&board);
+      });
+    }
+  }
+
+  ~Impl() {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      stopping = true;
+    }
+    cv.notify_all();
+    for (std::thread& t : threads) t.join();
+    // Workers folded their in-flight chunks before exiting; whatever is
+    // still live resolves as Cancelled with its partial top-k.
+    const std::lock_guard<std::mutex> lock(mu);
+    waiting.clear();
+    active.clear();
+    while (!live.empty()) {
+      const std::shared_ptr<QueryState> q = live.begin()->second;
+      q->aborted = true;
+      q->abort_reason = QueryStatus::Cancelled;
+      resolve_locked(*q);
+    }
+  }
+
+  // -- scheduling ----------------------------------------------------------
+
+  // True when some executor has something to do right now: a chunk to
+  // dispatch, a query to promote, or an aborted query whose in-flight
+  // chunks have drained and which only needs resolving. An aborted query
+  // with chunks still in flight is NOT dispatchable — the executor
+  // finishing its last chunk resolves it (returning true there would spin
+  // the other executors).
+  [[nodiscard]] bool dispatchable_locked() const {
+    if (paused) return false;
+    if (!waiting.empty() && active.size() < cfg.max_inflight) return true;
+    for (const auto& q : active) {
+      if (q->aborted) {
+        if (q->inflight == 0) return true;
+        continue;
+      }
+      if (q->next_chunk < q->chunks_total) return true;
+    }
+    return false;
+  }
+
+  // Removes q from live/active, seals its result and fulfils the promise.
+  // The hits union is sorted under the total order and trimmed here —
+  // the step that makes the multi-unit execution deterministic.
+  void resolve_locked(QueryState& q) {
+    std::sort(q.acc.hits.begin(), q.acc.hits.end(), host::hit_ranks_before);
+    if (q.acc.hits.size() > q.opt.top_k) q.acc.hits.resize(q.opt.top_k);
+    ScanResponse resp;
+    resp.status = q.aborted ? q.abort_reason : QueryStatus::Done;
+    resp.result = std::move(q.acc);
+    resp.error = std::move(q.error);
+    resp.seconds = std::chrono::duration<double>(Clock::now() - q.admitted).count();
+    q.promise.set_value(std::move(resp));
+    ++resolved_count;
+    live.erase(q.id);
+    std::erase_if(active, [&](const auto& p) { return p->id == q.id; });
+    std::erase_if(waiting, [&](const auto& p) { return p->id == q.id; });
+    cv.notify_all();  // an inflight slot freed — promote the next query
+  }
+
+  // One executor thread: CPU scan-engine worker (board == nullptr) or a
+  // board driver. Both draw chunks from the same scheduler, so a free
+  // board accelerates CPU-bound traffic and vice versa.
+  void executor_loop(core::SmithWatermanAccelerator* board) {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      cv.wait(lock, [&] { return stopping || dispatchable_locked(); });
+      if (stopping) return;
+
+      // Promote waiting queries into the dispatch set.
+      while (!waiting.empty() && active.size() < cfg.max_inflight) {
+        active.push_back(waiting.front());
+        waiting.pop_front();
+      }
+
+      // First active query with work. Aborted queries only need their
+      // bookkeeping finished; expired deadlines become aborts here.
+      std::shared_ptr<QueryState> q;
+      for (const auto& cand : active) {
+        if (cand->aborted && cand->inflight == 0) {
+          resolve_locked(*cand);
+          break;  // active mutated; rescan from the top
+        }
+        if (cand->aborted || cand->next_chunk >= cand->chunks_total) continue;
+        if (Clock::now() >= cand->deadline) {
+          cand->aborted = true;
+          cand->abort_reason = QueryStatus::DeadlineExpired;
+          if (cand->inflight == 0) resolve_locked(*cand);
+          break;
+        }
+        q = cand;
+        break;
+      }
+      if (!q) continue;  // state changed under us; re-evaluate predicate
+
+      const std::size_t chunk = q->next_chunk++;
+      ++q->inflight;
+      const std::size_t lo = chunk * q->chunk_records;
+      const std::size_t hi = std::min(q->ids.size(), lo + q->chunk_records);
+      lock.unlock();
+
+      host::ScanResult part;
+      std::string error;
+      try {
+        const std::span<const std::uint32_t> chunk_ids = q->ids.subspan(lo, hi - lo);
+        part = board != nullptr ? scan_chunk_board(*board, *q, chunk_ids)
+                                : host::scan_records_cpu(q->query, source, chunk_ids,
+                                                         cfg.scoring, q->opt);
+      } catch (const std::exception& e) {
+        error = e.what();
+      }
+
+      lock.lock();
+      --q->inflight;
+      ++q->chunks_done;
+      if (!error.empty() && !q->aborted) {
+        q->aborted = true;
+        q->abort_reason = QueryStatus::Failed;
+        q->error = error;
+      }
+      fold(q->acc, part);
+      const bool finished = q->aborted ? q->inflight == 0
+                                       : q->chunks_done == q->chunks_total;
+      if (finished && live.count(q->id) != 0) resolve_locked(*q);
+    }
+  }
+
+  // A board's version of one chunk: materialize each record out of the
+  // source, run the cycle-level model, fold hits exactly like the batch
+  // scanner. Scores equal the CPU kernels' (both reproduce sw_linear), so
+  // chunk placement cannot change a query's final hits.
+  host::ScanResult scan_chunk_board(core::SmithWatermanAccelerator& board, const QueryState& q,
+                                    std::span<const std::uint32_t> chunk_ids) {
+    host::ScanResult out;
+    out.records_scanned = chunk_ids.size();
+    for (const std::uint32_t r : chunk_ids) {
+      if (source.length(r) == 0 || q.query.empty()) continue;
+      const seq::Sequence rec = source.sequence(r);
+      const core::JobResult job = board.run(q.query, rec);
+      out.cell_updates += job.stats.cell_updates;
+      out.board_seconds += job.seconds;
+      if (job.best.score < q.opt.min_score) continue;
+      if (host::dust_suppressed(rec, job.best.end, q.opt)) continue;
+      host::Hit hit;
+      hit.record = r;
+      hit.result = job.best;
+      hit.board_seconds = job.seconds;
+      const auto pos =
+          std::upper_bound(out.hits.begin(), out.hits.end(), hit, host::hit_ranks_before);
+      out.hits.insert(pos, std::move(hit));
+      if (out.hits.size() > q.opt.top_k) out.hits.pop_back();
+    }
+    return out;
+  }
+
+  static void fold(host::ScanResult& acc, host::ScanResult& part) {
+    acc.records_scanned += part.records_scanned;
+    acc.cell_updates += part.cell_updates;
+    acc.swar8_fallbacks += part.swar8_fallbacks;
+    acc.board_seconds += part.board_seconds;
+    acc.hits.insert(acc.hits.end(), std::make_move_iterator(part.hits.begin()),
+                    std::make_move_iterator(part.hits.end()));
+  }
+};
+
+ScanService::ScanService(const db::Store& store, ServiceConfig cfg)
+    : impl_(std::make_unique<Impl>(store, std::move(cfg))) {}
+
+ScanService::ScanService(const std::vector<seq::Sequence>& records, ServiceConfig cfg)
+    : impl_(std::make_unique<Impl>(records, std::move(cfg))) {}
+
+ScanService::~ScanService() = default;
+
+std::optional<Ticket> ScanService::try_submit(seq::Sequence query, host::ScanOptions opt,
+                                              std::chrono::milliseconds deadline) {
+  opt.threads = 1;  // chunks are the unit of parallelism in the service
+  opt.validate();
+  impl_->source.check_alphabet(query, "ScanService::submit");
+
+  auto q = std::make_shared<QueryState>();
+  q->query = std::move(query);
+  q->opt = opt;
+  q->admitted = Clock::now();
+  q->deadline = deadline.count() > 0 ? q->admitted + deadline : Clock::time_point::max();
+  q->ids = impl_->dispatch_order;
+  q->chunk_records = impl_->cfg.chunk_records;
+  q->chunks_total = (q->ids.size() + q->chunk_records - 1) / q->chunk_records;
+
+  Ticket ticket;
+  ticket.response = q->promise.get_future().share();
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->live.size() >= impl_->cfg.queue_capacity) return std::nullopt;
+    q->id = impl_->next_id++;
+    ticket.id = q->id;
+    if (q->chunks_total == 0) {
+      // Zero-record database: resolve inline, nothing to dispatch.
+      impl_->live.emplace(q->id, q);
+      impl_->resolve_locked(*q);
+      return ticket;
+    }
+    impl_->live.emplace(q->id, q);
+    impl_->waiting.push_back(std::move(q));
+  }
+  impl_->cv.notify_all();
+  return ticket;
+}
+
+Ticket ScanService::submit(seq::Sequence query, host::ScanOptions opt,
+                           std::chrono::milliseconds deadline) {
+  auto t = try_submit(std::move(query), opt, deadline);
+  if (!t) throw std::runtime_error("ScanService::submit: admission queue full");
+  return *std::move(t);
+}
+
+bool ScanService::cancel(std::uint64_t id) {
+  std::shared_ptr<QueryState> to_resolve;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    const auto it = impl_->live.find(id);
+    if (it == impl_->live.end()) return false;
+    const std::shared_ptr<QueryState>& q = it->second;
+    q->aborted = true;
+    q->abort_reason = QueryStatus::Cancelled;
+    if (q->inflight == 0) {
+      to_resolve = q;
+      impl_->resolve_locked(*to_resolve);
+    }
+    // else: the executor folding the last in-flight chunk resolves it.
+  }
+  impl_->cv.notify_all();
+  return true;
+}
+
+void ScanService::resume() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->paused = false;
+  }
+  impl_->cv.notify_all();
+}
+
+std::size_t ScanService::live() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->live.size();
+}
+
+std::uint64_t ScanService::resolved() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->resolved_count;
+}
+
+}  // namespace swr::svc

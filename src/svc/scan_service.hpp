@@ -1,0 +1,140 @@
+// Asynchronous multi-query scan service — the host-side serving layer.
+//
+// The paper's fig.-7 deployment keeps the database resident and streams
+// queries in; SWAPHI- and BioSEAL-style systems show that sustained
+// throughput at database scale comes from keeping every execution unit
+// busy with *many* queries at once. This service is that layer:
+//
+//   * a bounded admission queue: submit() hands back a ticket with a
+//     future, or rejects outright when `queue_capacity` queries are
+//     already live — overload back-pressure instead of unbounded memory;
+//   * per-query deadline and cancellation: an expired or cancelled query
+//     stops dispatching new work and resolves with whatever partial
+//     top-k its finished chunks produced;
+//   * a chunk scheduler: each admitted query is split into record-id
+//     chunks (slices of the store's length-descending schedule_order, so
+//     chunk costs are balanced), and up to `max_inflight` queries' chunks
+//     are dispatched concurrently across ALL execution units — CPU
+//     scan-engine workers and accelerator board threads draw from the
+//     same pool of chunks;
+//   * a deterministic merge: chunk results are unioned and finally sorted
+//     under host::hit_ranks_before. Because every engine reproduces
+//     sw_linear exactly and the order is total, a query's hits are
+//     bit-identical to a direct scan_database_cpu / scan_database call no
+//     matter which mix of units ran which chunks (tests enforce it).
+//
+// Lifetime: the service owns its worker threads; the destructor stops
+// dispatch, joins, and resolves still-live queries as Cancelled. The
+// referenced database (store or vector) must outlive the service.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "align/scoring.hpp"
+#include "core/device.hpp"
+#include "db/store.hpp"
+#include "host/batch.hpp"
+#include "host/record_source.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::svc {
+
+/// Terminal state of a submitted query.
+enum class QueryStatus : std::uint8_t {
+  Done,             ///< every chunk scanned; result is the full top-k
+  Cancelled,        ///< cancel() or service shutdown; result is partial
+  DeadlineExpired,  ///< deadline hit before the last chunk; result is partial
+  Failed,           ///< a chunk threw; see error
+};
+
+const char* to_string(QueryStatus s) noexcept;
+
+/// Service configuration.
+struct ServiceConfig {
+  std::size_t cpu_workers = 2;  ///< CPU scan-engine executor threads
+  std::size_t boards = 0;       ///< accelerator board executor threads
+  const core::FpgaDevice* board_device = nullptr;  ///< defaults to xc2vp70
+  std::size_t board_pes = 100;  ///< PEs per board
+
+  std::size_t queue_capacity = 64;  ///< max live (unfinished) queries
+  std::size_t max_inflight = 4;     ///< queries dispatched concurrently
+  std::size_t chunk_records = 256;  ///< records per dispatch unit
+
+  align::Scoring scoring = align::Scoring::paper_default();
+
+  /// When true the service admits queries but dispatches nothing until
+  /// resume() — deterministic admission-control tests, drain-free
+  /// maintenance windows.
+  bool start_paused = false;
+
+  /// @throws std::invalid_argument on zero executors / zero capacities.
+  void validate() const;
+};
+
+/// What a query resolves to.
+struct ScanResponse {
+  QueryStatus status = QueryStatus::Done;
+  host::ScanResult result;  ///< complete for Done, partial otherwise
+  std::string error;        ///< Failed: what the chunk threw
+  double seconds = 0.0;     ///< admission -> resolution wall time
+};
+
+/// Handle to a submitted query.
+struct Ticket {
+  std::uint64_t id = 0;
+  std::shared_future<ScanResponse> response;
+};
+
+/// The service. All public methods are thread-safe.
+class ScanService {
+ public:
+  /// Serves scans of a memory-mapped store. Chunks follow the store's
+  /// schedule_order, so every chunk gets a balanced length mix.
+  ScanService(const db::Store& store, ServiceConfig cfg);
+
+  /// Serves scans of an in-memory record vector (chunks in index order).
+  ScanService(const std::vector<seq::Sequence>& records, ServiceConfig cfg);
+
+  /// Stops dispatch, joins workers, resolves live queries as Cancelled.
+  ~ScanService();
+
+  ScanService(const ScanService&) = delete;
+  ScanService& operator=(const ScanService&) = delete;
+
+  /// Admits a query, or returns nullopt when the admission queue is full.
+  /// `opt.threads` is ignored (chunks are the unit of parallelism here);
+  /// a zero `deadline` means none. @throws std::invalid_argument on bad
+  /// scan options or a query/database alphabet mismatch.
+  std::optional<Ticket> try_submit(seq::Sequence query, host::ScanOptions opt,
+                                   std::chrono::milliseconds deadline = {});
+
+  /// Like try_submit, but @throws std::runtime_error on a full queue.
+  Ticket submit(seq::Sequence query, host::ScanOptions opt,
+                std::chrono::milliseconds deadline = {});
+
+  /// Requests cancellation. True if the query was still live (its future
+  /// resolves Cancelled, with partial hits once in-flight chunks drain);
+  /// false if it already resolved.
+  bool cancel(std::uint64_t id);
+
+  /// Starts dispatch after start_paused construction (no-op otherwise).
+  void resume();
+
+  /// Live (admitted, unresolved) queries right now.
+  [[nodiscard]] std::size_t live() const;
+
+  /// Total queries resolved since construction.
+  [[nodiscard]] std::uint64_t resolved() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace swr::svc

@@ -124,6 +124,91 @@ TEST(CliHelp, MentionsNewCommands) {
   EXPECT_NE(r.out.find("nearbest"), std::string::npos);
   EXPECT_NE(r.out.find("map <reads.fq>"), std::string::npos);
   EXPECT_NE(r.out.find("--affine"), std::string::npos);
+  EXPECT_NE(r.out.find("swdb build"), std::string::npos);
+  EXPECT_NE(r.out.find("--batch"), std::string::npos);
+}
+
+// ---- swdb + .swdb-aware scan --------------------------------------------
+
+std::vector<seq::Sequence> swdb_db_records() {
+  seq::RandomSequenceGenerator gen(91);
+  std::vector<seq::Sequence> recs;
+  for (int k = 0; k < 9; ++k) {
+    recs.push_back(gen.uniform(seq::dna(), 80 + 13 * static_cast<std::size_t>(k),
+                               "rec" + std::to_string(k)));
+  }
+  recs.push_back(seq::Sequence::dna("ACGTACGTACGTACGTACGTACGT", "planted"));
+  return recs;
+}
+
+TEST(CliSwdb, BuildInfoAndScanParity) {
+  const auto recs = swdb_db_records();
+  const std::string fa = write_fa("cli_swdb_db", recs);
+  const std::string swdb = testing::TempDir() + "/cli_swdb_db.swdb";
+  const RunResult built = run("swdb", {"build", fa, swdb});
+  EXPECT_EQ(built.code, 0) << built.err;
+  EXPECT_NE(built.out.find("10 records"), std::string::npos) << built.out;
+  EXPECT_NE(built.out.find("packed2"), std::string::npos) << built.out;
+
+  const RunResult info = run("swdb", {"info", swdb, "--verify"});
+  EXPECT_EQ(info.code, 0) << info.err;
+  EXPECT_NE(info.out.find("alphabet dna"), std::string::npos) << info.out;
+  EXPECT_NE(info.out.find("payload hash OK"), std::string::npos) << info.out;
+
+  // scan against the .swdb store (sniffed, not by extension) must print
+  // exactly what the FASTA path prints.
+  const std::string q = write_fa("cli_swdb_q", {seq::Sequence::dna("ACGTACGTACGTACGTACGT", "q")});
+  const RunResult from_fasta = run("scan", {q, fa, "--min-score", "10"});
+  const RunResult from_store = run("scan", {q, swdb, "--min-score", "10"});
+  EXPECT_EQ(from_fasta.code, 0) << from_fasta.err;
+  EXPECT_EQ(from_store.code, 0) << from_store.err;
+  EXPECT_EQ(from_fasta.out, from_store.out);
+  EXPECT_NE(from_store.out.find("planted"), std::string::npos) << from_store.out;
+  EXPECT_NE(from_store.out.find("stats:"), std::string::npos) << from_store.out;
+}
+
+TEST(CliSwdb, InfoRejectsCorruptedFile) {
+  const std::string path = testing::TempDir() + "/cli_swdb_bad.swdb";
+  std::ofstream(path, std::ios::binary) << "SWRSWDB1 but then garbage";
+  const RunResult r = run("swdb", {"info", path});
+  EXPECT_NE(r.code, 0);
+  EXPECT_FALSE(r.err.empty());
+}
+
+TEST(CliSwdb, UsageErrors) {
+  EXPECT_NE(run("swdb", {}).code, 0);
+  EXPECT_NE(run("swdb", {"frobnicate"}).code, 0);
+  EXPECT_NE(run("swdb", {"build", "only_one_arg.fa"}).code, 0);
+}
+
+TEST(CliScanBatch, ServesEveryQueryIdenticallyToSingleScans) {
+  const auto recs = swdb_db_records();
+  const std::string fa = write_fa("cli_batch_db", recs);
+  const std::string swdb = testing::TempDir() + "/cli_batch_db.swdb";
+  ASSERT_EQ(run("swdb", {"build", fa, swdb}).code, 0);
+
+  seq::RandomSequenceGenerator gen(92);
+  const seq::Sequence q1 = seq::Sequence::dna("ACGTACGTACGTACGTACGT", "q1");
+  const seq::Sequence q2 = gen.uniform(seq::dna(), 30, "q2");
+  const std::string queries = write_fa("cli_batch_q", {q1, q2});
+
+  const RunResult batch = run("scan", {queries, swdb, "--min-score", "10", "--batch",
+                                       "--cpu-workers", "2", "--chunk", "3"});
+  EXPECT_EQ(batch.code, 0) << batch.err;
+  EXPECT_NE(batch.out.find("query 1/2: q1"), std::string::npos) << batch.out;
+  EXPECT_NE(batch.out.find("query 2/2: q2"), std::string::npos) << batch.out;
+
+  // Each per-query hit block must equal the single-query scan's.
+  for (const seq::Sequence& q : {q1, q2}) {
+    const std::string qf = write_fa("cli_batch_" + q.name(), {q});
+    const RunResult single = run("scan", {qf, swdb, "--min-score", "10"});
+    ASSERT_EQ(single.code, 0) << single.err;
+    const std::size_t hits_pos = single.out.find("hits (");
+    ASSERT_NE(hits_pos, std::string::npos);
+    const std::string block = single.out.substr(hits_pos);
+    EXPECT_NE(batch.out.find(block), std::string::npos)
+        << "query " << q.name() << ": block\n" << block << "\nnot in batch output\n" << batch.out;
+  }
 }
 
 }  // namespace

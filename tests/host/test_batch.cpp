@@ -141,13 +141,14 @@ TEST(Scan, DustFilterSuppressesRepeatHits) {
 
 TEST(Scan, Validation) {
   core::SmithWatermanAccelerator acc(core::xc2vp70(), 8, kSc);
+  const std::vector<seq::Sequence> none;
   ScanOptions bad;
   bad.top_k = 0;
-  EXPECT_THROW((void)scan_database(acc, seq::Sequence::dna("AC"), {}, bad),
+  EXPECT_THROW((void)scan_database(acc, seq::Sequence::dna("AC"), none, bad),
                std::invalid_argument);
   bad = ScanOptions{};
   bad.min_score = 0;
-  EXPECT_THROW((void)scan_database(acc, seq::Sequence::dna("AC"), {}, bad),
+  EXPECT_THROW((void)scan_database(acc, seq::Sequence::dna("AC"), none, bad),
                std::invalid_argument);
   const std::vector<seq::Sequence> mixed = {seq::Sequence::protein("AR")};
   EXPECT_THROW((void)scan_database(acc, seq::Sequence::dna("AC"), mixed, ScanOptions{}),

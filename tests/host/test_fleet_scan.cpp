@@ -61,7 +61,8 @@ TEST(FleetScan, ParallelTimeShrinksWithBoards) {
 
 TEST(FleetScan, Validation) {
   core::BoardFleet empty;
-  EXPECT_THROW((void)scan_database_fleet(empty, seq::Sequence::dna("AC"), {}, ScanOptions{}),
+  const std::vector<seq::Sequence> none;
+  EXPECT_THROW((void)scan_database_fleet(empty, seq::Sequence::dna("AC"), none, ScanOptions{}),
                std::invalid_argument);
   core::BoardFleet fleet = core::make_board_fleet(core::xc2vp70(), 1, 8, kSc);
   const std::vector<seq::Sequence> mixed = {seq::Sequence::protein("AR")};

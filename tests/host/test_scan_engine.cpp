@@ -137,7 +137,8 @@ TEST(ScanEngine, DustFilterParityWithAcceleratorScan) {
 TEST(ScanEngine, EmptyInputs) {
   ScanOptions opt;
   opt.threads = 4;
-  const ScanResult none = scan_database_cpu(seq::Sequence::dna("ACGT"), {}, kSc, opt);
+  const std::vector<seq::Sequence> no_records;
+  const ScanResult none = scan_database_cpu(seq::Sequence::dna("ACGT"), no_records, kSc, opt);
   EXPECT_TRUE(none.hits.empty());
   EXPECT_EQ(none.records_scanned, 0u);
   EXPECT_EQ(none.cell_updates, 0u);
@@ -158,14 +159,49 @@ TEST(ScanEngine, MoreThreadsThanRecordsIsFine) {
   EXPECT_EQ(r.hits[0].result, align::sw_linear(recs[0], seq::Sequence::dna("ACGT"), kSc));
 }
 
+// A record holding an exact copy of a 300-residue query scores 300 — past
+// the 8-bit lanes' 255 ceiling — so Auto/Swar8 must count exactly one lazy
+// 16-bit re-run, the scalar/16-bit policies none, and the count must be
+// thread-count invariant (it is a per-record property).
+TEST(ScanEngine, Swar8FallbackCountSurfaced) {
+  seq::RandomSequenceGenerator gen(4242);
+  const seq::Sequence query = gen.uniform(seq::dna(), 300, "q");
+  std::vector<seq::Sequence> records;
+  for (int r = 0; r < 6; ++r) {
+    records.push_back(gen.uniform(seq::dna(), 120, "bg" + std::to_string(r)));
+  }
+  seq::Sequence hot = gen.uniform(seq::dna(), 30, "hot");
+  hot.append(query);
+  records.push_back(std::move(hot));
+
+  for (const std::size_t threads : kThreadCounts) {
+    ScanOptions opt;
+    opt.threads = threads;
+    for (const SimdPolicy policy : {SimdPolicy::Auto, SimdPolicy::Swar8}) {
+      opt.simd_policy = policy;
+      const ScanResult r = scan_database_cpu(query, records, kSc, opt);
+      EXPECT_EQ(r.swar8_fallbacks, 1u)
+          << "policy " << static_cast<int>(policy) << ", " << threads << " threads";
+      ASSERT_FALSE(r.hits.empty());
+      EXPECT_EQ(r.hits[0].result.score, 300);  // the re-run still scores exactly
+    }
+    for (const SimdPolicy policy : {SimdPolicy::Scalar, SimdPolicy::Swar16}) {
+      opt.simd_policy = policy;
+      EXPECT_EQ(scan_database_cpu(query, records, kSc, opt).swar8_fallbacks, 0u)
+          << "policy " << static_cast<int>(policy) << ", " << threads << " threads";
+    }
+  }
+}
+
 TEST(ScanEngine, Validation) {
+  const std::vector<seq::Sequence> no_records;
   ScanOptions bad;
   bad.threads = 0;
-  EXPECT_THROW((void)scan_database_cpu(seq::Sequence::dna("AC"), {}, kSc, bad),
+  EXPECT_THROW((void)scan_database_cpu(seq::Sequence::dna("AC"), no_records, kSc, bad),
                std::invalid_argument);
   bad = ScanOptions{};
   bad.top_k = 0;
-  EXPECT_THROW((void)scan_database_cpu(seq::Sequence::dna("AC"), {}, kSc, bad),
+  EXPECT_THROW((void)scan_database_cpu(seq::Sequence::dna("AC"), no_records, kSc, bad),
                std::invalid_argument);
   const std::vector<seq::Sequence> mixed = {seq::Sequence::protein("AR")};
   for (const std::size_t threads : kThreadCounts) {

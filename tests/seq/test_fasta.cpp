@@ -49,6 +49,70 @@ TEST(Fasta, RejectsInvalidResidueWithLineNumber) {
   }
 }
 
+TEST(Fasta, InvalidResidueErrorNamesColumnAndRecord) {
+  std::istringstream in(">chr1 assembly\nACGT\n  ACGNT\n");
+  try {
+    (void)read_fasta(in, dna());
+    FAIL() << "expected FastaError";
+  } catch (const FastaError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("column 6"), std::string::npos) << msg;  // 2 leading spaces, then "ACG", N
+
+    EXPECT_NE(msg.find("'N'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("chr1 assembly"), std::string::npos) << msg;
+  }
+}
+
+TEST(Fasta, InvalidControlByteIsHexEscaped) {
+  std::istringstream in(">r\nAC\x01GT\n");
+  try {
+    (void)read_fasta(in, dna());
+    FAIL() << "expected FastaError";
+  } catch (const FastaError& e) {
+    EXPECT_NE(std::string(e.what()).find("\\x01"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Fasta, LowercaseResiduesNormalized) {
+  std::istringstream in(">soft\nacgtACGT\n>mixed\naCgT\n");
+  const auto recs = read_fasta(in, dna());
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].to_string(), "ACGTACGT");
+  EXPECT_EQ(recs[1].to_string(), "ACGT");
+}
+
+TEST(Fasta, LowercaseProteinNormalized) {
+  std::istringstream in(">p\narndc\n");
+  const auto recs = read_fasta(in, protein());
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].to_string(), "ARNDC");
+}
+
+TEST(Fasta, ClassicMacLineEndings) {
+  std::istringstream in(">one\rACGT\rTTAA\r>two\rGG\r");
+  const auto recs = read_fasta(in, dna());
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].name(), "one");
+  EXPECT_EQ(recs[0].to_string(), "ACGTTTAA");
+  EXPECT_EQ(recs[1].to_string(), "GG");
+}
+
+TEST(Fasta, MixedLineEndingsOneFile) {
+  std::istringstream in(">a\r\nAC\rGT\n>b\nTT\r");
+  const auto recs = read_fasta(in, dna());
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].to_string(), "ACGT");
+  EXPECT_EQ(recs[1].to_string(), "TT");
+}
+
+TEST(Fasta, NoTrailingNewline) {
+  std::istringstream in(">r\nACGT");
+  const auto recs = read_fasta(in, dna());
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].to_string(), "ACGT");
+}
+
 TEST(Fasta, WriteWrapsLines) {
   std::ostringstream out;
   write_fasta(out, {Sequence::dna("ACGTACGTAC", "r")}, 4);
