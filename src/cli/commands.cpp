@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <fstream>
+#include <iterator>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -22,6 +23,9 @@
 #include "db/store.hpp"
 #include "host/batch.hpp"
 #include "host/scan_engine.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "seq/codon.hpp"
 #include "seq/fasta.hpp"
 #include "seq/fastq.hpp"
@@ -199,14 +203,28 @@ struct ScanDatabase {
   }
 };
 
-ScanDatabase load_scan_database(const std::string& path, const seq::Alphabet& ab) {
+ScanDatabase load_scan_database(const std::string& path, const seq::Alphabet& ab,
+                                obs::Registry* metrics) {
   ScanDatabase database;
   if (looks_like_swdb(path)) {
-    database.store = db::Store::open(path);
+    database.store = db::Store::open(path, metrics);
   } else {
     database.records = seq::read_fasta_file(path, ab);
   }
   return database;
+}
+
+/// Writes the registry snapshot as JSON to `path` (--metrics-out).
+void write_metrics_file(const obs::Registry& reg, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw ArgError("cannot write metrics file '" + path + "'");
+  out << obs::to_json(reg.snapshot());
+}
+
+/// The --stats footer: the registry snapshot as a human-readable table.
+void print_stats(std::ostream& out, const obs::Registry& reg) {
+  out << "-- stats " << std::string(64, '-') << "\n";
+  out << obs::to_table(reg.snapshot());
 }
 
 void print_hits(std::ostream& out, const host::ScanResult& scan, const ScanDatabase& database,
@@ -231,7 +249,8 @@ void print_hits(std::ostream& out, const host::ScanResult& scan, const ScanDatab
 /// concurrently through svc::ScanService. Results print in submission
 /// order; hits are bit-identical to running `scan` once per query.
 int scan_batch(const ArgParser& args, const seq::Alphabet& ab, const align::Scoring& sc,
-               const host::ScanOptions& opt, const ScanDatabase& database, std::ostream& out) {
+               const host::ScanOptions& opt, const ScanDatabase& database,
+               obs::Registry* metrics, std::ostream& out) {
   const auto queries = seq::read_fasta_file(args.positionals()[0], ab);
   if (queries.empty()) throw ArgError("no query records in '" + args.positionals()[0] + "'");
 
@@ -244,6 +263,14 @@ int scan_batch(const ArgParser& args, const seq::Alphabet& ab, const align::Scor
   cfg.max_inflight = static_cast<std::size_t>(args.get_int("inflight"));
   cfg.chunk_records = static_cast<std::size_t>(args.get_int("chunk"));
   cfg.scoring = sc;
+  cfg.metrics = metrics;
+  // One span per query; keep them all so the --stats trace table is
+  // complete. Slow threshold from --slow-ms (0 = slow log off).
+  std::optional<obs::TraceRing> trace;
+  if (metrics != nullptr) {
+    trace.emplace(queries.size(), static_cast<double>(args.get_int("slow-ms")) / 1e3);
+    cfg.trace = &*trace;
+  }
   const std::chrono::milliseconds deadline(args.get_int("deadline-ms"));
 
   const align::KarlinParams kp = align::solve_karlin_uniform(sc, ab.size());
@@ -278,6 +305,29 @@ int scan_batch(const ArgParser& args, const seq::Alphabet& ab, const align::Scor
     }
     print_hits(out, resp.result, database, queries[i], kp, opt);
   }
+
+  if (trace) {
+    out << "-- trace spans (ms) " << std::string(53, '-') << "\n";
+    char line[160];
+    std::snprintf(line, sizeof line, "%6s %-17s %6s %9s %9s %9s %9s %7s %8s\n", "query", "status",
+                  "chunks", "admit", "window", "exec_cpu", "exec_brd", "merge", "total");
+    out << line;
+    for (const obs::Span& s : trace->spans()) {
+      std::snprintf(line, sizeof line, "%6llu %-17s %6u %9.2f %9.2f %9.2f %9.2f %7.2f %8.2f\n",
+                    static_cast<unsigned long long>(s.query_id), s.status, s.chunks,
+                    s.admission_wait * 1e3, s.dispatch_window * 1e3, s.exec_cpu * 1e3,
+                    s.exec_board * 1e3, s.merge * 1e3, s.total * 1e3);
+      out << line;
+    }
+    const auto slow = trace->slow();
+    if (!slow.empty()) {
+      out << "slow queries (total >= " << trace->slow_threshold_seconds() * 1e3 << " ms): ";
+      for (std::size_t k = 0; k < slow.size(); ++k) {
+        out << (k == 0 ? "" : ", ") << slow[k].query_id;
+      }
+      out << "\n";
+    }
+  }
   return 0;
 }
 
@@ -299,7 +349,10 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
       .option("inflight", "4")
       .option("queue", "64")
       .option("chunk", "256")
-      .option("deadline-ms", "0");
+      .option("deadline-ms", "0")
+      .flag("stats")
+      .option("metrics-out")
+      .option("slow-ms", "0");
   args.parse(argv);
   if (args.positionals().size() != 2) {
     throw ArgError("scan needs <query.fa> <database.fa|database.swdb>");
@@ -324,15 +377,28 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
     throw ArgError("--engine accel is single-threaded; use --engine cpu with --threads");
   }
 
+  // Observability is opt-in: --stats or --metrics-out turns the process
+  // registry on; otherwise every instrumented layer sees nullptr and
+  // records nothing.
+  const std::optional<std::string> metrics_out = args.get_optional("metrics-out");
+  const bool want_metrics = args.has("stats") || metrics_out.has_value();
+  obs::Registry* reg = want_metrics ? &obs::global_registry() : nullptr;
+  opt.metrics = reg;
+
   // The database decides the alphabet when it is a .swdb store (it was
   // fixed at build time); --alphabet governs the FASTA path only.
-  ScanDatabase database = load_scan_database(args.positionals()[1],
-                                             alphabet_by_name(args.get("alphabet")));
+  ScanDatabase database =
+      load_scan_database(args.positionals()[1], alphabet_by_name(args.get("alphabet")), reg);
   const seq::Alphabet& ab =
       database.store ? database.store->alphabet() : alphabet_by_name(args.get("alphabet"));
   const align::Scoring sc = scoring_from(args, ab);
 
-  if (args.has("batch")) return scan_batch(args, ab, sc, opt, database, out);
+  if (args.has("batch")) {
+    const int rc = scan_batch(args, ab, sc, opt, database, reg, out);
+    if (reg != nullptr && args.has("stats")) print_stats(out, *reg);
+    if (reg != nullptr && metrics_out) write_metrics_file(*reg, *metrics_out);
+    return rc;
+  }
 
   const seq::Sequence query = first_record(args.positionals()[0], ab);
 
@@ -352,6 +418,37 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
   out << "database: " << database.size() << " records, " << database.residues()
       << " residues\n";
   print_hits(out, scan, database, query, kp, opt);
+  if (reg != nullptr && args.has("stats")) print_stats(out, *reg);
+  if (reg != nullptr && metrics_out) write_metrics_file(*reg, *metrics_out);
+  return 0;
+}
+
+/// `stats-dump`: renders a metrics snapshot as the --stats table — either
+/// a --metrics-out JSON file from an earlier run, or (with no argument)
+/// whatever the process-wide registry currently holds, as JSON with
+/// --json.
+int cmd_stats_dump(const std::vector<std::string>& argv, std::ostream& out) {
+  ArgParser args;
+  args.flag("json");
+  args.parse(argv);
+  if (args.positionals().size() > 1) throw ArgError("stats-dump takes at most one <metrics.json>");
+
+  obs::Snapshot snap;
+  if (args.positionals().size() == 1) {
+    const std::string& path = args.positionals()[0];
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw ArgError("cannot read metrics file '" + path + "'");
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    try {
+      snap = obs::from_json(text);
+    } catch (const std::exception& e) {
+      throw ArgError("'" + path + "' is not a metrics dump: " + e.what());
+    }
+  } else {
+    snap = obs::global_registry().snapshot();
+  }
+  out << (args.has("json") ? obs::to_json(snap) : obs::to_table(snap));
   return 0;
 }
 
@@ -569,7 +666,9 @@ std::string usage() {
          "                       [--alphabet ...] [--engine auto|accel|cpu] [--threads N]\n"
          "                       [--simd auto|scalar|swar16|swar8]\n"
          "                       [--batch [--cpu-workers N] [--boards N] [--inflight N]\n"
-         "                        [--queue N] [--chunk N] [--deadline-ms N]]\n"
+         "                        [--queue N] [--chunk N] [--deadline-ms N] [--slow-ms N]]\n"
+         "                       [--stats] [--metrics-out <metrics.json>]\n"
+         "  stats-dump [metrics.json]  [--json]\n"
          "  swdb build <in.fa> <out.swdb>  [--alphabet ...] [--encoding auto|raw8|packed2]\n"
          "  swdb info <db.swdb>  [--verify]\n"
          "  nearbest <a.fa> <b.fa>  [--max K] [--min-score S]\n"
@@ -591,6 +690,7 @@ int run_command(const std::string& command, const std::vector<std::string>& args
     if (command == "nearbest") return cmd_nearbest(args, out);
     if (command == "map") return cmd_map(args, out);
     if (command == "design") return cmd_design(args, out);
+    if (command == "stats-dump") return cmd_stats_dump(args, out);
     if (command == "help" || command.empty()) {
       out << usage();
       return 0;

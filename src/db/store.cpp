@@ -1,9 +1,11 @@
 #include "db/store.hpp"
 
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "seq/packed.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -28,7 +30,8 @@ std::size_t record_bytes(Encoding enc, std::uint32_t length) {
 
 }  // namespace
 
-Store Store::open(const std::string& path) {
+Store Store::open(const std::string& path, obs::Registry* metrics) {
+  const auto start = std::chrono::steady_clock::now();
   Store s;
   s.path_ = path;
 
@@ -107,6 +110,12 @@ Store Store::open(const std::string& path) {
     }
     if (s.order_[r] >= n) fail(path, "schedule order entry out of range");
   }
+  if (metrics != nullptr) {
+    metrics->counter("db.opens").add(1);
+    metrics->counter("db.bytes_mapped").add(s.bytes_);
+    metrics->histogram("db.open_us").observe_seconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
+  }
   return s;
 }
 
@@ -166,9 +175,16 @@ seq::Sequence Store::sequence(std::size_t r) const {
   return seq::Sequence(*alphabet_, std::move(codes), std::string(name(r)));
 }
 
-void Store::verify_payload() const {
+void Store::verify_payload(obs::Registry* metrics) const {
+  const auto start = std::chrono::steady_clock::now();
   const std::uint64_t got =
       fnv1a(data_ + sizeof(FileHeader), bytes_ - sizeof(FileHeader));
+  if (metrics != nullptr) {
+    metrics->counter("db.verifies").add(1);
+    metrics->counter("db.bytes_verified").add(bytes_ - sizeof(FileHeader));
+    metrics->histogram("db.verify_us").observe_seconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
+  }
   if (got != header_.payload_hash) fail(path_, "payload checksum mismatch");
 }
 

@@ -22,6 +22,10 @@
 #include "db/format.hpp"
 #include "seq/sequence.hpp"
 
+namespace swr::obs {
+class Registry;
+}
+
 namespace swr::db {
 
 /// A read-only, memory-mapped .swdb database.
@@ -29,8 +33,10 @@ class Store {
  public:
   /// Maps and validates `path`. Header hash, section bounds and every
   /// record's offset/name range are checked up front; the residue payload
-  /// is NOT hashed here (see verify_payload). @throws StoreError.
-  static Store open(const std::string& path);
+  /// is NOT hashed here (see verify_payload). With a non-null `metrics`
+  /// registry, records db.opens / db.bytes_mapped counters and a
+  /// db.open_us histogram (null = strict no-op). @throws StoreError.
+  static Store open(const std::string& path, obs::Registry* metrics = nullptr);
 
   Store(Store&& other) noexcept;
   Store& operator=(Store&& other) noexcept;
@@ -72,8 +78,10 @@ class Store {
 
   /// Re-hashes everything after the header and compares against the
   /// header's payload_hash — the full-integrity check tier-1 tests and
-  /// operators run; scans skip it. @throws StoreError on mismatch.
-  void verify_payload() const;
+  /// operators run; scans skip it. With a non-null `metrics` registry,
+  /// records db.verifies / db.bytes_verified and a db.verify_us
+  /// histogram. @throws StoreError on mismatch.
+  void verify_payload(obs::Registry* metrics = nullptr) const;
 
  private:
   Store() = default;

@@ -19,6 +19,10 @@ namespace swr::db {
 class Store;
 }
 
+namespace swr::obs {
+class Registry;
+}
+
 namespace swr::host {
 
 /// One database hit.
@@ -60,6 +64,15 @@ struct ScanOptions {
 
   /// Kernel selection for scan_database_cpu.
   SimdPolicy simd_policy = SimdPolicy::Auto;
+
+  /// Observability sink. nullptr (the default) is a strict no-op: the
+  /// engines never form a metric name or touch an atomic — the disabled
+  /// path costs one pointer test per scan (bench_kernels enforces the
+  /// <2% bound). Non-null: the CPU engine records scan.* counters
+  /// (records/cells/fallbacks, reconciling exactly with ScanResult) and a
+  /// per-worker kernel-time histogram; the fleet engine records fleet.*.
+  /// The registry must outlive the scan call.
+  obs::Registry* metrics = nullptr;
 
   void validate() const;
 };

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "host/record_source.hpp"
+#include "obs/metrics.hpp"
 #include "par/thread_pool.hpp"
 
 namespace swr::host {
@@ -96,6 +97,13 @@ ScanResult scan_fleet_source(core::BoardFleet& fleet, const seq::Sequence& query
   if (out.hits.size() > opt.top_k) out.hits.resize(opt.top_k);
   // Boards run in parallel: the fleet finishes with its busiest member.
   out.board_seconds = busiest;
+  if (opt.metrics != nullptr) {
+    opt.metrics->counter("fleet.scans").add(1);
+    opt.metrics->counter("fleet.records").add(out.records_scanned);
+    opt.metrics->counter("fleet.cells").add(out.cell_updates);
+    obs::Histogram& board_us = opt.metrics->histogram("fleet.board_modelled_us");
+    for (const BoardPartial& p : partials) board_us.observe_seconds(p.board_seconds);
+  }
   return out;
 }
 

@@ -7,13 +7,36 @@
 #include <numeric>
 #include <stdexcept>
 
+#include <chrono>
+
 #include "align/sw_antidiag.hpp"
 #include "align/sw_antidiag8.hpp"
 #include "align/sw_profile.hpp"
+#include "obs/metrics.hpp"
 #include "par/thread_pool.hpp"
 
 namespace swr::host {
 namespace {
+
+// Metric handles fetched once per scan (registry lookups take a lock; the
+// record loop must not). All-null when opt.metrics is null, so the
+// disabled path is a single pointer test per scan and one per worker.
+struct ScanMetrics {
+  obs::Counter* scans = nullptr;
+  obs::Counter* records = nullptr;
+  obs::Counter* cells = nullptr;
+  obs::Counter* fallbacks = nullptr;
+  obs::Histogram* worker_kernel_us = nullptr;
+
+  explicit ScanMetrics(obs::Registry* reg) {
+    if (reg == nullptr) return;
+    scans = &reg->counter("scan.scans");
+    records = &reg->counter("scan.records");
+    cells = &reg->counter("scan.cells");
+    fallbacks = &reg->counter("scan.swar8_fallbacks");
+    worker_kernel_us = &reg->histogram("scan.worker_kernel_us");
+  }
+};
 
 // Everything one worker owns: the reusable query profile, kernel scratch,
 // and its private top-k. Built once per thread, reused for every record
@@ -114,14 +137,20 @@ ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
   workers.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) workers.emplace_back(query, sc);
 
+  const ScanMetrics metrics(opt.metrics);
   const std::span<const seq::Code> qcodes = query.codes();
   const auto scan_shards = [&](Worker& w) {
+    const auto start = std::chrono::steady_clock::now();
     for (;;) {
       const std::size_t s = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (s >= num_shards) return;
+      if (s >= num_shards) break;
       const std::size_t lo = s * shard;
       const std::size_t hi = std::min(src.size(), lo + shard);
       for (std::size_t r = lo; r < hi; ++r) scan_one(src, r, qcodes, sc, opt, w);
+    }
+    if (metrics.worker_kernel_us != nullptr) {
+      metrics.worker_kernel_us->observe_seconds(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
     }
   };
 
@@ -152,6 +181,12 @@ ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
   }
 
   merge_workers(workers, opt.top_k, out);
+  if (metrics.scans != nullptr) {
+    metrics.scans->add(1);
+    metrics.records->add(out.records_scanned);
+    metrics.cells->add(out.cell_updates);
+    metrics.fallbacks->add(out.swar8_fallbacks);
+  }
   return out;
 }
 
@@ -184,13 +219,25 @@ ScanResult scan_records_cpu(const seq::Sequence& query, const RecordSource& src,
   out.records_scanned = record_ids.size();
   if (query.empty() || record_ids.empty()) return out;
 
+  const ScanMetrics metrics(opt.metrics);
   std::vector<Worker> workers;
   workers.emplace_back(query, sc);
   const std::span<const seq::Code> qcodes = query.codes();
+  const auto start = std::chrono::steady_clock::now();
   for (const std::uint32_t r : record_ids) {
     scan_one(src, r, qcodes, sc, opt, workers[0]);
   }
+  if (metrics.worker_kernel_us != nullptr) {
+    metrics.worker_kernel_us->observe_seconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
+  }
   merge_workers(workers, opt.top_k, out);
+  if (metrics.scans != nullptr) {
+    metrics.scans->add(1);
+    metrics.records->add(out.records_scanned);
+    metrics.cells->add(out.cell_updates);
+    metrics.fallbacks->add(out.swar8_fallbacks);
+  }
   return out;
 }
 

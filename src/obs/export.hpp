@@ -1,0 +1,31 @@
+// Snapshot serialization: the machine edge (JSON, for --metrics-out and
+// downstream tooling) and the human edge (the --stats / stats-dump table).
+//
+// from_json parses exactly the dialect to_json emits — enough for
+// `swr stats-dump <file>` to re-render a dump taken by an earlier run —
+// and rejects anything structurally off rather than guessing.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace swr::obs {
+
+/// Deterministic JSON rendering of a snapshot (names sorted, stable field
+/// order). Counters/gauges are name -> integer maps; histograms carry
+/// exact count/sum, interpolated p50/p90/p99 and the non-empty
+/// (upper_bound, count) bucket pairs.
+[[nodiscard]] std::string to_json(const Snapshot& snap);
+
+/// Human-readable table: counters, gauges, then histograms with
+/// count/sum/quantiles. Histogram values are microseconds by convention
+/// (every producer in this codebase observes µs).
+[[nodiscard]] std::string to_table(const Snapshot& snap);
+
+/// Parses a to_json dump back into a Snapshot.
+/// @throws std::runtime_error on malformed input.
+[[nodiscard]] Snapshot from_json(std::string_view json);
+
+}  // namespace swr::obs

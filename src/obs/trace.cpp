@@ -1,0 +1,49 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swr::obs {
+
+TraceRing::TraceRing(std::size_t capacity, double slow_threshold_seconds)
+    : capacity_(capacity), slow_threshold_(slow_threshold_seconds) {
+  if (capacity_ == 0) throw std::invalid_argument("TraceRing: zero capacity");
+  ring_.reserve(capacity_);
+}
+
+void TraceRing::record(const Span& span) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[head_] = span;
+    head_ = (head_ + 1) % capacity_;
+  }
+  if (slow_threshold_ > 0.0 && span.total >= slow_threshold_) {
+    if (slow_.size() == capacity_) slow_.erase(slow_.begin());
+    slow_.push_back(span);
+  }
+}
+
+std::vector<Span> TraceRing::spans() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  for (std::size_t k = 0; k < ring_.size(); ++k) {
+    out.push_back(ring_[(head_ + k) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<Span> TraceRing::slow() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return slow_;
+}
+
+std::uint64_t TraceRing::recorded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+}  // namespace swr::obs

@@ -15,6 +15,8 @@
 
 #include "core/accelerator.hpp"
 #include "host/scan_engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace swr::svc {
 
@@ -58,6 +60,14 @@ struct QueryState {
   std::size_t chunks_done = 0;  ///< folded chunks (dispatched or skipped)
   std::size_t inflight = 0;     ///< chunks executing right now
 
+  // Stage timing for the trace span / histograms; all mutated under the
+  // service mutex.
+  bool dispatched = false;
+  Clock::time_point first_dispatch;
+  Clock::time_point last_fold;
+  double exec_cpu_seconds = 0.0;    ///< summed CPU chunk execution
+  double exec_board_seconds = 0.0;  ///< summed board chunk execution
+
   host::ScanResult acc;  ///< hits = unsorted union of chunk top-ks
   bool aborted = false;
   QueryStatus abort_reason = QueryStatus::Cancelled;
@@ -65,12 +75,65 @@ struct QueryState {
   std::promise<ScanResponse> promise;
 };
 
+// Metric handles fetched once at service construction (registry lookups
+// lock; the scheduler must not). Null throughout when cfg.metrics is null,
+// so the disabled path costs a pointer test per event.
+struct ServiceMetrics {
+  obs::Counter* admitted = nullptr;
+  obs::Counter* rejected = nullptr;
+  obs::Counter* done = nullptr;
+  obs::Counter* cancelled = nullptr;
+  obs::Counter* deadline_expired = nullptr;
+  obs::Counter* failed = nullptr;
+  obs::Counter* chunks_cpu = nullptr;
+  obs::Counter* chunks_board = nullptr;
+  obs::Counter* records = nullptr;
+  obs::Counter* cells = nullptr;
+  obs::Counter* fallbacks = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  obs::Gauge* dispatching = nullptr;
+  obs::Histogram* admission_wait_us = nullptr;
+  obs::Histogram* chunk_cpu_us = nullptr;
+  obs::Histogram* chunk_board_us = nullptr;
+  obs::Histogram* merge_us = nullptr;
+  obs::Histogram* query_us = nullptr;
+
+  explicit ServiceMetrics(obs::Registry* reg) {
+    if (reg == nullptr) return;
+    admitted = &reg->counter("svc.queries_admitted");
+    rejected = &reg->counter("svc.queries_rejected");
+    done = &reg->counter("svc.queries_done");
+    cancelled = &reg->counter("svc.queries_cancelled");
+    deadline_expired = &reg->counter("svc.queries_deadline_expired");
+    failed = &reg->counter("svc.queries_failed");
+    chunks_cpu = &reg->counter("svc.chunks_cpu");
+    chunks_board = &reg->counter("svc.chunks_board");
+    records = &reg->counter("svc.records_scanned");
+    cells = &reg->counter("svc.cells");
+    fallbacks = &reg->counter("svc.swar8_fallbacks");
+    queue_depth = &reg->gauge("svc.queue_depth");
+    dispatching = &reg->gauge("svc.queries_dispatching");
+    admission_wait_us = &reg->histogram("svc.admission_wait_us");
+    chunk_cpu_us = &reg->histogram("svc.chunk_cpu_us");
+    chunk_board_us = &reg->histogram("svc.chunk_board_us");
+    merge_us = &reg->histogram("svc.merge_us");
+    query_us = &reg->histogram("svc.query_us");
+  }
+
+  [[nodiscard]] bool on() const noexcept { return admitted != nullptr; }
+};
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
 }  // namespace
 
 struct ScanService::Impl {
   // -- immutable after construction ---------------------------------------
   ServiceConfig cfg;
   host::RecordSource source;
+  ServiceMetrics metrics;
   std::vector<std::uint32_t> dispatch_order;  ///< what QueryState::ids views
   std::vector<std::thread> threads;
 
@@ -86,7 +149,8 @@ struct ScanService::Impl {
   std::unordered_map<std::uint64_t, std::shared_ptr<QueryState>> live;
 
   template <typename Db>
-  Impl(const Db& database, ServiceConfig config) : cfg(config), source(database) {
+  Impl(const Db& database, ServiceConfig config)
+      : cfg(config), source(database), metrics(config.metrics) {
     cfg.validate();
     if (cfg.boards > 0 && cfg.board_device == nullptr) cfg.board_device = &core::xc2vp70();
     cfg.scoring.validate();
@@ -160,19 +224,68 @@ struct ScanService::Impl {
   // The hits union is sorted under the total order and trimmed here —
   // the step that makes the multi-unit execution deterministic.
   void resolve_locked(QueryState& q) {
+    const Clock::time_point merge_start = Clock::now();
     std::sort(q.acc.hits.begin(), q.acc.hits.end(), host::hit_ranks_before);
     if (q.acc.hits.size() > q.opt.top_k) q.acc.hits.resize(q.opt.top_k);
+    const Clock::time_point now = Clock::now();
     ScanResponse resp;
     resp.status = q.aborted ? q.abort_reason : QueryStatus::Done;
-    resp.result = std::move(q.acc);
     resp.error = std::move(q.error);
-    resp.seconds = std::chrono::duration<double>(Clock::now() - q.admitted).count();
-    q.promise.set_value(std::move(resp));
+    resp.seconds = seconds_between(q.admitted, now);
+    observe_resolution_locked(q, resp.status, seconds_between(merge_start, now), resp.seconds);
+    resp.result = std::move(q.acc);
+    // The erases below may drop the only shared_ptr owning q.
+    const std::shared_ptr<QueryState> keep = live.at(q.id);
     ++resolved_count;
     live.erase(q.id);
     std::erase_if(active, [&](const auto& p) { return p->id == q.id; });
     std::erase_if(waiting, [&](const auto& p) { return p->id == q.id; });
+    if (metrics.on()) {
+      metrics.queue_depth->set(static_cast<std::int64_t>(live.size()));
+      metrics.dispatching->set(static_cast<std::int64_t>(active.size()));
+    }
+    // Fulfilling the promise is the client-visible linearisation point: a
+    // caller returning from get() on the last outstanding query must already
+    // observe the at-rest gauges, so set_value comes after the bookkeeping.
+    q.promise.set_value(std::move(resp));
     cv.notify_all();  // an inflight slot freed — promote the next query
+  }
+
+  // Counters, stage histograms and the trace span for one resolving query.
+  // Called under mu while q.acc still holds the folded totals, so the
+  // svc.* counters reconcile exactly with the ScanResponses handed out.
+  void observe_resolution_locked(QueryState& q, QueryStatus status, double merge_seconds,
+                                 double total_seconds) {
+    // A query that never dispatched waited in the queue its whole life.
+    const double admission_wait =
+        q.dispatched ? seconds_between(q.admitted, q.first_dispatch) : total_seconds;
+    if (metrics.on()) {
+      switch (status) {
+        case QueryStatus::Done: metrics.done->add(1); break;
+        case QueryStatus::Cancelled: metrics.cancelled->add(1); break;
+        case QueryStatus::DeadlineExpired: metrics.deadline_expired->add(1); break;
+        case QueryStatus::Failed: metrics.failed->add(1); break;
+      }
+      metrics.records->add(q.acc.records_scanned);
+      metrics.cells->add(q.acc.cell_updates);
+      metrics.fallbacks->add(q.acc.swar8_fallbacks);
+      metrics.admission_wait_us->observe_seconds(admission_wait);
+      metrics.merge_us->observe_seconds(merge_seconds);
+      metrics.query_us->observe_seconds(total_seconds);
+    }
+    if (cfg.trace != nullptr) {
+      obs::Span span;
+      span.query_id = q.id;
+      span.status = to_string(status);
+      span.admission_wait = admission_wait;
+      span.dispatch_window = q.dispatched ? seconds_between(q.first_dispatch, q.last_fold) : 0.0;
+      span.exec_cpu = q.exec_cpu_seconds;
+      span.exec_board = q.exec_board_seconds;
+      span.merge = merge_seconds;
+      span.total = total_seconds;
+      span.chunks = static_cast<std::uint32_t>(q.chunks_done);
+      cfg.trace->record(span);
+    }
   }
 
   // One executor thread: CPU scan-engine worker (board == nullptr) or a
@@ -189,6 +302,7 @@ struct ScanService::Impl {
         active.push_back(waiting.front());
         waiting.pop_front();
       }
+      if (metrics.on()) metrics.dispatching->set(static_cast<std::int64_t>(active.size()));
 
       // First active query with work. Aborted queries only need their
       // bookkeeping finished; expired deadlines become aborts here.
@@ -212,10 +326,15 @@ struct ScanService::Impl {
 
       const std::size_t chunk = q->next_chunk++;
       ++q->inflight;
+      if (!q->dispatched) {
+        q->dispatched = true;
+        q->first_dispatch = Clock::now();
+      }
       const std::size_t lo = chunk * q->chunk_records;
       const std::size_t hi = std::min(q->ids.size(), lo + q->chunk_records);
       lock.unlock();
 
+      const Clock::time_point exec_start = Clock::now();
       host::ScanResult part;
       std::string error;
       try {
@@ -226,10 +345,18 @@ struct ScanService::Impl {
       } catch (const std::exception& e) {
         error = e.what();
       }
+      const double exec_seconds = seconds_between(exec_start, Clock::now());
+      if (metrics.on()) {
+        (board != nullptr ? metrics.chunks_board : metrics.chunks_cpu)->add(1);
+        (board != nullptr ? metrics.chunk_board_us : metrics.chunk_cpu_us)
+            ->observe_seconds(exec_seconds);
+      }
 
       lock.lock();
       --q->inflight;
       ++q->chunks_done;
+      q->last_fold = Clock::now();
+      (board != nullptr ? q->exec_board_seconds : q->exec_cpu_seconds) += exec_seconds;
       if (!error.empty() && !q->aborted) {
         q->aborted = true;
         q->abort_reason = QueryStatus::Failed;
@@ -290,7 +417,8 @@ ScanService::~ScanService() = default;
 
 std::optional<Ticket> ScanService::try_submit(seq::Sequence query, host::ScanOptions opt,
                                               std::chrono::milliseconds deadline) {
-  opt.threads = 1;  // chunks are the unit of parallelism in the service
+  opt.threads = 1;     // chunks are the unit of parallelism in the service
+  opt.metrics = nullptr;  // service-level metrics come from cfg.metrics, not per-chunk scan.*
   opt.validate();
   impl_->source.check_alphabet(query, "ScanService::submit");
 
@@ -307,9 +435,13 @@ std::optional<Ticket> ScanService::try_submit(seq::Sequence query, host::ScanOpt
   ticket.response = q->promise.get_future().share();
   {
     const std::lock_guard<std::mutex> lock(impl_->mu);
-    if (impl_->live.size() >= impl_->cfg.queue_capacity) return std::nullopt;
+    if (impl_->live.size() >= impl_->cfg.queue_capacity) {
+      if (impl_->metrics.on()) impl_->metrics.rejected->add(1);
+      return std::nullopt;
+    }
     q->id = impl_->next_id++;
     ticket.id = q->id;
+    if (impl_->metrics.on()) impl_->metrics.admitted->add(1);
     if (q->chunks_total == 0) {
       // Zero-record database: resolve inline, nothing to dispatch.
       impl_->live.emplace(q->id, q);
@@ -318,6 +450,9 @@ std::optional<Ticket> ScanService::try_submit(seq::Sequence query, host::ScanOpt
     }
     impl_->live.emplace(q->id, q);
     impl_->waiting.push_back(std::move(q));
+    if (impl_->metrics.on()) {
+      impl_->metrics.queue_depth->set(static_cast<std::int64_t>(impl_->live.size()));
+    }
   }
   impl_->cv.notify_all();
   return ticket;

@@ -43,6 +43,11 @@
 #include "host/record_source.hpp"
 #include "seq/sequence.hpp"
 
+namespace swr::obs {
+class Registry;
+class TraceRing;
+}
+
 namespace swr::svc {
 
 /// Terminal state of a submitted query.
@@ -72,6 +77,20 @@ struct ServiceConfig {
   /// resume() — deterministic admission-control tests, drain-free
   /// maintenance windows.
   bool start_paused = false;
+
+  /// Observability sink (caller-owned, must outlive the service). nullptr
+  /// is a strict no-op. Non-null: the service records svc.* counters
+  /// (admitted/rejected/cancelled/deadline_expired/failed/done, chunk and
+  /// record/cell totals that reconcile exactly with the resolved
+  /// ScanResponses), svc.queue_depth / svc.queries_dispatching gauges and
+  /// per-stage latency histograms (admission wait, chunk execution per
+  /// unit kind, merge, end-to-end).
+  obs::Registry* metrics = nullptr;
+
+  /// Per-query trace-span sink (caller-owned). Every resolved query
+  /// records one obs::Span with its stage breakdown; spans over the
+  /// ring's slow threshold also land in its slow-query log.
+  obs::TraceRing* trace = nullptr;
 
   /// @throws std::invalid_argument on zero executors / zero capacities.
   void validate() const;

@@ -1,0 +1,110 @@
+// Snapshot serialization tests: the JSON emitted by to_json must be
+// parsed back losslessly by from_json (the stats-dump round trip), the
+// table renderer must show every metric, and malformed input must be
+// rejected rather than guessed at.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace swr::obs {
+namespace {
+
+Snapshot sample_snapshot() {
+  Registry reg;
+  reg.counter("svc.queries_admitted").add(12);
+  reg.counter("scan.cells").add(1'234'567);
+  reg.gauge("svc.queue_depth").set(3);
+  reg.gauge("db.bytes_mapped").set(-1);  // gauges are signed
+  Histogram& h = reg.histogram("svc.query_us");
+  h.observe(0);
+  h.observe(100);
+  h.observe(100);
+  h.observe(65'000);
+  return reg.snapshot();
+}
+
+TEST(Export, JsonRoundTripIsLossless) {
+  const Snapshot snap = sample_snapshot();
+  const Snapshot back = from_json(to_json(snap));
+
+  ASSERT_EQ(back.counters.size(), snap.counters.size());
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    EXPECT_EQ(back.counters[i].first, snap.counters[i].first);
+    EXPECT_EQ(back.counters[i].second, snap.counters[i].second);
+  }
+  ASSERT_EQ(back.gauges.size(), snap.gauges.size());
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    EXPECT_EQ(back.gauges[i].first, snap.gauges[i].first);
+    EXPECT_EQ(back.gauges[i].second, snap.gauges[i].second);
+  }
+  ASSERT_EQ(back.histograms.size(), snap.histograms.size());
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramSnapshot& a = snap.histograms[i].second;
+    const HistogramSnapshot& b = back.histograms[i].second;
+    EXPECT_EQ(back.histograms[i].first, snap.histograms[i].first);
+    EXPECT_EQ(b.count, a.count);
+    EXPECT_EQ(b.sum, a.sum);
+    EXPECT_DOUBLE_EQ(b.p50, a.p50);
+    EXPECT_DOUBLE_EQ(b.p90, a.p90);
+    EXPECT_DOUBLE_EQ(b.p99, a.p99);
+    ASSERT_EQ(b.buckets.size(), a.buckets.size());
+    for (std::size_t j = 0; j < a.buckets.size(); ++j) {
+      EXPECT_EQ(b.buckets[j].first, a.buckets[j].first);
+      EXPECT_EQ(b.buckets[j].second, a.buckets[j].second);
+    }
+  }
+}
+
+TEST(Export, JsonIsDeterministic) {
+  const Snapshot snap = sample_snapshot();
+  EXPECT_EQ(to_json(snap), to_json(snap));
+  // Re-serializing the parsed form reproduces the original byte-for-byte.
+  EXPECT_EQ(to_json(from_json(to_json(snap))), to_json(snap));
+}
+
+TEST(Export, EmptySnapshotRoundTrips) {
+  const Snapshot empty;
+  const Snapshot back = from_json(to_json(empty));
+  EXPECT_TRUE(back.counters.empty());
+  EXPECT_TRUE(back.gauges.empty());
+  EXPECT_TRUE(back.histograms.empty());
+}
+
+TEST(Export, TableShowsEveryMetric) {
+  const Snapshot snap = sample_snapshot();
+  const std::string table = to_table(snap);
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_NE(table.find(name), std::string::npos) << name;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    EXPECT_NE(table.find(name), std::string::npos) << name;
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    EXPECT_NE(table.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(table.find("1234567"), std::string::npos);  // counter values present
+}
+
+TEST(Export, EmptyTableSaysSo) {
+  EXPECT_NE(to_table(Snapshot{}).find("(no metrics recorded)"), std::string::npos);
+}
+
+TEST(Export, MalformedJsonThrows) {
+  EXPECT_THROW(from_json(""), std::runtime_error);
+  EXPECT_THROW(from_json("not json"), std::runtime_error);
+  EXPECT_THROW(from_json("{"), std::runtime_error);
+  EXPECT_THROW(from_json("[]"), std::runtime_error);
+  EXPECT_THROW(from_json(R"({"counters": {)"), std::runtime_error);
+  EXPECT_THROW(from_json(R"({"counters": {"a": "text"}})"), std::runtime_error);
+  EXPECT_THROW(from_json(R"({"wrong_key": {}})"), std::runtime_error);
+  // Trailing garbage after a valid document is rejected too.
+  const std::string valid = to_json(Snapshot{});
+  EXPECT_THROW(from_json(valid + "x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace swr::obs

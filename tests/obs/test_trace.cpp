@@ -1,0 +1,96 @@
+// Unit tests for the trace-span ring: bounded retention with oldest-first
+// eviction, the slow-query log, and concurrent recording.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace swr::obs {
+namespace {
+
+Span span(std::uint64_t id, double total) {
+  Span s;
+  s.query_id = id;
+  s.status = "done";
+  s.total = total;
+  return s;
+}
+
+TEST(TraceRing, ZeroCapacityThrows) {
+  EXPECT_THROW(TraceRing(0), std::invalid_argument);
+}
+
+TEST(TraceRing, RetainsUpToCapacityOldestFirst) {
+  TraceRing ring(4);
+  for (std::uint64_t id = 1; id <= 3; ++id) ring.record(span(id, 0.001));
+  const std::vector<Span> spans = ring.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans.front().query_id, 1u);
+  EXPECT_EQ(spans.back().query_id, 3u);
+  EXPECT_EQ(ring.recorded(), 3u);
+}
+
+TEST(TraceRing, WrapsEvictingOldest) {
+  TraceRing ring(3);
+  for (std::uint64_t id = 1; id <= 7; ++id) ring.record(span(id, 0.0));
+  const std::vector<Span> spans = ring.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].query_id, 5u);
+  EXPECT_EQ(spans[1].query_id, 6u);
+  EXPECT_EQ(spans[2].query_id, 7u);
+  EXPECT_EQ(ring.recorded(), 7u);
+  EXPECT_EQ(ring.capacity(), 3u);
+}
+
+TEST(TraceRing, SlowLogKeepsOnlyThresholdCrossers) {
+  TraceRing ring(8, /*slow_threshold_seconds=*/0.010);
+  ring.record(span(1, 0.005));   // fast
+  ring.record(span(2, 0.010));   // exactly at threshold -> slow
+  ring.record(span(3, 0.500));   // slow
+  ring.record(span(4, 0.0));     // fast
+  const std::vector<Span> slow = ring.slow();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].query_id, 2u);
+  EXPECT_EQ(slow[1].query_id, 3u);
+  // The ring itself still holds everything.
+  EXPECT_EQ(ring.spans().size(), 4u);
+}
+
+TEST(TraceRing, SlowLogIsBoundedByCapacity) {
+  TraceRing ring(2, 0.001);
+  for (std::uint64_t id = 1; id <= 5; ++id) ring.record(span(id, 1.0));
+  const std::vector<Span> slow = ring.slow();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].query_id, 4u);
+  EXPECT_EQ(slow[1].query_id, 5u);
+}
+
+TEST(TraceRing, NonPositiveThresholdDisablesSlowLog) {
+  TraceRing ring(4, 0.0);
+  ring.record(span(1, 100.0));
+  EXPECT_TRUE(ring.slow().empty());
+}
+
+TEST(TraceRing, ConcurrentRecordsAllLand) {
+  TraceRing ring(1'000, 0.5);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ring.record(span(static_cast<std::uint64_t>(t) * kPerThread + i, t % 2 == 0 ? 1.0 : 0.0));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(ring.recorded(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(ring.spans().size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(ring.slow().size(), static_cast<std::size_t>(kThreads / 2) * kPerThread);
+}
+
+}  // namespace
+}  // namespace swr::obs
