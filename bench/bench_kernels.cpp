@@ -25,8 +25,10 @@
 #include "align/sw_full.hpp"
 #include "align/sw_linear.hpp"
 #include "align/sw_profile.hpp"
+#include "align/sw_striped.hpp"
 #include "bench_util.hpp"
 #include "core/accelerator.hpp"
+#include "core/cpu_features.hpp"
 #include "db/builder.hpp"
 #include "db/store.hpp"
 #include "host/batch.hpp"
@@ -243,6 +245,8 @@ const char* simd_name(host::SimdPolicy p) {
     case host::SimdPolicy::Scalar: return "scalar";
     case host::SimdPolicy::Swar16: return "swar16";
     case host::SimdPolicy::Swar8: return "swar8";
+    case host::SimdPolicy::Sse41: return "sse41";
+    case host::SimdPolicy::Avx2: return "avx2";
     default: return "auto";
   }
 }
@@ -307,8 +311,14 @@ void run_scan_comparison() {
   cpu_row("cpu scalar, 1 thread", 1, host::SimdPolicy::Scalar);
   cpu_row("cpu swar16, 1 thread", 1, host::SimdPolicy::Swar16);
   cpu_row("cpu swar8, 1 thread", 1, host::SimdPolicy::Swar8);
+  if (core::cpu_supports(core::SimdIsa::Sse41)) {
+    cpu_row("cpu sse41(16-lane), 1 thread", 1, host::SimdPolicy::Sse41);
+  }
+  if (core::cpu_supports(core::SimdIsa::Avx2)) {
+    cpu_row("cpu avx2(32-lane), 1 thread", 1, host::SimdPolicy::Avx2);
+  }
   for (const std::size_t threads : {2u, 4u, 8u}) {
-    cpu_row("cpu auto(8-lane), " + std::to_string(threads) + " threads", threads,
+    cpu_row("cpu auto(widest), " + std::to_string(threads) + " threads", threads,
             host::SimdPolicy::Auto);
   }
 
@@ -327,6 +337,83 @@ void run_scan_comparison() {
   std::printf("parallel 8-thread engine vs cpu scalar 1-thread:         %.2fx\n", vs_scalar);
   write_scan_json(w, rows, vs_seq, vs_scalar);
   std::printf("machine-readable dump: BENCH_scan.json\n");
+}
+
+// ---- striped-vs-SWAR kernel comparison (BENCH_simd.json) ------------------
+
+// Single-thread GCUPS of every SIMD policy on the standard DNA scan
+// workload — thread scaling is deliberately excluded so this isolates the
+// lane-count lever (the paper's "cells per clock"). The headline number is
+// the widest striped kernel against the 8-lane SWAR anti-diagonal kernel,
+// the previous hot path.
+void run_simd_comparison() {
+  bench::header("SIMD kernel ladder: striped SSE4.1/AVX2 vs SWAR (1 thread, GCUPS)");
+  const ScanWorkload w = make_scan_workload();
+  std::printf("detected ISA: %s  (SWR_SIMD/--simd override; striped compiled: %s)\n",
+              core::simd_isa_name(core::detected_simd_isa()),
+              align::sw_striped_compiled() ? "yes" : "no");
+
+  host::ScanOptions opt;
+  opt.top_k = 10;
+  opt.min_score = 20;
+  opt.threads = 1;
+
+  struct SimdRow {
+    std::string simd;
+    unsigned lanes8;
+    double seconds;
+    double gcups;
+  };
+  std::vector<SimdRow> rows;
+  const auto measure = [&](host::SimdPolicy p, unsigned lanes8) {
+    host::ScanOptions o = opt;
+    o.simd_policy = p;
+    double best_s = 1e100;
+    for (int rep = 0; rep < 3; ++rep) {  // min-of-3: the noise-free estimate
+      const bench::Timer t;
+      const host::ScanResult r = host::scan_database_cpu(w.query, w.records, kSc, o);
+      benchmark::DoNotOptimize(&r);
+      best_s = std::min(best_s, t.seconds());
+    }
+    rows.push_back({simd_name(p), lanes8, best_s, static_cast<double>(w.cells) / best_s / 1e9});
+  };
+  measure(host::SimdPolicy::Scalar, 1);
+  measure(host::SimdPolicy::Swar16, 4);
+  measure(host::SimdPolicy::Swar8, 8);
+  if (core::cpu_supports(core::SimdIsa::Sse41)) measure(host::SimdPolicy::Sse41, 16);
+  if (core::cpu_supports(core::SimdIsa::Avx2)) measure(host::SimdPolicy::Avx2, 32);
+
+  const SimdRow* swar8 = nullptr;
+  for (const SimdRow& r : rows) {
+    if (r.simd == "swar8") swar8 = &r;
+  }
+  std::printf("%-8s %7s %10s %10s %14s\n", "simd", "lanes", "seconds", "GCUPS", "vs swar8");
+  bench::rule(54);
+  for (const SimdRow& r : rows) {
+    std::printf("%-8s %7u %10.4f %10.3f %13.2fx\n", r.simd.c_str(), r.lanes8, r.seconds,
+                r.gcups, r.gcups / swar8->gcups);
+  }
+  bench::rule(54);
+  const SimdRow& widest = rows.back();
+  const double speedup = widest.gcups / swar8->gcups;
+  std::printf("widest (%s) vs swar8: %.2fx GCUPS\n", widest.simd.c_str(), speedup);
+
+  std::ofstream js("BENCH_simd.json");
+  js << "{\n  \"workload\": {\"query_len\": " << w.query.size()
+     << ", \"records\": " << w.records.size() << ", \"cells\": " << w.cells << "},\n";
+  js << "  \"detected_isa\": \"" << core::simd_isa_name(core::detected_simd_isa()) << "\",\n";
+  js << "  \"rows\": [\n";
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const SimdRow& r = rows[k];
+    js << "    {\"simd\": \"" << r.simd << "\", \"lanes8\": " << r.lanes8
+       << ", \"threads\": 1, \"seconds\": " << r.seconds << ", \"gcups\": " << r.gcups
+       << ", \"speedup_vs_swar8\": " << r.gcups / swar8->gcups << "}"
+       << (k + 1 < rows.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n";
+  js << "  \"widest_simd\": \"" << widest.simd << "\",\n";
+  js << "  \"speedup_widest_vs_swar8\": " << speedup << "\n}\n";
+  std::printf("machine-readable dump: BENCH_simd.json\n");
 }
 
 // ---- database load + batch service comparison (BENCH_db.json) -----------
@@ -446,6 +533,8 @@ BENCHMARK(BM_ScanCpu)
     ->Args({1, static_cast<int>(host::SimdPolicy::Scalar)})
     ->Args({1, static_cast<int>(host::SimdPolicy::Swar16)})
     ->Args({1, static_cast<int>(host::SimdPolicy::Swar8)})
+    ->Args({1, static_cast<int>(host::SimdPolicy::Sse41)})
+    ->Args({1, static_cast<int>(host::SimdPolicy::Avx2)})
     ->Args({2, static_cast<int>(host::SimdPolicy::Auto)})
     ->Args({8, static_cast<int>(host::SimdPolicy::Auto)})
     ->Unit(benchmark::kMillisecond)
@@ -529,6 +618,28 @@ void BM_SwAntiDiag8(benchmark::State& state) {
 }
 BENCHMARK(BM_SwAntiDiag8)->Arg(100)->Arg(400);
 
+void BM_SwStriped8(benchmark::State& state) {
+  // The striped 8-bit fast path at a given lane width (16 = SSE4.1,
+  // 32 = AVX2), profile prebuilt as in a scan worker.
+  const unsigned lanes = static_cast<unsigned>(state.range(1));
+  const core::SimdIsa need = lanes == 32 ? core::SimdIsa::Avx2 : core::SimdIsa::Sse41;
+  if (!core::cpu_supports(need)) {
+    state.SkipWithError("ISA not supported on this machine");
+    return;
+  }
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const seq::Sequence a = make_dna(100'000, 1);
+  const seq::Sequence b = make_dna(m, 2);
+  const align::StripedProfile profile(b, kSc, lanes);
+  align::StripedWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::sw_striped8_try(a.codes(), profile, ws));
+  }
+  report_cups(state, a.size(), b.size());
+  state.SetLabel(std::to_string(lanes) + " lanes");
+}
+BENCHMARK(BM_SwStriped8)->Args({100, 16})->Args({400, 16})->Args({100, 32})->Args({400, 32});
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -539,6 +650,7 @@ int main(int argc, char** argv) {
     }
   }
   run_scan_comparison();
+  run_simd_comparison();
   run_db_comparison();
   if (const int rc = run_obs_overhead(/*ci_mode=*/false); rc != 0) return rc;
   benchmark::Initialize(&argc, argv);

@@ -19,6 +19,7 @@
 #include "align/sw_full.hpp"
 #include "cli/args.hpp"
 #include "core/accelerator.hpp"
+#include "core/cpu_features.hpp"
 #include "db/builder.hpp"
 #include "db/store.hpp"
 #include "host/batch.hpp"
@@ -168,12 +169,27 @@ int cmd_align(const std::vector<std::string>& argv, std::ostream& out) {
   return 0;
 }
 
+// Delegates spelling to core/cpu_features so the CLI, the SWR_SIMD env
+// variable, and the error message can never drift apart. Unknown values
+// are rejected here at parse time (the env path instead warns and falls
+// back to auto — a bad ambient variable must not kill a scan).
 host::SimdPolicy simd_policy_by_name(const std::string& name) {
-  if (name == "auto") return host::SimdPolicy::Auto;
-  if (name == "scalar") return host::SimdPolicy::Scalar;
-  if (name == "swar16") return host::SimdPolicy::Swar16;
-  if (name == "swar8") return host::SimdPolicy::Swar8;
-  throw ArgError("unknown simd policy '" + name + "' (auto|scalar|swar16|swar8)");
+  std::optional<core::SimdIsa> isa;
+  try {
+    isa = core::parse_simd_isa(name);
+  } catch (const std::invalid_argument& e) {
+    throw ArgError(e.what());
+  }
+  if (!isa.has_value()) return host::SimdPolicy::Auto;
+  switch (*isa) {
+    case core::SimdIsa::Scalar: return host::SimdPolicy::Scalar;
+    case core::SimdIsa::Swar16: return host::SimdPolicy::Swar16;
+    case core::SimdIsa::Swar8: return host::SimdPolicy::Swar8;
+    case core::SimdIsa::Sse41: return host::SimdPolicy::Sse41;
+    case core::SimdIsa::Avx2: return host::SimdPolicy::Avx2;
+  }
+  throw ArgError("unknown simd policy '" + name + "' (choices: " +
+                 core::simd_isa_choices() + ")");
 }
 
 /// True when `path` starts with the .swdb magic bytes — `scan` sniffs the
@@ -664,7 +680,7 @@ std::string usage() {
          "                       [--affine --gap-open N --gap-extend N]\n"
          "  scan <query.fa> <db.fa|db.swdb>  [--top K] [--min-score S] [--pes N]\n"
          "                       [--alphabet ...] [--engine auto|accel|cpu] [--threads N]\n"
-         "                       [--simd auto|scalar|swar16|swar8]\n"
+         "                       [--simd auto|scalar|swar16|swar8|sse41|avx2]\n"
          "                       [--batch [--cpu-workers N] [--boards N] [--inflight N]\n"
          "                        [--queue N] [--chunk N] [--deadline-ms N] [--slow-ms N]]\n"
          "                       [--stats] [--metrics-out <metrics.json>]\n"

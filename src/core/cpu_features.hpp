@@ -1,0 +1,82 @@
+// Runtime CPU-feature detection and SIMD kernel-selection policy.
+//
+// The scan engine's kernel ladder spans lane widths from the portable
+// scalar query-profile kernel up to the 32-lane AVX2 striped kernel
+// (align/sw_striped.hpp). Which rung is usable depends on the machine the
+// binary LANDS on, not the one it was built on, so selection is a runtime
+// decision: CPUID (via __builtin_cpu_supports) answers what the hardware
+// can do, and this module turns that answer plus the operator's wishes
+// (`SWR_SIMD` env, `--simd` CLI) into one effective ISA per scan.
+//
+// Policy, in order of precedence:
+//   1. an explicit `--simd` value on the command line;
+//   2. the `SWR_SIMD` environment variable (scalar|swar16|swar8|sse41|
+//      avx2|auto) — the CI matrix pins each rung of the ladder with it;
+//   3. auto: the widest ISA the CPU supports.
+// A request the CPU cannot honour degrades to the widest supported rung
+// below it with a one-time warning — it never crashes and never silently
+// runs an illegal-instruction path. Unknown env values warn and fall back
+// to auto; unknown CLI values are rejected with a listed-choices error at
+// parse time (cli/commands.cpp).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace swr::core {
+
+/// SIMD instruction tiers for the CPU scan kernels, ordered narrow to
+/// wide by 8-bit lane count: 1, 4, 8, 16, 32.
+enum class SimdIsa : unsigned {
+  Scalar = 0,  ///< query-profile scalar kernel (always available)
+  Swar16 = 1,  ///< four 16-bit lanes in a uint64_t (always available)
+  Swar8 = 2,   ///< eight 8-bit lanes in a uint64_t (always available)
+  Sse41 = 3,   ///< sixteen 8-bit lanes, striped (__m128i, needs SSE4.1)
+  Avx2 = 4,    ///< thirty-two 8-bit lanes, striped (__m256i, needs AVX2)
+};
+
+/// Canonical lower-case name ("scalar", "swar16", "swar8", "sse41",
+/// "avx2").
+const char* simd_isa_name(SimdIsa isa) noexcept;
+
+/// The accepted spelling list, for error messages:
+/// "auto|scalar|swar16|swar8|sse41|avx2".
+const char* simd_isa_choices() noexcept;
+
+/// Parses a policy name. "auto" and the empty string yield nullopt (= let
+/// detection decide); unknown spellings throw.
+/// @throws std::invalid_argument listing the accepted choices.
+std::optional<SimdIsa> parse_simd_isa(std::string_view name);
+
+/// True when this machine can execute `isa` (CPUID, cached after the
+/// first call). Scalar/Swar16/Swar8 are always true; Sse41/Avx2 require
+/// both x86 hardware support and a compiler that could build the striped
+/// kernels.
+bool cpu_supports(SimdIsa isa) noexcept;
+
+/// Widest ISA this machine supports (one-time CPUID, cached).
+SimdIsa detected_simd_isa() noexcept;
+
+/// Pure clamp: `requested` if `detected` can honour it, else `detected`.
+/// When a degrade happens and `warning` is non-null, *warning receives a
+/// one-line human-readable explanation (empty otherwise). No I/O — the
+/// impure wrappers below own the stderr side effect.
+SimdIsa clamp_simd_isa(SimdIsa requested, SimdIsa detected, std::string* warning = nullptr);
+
+/// `requested` clamped against this machine, warning on stderr once per
+/// process when the request degrades.
+SimdIsa effective_simd_isa(SimdIsa requested);
+
+/// The `SWR_SIMD` environment override, freshly read (not cached, so
+/// tests can setenv between calls). nullopt when unset, empty, or "auto".
+/// An unknown value warns on stderr once per process and yields nullopt
+/// rather than throwing — a bad ambient variable must not kill a scan.
+std::optional<SimdIsa> simd_isa_env_override();
+
+/// The Auto policy, resolved: the SWR_SIMD override if set (clamped to
+/// what the CPU supports, with a one-time stderr warning on degrade),
+/// else the detected widest ISA.
+SimdIsa auto_simd_isa();
+
+}  // namespace swr::core

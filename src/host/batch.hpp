@@ -36,12 +36,19 @@ struct Hit {
 /// cell order — fully deterministic.
 bool hit_ranks_before(const Hit& x, const Hit& y);
 
-/// SIMD lane policy for the software (CPU) scan engine.
+/// SIMD lane policy for the software (CPU) scan engine. Resolved once per
+/// scan against what the machine supports (core/cpu_features.hpp): Auto
+/// picks the widest available tier (honouring the SWR_SIMD env override),
+/// and an explicit striped request the CPU cannot execute degrades to the
+/// widest supported tier with a one-time warning. Every policy produces
+/// bit-identical hits; only throughput differs — tests enforce it.
 enum class SimdPolicy {
-  Auto,    ///< widest first: 8-bit lanes, overflow re-runs in 16-bit, then scalar
+  Auto,    ///< widest supported first; overflow re-runs one tier down, then scalar
   Scalar,  ///< query-profile scalar kernel only
-  Swar16,  ///< four 16-bit lanes (scalar fallback when the bound fails)
-  Swar8,   ///< eight 8-bit lanes with saturation-detect + lazy 16-bit re-run
+  Swar16,  ///< four 16-bit lanes in a uint64_t (scalar fallback when the bound fails)
+  Swar8,   ///< eight 8-bit lanes in a uint64_t with saturation-detect + lazy 16-bit re-run
+  Sse41,   ///< sixteen 8-bit striped lanes (__m128i) + lazy 16-bit striped re-run
+  Avx2,    ///< thirty-two 8-bit striped lanes (__m256i) + lazy 16-bit striped re-run
 };
 
 /// Scan configuration.
@@ -85,9 +92,12 @@ bool dust_suppressed(const seq::Sequence& rec, const align::Cell& end, const Sca
 /// service and the benches consume them instead of recomputing:
 /// records_scanned counts every record seen (empty ones included),
 /// cell_updates the full |query| x |record| matrix work, and
-/// swar8_fallbacks how many records saturated the 8-bit SWAR lanes and
-/// lazily re-ran one tier down (CPU engine, Auto/Swar8 policies only —
-/// always 0 for the accelerator model and the scalar/16-bit policies).
+/// swar8_fallbacks how many records saturated the 8-bit lanes (SWAR or
+/// striped — the saturation predicate is identical, "some true cell
+/// value > 255", so the count does not depend on which 8-bit kernel ran)
+/// and lazily re-ran one tier down (CPU engine, Auto/Swar8/Sse41/Avx2
+/// policies only — always 0 for the accelerator model and the
+/// scalar/16-bit policies).
 struct ScanResult {
   std::vector<Hit> hits;          ///< ranked best-first, size <= top_k
   std::size_t records_scanned = 0;

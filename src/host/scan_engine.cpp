@@ -5,18 +5,55 @@
 #include <exception>
 #include <mutex>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
+#include <string>
 
 #include <chrono>
 
 #include "align/sw_antidiag.hpp"
 #include "align/sw_antidiag8.hpp"
 #include "align/sw_profile.hpp"
+#include "align/sw_striped.hpp"
+#include "core/cpu_features.hpp"
 #include "obs/metrics.hpp"
 #include "par/thread_pool.hpp"
 
 namespace swr::host {
 namespace {
+
+core::SimdIsa policy_to_isa(SimdPolicy p) {
+  switch (p) {
+    case SimdPolicy::Scalar: return core::SimdIsa::Scalar;
+    case SimdPolicy::Swar16: return core::SimdIsa::Swar16;
+    case SimdPolicy::Swar8: return core::SimdIsa::Swar8;
+    case SimdPolicy::Sse41: return core::SimdIsa::Sse41;
+    case SimdPolicy::Avx2: return core::SimdIsa::Avx2;
+    case SimdPolicy::Auto: break;
+  }
+  throw std::invalid_argument("scan_database_cpu: unknown SIMD policy");
+}
+
+SimdPolicy isa_to_policy(core::SimdIsa isa) {
+  switch (isa) {
+    case core::SimdIsa::Scalar: return SimdPolicy::Scalar;
+    case core::SimdIsa::Swar16: return SimdPolicy::Swar16;
+    case core::SimdIsa::Swar8: return SimdPolicy::Swar8;
+    case core::SimdIsa::Sse41: return SimdPolicy::Sse41;
+    case core::SimdIsa::Avx2: return SimdPolicy::Avx2;
+  }
+  throw std::invalid_argument("scan_database_cpu: unknown SIMD ISA");
+}
+
+// Turns the requested policy into the one concrete kernel ladder this scan
+// will run: Auto resolves to the widest tier the machine supports (after
+// the SWR_SIMD env override), and an explicit striped request the CPU
+// cannot execute degrades with a one-time warning instead of crashing.
+// Resolved exactly once per scan — never in the record loop.
+SimdPolicy resolve_simd_policy(SimdPolicy requested) {
+  if (requested == SimdPolicy::Auto) return isa_to_policy(core::auto_simd_isa());
+  return isa_to_policy(core::effective_simd_isa(policy_to_isa(requested)));
+}
 
 // Metric handles fetched once per scan (registry lookups take a lock; the
 // record loop must not). All-null when opt.metrics is null, so the
@@ -26,14 +63,29 @@ struct ScanMetrics {
   obs::Counter* records = nullptr;
   obs::Counter* cells = nullptr;
   obs::Counter* fallbacks = nullptr;
+  obs::Counter* simd_selected = nullptr;
+  obs::Counter* simd_fallbacks = nullptr;
+  obs::Counter* simd_rec_scalar = nullptr;
+  obs::Counter* simd_rec_swar16 = nullptr;
+  obs::Counter* simd_rec_swar8 = nullptr;
+  obs::Counter* simd_rec_striped8 = nullptr;
+  obs::Counter* simd_rec_striped16 = nullptr;
   obs::Histogram* worker_kernel_us = nullptr;
 
-  explicit ScanMetrics(obs::Registry* reg) {
+  ScanMetrics(obs::Registry* reg, SimdPolicy resolved) {
     if (reg == nullptr) return;
     scans = &reg->counter("scan.scans");
     records = &reg->counter("scan.records");
     cells = &reg->counter("scan.cells");
     fallbacks = &reg->counter("scan.swar8_fallbacks");
+    simd_selected = &reg->counter(std::string("scan.simd.selected.") +
+                                  core::simd_isa_name(policy_to_isa(resolved)));
+    simd_fallbacks = &reg->counter("scan.simd.fallbacks");
+    simd_rec_scalar = &reg->counter("scan.simd.records.scalar");
+    simd_rec_swar16 = &reg->counter("scan.simd.records.swar16");
+    simd_rec_swar8 = &reg->counter("scan.simd.records.swar8");
+    simd_rec_striped8 = &reg->counter("scan.simd.records.striped8");
+    simd_rec_striped16 = &reg->counter("scan.simd.records.striped16");
     worker_kernel_us = &reg->histogram("scan.worker_kernel_us");
   }
 };
@@ -42,16 +94,32 @@ struct ScanMetrics {
 // and its private top-k. Built once per thread, reused for every record
 // the thread claims — the per-record setup cost is paid exactly once.
 struct Worker {
-  Worker(const seq::Sequence& query, const align::Scoring& sc) : profile(query, sc) {}
+  // `policy` is the RESOLVED policy (never Auto): striped tiers build
+  // their query profile here, once, alongside the scalar one the
+  // overflow ladder always needs.
+  Worker(const seq::Sequence& query, const align::Scoring& sc, SimdPolicy policy)
+      : profile(query, sc) {
+    if (policy == SimdPolicy::Sse41 || policy == SimdPolicy::Avx2) {
+      striped.emplace(query, sc, policy == SimdPolicy::Avx2 ? 32u : 16u);
+    }
+  }
 
   align::QueryProfile profile;
+  std::optional<align::StripedProfile> striped;  // Sse41/Avx2 policies only
   std::vector<align::Score> row;  // scalar kernel DP row
   align::AntidiagWorkspace ws16;
   align::Antidiag8Workspace ws8;
+  align::StripedWorkspace sws;
   std::vector<seq::Code> decode;  // Packed2-store record scratch
   std::vector<Hit> hits;  // sorted by hit_ranks_before, size <= top_k
   std::uint64_t cell_updates = 0;
   std::uint64_t swar8_fallbacks = 0;
+  // Records resolved by each kernel tier (scan.simd.records.* metrics).
+  std::uint64_t rec_scalar = 0;
+  std::uint64_t rec_swar16 = 0;
+  std::uint64_t rec_swar8 = 0;
+  std::uint64_t rec_striped8 = 0;
+  std::uint64_t rec_striped16 = 0;
 };
 
 align::LocalScoreResult score_record(std::span<const seq::Code> rec,
@@ -59,19 +127,44 @@ align::LocalScoreResult score_record(std::span<const seq::Code> rec,
                                      SimdPolicy policy, Worker& w) {
   switch (policy) {
     case SimdPolicy::Scalar:
+      ++w.rec_scalar;
       return align::sw_linear_profiled(rec, w.profile, w.row);
     case SimdPolicy::Swar16:
       if (align::antidiag_swar_applicable(rec.size(), query.size(), sc)) {
+        ++w.rec_swar16;
         return align::sw_linear_antidiag_codes(rec, query, sc, w.ws16);
       }
+      ++w.rec_scalar;
       return align::sw_linear_profiled(rec, w.profile, w.row);
-    case SimdPolicy::Auto:
     case SimdPolicy::Swar8:
       // Widest first; a saturated lane aborts the 8-bit pass at the end of
       // the offending diagonal and the record lazily re-runs one tier down.
-      if (const auto r = align::sw_antidiag8_try(rec, query, sc, w.ws8)) return *r;
+      if (const auto r = align::sw_antidiag8_try(rec, query, sc, w.ws8)) {
+        ++w.rec_swar8;
+        return *r;
+      }
       ++w.swar8_fallbacks;
       return score_record(rec, query, sc, SimdPolicy::Swar16, w);
+    case SimdPolicy::Sse41:
+    case SimdPolicy::Avx2:
+      // Striped ladder, same lazy contract: the 8-bit pass saturates on
+      // exactly the records swar8 would (some true cell > 255), so
+      // swar8_fallbacks accounting is policy-independent; the 16-bit
+      // striped re-run covers them, and the scalar profile kernel is the
+      // final rung (true cell > 65535, or a scheme too big for a lane).
+      if (const auto r = align::sw_striped8_try(rec, *w.striped, w.sws)) {
+        ++w.rec_striped8;
+        return *r;
+      }
+      ++w.swar8_fallbacks;
+      if (const auto r = align::sw_striped16_try(rec, *w.striped, w.sws)) {
+        ++w.rec_striped16;
+        return *r;
+      }
+      ++w.rec_scalar;
+      return align::sw_linear_profiled(rec, w.profile, w.row);
+    case SimdPolicy::Auto:
+      break;  // resolved before the record loop; reaching here is a bug
   }
   throw std::invalid_argument("scan_database_cpu: unknown SIMD policy");
 }
@@ -86,11 +179,11 @@ void insert_top_k(std::vector<Hit>& hits, Hit hit, std::size_t top_k) {
 // the whole-database scan and the id-list chunk scan so both stay
 // bit-identical per record.
 void scan_one(const RecordSource& src, std::size_t r, std::span<const seq::Code> qcodes,
-              const align::Scoring& sc, const ScanOptions& opt, Worker& w) {
+              const align::Scoring& sc, const ScanOptions& opt, SimdPolicy policy, Worker& w) {
   const std::span<const seq::Code> rec = src.codes(r, w.decode);
   if (rec.empty()) return;
   w.cell_updates += static_cast<std::uint64_t>(rec.size()) * qcodes.size();
-  const align::LocalScoreResult best = score_record(rec, qcodes, sc, opt.simd_policy, w);
+  const align::LocalScoreResult best = score_record(rec, qcodes, sc, policy, w);
   if (best.score < opt.min_score) return;
   if (opt.dust_filter && dust_suppressed(src.sequence(r), best.end, opt)) return;
   Hit hit;
@@ -115,6 +208,37 @@ void merge_workers(std::vector<Worker>& workers, std::size_t top_k, ScanResult& 
   if (out.hits.size() > top_k) out.hits.resize(top_k);
 }
 
+// Per-scan metric flush: the totals plus which kernel tier resolved each
+// record. Counter adds of zero are skipped so a scalar-policy scan never
+// touches the striped counters' cache lines.
+void flush_scan_metrics(const ScanMetrics& metrics, const std::vector<Worker>& workers,
+                        const ScanResult& out) {
+  if (metrics.scans == nullptr) return;
+  metrics.scans->add(1);
+  metrics.records->add(out.records_scanned);
+  metrics.cells->add(out.cell_updates);
+  metrics.fallbacks->add(out.swar8_fallbacks);
+  metrics.simd_selected->add(1);
+  std::uint64_t scalar = 0;
+  std::uint64_t swar16 = 0;
+  std::uint64_t swar8 = 0;
+  std::uint64_t striped8 = 0;
+  std::uint64_t striped16 = 0;
+  for (const Worker& w : workers) {
+    scalar += w.rec_scalar;
+    swar16 += w.rec_swar16;
+    swar8 += w.rec_swar8;
+    striped8 += w.rec_striped8;
+    striped16 += w.rec_striped16;
+  }
+  if (out.swar8_fallbacks != 0) metrics.simd_fallbacks->add(out.swar8_fallbacks);
+  if (scalar != 0) metrics.simd_rec_scalar->add(scalar);
+  if (swar16 != 0) metrics.simd_rec_swar16->add(swar16);
+  if (swar8 != 0) metrics.simd_rec_swar8->add(swar8);
+  if (striped8 != 0) metrics.simd_rec_striped8->add(striped8);
+  if (striped16 != 0) metrics.simd_rec_striped16->add(striped16);
+}
+
 ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
                            const align::Scoring& sc, const ScanOptions& opt) {
   opt.validate();
@@ -133,11 +257,12 @@ ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
   const std::size_t num_shards = (src.size() + shard - 1) / shard;
   std::atomic<std::size_t> cursor{0};
 
+  const SimdPolicy policy = resolve_simd_policy(opt.simd_policy);
   std::vector<Worker> workers;
   workers.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) workers.emplace_back(query, sc);
+  for (std::size_t t = 0; t < threads; ++t) workers.emplace_back(query, sc, policy);
 
-  const ScanMetrics metrics(opt.metrics);
+  const ScanMetrics metrics(opt.metrics, policy);
   const std::span<const seq::Code> qcodes = query.codes();
   const auto scan_shards = [&](Worker& w) {
     const auto start = std::chrono::steady_clock::now();
@@ -146,7 +271,7 @@ ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
       if (s >= num_shards) break;
       const std::size_t lo = s * shard;
       const std::size_t hi = std::min(src.size(), lo + shard);
-      for (std::size_t r = lo; r < hi; ++r) scan_one(src, r, qcodes, sc, opt, w);
+      for (std::size_t r = lo; r < hi; ++r) scan_one(src, r, qcodes, sc, opt, policy, w);
     }
     if (metrics.worker_kernel_us != nullptr) {
       metrics.worker_kernel_us->observe_seconds(
@@ -181,12 +306,7 @@ ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
   }
 
   merge_workers(workers, opt.top_k, out);
-  if (metrics.scans != nullptr) {
-    metrics.scans->add(1);
-    metrics.records->add(out.records_scanned);
-    metrics.cells->add(out.cell_updates);
-    metrics.fallbacks->add(out.swar8_fallbacks);
-  }
+  flush_scan_metrics(metrics, workers, out);
   return out;
 }
 
@@ -219,25 +339,21 @@ ScanResult scan_records_cpu(const seq::Sequence& query, const RecordSource& src,
   out.records_scanned = record_ids.size();
   if (query.empty() || record_ids.empty()) return out;
 
-  const ScanMetrics metrics(opt.metrics);
+  const SimdPolicy policy = resolve_simd_policy(opt.simd_policy);
+  const ScanMetrics metrics(opt.metrics, policy);
   std::vector<Worker> workers;
-  workers.emplace_back(query, sc);
+  workers.emplace_back(query, sc, policy);
   const std::span<const seq::Code> qcodes = query.codes();
   const auto start = std::chrono::steady_clock::now();
   for (const std::uint32_t r : record_ids) {
-    scan_one(src, r, qcodes, sc, opt, workers[0]);
+    scan_one(src, r, qcodes, sc, opt, policy, workers[0]);
   }
   if (metrics.worker_kernel_us != nullptr) {
     metrics.worker_kernel_us->observe_seconds(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
   }
   merge_workers(workers, opt.top_k, out);
-  if (metrics.scans != nullptr) {
-    metrics.scans->add(1);
-    metrics.records->add(out.records_scanned);
-    metrics.cells->add(out.cell_updates);
-    metrics.fallbacks->add(out.swar8_fallbacks);
-  }
+  flush_scan_metrics(metrics, workers, out);
   return out;
 }
 

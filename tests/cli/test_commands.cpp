@@ -127,6 +127,40 @@ TEST(CliScan, BadEngineOptionsReturnTwo) {
   EXPECT_EQ(run("scan", {"q.fa", "db.fa", "--engine", "accel", "--threads", "4"}).code, 2);
 }
 
+TEST(CliScan, UnknownSimdPolicyListsChoices) {
+  // Rejected at parse time with the full choice list — never a silent
+  // fallback to auto (the file args are never even opened).
+  const RunResult r = run("scan", {"q.fa", "db.fa", "--simd", "avx512"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("avx512"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("choices: auto|scalar|swar16|swar8|sse41|avx2"), std::string::npos)
+      << r.err;
+}
+
+TEST(CliScan, EverySimdPolicyProducesTheSameReport) {
+  seq::RandomSequenceGenerator gen(11);
+  const seq::Sequence q = gen.uniform(seq::dna(), 40, "query");
+  std::vector<seq::Sequence> db;
+  for (int k = 0; k < 6; ++k) {
+    seq::Sequence rec = gen.uniform(seq::dna(), 250, "rec" + std::to_string(k));
+    if (k == 3) rec.append(seq::point_mutate(q, 0.02, gen.engine()));
+    db.push_back(std::move(rec));
+  }
+  const std::string qf = write_fa("cli_q3", {q});
+  const std::string dbf = write_fa("cli_db3", db);
+  const RunResult ref = run("scan", {qf, dbf, "--top", "3", "--engine", "cpu"});
+  ASSERT_EQ(ref.code, 0) << ref.err;
+  // An unsupported striped request degrades (one-time stderr warning)
+  // rather than failing, so every spelling must succeed everywhere and
+  // report identical hits.
+  for (const std::string simd : {"auto", "scalar", "swar16", "swar8", "sse41", "avx2"}) {
+    const RunResult r =
+        run("scan", {qf, dbf, "--top", "3", "--engine", "cpu", "--simd", simd});
+    EXPECT_EQ(r.code, 0) << simd << ": " << r.err;
+    EXPECT_EQ(r.out, ref.out) << "--simd " << simd;
+  }
+}
+
 TEST(CliTranslate, SingleFrameAndSix) {
   const std::string f = write_fa("cli_t", {seq::Sequence::dna("ATGGCTTAA", "g")});
   const RunResult one = run("translate", {f});

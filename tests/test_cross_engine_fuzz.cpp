@@ -25,7 +25,9 @@
 #include "align/sw_full.hpp"
 #include "align/sw_linear.hpp"
 #include "align/sw_profile.hpp"
+#include "align/sw_striped.hpp"
 #include "core/accelerator.hpp"
+#include "core/cpu_features.hpp"
 #include "core/multibase.hpp"
 #include "core/multiboard.hpp"
 #include "host/batch.hpp"
@@ -170,6 +172,14 @@ std::vector<seq::Sequence> degenerate_dna() {
   };
 }
 
+// Striped lane widths this machine can execute (empty off x86).
+std::vector<unsigned> striped_lane_widths() {
+  std::vector<unsigned> widths;
+  if (core::cpu_supports(core::SimdIsa::Sse41)) widths.push_back(16);
+  if (core::cpu_supports(core::SimdIsa::Avx2)) widths.push_back(32);
+  return widths;
+}
+
 void check_all_engines(const seq::Sequence& db, const seq::Sequence& query,
                        const align::Scoring& sc, const std::string& ctx) {
   const align::LocalScoreResult oracle = align::sw_best(align::sw_matrix(db, query, sc));
@@ -178,6 +188,10 @@ void check_all_engines(const seq::Sequence& db, const seq::Sequence& query,
   EXPECT_EQ(align::sw_linear_profiled(db, query, sc), oracle) << "profiled " << ctx;
   EXPECT_EQ(align::sw_linear_antidiag(db, query, sc), oracle) << "swar16 " << ctx;
   EXPECT_EQ(align::sw_linear_antidiag8(db, query, sc), oracle) << "swar8 " << ctx;
+  for (const unsigned lanes : striped_lane_widths()) {
+    EXPECT_EQ(align::sw_linear_striped(db, query, sc, lanes), oracle)
+        << "striped" << lanes << " " << ctx;
+  }
 
   // A band wide enough to cover any divergence makes banded_sw exact.
   const std::size_t full_band = db.size() + query.size() + 1;
@@ -279,6 +293,53 @@ TEST(CrossEngineDegenerate, Swar8SaturationBoundaryExact) {
   }
 }
 
+// The striped kernels must sit on EXACTLY the same saturation boundary as
+// swar8 — same predicate, "some true cell value > 255" — or the engine's
+// swar8_fallbacks accounting would depend on which 8-bit kernel ran. The
+// 8-bit attempt must succeed iff the swar8 attempt does, the ladder must
+// count exactly one fallback past the line, and every returned value must
+// be the oracle's.
+TEST(CrossEngineDegenerate, StripedSaturationBoundaryExact) {
+  struct Case {
+    int match;
+    std::size_t len;
+  };
+  const std::vector<Case> cases = {
+      {5, 50}, {5, 51}, {5, 52},             // 250 | 255 | 260
+      {3, 84}, {3, 85}, {3, 86},             // 252 | 255 | 258
+      {1, 254}, {1, 255}, {1, 256}, {1, 300} // straddle at unit score
+  };
+  for (const Case& c : cases) {
+    align::Scoring sc;
+    sc.match = c.match;
+    sc.mismatch = -c.match;
+    sc.gap = -c.match - 1;
+    const seq::Sequence s = seq::Sequence::dna(repeat('A', c.len), "sat");
+    const align::LocalScoreResult oracle = align::sw_best(align::sw_matrix(s, s, sc));
+
+    align::Antidiag8Workspace ws8;
+    const bool swar8_fits = align::sw_antidiag8_try(s.codes(), s.codes(), sc, ws8).has_value();
+
+    for (const unsigned lanes : striped_lane_widths()) {
+      const std::string ctx = "match=" + std::to_string(c.match) +
+                              " len=" + std::to_string(c.len) + " lanes=" + std::to_string(lanes);
+      const align::StripedProfile profile(s, sc, lanes);
+      align::StripedWorkspace ws;
+      const std::optional<align::LocalScoreResult> attempt =
+          align::sw_striped8_try(s.codes(), profile, ws);
+      EXPECT_EQ(attempt.has_value(), swar8_fits) << ctx;  // predicate parity with swar8
+      EXPECT_EQ(attempt.has_value(), oracle.score <= 255) << ctx;
+      if (attempt.has_value()) {
+        EXPECT_EQ(*attempt, oracle) << ctx;
+      }
+
+      std::uint64_t fallbacks = 0;
+      EXPECT_EQ(align::sw_linear_striped(s, s, sc, lanes, &fallbacks), oracle) << ctx;
+      EXPECT_EQ(fallbacks, oracle.score > 255 ? 1u : 0u) << ctx;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Scan-level parity on the degenerate database: every SIMD policy, thread
 // count, and the accelerator engine must report identical hits, and the
@@ -324,9 +385,17 @@ TEST(CrossEngineDegenerate, ScanParityAcrossPoliciesThreadsAndBoard) {
       if (align::sw_linear(rec, query, sc).score > 255) ++saturated;
     }
 
+    // What Auto resolves to depends on the machine and any SWR_SIMD
+    // override in the environment — mirror the engine's resolution so
+    // the expected fallback count is right under every CI matrix leg.
+    const core::SimdIsa auto_isa = core::auto_simd_isa();
+    const bool auto_leads_with_bytes = auto_isa == core::SimdIsa::Swar8 ||
+                                       auto_isa == core::SimdIsa::Sse41 ||
+                                       auto_isa == core::SimdIsa::Avx2;
+
     for (const host::SimdPolicy policy :
          {host::SimdPolicy::Auto, host::SimdPolicy::Scalar, host::SimdPolicy::Swar16,
-          host::SimdPolicy::Swar8}) {
+          host::SimdPolicy::Swar8, host::SimdPolicy::Sse41, host::SimdPolicy::Avx2}) {
       for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
         host::ScanOptions opt = base;
         opt.simd_policy = policy;
@@ -338,12 +407,16 @@ TEST(CrossEngineDegenerate, ScanParityAcrossPoliciesThreadsAndBoard) {
         expect_same_scan_hits(reference, r, ctx);
         EXPECT_EQ(r.records_scanned, records.size()) << ctx;
         EXPECT_EQ(r.cell_updates, reference.cell_updates) << ctx;
-        if (policy == host::SimdPolicy::Auto || policy == host::SimdPolicy::Swar8) {
-          // One lazy 16-bit re-run per saturating record, thread-invariant.
-          EXPECT_EQ(r.swar8_fallbacks, saturated) << ctx;
-        } else {
-          EXPECT_EQ(r.swar8_fallbacks, 0u) << ctx;
-        }
+        // Swar8, Sse41, Avx2 lead with an 8-bit kernel (SWAR or striped
+        // — identical saturation predicate), and an unsupported striped
+        // request degrades no lower than Swar8: exactly one lazy 16-bit
+        // re-run per saturating record, thread- and kernel-invariant.
+        // Auto counts only when it resolves to a byte-leading tier.
+        const bool leads_with_bytes =
+            policy == host::SimdPolicy::Swar8 || policy == host::SimdPolicy::Sse41 ||
+            policy == host::SimdPolicy::Avx2 ||
+            (policy == host::SimdPolicy::Auto && auto_leads_with_bytes);
+        EXPECT_EQ(r.swar8_fallbacks, leads_with_bytes ? saturated : 0u) << ctx;
       }
     }
 
