@@ -416,6 +416,136 @@ void run_simd_comparison() {
   std::printf("machine-readable dump: BENCH_simd.json\n");
 }
 
+// ---- kernel-shape comparison (BENCH_interseq.json) ------------------------
+
+// Inter-sequence vs striped vs swar8, single thread, store-backed so the
+// interseq path feeds from the length-sorted schedule order. Two database
+// shapes: length-uniform (every record 500 BP — striped's best case, since
+// no lane padding varies) and length-skewed (50..2000 BP — where interseq's
+// lane refill has to earn its keep). The committed run must show interseq
+// at or above the striped tier on both.
+void run_interseq_comparison() {
+  bench::header("kernel shapes: interseq vs striped vs swar8 (1 thread, store-backed, GCUPS)");
+  if (!core::cpu_supports(core::SimdIsa::Sse41)) {
+    std::printf("no native SIMD on this host; interseq unavailable, skipping\n");
+    return;
+  }
+  seq::RandomSequenceGenerator gen(4096);
+  const seq::Sequence query = gen.uniform(seq::dna(), 100, "q");
+  const std::size_t n_records = bench::full_scale() ? 20'000 : 2'000;
+
+  struct ShapeRow {
+    std::string kernel;
+    std::string simd;
+    double seconds;
+    double gcups;
+  };
+  struct DbCase {
+    std::string shape;
+    std::size_t records;
+    std::uint64_t cells;
+    std::vector<ShapeRow> rows;
+    double interseq_vs_striped = 0.0;
+  };
+  std::vector<DbCase> cases;
+
+  const auto run_case = [&](const std::string& shape,
+                            const std::vector<seq::Sequence>& records) {
+    DbCase c;
+    c.shape = shape;
+    c.records = records.size();
+    for (const seq::Sequence& r : records) {
+      c.cells += static_cast<std::uint64_t>(r.size()) * query.size();
+    }
+    const std::string path = "BENCH_interseq_" + shape + ".swdb";
+    db::build_store(records, path);
+    const db::Store store = db::Store::open(path);
+
+    const auto measure = [&](const std::string& name, host::SimdPolicy p,
+                             host::KernelShape k) {
+      host::ScanOptions o;
+      o.top_k = 10;
+      o.min_score = 20;
+      o.threads = 1;
+      o.simd_policy = p;
+      o.kernel = k;
+      double best_s = 1e100;
+      for (int rep = 0; rep < 3; ++rep) {  // min-of-3: the noise-free estimate
+        const bench::Timer t;
+        const host::ScanResult r = host::scan_database_cpu(query, store, kSc, o);
+        benchmark::DoNotOptimize(&r);
+        best_s = std::min(best_s, t.seconds());
+      }
+      c.rows.push_back({name, simd_name(p), best_s,
+                        static_cast<double>(c.cells) / best_s / 1e9});
+    };
+    measure("swar8", host::SimdPolicy::Swar8, host::KernelShape::Striped);
+    measure("striped", host::SimdPolicy::Auto, host::KernelShape::Striped);
+    measure("interseq", host::SimdPolicy::Auto, host::KernelShape::InterSeq);
+    c.interseq_vs_striped = c.rows[2].gcups / c.rows[1].gcups;
+    cases.push_back(std::move(c));
+    std::remove(path.c_str());
+  };
+
+  {
+    std::vector<seq::Sequence> uniform;
+    uniform.reserve(n_records);
+    for (std::size_t r = 0; r < n_records; ++r) {
+      uniform.push_back(gen.uniform(seq::dna(), 500, "u" + std::to_string(r)));
+    }
+    run_case("uniform", uniform);
+  }
+  {
+    // Log-ish spread 50..2000 BP: most records short, a heavy tail of
+    // long ones — the shape real protein/EST databases have.
+    std::vector<seq::Sequence> skewed;
+    skewed.reserve(n_records);
+    for (std::size_t r = 0; r < n_records; ++r) {
+      const std::size_t len = 50 + (r * r * 977 + r * 131) % 1951;
+      skewed.push_back(gen.uniform(seq::dna(), len, "s" + std::to_string(r)));
+    }
+    run_case("skewed", skewed);
+  }
+
+  bool interseq_ge_striped = true;
+  for (const DbCase& c : cases) {
+    std::printf("database: %s (%zu records, %.1f MBP)\n", c.shape.c_str(), c.records,
+                static_cast<double>(c.cells) / query.size() / 1e6);
+    std::printf("  %-10s %7s %10s %10s %14s\n", "kernel", "simd", "seconds", "GCUPS",
+                "vs striped");
+    bench::rule(58);
+    for (const ShapeRow& r : c.rows) {
+      std::printf("  %-10s %7s %10.4f %10.3f %13.2fx\n", r.kernel.c_str(), r.simd.c_str(),
+                  r.seconds, r.gcups, r.gcups / c.rows[1].gcups);
+    }
+    bench::rule(58);
+    if (c.interseq_vs_striped < 1.0) interseq_ge_striped = false;
+  }
+  std::printf("interseq >= striped on every database shape: %s\n",
+              interseq_ge_striped ? "yes" : "NO");
+
+  std::ofstream js("BENCH_interseq.json");
+  js << "{\n  \"query_len\": " << query.size() << ",\n";
+  js << "  \"simd\": \"" << core::simd_isa_name(core::detected_simd_isa()) << "\",\n";
+  js << "  \"databases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const DbCase& c = cases[i];
+    js << "    {\"shape\": \"" << c.shape << "\", \"records\": " << c.records
+       << ", \"cells\": " << c.cells << ", \"rows\": [\n";
+    for (std::size_t k = 0; k < c.rows.size(); ++k) {
+      const ShapeRow& r = c.rows[k];
+      js << "      {\"kernel\": \"" << r.kernel << "\", \"simd\": \"" << r.simd
+         << "\", \"threads\": 1, \"seconds\": " << r.seconds << ", \"gcups\": " << r.gcups
+         << "}" << (k + 1 < c.rows.size() ? "," : "") << "\n";
+    }
+    js << "    ], \"interseq_vs_striped\": " << c.interseq_vs_striped << "}"
+       << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n";
+  js << "  \"interseq_ge_striped\": " << (interseq_ge_striped ? "true" : "false") << "\n}\n";
+  std::printf("machine-readable dump: BENCH_interseq.json\n");
+}
+
 // ---- database load + batch service comparison (BENCH_db.json) -----------
 
 // (a) Opening the same database as FASTA text (parse + validate + encode)
@@ -648,9 +778,14 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--obs-overhead-only") {
       return run_obs_overhead(/*ci_mode=*/true);
     }
+    if (std::string(argv[i]) == "--interseq-only") {
+      run_interseq_comparison();
+      return 0;
+    }
   }
   run_scan_comparison();
   run_simd_comparison();
+  run_interseq_comparison();
   run_db_comparison();
   if (const int rc = run_obs_overhead(/*ci_mode=*/false); rc != 0) return rc;
   benchmark::Initialize(&argc, argv);

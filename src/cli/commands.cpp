@@ -192,6 +192,16 @@ host::SimdPolicy simd_policy_by_name(const std::string& name) {
                  core::simd_isa_choices() + ")");
 }
 
+// Same contract for --kernel: spelling lives in core/cpu_features, bad
+// values are usage errors here (the SWR_KERNEL env path warns instead).
+host::KernelShape kernel_shape_by_name(const std::string& name) {
+  try {
+    return core::parse_kernel_shape(name);
+  } catch (const std::invalid_argument& e) {
+    throw ArgError(e.what());
+  }
+}
+
 /// True when `path` starts with the .swdb magic bytes — `scan` sniffs the
 /// database file instead of trusting its extension.
 bool looks_like_swdb(const std::string& path) {
@@ -356,6 +366,7 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
       .option("engine", "auto")
       .option("threads", "1")
       .option("simd", "auto")
+      .option("kernel", "auto")
       .option("match")
       .option("mismatch")
       .option("gap")
@@ -379,6 +390,7 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
   opt.min_score = static_cast<align::Score>(args.get_int("min-score"));
   opt.threads = static_cast<std::size_t>(args.get_int("threads"));
   opt.simd_policy = simd_policy_by_name(args.get("simd"));
+  opt.kernel = kernel_shape_by_name(args.get("kernel"));
 
   // "auto" keeps the accelerator model for sequential runs (the paper's
   // board) and switches to the parallel CPU engine when threads are asked
@@ -521,13 +533,14 @@ int cmd_swdb(const std::vector<std::string>& argv, std::ostream& out) {
     out << "  " << store.size() << " records, " << store.total_residues() << " residues, "
         << h.payload_bytes << " payload bytes\n";
     if (!store.empty()) {
-      std::size_t longest = 0;
-      std::size_t shortest = store.length(0);
-      for (std::size_t r = 0; r < store.size(); ++r) {
-        longest = std::max(longest, store.length(r));
-        shortest = std::min(shortest, store.length(r));
-      }
-      out << "  record length " << shortest << ".." << longest << "\n";
+      const db::ScheduleStats st = db::schedule_stats(store);
+      out << "  record length " << st.min_length << ".." << st.max_length << ", median "
+          << st.median_length << "\n";
+      std::ostringstream occ;
+      occ.precision(1);
+      occ << std::fixed << "  interseq lane occupancy: " << st.occupancy16 * 100.0
+          << "% @16 lanes, " << st.occupancy32 * 100.0 << "% @32 lanes\n";
+      out << occ.str();
     }
     if (args.has("verify")) {
       store.verify_payload();
@@ -681,6 +694,7 @@ std::string usage() {
          "  scan <query.fa> <db.fa|db.swdb>  [--top K] [--min-score S] [--pes N]\n"
          "                       [--alphabet ...] [--engine auto|accel|cpu] [--threads N]\n"
          "                       [--simd auto|scalar|swar16|swar8|sse41|avx2]\n"
+         "                       [--kernel auto|striped|interseq]\n"
          "                       [--batch [--cpu-workers N] [--boards N] [--inflight N]\n"
          "                        [--queue N] [--chunk N] [--deadline-ms N] [--slow-ms N]]\n"
          "                       [--stats] [--metrics-out <metrics.json>]\n"

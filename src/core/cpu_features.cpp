@@ -38,6 +38,7 @@ bool hardware_supports(SimdIsa isa) noexcept {
 // run millions of times, stderr must not.
 std::atomic<bool> warned_degrade{false};
 std::atomic<bool> warned_bad_env{false};
+std::atomic<bool> warned_bad_kernel_env{false};
 
 }  // namespace
 
@@ -120,6 +121,40 @@ SimdIsa auto_simd_isa() {
     return effective_simd_isa(*env);
   }
   return detected_simd_isa();
+}
+
+const char* kernel_shape_name(KernelShape shape) noexcept {
+  switch (shape) {
+    case KernelShape::Auto: return "auto";
+    case KernelShape::Striped: return "striped";
+    case KernelShape::InterSeq: return "interseq";
+  }
+  return "unknown";
+}
+
+const char* kernel_shape_choices() noexcept { return "auto|striped|interseq"; }
+
+KernelShape parse_kernel_shape(std::string_view name) {
+  if (name.empty() || name == "auto") return KernelShape::Auto;
+  if (name == "striped") return KernelShape::Striped;
+  if (name == "interseq") return KernelShape::InterSeq;
+  throw std::invalid_argument("unknown kernel shape '" + std::string(name) +
+                              "' (choices: " + kernel_shape_choices() + ")");
+}
+
+std::optional<KernelShape> kernel_shape_env_override() {
+  const char* raw = std::getenv("SWR_KERNEL");
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  try {
+    const KernelShape shape = parse_kernel_shape(raw);
+    if (shape == KernelShape::Auto) return std::nullopt;  // "auto" = no override
+    return shape;
+  } catch (const std::invalid_argument& e) {
+    if (!warned_bad_kernel_env.exchange(true)) {
+      std::fprintf(stderr, "SWR: ignoring SWR_KERNEL: %s\n", e.what());
+    }
+    return std::nullopt;
+  }
 }
 
 }  // namespace swr::core

@@ -79,4 +79,34 @@ std::optional<SimdIsa> simd_isa_env_override();
 /// else the detected widest ISA.
 SimdIsa auto_simd_isa();
 
+/// Scan kernel *shape* — orthogonal to the SimdIsa lane-width ladder.
+/// The striped shape splits one record's query columns across lanes; the
+/// inter-sequence shape packs a different database record into every lane
+/// (align/sw_interseq.hpp). Only the native-vector tiers (Sse41/Avx2)
+/// have both shapes; the SWAR/scalar tiers are striped-shaped only.
+enum class KernelShape : unsigned {
+  Auto,      ///< inter-sequence for store-backed scans when usable, else striped
+  Striped,   ///< one record at a time, query columns across lanes
+  InterSeq,  ///< one record per lane, lanes batched by the length schedule
+};
+
+/// Canonical lower-case name ("auto", "striped", "interseq").
+const char* kernel_shape_name(KernelShape shape) noexcept;
+
+/// The accepted spelling list, for error messages: "auto|striped|interseq".
+const char* kernel_shape_choices() noexcept;
+
+/// Parses a kernel-shape name. "auto" and the empty string yield
+/// KernelShape::Auto; unknown spellings throw.
+/// @throws std::invalid_argument listing the accepted choices.
+KernelShape parse_kernel_shape(std::string_view name);
+
+/// The `SWR_KERNEL` environment override, freshly read. nullopt when
+/// unset or empty. An unknown value warns on stderr once per process and
+/// yields nullopt rather than throwing — same contract as
+/// simd_isa_env_override(). It applies only when the caller's own request
+/// is Auto (an explicit --kernel outranks the environment, mirroring the
+/// SWR_SIMD precedence).
+std::optional<KernelShape> kernel_shape_env_override();
+
 }  // namespace swr::core

@@ -1,5 +1,6 @@
 #include "db/store.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -186,6 +187,49 @@ void Store::verify_payload(obs::Registry* metrics) const {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
   }
   if (got != header_.payload_hash) fail(path_, "payload checksum mismatch");
+}
+
+namespace {
+
+// Predicted inter-sequence lane occupancy when the dynamic refill walks
+// `order` at `lanes` lanes: records are handed to the first lane to
+// retire (greedy least-loaded — the refill loop's actual behaviour), the
+// batch runs as long as its most-loaded lane, and occupancy is the useful
+// fraction of the lanes x makespan step budget. Empty records never enter
+// a lane (the engine filters them), so they are skipped here too.
+double predicted_occupancy(const Store& store, std::span<const std::uint32_t> order,
+                           unsigned lanes) {
+  std::vector<std::uint64_t> load(lanes, 0);
+  std::uint64_t useful = 0;
+  for (const std::uint32_t r : order) {
+    const std::uint64_t len = store.length(r);
+    if (len == 0) continue;
+    auto* slot = &load[0];
+    for (unsigned l = 1; l < lanes; ++l) {
+      if (load[l] < *slot) slot = &load[l];
+    }
+    *slot += len;
+    useful += len;
+  }
+  const std::uint64_t makespan = *std::max_element(load.begin(), load.end());
+  if (makespan == 0) return 0.0;
+  return static_cast<double>(useful) / (static_cast<double>(makespan) * lanes);
+}
+
+}  // namespace
+
+ScheduleStats schedule_stats(const Store& store) {
+  ScheduleStats st;
+  if (store.empty()) return st;
+  const std::span<const std::uint32_t> order = store.schedule_order();
+  // The schedule is length-descending, so the extremes and the median are
+  // direct lookups.
+  st.max_length = store.length(order.front());
+  st.min_length = store.length(order.back());
+  st.median_length = store.length(order[order.size() / 2]);
+  st.occupancy16 = predicted_occupancy(store, order, 16);
+  st.occupancy32 = predicted_occupancy(store, order, 32);
+  return st;
 }
 
 }  // namespace swr::db

@@ -104,4 +104,23 @@ class Store {
   const std::uint8_t* payload_ = nullptr;
 };
 
+/// Length-distribution and lane-batching summary of a store's dispatch
+/// schedule — what `swdb info` prints so an operator can predict how well
+/// the inter-sequence scan kernel will batch this database.
+struct ScheduleStats {
+  std::size_t min_length = 0;
+  std::size_t median_length = 0;  ///< middle record of the length-sorted order
+  std::size_t max_length = 0;
+  /// Predicted inter-sequence lane occupancy (useful lane-steps / total
+  /// lane-steps, 0..1) when the scan engine's dynamic lane refill walks
+  /// schedule_order at 16 and at 32 lanes. Modelled as greedy
+  /// first-lane-to-retire assignment — exactly what the refill loop does.
+  double occupancy16 = 0.0;
+  double occupancy32 = 0.0;
+};
+
+/// Computes ScheduleStats from the store's metadata (lengths + schedule
+/// order only — no payload access, O(records) time).
+[[nodiscard]] ScheduleStats schedule_stats(const Store& store);
+
 }  // namespace swr::db

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "host/record_source.hpp"
+#include "obs/metrics.hpp"
 #include "seq/complexity.hpp"
 
 namespace swr::host {
@@ -41,10 +42,16 @@ ScanResult scan_source(core::SmithWatermanAccelerator& accelerator, const seq::S
   opt.validate();
   src.check_alphabet(query, "scan_database");
   ScanResult out;
+  // One Sequence + decode scratch reused for every record: after the first
+  // few records the buffers reach the high-water length and the loop runs
+  // allocation-free (scan.db.decode_reuse counts the reused decodes).
+  seq::Sequence rec;
+  std::vector<seq::Code> scratch;
+  std::uint64_t decode_reused = 0;
   for (std::size_t r = 0; r < src.size(); ++r) {
     ++out.records_scanned;
     if (src.length(r) == 0 || query.empty()) continue;
-    const seq::Sequence rec = src.sequence(r);
+    if (src.sequence_into(r, rec, scratch)) ++decode_reused;
     const core::JobResult job = accelerator.run(query, rec);
     out.cell_updates += job.stats.cell_updates;
     out.board_seconds += job.seconds;
@@ -60,6 +67,9 @@ ScanResult scan_source(core::SmithWatermanAccelerator& accelerator, const seq::S
     const auto pos = std::upper_bound(out.hits.begin(), out.hits.end(), hit, hit_ranks_before);
     out.hits.insert(pos, std::move(hit));
     if (out.hits.size() > opt.top_k) out.hits.pop_back();
+  }
+  if (opt.metrics != nullptr && decode_reused != 0) {
+    opt.metrics->counter("scan.db.decode_reuse").add(decode_reused);
   }
   return out;
 }

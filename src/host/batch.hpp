@@ -13,6 +13,7 @@
 
 #include "align/cigar.hpp"
 #include "core/accelerator.hpp"
+#include "core/cpu_features.hpp"
 #include "host/pipeline.hpp"
 
 namespace swr::db {
@@ -51,6 +52,12 @@ enum class SimdPolicy {
   Avx2,    ///< thirty-two 8-bit striped lanes (__m256i) + lazy 16-bit striped re-run
 };
 
+/// Scan kernel shape (core/cpu_features.hpp), orthogonal to SimdPolicy:
+/// striped splits one record's query across lanes; interseq scores one
+/// record per lane with length-sorted lane batching. Every shape produces
+/// bit-identical output to every policy — tests enforce it.
+using KernelShape = core::KernelShape;
+
 /// Scan configuration.
 struct ScanOptions {
   std::size_t top_k = 10;       ///< hits to keep
@@ -71,6 +78,14 @@ struct ScanOptions {
 
   /// Kernel selection for scan_database_cpu.
   SimdPolicy simd_policy = SimdPolicy::Auto;
+
+  /// Kernel shape for scan_database_cpu. Auto honours the SWR_KERNEL env
+  /// override, then picks inter-sequence for store-backed scans whenever
+  /// the resolved policy is a native-vector tier that can run it (scheme
+  /// fits 8-bit lanes, alphabet fits the lookup tables), else striped. An
+  /// explicit InterSeq request the machine/scheme cannot honour degrades
+  /// to striped with a one-time warning.
+  KernelShape kernel = KernelShape::Auto;
 
   /// Observability sink. nullptr (the default) is a strict no-op: the
   /// engines never form a metric name or touch an atomic — the disabled

@@ -60,6 +60,29 @@ class RecordSource {
     return store_ != nullptr ? store_->sequence(r) : (*records_)[r];
   }
 
+  /// As sequence(), but materializing into `out` so its code buffer (and
+  /// `scratch`, for Packed2 stores) is reused across records instead of
+  /// allocated per call. Returns true when `out`'s capacity absorbed the
+  /// record without reallocating — the scan.db.decode_reuse metric.
+  bool sequence_into(std::size_t r, seq::Sequence& out, std::vector<seq::Code>& scratch) const {
+    if (store_ != nullptr) {
+      return out.assign(store_->alphabet(), store_->codes(r, scratch),
+                        store_->name(r));
+    }
+    const seq::Sequence& rec = (*records_)[r];
+    return out.assign(rec.alphabet(), rec.codes(), rec.name());
+  }
+
+  /// Whether this source is a memory-mapped store (the path with a
+  /// precomputed length schedule).
+  [[nodiscard]] bool is_store() const noexcept { return store_ != nullptr; }
+
+  /// The store's length-descending dispatch permutation; empty for vector
+  /// sources (the engines sort shard-locally instead).
+  [[nodiscard]] std::span<const std::uint32_t> schedule_order() const noexcept {
+    return store_ != nullptr ? store_->schedule_order() : std::span<const std::uint32_t>{};
+  }
+
   /// Verifies every record alphabet matches `query`'s. Vector sources
   /// check per record (mixed vectors are constructible); a store is
   /// single-alphabet by format. @throws std::invalid_argument naming

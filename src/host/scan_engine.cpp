@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <numeric>
 #include <optional>
@@ -13,6 +15,7 @@
 
 #include "align/sw_antidiag.hpp"
 #include "align/sw_antidiag8.hpp"
+#include "align/sw_interseq.hpp"
 #include "align/sw_profile.hpp"
 #include "align/sw_striped.hpp"
 #include "core/cpu_features.hpp"
@@ -55,6 +58,60 @@ SimdPolicy resolve_simd_policy(SimdPolicy requested) {
   return isa_to_policy(core::effective_simd_isa(policy_to_isa(requested)));
 }
 
+// 8-bit lane count of the native-vector tier `policy` rides (meaningful
+// for Sse41/Avx2 only).
+unsigned interseq_lanes(SimdPolicy policy) { return policy == SimdPolicy::Avx2 ? 32u : 16u; }
+
+std::atomic<bool> warned_interseq_degrade{false};
+
+// Everything the kernel-shape decision produced: the concrete shape
+// (never Auto) and, for InterSeq, the scan-shared profile (read-only, so
+// one instance serves every worker).
+struct ShapePlan {
+  KernelShape shape = KernelShape::Striped;
+  std::optional<align::InterSeqProfile> iprofile;
+};
+
+// Resolves the requested kernel shape once per scan: Auto defers to the
+// SWR_KERNEL env override, then picks inter-sequence for store-backed
+// scans whenever the resolved policy is a native-vector tier that can
+// actually run it (kernel compiled, ISA present, scheme fits 8-bit
+// lanes, alphabet + neutral code fits the pshufb tables); an explicit
+// InterSeq request that cannot be honoured degrades to striped with a
+// one-time warning — never an error, mirroring the SIMD-policy clamp.
+ShapePlan resolve_kernel_shape(KernelShape requested, SimdPolicy policy,
+                               const seq::Sequence& query, const align::Scoring& sc,
+                               bool store_backed) {
+  ShapePlan plan;
+  if (requested == KernelShape::Auto) {
+    if (const std::optional<KernelShape> env = core::kernel_shape_env_override()) {
+      requested = *env;
+    }
+  }
+  if (requested == KernelShape::Striped) return plan;
+
+  bool interseq_ok = false;
+  if (policy == SimdPolicy::Sse41 || policy == SimdPolicy::Avx2) {
+    const unsigned lanes = interseq_lanes(policy);
+    if (align::sw_interseq_max_lanes() >= lanes) {
+      plan.iprofile.emplace(query, sc, lanes);
+      interseq_ok = plan.iprofile->usable();
+    }
+  }
+  if (requested == KernelShape::InterSeq && !interseq_ok &&
+      !warned_interseq_degrade.exchange(true)) {
+    std::fprintf(stderr,
+                 "SWR: requested kernel 'interseq' is unavailable for this scan "
+                 "(needs an sse41/avx2 policy, a scheme that fits 8-bit lanes and an "
+                 "alphabet of at most 31 residues); degrading to 'striped'\n");
+  }
+  const bool use_interseq =
+      interseq_ok && (requested == KernelShape::InterSeq || store_backed);
+  plan.shape = use_interseq ? KernelShape::InterSeq : KernelShape::Striped;
+  if (!use_interseq) plan.iprofile.reset();
+  return plan;
+}
+
 // Metric handles fetched once per scan (registry lookups take a lock; the
 // record loop must not). All-null when opt.metrics is null, so the
 // disabled path is a single pointer test per scan and one per worker.
@@ -70,9 +127,17 @@ struct ScanMetrics {
   obs::Counter* simd_rec_swar8 = nullptr;
   obs::Counter* simd_rec_striped8 = nullptr;
   obs::Counter* simd_rec_striped16 = nullptr;
+  obs::Counter* decode_reuse = nullptr;
+  // Interseq-shape handles, fetched only when that shape resolved so a
+  // striped scan never pays the extra registry lookups.
+  obs::Counter* interseq_batches = nullptr;
+  obs::Counter* interseq_refills = nullptr;
+  obs::Counter* interseq_fallbacks = nullptr;
+  obs::Counter* interseq_records = nullptr;
+  obs::Histogram* interseq_occupancy = nullptr;
   obs::Histogram* worker_kernel_us = nullptr;
 
-  ScanMetrics(obs::Registry* reg, SimdPolicy resolved) {
+  ScanMetrics(obs::Registry* reg, SimdPolicy resolved, KernelShape shape) {
     if (reg == nullptr) return;
     scans = &reg->counter("scan.scans");
     records = &reg->counter("scan.records");
@@ -86,6 +151,14 @@ struct ScanMetrics {
     simd_rec_swar8 = &reg->counter("scan.simd.records.swar8");
     simd_rec_striped8 = &reg->counter("scan.simd.records.striped8");
     simd_rec_striped16 = &reg->counter("scan.simd.records.striped16");
+    decode_reuse = &reg->counter("scan.db.decode_reuse");
+    if (shape == KernelShape::InterSeq) {
+      interseq_batches = &reg->counter("scan.interseq.batches");
+      interseq_refills = &reg->counter("scan.interseq.refills");
+      interseq_fallbacks = &reg->counter("scan.interseq.fallbacks");
+      interseq_records = &reg->counter("scan.interseq.records");
+      interseq_occupancy = &reg->histogram("scan.interseq.occupancy");
+    }
     worker_kernel_us = &reg->histogram("scan.worker_kernel_us");
   }
 };
@@ -111,6 +184,15 @@ struct Worker {
   align::Antidiag8Workspace ws8;
   align::StripedWorkspace sws;
   std::vector<seq::Code> decode;  // Packed2-store record scratch
+  // Reusable Sequence the DUST path materializes records into instead of
+  // allocating one per filtered hit (scan.db.decode_reuse).
+  seq::Sequence seq_buf;
+  // Interseq lane state: each lane holds its record's codes until the lane
+  // retires, so Packed2 decoding needs one scratch buffer per lane — a
+  // ring reused for every record that passes through the lane.
+  std::vector<std::vector<seq::Code>> lane_decode;
+  align::InterSeqWorkspace iws;
+  align::InterSeqStats istats;
   std::vector<Hit> hits;  // sorted by hit_ranks_before, size <= top_k
   std::uint64_t cell_updates = 0;
   std::uint64_t swar8_fallbacks = 0;
@@ -120,6 +202,8 @@ struct Worker {
   std::uint64_t rec_swar8 = 0;
   std::uint64_t rec_striped8 = 0;
   std::uint64_t rec_striped16 = 0;
+  std::uint64_t rec_interseq = 0;   // records whose score came out of a lane
+  std::uint64_t decode_reused = 0;  // sequence_into calls that avoided a realloc
 };
 
 align::LocalScoreResult score_record(std::span<const seq::Code> rec,
@@ -175,6 +259,15 @@ void insert_top_k(std::vector<Hit>& hits, Hit hit, std::size_t top_k) {
   if (hits.size() > top_k) hits.pop_back();
 }
 
+// DUST check materializing record `r` through the worker's reusable
+// Sequence buffer. Safe even when the caller's record span aliases
+// w.decode (same record, same bytes, and the span is dead afterwards).
+bool dust_suppressed_at(const RecordSource& src, std::size_t r, const align::Cell& end,
+                        const ScanOptions& opt, Worker& w) {
+  if (src.sequence_into(r, w.seq_buf, w.decode)) ++w.decode_reused;
+  return dust_suppressed(w.seq_buf, end, opt);
+}
+
 // Scores one record and folds any hit into the worker's top-k — shared by
 // the whole-database scan and the id-list chunk scan so both stay
 // bit-identical per record.
@@ -185,11 +278,71 @@ void scan_one(const RecordSource& src, std::size_t r, std::span<const seq::Code>
   w.cell_updates += static_cast<std::uint64_t>(rec.size()) * qcodes.size();
   const align::LocalScoreResult best = score_record(rec, qcodes, sc, policy, w);
   if (best.score < opt.min_score) return;
-  if (opt.dust_filter && dust_suppressed(src.sequence(r), best.end, opt)) return;
+  if (opt.dust_filter && dust_suppressed_at(src, r, best.end, opt, w)) return;
   Hit hit;
   hit.record = r;
   hit.result = best;
   insert_top_k(w.hits, std::move(hit), opt.top_k);
+}
+
+// One worker's inter-sequence scan: `next_record` streams record ids (the
+// caller decides the order — the store's length-descending schedule, or a
+// shard-locally sorted id list); the kernel packs one record per 8-bit
+// lane and this function folds every retired lane through EXACTLY the
+// ladder tail score_record runs after a striped8 saturation, so hits,
+// swar8_fallbacks and the tier counters stay bit-identical to every
+// striped/SWAR/scalar policy.
+void scan_interseq(const RecordSource& src, const align::InterSeqProfile& prof,
+                   std::span<const seq::Code> qcodes, const align::Scoring& sc,
+                   const ScanOptions& opt, Worker& w,
+                   const std::function<std::optional<std::uint32_t>()>& next_record) {
+  if (w.lane_decode.size() < prof.lanes8()) w.lane_decode.resize(prof.lanes8());
+  const auto fetch = [&](unsigned lane) -> std::optional<align::InterSeqRecord> {
+    for (;;) {
+      const std::optional<std::uint32_t> r = next_record();
+      if (!r) return std::nullopt;
+      // Empty records contribute nothing (scan_one skips them the same
+      // way); filtering here keeps lanes from parking on zero rows.
+      const std::span<const seq::Code> codes = src.codes(*r, w.lane_decode[lane]);
+      if (codes.empty()) continue;
+      return align::InterSeqRecord{*r, codes};
+    }
+  };
+  const auto done = [&](std::uint64_t tag, std::span<const seq::Code> rec,
+                        const std::optional<align::LocalScoreResult>& in_lane) {
+    const std::size_t r = static_cast<std::size_t>(tag);
+    w.cell_updates += static_cast<std::uint64_t>(rec.size()) * qcodes.size();
+    align::LocalScoreResult best;
+    if (in_lane.has_value()) {
+      ++w.rec_interseq;
+      best = *in_lane;
+    } else {
+      // The lane saturated — identical predicate to the striped/SWAR
+      // 8-bit kernels ("some true cell > 255"), so this is the same lazy
+      // re-run tail as score_record's striped ladder.
+      ++w.swar8_fallbacks;
+      if (const auto rr = align::sw_striped16_try(rec, *w.striped, w.sws)) {
+        ++w.rec_striped16;
+        best = *rr;
+      } else {
+        ++w.rec_scalar;
+        best = align::sw_linear_profiled(rec, w.profile, w.row);
+      }
+    }
+    if (best.score < opt.min_score) return;
+    if (opt.dust_filter && dust_suppressed_at(src, r, best.end, opt, w)) return;
+    Hit hit;
+    hit.record = r;
+    hit.result = best;
+    insert_top_k(w.hits, std::move(hit), opt.top_k);
+  };
+  const align::InterSeqStats st = align::sw_interseq_scan(prof, w.iws, fetch, done);
+  w.istats.batches += st.batches;
+  w.istats.refills += st.refills;
+  w.istats.fallbacks += st.fallbacks;
+  for (std::size_t i = 0; i < w.istats.occupancy.size(); ++i) {
+    w.istats.occupancy[i] += st.occupancy[i];
+  }
 }
 
 // Folds the per-worker partials into one result. Deterministic merge:
@@ -237,6 +390,34 @@ void flush_scan_metrics(const ScanMetrics& metrics, const std::vector<Worker>& w
   if (swar8 != 0) metrics.simd_rec_swar8->add(swar8);
   if (striped8 != 0) metrics.simd_rec_striped8->add(striped8);
   if (striped16 != 0) metrics.simd_rec_striped16->add(striped16);
+  std::uint64_t reused = 0;
+  for (const Worker& w : workers) reused += w.decode_reused;
+  if (reused != 0) metrics.decode_reuse->add(reused);
+  if (metrics.interseq_batches != nullptr) {
+    align::InterSeqStats total;
+    std::uint64_t interseq = 0;
+    for (const Worker& w : workers) {
+      interseq += w.rec_interseq;
+      total.batches += w.istats.batches;
+      total.refills += w.istats.refills;
+      total.fallbacks += w.istats.fallbacks;
+      for (std::size_t i = 0; i < total.occupancy.size(); ++i) {
+        total.occupancy[i] += w.istats.occupancy[i];
+      }
+    }
+    if (total.batches != 0) metrics.interseq_batches->add(total.batches);
+    if (total.refills != 0) metrics.interseq_refills->add(total.refills);
+    if (total.fallbacks != 0) metrics.interseq_fallbacks->add(total.fallbacks);
+    if (interseq != 0) metrics.interseq_records->add(interseq);
+    // One histogram sample per kernel advance, valued at its live-lane
+    // count — the occupancy distribution the schedule is meant to keep
+    // pinned at full width.
+    for (std::size_t occ = 0; occ < total.occupancy.size(); ++occ) {
+      for (std::uint64_t k = 0; k < total.occupancy[occ]; ++k) {
+        metrics.interseq_occupancy->observe(occ);
+      }
+    }
+  }
 }
 
 ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
@@ -258,20 +439,61 @@ ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
   std::atomic<std::size_t> cursor{0};
 
   const SimdPolicy policy = resolve_simd_policy(opt.simd_policy);
+  const ShapePlan plan = resolve_kernel_shape(opt.kernel, policy, query, sc, src.is_store());
   std::vector<Worker> workers;
   workers.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) workers.emplace_back(query, sc, policy);
 
-  const ScanMetrics metrics(opt.metrics, policy);
+  const ScanMetrics metrics(opt.metrics, policy, plan.shape);
   const std::span<const seq::Code> qcodes = query.codes();
   const auto scan_shards = [&](Worker& w) {
     const auto start = std::chrono::steady_clock::now();
-    for (;;) {
-      const std::size_t s = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (s >= num_shards) break;
-      const std::size_t lo = s * shard;
-      const std::size_t hi = std::min(src.size(), lo + shard);
-      for (std::size_t r = lo; r < hi; ++r) scan_one(src, r, qcodes, sc, opt, policy, w);
+    if (plan.shape == KernelShape::InterSeq) {
+      // The lanes pull records one at a time; shards are claimed through
+      // the same cursor, but walked via the store's length-descending
+      // schedule_order so co-resident lanes retire near-together. Vector
+      // sources have no precomputed schedule — each claimed shard is
+      // sorted locally (length desc, id asc) instead.
+      const std::span<const std::uint32_t> order = src.schedule_order();
+      std::vector<std::uint32_t> ids;  // vector-source shard, length-sorted
+      std::size_t idx = 0;
+      std::size_t idx_end = 0;
+      const auto next_record = [&]() -> std::optional<std::uint32_t> {
+        for (;;) {
+          if (idx < idx_end) {
+            const std::size_t i = idx++;
+            return order.empty() ? ids[i] : order[i];
+          }
+          const std::size_t s = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (s >= num_shards) return std::nullopt;
+          const std::size_t lo = s * shard;
+          const std::size_t hi = std::min(src.size(), lo + shard);
+          if (order.empty()) {
+            ids.resize(hi - lo);
+            std::iota(ids.begin(), ids.end(), static_cast<std::uint32_t>(lo));
+            std::sort(ids.begin(), ids.end(), [&](std::uint32_t a, std::uint32_t b) {
+              const std::size_t la = src.length(a);
+              const std::size_t lb = src.length(b);
+              if (la != lb) return la > lb;
+              return a < b;
+            });
+            idx = 0;
+            idx_end = ids.size();
+          } else {
+            idx = lo;
+            idx_end = hi;
+          }
+        }
+      };
+      scan_interseq(src, *plan.iprofile, qcodes, sc, opt, w, next_record);
+    } else {
+      for (;;) {
+        const std::size_t s = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (s >= num_shards) break;
+        const std::size_t lo = s * shard;
+        const std::size_t hi = std::min(src.size(), lo + shard);
+        for (std::size_t r = lo; r < hi; ++r) scan_one(src, r, qcodes, sc, opt, policy, w);
+      }
     }
     if (metrics.worker_kernel_us != nullptr) {
       metrics.worker_kernel_us->observe_seconds(
@@ -340,13 +562,33 @@ ScanResult scan_records_cpu(const seq::Sequence& query, const RecordSource& src,
   if (query.empty() || record_ids.empty()) return out;
 
   const SimdPolicy policy = resolve_simd_policy(opt.simd_policy);
-  const ScanMetrics metrics(opt.metrics, policy);
+  const ShapePlan plan = resolve_kernel_shape(opt.kernel, policy, query, sc, src.is_store());
+  const ScanMetrics metrics(opt.metrics, policy, plan.shape);
   std::vector<Worker> workers;
   workers.emplace_back(query, sc, policy);
   const std::span<const seq::Code> qcodes = query.codes();
   const auto start = std::chrono::steady_clock::now();
-  for (const std::uint32_t r : record_ids) {
-    scan_one(src, r, qcodes, sc, opt, policy, workers[0]);
+  if (plan.shape == KernelShape::InterSeq) {
+    // Chunk scans carry no precomputed schedule; sort a copy of the id
+    // list (length desc, id asc) so lanes retire near-together. Hits are
+    // order-independent, so this is invisible in the output.
+    std::vector<std::uint32_t> ids(record_ids.begin(), record_ids.end());
+    std::sort(ids.begin(), ids.end(), [&](std::uint32_t a, std::uint32_t b) {
+      const std::size_t la = src.length(a);
+      const std::size_t lb = src.length(b);
+      if (la != lb) return la > lb;
+      return a < b;
+    });
+    std::size_t idx = 0;
+    const auto next_record = [&]() -> std::optional<std::uint32_t> {
+      if (idx >= ids.size()) return std::nullopt;
+      return ids[idx++];
+    };
+    scan_interseq(src, *plan.iprofile, qcodes, sc, opt, workers[0], next_record);
+  } else {
+    for (const std::uint32_t r : record_ids) {
+      scan_one(src, r, qcodes, sc, opt, policy, workers[0]);
+    }
   }
   if (metrics.worker_kernel_us != nullptr) {
     metrics.worker_kernel_us->observe_seconds(

@@ -27,6 +27,20 @@ Sequence::Sequence(const Alphabet& ab, std::vector<Code> codes, std::string name
   }
 }
 
+bool Sequence::assign(const Alphabet& ab, std::span<const Code> codes, std::string_view name) {
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    if (codes[i] >= ab.size()) {
+      throw std::invalid_argument("Sequence::assign: invalid code at position " +
+                                  std::to_string(i));
+    }
+  }
+  const bool reused = codes_.capacity() >= codes.size();
+  alphabet_ = &ab;
+  codes_.assign(codes.begin(), codes.end());
+  name_.assign(name);
+  return reused;
+}
+
 std::string Sequence::to_string() const {
   std::string out;
   out.reserve(codes_.size());

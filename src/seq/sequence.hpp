@@ -69,6 +69,14 @@ class Sequence {
   /// mismatch.
   void append(const Sequence& other);
 
+  /// Replaces this sequence in place with `codes` over `ab`, reusing the
+  /// existing code-buffer capacity — the per-record allocation saver the
+  /// scan engines' decode reuse rides on. Returns true when the buffer
+  /// was reused without reallocating (capacity sufficed). The name is
+  /// replaced too. @throws std::invalid_argument on a bad code, leaving
+  /// the sequence in an unspecified-but-valid state.
+  bool assign(const Alphabet& ab, std::span<const Code> codes, std::string_view name = {});
+
   friend bool operator==(const Sequence& a, const Sequence& b) {
     return a.alphabet_->id() == b.alphabet_->id() && a.codes_ == b.codes_;
   }

@@ -167,6 +167,57 @@ TEST(CliSwdb, BuildInfoAndScanParity) {
   EXPECT_NE(from_store.out.find("stats:"), std::string::npos) << from_store.out;
 }
 
+TEST(CliSwdb, InfoReportsScheduleStats) {
+  // 7 equal-length records: median == min == max, and the predicted
+  // inter-sequence occupancy is exactly 7/16 and 7/32 (one batch, the
+  // empty lanes idle the whole makespan).
+  seq::RandomSequenceGenerator gen(92);
+  std::vector<seq::Sequence> recs;
+  for (int k = 0; k < 7; ++k) {
+    recs.push_back(gen.uniform(seq::dna(), 120, "eq" + std::to_string(k)));
+  }
+  const std::string fa = write_fa("cli_swdb_sched", recs);
+  const std::string swdb = testing::TempDir() + "/cli_swdb_sched.swdb";
+  ASSERT_EQ(run("swdb", {"build", fa, swdb}).code, 0);
+  const RunResult info = run("swdb", {"info", swdb});
+  EXPECT_EQ(info.code, 0) << info.err;
+  EXPECT_NE(info.out.find("record length 120..120, median 120"), std::string::npos) << info.out;
+  EXPECT_NE(info.out.find("interseq lane occupancy: 43.8% @16 lanes, 21.9% @32 lanes"),
+            std::string::npos)
+      << info.out;
+}
+
+TEST(CliScan, EveryKernelShapeProducesTheSameReport) {
+  const auto recs = swdb_db_records();
+  const std::string fa = write_fa("cli_kernel_db", recs);
+  const std::string swdb = testing::TempDir() + "/cli_kernel_db.swdb";
+  ASSERT_EQ(run("swdb", {"build", fa, swdb}).code, 0);
+  const std::string q =
+      write_fa("cli_kernel_q", {seq::Sequence::dna("ACGTACGTACGTACGTACGT", "q")});
+
+  for (const std::string* db : {&fa, &swdb}) {
+    const RunResult ref = run("scan", {q, *db, "--min-score", "10", "--engine", "cpu"});
+    ASSERT_EQ(ref.code, 0) << ref.err;
+    // A shape the machine cannot run degrades (one-time stderr warning),
+    // so every spelling succeeds everywhere with identical hits.
+    for (const std::string kernel : {"auto", "striped", "interseq"}) {
+      for (const std::string threads : {"1", "2"}) {
+        const RunResult r = run("scan", {q, *db, "--min-score", "10", "--engine", "cpu",
+                                         "--kernel", kernel, "--threads", threads});
+        EXPECT_EQ(r.code, 0) << kernel << ": " << r.err;
+        EXPECT_EQ(r.out, ref.out) << "--kernel " << kernel << " --threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(CliScan, UnknownKernelShapeListsChoices) {
+  const RunResult r = run("scan", {"q.fa", "db.fa", "--kernel", "systolic"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("systolic"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("choices: auto|striped|interseq"), std::string::npos) << r.err;
+}
+
 TEST(CliSwdb, InfoRejectsCorruptedFile) {
   const std::string path = testing::TempDir() + "/cli_swdb_bad.swdb";
   std::ofstream(path, std::ios::binary) << "SWRSWDB1 but then garbage";

@@ -158,4 +158,79 @@ TEST(CpuFeatures, EnvRequestAboveMachineDegrades) {
   EXPECT_LE(static_cast<unsigned>(got), static_cast<unsigned>(SimdIsa::Avx2));
 }
 
+// Restores the prior SWR_KERNEL value on scope exit (same contract as
+// ScopedSimdEnv).
+class ScopedKernelEnv {
+ public:
+  explicit ScopedKernelEnv(const char* value) {
+    const char* prev = std::getenv("SWR_KERNEL");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    if (value != nullptr) {
+      ::setenv("SWR_KERNEL", value, 1);
+    } else {
+      ::unsetenv("SWR_KERNEL");
+    }
+  }
+  ~ScopedKernelEnv() {
+    if (had_prev_) {
+      ::setenv("SWR_KERNEL", prev_.c_str(), 1);
+    } else {
+      ::unsetenv("SWR_KERNEL");
+    }
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+TEST(KernelShapeParse, AcceptsEveryCanonicalName) {
+  EXPECT_EQ(parse_kernel_shape("auto"), KernelShape::Auto);
+  EXPECT_EQ(parse_kernel_shape(""), KernelShape::Auto);
+  EXPECT_EQ(parse_kernel_shape("striped"), KernelShape::Striped);
+  EXPECT_EQ(parse_kernel_shape("interseq"), KernelShape::InterSeq);
+}
+
+TEST(KernelShapeParse, RejectsUnknownWithListedChoices) {
+  try {
+    (void)parse_kernel_shape("diagonal");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("diagonal"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("choices: auto|striped|interseq"), std::string::npos) << msg;
+  }
+}
+
+TEST(KernelShapeParse, NameRoundTripsThroughParse) {
+  for (const KernelShape s : {KernelShape::Auto, KernelShape::Striped, KernelShape::InterSeq}) {
+    EXPECT_EQ(parse_kernel_shape(kernel_shape_name(s)), s);
+  }
+}
+
+TEST(KernelShapeEnv, OverrideParsesAndAutoIsAbsent) {
+  {
+    ScopedKernelEnv env("interseq");
+    EXPECT_EQ(kernel_shape_env_override(), KernelShape::InterSeq);
+  }
+  {
+    ScopedKernelEnv env("striped");
+    EXPECT_EQ(kernel_shape_env_override(), KernelShape::Striped);
+  }
+  {
+    ScopedKernelEnv env("auto");
+    EXPECT_EQ(kernel_shape_env_override(), std::nullopt);
+  }
+  {
+    ScopedKernelEnv env(nullptr);
+    EXPECT_EQ(kernel_shape_env_override(), std::nullopt);
+  }
+}
+
+TEST(KernelShapeEnv, BadValueIsIgnoredNotFatal) {
+  ScopedKernelEnv env("systolic");
+  EXPECT_EQ(kernel_shape_env_override(), std::nullopt);  // warns once, never throws
+}
+
 }  // namespace

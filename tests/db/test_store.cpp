@@ -254,4 +254,52 @@ TEST_F(SwdbCorruption, MissingFileRejected) {
   EXPECT_THROW((void)db::Store::open(temp_path("does_not_exist.swdb")), db::StoreError);
 }
 
+// ---- schedule / length-distribution stats (swdb info) --------------------
+
+TEST(SwdbScheduleStats, KnownLengthsProduceExactStats) {
+  std::vector<seq::Sequence> recs;
+  for (const std::size_t len : {std::size_t{10}, std::size_t{30}, std::size_t{20}}) {
+    recs.push_back(test::random_dna(len, 700 + len));
+  }
+  const std::string path = temp_path("sched_known.swdb");
+  db::build_store(recs, path);
+  const db::ScheduleStats st = db::schedule_stats(db::Store::open(path));
+  EXPECT_EQ(st.min_length, 10u);
+  EXPECT_EQ(st.median_length, 20u);  // middle of the length-sorted order
+  EXPECT_EQ(st.max_length, 30u);
+  // Greedy lane assignment: three lanes loaded 30/20/10, makespan 30,
+  // useful residues 60 — occupancy 60/(30*L) exactly.
+  EXPECT_DOUBLE_EQ(st.occupancy16, 60.0 / (30.0 * 16.0));
+  EXPECT_DOUBLE_EQ(st.occupancy32, 60.0 / (30.0 * 32.0));
+}
+
+TEST(SwdbScheduleStats, EmptyStoreAndEmptyRecordsHandled) {
+  const std::string empty_path = temp_path("sched_empty.swdb");
+  db::build_store({}, empty_path);
+  const db::ScheduleStats none = db::schedule_stats(db::Store::open(empty_path));
+  EXPECT_EQ(none.max_length, 0u);
+  EXPECT_DOUBLE_EQ(none.occupancy16, 0.0);
+
+  // Empty records count in the length distribution (min 0) but never
+  // enter a lane, so they do not drag occupancy down.
+  std::vector<seq::Sequence> recs = {seq::Sequence::dna("", "e"),
+                                     test::random_dna(50, 808)};
+  const std::string path = temp_path("sched_mixed.swdb");
+  db::build_store(recs, path);
+  const db::ScheduleStats st = db::schedule_stats(db::Store::open(path));
+  EXPECT_EQ(st.min_length, 0u);
+  EXPECT_EQ(st.max_length, 50u);
+  EXPECT_DOUBLE_EQ(st.occupancy16, 50.0 / (50.0 * 16.0));
+}
+
+TEST(SwdbScheduleStats, EqualLengthsFillEveryLane) {
+  std::vector<seq::Sequence> recs;
+  for (int k = 0; k < 32; ++k) recs.push_back(test::random_dna(64, 900 + k));
+  const std::string path = temp_path("sched_full.swdb");
+  db::build_store(recs, path);
+  const db::ScheduleStats st = db::schedule_stats(db::Store::open(path));
+  EXPECT_DOUBLE_EQ(st.occupancy16, 1.0);
+  EXPECT_DOUBLE_EQ(st.occupancy32, 1.0);
+}
+
 }  // namespace

@@ -6,8 +6,11 @@
 
 #include "align/sw_linear.hpp"
 #include "core/cpu_features.hpp"
+#include "db/builder.hpp"
+#include "db/store.hpp"
 #include "host/fleet_scan.hpp"
 #include "host/scan_engine.hpp"
+#include "obs/metrics.hpp"
 #include "seq/mutate.hpp"
 #include "seq/random.hpp"
 #include "test_util.hpp"
@@ -223,6 +226,149 @@ TEST(ScanEngine, Validation) {
     EXPECT_THROW((void)scan_database_cpu(seq::Sequence::dna("AC"), mixed, kSc, opt),
                  std::invalid_argument)
         << threads << " threads";
+  }
+}
+
+// ---- Kernel shape (striped vs inter-sequence) parity -----------------
+//
+// The inter-sequence kernel must be invisible in every output field:
+// hits (and their ranks), records_scanned, cell_updates AND
+// swar8_fallbacks must match the striped shape for the same policy, for
+// every thread count, on both database representations. Where interseq
+// cannot run (non-vector policy, unsupported machine) it degrades to
+// striped, so these sweeps are safe everywhere.
+
+constexpr KernelShape kShapes[] = {KernelShape::Auto, KernelShape::Striped,
+                                   KernelShape::InterSeq};
+
+void expect_same_scan_and_fallbacks(const ScanResult& got, const ScanResult& want,
+                                    const std::string& what) {
+  expect_same_scan(got, want, what);
+  EXPECT_EQ(got.swar8_fallbacks, want.swar8_fallbacks) << what;
+}
+
+TEST(ScanEngineKernelShape, VectorScanBitIdenticalAcrossShapesThreadsAndPolicies) {
+  for (const std::uint64_t seed : {311u, 422u}) {
+    const RandomDb db(seed);
+    ScanOptions opt;
+    opt.top_k = 8;
+    opt.min_score = 12;
+    for (const SimdPolicy policy : kPolicies) {
+      ScanOptions sopt = opt;
+      sopt.simd_policy = policy;
+      sopt.kernel = KernelShape::Striped;
+      const ScanResult ref = scan_database_cpu(db.query, db.records, kSc, sopt);
+      for (const std::size_t threads : kThreadCounts) {
+        for (const KernelShape shape : kShapes) {
+          ScanOptions copt = sopt;
+          copt.threads = threads;
+          copt.kernel = shape;
+          const ScanResult got = scan_database_cpu(db.query, db.records, kSc, copt);
+          expect_same_scan_and_fallbacks(
+              got, ref,
+              "seed " + std::to_string(seed) + " policy " +
+                  std::to_string(static_cast<int>(policy)) + " threads " +
+                  std::to_string(threads) + " shape " +
+                  core::kernel_shape_name(shape));
+        }
+      }
+    }
+  }
+}
+
+TEST(ScanEngineKernelShape, StoreScanParityAndAutoSelectsInterseq) {
+  const RandomDb db(533);
+  const std::string path = testing::TempDir() + "/kernel_shape_scan.swdb";
+  db::build_store(db.records, path);
+  const db::Store store = db::Store::open(path);
+
+  ScanOptions opt;
+  opt.top_k = 8;
+  opt.min_score = 12;
+  opt.kernel = KernelShape::Striped;
+  const ScanResult ref = scan_database_cpu(db.query, db.records, kSc, opt);
+  ASSERT_FALSE(ref.hits.empty());
+
+  for (const std::size_t threads : kThreadCounts) {
+    for (const KernelShape shape : kShapes) {
+      ScanOptions copt = opt;
+      copt.threads = threads;
+      copt.kernel = shape;
+      const ScanResult got = scan_database_cpu(db.query, store, kSc, copt);
+      expect_same_scan_and_fallbacks(got, ref,
+                                     "store scan threads " + std::to_string(threads) +
+                                         " shape " + core::kernel_shape_name(shape));
+    }
+  }
+
+  // Auto on a store-backed scan picks the inter-sequence shape whenever
+  // the resolved policy can run it — visible through the scan.interseq.*
+  // counters (SWR_SIMD/SWR_KERNEL overrides legitimately change this, so
+  // gate on the resolved tier like the engine does).
+  const core::SimdIsa isa = core::auto_simd_isa();
+  const bool interseq_expected =
+      (isa == core::SimdIsa::Sse41 || isa == core::SimdIsa::Avx2) &&
+      core::kernel_shape_env_override().value_or(KernelShape::Auto) != KernelShape::Striped;
+  obs::Registry reg;
+  ScanOptions mopt = opt;
+  mopt.kernel = KernelShape::Auto;
+  mopt.metrics = &reg;
+  const ScanResult got = scan_database_cpu(db.query, store, kSc, mopt);
+  expect_same_scan(got, ref, "metered auto store scan");
+  if (interseq_expected) {
+    EXPECT_GT(reg.counter("scan.interseq.batches").value(), 0u);
+    EXPECT_GT(reg.counter("scan.interseq.records").value(), 0u);
+  } else {
+    EXPECT_EQ(reg.counter("scan.interseq.batches").value(), 0u);
+  }
+}
+
+// The fallback count must stay "records whose true score > 255" under the
+// inter-sequence shape too: the planted 300-scoring record is the only
+// lane that saturates, for every thread count.
+TEST(ScanEngineKernelShape, InterseqFallbackCountExact) {
+  seq::RandomSequenceGenerator gen(4242);
+  const seq::Sequence query = gen.uniform(seq::dna(), 300, "q");
+  std::vector<seq::Sequence> records;
+  for (int r = 0; r < 20; ++r) {
+    records.push_back(gen.uniform(seq::dna(), 120, "bg" + std::to_string(r)));
+  }
+  seq::Sequence hot = gen.uniform(seq::dna(), 30, "hot");
+  hot.append(query);
+  records.push_back(std::move(hot));
+
+  for (const std::size_t threads : kThreadCounts) {
+    for (const SimdPolicy policy : {SimdPolicy::Sse41, SimdPolicy::Avx2}) {
+      ScanOptions opt;
+      opt.threads = threads;
+      opt.simd_policy = policy;
+      opt.kernel = KernelShape::InterSeq;
+      const ScanResult r = scan_database_cpu(query, records, kSc, opt);
+      EXPECT_EQ(r.swar8_fallbacks, 1u)
+          << "policy " << static_cast<int>(policy) << ", " << threads << " threads";
+      ASSERT_FALSE(r.hits.empty());
+      EXPECT_EQ(r.hits[0].result.score, 300);
+    }
+  }
+}
+
+TEST(ScanEngineKernelShape, ChunkScanParityAcrossShapes) {
+  const RandomDb db(644);
+  const RecordSource src(db.records);
+  std::vector<std::uint32_t> ids;
+  for (std::uint32_t r = 0; r < db.records.size(); r += 2) ids.push_back(r);
+
+  ScanOptions opt;
+  opt.top_k = 6;
+  opt.min_score = 12;
+  opt.kernel = KernelShape::Striped;
+  const ScanResult ref = scan_records_cpu(db.query, src, ids, kSc, opt);
+  for (const KernelShape shape : kShapes) {
+    ScanOptions copt = opt;
+    copt.kernel = shape;
+    const ScanResult got = scan_records_cpu(db.query, src, ids, kSc, copt);
+    expect_same_scan_and_fallbacks(got, ref,
+                                   std::string("chunk shape ") + core::kernel_shape_name(shape));
   }
 }
 

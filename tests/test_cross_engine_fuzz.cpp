@@ -23,6 +23,7 @@
 #include "align/sw_antidiag.hpp"
 #include "align/sw_antidiag8.hpp"
 #include "align/sw_full.hpp"
+#include "align/sw_interseq.hpp"
 #include "align/sw_linear.hpp"
 #include "align/sw_profile.hpp"
 #include "align/sw_striped.hpp"
@@ -191,6 +192,18 @@ void check_all_engines(const seq::Sequence& db, const seq::Sequence& query,
   for (const unsigned lanes : striped_lane_widths()) {
     EXPECT_EQ(align::sw_linear_striped(db, query, sc, lanes), oracle)
         << "striped" << lanes << " " << ctx;
+    // Inter-sequence kernel, one-record batch: exact when the score fits
+    // the 8-bit lanes, a declared fallback (inner nullopt) when not.
+    const auto batch = align::sw_interseq_batch({db}, query, sc, lanes);
+    if (batch.has_value()) {
+      ASSERT_EQ(batch->size(), 1u) << "interseq" << lanes << " " << ctx;
+      if (oracle.score > 255) {
+        EXPECT_FALSE((*batch)[0].has_value()) << "interseq" << lanes << " " << ctx;
+      } else {
+        ASSERT_TRUE((*batch)[0].has_value()) << "interseq" << lanes << " " << ctx;
+        EXPECT_EQ(*(*batch)[0], oracle) << "interseq" << lanes << " " << ctx;
+      }
+    }
   }
 
   // A band wide enough to cover any divergence makes banded_sw exact.
@@ -397,26 +410,38 @@ TEST(CrossEngineDegenerate, ScanParityAcrossPoliciesThreadsAndBoard) {
          {host::SimdPolicy::Auto, host::SimdPolicy::Scalar, host::SimdPolicy::Swar16,
           host::SimdPolicy::Swar8, host::SimdPolicy::Sse41, host::SimdPolicy::Avx2}) {
       for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
-        host::ScanOptions opt = base;
-        opt.simd_policy = policy;
-        opt.threads = threads;
-        const host::ScanResult r = host::scan_database_cpu(query, records, sc, opt);
-        const std::string ctx = "q=" + query.name() +
-                                " policy=" + std::to_string(static_cast<int>(policy)) +
-                                " threads=" + std::to_string(threads);
-        expect_same_scan_hits(reference, r, ctx);
-        EXPECT_EQ(r.records_scanned, records.size()) << ctx;
-        EXPECT_EQ(r.cell_updates, reference.cell_updates) << ctx;
-        // Swar8, Sse41, Avx2 lead with an 8-bit kernel (SWAR or striped
-        // — identical saturation predicate), and an unsupported striped
-        // request degrades no lower than Swar8: exactly one lazy 16-bit
-        // re-run per saturating record, thread- and kernel-invariant.
-        // Auto counts only when it resolves to a byte-leading tier.
-        const bool leads_with_bytes =
-            policy == host::SimdPolicy::Swar8 || policy == host::SimdPolicy::Sse41 ||
-            policy == host::SimdPolicy::Avx2 ||
-            (policy == host::SimdPolicy::Auto && auto_leads_with_bytes);
-        EXPECT_EQ(r.swar8_fallbacks, leads_with_bytes ? saturated : 0u) << ctx;
+        // The kernel shape joins the sweep: the inter-sequence kernel
+        // (one record per 8-bit lane) must be output-identical to the
+        // striped shape for every policy and thread count, fallback
+        // accounting included; where it cannot run it degrades to
+        // striped, which keeps this sweep valid on every machine.
+        for (const host::KernelShape shape :
+             {host::KernelShape::Auto, host::KernelShape::Striped,
+              host::KernelShape::InterSeq}) {
+          host::ScanOptions opt = base;
+          opt.simd_policy = policy;
+          opt.threads = threads;
+          opt.kernel = shape;
+          const host::ScanResult r = host::scan_database_cpu(query, records, sc, opt);
+          const std::string ctx = "q=" + query.name() +
+                                  " policy=" + std::to_string(static_cast<int>(policy)) +
+                                  " threads=" + std::to_string(threads) +
+                                  " kernel=" + core::kernel_shape_name(shape);
+          expect_same_scan_hits(reference, r, ctx);
+          EXPECT_EQ(r.records_scanned, records.size()) << ctx;
+          EXPECT_EQ(r.cell_updates, reference.cell_updates) << ctx;
+          // Swar8, Sse41, Avx2 lead with an 8-bit kernel (SWAR, striped
+          // or inter-sequence — identical saturation predicate), and an
+          // unsupported striped request degrades no lower than Swar8:
+          // exactly one lazy 16-bit re-run per saturating record,
+          // thread-, kernel- and shape-invariant. Auto counts only when
+          // it resolves to a byte-leading tier.
+          const bool leads_with_bytes =
+              policy == host::SimdPolicy::Swar8 || policy == host::SimdPolicy::Sse41 ||
+              policy == host::SimdPolicy::Avx2 ||
+              (policy == host::SimdPolicy::Auto && auto_leads_with_bytes);
+          EXPECT_EQ(r.swar8_fallbacks, leads_with_bytes ? saturated : 0u) << ctx;
+        }
       }
     }
 
