@@ -546,6 +546,173 @@ void run_interseq_comparison() {
   std::printf("machine-readable dump: BENCH_interseq.json\n");
 }
 
+// ---- seeded prefilter comparison (BENCH_filter.json) ---------------------
+
+// `--filter exact` vs `--filter seeded` end to end on low-homology
+// databases: random background with ~1% planted mutant copies of the
+// query, the regime the two-stage funnel is built for. The seeded run
+// must report the exact hit set (recall parity is asserted here, not just
+// eyeballed) while rejecting almost every background record after the
+// ungapped SWAR prescreen. Effective GCUPS charges both modes for the
+// full domain, so the ratio IS the end-to-end speedup. CI runs
+// `bench_kernels --filter-only`; a parity break exits non-zero.
+int run_filter_comparison() {
+  bench::header("seeded prefilter: --filter exact vs seeded (store-backed, 1 thread)");
+  seq::RandomSequenceGenerator gen(8192);
+  const seq::Sequence query = gen.uniform(seq::dna(), 100, "q");
+  const std::size_t n_records = bench::full_scale() ? 20'000 : 2'000;
+
+  struct FilterCase {
+    std::string shape;
+    std::size_t records = 0;
+    std::size_t planted = 0;
+    std::uint64_t cells = 0;
+    double exact_s = 0.0;
+    double seeded_s = 0.0;
+    double speedup = 0.0;
+    double reject_pct = 0.0;
+    std::uint64_t rescored = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t candidates = 0;
+    std::uint64_t recall_guard = 0;
+    std::size_t hits = 0;
+    bool parity = false;
+  };
+  std::vector<FilterCase> cases;
+
+  host::ScanOptions opt;
+  opt.top_k = n_records;  // every hit visible: parity over the full set
+  opt.min_score = 50;
+  opt.threads = 1;
+
+  const auto run_case = [&](const std::string& shape,
+                            std::vector<seq::Sequence> records) {
+    FilterCase c;
+    c.shape = shape;
+    // Plant ~1% mutant homologs (4% divergence): a low-homology database.
+    for (std::size_t r = 0; r < records.size(); ++r) {
+      if (r % 97 == 13) {
+        records[r].append(seq::point_mutate(query, 0.04, gen.engine()));
+        ++c.planted;
+      }
+    }
+    c.records = records.size();
+    for (const seq::Sequence& r : records) {
+      c.cells += static_cast<std::uint64_t>(r.size()) * query.size();
+    }
+    const std::string path = "BENCH_filter_" + shape + ".swdb";
+    db::build_store(records, path);
+    const db::Store store = db::Store::open(path);
+
+    const auto measure = [&](host::FilterMode mode, host::ScanResult& out) {
+      host::ScanOptions o = opt;
+      o.filter = mode;
+      double best_s = 1e100;
+      for (int rep = 0; rep < 3; ++rep) {  // min-of-3: the noise-free estimate
+        const bench::Timer t;
+        host::ScanResult r = host::scan_database_cpu(query, store, kSc, o);
+        benchmark::DoNotOptimize(&r);
+        if (t.seconds() < best_s) {
+          best_s = t.seconds();
+        }
+        out = std::move(r);
+      }
+      return best_s;
+    };
+    host::ScanResult exact;
+    host::ScanResult seeded;
+    c.exact_s = measure(host::FilterMode::Exact, exact);
+    c.seeded_s = measure(host::FilterMode::Seeded, seeded);
+    c.speedup = c.exact_s / c.seeded_s;
+    c.rescored = seeded.filter_rescored;
+    c.rejected = seeded.filter_rejected;
+    c.candidates = seeded.filter_candidates;
+    c.recall_guard = seeded.filter_recall_guard;
+    c.reject_pct = 100.0 * static_cast<double>(c.rejected) /
+                   static_cast<double>(c.records);
+    c.hits = exact.hits.size();
+    // Recall parity: identical hit lists, record for record.
+    c.parity = seeded.hits.size() == exact.hits.size();
+    for (std::size_t k = 0; c.parity && k < exact.hits.size(); ++k) {
+      c.parity = seeded.hits[k].record == exact.hits[k].record &&
+                 seeded.hits[k].result == exact.hits[k].result;
+    }
+    cases.push_back(std::move(c));
+    std::remove(path.c_str());
+  };
+
+  {
+    std::vector<seq::Sequence> uniform;
+    uniform.reserve(n_records);
+    for (std::size_t r = 0; r < n_records; ++r) {
+      uniform.push_back(gen.uniform(seq::dna(), 500, "u" + std::to_string(r)));
+    }
+    run_case("uniform", std::move(uniform));
+  }
+  {
+    // Same length spread as the interseq bench: short-heavy with a long
+    // tail, the shape real databases have.
+    std::vector<seq::Sequence> skewed;
+    skewed.reserve(n_records);
+    for (std::size_t r = 0; r < n_records; ++r) {
+      const std::size_t len = 50 + (r * r * 977 + r * 131) % 1951;
+      skewed.push_back(gen.uniform(seq::dna(), len, "s" + std::to_string(r)));
+    }
+    run_case("skewed", std::move(skewed));
+  }
+
+  bool all_parity = true;
+  double min_speedup = 1e100;
+  for (const FilterCase& c : cases) {
+    std::printf("database: %s (%zu records, %zu planted, %.1f MBP)\n", c.shape.c_str(),
+                c.records, c.planted, static_cast<double>(c.cells) / query.size() / 1e6);
+    std::printf("  %-8s %10s %10s %10s %10s\n", "filter", "seconds", "GCUPS", "hits",
+                "rejected");
+    bench::rule(54);
+    std::printf("  %-8s %10.4f %10.3f %10zu %10s\n", "exact", c.exact_s,
+                static_cast<double>(c.cells) / c.exact_s / 1e9, c.hits, "-");
+    std::printf("  %-8s %10.4f %10.3f %10zu %9.1f%%\n", "seeded", c.seeded_s,
+                static_cast<double>(c.cells) / c.seeded_s / 1e9, c.hits, c.reject_pct);
+    bench::rule(54);
+    std::printf("  speedup %.2fx, %llu rescored (%llu guards), recall parity: %s\n",
+                c.speedup, static_cast<unsigned long long>(c.rescored),
+                static_cast<unsigned long long>(c.recall_guard),
+                c.parity ? "yes" : "BROKEN");
+    all_parity = all_parity && c.parity;
+    min_speedup = std::min(min_speedup, c.speedup);
+  }
+
+  std::ofstream js("BENCH_filter.json");
+  js << "{\n  \"query_len\": " << query.size() << ",\n";
+  js << "  \"simd\": \"" << core::simd_isa_name(core::detected_simd_isa()) << "\",\n";
+  js << "  \"min_score\": " << opt.min_score << ",\n";
+  js << "  \"databases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const FilterCase& c = cases[i];
+    js << "    {\"shape\": \"" << c.shape << "\", \"records\": " << c.records
+       << ", \"planted\": " << c.planted << ", \"cells\": " << c.cells << ",\n";
+    js << "     \"exact\": {\"seconds\": " << c.exact_s
+       << ", \"gcups\": " << static_cast<double>(c.cells) / c.exact_s / 1e9 << "},\n";
+    js << "     \"seeded\": {\"seconds\": " << c.seeded_s
+       << ", \"gcups\": " << static_cast<double>(c.cells) / c.seeded_s / 1e9
+       << ", \"candidates\": " << c.candidates << ", \"rescored\": " << c.rescored
+       << ", \"rejected\": " << c.rejected << ", \"recall_guard\": " << c.recall_guard
+       << "},\n";
+    js << "     \"hits\": " << c.hits << ", \"reject_pct\": " << c.reject_pct
+       << ", \"speedup\": " << c.speedup << ", \"recall_parity\": "
+       << (c.parity ? "true" : "false") << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n";
+  js << "  \"recall_parity\": " << (all_parity ? "true" : "false") << ",\n";
+  js << "  \"min_speedup\": " << min_speedup << "\n}\n";
+  std::printf("machine-readable dump: BENCH_filter.json\n");
+  if (!all_parity) {
+    std::printf("FAIL: seeded hit set differs from exact\n");
+    return 1;
+  }
+  return 0;
+}
+
 // ---- database load + batch service comparison (BENCH_db.json) -----------
 
 // (a) Opening the same database as FASTA text (parse + validate + encode)
@@ -731,6 +898,44 @@ int run_obs_overhead(bool ci_mode) {
     return 1;
   }
   std::printf("OK: within bound\n");
+
+  // Same gate over the seeded path: the filter funnel adds its own
+  // counters and a histogram observe per scan, which must also stay
+  // inside the bound. Store-backed because seeded needs the k-mer index.
+  bench::header("observability overhead: seeded scan, metrics off vs on");
+  const std::string swdb = "BENCH_obs_seeded.swdb";
+  db::build_store(records, swdb);
+  const db::Store store = db::Store::open(swdb);
+  host::ScanOptions soff = off;
+  soff.filter = host::FilterMode::Seeded;
+  host::ScanOptions son = soff;
+  son.metrics = &reg;
+  (void)host::scan_database_cpu(query, store, kSc, soff);
+  double soff_s = 1e100;
+  double son_s = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      const bench::Timer t;
+      benchmark::DoNotOptimize(host::scan_database_cpu(query, store, kSc, soff));
+      soff_s = std::min(soff_s, t.seconds());
+    }
+    {
+      const bench::Timer t;
+      benchmark::DoNotOptimize(host::scan_database_cpu(query, store, kSc, son));
+      son_s = std::min(son_s, t.seconds());
+    }
+  }
+  std::remove(swdb.c_str());
+  const double seeded_overhead = son_s / soff_s - 1.0;
+  std::printf("metrics off: %10.6f s\n", soff_s);
+  std::printf("metrics on:  %10.6f s  (%+.2f%% vs off; documented bound %.0f%%)\n",
+              son_s, seeded_overhead * 100.0, kObsOverheadBound * 100.0);
+  if (seeded_overhead > kObsOverheadBound) {
+    std::printf("FAIL: seeded enabled-metrics overhead %.2f%% exceeds the %.0f%% bound\n",
+                seeded_overhead * 100.0, kObsOverheadBound * 100.0);
+    return 1;
+  }
+  std::printf("OK: within bound\n");
   return 0;
 }
 
@@ -782,10 +987,14 @@ int main(int argc, char** argv) {
       run_interseq_comparison();
       return 0;
     }
+    if (std::string(argv[i]) == "--filter-only") {
+      return run_filter_comparison();
+    }
   }
   run_scan_comparison();
   run_simd_comparison();
   run_interseq_comparison();
+  if (const int rc = run_filter_comparison(); rc != 0) return rc;
   run_db_comparison();
   if (const int rc = run_obs_overhead(/*ci_mode=*/false); rc != 0) return rc;
   benchmark::Initialize(&argc, argv);

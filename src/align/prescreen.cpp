@@ -1,0 +1,97 @@
+#include "align/prescreen.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace swr::align {
+namespace {
+
+// Bytewise equality mask of two u64s: bit t set iff byte t of a == byte t
+// of b. Zero-byte detect on the XOR, then the multiply-movemask (0/1
+// bytes collapse to one bit each; the partial products land in distinct
+// bits, so no carries pollute the top byte). The detect is the EXACT
+// per-byte form — ((x&0x7F..)+0x7F..)|x has the high bit set iff the byte
+// is nonzero, with no cross-byte carries — not the cheaper (x-lo)&~x&hi,
+// whose borrow chain marks a 0x01 byte sitting above a zero byte as zero
+// too (codes are 0..20, so XOR 0x01 is a common mismatch).
+inline std::uint32_t eq_mask8(std::uint64_t a, std::uint64_t b) noexcept {
+  constexpr std::uint64_t kHi = 0x8080808080808080ull;
+  const std::uint64_t x = a ^ b;
+  const std::uint64_t nonzero = ((x & ~kHi) + ~kHi) | x;  // high bit per nonzero byte
+  const std::uint64_t zero = ~nonzero & kHi;
+  return static_cast<std::uint32_t>(((zero >> 7) * 0x0102040810204080ull) >> 56);
+}
+
+inline std::uint64_t load8(const seq::Code* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+UngappedPrescreen::UngappedPrescreen(const seq::Sequence& query, const Scoring& sc)
+    : query_(query.codes().begin(), query.codes().end()), sc_(sc) {
+  sc.validate();
+  // SWAR needs per-column scores that fit the int16 block summaries with
+  // headroom (8 columns per block): byte-sized uniform schemes qualify,
+  // matrix schemes fall back to scalar Kadane.
+  swar_ = sc.matrix == nullptr && sc.match <= 127 && sc.mismatch >= -127;
+  if (!swar_) return;
+  for (unsigned m = 0; m < 256; ++m) {
+    BlockEntry& e = table_[m];
+    std::int32_t total = 0;
+    std::int32_t best = 0;
+    std::int32_t run = 0;
+    std::int32_t prefix = 0;
+    for (unsigned t = 0; t < 8; ++t) {
+      const std::int32_t s = ((m >> t) & 1u) != 0 ? sc.match : sc.mismatch;
+      total += s;
+      run = std::max<std::int32_t>(0, run + s);
+      best = std::max(best, run);
+      prefix = std::max(prefix, total);
+    }
+    // Best suffix = total minus the minimum prefix (empty suffix => >= 0).
+    std::int32_t min_prefix = 0;
+    std::int32_t acc = 0;
+    for (unsigned t = 0; t < 8; ++t) {
+      acc += ((m >> t) & 1u) != 0 ? sc.match : sc.mismatch;
+      min_prefix = std::min(min_prefix, acc);
+    }
+    e.total = static_cast<std::int16_t>(total);
+    e.best = static_cast<std::int16_t>(best);
+    e.prefix = static_cast<std::int16_t>(prefix);
+    e.suffix = static_cast<std::int16_t>(total - min_prefix);
+  }
+}
+
+Score UngappedPrescreen::best_on_diagonal(std::span<const seq::Code> rec, std::ptrdiff_t diag,
+                                          Score stop_at) const {
+  // Overlap of diagonal `diag` with the |query| x |rec| matrix.
+  const std::size_t q0 = diag < 0 ? static_cast<std::size_t>(-diag) : 0;
+  const std::size_t r0 = diag > 0 ? static_cast<std::size_t>(diag) : 0;
+  if (q0 >= query_.size() || r0 >= rec.size()) return 0;
+  const std::size_t len = std::min(query_.size() - q0, rec.size() - r0);
+
+  Score best = 0;
+  Score run = 0;  // best suffix sum of the processed prefix (>= 0)
+  std::size_t t = 0;
+  if (swar_) {
+    const seq::Code* q = query_.data() + q0;
+    const seq::Code* r = rec.data() + r0;
+    for (; t + 8 <= len; t += 8) {
+      const BlockEntry& e = table_[eq_mask8(load8(q + t), load8(r + t))];
+      best = std::max({best, static_cast<Score>(e.best), run + e.prefix});
+      run = std::max<Score>(e.suffix, run + e.total);
+      if (best >= stop_at) return best;
+    }
+  }
+  for (; t < len; ++t) {
+    run = std::max<Score>(0, run + sc_.substitution(query_[q0 + t], rec[r0 + t]));
+    best = std::max(best, run);
+    if (best >= stop_at) return best;
+  }
+  return best;
+}
+
+}  // namespace swr::align

@@ -1,0 +1,73 @@
+// Ungapped diagonal prescreen — the middle tier of the seeded scan path.
+//
+// The seeded prefilter (host/prefilter.hpp) turns k-mer index hits into
+// candidate diagonals; this kernel answers "could this diagonal carry a
+// strong alignment?" without running Smith-Waterman. The answer is the
+// exact maximum-scoring ungapped segment on the diagonal — a max-subarray
+// (Kadane) pass over the per-column substitution scores, which upper-
+// bounds nothing but is an excellent proxy: a gapped local alignment of
+// score S implies an ungapped run scoring a large fraction of S unless
+// the alignment is gap-dominated (DESIGN.md §3h states the recall
+// contract this feeds).
+//
+// For uniform schemes (match/mismatch, no substitution matrix — the DNA
+// scan default) the pass is SWAR-vectorized: 8 residue pairs per u64 via
+// the XOR + zero-byte-detect + movemask-by-multiply trick, then one
+// 256-entry table lookup mapping the 8-bit equality mask to the block's
+// precomputed {total, best, prefix, suffix} Kadane summary — ~8 columns
+// per table lookup instead of 8 branchy adds. Matrix schemes (BLOSUM62)
+// take the scalar Kadane path; both return identical scores for uniform
+// inputs (tests enforce it).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "align/scoring.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::align {
+
+/// Per-query prescreen state: query codes plus, for uniform schemes, the
+/// 256-entry equality-mask -> block-Kadane-summary table. Build once per
+/// scan, use for every candidate diagonal.
+class UngappedPrescreen {
+ public:
+  /// @throws std::invalid_argument on an invalid scoring scheme.
+  UngappedPrescreen(const seq::Sequence& query, const Scoring& sc);
+
+  /// True when the SWAR blockwise path is active (uniform scheme with
+  /// byte-sized scores); false = scalar Kadane (matrix schemes).
+  [[nodiscard]] bool swar() const noexcept { return swar_; }
+
+  /// Best ungapped segment score on diagonal `diag` (= record position -
+  /// query position, 0-based) of query x rec — exact Kadane over the
+  /// overlap; 0 when the diagonal misses the matrix. Returns early (with
+  /// a value >= `stop_at`) once the threshold is reached, so rescored
+  /// candidates pay only a prefix of the diagonal.
+  [[nodiscard]] Score best_on_diagonal(
+      std::span<const seq::Code> rec, std::ptrdiff_t diag,
+      Score stop_at = std::numeric_limits<Score>::max()) const;
+
+ private:
+  /// Kadane summary of one 8-column block, indexed by equality mask
+  /// (bit t = column t matched). int16 is ample: the SWAR path requires
+  /// byte-sized per-column scores, so |any field| <= 8 * 127.
+  struct BlockEntry {
+    std::int16_t total = 0;
+    std::int16_t best = 0;    ///< best subarray sum (empty allowed => >= 0)
+    std::int16_t prefix = 0;  ///< best prefix sum (>= 0)
+    std::int16_t suffix = 0;  ///< best suffix sum (>= 0)
+  };
+
+  std::vector<seq::Code> query_;
+  Scoring sc_;
+  bool swar_ = false;
+  std::array<BlockEntry, 256> table_{};
+};
+
+}  // namespace swr::align

@@ -82,7 +82,7 @@ const std::vector<std::uint32_t>* KmerIndex::lookup(std::uint64_t packed) const 
 
 std::vector<SeedHit> seed_extend_search(const seq::Sequence& db, const seq::Sequence& query,
                                         const KmerIndex& index, const Scoring& sc,
-                                        const SeedExtendOptions& opt) {
+                                        const SeedExtendOptions& opt, SeedExtendStats* stats) {
   opt.validate();
   sc.validate();
   if (db.alphabet().id() != seq::AlphabetId::Dna) {
@@ -92,12 +92,19 @@ std::vector<SeedHit> seed_extend_search(const seq::Sequence& db, const seq::Sequ
     throw std::invalid_argument("seed_extend_search: index k differs from options k");
   }
 
-  // Best hit per diagonal (diag = db_pos - query_pos, offset to stay
-  // non-negative). One extension per (diagonal, first seed) keeps the work
-  // linear-ish; later seeds on an already-extended diagonal are skipped if
-  // they fall inside the extended span — the standard BLAST two-hit
-  // simplification collapsed to one.
-  std::unordered_map<std::ptrdiff_t, SeedHit> per_diag;
+  // Best hit per diagonal (diag = db_pos - query_pos), plus the span of
+  // the extension that ran MOST RECENTLY on it. Seeds arrive in db-order,
+  // so the last-extended span is the one that can cover the next seed;
+  // the previous code tested against the best-scoring hit's span instead,
+  // which let every seed inside a later, lower-scoring homology island
+  // re-run the extension (duplicate-diagonal bug — the regression test
+  // counts extensions to pin the fix).
+  struct DiagState {
+    SeedHit best;
+    std::size_t span_begin = 0;  ///< last-extended db span, 1-based inclusive
+    std::size_t span_end = 0;
+  };
+  std::unordered_map<std::ptrdiff_t, DiagState> per_diag;
   const std::size_t k = opt.k;
   if (db.size() < k || query.size() < k) return {};
 
@@ -110,22 +117,30 @@ std::vector<SeedHit> seed_extend_search(const seq::Sequence& db, const seq::Sequ
     const auto* qpos = index.lookup(packed);
     if (qpos == nullptr) continue;
     for (const std::uint32_t qi : *qpos) {
+      if (stats != nullptr) ++stats->seed_hits;
       const std::ptrdiff_t diag =
           static_cast<std::ptrdiff_t>(di) - static_cast<std::ptrdiff_t>(qi);
       const auto it = per_diag.find(diag);
-      if (it != per_diag.end() && di + 1 >= it->second.begin.i && di + k <= it->second.end.i) {
-        continue;  // seed inside an already-extended span on this diagonal
+      if (it != per_diag.end() && di + 1 >= it->second.span_begin &&
+          di + k <= it->second.span_end) {
+        continue;  // seed inside the span last extended on this diagonal
       }
       const SeedHit hit = extend_ungapped(db, query, di, qi, k, sc, opt.x_drop);
-      if (it == per_diag.end() || hit.score > it->second.score) {
-        per_diag[diag] = hit;
+      if (stats != nullptr) ++stats->extensions;
+      if (it == per_diag.end()) {
+        per_diag[diag] = DiagState{hit, hit.begin.i, hit.end.i};
+      } else {
+        it->second.span_begin = hit.begin.i;
+        it->second.span_end = hit.end.i;
+        if (hit.score > it->second.best.score) it->second.best = hit;
       }
     }
   }
 
   std::vector<SeedHit> hits;
   hits.reserve(per_diag.size());
-  for (const auto& [diag, hit] : per_diag) hits.push_back(hit);
+  for (const auto& [diag, state] : per_diag) hits.push_back(state.best);
+  if (stats != nullptr) stats->diagonals += per_diag.size();
   std::sort(hits.begin(), hits.end(), [](const SeedHit& x, const SeedHit& y) {
     if (x.score != y.score) return x.score > y.score;
     return tie_break_prefers(x.end, y.end);
@@ -135,9 +150,10 @@ std::vector<SeedHit> seed_extend_search(const seq::Sequence& db, const seq::Sequ
 }
 
 std::vector<SeedHit> seed_extend_search(const seq::Sequence& db, const seq::Sequence& query,
-                                        const Scoring& sc, const SeedExtendOptions& opt) {
+                                        const Scoring& sc, const SeedExtendOptions& opt,
+                                        SeedExtendStats* stats) {
   const KmerIndex index(query, opt.k);
-  return seed_extend_search(db, query, index, sc, opt);
+  return seed_extend_search(db, query, index, sc, opt, stats);
 }
 
 }  // namespace swr::align

@@ -39,6 +39,16 @@ struct SeedHit {
   friend bool operator==(const SeedHit&, const SeedHit&) = default;
 };
 
+/// Work accounting for one search — the regression surface for the
+/// duplicate-diagonal fix: extensions counts X-drop extensions actually
+/// run, which must stay near the number of homology islands, not the
+/// number of seeds (a repeat region used to re-extend per seed).
+struct SeedExtendStats {
+  std::uint64_t seed_hits = 0;    ///< (db pos, query pos) seed pairs inspected
+  std::uint64_t extensions = 0;   ///< X-drop extensions executed
+  std::uint64_t diagonals = 0;    ///< distinct diagonals touched
+};
+
 /// K-mer index over a query sequence (positions of every k-mer).
 class KmerIndex {
  public:
@@ -61,13 +71,17 @@ class KmerIndex {
 
 /// Scans `db` for seed hits of `index`'s query and extends each without
 /// gaps under X-drop; returns the best-scoring hit per inspected diagonal,
-/// globally sorted best first (at most opt.max_hits).
+/// globally sorted best first (at most opt.max_hits). Seeds falling inside
+/// the span most recently extended on their diagonal are skipped — each
+/// homology island extends once, no matter how many seeds it contains.
 std::vector<SeedHit> seed_extend_search(const seq::Sequence& db, const seq::Sequence& query,
                                         const KmerIndex& index, const Scoring& sc,
-                                        const SeedExtendOptions& opt);
+                                        const SeedExtendOptions& opt,
+                                        SeedExtendStats* stats = nullptr);
 
 /// Convenience: builds the index and searches.
 std::vector<SeedHit> seed_extend_search(const seq::Sequence& db, const seq::Sequence& query,
-                                        const Scoring& sc, const SeedExtendOptions& opt);
+                                        const Scoring& sc, const SeedExtendOptions& opt,
+                                        SeedExtendStats* stats = nullptr);
 
 }  // namespace swr::align

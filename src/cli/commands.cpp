@@ -269,6 +269,11 @@ void print_hits(std::ostream& out, const host::ScanResult& scan, const ScanDatab
   if (scan.hits.empty()) out << "  (none)\n";
   out << "stats: " << scan.records_scanned << " records scanned, " << scan.cell_updates
       << " cells, " << scan.swar8_fallbacks << " swar8 fallbacks\n";
+  if (opt.filter == host::FilterMode::Seeded) {
+    out << "filter: " << scan.filter_candidates << " candidates, " << scan.filter_rejected
+        << " rejected, " << scan.filter_rescored << " rescored (" << scan.filter_recall_guard
+        << " recall guards)\n";
+  }
 }
 
 /// `scan --batch`: every record of the query file is one query, served
@@ -367,6 +372,8 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
       .option("threads", "1")
       .option("simd", "auto")
       .option("kernel", "auto")
+      .option("filter", "exact")
+      .option("filter-threshold", "0")
       .option("match")
       .option("mismatch")
       .option("gap")
@@ -392,17 +399,38 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
   opt.simd_policy = simd_policy_by_name(args.get("simd"));
   opt.kernel = kernel_shape_by_name(args.get("kernel"));
 
+  const std::string filter_name = args.get("filter");
+  if (filter_name == "exact") {
+    opt.filter = host::FilterMode::Exact;
+  } else if (filter_name == "seeded") {
+    opt.filter = host::FilterMode::Seeded;
+  } else {
+    throw ArgError("unknown filter '" + filter_name + "' (exact|seeded)");
+  }
+  opt.filter_threshold = static_cast<align::Score>(args.get_int("filter-threshold"));
+  if (opt.filter_threshold < 0) throw ArgError("--filter-threshold must be >= 0");
+  const bool seeded = opt.filter == host::FilterMode::Seeded;
+
   // "auto" keeps the accelerator model for sequential runs (the paper's
   // board) and switches to the parallel CPU engine when threads are asked
-  // for. Both report bit-identical hits; tests enforce it. Validated
-  // before any file is opened so bad options fail as usage errors.
+  // for — or when the seeded filter is requested, since the accelerator
+  // model streams the whole database and has no candidate tier. Both
+  // engines report bit-identical hits; tests enforce it. Validated before
+  // any file is opened so bad options fail as usage errors.
   const std::string engine_name = args.get("engine");
   if (engine_name != "auto" && engine_name != "accel" && engine_name != "cpu") {
     throw ArgError("unknown engine '" + engine_name + "' (auto|accel|cpu)");
   }
-  const bool use_cpu = engine_name == "cpu" || (engine_name == "auto" && opt.threads > 1);
+  if (engine_name == "accel" && seeded) {
+    throw ArgError("--filter seeded needs the CPU engine (--engine cpu or auto)");
+  }
+  const bool use_cpu =
+      engine_name == "cpu" || (engine_name == "auto" && (opt.threads > 1 || seeded));
   if (!use_cpu && opt.threads > 1) {
     throw ArgError("--engine accel is single-threaded; use --engine cpu with --threads");
+  }
+  if (seeded && args.has("batch") && args.get_int("boards") > 0) {
+    throw ArgError("--filter seeded runs on CPU workers only; use --boards 0");
   }
 
   // Observability is opt-in: --stats or --metrics-out turns the process
@@ -420,6 +448,18 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
   const seq::Alphabet& ab =
       database.store ? database.store->alphabet() : alphabet_by_name(args.get("alphabet"));
   const align::Scoring sc = scoring_from(args, ab);
+
+  // Seeded scans read the k-mer index section out of the store; fail with
+  // an actionable message before any work when the database cannot supply
+  // one (FASTA input, or a pre-index v1 .swdb).
+  if (seeded && !database.store) {
+    throw ArgError("--filter seeded needs a .swdb database (FASTA input carries no k-mer "
+                   "index; build one with `swr swdb build`)");
+  }
+  if (seeded && !database.store->has_kmer_index()) {
+    throw ArgError("'" + args.positionals()[1] + "' has no k-mer index section (format v1); "
+                   "rebuild with `swr swdb build` to enable --filter seeded");
+  }
 
   if (args.has("batch")) {
     const int rc = scan_batch(args, ab, sc, opt, database, reg, out);
@@ -496,7 +536,7 @@ int cmd_swdb(const std::vector<std::string>& argv, std::ostream& out) {
 
   if (sub == "build") {
     ArgParser args;
-    args.option("alphabet", "dna").option("encoding", "auto");
+    args.option("alphabet", "dna").option("encoding", "auto").option("seed-k", "0").flag("no-index");
     args.parse(rest);
     if (args.positionals().size() != 2) throw ArgError("swdb build needs <in.fa> <out.swdb>");
     const seq::Alphabet& ab = alphabet_by_name(args.get("alphabet"));
@@ -511,11 +551,20 @@ int cmd_swdb(const std::vector<std::string>& argv, std::ostream& out) {
     } else {
       throw ArgError("unknown encoding '" + enc + "' (auto|raw8|packed2)");
     }
+    opt.kmer_index = !args.has("no-index");
+    const int seed_k = args.get_int("seed-k");
+    if (seed_k < 0) throw ArgError("--seed-k must be >= 0 (0 picks automatically)");
+    if (seed_k != 0 && !opt.kmer_index) throw ArgError("--seed-k conflicts with --no-index");
+    opt.seed_k = static_cast<std::size_t>(seed_k);
     const db::BuildStats st =
         db::build_store_from_fasta(args.positionals()[0], args.positionals()[1], ab, opt);
     out << "wrote " << args.positionals()[1] << ": " << st.records << " records, " << st.residues
         << " residues, " << st.file_bytes << " bytes ("
         << (st.encoding == db::Encoding::Packed2 ? "packed2" : "raw8") << ")\n";
+    if (st.seed_k != 0) {
+      out << "  k-mer index: k=" << st.seed_k << ", " << st.index_buckets << " buckets, "
+          << st.index_postings << " postings, " << st.index_bytes << " bytes\n";
+    }
     return 0;
   }
 
@@ -541,6 +590,20 @@ int cmd_swdb(const std::vector<std::string>& argv, std::ostream& out) {
       occ << std::fixed << "  interseq lane occupancy: " << st.occupancy16 * 100.0
           << "% @16 lanes, " << st.occupancy32 * 100.0 << "% @32 lanes\n";
       out << occ.str();
+    }
+    if (store.has_kmer_index()) {
+      const db::KmerIndexView& idx = store.kmer_index();
+      const std::uint64_t index_bytes =
+          sizeof(db::KmerIndexHeader) + (idx.bucket_count() + 1) * sizeof(std::uint64_t) +
+          idx.postings_count() * sizeof(db::KmerPosting);
+      std::ostringstream lf;
+      lf.precision(1);
+      lf << std::fixed << idx.load_factor() * 100.0;
+      out << "  k-mer index: k=" << idx.k() << ", " << idx.bucket_count() << " buckets, "
+          << idx.postings_count() << " postings, " << index_bytes << " bytes, load factor "
+          << lf.str() << "%\n";
+    } else {
+      out << "  no k-mer index (rebuild with `swr swdb build` to enable --filter seeded)\n";
     }
     if (args.has("verify")) {
       store.verify_payload();
@@ -695,11 +758,13 @@ std::string usage() {
          "                       [--alphabet ...] [--engine auto|accel|cpu] [--threads N]\n"
          "                       [--simd auto|scalar|swar16|swar8|sse41|avx2]\n"
          "                       [--kernel auto|striped|interseq]\n"
+         "                       [--filter exact|seeded] [--filter-threshold S]\n"
          "                       [--batch [--cpu-workers N] [--boards N] [--inflight N]\n"
          "                        [--queue N] [--chunk N] [--deadline-ms N] [--slow-ms N]]\n"
          "                       [--stats] [--metrics-out <metrics.json>]\n"
          "  stats-dump [metrics.json]  [--json]\n"
          "  swdb build <in.fa> <out.swdb>  [--alphabet ...] [--encoding auto|raw8|packed2]\n"
+         "                       [--seed-k N] [--no-index]\n"
          "  swdb info <db.swdb>  [--verify]\n"
          "  nearbest <a.fa> <b.fa>  [--max K] [--min-score S]\n"
          "  map <reads.fq> <reference.fa>  [--k N] [--pad N] [--min-score S]\n"

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <limits>
 #include <numeric>
+#include <optional>
 
 #include "seq/fasta.hpp"
 #include "seq/packed.hpp"
@@ -29,7 +30,74 @@ Encoding pick_encoding(BuildOptions::Pick pick, const seq::Alphabet& ab,
   fail(path, "bad encoding option");
 }
 
+// The dense bucket table an explicit --seed-k may ask for; past this the
+// offsets array alone would dwarf any database worth indexing.
+constexpr std::uint64_t kMaxBuckets = std::uint64_t{1} << 26;
+
+// CSR k-mer index assembled in memory before the write pass.
+struct KmerIndex {
+  KmerIndexHeader header;
+  std::vector<std::uint64_t> offsets;   // bucket_count + 1
+  std::vector<KmerPosting> postings;
+};
+
+// Counting-sort CSR build: one pass to count per-bucket occupancy, prefix
+// sums, one pass to place. Records are walked in id order, so within a
+// bucket the postings come out sorted by (record, pos) with no sort call.
+KmerIndex build_kmer_index(const std::vector<seq::Sequence>& records, std::size_t base,
+                           std::size_t k) {
+  KmerIndex idx;
+  const std::uint64_t buckets = kmer_bucket_count(base, k);
+  idx.header.k = static_cast<std::uint32_t>(k);
+  idx.header.bucket_count = buckets;
+  idx.offsets.assign(buckets + 1, 0);
+
+  // Rolling dense code: b' = (b - lead * base^(k-1)) * base + next.
+  const std::uint64_t top = buckets / base;  // base^(k-1)
+  const auto each_kmer = [&](const seq::Sequence& rec, auto&& sink) {
+    if (rec.size() < k) return;
+    std::uint64_t code = 0;
+    for (std::size_t p = 0; p < rec.size(); ++p) {
+      if (p >= k) code -= rec[p - k] * top;
+      code = code * base + rec[p];
+      if (p + 1 >= k) sink(code, p + 1 - k);
+    }
+  };
+
+  for (const seq::Sequence& rec : records) {
+    each_kmer(rec, [&](std::uint64_t code, std::size_t) { ++idx.offsets[code + 1]; });
+  }
+  for (std::uint64_t b = 0; b < buckets; ++b) idx.offsets[b + 1] += idx.offsets[b];
+  idx.postings.resize(idx.offsets[buckets]);
+  std::vector<std::uint64_t> cursor(idx.offsets.begin(), idx.offsets.end() - 1);
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    each_kmer(records[r], [&](std::uint64_t code, std::size_t pos) {
+      idx.postings[cursor[code]++] = KmerPosting{static_cast<std::uint32_t>(r),
+                                                 static_cast<std::uint32_t>(pos)};
+    });
+  }
+
+  idx.header.postings_count = idx.postings.size();
+  idx.header.index_hash =
+      fnv1a(idx.postings.data(), idx.postings.size() * sizeof(KmerPosting),
+            fnv1a(idx.offsets.data(), idx.offsets.size() * sizeof(std::uint64_t)));
+  idx.header.header_hash = idx.header.compute_header_hash();
+  return idx;
+}
+
 }  // namespace
+
+std::size_t auto_seed_k(std::size_t alphabet_size, std::uint64_t total_residues) {
+  const std::uint64_t budget =
+      std::clamp<std::uint64_t>(total_residues, 4096, std::uint64_t{1} << 24);
+  std::size_t k = 2;
+  while (k < 31) {
+    const std::uint64_t next = kmer_bucket_count(alphabet_size, k + 1);
+    if (next == 0 || next > budget) break;
+    ++k;
+  }
+  return k;
+}
 
 BuildStats build_store(const std::vector<seq::Sequence>& records, const std::string& path,
                        const BuildOptions& opt) {
@@ -77,7 +145,25 @@ BuildStats build_store(const std::vector<seq::Sequence>& records, const std::str
     return meta[a].length > meta[b].length;
   });
 
+  // k-mer index (format v2). Built before the header so postings_count
+  // can inform nothing the header needs — only the version flips.
+  std::optional<KmerIndex> index;
+  if (opt.kmer_index) {
+    std::size_t k = opt.seed_k;
+    if (k == 0) {
+      k = auto_seed_k(ab.size(), residues);
+    } else if (k < 2 || k > 31) {
+      fail(path, "seed k must be in [2,31]");
+    } else if (kmer_bucket_count(ab.size(), k) == 0 ||
+               kmer_bucket_count(ab.size(), k) > kMaxBuckets) {
+      fail(path, "seed k=" + std::to_string(k) + " needs more than 2^26 buckets over a " +
+                     std::to_string(ab.size()) + "-letter alphabet");
+    }
+    index = build_kmer_index(records, ab.size(), k);
+  }
+
   FileHeader h;
+  h.version = index ? kFormatVersionIndexed : kFormatVersion;
   h.alphabet = static_cast<std::uint8_t>(ab.id());
   h.encoding = static_cast<std::uint8_t>(enc);
   h.record_count = records.size();
@@ -92,6 +178,7 @@ BuildStats build_store(const std::vector<seq::Sequence>& records, const std::str
              order.size() * sizeof(std::uint32_t) + names.size()) -
       (sizeof(FileHeader) + meta.size() * sizeof(RecordMeta) +
        order.size() * sizeof(std::uint32_t) + names.size());
+  const std::size_t payload_pad = align8(payload.size()) - payload.size();
   const std::array<char, 8> zeros{};
   std::uint64_t hash = 0xcbf29ce484222325ull;
   std::ofstream out;
@@ -105,6 +192,12 @@ BuildStats build_store(const std::vector<seq::Sequence>& records, const std::str
     emit(names.data(), names.size(), hashed);
     emit(zeros.data(), name_pad, hashed);
     emit(payload.data(), payload.size(), hashed);
+    if (index) {
+      emit(zeros.data(), payload_pad, hashed);
+      emit(&index->header, sizeof(KmerIndexHeader), hashed);
+      emit(index->offsets.data(), index->offsets.size() * sizeof(std::uint64_t), hashed);
+      emit(index->postings.data(), index->postings.size() * sizeof(KmerPosting), hashed);
+    }
   };
 
   emit_sections(/*hashed=*/true);  // first pass: hash only (no stream yet)
@@ -125,6 +218,18 @@ BuildStats build_store(const std::vector<seq::Sequence>& records, const std::str
                      order.size() * sizeof(std::uint32_t) + names.size() + name_pad +
                      payload.size();
   stats.encoding = enc;
+  if (index) {
+    stats.seed_k = index->header.k;
+    stats.index_buckets = index->header.bucket_count;
+    stats.index_postings = index->header.postings_count;
+    // index_bytes matches what `swdb info` derives from the mapped view
+    // (header + offsets + postings); the alignment pad only counts toward
+    // file_bytes.
+    stats.index_bytes = sizeof(KmerIndexHeader) +
+                        index->offsets.size() * sizeof(std::uint64_t) +
+                        index->postings.size() * sizeof(KmerPosting);
+    stats.file_bytes += payload_pad + stats.index_bytes;
+  }
   return stats;
 }
 

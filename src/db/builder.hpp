@@ -21,7 +21,23 @@ struct BuildOptions {
   /// Auto = Packed2 when the alphabet has <= 4 letters, Raw8 otherwise.
   enum class Pick : std::uint8_t { Auto, Raw8, Packed2 };
   Pick encoding = Pick::Auto;
+
+  /// Write the k-mer index section (format v2). false writes a v1 file —
+  /// byte-identical to pre-index builds, scannable with --filter exact
+  /// only.
+  bool kmer_index = true;
+
+  /// Seed length; 0 picks the largest k whose dense bucket table
+  /// (|alphabet|^k entries) stays proportional to the database size, so
+  /// tiny test stores do not pay megabytes of empty buckets. @see
+  /// auto_seed_k.
+  std::size_t seed_k = 0;
 };
+
+/// The auto (seed_k = 0) heuristic: largest k in [2, 31] with
+/// base^k <= clamp(total_residues, 4096, 2^24). Exposed so `swdb build`
+/// reporting, the prefilter tests and the benches agree with the builder.
+std::size_t auto_seed_k(std::size_t alphabet_size, std::uint64_t total_residues);
 
 /// What the builder wrote — the `swdb build` report and bench material.
 struct BuildStats {
@@ -29,6 +45,11 @@ struct BuildStats {
   std::uint64_t residues = 0;
   std::uint64_t file_bytes = 0;
   Encoding encoding = Encoding::Raw8;
+  // k-mer index section (zeros when kmer_index was off).
+  std::size_t seed_k = 0;
+  std::uint64_t index_buckets = 0;
+  std::uint64_t index_postings = 0;
+  std::uint64_t index_bytes = 0;
 };
 
 /// Writes `records` (all over the same alphabet) to `path`.

@@ -17,11 +17,25 @@
 //   meta_end                        u32 schedule_order[record_count]
 //   order_end                       name blob (names_bytes)
 //   align8(names_end)               residue payload (payload_bytes)
+//   align8(payload_end)             k-mer index (format v2 only)
 //
 // schedule_order is a permutation of record ids sorted by length
 // descending (ties by id): an LPT-style static dispatch order, so a
 // scheduler handing out contiguous slices of it gives every worker a
 // balanced mix instead of one worker drawing all the long records.
+//
+// Format v2 appends a k-mer seed index — the build-once artifact the
+// seeded scan prefilter (`scan --filter seeded`) consults per query:
+//
+//   KmerIndexHeader (48 bytes, own magic + checksum)
+//   u64 offsets[bucket_count + 1]   CSR bucket offsets into postings
+//   KmerPosting postings[postings_count]
+//
+// Buckets are dense base-|alphabet| codes of each k-mer (no hashing, no
+// collisions); bucket b's postings are postings[offsets[b]..offsets[b+1])
+// sorted by (record, pos) — contiguous, so a query walk touches the
+// mapping sequentially. v1 files simply lack the section: they open and
+// scan exactly as before, and only `--filter seeded` demands a rebuild.
 #pragma once
 
 #include <array>
@@ -39,7 +53,10 @@ class StoreError : public std::runtime_error {
 };
 
 inline constexpr std::array<char, 8> kMagic = {'S', 'W', 'R', 'S', 'W', 'D', 'B', '1'};
+/// v1: header + meta + order + names + payload. v2: v1 plus a trailing
+/// k-mer index section. The reader accepts both.
 inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersionIndexed = 2;
 
 /// How the residue payload is encoded.
 enum class Encoding : std::uint8_t {
@@ -110,5 +127,48 @@ inline std::uint32_t length_bucket(std::size_t length) noexcept {
 }
 
 inline std::size_t align8(std::size_t n) noexcept { return (n + 7) & ~std::size_t{7}; }
+
+// ---- k-mer index section (format v2) --------------------------------------
+
+inline constexpr std::array<char, 8> kIndexMagic = {'S', 'W', 'R', 'K', 'I', 'D', 'X', '1'};
+inline constexpr std::uint32_t kIndexVersion = 1;
+
+/// One seed occurrence: k-mer starting at residue `pos` of record `record`.
+struct KmerPosting {
+  std::uint32_t record = 0;
+  std::uint32_t pos = 0;
+};
+static_assert(sizeof(KmerPosting) == 8, "KmerPosting must be exactly 8 bytes");
+
+/// Header of the k-mer index section. Checksummed like FileHeader:
+/// `header_hash` is fnv1a over the bytes that precede it, `index_hash`
+/// covers the offsets + postings arrays that follow the header (the
+/// file-level payload_hash covers them too — index_hash lets `swdb info
+/// --verify` attribute a corruption to the index specifically).
+struct KmerIndexHeader {
+  std::array<char, 8> magic = kIndexMagic;
+  std::uint32_t version = kIndexVersion;
+  std::uint32_t k = 0;                 ///< seed length (residues)
+  std::uint64_t bucket_count = 0;      ///< |alphabet|^k dense buckets
+  std::uint64_t postings_count = 0;
+  std::uint64_t index_hash = 0;        ///< fnv1a(offsets ++ postings)
+  std::uint64_t header_hash = 0;
+
+  [[nodiscard]] std::uint64_t compute_header_hash() const {
+    return fnv1a(this, offsetof(KmerIndexHeader, header_hash));
+  }
+};
+static_assert(sizeof(KmerIndexHeader) == 48, "KmerIndexHeader must be exactly 48 bytes");
+
+/// base^k with overflow detection; 0 on overflow (never a valid count —
+/// k >= 1 and base >= 2 everywhere a bucket count is formed).
+inline std::uint64_t kmer_bucket_count(std::size_t base, std::size_t k) noexcept {
+  std::uint64_t n = 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (n > ~std::uint64_t{0} / base) return 0;
+    n *= base;
+  }
+  return n;
+}
 
 }  // namespace swr::db

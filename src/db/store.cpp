@@ -66,7 +66,7 @@ Store Store::open(const std::string& path, obs::Registry* metrics) {
   std::memcpy(&s.header_, s.data_, sizeof(FileHeader));
   const FileHeader& h = s.header_;
   if (h.magic != kMagic) fail(path, "bad magic (not a .swdb file)");
-  if (h.version != kFormatVersion) {
+  if (h.version != kFormatVersion && h.version != kFormatVersionIndexed) {
     fail(path, "unsupported format version " + std::to_string(h.version));
   }
   if (h.header_hash != h.compute_header_hash()) fail(path, "header checksum mismatch");
@@ -111,6 +111,44 @@ Store Store::open(const std::string& path, obs::Registry* metrics) {
     }
     if (s.order_[r] >= n) fail(path, "schedule order entry out of range");
   }
+
+  // Format v2: the k-mer index section trails the payload. Same contract
+  // as the other sections — structural bounds are validated before any
+  // pointer is formed (open stays O(1)); the array *contents* are covered
+  // by header_hash/index_hash + verify_payload, and postings_for clamps
+  // defensively.
+  if (h.version == kFormatVersionIndexed) {
+    const std::size_t index_off = align8(payload_off + h.payload_bytes);
+    if (index_off > s.bytes_ || sizeof(KmerIndexHeader) > s.bytes_ - index_off) {
+      fail(path, "truncated k-mer index header");
+    }
+    KmerIndexHeader ih;
+    std::memcpy(&ih, s.data_ + index_off, sizeof(KmerIndexHeader));
+    if (ih.magic != kIndexMagic) fail(path, "bad k-mer index magic");
+    if (ih.version != kIndexVersion) {
+      fail(path, "unsupported k-mer index version " + std::to_string(ih.version));
+    }
+    if (ih.header_hash != ih.compute_header_hash()) fail(path, "k-mer index checksum mismatch");
+    if (ih.k < 2 || ih.k > 31) fail(path, "k-mer index k out of range");
+    if (ih.bucket_count != kmer_bucket_count(s.alphabet_->size(), ih.k)) {
+      fail(path, "k-mer index bucket count does not match alphabet and k");
+    }
+    const std::size_t offsets_off = index_off + sizeof(KmerIndexHeader);
+    if (ih.bucket_count + 1 > (s.bytes_ - offsets_off) / sizeof(std::uint64_t)) {
+      fail(path, "truncated k-mer index offsets");
+    }
+    const std::size_t postings_off =
+        offsets_off + (ih.bucket_count + 1) * sizeof(std::uint64_t);
+    if (ih.postings_count > (s.bytes_ - postings_off) / sizeof(KmerPosting)) {
+      fail(path, "truncated k-mer index postings");
+    }
+    s.kindex_.k_ = ih.k;
+    s.kindex_.offsets_ = {reinterpret_cast<const std::uint64_t*>(s.data_ + offsets_off),
+                          static_cast<std::size_t>(ih.bucket_count) + 1};
+    s.kindex_.postings_ = {reinterpret_cast<const KmerPosting*>(s.data_ + postings_off),
+                           static_cast<std::size_t>(ih.postings_count)};
+  }
+
   if (metrics != nullptr) {
     metrics->counter("db.opens").add(1);
     metrics->counter("db.bytes_mapped").add(s.bytes_);
@@ -136,6 +174,7 @@ Store& Store::operator=(Store&& other) noexcept {
   order_ = std::exchange(other.order_, {});
   names_ = std::exchange(other.names_, nullptr);
   payload_ = std::exchange(other.payload_, nullptr);
+  kindex_ = std::exchange(other.kindex_, {});
   if (!mapped_ && data_ != nullptr) data_ = fallback_.data();
   return *this;
 }
@@ -174,6 +213,15 @@ seq::Sequence Store::sequence(std::size_t r) const {
   const std::span<const seq::Code> view = this->codes(r, codes);
   if (view.data() != codes.data()) codes.assign(view.begin(), view.end());
   return seq::Sequence(*alphabet_, std::move(codes), std::string(name(r)));
+}
+
+double KmerIndexView::load_factor() const noexcept {
+  if (offsets_.size() <= 1) return 0.0;
+  std::uint64_t occupied = 0;
+  for (std::size_t b = 0; b + 1 < offsets_.size(); ++b) {
+    if (offsets_[b + 1] > offsets_[b]) ++occupied;
+  }
+  return static_cast<double>(occupied) / static_cast<double>(offsets_.size() - 1);
 }
 
 void Store::verify_payload(obs::Registry* metrics) const {

@@ -13,6 +13,7 @@
 // many scan workers need no synchronization.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -27,6 +28,37 @@ class Registry;
 }
 
 namespace swr::db {
+
+/// Read-only view of a store's k-mer index section (format v2). Spans
+/// point straight into the mapping; valid for the Store's lifetime.
+class KmerIndexView {
+ public:
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] std::uint64_t bucket_count() const noexcept { return offsets_.size() - 1; }
+  [[nodiscard]] std::uint64_t postings_count() const noexcept { return postings_.size(); }
+  [[nodiscard]] std::span<const KmerPosting> postings() const noexcept { return postings_; }
+
+  /// Postings of dense-coded k-mer `bucket`, sorted by (record, pos).
+  /// Offsets are clamped to the postings array, so even an index whose
+  /// arrays were corrupted after open (verify_payload would catch it)
+  /// cannot produce an out-of-bounds span.
+  [[nodiscard]] std::span<const KmerPosting> postings_for(std::uint64_t bucket) const noexcept {
+    if (bucket >= bucket_count()) return {};
+    const std::uint64_t hi = std::min<std::uint64_t>(offsets_[bucket + 1], postings_.size());
+    const std::uint64_t lo = std::min<std::uint64_t>(offsets_[bucket], hi);
+    return postings_.subspan(lo, hi - lo);
+  }
+
+  /// Fraction of buckets with at least one posting — the `swdb info`
+  /// occupancy figure. O(bucket_count).
+  [[nodiscard]] double load_factor() const noexcept;
+
+ private:
+  friend class Store;
+  std::size_t k_ = 0;
+  std::span<const std::uint64_t> offsets_;  // bucket_count + 1
+  std::span<const KmerPosting> postings_;
+};
 
 /// A read-only, memory-mapped .swdb database.
 class Store {
@@ -76,6 +108,20 @@ class Store {
   /// The length-descending dispatch permutation (see format.hpp).
   [[nodiscard]] std::span<const std::uint32_t> schedule_order() const noexcept { return order_; }
 
+  /// Whether this store carries the format-v2 k-mer index section.
+  [[nodiscard]] bool has_kmer_index() const noexcept { return kindex_.k_ != 0; }
+
+  /// The k-mer index view. @throws StoreError on a pre-index (v1) file,
+  /// naming the rebuild that adds the section.
+  [[nodiscard]] const KmerIndexView& kmer_index() const {
+    if (!has_kmer_index()) {
+      throw StoreError("swdb '" + path_ +
+                       "': no k-mer index section (format v1) — rebuild with `swdb build` to "
+                       "enable seeded scans");
+    }
+    return kindex_;
+  }
+
   /// Re-hashes everything after the header and compares against the
   /// header's payload_hash — the full-integrity check tier-1 tests and
   /// operators run; scans skip it. With a non-null `metrics` registry,
@@ -102,6 +148,7 @@ class Store {
   std::span<const std::uint32_t> order_;
   const char* names_ = nullptr;
   const std::uint8_t* payload_ = nullptr;
+  KmerIndexView kindex_;                 ///< k_ == 0 when absent (v1 file)
 };
 
 /// Length-distribution and lane-batching summary of a store's dispatch

@@ -19,6 +19,9 @@ void ScanOptions::validate() const {
   if (top_k == 0) throw std::invalid_argument("ScanOptions: zero top_k");
   if (min_score < 1) throw std::invalid_argument("ScanOptions: min_score must be >= 1");
   if (threads == 0) throw std::invalid_argument("ScanOptions: zero threads");
+  if (filter_threshold < 0) {
+    throw std::invalid_argument("ScanOptions: filter_threshold must be >= 0");
+  }
 }
 
 bool dust_suppressed(const seq::Sequence& rec, const align::Cell& end, const ScanOptions& opt) {
@@ -40,6 +43,11 @@ namespace {
 ScanResult scan_source(core::SmithWatermanAccelerator& accelerator, const seq::Sequence& query,
                        const RecordSource& src, const ScanOptions& opt) {
   opt.validate();
+  if (opt.filter != FilterMode::Exact) {
+    throw std::invalid_argument(
+        "scan_database: the accelerator model scans exhaustively (the board streams the whole "
+        "database); --filter seeded needs the CPU engine");
+  }
   src.check_alphabet(query, "scan_database");
   ScanResult out;
   // One Sequence + decode scratch reused for every record: after the first

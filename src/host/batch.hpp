@@ -58,6 +58,14 @@ enum class SimdPolicy {
 /// bit-identical output to every policy — tests enforce it.
 using KernelShape = core::KernelShape;
 
+/// Candidate filtering tier for the CPU scan engine (scan --filter).
+enum class FilterMode {
+  Exact,   ///< score every record (the default; the only accelerator mode)
+  Seeded,  ///< k-mer seed + ungapped prescreen funnel (host/prefilter.hpp),
+           ///< exact SIMD rescore of survivors; needs a store built with
+           ///< the format-v2 k-mer index section
+};
+
 /// Scan configuration.
 struct ScanOptions {
   std::size_t top_k = 10;       ///< hits to keep
@@ -86,6 +94,17 @@ struct ScanOptions {
   /// explicit InterSeq request the machine/scheme cannot honour degrades
   /// to striped with a one-time warning.
   KernelShape kernel = KernelShape::Auto;
+
+  /// Candidate filter for scan_database_cpu / scan_records_cpu. Seeded
+  /// requires an indexed .swdb source and preserves the exact hit set for
+  /// records whose true score >= the filter threshold (the recall parity
+  /// suite enforces it); hits for surviving records are bit-identical to
+  /// exact across shapes, policies and thread counts.
+  FilterMode filter = FilterMode::Exact;
+
+  /// Score the seeded filter must keep full recall above; 0 uses
+  /// min_score. Ignored under FilterMode::Exact.
+  align::Score filter_threshold = 0;
 
   /// Observability sink. nullptr (the default) is a strict no-op: the
   /// engines never form a metric name or touch an atomic — the disabled
@@ -119,6 +138,14 @@ struct ScanResult {
   std::uint64_t cell_updates = 0; ///< total matrix cells across records
   std::uint64_t swar8_fallbacks = 0; ///< 8-bit -> 16-bit lazy re-runs
   double board_seconds = 0.0;     ///< modelled accelerator time, summed
+  // Seeded-filter funnel (zeros under FilterMode::Exact). records_scanned
+  // stays the full domain; cell_updates covers only rescored records —
+  // the cells the filter saved are exactly the difference against an
+  // exact scan.
+  std::uint64_t filter_candidates = 0;   ///< records with >= 1 index seed
+  std::uint64_t filter_rescored = 0;     ///< survivors scored exactly
+  std::uint64_t filter_rejected = 0;     ///< records the funnel dropped
+  std::uint64_t filter_recall_guard = 0; ///< unconditional admissions
 };
 
 /// Scans `records` with `query` on `accelerator`.

@@ -77,6 +77,11 @@ class RecordSource {
   /// precomputed length schedule).
   [[nodiscard]] bool is_store() const noexcept { return store_ != nullptr; }
 
+  /// The underlying store, or nullptr for vector sources — the seeded
+  /// prefilter needs the store's k-mer index, which has no vector-side
+  /// analogue.
+  [[nodiscard]] const db::Store* store() const noexcept { return store_; }
+
   /// The store's length-descending dispatch permutation; empty for vector
   /// sources (the engines sort shard-locally instead).
   [[nodiscard]] std::span<const std::uint32_t> schedule_order() const noexcept {

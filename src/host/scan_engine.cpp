@@ -19,6 +19,7 @@
 #include "align/sw_profile.hpp"
 #include "align/sw_striped.hpp"
 #include "core/cpu_features.hpp"
+#include "host/prefilter.hpp"
 #include "obs/metrics.hpp"
 #include "par/thread_pool.hpp"
 
@@ -136,9 +137,23 @@ struct ScanMetrics {
   obs::Counter* interseq_records = nullptr;
   obs::Histogram* interseq_occupancy = nullptr;
   obs::Histogram* worker_kernel_us = nullptr;
+  // Seeded-filter handles, fetched only when that mode is active so an
+  // exact scan never pays the extra registry lookups.
+  obs::Counter* filter_candidates = nullptr;
+  obs::Counter* filter_rejected = nullptr;
+  obs::Counter* filter_rescored = nullptr;
+  obs::Counter* filter_recall_guard = nullptr;
+  obs::Histogram* filter_candidate_ratio = nullptr;
 
-  ScanMetrics(obs::Registry* reg, SimdPolicy resolved, KernelShape shape) {
+  ScanMetrics(obs::Registry* reg, SimdPolicy resolved, KernelShape shape, bool seeded) {
     if (reg == nullptr) return;
+    if (seeded) {
+      filter_candidates = &reg->counter("scan.filter.candidates");
+      filter_rejected = &reg->counter("scan.filter.rejected");
+      filter_rescored = &reg->counter("scan.filter.rescored");
+      filter_recall_guard = &reg->counter("scan.filter.recall_guard");
+      filter_candidate_ratio = &reg->histogram("scan.filter.candidate_ratio");
+    }
     scans = &reg->counter("scan.scans");
     records = &reg->counter("scan.records");
     cells = &reg->counter("scan.cells");
@@ -418,6 +433,49 @@ void flush_scan_metrics(const ScanMetrics& metrics, const std::vector<Worker>& w
       }
     }
   }
+  if (metrics.filter_candidates != nullptr) {
+    if (out.filter_candidates != 0) metrics.filter_candidates->add(out.filter_candidates);
+    if (out.filter_rejected != 0) metrics.filter_rejected->add(out.filter_rejected);
+    if (out.filter_rescored != 0) metrics.filter_rescored->add(out.filter_rescored);
+    if (out.filter_recall_guard != 0) {
+      metrics.filter_recall_guard->add(out.filter_recall_guard);
+    }
+    // One sample per scan: percent of the filter domain that survived to
+    // exact rescoring (0 = everything rejected, 100 = filter was a no-op).
+    const std::uint64_t domain = out.filter_rescored + out.filter_rejected;
+    if (domain != 0) {
+      metrics.filter_candidate_ratio->observe(out.filter_rescored * 100 / domain);
+    }
+  }
+}
+
+// Seeded prefilter entry: validates the source can support it (a store
+// with a k-mer index — the v1-file case throws db::StoreError naming the
+// rebuild), runs the funnel over `subset` (empty = whole store) and
+// records the funnel accounting into `out`.
+const db::Store& require_seeded_source(const RecordSource& src, const char* what) {
+  const db::Store* store = src.store();
+  if (store == nullptr) {
+    throw std::invalid_argument(std::string(what) +
+                                ": --filter seeded needs a .swdb database (in-memory record "
+                                "vectors carry no k-mer index; build one with `swdb build`)");
+  }
+  (void)store->kmer_index();  // v1 file -> StoreError naming the rebuild
+  return *store;
+}
+
+std::vector<std::uint32_t> run_prefilter(const seq::Sequence& query, const db::Store& store,
+                                         const align::Scoring& sc, const ScanOptions& opt,
+                                         std::span<const std::uint32_t> subset, ScanResult& out) {
+  FilterOptions fo;
+  fo.threshold = opt.filter_threshold > 0 ? opt.filter_threshold : opt.min_score;
+  FilterStats fst;
+  std::vector<std::uint32_t> ids = filter_candidates(store, query, sc, fo, subset, &fst);
+  out.filter_candidates = fst.candidates;
+  out.filter_rescored = fst.rescored;
+  out.filter_rejected = fst.rejected;
+  out.filter_recall_guard = fst.recall_guard;
+  return ids;
 }
 
 ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
@@ -425,36 +483,69 @@ ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
   opt.validate();
   sc.validate();
   src.check_alphabet(query, "scan_database_cpu");
+  const bool seeded = opt.filter == FilterMode::Seeded;
+  if (seeded) require_seeded_source(src, "scan_database_cpu");
 
   ScanResult out;
   out.records_scanned = src.size();
   if (query.empty() || src.size() == 0) return out;
 
-  // Contiguous shards claimed through an atomic cursor: cheap enough to
-  // keep shards small (good balance against wildly varying record
-  // lengths), coarse enough that the cursor is not contended.
-  const std::size_t threads = std::min(opt.threads, src.size());
-  const std::size_t shard = std::max<std::size_t>(1, src.size() / (threads * 8));
-  const std::size_t num_shards = (src.size() + shard - 1) / shard;
-  std::atomic<std::size_t> cursor{0};
+  // Seeded filter: resolve the candidate set once, up front, then shard
+  // the *candidates* across workers — the exact kernels below never see a
+  // rejected record. Exact mode scans the full [0, size) domain.
+  std::vector<std::uint32_t> candidates;
+  if (seeded) candidates = run_prefilter(query, *src.store(), sc, opt, {}, out);
+  const std::size_t domain = seeded ? candidates.size() : src.size();
 
   const SimdPolicy policy = resolve_simd_policy(opt.simd_policy);
   const ShapePlan plan = resolve_kernel_shape(opt.kernel, policy, query, sc, src.is_store());
+  const ScanMetrics metrics(opt.metrics, policy, plan.shape, seeded);
+  if (domain == 0) {
+    // Everything rejected: still a completed scan — flush so the
+    // scan.filter.* counters reconcile with ScanResult.
+    const std::vector<Worker> none;
+    flush_scan_metrics(metrics, none, out);
+    return out;
+  }
+
+  // Contiguous shards claimed through an atomic cursor: cheap enough to
+  // keep shards small (good balance against wildly varying record
+  // lengths), coarse enough that the cursor is not contended.
+  const std::size_t threads = std::min(opt.threads, domain);
+  const std::size_t shard = std::max<std::size_t>(1, domain / (threads * 8));
+  const std::size_t num_shards = (domain + shard - 1) / shard;
+  std::atomic<std::size_t> cursor{0};
+
   std::vector<Worker> workers;
   workers.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) workers.emplace_back(query, sc, policy);
 
-  const ScanMetrics metrics(opt.metrics, policy, plan.shape);
+  // Interseq + seeded: the store's global schedule_order covers rejected
+  // records too, so the surviving candidates are length-sorted once here
+  // and shards walk slices of that order instead.
+  std::vector<std::uint32_t> seeded_order;
+  if (seeded && plan.shape == KernelShape::InterSeq) {
+    seeded_order = candidates;
+    std::sort(seeded_order.begin(), seeded_order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      const std::size_t la = src.length(a);
+      const std::size_t lb = src.length(b);
+      if (la != lb) return la > lb;
+      return a < b;
+    });
+  }
+
   const std::span<const seq::Code> qcodes = query.codes();
   const auto scan_shards = [&](Worker& w) {
     const auto start = std::chrono::steady_clock::now();
     if (plan.shape == KernelShape::InterSeq) {
       // The lanes pull records one at a time; shards are claimed through
-      // the same cursor, but walked via the store's length-descending
-      // schedule_order so co-resident lanes retire near-together. Vector
-      // sources have no precomputed schedule — each claimed shard is
-      // sorted locally (length desc, id asc) instead.
-      const std::span<const std::uint32_t> order = src.schedule_order();
+      // the same cursor, but walked via a length-descending order so
+      // co-resident lanes retire near-together: the store's precomputed
+      // schedule_order (exact), the pre-sorted candidate list (seeded),
+      // or — for vector sources, which have no precomputed schedule — a
+      // shard-local sort (length desc, id asc).
+      const std::span<const std::uint32_t> order =
+          seeded ? std::span<const std::uint32_t>(seeded_order) : src.schedule_order();
       std::vector<std::uint32_t> ids;  // vector-source shard, length-sorted
       std::size_t idx = 0;
       std::size_t idx_end = 0;
@@ -467,7 +558,7 @@ ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
           const std::size_t s = cursor.fetch_add(1, std::memory_order_relaxed);
           if (s >= num_shards) return std::nullopt;
           const std::size_t lo = s * shard;
-          const std::size_t hi = std::min(src.size(), lo + shard);
+          const std::size_t hi = std::min(domain, lo + shard);
           if (order.empty()) {
             ids.resize(hi - lo);
             std::iota(ids.begin(), ids.end(), static_cast<std::uint32_t>(lo));
@@ -491,8 +582,10 @@ ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
         const std::size_t s = cursor.fetch_add(1, std::memory_order_relaxed);
         if (s >= num_shards) break;
         const std::size_t lo = s * shard;
-        const std::size_t hi = std::min(src.size(), lo + shard);
-        for (std::size_t r = lo; r < hi; ++r) scan_one(src, r, qcodes, sc, opt, policy, w);
+        const std::size_t hi = std::min(domain, lo + shard);
+        for (std::size_t r = lo; r < hi; ++r) {
+          scan_one(src, seeded ? candidates[r] : r, qcodes, sc, opt, policy, w);
+        }
       }
     }
     if (metrics.worker_kernel_us != nullptr) {
@@ -550,6 +643,8 @@ ScanResult scan_records_cpu(const seq::Sequence& query, const RecordSource& src,
   opt.validate();
   sc.validate();
   src.check_alphabet(query, "scan_records_cpu");
+  const bool seeded = opt.filter == FilterMode::Seeded;
+  if (seeded) require_seeded_source(src, "scan_records_cpu");
   for (const std::uint32_t r : record_ids) {
     if (r >= src.size()) {
       throw std::invalid_argument("scan_records_cpu: record id " + std::to_string(r) +
@@ -561,9 +656,17 @@ ScanResult scan_records_cpu(const seq::Sequence& query, const RecordSource& src,
   out.records_scanned = record_ids.size();
   if (query.empty() || record_ids.empty()) return out;
 
+  // Seeded filter restricted to this chunk's ids — the scan service's
+  // chunked dispatch composes with the funnel for free.
+  std::vector<std::uint32_t> candidates;
+  if (seeded) {
+    candidates = run_prefilter(query, *src.store(), sc, opt, record_ids, out);
+    record_ids = candidates;
+  }
+
   const SimdPolicy policy = resolve_simd_policy(opt.simd_policy);
   const ShapePlan plan = resolve_kernel_shape(opt.kernel, policy, query, sc, src.is_store());
-  const ScanMetrics metrics(opt.metrics, policy, plan.shape);
+  const ScanMetrics metrics(opt.metrics, policy, plan.shape, seeded);
   std::vector<Worker> workers;
   workers.emplace_back(query, sc, policy);
   const std::span<const seq::Code> qcodes = query.codes();

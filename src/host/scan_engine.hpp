@@ -28,6 +28,12 @@
 // The database reaches the engine either as an in-memory record vector
 // (the FASTA path) or as a memory-mapped db::Store (.swdb) — both run the
 // same loop via host::RecordSource, so their hits are bit-identical too.
+//
+// ScanOptions::filter adds an optional candidate tier in front of the
+// exact kernels: FilterMode::Seeded consults the store's k-mer index and
+// the ungapped diagonal prescreen (host/prefilter.hpp) and scores only
+// the surviving records — identical hits above the filter threshold, a
+// fraction of the cell updates. Exact mode is the unchanged full scan.
 #pragma once
 
 #include <cstdint>

@@ -33,6 +33,21 @@ std::string format_double(double v) {
   return buf;
 }
 
+// Annotations for metric families whose semantics are not obvious from
+// the name alone. The scan.filter.* names are the contract between the
+// seeded-prefilter tier (host/scan_engine.cpp) and external consumers:
+// candidates + recall guards enter from the scan domain, rescored +
+// rejected partition it back, and candidate_ratio is a percentage — the
+// one histogram in the table that is not microseconds.
+std::string_view metric_description(std::string_view name) {
+  if (name == "scan.filter.candidates") return "records with seed hits entering prescreen";
+  if (name == "scan.filter.rejected") return "records dropped by the seeded prefilter";
+  if (name == "scan.filter.rescored") return "prefilter survivors rescored exactly";
+  if (name == "scan.filter.recall_guard") return "short query/record guards kept for recall";
+  if (name == "scan.filter.candidate_ratio") return "rescored share of domain (percent)";
+  return {};
+}
+
 // ---- minimal parser for the dialect to_json emits ------------------------
 
 class Parser {
@@ -156,8 +171,10 @@ std::string to_table(const Snapshot& snap) {
   if (!snap.counters.empty()) {
     out << "counters:\n";
     for (const auto& [name, v] : snap.counters) {
-      std::snprintf(line, sizeof line, "  %-40s %20llu\n", name.c_str(),
-                    static_cast<unsigned long long>(v));
+      const std::string_view desc = metric_description(name);
+      std::snprintf(line, sizeof line, "  %-40s %20llu%s%.*s\n", name.c_str(),
+                    static_cast<unsigned long long>(v), desc.empty() ? "" : "  ",
+                    static_cast<int>(desc.size()), desc.data());
       out << line;
     }
   }
@@ -175,9 +192,11 @@ std::string to_table(const Snapshot& snap) {
                   "p50", "p90", "p99");
     out << line;
     for (const auto& [name, h] : snap.histograms) {
-      std::snprintf(line, sizeof line, "  %-40s %10llu %14llu %10.0f %10.0f %10.0f\n",
+      const std::string_view desc = metric_description(name);
+      std::snprintf(line, sizeof line, "  %-40s %10llu %14llu %10.0f %10.0f %10.0f%s%.*s\n",
                     name.c_str(), static_cast<unsigned long long>(h.count),
-                    static_cast<unsigned long long>(h.sum), h.p50, h.p90, h.p99);
+                    static_cast<unsigned long long>(h.sum), h.p50, h.p90, h.p99,
+                    desc.empty() ? "" : "  ", static_cast<int>(desc.size()), desc.data());
       out << line;
     }
   }

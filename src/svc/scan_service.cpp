@@ -402,6 +402,10 @@ struct ScanService::Impl {
     acc.cell_updates += part.cell_updates;
     acc.swar8_fallbacks += part.swar8_fallbacks;
     acc.board_seconds += part.board_seconds;
+    acc.filter_candidates += part.filter_candidates;
+    acc.filter_rescored += part.filter_rescored;
+    acc.filter_rejected += part.filter_rejected;
+    acc.filter_recall_guard += part.filter_recall_guard;
     acc.hits.insert(acc.hits.end(), std::make_move_iterator(part.hits.begin()),
                     std::make_move_iterator(part.hits.end()));
   }

@@ -133,6 +133,57 @@ TEST(SeedExtend, EmptyWhenNothingSeeds) {
   EXPECT_TRUE(seed_extend_search(db, q, kSc, SeedExtendOptions{}).empty());
 }
 
+TEST(SeedExtend, RepeatedSeedsOnOneDiagonalExtendOnce) {
+  // Two homology islands on the SAME diagonal, separated by a mismatch
+  // run long enough (20 > x_drop 16) that one extension cannot bridge
+  // them. The first island scores higher, so the duplicate-diagonal bug
+  // (skip tested against the BEST hit's span instead of the LAST-extended
+  // span) made every seed of the second island re-run the extension.
+  seq::RandomSequenceGenerator gen(4242);
+  const seq::Sequence s1 = gen.uniform(seq::dna(), 30);
+  const seq::Sequence s2 = gen.uniform(seq::dna(), 20);
+  seq::Sequence query = s1;
+  query.append(seq::Sequence::dna(std::string(20, 'A')));
+  query.append(s2);
+  seq::Sequence db = s1;
+  db.append(seq::Sequence::dna(std::string(20, 'C')));  // all-mismatch spacer
+  db.append(s2);
+
+  SeedExtendStats stats;
+  const auto hits = seed_extend_search(db, query, kSc, SeedExtendOptions{}, &stats);
+  // s1 contributes 20 seeds, s2 contributes 10 — all on diagonal 0.
+  EXPECT_EQ(stats.seed_hits, 30u);
+  EXPECT_EQ(stats.diagonals, 1u);
+  // One extension per island, not one per seed: the fix's contract.
+  EXPECT_EQ(stats.extensions, 2u);
+  // The reported hit is still the best island.
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].score, 30);
+}
+
+TEST(SeedExtend, AscendingIslandScoresStillExtendOncePerIsland) {
+  // Mirror image: the LOWER-scoring island comes first. The old code
+  // happened to handle this order correctly (best == last), so the pair
+  // of tests pins the span semantics from both sides.
+  seq::RandomSequenceGenerator gen(4343);
+  const seq::Sequence s1 = gen.uniform(seq::dna(), 20);
+  const seq::Sequence s2 = gen.uniform(seq::dna(), 30);
+  seq::Sequence query = s1;
+  query.append(seq::Sequence::dna(std::string(20, 'A')));
+  query.append(s2);
+  seq::Sequence db = s1;
+  db.append(seq::Sequence::dna(std::string(20, 'C')));
+  db.append(s2);
+
+  SeedExtendStats stats;
+  const auto hits = seed_extend_search(db, query, kSc, SeedExtendOptions{}, &stats);
+  EXPECT_EQ(stats.seed_hits, 30u);
+  EXPECT_EQ(stats.diagonals, 1u);
+  EXPECT_EQ(stats.extensions, 2u);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].score, 30);
+}
+
 TEST(SeedExtend, Validation) {
   SeedExtendOptions bad;
   bad.k = 0;

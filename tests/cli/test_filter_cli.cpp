@@ -1,0 +1,165 @@
+// `scan --filter {exact,seeded}` through run_command — the CI filter
+// matrix drives these suites by name (FilterLegExact* / FilterLegSeeded*),
+// one leg per filter mode, plus the cross-mode output parity check.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+#include "seq/fasta.hpp"
+#include "seq/mutate.hpp"
+#include "seq/random.hpp"
+
+namespace {
+
+using namespace swr;
+
+struct RunResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+RunResult run(const std::string& cmd, const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = cli::run_command(cmd, args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+// One query + database pair shared by every test in this file; the
+// database holds random background plus three planted homologs.
+struct Fixture {
+  std::string query_fa;
+  std::string db_fa;
+  std::string db_swdb;
+  std::string db_v1;
+
+  Fixture() {
+    seq::RandomSequenceGenerator gen(60601);
+    const seq::Sequence query = gen.uniform(seq::dna(), 100, "q");
+    std::vector<seq::Sequence> recs;
+    for (int r = 0; r < 40; ++r) {
+      seq::Sequence rec = gen.uniform(seq::dna(), 150, "rec" + std::to_string(r));
+      if (r % 13 == 5) rec.append(seq::point_mutate(query, 0.04, gen.engine()));
+      recs.push_back(std::move(rec));
+    }
+    query_fa = testing::TempDir() + "/filter_q.fa";
+    db_fa = testing::TempDir() + "/filter_db.fa";
+    db_swdb = testing::TempDir() + "/filter_db.swdb";
+    db_v1 = testing::TempDir() + "/filter_db_v1.swdb";
+    seq::write_fasta_file(query_fa, {query});
+    seq::write_fasta_file(db_fa, recs);
+    EXPECT_EQ(run("swdb", {"build", db_fa, db_swdb}).code, 0);
+    EXPECT_EQ(run("swdb", {"build", db_fa, db_v1, "--no-index"}).code, 0);
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+TEST(FilterLegExact, ScanReportsHitsWithoutFilterLine) {
+  const Fixture& f = fixture();
+  const RunResult r =
+      run("scan", {f.query_fa, f.db_swdb, "--engine", "cpu", "--min-score", "50",
+                   "--filter", "exact"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("hits (top"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("filter:"), std::string::npos) << r.out;  // exact mode: no filter line
+}
+
+TEST(FilterLegExact, RunsOnFastaAndV1Stores) {
+  const Fixture& f = fixture();
+  for (const std::string& db : {f.db_fa, f.db_v1}) {
+    const RunResult r = run("scan", {f.query_fa, db, "--engine", "cpu", "--min-score", "50"});
+    EXPECT_EQ(r.code, 0) << db << ": " << r.err;
+  }
+}
+
+TEST(FilterLegSeeded, ScanReportsFilterFunnel) {
+  const Fixture& f = fixture();
+  const RunResult r = run("scan", {f.query_fa, f.db_swdb, "--min-score", "50",
+                                   "--filter", "seeded", "--stats"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("filter:"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("rescored"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("scan.filter.rejected"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("scan.filter.candidate_ratio"), std::string::npos) << r.out;
+}
+
+TEST(FilterLegSeeded, MatchesExactHitReport) {
+  const Fixture& f = fixture();
+  const std::vector<std::string> base{f.query_fa, f.db_swdb, "--engine", "cpu",
+                                      "--min-score", "50", "--top", "10"};
+  auto seeded_args = base;
+  seeded_args.insert(seeded_args.end(), {"--filter", "seeded"});
+  const RunResult exact = run("scan", base);
+  const RunResult seeded = run("scan", seeded_args);
+  ASSERT_EQ(exact.code, 0) << exact.err;
+  ASSERT_EQ(seeded.code, 0) << seeded.err;
+  // The hit block (everything up to the stats footer) must be identical.
+  const auto hits_of = [](const std::string& out) {
+    return out.substr(0, out.find("stats:"));
+  };
+  EXPECT_EQ(hits_of(exact.out), hits_of(seeded.out));
+}
+
+TEST(FilterLegSeeded, FailsClearlyWithoutAnIndex) {
+  const Fixture& f = fixture();
+  const RunResult v1 = run("scan", {f.query_fa, f.db_v1, "--filter", "seeded"});
+  EXPECT_EQ(v1.code, 2);
+  EXPECT_NE(v1.err.find("rebuild"), std::string::npos) << v1.err;
+
+  const RunResult fasta = run("scan", {f.query_fa, f.db_fa, "--filter", "seeded"});
+  EXPECT_EQ(fasta.code, 2);
+  EXPECT_NE(fasta.err.find("swdb build"), std::string::npos) << fasta.err;
+}
+
+TEST(FilterLegSeeded, RejectsIncompatibleOptions) {
+  const Fixture& f = fixture();
+  EXPECT_EQ(run("scan", {f.query_fa, f.db_swdb, "--filter", "seeded", "--engine", "accel"}).code,
+            2);
+  EXPECT_EQ(run("scan", {f.query_fa, f.db_swdb, "--filter", "bogus"}).code, 2);
+  EXPECT_EQ(run("scan", {f.query_fa, f.db_swdb, "--filter", "seeded", "--filter-threshold",
+                         "-3"}).code,
+            2);
+  EXPECT_EQ(run("scan", {f.query_fa, f.db_swdb, "--batch", "--filter", "seeded", "--boards",
+                         "1"}).code,
+            2);
+}
+
+TEST(FilterLegSeeded, BatchServiceReportsFilterFunnel) {
+  const Fixture& f = fixture();
+  const RunResult r = run("scan", {f.query_fa, f.db_swdb, "--batch", "--filter", "seeded",
+                                   "--min-score", "50"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("filter:"), std::string::npos) << r.out;
+}
+
+TEST(FilterLegSeeded, SwdbInfoShowsIndexSection) {
+  const Fixture& f = fixture();
+  const RunResult indexed = run("swdb", {"info", f.db_swdb});
+  EXPECT_EQ(indexed.code, 0) << indexed.err;
+  EXPECT_NE(indexed.out.find("k-mer index: k="), std::string::npos) << indexed.out;
+  EXPECT_NE(indexed.out.find("load factor"), std::string::npos) << indexed.out;
+
+  const RunResult v1 = run("swdb", {"info", f.db_v1});
+  EXPECT_EQ(v1.code, 0) << v1.err;
+  EXPECT_NE(v1.out.find("no k-mer index"), std::string::npos) << v1.out;
+}
+
+TEST(FilterLegSeeded, BuildSeedKControlsIndex) {
+  const Fixture& f = fixture();
+  const std::string k5 = testing::TempDir() + "/filter_db_k5.swdb";
+  const RunResult b = run("swdb", {"build", f.db_fa, k5, "--seed-k", "5"});
+  EXPECT_EQ(b.code, 0) << b.err;
+  EXPECT_NE(b.out.find("k=5"), std::string::npos) << b.out;
+  EXPECT_EQ(run("swdb", {"build", f.db_fa, k5, "--seed-k", "5", "--no-index"}).code, 2);
+  EXPECT_EQ(run("swdb", {"build", f.db_fa, k5, "--seed-k", "1"}).code, 1);
+}
+
+}  // namespace
