@@ -32,9 +32,11 @@
 #include "db/builder.hpp"
 #include "db/store.hpp"
 #include "host/batch.hpp"
+#include "host/record_source.hpp"
 #include "host/scan_engine.hpp"
 #include "obs/metrics.hpp"
 #include "par/wavefront.hpp"
+#include "retrieve/traceback.hpp"
 #include "seq/fasta.hpp"
 #include "seq/mutate.hpp"
 #include "seq/packed.hpp"
@@ -713,6 +715,159 @@ int run_filter_comparison() {
   return 0;
 }
 
+// ---- alignment retrieval comparison (BENCH_retrieve.json) ----------------
+
+// The §2.3 retrieval pipeline end to end: (a) traceback cost as a function
+// of --max-hits K on the standard scan workload (scan-only vs scan+align,
+// so the delta IS the retrieval phase), and (b) peak working memory of
+// one traceback against the full-DP matrix a classic traceback would
+// store, across growing alignment windows. CI runs `bench_kernels
+// --retrieve-only`; a replay divergence (traceback_hit throws) or a
+// super-linear peak exits non-zero.
+int run_retrieve_comparison() {
+  bench::header("alignment retrieval: traceback cost vs K (scan-only baseline)");
+  const ScanWorkload w = make_scan_workload();
+
+  host::ScanOptions base;
+  base.top_k = 32;
+  base.min_score = 50;
+  base.threads = 1;
+
+  (void)host::scan_database_cpu(w.query, w.records, kSc, base);  // warm-up
+  double scan_s = 1e100;
+  host::ScanResult plain;
+  for (int rep = 0; rep < 3; ++rep) {  // min-of-3: the noise-free estimate
+    const bench::Timer t;
+    host::ScanResult r = host::scan_database_cpu(w.query, w.records, kSc, base);
+    benchmark::DoNotOptimize(&r);
+    scan_s = std::min(scan_s, t.seconds());
+    plain = std::move(r);
+  }
+  std::printf("workload: %zu records, top_k %zu, %zu hits; scan-only %.4f s\n",
+              w.records.size(), base.top_k, plain.hits.size(), scan_s);
+
+  // The retrieval phase is timed in isolation on the scan's ranked hits —
+  // exactly what the service runs after the chunk merge — so the K sweep
+  // is not buried under scan-time noise.
+  const host::RecordSource src(w.records);
+  struct KRow {
+    std::size_t max_hits;
+    std::size_t aligned;
+    double retrieve_s;
+    double per_hit_us;
+    double vs_scan;  // retrieval cost as a fraction of the scan itself
+  };
+  std::vector<KRow> k_rows;
+  std::printf("%10s %10s %14s %12s %14s\n", "max_hits", "aligned", "retrieve_s", "us/hit",
+              "vs_scan");
+  bench::rule(66);
+  for (const std::size_t k : {std::size_t{1}, std::size_t{4}, std::size_t{16}, std::size_t{0}}) {
+    host::ScanOptions o = base;
+    o.align = true;
+    o.max_hits = k;
+    double best_s = 1e100;
+    std::size_t aligned = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      host::ScanResult r = plain;
+      r.alignments.clear();
+      const bench::Timer t;
+      host::retrieve_alignments(w.query, src, kSc, o, r);
+      best_s = std::min(best_s, t.seconds());
+      aligned = r.alignments.size();
+    }
+    const double per_hit = aligned == 0 ? 0.0 : best_s * 1e6 / static_cast<double>(aligned);
+    k_rows.push_back({k, aligned, best_s, per_hit, best_s / scan_s});
+    std::printf("%10zu %10zu %14.6f %12.2f %13.4f%%\n", k, aligned, best_s, per_hit,
+                100.0 * k_rows.back().vs_scan);
+  }
+  bench::rule(66);
+
+  // (b) Peak traceback memory vs the full-DP baseline. The planted window
+  // grows quadratically in cells; the retrieval layer's own accounting
+  // (Traceback::peak_cells, exact by construction) must stay linear in
+  // m + n. Every traceback_hit call also replays its transcript — a
+  // divergence throws and fails the bench.
+  bench::header("alignment retrieval: peak cells vs full-DP matrix");
+  struct MemRow {
+    std::size_t window;          // planted homolog length (~rows and ~cols)
+    align::Score score;
+    std::uint64_t full_dp_cells; // (m+1)*(n+1) of the retrieved window
+    std::uint64_t banded_peak;
+    std::uint64_t hirschberg_peak;
+    double hirschberg_vs_full;   // peak / full-DP: the paper's memory win
+    bool linear_ok;
+  };
+  std::vector<MemRow> mem_rows;
+  bool all_linear = true;
+  seq::RandomSequenceGenerator mgen(31337);
+  std::printf("%8s %8s %14s %12s %12s %14s\n", "window", "score", "full_dp", "banded",
+              "hirschberg", "peak/full");
+  bench::rule(74);
+  for (const std::size_t len : {std::size_t{256}, std::size_t{1024}, std::size_t{4096}}) {
+    const seq::Sequence q = mgen.uniform(seq::dna(), len, "q");
+    seq::Sequence rec = mgen.uniform(seq::dna(), 200, "r");
+    rec.append(seq::point_mutate(q, 0.04, mgen.engine()));
+    rec.append(mgen.uniform(seq::dna(), 200));
+    const align::LocalScoreResult kernel = align::sw_linear_codes(rec.codes(), q.codes(), kSc);
+
+    const retrieve::Traceback banded =
+        retrieve::traceback_hit(rec.codes(), q.codes(), kernel, kSc);
+    retrieve::TracebackOptions no_band;
+    no_band.band_cell_budget = 0;
+    const retrieve::Traceback hirsch =
+        retrieve::traceback_hit(rec.codes(), q.codes(), kernel, kSc, no_band);
+
+    const std::uint64_t rows64 = banded.alignment.end.i - banded.alignment.begin.i + 1;
+    const std::uint64_t cols64 = banded.alignment.end.j - banded.alignment.begin.j + 1;
+    const std::uint64_t full = (rows64 + 1) * (cols64 + 1);
+    const std::uint64_t linear_bound = 4 * (rec.size() + q.size());
+    const bool linear_ok = hirsch.peak_cells <= linear_bound;
+    all_linear = all_linear && linear_ok;
+    mem_rows.push_back({len, kernel.score, full, banded.peak_cells, hirsch.peak_cells,
+                        static_cast<double>(hirsch.peak_cells) / static_cast<double>(full),
+                        linear_ok});
+    std::printf("%8zu %8d %14llu %12llu %12llu %13.5f%%\n", len, kernel.score,
+                static_cast<unsigned long long>(full),
+                static_cast<unsigned long long>(banded.peak_cells),
+                static_cast<unsigned long long>(hirsch.peak_cells),
+                100.0 * mem_rows.back().hirschberg_vs_full);
+  }
+  bench::rule(74);
+  std::printf("peak cells linear in m+n on every window: %s\n", all_linear ? "yes" : "NO");
+
+  std::ofstream js("BENCH_retrieve.json");
+  js << "{\n  \"workload\": {\"query_len\": " << w.query.size()
+     << ", \"records\": " << w.records.size() << ", \"top_k\": " << base.top_k
+     << ", \"hits\": " << plain.hits.size() << "},\n";
+  js << "  \"scan_only_seconds\": " << scan_s << ",\n";
+  js << "  \"k_sweep\": [\n";
+  for (std::size_t i = 0; i < k_rows.size(); ++i) {
+    const KRow& r = k_rows[i];
+    js << "    {\"max_hits\": " << r.max_hits << ", \"aligned\": " << r.aligned
+       << ", \"retrieve_seconds\": " << r.retrieve_s << ", \"per_hit_us\": " << r.per_hit_us
+       << ", \"vs_scan\": " << r.vs_scan << "}" << (i + 1 < k_rows.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n";
+  js << "  \"peak_memory\": [\n";
+  for (std::size_t i = 0; i < mem_rows.size(); ++i) {
+    const MemRow& r = mem_rows[i];
+    js << "    {\"window\": " << r.window << ", \"score\": " << r.score
+       << ", \"full_dp_cells\": " << r.full_dp_cells << ", \"banded_peak_cells\": "
+       << r.banded_peak << ", \"hirschberg_peak_cells\": " << r.hirschberg_peak
+       << ", \"hirschberg_peak_vs_full_dp\": " << r.hirschberg_vs_full
+       << ", \"linear_in_m_plus_n\": " << (r.linear_ok ? "true" : "false") << "}"
+       << (i + 1 < mem_rows.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n";
+  js << "  \"peak_cells_linear\": " << (all_linear ? "true" : "false") << "\n}\n";
+  std::printf("machine-readable dump: BENCH_retrieve.json\n");
+  if (!all_linear) {
+    std::printf("FAIL: traceback peak memory grew super-linearly\n");
+    return 1;
+  }
+  return 0;
+}
+
 // ---- database load + batch service comparison (BENCH_db.json) -----------
 
 // (a) Opening the same database as FASTA text (parse + validate + encode)
@@ -990,11 +1145,15 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--filter-only") {
       return run_filter_comparison();
     }
+    if (std::string(argv[i]) == "--retrieve-only") {
+      return run_retrieve_comparison();
+    }
   }
   run_scan_comparison();
   run_simd_comparison();
   run_interseq_comparison();
   if (const int rc = run_filter_comparison(); rc != 0) return rc;
+  if (const int rc = run_retrieve_comparison(); rc != 0) return rc;
   run_db_comparison();
   if (const int rc = run_obs_overhead(/*ci_mode=*/false); rc != 0) return rc;
   benchmark::Initialize(&argc, argv);

@@ -118,6 +118,90 @@ Score score_of(const Cigar& cigar, const seq::Sequence& a, const seq::Sequence& 
   return total;
 }
 
+Score score_of(const Cigar& cigar, std::span<const seq::Code> a, std::span<const seq::Code> b,
+               const Scoring& sc) {
+  std::size_t i = 0;  // residues of a consumed so far
+  std::size_t j = 0;
+  Score total = 0;
+  for (const EditRun& r : cigar.runs()) {
+    switch (r.op) {
+      case EditOp::Match:
+      case EditOp::Mismatch:
+        if (i + r.len > a.size() || j + r.len > b.size()) {
+          throw std::invalid_argument("score_of: transcript leaves span bounds");
+        }
+        for (std::size_t k = 0; k < r.len; ++k) {
+          const bool same = a[i + k] == b[j + k];
+          if (same != (r.op == EditOp::Match)) {
+            throw std::invalid_argument("score_of: transcript op disagrees with residues");
+          }
+          total += sc.substitution(a[i + k], b[j + k]);
+        }
+        i += r.len;
+        j += r.len;
+        break;
+      case EditOp::Insert:
+        if (j + r.len > b.size()) {
+          throw std::invalid_argument("score_of: transcript leaves span bounds");
+        }
+        total += sc.gap * static_cast<Score>(r.len);
+        j += r.len;
+        break;
+      case EditOp::Delete:
+        if (i + r.len > a.size()) {
+          throw std::invalid_argument("score_of: transcript leaves span bounds");
+        }
+        total += sc.gap * static_cast<Score>(r.len);
+        i += r.len;
+        break;
+    }
+  }
+  return total;
+}
+
+Score affine_score_of(const Cigar& cigar, std::span<const seq::Code> a,
+                      std::span<const seq::Code> b, const AffineScoring& sc) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  Score total = 0;
+  // Cigar::push merges adjacent same-op runs, so each Insert/Delete run is
+  // one maximal gap: charge open once per run, extend per residue.
+  for (const EditRun& r : cigar.runs()) {
+    switch (r.op) {
+      case EditOp::Match:
+      case EditOp::Mismatch:
+        if (i + r.len > a.size() || j + r.len > b.size()) {
+          throw std::invalid_argument("affine_score_of: transcript leaves span bounds");
+        }
+        for (std::size_t k = 0; k < r.len; ++k) {
+          const bool same = a[i + k] == b[j + k];
+          if (same != (r.op == EditOp::Match)) {
+            throw std::invalid_argument("affine_score_of: transcript op disagrees with residues");
+          }
+          total += sc.substitution(a[i + k], b[j + k]);
+        }
+        i += r.len;
+        j += r.len;
+        break;
+      case EditOp::Insert:
+        if (j + r.len > b.size()) {
+          throw std::invalid_argument("affine_score_of: transcript leaves span bounds");
+        }
+        total += sc.gap_open + sc.gap_extend * static_cast<Score>(r.len);
+        j += r.len;
+        break;
+      case EditOp::Delete:
+        if (i + r.len > a.size()) {
+          throw std::invalid_argument("affine_score_of: transcript leaves span bounds");
+        }
+        total += sc.gap_open + sc.gap_extend * static_cast<Score>(r.len);
+        i += r.len;
+        break;
+    }
+  }
+  return total;
+}
+
 double cigar_identity(const Cigar& cigar) {
   const std::size_t cols = cigar.columns();
   if (cols == 0) return 1.0;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,20 @@ struct LocalAlignment {
 /// not fit.
 Score score_of(const Cigar& cigar, const seq::Sequence& a, const seq::Sequence& b, Cell begin,
                const Scoring& sc);
+
+/// Raw-span variant scoring a transcript applied from the start of both
+/// spans — the form the retrieval layer uses on alignment windows, where
+/// the spans ARE the window and begin is implicitly (1,1). Same bounds
+/// checks as above.
+Score score_of(const Cigar& cigar, std::span<const seq::Code> a, std::span<const seq::Code> b,
+               const Scoring& sc);
+
+/// Affine (Gotoh) replay of a transcript over raw spans: a gap run of
+/// length k costs open + k * extend, charged per run — the oracle the
+/// Myers-Miller property suite replays transcripts against. Same bounds
+/// checks as score_of.
+Score affine_score_of(const Cigar& cigar, std::span<const seq::Code> a,
+                      std::span<const seq::Code> b, const AffineScoring& sc);
 
 /// Identity over transcript columns: matches / columns.
 double cigar_identity(const Cigar& cigar);

@@ -145,12 +145,15 @@ Score gotoh_global_score(std::span<const seq::Code> a, std::span<const seq::Code
   h[0] = 0;
   for (std::size_t j = 1; j <= n; ++j) {
     h[j] = sc.gap_open + static_cast<Score>(j) * sc.gap_extend;
-    e[j] = h[j];
   }
+  // e (vertical gap) stays kNegInf across row 0, and f (horizontal gap)
+  // starts each row at kNegInf: a boundary gap state that borrowed h's
+  // value would let an L-shaped corner gap — insert run then delete run —
+  // continue as an "extension" and be charged only one opening.
   for (std::size_t i = 1; i <= a.size(); ++i) {
     Score diag = h[0];
     h[0] = sc.gap_open + static_cast<Score>(i) * sc.gap_extend;
-    Score f = h[0];
+    Score f = kNegInf;
     Score left_h = h[0];
     const seq::Code ai = a[i - 1];
     for (std::size_t j = 1; j <= n; ++j) {

@@ -56,17 +56,24 @@ void hirschberg_rec(std::span<const seq::Code> a, std::span<const seq::Code> b, 
   }
 
   const std::size_t mid = a.size() / 2;
-  const std::vector<Score> fwd = nw_last_row(a.subspan(0, mid), b, sc);
-  const std::vector<Score> bwd = nw_last_row_rev(a.subspan(mid), b, sc);
-
-  // Choose the split column k maximising fwd[k] + bwd[|b|-k].
   std::size_t split = 0;
-  Score best = kNegInf;
-  for (std::size_t k = 0; k <= b.size(); ++k) {
-    const Score v = fwd[k] + bwd[b.size() - k];
-    if (v > best) {
-      best = v;
-      split = k;
+  {
+    // Scoped so both rows are freed BEFORE recursing: only spans survive
+    // into the subproblems, keeping live row storage O(|b|) for the whole
+    // recursion instead of O(|b| log |a|) — the bound the retrieval
+    // layer's peak-memory accounting (and the paper's "reduced memory
+    // space" claim) relies on.
+    const std::vector<Score> fwd = nw_last_row(a.subspan(0, mid), b, sc);
+    const std::vector<Score> bwd = nw_last_row_rev(a.subspan(mid), b, sc);
+
+    // Choose the split column k maximising fwd[k] + bwd[|b|-k].
+    Score best = kNegInf;
+    for (std::size_t k = 0; k <= b.size(); ++k) {
+      const Score v = fwd[k] + bwd[b.size() - k];
+      if (v > best) {
+        best = v;
+        split = k;
+      }
     }
   }
 

@@ -12,6 +12,12 @@ namespace swr::align {
 LocalScoreResult anchored_best_end(const seq::Sequence& a, const seq::Sequence& b, Cell begin,
                                    std::size_t end_limit_i, std::size_t end_limit_j,
                                    const Scoring& sc) {
+  return anchored_best_end(a.codes(), b.codes(), begin, end_limit_i, end_limit_j, sc);
+}
+
+LocalScoreResult anchored_best_end(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                                   Cell begin, std::size_t end_limit_i, std::size_t end_limit_j,
+                                   const Scoring& sc) {
   sc.validate();
   if (begin.i == 0 || begin.j == 0 || begin.i > end_limit_i || begin.j > end_limit_j ||
       end_limit_i > a.size() || end_limit_j > b.size()) {

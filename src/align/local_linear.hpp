@@ -16,6 +16,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 
 #include "align/cigar.hpp"
 #include "align/result.hpp"
@@ -43,6 +44,13 @@ LocalAlignment local_align_linear(const seq::Sequence& a, const seq::Sequence& b
 /// (end_limit_i, end_limit_j) inclusive. Runs in O(window columns) space.
 LocalScoreResult anchored_best_end(const seq::Sequence& a, const seq::Sequence& b, Cell begin,
                                    std::size_t end_limit_i, std::size_t end_limit_j,
+                                   const Scoring& sc);
+
+/// Raw-span variant of the step-3 primitive — the form the retrieval
+/// subsystem drives with record codes straight out of a scan database
+/// (no Sequence materialization on the traceback path).
+LocalScoreResult anchored_best_end(std::span<const seq::Code> a, std::span<const seq::Code> b,
+                                   Cell begin, std::size_t end_limit_i, std::size_t end_limit_j,
                                    const Scoring& sc);
 
 }  // namespace swr::align

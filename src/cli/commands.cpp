@@ -15,6 +15,7 @@
 #include "align/myers_miller.hpp"
 #include "align/near_best.hpp"
 #include "align/nw.hpp"
+#include "align/render.hpp"
 #include "align/seed_extend.hpp"
 #include "align/sw_full.hpp"
 #include "cli/args.hpp"
@@ -94,6 +95,7 @@ int cmd_align(const std::vector<std::string>& argv, std::ostream& out) {
       .option("gap-open")
       .option("gap-extend")
       .flag("affine")
+      .flag("matrix")
       .option("engine", "sw")
       .option("pes", "100");
   args.parse(argv);
@@ -112,6 +114,9 @@ int cmd_align(const std::vector<std::string>& argv, std::ostream& out) {
   const bool affine = args.has("affine");
   if (affine && mode == "fitting") {
     throw ArgError("--affine supports local and global modes only");
+  }
+  if (args.has("matrix") && (affine || mode != "local")) {
+    throw ArgError("--matrix renders the figure-2 similarity matrix (linear-gap local mode only)");
   }
   const seq::Sequence a = first_record(args.positionals()[0], ab);
   const seq::Sequence b = first_record(args.positionals()[1], ab);
@@ -165,6 +170,17 @@ int cmd_align(const std::vector<std::string>& argv, std::ostream& out) {
     out << align::format_alignment(al.cigar, a, b, al.begin);
   } else {
     out << "(empty alignment)\n";
+  }
+  if (args.has("matrix")) {
+    // The figure-2 teaching view is O(m*n) text; cap it at roughly a
+    // 100x100 matrix so a stray genome-sized input fails as a usage error
+    // instead of flooding the terminal.
+    constexpr std::size_t kMatrixCellCap = 101 * 101;
+    if ((a.size() + 1) * (b.size() + 1) > kMatrixCellCap) {
+      throw ArgError("--matrix needs small inputs (at most ~100x100 residues)");
+    }
+    const align::SimilarityMatrix m = align::sw_matrix(a, b, sc);
+    out << align::render_matrix_with_arrows(m, a, b, sc, al.cigar.empty() ? nullptr : &al);
   }
   return 0;
 }
@@ -227,6 +243,9 @@ struct ScanDatabase {
   [[nodiscard]] std::string name(std::size_t r) const {
     return store ? std::string(store->name(r)) : records[r].name();
   }
+  [[nodiscard]] seq::Sequence sequence(std::size_t r) const {
+    return store ? store->sequence(r) : records[r];
+  }
 };
 
 ScanDatabase load_scan_database(const std::string& path, const seq::Alphabet& ab,
@@ -253,10 +272,40 @@ void print_stats(std::ostream& out, const obs::Registry& reg) {
   out << obs::to_table(reg.snapshot());
 }
 
+std::string percent(double fraction) {
+  std::ostringstream s;
+  s.precision(1);
+  s << std::fixed << fraction * 100.0;
+  return s.str();
+}
+
 void print_hits(std::ostream& out, const host::ScanResult& scan, const ScanDatabase& database,
                 const seq::Sequence& query, const align::KarlinParams& kp,
-                const host::ScanOptions& opt) {
+                const host::ScanOptions& opt, const std::string& format) {
   const std::uint64_t total = database.residues();
+  if (format == "tsv") {
+    // Machine-readable rows only; alignment columns are '*' for hits past
+    // the --max-hits cap (or when --align is off).
+    out << "#rank\tname\tscore\tevalue\tend_rec\tend_query\tbegin_rec\tbegin_query"
+           "\tidentity\tcoverage\tcigar\n";
+    for (std::size_t k = 0; k < scan.hits.size(); ++k) {
+      const host::Hit& h = scan.hits[k];
+      std::ostringstream e;
+      e.precision(2);
+      e << std::scientific << align::e_value(h.result.score, query.size(), total, kp);
+      out << (k + 1) << '\t' << database.name(h.record) << '\t' << h.result.score << '\t'
+          << e.str() << '\t' << h.result.end.i << '\t' << h.result.end.j;
+      if (k < scan.alignments.size()) {
+        const retrieve::Traceback& tb = scan.alignments[k];
+        out << '\t' << tb.alignment.begin.i << '\t' << tb.alignment.begin.j << '\t'
+            << percent(tb.identity) << '\t' << percent(tb.query_coverage) << '\t'
+            << tb.alignment.cigar.to_string() << '\n';
+      } else {
+        out << "\t*\t*\t*\t*\t*\n";
+      }
+    }
+    return;
+  }
   out << "hits (top " << opt.top_k << ", score >= " << opt.min_score << "):\n";
   for (std::size_t k = 0; k < scan.hits.size(); ++k) {
     const host::Hit& h = scan.hits[k];
@@ -265,6 +314,18 @@ void print_hits(std::ostream& out, const host::ScanResult& scan, const ScanDatab
     e << std::scientific << align::e_value(h.result.score, query.size(), total, kp);
     out << "  " << (k + 1) << ". " << database.name(h.record) << "  score " << h.result.score
         << "  E " << e.str() << "  end (" << h.result.end.i << "," << h.result.end.j << ")\n";
+    if (k < scan.alignments.size()) {
+      const retrieve::Traceback& tb = scan.alignments[k];
+      out << "     rec[" << tb.alignment.begin.i << ".." << tb.alignment.end.i << "]  query["
+          << tb.alignment.begin.j << ".." << tb.alignment.end.j << "]  identity "
+          << percent(tb.identity) << "%  coverage " << percent(tb.query_coverage) << "%  "
+          << (tb.banded ? "banded" : "hirschberg") << "\n";
+      out << "     cigar: " << tb.alignment.cigar.to_string() << "\n";
+      if (format == "pretty") {
+        out << align::format_alignment(tb.alignment.cigar, database.sequence(h.record), query,
+                                       tb.alignment.begin);
+      }
+    }
   }
   if (scan.hits.empty()) out << "  (none)\n";
   out << "stats: " << scan.records_scanned << " records scanned, " << scan.cell_updates
@@ -281,7 +342,7 @@ void print_hits(std::ostream& out, const host::ScanResult& scan, const ScanDatab
 /// order; hits are bit-identical to running `scan` once per query.
 int scan_batch(const ArgParser& args, const seq::Alphabet& ab, const align::Scoring& sc,
                const host::ScanOptions& opt, const ScanDatabase& database,
-               obs::Registry* metrics, std::ostream& out) {
+               obs::Registry* metrics, const std::string& format, std::ostream& out) {
   const auto queries = seq::read_fasta_file(args.positionals()[0], ab);
   if (queries.empty()) throw ArgError("no query records in '" + args.positionals()[0] + "'");
 
@@ -305,10 +366,12 @@ int scan_batch(const ArgParser& args, const seq::Alphabet& ab, const align::Scor
   const std::chrono::milliseconds deadline(args.get_int("deadline-ms"));
 
   const align::KarlinParams kp = align::solve_karlin_uniform(sc, ab.size());
-  out << "database: " << database.size() << " records, " << database.residues()
-      << " residues\n";
-  out << "service: " << cfg.cpu_workers << " cpu workers, " << cfg.boards << " boards, "
-      << cfg.max_inflight << " in flight, " << cfg.chunk_records << " records/chunk\n";
+  if (format != "tsv") {
+    out << "database: " << database.size() << " records, " << database.residues()
+        << " residues\n";
+    out << "service: " << cfg.cpu_workers << " cpu workers, " << cfg.boards << " boards, "
+        << cfg.max_inflight << " in flight, " << cfg.chunk_records << " records/chunk\n";
+  }
 
   std::vector<svc::Ticket> tickets;
   tickets.reserve(queries.size());
@@ -327,27 +390,33 @@ int scan_batch(const ArgParser& args, const seq::Alphabet& ab, const align::Scor
 
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const svc::ScanResponse& resp = tickets[i].response.get();
-    out << "query " << (i + 1) << "/" << queries.size() << ": " << queries[i].name() << " ("
-        << queries[i].size() << " residues)\n";
+    if (format == "tsv") {
+      out << "# query " << (i + 1) << "/" << queries.size() << " " << queries[i].name() << "\n";
+    } else {
+      out << "query " << (i + 1) << "/" << queries.size() << ": " << queries[i].name() << " ("
+          << queries[i].size() << " residues)\n";
+    }
     if (resp.status != svc::QueryStatus::Done) {
       out << "status: " << svc::to_string(resp.status);
       if (!resp.error.empty()) out << " (" << resp.error << ")";
       out << "\n";
     }
-    print_hits(out, resp.result, database, queries[i], kp, opt);
+    print_hits(out, resp.result, database, queries[i], kp, opt, format);
   }
 
   if (trace) {
     out << "-- trace spans (ms) " << std::string(53, '-') << "\n";
-    char line[160];
-    std::snprintf(line, sizeof line, "%6s %-17s %6s %9s %9s %9s %9s %7s %8s\n", "query", "status",
-                  "chunks", "admit", "window", "exec_cpu", "exec_brd", "merge", "total");
+    char line[176];
+    std::snprintf(line, sizeof line, "%6s %-17s %6s %9s %9s %9s %9s %7s %8s %8s\n", "query",
+                  "status", "chunks", "admit", "window", "exec_cpu", "exec_brd", "merge",
+                  "trcback", "total");
     out << line;
     for (const obs::Span& s : trace->spans()) {
-      std::snprintf(line, sizeof line, "%6llu %-17s %6u %9.2f %9.2f %9.2f %9.2f %7.2f %8.2f\n",
+      std::snprintf(line, sizeof line,
+                    "%6llu %-17s %6u %9.2f %9.2f %9.2f %9.2f %7.2f %8.2f %8.2f\n",
                     static_cast<unsigned long long>(s.query_id), s.status, s.chunks,
                     s.admission_wait * 1e3, s.dispatch_window * 1e3, s.exec_cpu * 1e3,
-                    s.exec_board * 1e3, s.merge * 1e3, s.total * 1e3);
+                    s.exec_board * 1e3, s.merge * 1e3, s.traceback * 1e3, s.total * 1e3);
       out << line;
     }
     const auto slow = trace->slow();
@@ -374,6 +443,9 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
       .option("kernel", "auto")
       .option("filter", "exact")
       .option("filter-threshold", "0")
+      .flag("align")
+      .option("max-hits", "0")
+      .option("format", "text")
       .option("match")
       .option("mismatch")
       .option("gap")
@@ -410,6 +482,17 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
   opt.filter_threshold = static_cast<align::Score>(args.get_int("filter-threshold"));
   if (opt.filter_threshold < 0) throw ArgError("--filter-threshold must be >= 0");
   const bool seeded = opt.filter == host::FilterMode::Seeded;
+
+  opt.align = args.has("align");
+  const int max_hits = args.get_int("max-hits");
+  if (max_hits < 0) throw ArgError("--max-hits must be >= 0 (0 aligns every reported hit)");
+  if (max_hits > 0 && !opt.align) throw ArgError("--max-hits needs --align");
+  opt.max_hits = static_cast<std::size_t>(max_hits);
+  const std::string format = args.get("format");
+  if (format != "text" && format != "tsv" && format != "pretty") {
+    throw ArgError("unknown format '" + format + "' (text|tsv|pretty)");
+  }
+  if (format == "pretty" && !opt.align) throw ArgError("--format pretty needs --align");
 
   // "auto" keeps the accelerator model for sequential runs (the paper's
   // board) and switches to the parallel CPU engine when threads are asked
@@ -462,7 +545,7 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
   }
 
   if (args.has("batch")) {
-    const int rc = scan_batch(args, ab, sc, opt, database, reg, out);
+    const int rc = scan_batch(args, ab, sc, opt, database, reg, format, out);
     if (reg != nullptr && args.has("stats")) print_stats(out, *reg);
     if (reg != nullptr && metrics_out) write_metrics_file(*reg, *metrics_out);
     return rc;
@@ -482,10 +565,12 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
   }
 
   const align::KarlinParams kp = align::solve_karlin_uniform(sc, ab.size());
-  out << "query: " << query.name() << " (" << query.size() << " residues)\n";
-  out << "database: " << database.size() << " records, " << database.residues()
-      << " residues\n";
-  print_hits(out, scan, database, query, kp, opt);
+  if (format != "tsv") {
+    out << "query: " << query.name() << " (" << query.size() << " residues)\n";
+    out << "database: " << database.size() << " records, " << database.residues()
+        << " residues\n";
+  }
+  print_hits(out, scan, database, query, kp, opt, format);
   if (reg != nullptr && args.has("stats")) print_stats(out, *reg);
   if (reg != nullptr && metrics_out) write_metrics_file(*reg, *metrics_out);
   return 0;
@@ -518,6 +603,28 @@ int cmd_stats_dump(const std::vector<std::string>& argv, std::ostream& out) {
   }
   out << (args.has("json") ? obs::to_json(snap) : obs::to_table(snap));
   return 0;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 const char* alphabet_id_name(seq::AlphabetId id) {
@@ -570,11 +677,46 @@ int cmd_swdb(const std::vector<std::string>& argv, std::ostream& out) {
 
   if (sub == "info") {
     ArgParser args;
-    args.flag("verify");
+    args.flag("verify").flag("json");
     args.parse(rest);
     if (args.positionals().size() != 1) throw ArgError("swdb info needs <db.swdb>");
     const db::Store store = db::Store::open(args.positionals()[0]);
     const db::FileHeader& h = store.header();
+    if (args.has("json")) {
+      if (args.has("verify")) store.verify_payload();  // throws on corruption
+      out << "{\n";
+      out << "  \"path\": \"" << json_escape(store.path()) << "\",\n";
+      out << "  \"format_version\": " << h.version << ",\n";
+      out << "  \"alphabet\": \"" << alphabet_id_name(store.alphabet().id()) << "\",\n";
+      out << "  \"encoding\": \""
+          << (store.encoding() == db::Encoding::Packed2 ? "packed2" : "raw8") << "\",\n";
+      out << "  \"records\": " << store.size() << ",\n";
+      out << "  \"residues\": " << store.total_residues() << ",\n";
+      out << "  \"payload_bytes\": " << h.payload_bytes << ",\n";
+      if (!store.empty()) {
+        const db::ScheduleStats st = db::schedule_stats(store);
+        out << "  \"record_length\": {\"min\": " << st.min_length << ", \"max\": "
+            << st.max_length << ", \"median\": " << st.median_length << "},\n";
+        out << "  \"interseq_occupancy\": {\"lanes16\": " << st.occupancy16
+            << ", \"lanes32\": " << st.occupancy32 << "},\n";
+      } else {
+        out << "  \"record_length\": null,\n  \"interseq_occupancy\": null,\n";
+      }
+      if (store.has_kmer_index()) {
+        const db::KmerIndexView& idx = store.kmer_index();
+        const std::uint64_t index_bytes =
+            sizeof(db::KmerIndexHeader) + (idx.bucket_count() + 1) * sizeof(std::uint64_t) +
+            idx.postings_count() * sizeof(db::KmerPosting);
+        out << "  \"kmer_index\": {\"k\": " << idx.k() << ", \"buckets\": " << idx.bucket_count()
+            << ", \"postings\": " << idx.postings_count() << ", \"bytes\": " << index_bytes
+            << ", \"load_factor\": " << idx.load_factor() << "},\n";
+      } else {
+        out << "  \"kmer_index\": null,\n";
+      }
+      out << "  \"payload_verified\": " << (args.has("verify") ? "true" : "false") << "\n";
+      out << "}\n";
+      return 0;
+    }
     out << store.path() << ":\n";
     out << "  format v" << h.version << ", alphabet " << alphabet_id_name(store.alphabet().id())
         << ", encoding " << (store.encoding() == db::Encoding::Packed2 ? "packed2" : "raw8")
@@ -752,20 +894,21 @@ std::string usage() {
          "commands:\n"
          "  align <a.fa> <b.fa>  [--mode local|global|fitting] [--engine sw|accel]\n"
          "                       [--alphabet dna|rna|protein] [--match N --mismatch N --gap N]\n"
-         "                       [--pes N]\n"
+         "                       [--pes N] [--matrix]\n"
          "                       [--affine --gap-open N --gap-extend N]\n"
          "  scan <query.fa> <db.fa|db.swdb>  [--top K] [--min-score S] [--pes N]\n"
          "                       [--alphabet ...] [--engine auto|accel|cpu] [--threads N]\n"
          "                       [--simd auto|scalar|swar16|swar8|sse41|avx2]\n"
          "                       [--kernel auto|striped|interseq]\n"
          "                       [--filter exact|seeded] [--filter-threshold S]\n"
+         "                       [--align [--max-hits K]] [--format text|tsv|pretty]\n"
          "                       [--batch [--cpu-workers N] [--boards N] [--inflight N]\n"
          "                        [--queue N] [--chunk N] [--deadline-ms N] [--slow-ms N]]\n"
          "                       [--stats] [--metrics-out <metrics.json>]\n"
          "  stats-dump [metrics.json]  [--json]\n"
          "  swdb build <in.fa> <out.swdb>  [--alphabet ...] [--encoding auto|raw8|packed2]\n"
          "                       [--seed-k N] [--no-index]\n"
-         "  swdb info <db.swdb>  [--verify]\n"
+         "  swdb info <db.swdb>  [--verify] [--json]\n"
          "  nearbest <a.fa> <b.fa>  [--max K] [--min-score S]\n"
          "  map <reads.fq> <reference.fa>  [--k N] [--pad N] [--min-score S]\n"
          "  translate <dna.fa>  [--frame 0|1|2 | --six]\n"

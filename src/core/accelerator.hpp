@@ -41,6 +41,7 @@ class BasicAccelerator {
                    unsigned score_bits = 16, unsigned cycle_bits = 32,
                    bool charge_query_load = true, bool shuffle_evaluation = false)
       : device_(dev),
+        scoring_(scoring),
         features_{score_bits, cycle_bits, /*coordinate_tracking=*/true,
                   /*affine=*/std::is_same_v<Pe, AffinePe>},
         synth_(estimate_resources(dev, num_pes, features_)),
@@ -80,6 +81,9 @@ class BasicAccelerator {
   [[nodiscard]] const ResourceEstimate& synthesis() const noexcept { return synth_; }
   [[nodiscard]] const FpgaDevice& device() const noexcept { return device_; }
   [[nodiscard]] const PeFeatures& features() const noexcept { return features_; }
+  /// The scoring scheme the array was synthesized with — what the host's
+  /// retrieval passes must replay hits against.
+  [[nodiscard]] const Scoring& scoring() const noexcept { return scoring_; }
   [[nodiscard]] double freq_mhz() const noexcept { return synth_.freq_mhz; }
   [[nodiscard]] std::size_t num_pes() const noexcept { return synth_.num_pes; }
 
@@ -96,6 +100,7 @@ class BasicAccelerator {
 
  private:
   FpgaDevice device_;
+  Scoring scoring_;
   PeFeatures features_;
   ResourceEstimate synth_;
   ArrayController<Pe> controller_;

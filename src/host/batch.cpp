@@ -1,10 +1,12 @@
 #include "host/batch.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "host/record_source.hpp"
 #include "obs/metrics.hpp"
+#include "retrieve/topk.hpp"
 #include "seq/complexity.hpp"
 
 namespace swr::host {
@@ -70,19 +72,38 @@ ScanResult scan_source(core::SmithWatermanAccelerator& accelerator, const seq::S
     hit.record = r;
     hit.result = job.best;
     hit.board_seconds = job.seconds;
-    // Insert in rank order, keeping at most top_k (small k: linear is fine
-    // and keeps the order fully deterministic).
-    const auto pos = std::upper_bound(out.hits.begin(), out.hits.end(), hit, hit_ranks_before);
-    out.hits.insert(pos, std::move(hit));
-    if (out.hits.size() > opt.top_k) out.hits.pop_back();
+    retrieve::topk_insert(out.hits, std::move(hit), opt.top_k, hit_ranks_before);
   }
   if (opt.metrics != nullptr && decode_reused != 0) {
     opt.metrics->counter("scan.db.decode_reuse").add(decode_reused);
   }
+  retrieve_alignments(query, src, accelerator.scoring(), opt, out);
   return out;
 }
 
 }  // namespace
+
+void retrieve_alignments(const seq::Sequence& query, const RecordSource& src,
+                         const align::Scoring& sc, const ScanOptions& opt, ScanResult& inout,
+                         const std::function<bool()>& should_stop) {
+  inout.alignments.clear();
+  if (!opt.align || inout.hits.empty()) return;
+  const std::size_t n = opt.max_hits == 0 ? inout.hits.size()
+                                          : std::min(opt.max_hits, inout.hits.size());
+  inout.alignments.reserve(n);
+  const retrieve::TracebackMetrics metrics(opt.metrics);
+  std::vector<seq::Code> scratch;
+  for (std::size_t h = 0; h < n; ++h) {
+    if (should_stop && should_stop()) break;
+    const Hit& hit = inout.hits[h];
+    const std::span<const seq::Code> rec = src.codes(hit.record, scratch);
+    const auto t0 = std::chrono::steady_clock::now();
+    retrieve::Traceback tb = retrieve::traceback_hit(rec, query.codes(), hit.result, sc);
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    metrics.observe(tb, dt.count());
+    inout.alignments.push_back(std::move(tb));
+  }
+}
 
 ScanResult scan_database(core::SmithWatermanAccelerator& accelerator, const seq::Sequence& query,
                          const std::vector<seq::Sequence>& records, const ScanOptions& opt) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "core/accelerator.hpp"
 #include "core/cpu_features.hpp"
 #include "host/pipeline.hpp"
+#include "retrieve/traceback.hpp"
 
 namespace swr::db {
 class Store;
@@ -25,6 +27,8 @@ class Registry;
 }
 
 namespace swr::host {
+
+class RecordSource;
 
 /// One database hit.
 struct Hit {
@@ -106,6 +110,18 @@ struct ScanOptions {
   /// min_score. Ignored under FilterMode::Exact.
   align::Score filter_threshold = 0;
 
+  /// Retrieve the full alignment (§2.3 reverse pass + linear-space window
+  /// retrieval, retrieve/traceback.hpp) for the ranked hits after the
+  /// final merge. Off by default: scanning stays a score-only operation.
+  bool align = false;
+
+  /// Cap on how many ranked hits are traced back when `align` is on; 0
+  /// (the default) aligns every reported hit. Ranking is unaffected —
+  /// the cap trims the alignment work, not the hit list. Under
+  /// FilterMode::Seeded the cap counts post-rescore hits: traceback runs
+  /// on the final merged ranking, after the exact rescore of survivors.
+  std::size_t max_hits = 0;
+
   /// Observability sink. nullptr (the default) is a strict no-op: the
   /// engines never form a metric name or touch an atomic — the disabled
   /// path costs one pointer test per scan (bench_kernels enforces the
@@ -146,6 +162,12 @@ struct ScanResult {
   std::uint64_t filter_rescored = 0;     ///< survivors scored exactly
   std::uint64_t filter_rejected = 0;     ///< records the funnel dropped
   std::uint64_t filter_recall_guard = 0; ///< unconditional admissions
+
+  /// Retrieved alignments when ScanOptions::align is set: alignments[h]
+  /// belongs to hits[h], for the first min(max_hits, hits.size()) hits
+  /// (all of them when max_hits == 0). Empty when align is off or the
+  /// retrieval phase was stopped early (service deadline/cancel).
+  std::vector<retrieve::Traceback> alignments;
 };
 
 /// Scans `records` with `query` on `accelerator`.
@@ -158,6 +180,18 @@ ScanResult scan_database(core::SmithWatermanAccelerator& accelerator, const seq:
 /// sequences); hits are bit-identical to the vector overload.
 ScanResult scan_database(core::SmithWatermanAccelerator& accelerator, const seq::Sequence& query,
                          const db::Store& store, const ScanOptions& opt);
+
+/// Retrieval phase shared by every scan engine: traces back the first
+/// min(opt.max_hits, hits) ranked hits of `inout` through
+/// retrieve::traceback_hit, appending to `inout.alignments` in hit order.
+/// No-op unless `opt.align` is set. `should_stop` (when non-empty) is
+/// polled between hits so a service deadline or cancellation can abandon
+/// the remainder — alignments retrieved so far are kept. Records opt's
+/// retrieve.* metrics. @throws std::logic_error on kernel/traceback
+/// divergence (a hit whose replayed transcript missed the kernel score).
+void retrieve_alignments(const seq::Sequence& query, const RecordSource& src,
+                         const align::Scoring& sc, const ScanOptions& opt, ScanResult& inout,
+                         const std::function<bool()>& should_stop = {});
 
 /// Retrieves the full alignment for one hit via the host pipeline.
 PipelineResult retrieve_hit(core::SmithWatermanAccelerator& accelerator, const PciConfig& pci,

@@ -9,6 +9,7 @@
 #include "host/record_source.hpp"
 #include "obs/metrics.hpp"
 #include "par/thread_pool.hpp"
+#include "retrieve/topk.hpp"
 
 namespace swr::host {
 namespace {
@@ -39,9 +40,7 @@ BoardPartial scan_board_share(core::SmithWatermanAccelerator& board, std::size_t
     hit.record = r;
     hit.result = job.best;
     hit.board_seconds = job.seconds;
-    const auto pos = std::upper_bound(p.hits.begin(), p.hits.end(), hit, hit_ranks_before);
-    p.hits.insert(pos, std::move(hit));
-    if (p.hits.size() > opt.top_k) p.hits.pop_back();
+    retrieve::topk_insert(p.hits, std::move(hit), opt.top_k, hit_ranks_before);
   }
   return p;
 }
@@ -90,11 +89,9 @@ ScanResult scan_fleet_source(core::BoardFleet& fleet, const seq::Sequence& query
   for (BoardPartial& p : partials) {
     out.cell_updates += p.cell_updates;
     busiest = std::max(busiest, p.board_seconds);
-    out.hits.insert(out.hits.end(), std::make_move_iterator(p.hits.begin()),
-                    std::make_move_iterator(p.hits.end()));
+    retrieve::topk_union(out.hits, std::move(p.hits));
   }
-  std::sort(out.hits.begin(), out.hits.end(), hit_ranks_before);
-  if (out.hits.size() > opt.top_k) out.hits.resize(opt.top_k);
+  retrieve::topk_finalize(out.hits, opt.top_k, hit_ranks_before);
   // Boards run in parallel: the fleet finishes with its busiest member.
   out.board_seconds = busiest;
   if (opt.metrics != nullptr) {
@@ -104,6 +101,9 @@ ScanResult scan_fleet_source(core::BoardFleet& fleet, const seq::Sequence& query
     obs::Histogram& board_us = opt.metrics->histogram("fleet.board_modelled_us");
     for (const BoardPartial& p : partials) board_us.observe_seconds(p.board_seconds);
   }
+  // Retrieval replays against the scheme the boards scored with — every
+  // board in a fleet shares one synthesis, so board 0 speaks for all.
+  retrieve_alignments(query, src, fleet[0]->scoring(), opt, out);
   return out;
 }
 

@@ -22,6 +22,7 @@
 #include "host/prefilter.hpp"
 #include "obs/metrics.hpp"
 #include "par/thread_pool.hpp"
+#include "retrieve/topk.hpp"
 
 namespace swr::host {
 namespace {
@@ -269,9 +270,7 @@ align::LocalScoreResult score_record(std::span<const seq::Code> rec,
 }
 
 void insert_top_k(std::vector<Hit>& hits, Hit hit, std::size_t top_k) {
-  const auto pos = std::upper_bound(hits.begin(), hits.end(), hit, hit_ranks_before);
-  hits.insert(pos, std::move(hit));
-  if (hits.size() > top_k) hits.pop_back();
+  retrieve::topk_insert(hits, std::move(hit), top_k, hit_ranks_before);
 }
 
 // DUST check materializing record `r` through the worker's reusable
@@ -369,11 +368,9 @@ void merge_workers(std::vector<Worker>& workers, std::size_t top_k, ScanResult& 
   for (Worker& w : workers) {
     out.cell_updates += w.cell_updates;
     out.swar8_fallbacks += w.swar8_fallbacks;
-    out.hits.insert(out.hits.end(), std::make_move_iterator(w.hits.begin()),
-                    std::make_move_iterator(w.hits.end()));
+    retrieve::topk_union(out.hits, std::move(w.hits));
   }
-  std::sort(out.hits.begin(), out.hits.end(), hit_ranks_before);
-  if (out.hits.size() > top_k) out.hits.resize(top_k);
+  retrieve::topk_finalize(out.hits, top_k, hit_ranks_before);
 }
 
 // Per-scan metric flush: the totals plus which kernel tier resolved each
@@ -622,6 +619,7 @@ ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
 
   merge_workers(workers, opt.top_k, out);
   flush_scan_metrics(metrics, workers, out);
+  retrieve_alignments(query, src, sc, opt, out);
   return out;
 }
 
@@ -699,6 +697,7 @@ ScanResult scan_records_cpu(const seq::Sequence& query, const RecordSource& src,
   }
   merge_workers(workers, opt.top_k, out);
   flush_scan_metrics(metrics, workers, out);
+  retrieve_alignments(query, src, sc, opt, out);
   return out;
 }
 

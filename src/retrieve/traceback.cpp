@@ -1,0 +1,144 @@
+#include "retrieve/traceback.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "align/banded.hpp"
+#include "align/hirschberg.hpp"
+#include "align/local_linear.hpp"
+#include "align/sw_linear.hpp"
+#include "obs/metrics.hpp"
+
+namespace swr::retrieve {
+
+std::size_t band_from_score(std::size_t rows, std::size_t cols, align::Score score,
+                            const align::Scoring& sc) {
+  const std::size_t diff = rows > cols ? rows - cols : cols - rows;
+  const std::size_t full = std::max(rows, cols);
+  const align::Score smax = sc.matrix != nullptr ? sc.matrix->max_entry() : sc.match;
+  if (smax <= 0) return full;
+  // p * (smax - 2*gap) >= score - (rows + cols) * gap, all in 64-bit: the
+  // window dimensions are sequence lengths, so the products stay far from
+  // overflow but not from int32 range.
+  const long long gap = sc.gap;  // < 0 by Scoring::validate
+  const long long denom = static_cast<long long>(smax) - 2 * gap;
+  const long long numer =
+      static_cast<long long>(score) - static_cast<long long>(rows + cols) * gap;
+  const long long p_min = (numer + denom - 1) / denom;  // ceil; numer > 0 since gap < 0
+  const long long g_max = static_cast<long long>(rows + cols) - 2 * p_min;
+  if (g_max <= 0) return diff;
+  return std::min(full, std::max(diff, static_cast<std::size_t>(g_max)));
+}
+
+namespace {
+
+[[noreturn]] void pass_mismatch(const char* pass, align::Score got, align::Score want) {
+  throw std::logic_error(std::string("traceback_hit: ") + pass + " produced score " +
+                         std::to_string(got) + ", kernel reported " + std::to_string(want) +
+                         " — kernel/retrieval divergence");
+}
+
+}  // namespace
+
+Traceback traceback_hit(std::span<const seq::Code> rec, std::span<const seq::Code> query,
+                        const align::LocalScoreResult& kernel, const align::Scoring& sc,
+                        const TracebackOptions& opt) {
+  sc.validate();
+  if (kernel.score <= 0) {
+    throw std::invalid_argument("traceback_hit: non-positive kernel score");
+  }
+  if (kernel.end.i == 0 || kernel.end.j == 0 || kernel.end.i > rec.size() ||
+      kernel.end.j > query.size()) {
+    throw std::invalid_argument("traceback_hit: kernel end cell outside the sequences");
+  }
+
+  Traceback out;
+  out.alignment.score = kernel.score;
+
+  // Step 2 (step 1 was the scan kernel): reverse pass over the reversed
+  // prefixes ending at the kernel's end cell. One rolling row — the same
+  // O(cols) memory as the forward kernel.
+  const std::size_t m0 = kernel.end.i;
+  const std::size_t n0 = kernel.end.j;
+  align::LocalScoreResult rev;
+  {
+    const std::vector<seq::Code> ra(rec.rend() - m0, rec.rend());
+    const std::vector<seq::Code> rb(query.rend() - n0, query.rend());
+    rev = align::sw_linear_codes(ra, rb, sc);
+  }
+  out.dp_cells += static_cast<std::uint64_t>(m0) * n0;
+  out.peak_cells = std::max<std::uint64_t>(out.peak_cells, n0 + 1);
+  if (rev.score != kernel.score) pass_mismatch("reverse pass", rev.score, kernel.score);
+  const align::Cell begin{m0 - rev.end.i + 1, n0 - rev.end.j + 1};
+
+  // Step 3: the begin may belong to a co-optimal alignment other than the
+  // one ending at the kernel cell; re-pair begin with its own end.
+  const align::LocalScoreResult anchored =
+      align::anchored_best_end(rec, query, begin, m0, n0, sc);
+  out.dp_cells += static_cast<std::uint64_t>(m0 - begin.i + 1) * (n0 - begin.j + 1);
+  out.peak_cells = std::max<std::uint64_t>(out.peak_cells, n0 - begin.j + 2);
+  if (anchored.score != kernel.score) pass_mismatch("anchored scan", anchored.score, kernel.score);
+
+  // Step 4: the window is a global problem. The score bound proves a
+  // divergence band; retrieve inside it when that is cheaper than the
+  // budget allows, else Hirschberg (always O(cols) rows).
+  const auto wa = rec.subspan(begin.i - 1, anchored.end.i - begin.i + 1);
+  const auto wb = query.subspan(begin.j - 1, anchored.end.j - begin.j + 1);
+  const std::size_t band = band_from_score(wa.size(), wb.size(), kernel.score, sc);
+  const std::uint64_t band_cells = align::banded_cells(wa.size(), band);
+  const std::uint64_t full_cells =
+      static_cast<std::uint64_t>(wa.size() + 1) * (wb.size() + 1);
+  if (band_cells <= opt.band_cell_budget && band_cells < full_cells) {
+    const align::LocalAlignment banded = align::banded_nw_align(wa, wb, band, sc);
+    out.alignment.cigar = banded.cigar;
+    out.banded = true;
+    out.dp_cells += band_cells;
+    out.peak_cells = std::max(out.peak_cells, band_cells);
+  } else {
+    out.alignment.cigar = align::hirschberg_cigar(wa, wb, sc);
+    out.banded = false;
+    // Hirschberg touches ~2x the window cells; after the free-before-
+    // recurse discipline in hirschberg_rec it stores at most the two
+    // split rows at a time.
+    out.dp_cells += 2 * static_cast<std::uint64_t>(wa.size()) * wb.size();
+    out.peak_cells = std::max<std::uint64_t>(out.peak_cells, 2 * (wb.size() + 1));
+  }
+
+  // Step 5: replay. The transcript must reproduce the kernel score from
+  // the residues alone, or the hit is not allowed out of this function.
+  const align::Score replayed = align::score_of(out.alignment.cigar, wa, wb, sc);
+  if (replayed != kernel.score) pass_mismatch("transcript replay", replayed, kernel.score);
+  if (out.alignment.cigar.consumed_i() != wa.size() ||
+      out.alignment.cigar.consumed_j() != wb.size()) {
+    throw std::logic_error("traceback_hit: transcript does not span the window");
+  }
+
+  out.alignment.begin = begin;
+  out.alignment.end = anchored.end;
+  out.identity = align::cigar_identity(out.alignment.cigar);
+  out.query_coverage = query.empty() ? 0.0
+                                     : static_cast<double>(anchored.end.j - begin.j + 1) /
+                                           static_cast<double>(query.size());
+  return out;
+}
+
+TracebackMetrics::TracebackMetrics(obs::Registry* reg) {
+  if (reg == nullptr) return;
+  hits = &reg->counter("retrieve.hits");
+  banded = &reg->counter("retrieve.banded");
+  hirschberg = &reg->counter("retrieve.hirschberg");
+  cells = &reg->counter("retrieve.cells");
+  traceback_us = &reg->histogram("retrieve.traceback_us");
+}
+
+void TracebackMetrics::observe(const Traceback& tb, double seconds) const {
+  if (hits == nullptr) return;
+  hits->add(1);
+  (tb.banded ? banded : hirschberg)->add(1);
+  cells->add(tb.dp_cells);
+  traceback_us->observe_seconds(seconds);
+}
+
+}  // namespace swr::retrieve

@@ -1,0 +1,102 @@
+// Alignment retrieval from kernel coordinates — the paper's §2.3 recipe
+// applied per scan hit, in reduced memory space.
+//
+// Every scan engine stops at (score, i, j): the accelerated forward pass.
+// This module turns one such hit back into a full transcript without ever
+// allocating the O(m*n) matrix:
+//
+//   1. reverse pass over the reversed prefixes ending at the kernel's end
+//      cell -> the begin cell (O(n) row);
+//   2. anchored window scan -> the end cell that pairs with that begin
+//      (the kernel's end may belong to a different co-optimal alignment);
+//   3. the window is now a global problem: banded NW when the score bound
+//      proves a small divergence (Z-align's user-restricted memory,
+//      O(rows * band) cells), falling back to Hirschberg divide-and-
+//      conquer (O(cols) rows) when the band would cost more than the
+//      caller's cell budget;
+//   4. the transcript is replayed against the residues and must reproduce
+//      the kernel score exactly — a corrupted traceback can never escape
+//      as a plausible-looking CIGAR.
+//
+// Coordinates follow the scan-kernel convention: `.i` indexes the record
+// (database side, rows), `.j` the query (columns). Peak working memory is
+// O(m + n) score cells per hit; Traceback::peak_cells carries the exact
+// accounting so benches can hold the bound against the full-DP baseline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "align/cigar.hpp"
+#include "align/result.hpp"
+#include "align/scoring.hpp"
+#include "seq/sequence.hpp"
+
+namespace swr::obs {
+class Registry;
+class Counter;
+class Histogram;
+}  // namespace swr::obs
+
+namespace swr::retrieve {
+
+/// Traceback tuning. Defaults retrieve any hit; the budget only steers the
+/// banded-vs-Hirschberg choice, never correctness.
+struct TracebackOptions {
+  /// Most score cells the banded window retrieval may store. Windows whose
+  /// proven band costs more fall back to linear-space Hirschberg. 4 MiB of
+  /// 32-bit cells by default — far above any window a ranked hit produces,
+  /// so the band path runs whenever it is cheaper than full DP.
+  std::size_t band_cell_budget = std::size_t{1} << 20;
+};
+
+/// One retrieved alignment plus its cost accounting.
+struct Traceback {
+  /// begin/end are 1-based record (.i) / query (.j) coordinates; score is
+  /// the kernel score, which the replayed transcript reproduced exactly.
+  align::LocalAlignment alignment;
+  double identity = 0.0;        ///< matches / transcript columns
+  double query_coverage = 0.0;  ///< aligned query residues / |query|
+  bool banded = false;          ///< window solved by banded NW (else Hirschberg)
+  std::uint64_t dp_cells = 0;   ///< score cells computed across all passes
+  std::uint64_t peak_cells = 0; ///< max score cells stored at any instant
+};
+
+/// Smallest band that provably contains every alignment of an m x n window
+/// scoring at least `score`: a path with p paired columns and g gap
+/// columns has g = m + n - 2p and drifts at most g off the diagonal, and
+/// score <= p * smax + g * gap bounds p from below. Clamped to
+/// [|m - n|, max(m, n)] so the corner stays reachable. With a
+/// non-positive smax no positive-scoring window exists; the full band is
+/// returned (the caller's budget then routes to Hirschberg).
+std::size_t band_from_score(std::size_t rows, std::size_t cols, align::Score score,
+                            const align::Scoring& sc);
+
+/// Retrieves the alignment behind one kernel hit: `rec` (rows) vs `query`
+/// (columns), `kernel` the scan kernel's score + end cell.
+/// @throws std::invalid_argument on a non-positive score or an end cell
+/// outside the spans; std::logic_error when any pass disagrees with the
+/// kernel score or the replayed transcript does not reproduce it (a
+/// kernel/traceback divergence — never expected, always loud).
+Traceback traceback_hit(std::span<const seq::Code> rec, std::span<const seq::Code> query,
+                        const align::LocalScoreResult& kernel, const align::Scoring& sc,
+                        const TracebackOptions& opt = {});
+
+/// retrieve.* metric handles, fetched once per scan (registry lookups
+/// lock; per-hit recording must not). All-null when `reg` is null — the
+/// disabled path is one pointer test per retrieval batch.
+struct TracebackMetrics {
+  obs::Counter* hits = nullptr;        ///< retrieve.hits
+  obs::Counter* banded = nullptr;      ///< retrieve.banded
+  obs::Counter* hirschberg = nullptr;  ///< retrieve.hirschberg
+  obs::Counter* cells = nullptr;       ///< retrieve.cells
+  obs::Histogram* traceback_us = nullptr;  ///< retrieve.traceback_us
+
+  TracebackMetrics() = default;
+  explicit TracebackMetrics(obs::Registry* reg);
+
+  /// Records one retrieved hit (no-op when disabled).
+  void observe(const Traceback& tb, double seconds) const;
+};
+
+}  // namespace swr::retrieve

@@ -1,6 +1,7 @@
 #include "svc/scan_service.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <iterator>
@@ -17,6 +18,7 @@
 #include "host/scan_engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "retrieve/topk.hpp"
 
 namespace swr::svc {
 
@@ -58,7 +60,15 @@ struct QueryState {
   std::size_t chunks_total = 0;
   std::size_t next_chunk = 0;   ///< first undispatched chunk
   std::size_t chunks_done = 0;  ///< folded chunks (dispatched or skipped)
-  std::size_t inflight = 0;     ///< chunks executing right now
+  std::size_t inflight = 0;     ///< chunks/phases executing right now
+
+  // Alignment retrieval phase (ScanOptions::align). The per-chunk opt has
+  // align stripped — chunks stay score-only; once every chunk has folded,
+  // one executor claims the traceback phase and re-aligns the merged
+  // ranking through host::retrieve_alignments.
+  bool align_requested = false;
+  bool traceback_claimed = false;
+  double traceback_seconds = 0.0;
 
   // Stage timing for the trace span / histograms; all mutated under the
   // service mutex.
@@ -69,7 +79,9 @@ struct QueryState {
   double exec_board_seconds = 0.0;  ///< summed board chunk execution
 
   host::ScanResult acc;  ///< hits = unsorted union of chunk top-ks
-  bool aborted = false;
+  // atomic: the traceback phase polls it lock-free as its stop signal
+  // while cancel()/deadline handling write it under the service mutex.
+  std::atomic<bool> aborted{false};
   QueryStatus abort_reason = QueryStatus::Cancelled;
   std::string error;
   std::promise<ScanResponse> promise;
@@ -87,6 +99,7 @@ struct ServiceMetrics {
   obs::Counter* failed = nullptr;
   obs::Counter* chunks_cpu = nullptr;
   obs::Counter* chunks_board = nullptr;
+  obs::Counter* tracebacks = nullptr;
   obs::Counter* records = nullptr;
   obs::Counter* cells = nullptr;
   obs::Counter* fallbacks = nullptr;
@@ -96,6 +109,7 @@ struct ServiceMetrics {
   obs::Histogram* chunk_cpu_us = nullptr;
   obs::Histogram* chunk_board_us = nullptr;
   obs::Histogram* merge_us = nullptr;
+  obs::Histogram* traceback_us = nullptr;
   obs::Histogram* query_us = nullptr;
 
   explicit ServiceMetrics(obs::Registry* reg) {
@@ -108,6 +122,7 @@ struct ServiceMetrics {
     failed = &reg->counter("svc.queries_failed");
     chunks_cpu = &reg->counter("svc.chunks_cpu");
     chunks_board = &reg->counter("svc.chunks_board");
+    tracebacks = &reg->counter("svc.tracebacks");
     records = &reg->counter("svc.records_scanned");
     cells = &reg->counter("svc.cells");
     fallbacks = &reg->counter("svc.swar8_fallbacks");
@@ -117,6 +132,7 @@ struct ServiceMetrics {
     chunk_cpu_us = &reg->histogram("svc.chunk_cpu_us");
     chunk_board_us = &reg->histogram("svc.chunk_board_us");
     merge_us = &reg->histogram("svc.merge_us");
+    traceback_us = &reg->histogram("svc.traceback_us");
     query_us = &reg->histogram("svc.query_us");
   }
 
@@ -141,7 +157,9 @@ struct ScanService::Impl {
   mutable std::mutex mu;
   std::condition_variable cv;
   bool paused = false;
-  bool stopping = false;
+  // atomic for the same reason as QueryState::aborted: the traceback
+  // phase's stop poll reads it outside the mutex.
+  std::atomic<bool> stopping{false};
   std::uint64_t next_id = 1;
   std::uint64_t resolved_count = 0;
   std::deque<std::shared_ptr<QueryState>> waiting;          ///< admitted, FIFO
@@ -216,8 +234,16 @@ struct ScanService::Impl {
         continue;
       }
       if (q->next_chunk < q->chunks_total) return true;
+      if (traceback_pending_locked(*q)) return true;
     }
     return false;
+  }
+
+  // A query whose every chunk has folded but whose --align retrieval
+  // phase has not been claimed yet — the last dispatch unit of its life.
+  [[nodiscard]] static bool traceback_pending_locked(const QueryState& q) {
+    return !q.aborted && q.chunks_done == q.chunks_total && q.align_requested &&
+           !q.traceback_claimed;
   }
 
   // Removes q from live/active, seals its result and fulfils the promise.
@@ -282,6 +308,7 @@ struct ScanService::Impl {
       span.exec_cpu = q.exec_cpu_seconds;
       span.exec_board = q.exec_board_seconds;
       span.merge = merge_seconds;
+      span.traceback = q.traceback_seconds;
       span.total = total_seconds;
       span.chunks = static_cast<std::uint32_t>(q.chunks_done);
       cfg.trace->record(span);
@@ -307,12 +334,24 @@ struct ScanService::Impl {
       // First active query with work. Aborted queries only need their
       // bookkeeping finished; expired deadlines become aborts here.
       std::shared_ptr<QueryState> q;
+      std::shared_ptr<QueryState> tb;
       for (const auto& cand : active) {
         if (cand->aborted && cand->inflight == 0) {
           resolve_locked(*cand);
           break;  // active mutated; rescan from the top
         }
-        if (cand->aborted || cand->next_chunk >= cand->chunks_total) continue;
+        if (cand->aborted) continue;
+        if (traceback_pending_locked(*cand)) {
+          if (Clock::now() >= cand->deadline) {
+            cand->aborted = true;
+            cand->abort_reason = QueryStatus::DeadlineExpired;
+            if (cand->inflight == 0) resolve_locked(*cand);
+            break;
+          }
+          tb = cand;
+          break;
+        }
+        if (cand->next_chunk >= cand->chunks_total) continue;
         if (Clock::now() >= cand->deadline) {
           cand->aborted = true;
           cand->abort_reason = QueryStatus::DeadlineExpired;
@@ -321,6 +360,10 @@ struct ScanService::Impl {
         }
         q = cand;
         break;
+      }
+      if (tb) {
+        run_traceback(lock, tb);
+        continue;
       }
       if (!q) continue;  // state changed under us; re-evaluate predicate
 
@@ -363,10 +406,72 @@ struct ScanService::Impl {
         q->error = error;
       }
       fold(q->acc, part);
-      const bool finished = q->aborted ? q->inflight == 0
-                                       : q->chunks_done == q->chunks_total;
+      // With --align the last folded chunk does NOT finish the query: the
+      // traceback phase still has to run (dispatchable_locked now reports
+      // it pending and some executor — maybe this one — will claim it).
+      const bool finished = q->aborted
+                                ? q->inflight == 0
+                                : (q->chunks_done == q->chunks_total && !q->align_requested);
       if (finished && live.count(q->id) != 0) resolve_locked(*q);
     }
+  }
+
+  // The --align retrieval phase: entered under `lock` with the phase
+  // claim-able, leaves the lock held. Chunk results are already all
+  // folded, so this executor owns q->acc until it re-locks; cancel(),
+  // deadline expiry and service shutdown interrupt it between hits via
+  // the lock-free stop poll (they set flags but never touch q->acc while
+  // q->inflight > 0).
+  void run_traceback(std::unique_lock<std::mutex>& lock, const std::shared_ptr<QueryState>& q) {
+    q->traceback_claimed = true;
+    ++q->inflight;
+    // The union becomes the final ranking now, so the traceback walks it
+    // in rank order and alignments[h] is glued to hits[h]. The order is
+    // total, so resolve_locked's later sort cannot reorder it.
+    retrieve::topk_finalize(q->acc.hits, q->opt.top_k, host::hit_ranks_before);
+    lock.unlock();
+
+    host::ScanOptions opt = q->opt;
+    opt.align = true;
+    opt.metrics = cfg.metrics;  // retrieve.* records once per query, not per chunk
+    const QueryState* qs = q.get();
+    const auto should_stop = [this, qs] {
+      return stopping.load(std::memory_order_relaxed) ||
+             qs->aborted.load(std::memory_order_relaxed) || Clock::now() >= qs->deadline;
+    };
+    const Clock::time_point start = Clock::now();
+    std::string error;
+    try {
+      host::retrieve_alignments(q->query, source, cfg.scoring, opt, q->acc, should_stop);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    const double seconds = seconds_between(start, Clock::now());
+    if (metrics.on()) {
+      metrics.tracebacks->add(1);
+      metrics.traceback_us->observe_seconds(seconds);
+    }
+
+    lock.lock();
+    --q->inflight;
+    q->traceback_seconds = seconds;
+    q->last_fold = Clock::now();
+    if (!error.empty() && !q->aborted) {
+      q->aborted = true;
+      q->abort_reason = QueryStatus::Failed;
+      q->error = error;
+    }
+    // A stop poll that fired mid-phase left a truncated alignment list;
+    // surface it exactly like an interruption during chunk dispatch.
+    const std::size_t expect = q->opt.max_hits == 0
+                                   ? q->acc.hits.size()
+                                   : std::min(q->opt.max_hits, q->acc.hits.size());
+    if (!q->aborted && q->acc.alignments.size() < expect) {
+      q->aborted = true;
+      q->abort_reason =
+          Clock::now() >= q->deadline ? QueryStatus::DeadlineExpired : QueryStatus::Cancelled;
+    }
+    if (q->inflight == 0 && live.count(q->id) != 0) resolve_locked(*q);
   }
 
   // A board's version of one chunk: materialize each record out of the
@@ -428,6 +533,10 @@ std::optional<Ticket> ScanService::try_submit(seq::Sequence query, host::ScanOpt
 
   auto q = std::make_shared<QueryState>();
   q->query = std::move(query);
+  // Chunks never retrieve: align is hoisted out of the per-chunk options
+  // into a dedicated post-merge phase (run_traceback).
+  q->align_requested = opt.align;
+  opt.align = false;
   q->opt = opt;
   q->admitted = Clock::now();
   q->deadline = deadline.count() > 0 ? q->admitted + deadline : Clock::time_point::max();

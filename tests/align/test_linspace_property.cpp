@@ -1,0 +1,128 @@
+// Property suite for the linear-space global aligners: on random pairs,
+// hirschberg_cigar must reproduce the full-DP nw_score and myers_miller
+// the full-DP gotoh_global_score — with every transcript replayed against
+// the residues (score equality AND full consumption), so a structurally
+// broken CIGAR cannot pass on score luck alone.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "align/cigar.hpp"
+#include "align/gotoh.hpp"
+#include "align/hirschberg.hpp"
+#include "align/myers_miller.hpp"
+#include "align/nw.hpp"
+#include "align/scoring.hpp"
+#include "seq/mutate.hpp"
+#include "seq/random.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::align;
+
+struct Pair {
+  seq::Sequence a;
+  seq::Sequence b;
+};
+
+// Mixed workload: unrelated uniform pairs, mutated near-pairs, skewed
+// lengths, and the degenerate empty-vs-something shapes.
+std::vector<Pair> random_pairs(std::uint64_t seed, const seq::Alphabet& ab) {
+  seq::RandomSequenceGenerator gen(seed);
+  std::mt19937_64& rng = gen.engine();
+  std::uniform_int_distribution<std::size_t> len(0, 70);
+  std::vector<Pair> pairs;
+  for (int iter = 0; iter < 30; ++iter) {
+    Pair p;
+    p.a = gen.uniform(ab, len(rng));
+    switch (iter % 3) {
+      case 0:  // unrelated
+        p.b = gen.uniform(ab, len(rng));
+        break;
+      case 1:  // homologous
+        p.b = seq::point_mutate(p.a, 0.05 + 0.02 * (iter % 5), rng);
+        break;
+      default:  // heavily skewed lengths
+        p.b = gen.uniform(ab, p.a.size() / 4);
+        break;
+    }
+    pairs.push_back(std::move(p));
+  }
+  pairs.push_back({gen.uniform(ab, 0), gen.uniform(ab, 12)});
+  pairs.push_back({gen.uniform(ab, 12), gen.uniform(ab, 0)});
+  pairs.push_back({gen.uniform(ab, 0), gen.uniform(ab, 0)});
+  return pairs;
+}
+
+void check_linear(const Pair& p, const Scoring& sc, const std::string& what) {
+  const Score want = nw_score(p.a.codes(), p.b.codes(), sc);
+  const Cigar cg = hirschberg_cigar(p.a.codes(), p.b.codes(), sc);
+  // Replay: the transcript scores identically AND consumes both sequences
+  // entirely (global semantics).
+  EXPECT_EQ(score_of(cg, p.a.codes(), p.b.codes(), sc), want) << what;
+  EXPECT_EQ(cg.consumed_i(), p.a.size()) << what;
+  EXPECT_EQ(cg.consumed_j(), p.b.size()) << what;
+}
+
+void check_affine(const Pair& p, const AffineScoring& sc, const std::string& what) {
+  const Score want = gotoh_global_score(p.a.codes(), p.b.codes(), sc);
+  const Cigar cg = myers_miller_cigar(p.a.codes(), p.b.codes(), sc);
+  EXPECT_EQ(affine_score_of(cg, p.a.codes(), p.b.codes(), sc), want) << what;
+  EXPECT_EQ(cg.consumed_i(), p.a.size()) << what;
+  EXPECT_EQ(cg.consumed_j(), p.b.size()) << what;
+}
+
+TEST(LinSpaceProperty, HirschbergMatchesFullDpOnDna) {
+  const Scoring sc;  // the paper's +1/-1/-2
+  const std::vector<Pair> pairs = random_pairs(20250801, seq::dna());
+  for (std::size_t n = 0; n < pairs.size(); ++n) {
+    check_linear(pairs[n], sc, "dna pair " + std::to_string(n));
+  }
+}
+
+TEST(LinSpaceProperty, HirschbergMatchesFullDpOnBlosumProtein) {
+  Scoring sc;
+  sc.matrix = &blosum62();
+  sc.gap = -6;
+  const std::vector<Pair> pairs = random_pairs(20250802, seq::protein());
+  for (std::size_t n = 0; n < pairs.size(); ++n) {
+    check_linear(pairs[n], sc, "protein pair " + std::to_string(n));
+  }
+}
+
+TEST(LinSpaceProperty, MyersMillerMatchesGotohOnDna) {
+  const AffineScoring sc;  // match 2 / mismatch -1 / open -2 / extend -1
+  const std::vector<Pair> pairs = random_pairs(20250803, seq::dna());
+  for (std::size_t n = 0; n < pairs.size(); ++n) {
+    check_affine(pairs[n], sc, "affine dna pair " + std::to_string(n));
+  }
+}
+
+TEST(LinSpaceProperty, MyersMillerMatchesGotohOnBlosumProtein) {
+  AffineScoring sc;
+  sc.matrix = &blosum62();
+  sc.gap_open = -11;
+  sc.gap_extend = -1;
+  const std::vector<Pair> pairs = random_pairs(20250804, seq::protein());
+  for (std::size_t n = 0; n < pairs.size(); ++n) {
+    check_affine(pairs[n], sc, "affine protein pair " + std::to_string(n));
+  }
+}
+
+TEST(LinSpaceProperty, GapHeavyScoringStressesTheSplitRecursion) {
+  // Expensive gaps force long diagonal runs; cheap gaps force gap-heavy
+  // transcripts — both must survive the divide-and-conquer split choice.
+  const std::vector<Pair> pairs = random_pairs(20250805, seq::dna());
+  for (const Score gap : {Score{-1}, Score{-5}}) {
+    Scoring sc;
+    sc.gap = gap;
+    for (std::size_t n = 0; n < pairs.size(); ++n) {
+      check_linear(pairs[n], sc, "gap " + std::to_string(gap) + " pair " + std::to_string(n));
+    }
+  }
+}
+
+}  // namespace
