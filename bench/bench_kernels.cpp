@@ -10,9 +10,11 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "align/banded.hpp"
@@ -41,6 +43,8 @@
 #include "seq/mutate.hpp"
 #include "seq/packed.hpp"
 #include "seq/random.hpp"
+#include "svc/net/client.hpp"
+#include "svc/net/server.hpp"
 #include "svc/scan_service.hpp"
 
 namespace {
@@ -868,6 +872,215 @@ int run_retrieve_comparison() {
   return 0;
 }
 
+// ---- serve daemon comparison (BENCH_serve.json) --------------------------
+
+// The network path end to end: (a) loopback requests/s through `swr
+// serve` at 1/16/64 concurrent connections, every request a distinct
+// query so the sweep measures serving + scanning, not cache replay;
+// (b) the result-cache win — warm (cached) request latency vs the cold
+// scan, which CI gates at >= 10x; (c) two-tenant QoS under overload — a
+// rate-limited tenant is shed down to its configured budget while an
+// unlimited tenant riding the same server is never shed. CI runs
+// `bench_kernels --serve-only`; a cache speedup below the gate or a shed
+// on the unlimited tenant exits non-zero.
+constexpr double kServeCacheSpeedupGate = 10.0;
+
+int run_serve_comparison() {
+  bench::header("serve: loopback requests/s vs connection count");
+  const ScanWorkload w = make_scan_workload();
+  const std::string swdb_path = "BENCH_serve_workload.swdb";
+  db::build_store(w.records, swdb_path);
+  const db::Store store = db::Store::open(swdb_path);
+
+  struct ConnRow {
+    std::size_t conns;
+    std::size_t requests;
+    std::size_t served;
+    double seconds;
+    double rps;
+  };
+  std::vector<ConnRow> conn_rows;
+  std::printf("%zu records, 8 cpu workers, unique query per request\n", store.size());
+  for (const std::size_t conns : {std::size_t{1}, std::size_t{16}, std::size_t{64}}) {
+    svc::net::ServerConfig cfg;
+    cfg.service.cpu_workers = 8;
+    cfg.service.max_inflight = 16;
+    cfg.service.queue_capacity = 256;
+    svc::net::ScanServer server(store, cfg);
+    std::string error;
+    if (!server.start(error)) {
+      std::printf("FAIL: server start: %s\n", error.c_str());
+      return 1;
+    }
+
+    const std::size_t per_conn = 8;
+    std::atomic<std::size_t> served{0};
+    const bench::Timer t;
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < conns; ++c) {
+      threads.emplace_back([&server, &served, c, per_conn] {
+        svc::net::ScanClient client;
+        std::string err;
+        if (!client.connect("127.0.0.1", server.port(), err)) return;
+        seq::RandomSequenceGenerator qgen(0x5e47e + c);
+        for (std::size_t k = 0; k < per_conn; ++k) {
+          svc::net::WireRequest req;
+          req.request_id = c * per_conn + k + 1;
+          req.query = qgen.uniform(seq::dna(), 100).to_string();
+          req.top_k = 10;
+          req.min_score = 20;
+          if (client.scan(req).ok) served.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    const double s = t.seconds();
+    server.stop();
+    const std::size_t total = conns * per_conn;
+    conn_rows.push_back({conns, total, served.load(), s,
+                         static_cast<double>(served.load()) / s});
+    std::printf("  %3zu connections: %4zu/%4zu served  %8.4f s  %8.1f requests/s\n", conns,
+                served.load(), total, s, conn_rows.back().rps);
+  }
+
+  bench::header("serve: result-cache hit latency vs cold scan");
+  svc::net::ServerConfig cache_cfg;
+  cache_cfg.service.cpu_workers = 8;
+  svc::net::ScanServer cache_server(store, cache_cfg);
+  std::string error;
+  if (!cache_server.start(error)) {
+    std::printf("FAIL: server start: %s\n", error.c_str());
+    return 1;
+  }
+  double cold_s = 1e100;
+  double warm_s = 1e100;
+  {
+    svc::net::ScanClient client;
+    if (!client.connect("127.0.0.1", cache_server.port(), error)) {
+      std::printf("FAIL: connect: %s\n", error.c_str());
+      return 1;
+    }
+    seq::RandomSequenceGenerator qgen(0xcac4e);
+    svc::net::WireRequest req;
+    req.top_k = 10;
+    req.min_score = 20;
+    // Cold: min over distinct queries (each a fresh cache key).
+    for (int rep = 0; rep < 3; ++rep) {
+      req.request_id = 100 + static_cast<std::uint64_t>(rep);
+      req.query = qgen.uniform(seq::dna(), 100).to_string();
+      const bench::Timer t;
+      if (!client.scan(req).ok) return 1;
+      cold_s = std::min(cold_s, t.seconds());
+    }
+    // Warm: the last query again, now a result-cache replay.
+    for (int rep = 0; rep < 20; ++rep) {
+      req.request_id = 200 + static_cast<std::uint64_t>(rep);
+      const bench::Timer t;
+      if (!client.scan(req).ok) return 1;
+      warm_s = std::min(warm_s, t.seconds());
+    }
+  }
+  cache_server.stop();
+  const double cache_speedup = cold_s / warm_s;
+  const bool cache_ok = cache_speedup >= kServeCacheSpeedupGate;
+  std::printf("cold scan:  %10.6f s\n", cold_s);
+  std::printf("warm (hit): %10.6f s  (%.0fx, gate %.0fx: %s)\n", warm_s, cache_speedup,
+              kServeCacheSpeedupGate, cache_ok ? "pass" : "FAIL");
+
+  bench::header("serve: two-tenant shed behavior under overload");
+  obs::Registry registry;
+  svc::net::ServerConfig qos_cfg;
+  qos_cfg.service.cpu_workers = 4;
+  qos_cfg.metrics = &registry;
+  qos_cfg.service.metrics = &registry;
+  qos_cfg.tenant_limits["free"] = {2.0, 2};    // 2 req/s, burst 2
+  qos_cfg.tenant_limits["paid"] = {0.0, 1};    // unlimited
+  svc::net::ScanServer qos_server(store, qos_cfg);
+  if (!qos_server.start(error)) {
+    std::printf("FAIL: server start: %s\n", error.c_str());
+    return 1;
+  }
+  const std::size_t qos_requests = 60;
+  std::atomic<std::size_t> free_ok{0}, free_shed{0}, paid_ok{0}, paid_shed{0};
+  const bench::Timer qos_t;
+  std::vector<std::thread> tenants;
+  for (const auto* name : {"free", "paid"}) {
+    tenants.emplace_back([&qos_server, &free_ok, &free_shed, &paid_ok, &paid_shed, name,
+                          qos_requests] {
+      const bool is_free = std::string(name) == "free";
+      svc::net::ScanClient client;
+      std::string err;
+      if (!client.connect("127.0.0.1", qos_server.port(), err)) return;
+      seq::RandomSequenceGenerator qgen(is_free ? 0xf4ee : 0xfa1d);
+      for (std::size_t k = 0; k < qos_requests; ++k) {
+        svc::net::WireRequest req;
+        req.request_id = k + 1;
+        req.tenant = name;
+        req.query = qgen.uniform(seq::dna(), 100).to_string();
+        req.top_k = 10;
+        req.min_score = 20;
+        const svc::net::ClientResponse resp = client.scan(req);
+        if (resp.ok) {
+          (is_free ? free_ok : paid_ok).fetch_add(1);
+        } else if (!resp.errors.empty() &&
+                   resp.errors[0].code == svc::net::ErrorCode::Shed) {
+          (is_free ? free_shed : paid_shed).fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : tenants) th.join();
+  const double qos_elapsed = qos_t.seconds();
+  qos_server.stop();
+  const obs::Snapshot snap = registry.snapshot();
+  const double free_budget = 2.0 + 2.0 * qos_elapsed + 2.0;
+  const bool qos_ok = paid_shed.load() == 0 &&
+                      static_cast<double>(free_ok.load()) <= free_budget &&
+                      free_shed.load() > 0;
+  std::printf("%zu requests each over %.3f s\n", qos_requests, qos_elapsed);
+  std::printf("  free (2/s, burst 2):  %3zu served %3zu shed (budget %.0f)\n", free_ok.load(),
+              free_shed.load(), free_budget);
+  std::printf("  paid (unlimited):     %3zu served %3zu shed\n", paid_ok.load(),
+              paid_shed.load());
+  std::printf("  server counters: served free=%llu paid=%llu, shed free=%llu paid=%llu\n",
+              static_cast<unsigned long long>(snap.counter("svc.net.tenant.free.served")),
+              static_cast<unsigned long long>(snap.counter("svc.net.tenant.paid.served")),
+              static_cast<unsigned long long>(snap.counter("svc.net.tenant.free.shed")),
+              static_cast<unsigned long long>(snap.counter("svc.net.tenant.paid.shed")));
+  std::printf("tenant QoS: %s\n", qos_ok ? "pass" : "FAIL");
+
+  std::ofstream js("BENCH_serve.json");
+  js << "{\n  \"workload\": {\"records\": " << store.size() << ", \"query_len\": 100},\n";
+  js << "  \"connections\": [\n";
+  for (std::size_t k = 0; k < conn_rows.size(); ++k) {
+    const ConnRow& r = conn_rows[k];
+    js << "    {\"connections\": " << r.conns << ", \"requests\": " << r.requests
+       << ", \"served\": " << r.served << ", \"seconds\": " << r.seconds
+       << ", \"requests_per_second\": " << r.rps << "}"
+       << (k + 1 < conn_rows.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n";
+  js << "  \"result_cache\": {\"cold_seconds\": " << cold_s << ", \"warm_seconds\": " << warm_s
+     << ", \"speedup\": " << cache_speedup << ", \"gate\": " << kServeCacheSpeedupGate
+     << ", \"pass\": " << (cache_ok ? "true" : "false") << "},\n";
+  js << "  \"tenants\": {\"elapsed_seconds\": " << qos_elapsed
+     << ", \"free\": {\"rate_per_s\": 2, \"burst\": 2, \"served\": " << free_ok.load()
+     << ", \"shed\": " << free_shed.load() << ", \"budget\": " << free_budget
+     << "}, \"paid\": {\"served\": " << paid_ok.load() << ", \"shed\": " << paid_shed.load()
+     << "}, \"pass\": " << (qos_ok ? "true" : "false") << "}\n}\n";
+  std::printf("machine-readable dump: BENCH_serve.json\n");
+  std::remove(swdb_path.c_str());
+  if (!cache_ok) {
+    std::printf("FAIL: result-cache speedup below %.0fx\n", kServeCacheSpeedupGate);
+    return 1;
+  }
+  if (!qos_ok) {
+    std::printf("FAIL: tenant QoS bounds violated\n");
+    return 1;
+  }
+  return 0;
+}
+
 // ---- database load + batch service comparison (BENCH_db.json) -----------
 
 // (a) Opening the same database as FASTA text (parse + validate + encode)
@@ -1148,12 +1361,16 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--retrieve-only") {
       return run_retrieve_comparison();
     }
+    if (std::string(argv[i]) == "--serve-only") {
+      return run_serve_comparison();
+    }
   }
   run_scan_comparison();
   run_simd_comparison();
   run_interseq_comparison();
   if (const int rc = run_filter_comparison(); rc != 0) return rc;
   if (const int rc = run_retrieve_comparison(); rc != 0) return rc;
+  if (const int rc = run_serve_comparison(); rc != 0) return rc;
   run_db_comparison();
   if (const int rc = run_obs_overhead(/*ci_mode=*/false); rc != 0) return rc;
   benchmark::Initialize(&argc, argv);

@@ -19,6 +19,7 @@
 #include "align/seed_extend.hpp"
 #include "align/sw_full.hpp"
 #include "cli/args.hpp"
+#include "cli/serve_cmd.hpp"
 #include "core/accelerator.hpp"
 #include "core/cpu_features.hpp"
 #include "db/builder.hpp"
@@ -690,6 +691,7 @@ int cmd_swdb(const std::vector<std::string>& argv, std::ostream& out) {
       out << "  \"alphabet\": \"" << alphabet_id_name(store.alphabet().id()) << "\",\n";
       out << "  \"encoding\": \""
           << (store.encoding() == db::Encoding::Packed2 ? "packed2" : "raw8") << "\",\n";
+      out << "  \"generation\": " << store.generation() << ",\n";
       out << "  \"records\": " << store.size() << ",\n";
       out << "  \"residues\": " << store.total_residues() << ",\n";
       out << "  \"payload_bytes\": " << h.payload_bytes << ",\n";
@@ -723,6 +725,7 @@ int cmd_swdb(const std::vector<std::string>& argv, std::ostream& out) {
         << "\n";
     out << "  " << store.size() << " records, " << store.total_residues() << " residues, "
         << h.payload_bytes << " payload bytes\n";
+    out << "  generation " << store.generation() << "\n";
     if (!store.empty()) {
       const db::ScheduleStats st = db::schedule_stats(store);
       out << "  record length " << st.min_length << ".." << st.max_length << ", median "
@@ -905,6 +908,15 @@ std::string usage() {
          "                       [--batch [--cpu-workers N] [--boards N] [--inflight N]\n"
          "                        [--queue N] [--chunk N] [--deadline-ms N] [--slow-ms N]]\n"
          "                       [--stats] [--metrics-out <metrics.json>]\n"
+         "  serve --db <db.swdb>  [--host H] [--port N] [--cpu-workers N] [--inflight N]\n"
+         "                       [--queue N] [--chunk N] [--rate R --burst B]\n"
+         "                       [--tenants name=rate/burst,...] [--result-cache-mb N]\n"
+         "                       [--profile-cache N] [--write-timeout-ms N]\n"
+         "                       [--idle-timeout-ms N] [--stats] [--metrics-out <json>]\n"
+         "  client <query.fa> --port N  [--host H] [--tenant T] [--top K] [--min-score S]\n"
+         "                       [--filter exact|seeded] [--filter-threshold S]\n"
+         "                       [--align [--max-hits K]] [--deadline-ms N]\n"
+         "                       [--format text|tsv] [--repeat N] [--ping]\n"
          "  stats-dump [metrics.json]  [--json]\n"
          "  swdb build <in.fa> <out.swdb>  [--alphabet ...] [--encoding auto|raw8|packed2]\n"
          "                       [--seed-k N] [--no-index]\n"
@@ -928,6 +940,8 @@ int run_command(const std::string& command, const std::vector<std::string>& args
     if (command == "nearbest") return cmd_nearbest(args, out);
     if (command == "map") return cmd_map(args, out);
     if (command == "design") return cmd_design(args, out);
+    if (command == "serve") return cmd_serve(args, out);
+    if (command == "client") return cmd_client(args, out);
     if (command == "stats-dump") return cmd_stats_dump(args, out);
     if (command == "help" || command.empty()) {
       out << usage();

@@ -22,6 +22,8 @@ namespace swr::cli {
 ///                         --batch serves many queries through the async
 ///                         scan service
 ///   swdb build|info       build / inspect .swdb binary database stores
+///   serve --db <db.swdb>  network scan daemon (wire protocol, QoS, caches)
+///   client <query.fa>     drive a running daemon over the wire protocol
 ///   translate <dna.fa>    genetic-code translation (one frame or all six)
 ///   orfs <dna.fa>         open reading frames on both strands
 ///   design                FPGA design-space table

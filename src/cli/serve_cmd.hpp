@@ -1,0 +1,19 @@
+// The network pair of subcommands: `swr serve` runs the scan daemon over
+// a .swdb store; `swr client` drives it over the wire protocol. Split
+// from commands.cpp so the socket plumbing stays out of the offline
+// command set.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swr::cli {
+
+/// `swr serve --db <db.swdb> [--port N] ...` — runs until SIGINT/SIGTERM.
+int cmd_serve(const std::vector<std::string>& argv, std::ostream& out);
+
+/// `swr client <query.fa> --port N ...` — one request per FASTA record.
+int cmd_client(const std::vector<std::string>& argv, std::ostream& out);
+
+}  // namespace swr::cli

@@ -86,6 +86,17 @@ class Store {
   [[nodiscard]] const FileHeader& header() const noexcept { return header_; }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
+  /// Content-addressed generation stamp: fnv1a chained over the header's
+  /// payload_hash then header_hash. Any rebuild that changes the store's
+  /// content (records, encoding, index section, format version) changes
+  /// it, while byte-identical rebuilds keep it — exactly the invalidation
+  /// granularity result caches want: results from equal generations are
+  /// interchangeable, results across generations never are.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    std::uint64_t g = fnv1a(&header_.payload_hash, sizeof header_.payload_hash);
+    return fnv1a(&header_.header_hash, sizeof header_.header_hash, g);
+  }
+
   /// Length (residues) of record `r`. @throws std::out_of_range.
   [[nodiscard]] std::size_t length(std::size_t r) const { return meta_at(r).length; }
 

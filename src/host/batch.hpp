@@ -29,6 +29,7 @@ class Registry;
 namespace swr::host {
 
 class RecordSource;
+class ProfileCache;
 
 /// One database hit.
 struct Hit {
@@ -121,6 +122,16 @@ struct ScanOptions {
   /// FilterMode::Seeded the cap counts post-rescore hits: traceback runs
   /// on the final merged ranking, after the exact rescore of survivors.
   std::size_t max_hits = 0;
+
+  /// Optional shared profile cache (host/profile_cache.hpp). nullptr (the
+  /// default) builds the query profiles per scan exactly as before;
+  /// non-null makes the engine acquire the scan's ProfileBundle from the
+  /// cache, so repeated queries — and the scan service's many chunks of
+  /// one query — skip the QueryProfile/StripedProfile/InterSeqProfile
+  /// builds. Hits are bit-identical either way: the profiles are pure
+  /// functions of (query, scoring, lane shape). The cache must outlive
+  /// the scan call.
+  ProfileCache* profile_cache = nullptr;
 
   /// Observability sink. nullptr (the default) is a strict no-op: the
   /// engines never form a metric name or touch an atomic — the disabled

@@ -1,0 +1,92 @@
+#include "host/profile_cache.hpp"
+
+#include "db/format.hpp"
+
+namespace swr::host {
+
+ProfileBundle::ProfileBundle(const seq::Sequence& query, const align::Scoring& sc,
+                             unsigned lanes8)
+    : profile(query, sc) {
+  if (lanes8 > 0) {
+    striped.emplace(query, sc, lanes8);
+    if (align::sw_interseq_max_lanes() >= lanes8) interseq.emplace(query, sc, lanes8);
+  }
+}
+
+std::uint64_t scoring_hash(const align::Scoring& sc) {
+  std::uint64_t h = db::fnv1a(&sc.match, sizeof sc.match);
+  h = db::fnv1a(&sc.mismatch, sizeof sc.mismatch, h);
+  h = db::fnv1a(&sc.gap, sizeof sc.gap, h);
+  if (sc.matrix != nullptr) {
+    const std::size_t n = sc.matrix->alphabet().size();
+    h = db::fnv1a(&n, sizeof n, h);
+    for (seq::Code x = 0; x < n; ++x) {
+      for (seq::Code y = 0; y < n; ++y) {
+        const align::Score s = (*sc.matrix)(x, y);
+        h = db::fnv1a(&s, sizeof s, h);
+      }
+    }
+  }
+  return h;
+}
+
+std::uint64_t query_hash(const seq::Sequence& query) {
+  const std::span<const seq::Code> codes = query.codes();
+  const std::size_t n = query.alphabet().size();
+  std::uint64_t h = db::fnv1a(&n, sizeof n);
+  return db::fnv1a(codes.data(), codes.size_bytes(), h);
+}
+
+ProfileCache::ProfileCache(std::size_t max_entries, obs::Registry* registry,
+                           const std::string& prefix)
+    : max_entries_(max_entries) {
+  if (registry) {
+    hits_ = &registry->counter(prefix + ".hits");
+    misses_ = &registry->counter(prefix + ".misses");
+    evictions_ = &registry->counter(prefix + ".evictions");
+  }
+}
+
+std::shared_ptr<const ProfileBundle> ProfileCache::acquire(const seq::Sequence& query,
+                                                           const align::Scoring& sc,
+                                                           unsigned lanes8) {
+  if (max_entries_ == 0) return std::make_shared<const ProfileBundle>(query, sc, lanes8);
+  const Key key{query_hash(query), scoring_hash(sc), lanes8};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      if (hits_) hits_->add();
+      return it->second->bundle;
+    }
+  }
+  if (misses_) misses_->add();
+  // Build outside the lock: profile construction is the expensive part,
+  // and two racing builders are rarer (and cheaper) than serializing every
+  // cold build behind a mutex.
+  auto bundle = std::make_shared<const ProfileBundle>(query, sc, lanes8);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Another thread inserted while we built; adopt theirs so all readers
+    // share one instance.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->bundle;
+  }
+  lru_.push_front(Node{key, bundle});
+  index_[key] = lru_.begin();
+  while (lru_.size() > max_entries_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    if (evictions_) evictions_->add();
+  }
+  return bundle;
+}
+
+std::size_t ProfileCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace swr::host

@@ -20,6 +20,7 @@
 #include "align/sw_striped.hpp"
 #include "core/cpu_features.hpp"
 #include "host/prefilter.hpp"
+#include "host/profile_cache.hpp"
 #include "obs/metrics.hpp"
 #include "par/thread_pool.hpp"
 #include "retrieve/topk.hpp"
@@ -66,40 +67,57 @@ unsigned interseq_lanes(SimdPolicy policy) { return policy == SimdPolicy::Avx2 ?
 
 std::atomic<bool> warned_interseq_degrade{false};
 
-// Everything the kernel-shape decision produced: the concrete shape
-// (never Auto) and, for InterSeq, the scan-shared profile (read-only, so
-// one instance serves every worker).
-struct ShapePlan {
-  KernelShape shape = KernelShape::Striped;
-  std::optional<align::InterSeqProfile> iprofile;
-};
+// 8-bit lane width the scan's ProfileBundle must carry for `policy`:
+// native-vector tiers need the striped (and, where compiled, inter-seq)
+// profiles at their lane count; scalar/SWAR tiers need only the scalar
+// query profile.
+unsigned bundle_lanes(SimdPolicy policy) {
+  return (policy == SimdPolicy::Sse41 || policy == SimdPolicy::Avx2) ? interseq_lanes(policy)
+                                                                     : 0u;
+}
 
-// Resolves the requested kernel shape once per scan: Auto defers to the
-// SWR_KERNEL env override, then picks inter-sequence for store-backed
-// scans whenever the resolved policy is a native-vector tier that can
-// actually run it (kernel compiled, ISA present, scheme fits 8-bit
-// lanes, alphabet + neutral code fits the pshufb tables); an explicit
-// InterSeq request that cannot be honoured degrades to striped with a
-// one-time warning — never an error, mirroring the SIMD-policy clamp.
-ShapePlan resolve_kernel_shape(KernelShape requested, SimdPolicy policy,
-                               const seq::Sequence& query, const align::Scoring& sc,
-                               bool store_backed) {
-  ShapePlan plan;
+// One ProfileBundle per scan, shared read-only by every worker: from the
+// cache when the caller wired one (repeated queries and service chunks
+// skip the build entirely), otherwise built fresh.
+std::shared_ptr<const ProfileBundle> acquire_bundle(const seq::Sequence& query,
+                                                    const align::Scoring& sc, SimdPolicy policy,
+                                                    ProfileCache* cache) {
+  const unsigned lanes = bundle_lanes(policy);
+  if (cache != nullptr) return cache->acquire(query, sc, lanes);
+  return std::make_shared<const ProfileBundle>(query, sc, lanes);
+}
+
+// Applies the SWR_KERNEL env override to an Auto kernel request.
+KernelShape requested_shape_after_env(KernelShape requested) {
   if (requested == KernelShape::Auto) {
     if (const std::optional<KernelShape> env = core::kernel_shape_env_override()) {
-      requested = *env;
+      return *env;
     }
   }
+  return requested;
+}
+
+// Everything the kernel-shape decision produced: the concrete shape
+// (never Auto) and, for InterSeq, a pointer into the scan's shared
+// bundle (read-only, so one instance serves every worker).
+struct ShapePlan {
+  KernelShape shape = KernelShape::Striped;
+  const align::InterSeqProfile* iprofile = nullptr;
+};
+
+// Resolves the (env-resolved) requested kernel shape once per scan:
+// inter-sequence is picked for store-backed scans whenever the bundle
+// carries a usable inter-seq profile (kernel compiled, ISA present,
+// scheme fits 8-bit lanes, alphabet + neutral code fits the pshufb
+// tables); an explicit InterSeq request that cannot be honoured degrades
+// to striped with a one-time warning — never an error, mirroring the
+// SIMD-policy clamp.
+ShapePlan resolve_kernel_shape(KernelShape requested, const ProfileBundle& bundle,
+                               bool store_backed) {
+  ShapePlan plan;
   if (requested == KernelShape::Striped) return plan;
 
-  bool interseq_ok = false;
-  if (policy == SimdPolicy::Sse41 || policy == SimdPolicy::Avx2) {
-    const unsigned lanes = interseq_lanes(policy);
-    if (align::sw_interseq_max_lanes() >= lanes) {
-      plan.iprofile.emplace(query, sc, lanes);
-      interseq_ok = plan.iprofile->usable();
-    }
-  }
+  const bool interseq_ok = bundle.interseq.has_value() && bundle.interseq->usable();
   if (requested == KernelShape::InterSeq && !interseq_ok &&
       !warned_interseq_degrade.exchange(true)) {
     std::fprintf(stderr,
@@ -110,7 +128,7 @@ ShapePlan resolve_kernel_shape(KernelShape requested, SimdPolicy policy,
   const bool use_interseq =
       interseq_ok && (requested == KernelShape::InterSeq || store_backed);
   plan.shape = use_interseq ? KernelShape::InterSeq : KernelShape::Striped;
-  if (!use_interseq) plan.iprofile.reset();
+  if (use_interseq) plan.iprofile = &*bundle.interseq;
   return plan;
 }
 
@@ -179,22 +197,21 @@ struct ScanMetrics {
   }
 };
 
-// Everything one worker owns: the reusable query profile, kernel scratch,
-// and its private top-k. Built once per thread, reused for every record
-// the thread claims — the per-record setup cost is paid exactly once.
+// Everything one worker owns: kernel scratch and its private top-k, plus
+// a read-only view of the scan's shared ProfileBundle. Built once per
+// thread, reused for every record the thread claims — and the profiles
+// themselves are built (or cache-fetched) once per *scan*, not per
+// thread: the bundle's shared_ptr keeps a cache-evicted entry alive for
+// the duration of the scan.
 struct Worker {
-  // `policy` is the RESOLVED policy (never Auto): striped tiers build
-  // their query profile here, once, alongside the scalar one the
-  // overflow ladder always needs.
-  Worker(const seq::Sequence& query, const align::Scoring& sc, SimdPolicy policy)
-      : profile(query, sc) {
-    if (policy == SimdPolicy::Sse41 || policy == SimdPolicy::Avx2) {
-      striped.emplace(query, sc, policy == SimdPolicy::Avx2 ? 32u : 16u);
-    }
-  }
+  explicit Worker(std::shared_ptr<const ProfileBundle> b)
+      : bundle(std::move(b)),
+        profile(&bundle->profile),
+        striped(bundle->striped.has_value() ? &*bundle->striped : nullptr) {}
 
-  align::QueryProfile profile;
-  std::optional<align::StripedProfile> striped;  // Sse41/Avx2 policies only
+  std::shared_ptr<const ProfileBundle> bundle;
+  const align::QueryProfile* profile;    // scalar kernel + overflow ladder tail
+  const align::StripedProfile* striped;  // Sse41/Avx2 policies only
   std::vector<align::Score> row;  // scalar kernel DP row
   align::AntidiagWorkspace ws16;
   align::Antidiag8Workspace ws8;
@@ -228,14 +245,14 @@ align::LocalScoreResult score_record(std::span<const seq::Code> rec,
   switch (policy) {
     case SimdPolicy::Scalar:
       ++w.rec_scalar;
-      return align::sw_linear_profiled(rec, w.profile, w.row);
+      return align::sw_linear_profiled(rec, *w.profile, w.row);
     case SimdPolicy::Swar16:
       if (align::antidiag_swar_applicable(rec.size(), query.size(), sc)) {
         ++w.rec_swar16;
         return align::sw_linear_antidiag_codes(rec, query, sc, w.ws16);
       }
       ++w.rec_scalar;
-      return align::sw_linear_profiled(rec, w.profile, w.row);
+      return align::sw_linear_profiled(rec, *w.profile, w.row);
     case SimdPolicy::Swar8:
       // Widest first; a saturated lane aborts the 8-bit pass at the end of
       // the offending diagonal and the record lazily re-runs one tier down.
@@ -262,7 +279,7 @@ align::LocalScoreResult score_record(std::span<const seq::Code> rec,
         return *r;
       }
       ++w.rec_scalar;
-      return align::sw_linear_profiled(rec, w.profile, w.row);
+      return align::sw_linear_profiled(rec, *w.profile, w.row);
     case SimdPolicy::Auto:
       break;  // resolved before the record loop; reaching here is a bug
   }
@@ -307,8 +324,7 @@ void scan_one(const RecordSource& src, std::size_t r, std::span<const seq::Code>
 // swar8_fallbacks and the tier counters stay bit-identical to every
 // striped/SWAR/scalar policy.
 void scan_interseq(const RecordSource& src, const align::InterSeqProfile& prof,
-                   std::span<const seq::Code> qcodes, const align::Scoring& sc,
-                   const ScanOptions& opt, Worker& w,
+                   std::span<const seq::Code> qcodes, const ScanOptions& opt, Worker& w,
                    const std::function<std::optional<std::uint32_t>()>& next_record) {
   if (w.lane_decode.size() < prof.lanes8()) w.lane_decode.resize(prof.lanes8());
   const auto fetch = [&](unsigned lane) -> std::optional<align::InterSeqRecord> {
@@ -340,7 +356,7 @@ void scan_interseq(const RecordSource& src, const align::InterSeqProfile& prof,
         best = *rr;
       } else {
         ++w.rec_scalar;
-        best = align::sw_linear_profiled(rec, w.profile, w.row);
+        best = align::sw_linear_profiled(rec, *w.profile, w.row);
       }
     }
     if (best.score < opt.min_score) return;
@@ -495,7 +511,10 @@ ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
   const std::size_t domain = seeded ? candidates.size() : src.size();
 
   const SimdPolicy policy = resolve_simd_policy(opt.simd_policy);
-  const ShapePlan plan = resolve_kernel_shape(opt.kernel, policy, query, sc, src.is_store());
+  const std::shared_ptr<const ProfileBundle> bundle =
+      acquire_bundle(query, sc, policy, opt.profile_cache);
+  const ShapePlan plan =
+      resolve_kernel_shape(requested_shape_after_env(opt.kernel), *bundle, src.is_store());
   const ScanMetrics metrics(opt.metrics, policy, plan.shape, seeded);
   if (domain == 0) {
     // Everything rejected: still a completed scan — flush so the
@@ -515,7 +534,7 @@ ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
 
   std::vector<Worker> workers;
   workers.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) workers.emplace_back(query, sc, policy);
+  for (std::size_t t = 0; t < threads; ++t) workers.emplace_back(bundle);
 
   // Interseq + seeded: the store's global schedule_order covers rejected
   // records too, so the surviving candidates are length-sorted once here
@@ -573,7 +592,7 @@ ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
           }
         }
       };
-      scan_interseq(src, *plan.iprofile, qcodes, sc, opt, w, next_record);
+      scan_interseq(src, *plan.iprofile, qcodes, opt, w, next_record);
     } else {
       for (;;) {
         const std::size_t s = cursor.fetch_add(1, std::memory_order_relaxed);
@@ -663,10 +682,13 @@ ScanResult scan_records_cpu(const seq::Sequence& query, const RecordSource& src,
   }
 
   const SimdPolicy policy = resolve_simd_policy(opt.simd_policy);
-  const ShapePlan plan = resolve_kernel_shape(opt.kernel, policy, query, sc, src.is_store());
+  const std::shared_ptr<const ProfileBundle> bundle =
+      acquire_bundle(query, sc, policy, opt.profile_cache);
+  const ShapePlan plan =
+      resolve_kernel_shape(requested_shape_after_env(opt.kernel), *bundle, src.is_store());
   const ScanMetrics metrics(opt.metrics, policy, plan.shape, seeded);
   std::vector<Worker> workers;
-  workers.emplace_back(query, sc, policy);
+  workers.emplace_back(bundle);
   const std::span<const seq::Code> qcodes = query.codes();
   const auto start = std::chrono::steady_clock::now();
   if (plan.shape == KernelShape::InterSeq) {
@@ -685,7 +707,7 @@ ScanResult scan_records_cpu(const seq::Sequence& query, const RecordSource& src,
       if (idx >= ids.size()) return std::nullopt;
       return ids[idx++];
     };
-    scan_interseq(src, *plan.iprofile, qcodes, sc, opt, workers[0], next_record);
+    scan_interseq(src, *plan.iprofile, qcodes, opt, workers[0], next_record);
   } else {
     for (const std::uint32_t r : record_ids) {
       scan_one(src, r, qcodes, sc, opt, policy, workers[0]);

@@ -45,6 +45,17 @@ std::string_view metric_description(std::string_view name) {
   if (name == "scan.filter.rescored") return "prefilter survivors rescored exactly";
   if (name == "scan.filter.recall_guard") return "short query/record guards kept for recall";
   if (name == "scan.filter.candidate_ratio") return "rescored share of domain (percent)";
+  // svc.net.* partition every server request into exactly one outcome
+  // (responses + shed + overloaded + invalid_requests + aborted ==
+  // requests; the storm suite asserts it), and svc.cache.* are the two
+  // serving-layer caches (result replay and query-profile reuse).
+  if (name == "svc.net.shed") return "requests rejected by a tenant's token bucket";
+  if (name == "svc.net.overloaded") return "requests rejected by the full admission queue";
+  if (name == "svc.net.invalid_requests") return "requests with unparseable queries/options";
+  if (name == "svc.net.aborted") return "requests cut short by disconnect or shutdown";
+  if (name == "svc.cache.result.hits") return "responses replayed from the result cache";
+  if (name == "svc.cache.result.bytes") return "resident bytes in the result cache";
+  if (name == "svc.cache.profile.hits") return "scans reusing a cached query profile";
   return {};
 }
 

@@ -1,0 +1,81 @@
+// Client side of the swr wire protocol.
+//
+// ScanClient is both the `swr client` transport and the test rig's
+// instrument: the high-level scan() call drives a full request/response
+// exchange, while the low-level send_bytes/read_frame surface lets the
+// conformance and fuzz suites write arbitrary (including malformed)
+// bytes and observe exactly what comes back. read_frame also returns the
+// raw header+payload bytes so the parity suite can compare the socket
+// stream bit-for-bit against encode_response_bytes().
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/net/socket.hpp"
+#include "svc/net/wire.hpp"
+
+namespace swr::svc::net {
+
+/// One frame as read off the wire.
+struct ClientFrame {
+  FrameType type = FrameType::Error;
+  std::vector<std::uint8_t> payload;
+  /// Exact bytes received: 16-byte header + payload.
+  std::vector<std::uint8_t> raw;
+};
+
+/// Outcome of a full scan() exchange.
+struct ClientResponse {
+  /// True when the exchange ended with a Done trailer.
+  bool ok = false;
+  WireDone done;
+  std::vector<WireHit> hits;   ///< in stream order
+  std::vector<WireError> errors;  ///< any Error frames seen during the exchange
+  /// Concatenated raw bytes of every Hit/Done/Error frame, in stream
+  /// order — what the server actually wrote for this request.
+  std::vector<std::uint8_t> raw_bytes;
+  std::string error;  ///< transport/protocol failure description when !ok
+};
+
+class ScanClient {
+ public:
+  ScanClient() = default;
+
+  /// Connects; false + `error` on failure. Reconnecting an open client
+  /// closes the old connection first.
+  bool connect(const std::string& host, std::uint16_t port, std::string& error);
+  void close() { sock_.close(); }
+  [[nodiscard]] bool connected() const { return sock_.valid(); }
+  [[nodiscard]] int fd() const { return sock_.fd(); }
+
+  /// Sends one well-formed frame. False on write failure.
+  bool send_frame(FrameType type, const std::vector<std::uint8_t>& payload);
+
+  /// Writes raw bytes verbatim — the fuzz/conformance entry point.
+  bool send_bytes(const void* data, std::size_t bytes);
+
+  /// Reads one frame (header + payload, checksum verified). False on
+  /// timeout, disconnect, or a frame this client cannot parse — the
+  /// server never sends malformed frames, so any parse failure here is
+  /// itself a protocol violation and is reported via `error`.
+  bool read_frame(ClientFrame& out, std::chrono::milliseconds deadline, std::string& error);
+
+  /// Full exchange: send the request, collect Hit frames until Done.
+  /// Error frames are recorded; a request-terminating error (Shed,
+  /// Overloaded, BadRequest, ...) ends the exchange with ok=false.
+  ClientResponse scan(const WireRequest& req,
+                      std::chrono::milliseconds deadline = std::chrono::milliseconds{60000});
+
+  /// Ping/Pong round trip; false when the echo does not come back.
+  bool ping(std::chrono::milliseconds deadline = std::chrono::milliseconds{5000});
+
+  bool send_cancel(std::uint64_t request_id);
+
+ private:
+  Socket sock_;
+};
+
+}  // namespace swr::svc::net

@@ -1,0 +1,97 @@
+#include "svc/net/result_cache.hpp"
+
+#include "db/format.hpp"
+
+namespace swr::svc::net {
+
+ResultCache::ResultCache(std::size_t max_bytes, obs::Registry* registry,
+                         const std::string& prefix)
+    : max_bytes_(max_bytes) {
+  if (registry) {
+    hits_ = &registry->counter(prefix + ".hits");
+    misses_ = &registry->counter(prefix + ".misses");
+    evictions_ = &registry->counter(prefix + ".evictions");
+    bytes_gauge_ = &registry->gauge(prefix + ".bytes");
+  }
+}
+
+std::optional<CachedResponse> ResultCache::lookup(const ResultKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    if (misses_) misses_->add();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  if (hits_) hits_->add();
+  return it->second->response;
+}
+
+void ResultCache::insert(const ResultKey& key, CachedResponse response) {
+  if (max_bytes_ == 0) return;
+  std::size_t cost = response_bytes(response);
+  if (cost > max_bytes_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Node{key, std::move(response), cost});
+  index_[key] = lru_.begin();
+  bytes_ += cost;
+  evict_locked();
+  if (bytes_gauge_) bytes_gauge_->set(static_cast<std::int64_t>(bytes_));
+}
+
+void ResultCache::evict_locked() {
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    Node& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    if (evictions_) evictions_->add();
+  }
+}
+
+std::size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+std::size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::size_t ResultCache::response_bytes(const CachedResponse& r) {
+  // Mirrors the wire encoding's fixed-field sizes plus string payloads —
+  // an *accounting* size, not an allocation size, so the eviction bound
+  // is deterministic and testable.
+  std::size_t total = 80 + r.trailer.error.size();
+  for (const WireHit& h : r.hits) total += 48 + h.name.size() + h.cigar.size();
+  return total;
+}
+
+std::uint64_t query_text_hash(const std::string& query) {
+  return db::fnv1a(query.data(), query.size());
+}
+
+std::uint64_t request_options_hash(const WireRequest& req) {
+  // Field-wise chained fnv1a over everything that can alter response
+  // bytes. query_name, tenant and request_id are deliberately excluded:
+  // none of them reach the scan, and folding them in would split cache
+  // entries for identical work.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto fold = [&h](const void* p, std::size_t n) { h = db::fnv1a(p, n, h); };
+  fold(&req.top_k, sizeof req.top_k);
+  fold(&req.min_score, sizeof req.min_score);
+  fold(&req.filter, sizeof req.filter);
+  fold(&req.filter_threshold, sizeof req.filter_threshold);
+  fold(&req.align, sizeof req.align);
+  fold(&req.max_hits, sizeof req.max_hits);
+  return h;
+}
+
+}  // namespace swr::svc::net

@@ -1,0 +1,158 @@
+// swr serve — the network-facing scan daemon.
+//
+// Promotes svc::ScanService to a long-running server: a TCP accept loop
+// plus one handler thread per connection, speaking the swr wire protocol
+// (svc/net/wire.hpp). Three layers sit between a Request frame and the
+// scan service, in order:
+//
+//   1. per-tenant token-bucket admission (svc/net/token_bucket.hpp) — a
+//      tenant over its rate gets Error(Shed) with a retry-after hint,
+//      before the request costs anything;
+//   2. the result cache (svc/net/result_cache.hpp) — a repeat of a
+//      completed request against the same store generation replays the
+//      cached response, bit-identical to the cold scan;
+//   3. the ScanService bounded queue — a full queue gets
+//      Error(Overloaded); an admitted request streams Hit frames then the
+//      Done trailer when its future resolves.
+//
+// While a request is in flight the handler keeps servicing its
+// connection: Ping is answered, Cancel for the in-flight id cancels the
+// service query, and a client disconnect cancels it too — a dead client
+// never pins a worker.
+//
+// Every response byte is deterministic: the server encodes the service's
+// ScanResponse through to_wire/encode_response_bytes, and the parity
+// suite asserts socket bytes == the same encoding of an in-process scan.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/store.hpp"
+#include "host/profile_cache.hpp"
+#include "svc/net/result_cache.hpp"
+#include "svc/net/socket.hpp"
+#include "svc/net/token_bucket.hpp"
+#include "svc/net/wire.hpp"
+#include "svc/scan_service.hpp"
+
+namespace swr::svc::net {
+
+/// Server configuration. `service` carries the scan-side knobs
+/// (workers, queue capacity, scoring, metrics registry).
+struct ServerConfig {
+  svc::ServiceConfig service;
+
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (the bound port is reported)
+
+  /// Per-write bound (SO_SNDTIMEO): a slow reader stalls only its own
+  /// connection, and only this long per write, before being dropped.
+  std::chrono::milliseconds write_timeout{5000};
+
+  /// Idle bound between frames on a connection; 0 = no limit.
+  std::chrono::milliseconds idle_timeout{0};
+
+  /// Default token-bucket limits for tenants without an override.
+  /// rate <= 0 disables limiting for those tenants.
+  TenantTable::Limits default_limits{};
+
+  /// Explicit per-tenant limits. Only these tenants get per-tenant
+  /// svc.net.tenant.<name>.{served,shed} counters — unknown tenant ids
+  /// never mint new metric families.
+  std::map<std::string, TenantTable::Limits> tenant_limits;
+
+  std::size_t result_cache_bytes = 64u << 20;
+  std::size_t profile_cache_entries = 64;
+
+  /// Registry for svc.net.* / svc.cache.* families; usually the same
+  /// registry as service.metrics. May be null.
+  obs::Registry* metrics = nullptr;
+};
+
+/// Converts a resolved scan into its wire form: one WireHit per ranked
+/// hit (alignment block filled from result.alignments where present)
+/// plus the Done trailer. request_id fields are left 0 — stamp at encode.
+[[nodiscard]] CachedResponse to_wire(const svc::ScanResponse& resp, const db::Store& store);
+
+/// Serializes a response as the exact byte stream the server writes: each
+/// hit as a Hit frame, then the Done frame, all stamped with request_id.
+/// The parity suite compares client-captured socket bytes against this.
+[[nodiscard]] std::vector<std::uint8_t> encode_response_bytes(const CachedResponse& response,
+                                                              std::uint64_t request_id);
+
+/// The daemon. start() binds and spawns the accept loop; stop() (or the
+/// destructor) shuts the listener and every live connection, joins all
+/// threads, and lets the owned ScanService cancel in-flight queries.
+class ScanServer {
+ public:
+  ScanServer(const db::Store& store, ServerConfig cfg);
+  ~ScanServer();
+
+  ScanServer(const ScanServer&) = delete;
+  ScanServer& operator=(const ScanServer&) = delete;
+
+  /// Binds host:port and starts accepting. False + `error` on failure.
+  bool start(std::string& error);
+
+  void stop();
+
+  /// The bound port (valid after start(); the ephemeral-port answer).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  [[nodiscard]] const ServerConfig& config() const { return cfg_; }
+
+  /// Connections currently being served.
+  [[nodiscard]] std::size_t active_connections() const;
+
+ private:
+  struct Metrics;
+  struct Conn;
+
+  void accept_loop();
+  void handle_connection(Conn& conn);
+
+  // One parsed-frame step of the connection loop. Returns false when the
+  // connection should close.
+  bool handle_frame(Conn& conn, FrameType type, std::vector<std::uint8_t> payload);
+  bool handle_request(Conn& conn, const WireRequest& req);
+
+  bool send_frame(Conn& conn, FrameType type, const std::vector<std::uint8_t>& payload);
+  bool send_error(Conn& conn, std::uint64_t request_id, ErrorCode code, std::uint32_t retry_ms,
+                  const std::string& message);
+
+  // Streams a response (hits + trailer). False on write failure.
+  bool send_response(Conn& conn, const CachedResponse& response, std::uint64_t request_id);
+
+  // Services the connection while `ticket` runs: Ping/Cancel/disconnect.
+  // `wire_request_id` scopes Cancel frames to the in-flight request.
+  svc::ScanResponse wait_for_scan(Conn& conn, const svc::Ticket& ticket,
+                                  std::uint64_t wire_request_id);
+
+  const db::Store& store_;
+  ServerConfig cfg_;
+  const std::uint64_t generation_;
+
+  std::unique_ptr<Metrics> metrics_;
+  svc::ScanService service_;
+  TenantTable tenants_;
+  ResultCache result_cache_;
+  host::ProfileCache profile_cache_;
+
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex conns_mu_;
+  std::list<std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace swr::svc::net

@@ -1,0 +1,221 @@
+#include "svc/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace swr::svc::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Poll slice: long enough to stay off the scheduler's back, short enough
+// that a stop flag or deadline is observed promptly.
+constexpr int kPollSliceMs = 50;
+
+// Remaining poll budget for this slice given an optional absolute deadline.
+int slice_ms(bool has_deadline, Clock::time_point deadline_at) {
+  if (!has_deadline) return kPollSliceMs;
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(deadline_at - Clock::now());
+  if (left.count() <= 0) return 0;
+  return static_cast<int>(std::min<long long>(left.count(), kPollSliceMs));
+}
+
+// Shared skeleton for read_exact/discard_exact: poll in slices, then recv
+// into either the caller's buffer or a scratch sink.
+IoStatus drain(int fd, void* buf, std::size_t n, const std::atomic<bool>* stop,
+               std::chrono::milliseconds deadline, bool keep) {
+  const bool has_deadline = deadline.count() > 0;
+  const auto deadline_at = Clock::now() + deadline;
+  std::size_t got = 0;
+  char sink[4096];
+  while (got < n) {
+    if (stop && stop->load(std::memory_order_relaxed)) return IoStatus::Stopped;
+    if (has_deadline && Clock::now() >= deadline_at) return IoStatus::Timeout;
+
+    pollfd pfd{fd, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, slice_ms(has_deadline, deadline_at));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::Error;
+    }
+    if (pr == 0) continue;  // slice elapsed; re-check stop/deadline
+    if (pfd.revents & (POLLERR | POLLNVAL)) return IoStatus::Error;
+
+    char* dst = keep ? static_cast<char*>(buf) + got : sink;
+    std::size_t want = keep ? n - got : std::min(n - got, sizeof sink);
+    ssize_t r = ::recv(fd, dst, want, 0);
+    if (r == 0) return got == 0 ? IoStatus::Eof : IoStatus::Truncated;
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return IoStatus::Error;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return IoStatus::Ok;
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port, bool& ok) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ok = ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1;
+  return addr;
+}
+
+}  // namespace
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+IoStatus read_exact(int fd, void* buf, std::size_t n, const std::atomic<bool>* stop,
+                    std::chrono::milliseconds deadline) {
+  return drain(fd, buf, n, stop, deadline, /*keep=*/true);
+}
+
+IoStatus discard_exact(int fd, std::size_t n, const std::atomic<bool>* stop,
+                       std::chrono::milliseconds deadline) {
+  return drain(fd, nullptr, n, stop, deadline, /*keep=*/false);
+}
+
+IoStatus write_all(int fd, const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    ssize_t w = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::Timeout;  // SO_SNDTIMEO
+      if (errno == EPIPE || errno == ECONNRESET) return IoStatus::Eof;
+      return IoStatus::Error;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return IoStatus::Ok;
+}
+
+bool readable_now(int fd) {
+  pollfd pfd{fd, POLLIN, 0};
+  return ::poll(&pfd, 1, 0) > 0 && (pfd.revents & (POLLIN | POLLHUP));
+}
+
+bool set_send_timeout(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  return ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv) == 0;
+}
+
+std::pair<Socket, std::uint16_t> listen_tcp(const std::string& host, std::uint16_t port,
+                                            std::string& error, int backlog) {
+  bool ok = false;
+  sockaddr_in addr = make_addr(host, port, ok);
+  if (!ok) {
+    error = "invalid listen address: " + host;
+    return {Socket{}, 0};
+  }
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return {Socket{}, 0};
+  }
+  int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    error = std::string("bind: ") + std::strerror(errno);
+    return {Socket{}, 0};
+  }
+  if (::listen(s.fd(), backlog) != 0) {
+    error = std::string("listen: ") + std::strerror(errno);
+    return {Socket{}, 0};
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    error = std::string("getsockname: ") + std::strerror(errno);
+    return {Socket{}, 0};
+  }
+  error.clear();
+  return {std::move(s), ntohs(bound.sin_port)};
+}
+
+Socket accept_one(int listen_fd, const std::atomic<bool>* stop) {
+  for (;;) {
+    if (stop && stop->load(std::memory_order_relaxed)) return Socket{};
+    pollfd pfd{listen_fd, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, kPollSliceMs);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return Socket{};
+    }
+    if (pr == 0) continue;
+    if (pfd.revents & (POLLERR | POLLNVAL | POLLHUP)) return Socket{};
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED)
+        continue;
+      return Socket{};
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return Socket(fd);
+  }
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port, std::string& error,
+                   std::chrono::milliseconds timeout) {
+  bool ok = false;
+  sockaddr_in addr = make_addr(host, port, ok);
+  if (!ok) {
+    error = "invalid address: " + host;
+    return Socket{};
+  }
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return Socket{};
+  }
+  // Non-blocking connect with a poll-bounded wait, then back to blocking.
+  int flags = ::fcntl(s.fd(), F_GETFL, 0);
+  ::fcntl(s.fd(), F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    error = std::string("connect: ") + std::strerror(errno);
+    return Socket{};
+  }
+  if (rc != 0) {
+    pollfd pfd{s.fd(), POLLOUT, 0};
+    int pr = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (pr <= 0) {
+      error = pr == 0 ? "connect: timed out" : std::string("connect poll: ") + std::strerror(errno);
+      return Socket{};
+    }
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    if (::getsockopt(s.fd(), SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 || soerr != 0) {
+      error = std::string("connect: ") + std::strerror(soerr ? soerr : errno);
+      return Socket{};
+    }
+  }
+  ::fcntl(s.fd(), F_SETFL, flags);
+  int one = 1;
+  ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  error.clear();
+  return s;
+}
+
+}  // namespace swr::svc::net

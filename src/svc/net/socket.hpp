@@ -1,0 +1,97 @@
+// Thin RAII layer over POSIX TCP sockets for the swr serve daemon.
+//
+// Everything here is loopback/LAN plumbing for the server loop, the
+// client library and the socket-driven test rigs — no protocol knowledge.
+// Reads are poll-sliced so a blocked connection can notice a stop flag or
+// deadline; writes carry an optional SO_SNDTIMEO so a slow reader stalls
+// only its own connection, never a server thread forever.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace swr::svc::net {
+
+/// Owning socket fd. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Releases ownership without closing.
+  int release() noexcept { return std::exchange(fd_, -1); }
+
+  void close() noexcept;
+
+  /// shutdown(SHUT_RDWR): wakes any thread blocked in read/write on this
+  /// fd without racing the close. Safe to call from another thread.
+  void shutdown_both() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Result of a read attempt.
+enum class IoStatus : std::uint8_t {
+  Ok,        ///< all requested bytes transferred
+  Eof,       ///< peer closed before the first requested byte
+  Truncated, ///< peer closed mid-transfer (some but not all bytes)
+  Timeout,   ///< deadline elapsed
+  Stopped,   ///< stop flag observed
+  Error,     ///< errno-level failure
+};
+
+/// Reads exactly `n` bytes. Polls in short slices so it can observe
+/// `*stop` (may be null) and the deadline (zero = none). Returns Ok only
+/// when all `n` bytes arrived.
+IoStatus read_exact(int fd, void* buf, std::size_t n, const std::atomic<bool>* stop = nullptr,
+                    std::chrono::milliseconds deadline = std::chrono::milliseconds{0});
+
+/// Discards exactly `n` bytes from the stream (malformed-frame resync).
+IoStatus discard_exact(int fd, std::size_t n, const std::atomic<bool>* stop = nullptr,
+                       std::chrono::milliseconds deadline = std::chrono::milliseconds{0});
+
+/// Writes all `n` bytes; respects any SO_SNDTIMEO set on the fd (a send
+/// timeout surfaces as Timeout). SIGPIPE is suppressed via MSG_NOSIGNAL.
+IoStatus write_all(int fd, const void* buf, std::size_t n);
+
+/// True when the fd has readable data (or EOF) waiting right now.
+bool readable_now(int fd);
+
+/// Sets SO_SNDTIMEO so a wedged peer bounds each write() call.
+bool set_send_timeout(int fd, std::chrono::milliseconds timeout);
+
+/// Creates a listening TCP socket bound to host:port (port 0 picks an
+/// ephemeral port). On success returns the socket and the bound port;
+/// on failure returns an invalid Socket and fills `error`.
+std::pair<Socket, std::uint16_t> listen_tcp(const std::string& host, std::uint16_t port,
+                                            std::string& error, int backlog = 64);
+
+/// Accepts one connection; polls so it can observe `*stop`. Returns an
+/// invalid Socket when stopped or on error.
+Socket accept_one(int listen_fd, const std::atomic<bool>* stop);
+
+/// Connects to host:port with a bounded wait.
+Socket connect_tcp(const std::string& host, std::uint16_t port, std::string& error,
+                   std::chrono::milliseconds timeout = std::chrono::milliseconds{5000});
+
+}  // namespace swr::svc::net

@@ -1,0 +1,120 @@
+// Per-tenant token-bucket admission for swr serve.
+//
+// Layered *in front of* the ScanService bounded queue: the bucket decides
+// whether a tenant may even enter admission; the queue still bounds total
+// in-flight work. A shed carries a retry-after hint computed from the
+// refill rate so well-behaved clients back off for exactly as long as it
+// takes one token to accrue.
+//
+// Time is injected as a nanosecond monotonic timestamp so unit tests can
+// drive the refill math deterministically with a fake clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace swr::svc::net {
+
+/// One tenant's bucket. Not thread-safe on its own — TenantTable locks.
+class TokenBucket {
+ public:
+  /// rate_per_s: tokens refilled per second; burst: bucket capacity.
+  /// rate <= 0 disables limiting (every acquire succeeds).
+  TokenBucket(double rate_per_s, double burst)
+      : rate_(rate_per_s), burst_(burst < 1.0 ? 1.0 : burst), tokens_(burst_) {}
+
+  /// Takes one token if available. `now_ns` must be monotonic
+  /// non-decreasing across calls. On shed, fills retry_after_ms with the
+  /// time until one full token accrues.
+  bool try_acquire(std::uint64_t now_ns, std::uint32_t* retry_after_ms) {
+    if (rate_ <= 0.0) return true;
+    refill(now_ns);
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      return true;
+    }
+    if (retry_after_ms) {
+      double deficit = 1.0 - tokens_;
+      double ms = deficit / rate_ * 1000.0;
+      // Round up so a client that waits exactly the hint always finds a
+      // token; clamp to >= 1ms so the hint is never "retry immediately".
+      *retry_after_ms = static_cast<std::uint32_t>(ms) + 1;
+    }
+    return false;
+  }
+
+  double tokens() const { return tokens_; }
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void refill(std::uint64_t now_ns) {
+    if (last_ns_ == 0) {
+      last_ns_ = now_ns;
+      return;
+    }
+    if (now_ns <= last_ns_) return;
+    double dt = static_cast<double>(now_ns - last_ns_) * 1e-9;
+    tokens_ += dt * rate_;
+    if (tokens_ > burst_) tokens_ = burst_;
+    last_ns_ = now_ns;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  std::uint64_t last_ns_ = 0;
+};
+
+/// Per-tenant bucket table: named tenants get configured overrides,
+/// everyone else shares the default limits (one bucket *per tenant id*,
+/// all using the default rate/burst). Thread-safe.
+class TenantTable {
+ public:
+  struct Limits {
+    double rate_per_s = 0.0;  ///< <= 0 disables limiting
+    double burst = 1.0;
+  };
+
+  TenantTable(Limits default_limits, std::map<std::string, Limits> overrides)
+      : default_limits_(default_limits), overrides_(std::move(overrides)) {}
+
+  /// True when `tenant` has an explicitly configured override — the
+  /// server only emits per-tenant metric families for these, keeping
+  /// registry cardinality under the caller's control.
+  bool configured(const std::string& tenant) const {
+    return overrides_.find(tenant) != overrides_.end();
+  }
+
+  bool try_acquire(const std::string& tenant, std::uint64_t now_ns,
+                   std::uint32_t* retry_after_ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = buckets_.find(tenant);
+    if (it == buckets_.end()) {
+      Limits lim = default_limits_;
+      auto ov = overrides_.find(tenant);
+      if (ov != overrides_.end()) lim = ov->second;
+      it = buckets_.emplace(tenant, TokenBucket(lim.rate_per_s, lim.burst)).first;
+    }
+    return it->second.try_acquire(now_ns, retry_after_ms);
+  }
+
+ private:
+  Limits default_limits_;
+  std::map<std::string, Limits> overrides_;
+  std::mutex mu_;
+  std::map<std::string, TokenBucket> buckets_;
+};
+
+/// Monotonic now() in ns for production use of TokenBucket/TenantTable.
+inline std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+}  // namespace swr::svc::net

@@ -1,0 +1,347 @@
+#include "svc/net/wire.hpp"
+
+#include <cstring>
+
+#include "db/format.hpp"
+
+namespace swr::svc::net {
+namespace {
+
+// Little-endian primitive writers. Byte-wise on purpose: the wire format
+// must not depend on host struct layout or endianness.
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// Cursor-based reader; every get_* checks bounds and flips `ok` sticky-low
+// so decoders can run straight-line and test once at the end.
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  explicit Reader(const std::vector<std::uint8_t>& p) : data(p.data()), size(p.size()) {}
+
+  bool take(std::size_t n) {
+    if (!ok || size - pos < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return data[pos++];
+  }
+
+  std::uint16_t u16() {
+    if (!take(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(data[pos] | (data[pos + 1] << 8));
+    pos += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = static_cast<std::uint32_t>(data[pos]) |
+                      (static_cast<std::uint32_t>(data[pos + 1]) << 8) |
+                      (static_cast<std::uint32_t>(data[pos + 2]) << 16) |
+                      (static_cast<std::uint32_t>(data[pos + 3]) << 24);
+    pos += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+    pos += 8;
+    return v;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+  std::string str() {
+    std::uint32_t n = u32();
+    if (!take(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return s;
+  }
+
+  // Decoders require exact consumption — trailing garbage means the
+  // sender and receiver disagree about the schema.
+  bool done() const { return ok && pos == size; }
+};
+
+bool known_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::Request) &&
+         t <= static_cast<std::uint8_t>(FrameType::Cancel);
+}
+
+}  // namespace
+
+const char* to_string(FrameType t) noexcept {
+  switch (t) {
+    case FrameType::Request: return "request";
+    case FrameType::Hit: return "hit";
+    case FrameType::Done: return "done";
+    case FrameType::Error: return "error";
+    case FrameType::Ping: return "ping";
+    case FrameType::Pong: return "pong";
+    case FrameType::Cancel: return "cancel";
+  }
+  return "unknown";
+}
+
+const char* to_string(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::BadMagic: return "bad_magic";
+    case ErrorCode::BadVersion: return "bad_version";
+    case ErrorCode::BadChecksum: return "bad_checksum";
+    case ErrorCode::Oversized: return "oversized";
+    case ErrorCode::BadType: return "bad_type";
+    case ErrorCode::BadRequest: return "bad_request";
+    case ErrorCode::Shed: return "shed";
+    case ErrorCode::Overloaded: return "overloaded";
+    case ErrorCode::Internal: return "internal";
+    case ErrorCode::Shutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+std::uint32_t frame_checksum(const std::uint8_t* data, std::size_t bytes) noexcept {
+  std::uint64_t h = db::fnv1a(data, bytes);
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+void put_frame_header(const FrameHeader& header, std::uint8_t out[kFrameHeaderBytes]) noexcept {
+  std::memcpy(out, kWireMagic.data(), 4);
+  out[4] = header.version;
+  out[5] = static_cast<std::uint8_t>(header.type);
+  out[6] = 0;
+  out[7] = 0;
+  out[8] = static_cast<std::uint8_t>(header.length);
+  out[9] = static_cast<std::uint8_t>(header.length >> 8);
+  out[10] = static_cast<std::uint8_t>(header.length >> 16);
+  out[11] = static_cast<std::uint8_t>(header.length >> 24);
+  out[12] = static_cast<std::uint8_t>(header.checksum);
+  out[13] = static_cast<std::uint8_t>(header.checksum >> 8);
+  out[14] = static_cast<std::uint8_t>(header.checksum >> 16);
+  out[15] = static_cast<std::uint8_t>(header.checksum >> 24);
+}
+
+HeaderStatus parse_frame_header(const std::uint8_t in[kFrameHeaderBytes], FrameHeader& out) noexcept {
+  if (std::memcmp(in, kWireMagic.data(), 4) != 0) return HeaderStatus::BadMagic;
+  out.version = in[4];
+  out.length = static_cast<std::uint32_t>(in[8]) | (static_cast<std::uint32_t>(in[9]) << 8) |
+               (static_cast<std::uint32_t>(in[10]) << 16) |
+               (static_cast<std::uint32_t>(in[11]) << 24);
+  out.checksum = static_cast<std::uint32_t>(in[12]) | (static_cast<std::uint32_t>(in[13]) << 8) |
+                 (static_cast<std::uint32_t>(in[14]) << 16) |
+                 (static_cast<std::uint32_t>(in[15]) << 24);
+  // Length is validated before version/type: an oversized claim makes the
+  // declared payload untrustworthy no matter what the other fields say,
+  // and the resync policy differs (do NOT consume the payload).
+  if (out.length > kMaxFrameBytes) return HeaderStatus::Oversized;
+  if (out.version != kWireVersion) return HeaderStatus::BadVersion;
+  if (!known_type(in[5])) return HeaderStatus::BadType;
+  out.type = static_cast<FrameType>(in[5]);
+  return HeaderStatus::Ok;
+}
+
+std::vector<std::uint8_t> make_frame(FrameType type, const std::vector<std::uint8_t>& payload) {
+  FrameHeader h;
+  h.type = type;
+  h.length = static_cast<std::uint32_t>(payload.size());
+  h.checksum = frame_checksum(payload.data(), payload.size());
+  std::vector<std::uint8_t> out(kFrameHeaderBytes + payload.size());
+  put_frame_header(h, out.data());
+  // An empty vector's data() may be null, and memcpy's source is declared
+  // nonnull even for zero sizes.
+  if (!payload.empty()) {
+    std::memcpy(out.data() + kFrameHeaderBytes, payload.data(), payload.size());
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode(const WireRequest& m) {
+  std::vector<std::uint8_t> p;
+  p.reserve(64 + m.tenant.size() + m.query_name.size() + m.query.size());
+  put_u64(p, m.request_id);
+  put_str(p, m.tenant);
+  put_str(p, m.query_name);
+  put_str(p, m.query);
+  put_u32(p, m.top_k);
+  put_i32(p, m.min_score);
+  put_u8(p, m.filter);
+  put_i32(p, m.filter_threshold);
+  put_u8(p, m.align);
+  put_u32(p, m.max_hits);
+  put_u32(p, m.deadline_ms);
+  return p;
+}
+
+std::vector<std::uint8_t> encode(const WireHit& m) {
+  std::vector<std::uint8_t> p;
+  p.reserve(80 + m.name.size() + m.cigar.size());
+  put_u64(p, m.request_id);
+  put_u32(p, m.rank);
+  put_u32(p, m.record);
+  put_str(p, m.name);
+  put_i32(p, m.score);
+  put_u32(p, m.end_i);
+  put_u32(p, m.end_j);
+  put_u8(p, m.has_alignment);
+  if (m.has_alignment) {
+    put_u32(p, m.begin_i);
+    put_u32(p, m.begin_j);
+    put_u64(p, m.identity_bits);
+    put_u64(p, m.coverage_bits);
+    put_str(p, m.cigar);
+  }
+  return p;
+}
+
+std::vector<std::uint8_t> encode(const WireDone& m) {
+  std::vector<std::uint8_t> p;
+  p.reserve(80 + m.error.size());
+  put_u64(p, m.request_id);
+  put_u8(p, m.status);
+  put_str(p, m.error);
+  put_u32(p, m.hit_count);
+  put_u64(p, m.records_scanned);
+  put_u64(p, m.cell_updates);
+  put_u64(p, m.swar8_fallbacks);
+  put_u64(p, m.filter_candidates);
+  put_u64(p, m.filter_rescored);
+  put_u64(p, m.filter_rejected);
+  put_u64(p, m.filter_recall_guard);
+  return p;
+}
+
+std::vector<std::uint8_t> encode(const WireError& m) {
+  std::vector<std::uint8_t> p;
+  p.reserve(24 + m.message.size());
+  put_u64(p, m.request_id);
+  put_u16(p, static_cast<std::uint16_t>(m.code));
+  put_u32(p, m.retry_after_ms);
+  put_str(p, m.message);
+  return p;
+}
+
+std::vector<std::uint8_t> encode(const WireCancel& m) {
+  std::vector<std::uint8_t> p;
+  put_u64(p, m.request_id);
+  return p;
+}
+
+std::optional<WireRequest> decode_request(const std::vector<std::uint8_t>& payload) {
+  Reader r(payload);
+  WireRequest m;
+  m.request_id = r.u64();
+  m.tenant = r.str();
+  m.query_name = r.str();
+  m.query = r.str();
+  m.top_k = r.u32();
+  m.min_score = r.i32();
+  m.filter = r.u8();
+  m.filter_threshold = r.i32();
+  m.align = r.u8();
+  m.max_hits = r.u32();
+  m.deadline_ms = r.u32();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::optional<WireHit> decode_hit(const std::vector<std::uint8_t>& payload) {
+  Reader r(payload);
+  WireHit m;
+  m.request_id = r.u64();
+  m.rank = r.u32();
+  m.record = r.u32();
+  m.name = r.str();
+  m.score = r.i32();
+  m.end_i = r.u32();
+  m.end_j = r.u32();
+  m.has_alignment = r.u8();
+  if (m.has_alignment > 1) return std::nullopt;
+  if (m.has_alignment) {
+    m.begin_i = r.u32();
+    m.begin_j = r.u32();
+    m.identity_bits = r.u64();
+    m.coverage_bits = r.u64();
+    m.cigar = r.str();
+  }
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::optional<WireDone> decode_done(const std::vector<std::uint8_t>& payload) {
+  Reader r(payload);
+  WireDone m;
+  m.request_id = r.u64();
+  m.status = r.u8();
+  m.error = r.str();
+  m.hit_count = r.u32();
+  m.records_scanned = r.u64();
+  m.cell_updates = r.u64();
+  m.swar8_fallbacks = r.u64();
+  m.filter_candidates = r.u64();
+  m.filter_rescored = r.u64();
+  m.filter_rejected = r.u64();
+  m.filter_recall_guard = r.u64();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::optional<WireError> decode_error(const std::vector<std::uint8_t>& payload) {
+  Reader r(payload);
+  WireError m;
+  m.request_id = r.u64();
+  std::uint16_t code = r.u16();
+  m.retry_after_ms = r.u32();
+  m.message = r.str();
+  if (!r.done()) return std::nullopt;
+  if (code < static_cast<std::uint16_t>(ErrorCode::BadMagic) ||
+      code > static_cast<std::uint16_t>(ErrorCode::Shutdown))
+    return std::nullopt;
+  m.code = static_cast<ErrorCode>(code);
+  return m;
+}
+
+std::optional<WireCancel> decode_cancel(const std::vector<std::uint8_t>& payload) {
+  Reader r(payload);
+  WireCancel m;
+  m.request_id = r.u64();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+}  // namespace swr::svc::net

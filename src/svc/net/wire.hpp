@@ -1,0 +1,209 @@
+// The swr wire protocol — length-prefixed binary frames for `swr serve`.
+//
+// The paper's fig.-7 deployment and every production-scale aligner in the
+// FPGA survey assume the database host is a *server*: queries arrive over
+// a wire, results stream back. This module is the wire half of that
+// contract, kept deliberately free of sockets so the same encoder/decoder
+// serves the server loop, the client library, the conformance suite's
+// golden vectors and the byte-mutation fuzzer.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic "SWRF"
+//   4       1     version (kWireVersion)
+//   5       1     type (FrameType)
+//   6       2     reserved — 0 on send, ignored on receive
+//   8       4     length — payload bytes that follow the header
+//   12      4     checksum — fnv1a64(payload) folded to 32 bits
+//   16      ...   payload (`length` bytes)
+//
+// The checksum is db::fnv1a over the payload only (the header fields are
+// structurally validated instead), folded hi^lo to 32 bits. A frame whose
+// payload claims more than kMaxFrameBytes is rejected *before* any
+// payload byte is read — length is attacker-controlled input.
+//
+// Malformed-frame contract (what the server guarantees, and the
+// conformance suite enforces): every malformed frame class produces one
+// typed Error frame and a connection that keeps parsing afterwards —
+// never a crash, never a hang, never a silent skip:
+//
+//   bad magic      -> Error(BadMagic); the 16 header bytes are discarded
+//                     and parsing resumes at the next byte
+//   bad version    -> Error(BadVersion); the declared payload is consumed
+//                     (the stream stays frame-aligned)
+//   oversized      -> Error(Oversized); the payload is NOT consumed (its
+//                     length cannot be trusted)
+//   unknown type   -> Error(BadType); payload consumed
+//   bad checksum   -> Error(BadChecksum); payload consumed
+//   short payload  -> (connection truncated mid-frame) the connection is
+//                     closed; the server itself stays healthy
+//
+// Message payloads are field-wise serialized (no struct memcpy): strings
+// are u32 length + bytes, doubles travel as their IEEE-754 bit pattern.
+// Encoding is fully deterministic — the serve parity suite compares raw
+// response bytes against an in-process scan of the same request.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace swr::svc::net {
+
+inline constexpr std::array<std::uint8_t, 4> kWireMagic = {'S', 'W', 'R', 'F'};
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Hard upper bound on one frame's payload. Bigger queries should be
+/// chunked by the application; bigger *claimed* lengths are an attack.
+inline constexpr std::size_t kMaxFrameBytes = 8u << 20;
+
+/// Frame types on the wire.
+enum class FrameType : std::uint8_t {
+  Request = 0x01,  ///< client -> server: one scan request
+  Hit = 0x02,      ///< server -> client: one ranked hit (streamed in order)
+  Done = 0x03,     ///< server -> client: stats trailer ending a response
+  Error = 0x04,    ///< server -> client: typed error (see ErrorCode)
+  Ping = 0x05,     ///< either direction: health probe, payload echoed
+  Pong = 0x06,     ///< reply to Ping with the identical payload
+  Cancel = 0x07,   ///< client -> server: cancel the in-flight request id
+};
+
+/// Typed error codes carried by Error frames.
+enum class ErrorCode : std::uint16_t {
+  BadMagic = 1,     ///< header did not start with "SWRF"
+  BadVersion = 2,   ///< unsupported protocol version
+  BadChecksum = 3,  ///< payload hash mismatch
+  Oversized = 4,    ///< declared length exceeds kMaxFrameBytes
+  BadType = 5,      ///< unknown frame type
+  BadRequest = 6,   ///< well-formed frame, malformed/invalid message
+  Shed = 7,         ///< tenant token bucket empty — retry_after_ms set
+  Overloaded = 8,   ///< service admission queue full — retry_after_ms set
+  Internal = 9,     ///< server-side failure executing the request
+  Shutdown = 10,    ///< server is stopping
+};
+
+const char* to_string(FrameType t) noexcept;
+const char* to_string(ErrorCode c) noexcept;
+
+/// Parsed frame header.
+struct FrameHeader {
+  std::uint8_t version = kWireVersion;
+  FrameType type = FrameType::Ping;
+  std::uint32_t length = 0;
+  std::uint32_t checksum = 0;
+};
+
+/// fnv1a64 folded to the 32-bit frame checksum.
+[[nodiscard]] std::uint32_t frame_checksum(const std::uint8_t* data, std::size_t bytes) noexcept;
+
+/// Serializes `header` into exactly kFrameHeaderBytes.
+void put_frame_header(const FrameHeader& header, std::uint8_t out[kFrameHeaderBytes]) noexcept;
+
+/// Header-parse outcome: the malformed classes the server must survive.
+enum class HeaderStatus : std::uint8_t {
+  Ok,
+  BadMagic,
+  BadVersion,
+  Oversized,
+  BadType,
+};
+
+/// Parses 16 header bytes. On Ok, `out` is fully populated; on BadVersion/
+/// Oversized/BadType, `out.length` still carries the declared length (the
+/// resync policy needs it) when it could be trusted.
+HeaderStatus parse_frame_header(const std::uint8_t in[kFrameHeaderBytes],
+                                FrameHeader& out) noexcept;
+
+/// Builds one complete frame (header + payload) ready to write.
+[[nodiscard]] std::vector<std::uint8_t> make_frame(FrameType type,
+                                                   const std::vector<std::uint8_t>& payload);
+
+// ---- messages -------------------------------------------------------------
+
+/// One scan request. request_id is client-chosen and merely echoed back —
+/// the server imposes no uniqueness; it scopes Hit/Done/Error frames to
+/// the request a pipelining client is waiting on.
+struct WireRequest {
+  std::uint64_t request_id = 0;
+  std::string tenant;        ///< QoS bucket; "" uses the default bucket
+  std::string query_name;
+  std::string query;         ///< residue text, validated server-side
+  std::uint32_t top_k = 10;
+  std::int32_t min_score = 1;
+  std::uint8_t filter = 0;   ///< 0 = exact, 1 = seeded
+  std::int32_t filter_threshold = 0;
+  std::uint8_t align = 0;    ///< 1 = retrieve alignments for ranked hits
+  std::uint32_t max_hits = 0;
+  std::uint32_t deadline_ms = 0;  ///< 0 = none
+};
+
+/// One ranked hit (one Hit frame each, streamed best-first).
+struct WireHit {
+  std::uint64_t request_id = 0;
+  std::uint32_t rank = 0;    ///< 1-based
+  std::uint32_t record = 0;  ///< record id within the store
+  std::string name;          ///< record name from the store
+  std::int32_t score = 0;
+  std::uint32_t end_i = 0;   ///< 1-based end cell (record, query)
+  std::uint32_t end_j = 0;
+  // Alignment block, present when the request asked for --align and this
+  // hit is within the max_hits cap.
+  std::uint8_t has_alignment = 0;
+  std::uint32_t begin_i = 0;
+  std::uint32_t begin_j = 0;
+  std::uint64_t identity_bits = 0;  ///< IEEE-754 bits of the identity fraction
+  std::uint64_t coverage_bits = 0;  ///< IEEE-754 bits of the query coverage
+  std::string cigar;
+};
+
+/// The stats trailer ending a response. Deliberately excludes wall-clock
+/// fields: every byte here is deterministic, so a result-cache replay is
+/// bit-identical to the cold scan that populated it.
+struct WireDone {
+  std::uint64_t request_id = 0;
+  std::uint8_t status = 0;  ///< svc::QueryStatus
+  std::string error;
+  std::uint32_t hit_count = 0;
+  std::uint64_t records_scanned = 0;
+  std::uint64_t cell_updates = 0;
+  std::uint64_t swar8_fallbacks = 0;
+  std::uint64_t filter_candidates = 0;
+  std::uint64_t filter_rescored = 0;
+  std::uint64_t filter_rejected = 0;
+  std::uint64_t filter_recall_guard = 0;
+};
+
+/// A typed error. request_id is 0 when the error is not attributable to a
+/// parsed request (header-level rejections).
+struct WireError {
+  std::uint64_t request_id = 0;
+  ErrorCode code = ErrorCode::Internal;
+  std::uint32_t retry_after_ms = 0;  ///< Shed/Overloaded backoff hint
+  std::string message;
+};
+
+/// Cancel the named in-flight request.
+struct WireCancel {
+  std::uint64_t request_id = 0;
+};
+
+// Encoders produce the frame *payload*; wrap with make_frame to send.
+[[nodiscard]] std::vector<std::uint8_t> encode(const WireRequest& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const WireHit& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const WireDone& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const WireError& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const WireCancel& m);
+
+// Decoders return nullopt on any structural violation (truncated field,
+// string overrunning the payload, trailing garbage) — the caller maps
+// that to ErrorCode::BadRequest, never to a crash.
+[[nodiscard]] std::optional<WireRequest> decode_request(const std::vector<std::uint8_t>& p);
+[[nodiscard]] std::optional<WireHit> decode_hit(const std::vector<std::uint8_t>& p);
+[[nodiscard]] std::optional<WireDone> decode_done(const std::vector<std::uint8_t>& p);
+[[nodiscard]] std::optional<WireError> decode_error(const std::vector<std::uint8_t>& p);
+[[nodiscard]] std::optional<WireCancel> decode_cancel(const std::vector<std::uint8_t>& p);
+
+}  // namespace swr::svc::net

@@ -1,0 +1,327 @@
+// Cache + admission correctness: token-bucket math under a fake clock,
+// result-cache LRU byte bounds and metrics, profile-cache reuse with
+// bit-identical hits, and generation-keyed invalidation — a rebuilt store
+// can never serve stale cached results.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "db/builder.hpp"
+#include "db/store.hpp"
+#include "host/profile_cache.hpp"
+#include "host/scan_engine.hpp"
+#include "obs/metrics.hpp"
+#include "svc/net/result_cache.hpp"
+#include "svc/net/token_bucket.hpp"
+#include "net_test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::svc::net;
+using namespace std::chrono_literals;
+
+constexpr std::uint64_t kNs = 1;
+constexpr std::uint64_t kMs = 1000000;
+constexpr std::uint64_t kSec = 1000000000;
+
+// ---- token bucket ---------------------------------------------------------
+
+TEST(TokenBucket, BurstThenRefillAtRate) {
+  TokenBucket bucket(2.0, 3.0);  // 2 tokens/s, burst 3
+  std::uint32_t retry = 0;
+  std::uint64_t now = kSec;  // first call pins the clock
+
+  EXPECT_TRUE(bucket.try_acquire(now, &retry));
+  EXPECT_TRUE(bucket.try_acquire(now, &retry));
+  EXPECT_TRUE(bucket.try_acquire(now, &retry));
+  EXPECT_FALSE(bucket.try_acquire(now, &retry)) << "burst exhausted";
+  // One token accrues in 500ms; the hint rounds up past the deficit.
+  EXPECT_GE(retry, 1u);
+  EXPECT_LE(retry, 501u);
+
+  now += 500 * kMs;
+  EXPECT_TRUE(bucket.try_acquire(now, &retry)) << "refilled at 2/s";
+  EXPECT_FALSE(bucket.try_acquire(now, &retry));
+}
+
+TEST(TokenBucket, CapsAtBurst) {
+  TokenBucket bucket(100.0, 2.0);
+  std::uint32_t retry = 0;
+  std::uint64_t now = kSec;
+  EXPECT_TRUE(bucket.try_acquire(now, &retry));
+  now += 3600 * kSec;  // an hour idle refills to burst, not rate*3600
+  EXPECT_TRUE(bucket.try_acquire(now, &retry));
+  EXPECT_TRUE(bucket.try_acquire(now, &retry));
+  EXPECT_FALSE(bucket.try_acquire(now, &retry));
+}
+
+TEST(TokenBucket, WaitingTheHintAlwaysFindsAToken) {
+  TokenBucket bucket(7.0, 1.0);
+  std::uint32_t retry = 0;
+  std::uint64_t now = kSec;
+  EXPECT_TRUE(bucket.try_acquire(now, &retry));
+  for (int k = 0; k < 20; ++k) {
+    ASSERT_FALSE(bucket.try_acquire(now, &retry));
+    now += static_cast<std::uint64_t>(retry) * kMs;
+    ASSERT_TRUE(bucket.try_acquire(now, &retry)) << "hint " << retry << "ms undershot";
+  }
+}
+
+TEST(TokenBucket, ZeroRateDisablesLimiting) {
+  TokenBucket bucket(0.0, 1.0);
+  for (int k = 0; k < 100; ++k) EXPECT_TRUE(bucket.try_acquire(kNs * 5, nullptr));
+}
+
+TEST(TenantTable, OverridesAndIsolation) {
+  TenantTable table({0.0, 1.0}, {{"tight", {1.0, 1.0}}});
+  EXPECT_TRUE(table.configured("tight"));
+  EXPECT_FALSE(table.configured("anyone"));
+
+  std::uint64_t now = kSec;
+  EXPECT_TRUE(table.try_acquire("tight", now, nullptr));
+  EXPECT_FALSE(table.try_acquire("tight", now, nullptr));
+  // Other tenants ride the (unlimited) default and are unaffected.
+  for (int k = 0; k < 10; ++k) EXPECT_TRUE(table.try_acquire("anyone", now, nullptr));
+}
+
+// ---- result cache (unit) --------------------------------------------------
+
+CachedResponse small_response(const std::string& name, std::uint32_t score) {
+  CachedResponse r;
+  WireHit h;
+  h.rank = 1;
+  h.name = name;
+  h.score = static_cast<std::int32_t>(score);
+  r.hits.push_back(h);
+  r.trailer.hit_count = 1;
+  r.trailer.records_scanned = 10;
+  return r;
+}
+
+TEST(ResultCache, HitMissCountersAndPromotion) {
+  obs::Registry reg;
+  ResultCache cache(1 << 20, &reg, "svc.cache.result");
+  const ResultKey a{1, 2, 3};
+  const ResultKey b{4, 5, 6};
+
+  EXPECT_FALSE(cache.lookup(a).has_value());
+  cache.insert(a, small_response("a", 10));
+  cache.insert(b, small_response("b", 20));
+  const auto hit = cache.lookup(a);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->hits[0].name, "a");
+
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("svc.cache.result.hits"), 1u);
+  EXPECT_EQ(snap.counter("svc.cache.result.misses"), 1u);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.bytes(),
+            ResultCache::response_bytes(small_response("a", 10)) +
+                ResultCache::response_bytes(small_response("b", 20)));
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedUnderByteBound) {
+  obs::Registry reg;
+  const std::size_t one = ResultCache::response_bytes(small_response("xx", 1));
+  ResultCache cache(one * 2, &reg, "svc.cache.result");
+
+  cache.insert({1, 0, 0}, small_response("r1", 1));
+  cache.insert({2, 0, 0}, small_response("r2", 1));
+  ASSERT_TRUE(cache.lookup({1, 0, 0}).has_value());  // promote r1 to MRU
+
+  cache.insert({3, 0, 0}, small_response("r3", 1));  // evicts r2 (LRU)
+  EXPECT_LE(cache.bytes(), cache.max_bytes());
+  EXPECT_TRUE(cache.lookup({1, 0, 0}).has_value());
+  EXPECT_FALSE(cache.lookup({2, 0, 0}).has_value());
+  EXPECT_TRUE(cache.lookup({3, 0, 0}).has_value());
+  EXPECT_EQ(reg.snapshot().counter("svc.cache.result.evictions"), 1u);
+}
+
+TEST(ResultCache, OversizedResponseAndZeroBoundAreDropped) {
+  ResultCache off(0, nullptr, "svc.cache.result");
+  off.insert({1, 1, 1}, small_response("x", 1));
+  EXPECT_FALSE(off.lookup({1, 1, 1}).has_value());
+  EXPECT_EQ(off.entries(), 0u);
+
+  ResultCache tiny(8, nullptr, "svc.cache.result");  // smaller than any response
+  tiny.insert({1, 1, 1}, small_response("x", 1));
+  EXPECT_EQ(tiny.entries(), 0u);
+}
+
+TEST(ResultCache, OptionsHashCoversResponseShapingFieldsOnly) {
+  WireRequest a = test::planted_request(1, "alice");
+  WireRequest b = a;
+  b.request_id = 999;
+  b.tenant = "bob";
+  b.query_name = "other-name";
+  EXPECT_EQ(request_options_hash(a), request_options_hash(b))
+      << "request identity fields must not split cache entries";
+
+  WireRequest c = a;
+  c.top_k = a.top_k + 1;
+  EXPECT_NE(request_options_hash(a), request_options_hash(c));
+  WireRequest d = a;
+  d.align = 1;
+  EXPECT_NE(request_options_hash(a), request_options_hash(d));
+}
+
+// ---- store generation -----------------------------------------------------
+
+TEST(StoreGeneration, StableAcrossOpensChangesWithContent) {
+  const std::vector<seq::Sequence> recs = test::net_records(12, 100);
+  const std::string path = test::build_net_store(recs, "gen_a.swdb");
+  const std::uint64_t g1 = db::Store::open(path).generation();
+  const std::uint64_t g2 = db::Store::open(path).generation();
+  EXPECT_EQ(g1, g2) << "generation is a pure content stamp";
+
+  // Rebuild the same path with different content: generation must move.
+  std::vector<seq::Sequence> changed = recs;
+  changed.push_back(seq::Sequence::dna("TTTTCCCCGGGGAAAA", "extra"));
+  db::build_store(changed, path);
+  const std::uint64_t g3 = db::Store::open(path).generation();
+  EXPECT_NE(g1, g3) << "swdb rebuild with new content must bump the generation";
+
+  // Same content rebuilt => same generation (content-addressed, not timestamped).
+  const std::string path2 = test::build_net_store(recs, "gen_b.swdb");
+  EXPECT_EQ(db::Store::open(path2).generation(), g1);
+}
+
+// ---- profile cache --------------------------------------------------------
+
+TEST(ProfileCache, ReuseIsCountedAndHitsAreBitIdentical) {
+  const std::vector<seq::Sequence> recs = test::net_records(24, 500);
+  const db::Store store = db::Store::open(test::build_net_store(recs, "profcache.swdb"));
+  const seq::Sequence query = seq::Sequence::dna("ACGTACGTACGTACGTACGT", "q");
+  const align::Scoring sc;
+
+  obs::Registry reg;
+  host::ProfileCache cache(8, &reg, "svc.cache.profile");
+
+  host::ScanOptions cold;
+  cold.top_k = 6;
+  host::ScanOptions cached = cold;
+  cached.profile_cache = &cache;
+
+  const host::ScanResult base = host::scan_database_cpu(query, store, sc, cold);
+  const host::ScanResult warm1 = host::scan_database_cpu(query, store, sc, cached);
+  const host::ScanResult warm2 = host::scan_database_cpu(query, store, sc, cached);
+
+  ASSERT_EQ(base.hits.size(), warm1.hits.size());
+  for (std::size_t k = 0; k < base.hits.size(); ++k) {
+    EXPECT_EQ(base.hits[k].record, warm1.hits[k].record);
+    EXPECT_EQ(base.hits[k].result.score, warm1.hits[k].result.score);
+    EXPECT_EQ(base.hits[k].result.end.i, warm1.hits[k].result.end.i);
+    EXPECT_EQ(warm1.hits[k].record, warm2.hits[k].record);
+    EXPECT_EQ(warm1.hits[k].result.score, warm2.hits[k].result.score);
+  }
+
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("svc.cache.profile.misses"), 1u) << "one build for two scans";
+  EXPECT_GE(snap.counter("svc.cache.profile.hits"), 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(ProfileCache, EvictsByEntryBound) {
+  host::ProfileCache cache(2);
+  const align::Scoring sc;
+  for (int k = 0; k < 5; ++k) {
+    (void)cache.acquire(test::random_dna(24, 7000 + static_cast<std::uint64_t>(k)), sc, 0);
+  }
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+// ---- end-to-end over the wire ---------------------------------------------
+
+class ServeCaches : public ::testing::Test {
+ protected:
+  static svc::net::ServerConfig config() {
+    svc::net::ServerConfig cfg;
+    cfg.service.cpu_workers = 1;
+    cfg.result_cache_bytes = 1 << 20;
+    return cfg;
+  }
+  test::NetServerFixture fixture_{"serve_caches.swdb", config()};
+};
+
+TEST_F(ServeCaches, WarmHitIsBitIdenticalToColdScan) {
+  ScanClient client = fixture_.connect();
+  WireRequest req = test::planted_request(1);
+  req.align = 1;
+
+  const ClientResponse cold = client.scan(req);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  ASSERT_GT(cold.hits.size(), 0u);
+
+  const ClientResponse warm = client.scan(req);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_EQ(warm.raw_bytes, cold.raw_bytes)
+      << "result-cache replay must be byte-identical on the wire";
+
+  // Different request_id: same content, different id stamps.
+  WireRequest req2 = req;
+  req2.request_id = 2;
+  const ClientResponse warm2 = client.scan(req2);
+  ASSERT_TRUE(warm2.ok) << warm2.error;
+  EXPECT_NE(warm2.raw_bytes, cold.raw_bytes);
+  ASSERT_EQ(warm2.hits.size(), cold.hits.size());
+  for (std::size_t k = 0; k < cold.hits.size(); ++k) {
+    EXPECT_EQ(warm2.hits[k].name, cold.hits[k].name);
+    EXPECT_EQ(warm2.hits[k].score, cold.hits[k].score);
+    EXPECT_EQ(warm2.hits[k].cigar, cold.hits[k].cigar);
+    EXPECT_EQ(warm2.hits[k].request_id, 2u);
+  }
+
+  const obs::Snapshot snap = fixture_.registry().snapshot();
+  EXPECT_EQ(snap.counter("svc.cache.result.hits"), 2u);
+  EXPECT_EQ(snap.counter("svc.cache.result.misses"), 1u);
+  EXPECT_GE(snap.counter("svc.cache.profile.misses"), 1u);
+}
+
+TEST_F(ServeCaches, ProfileCacheReuseVisibleInServerCounters) {
+  ScanClient client = fixture_.connect();
+  // Same query, different top_k: result cache misses both times, but the
+  // profile bundle is shared.
+  WireRequest a = test::planted_request(1);
+  a.top_k = 3;
+  WireRequest b = test::planted_request(2);
+  b.top_k = 4;
+  ASSERT_TRUE(client.scan(a).ok);
+  ASSERT_TRUE(client.scan(b).ok);
+
+  const obs::Snapshot snap = fixture_.registry().snapshot();
+  EXPECT_EQ(snap.counter("svc.cache.result.hits"), 0u);
+  EXPECT_EQ(snap.counter("svc.cache.result.misses"), 2u);
+  EXPECT_EQ(snap.counter("svc.cache.profile.misses"), 1u);
+  EXPECT_GE(snap.counter("svc.cache.profile.hits"), 1u);
+}
+
+// A `swdb build` that changes the database invalidates every cached
+// result: the generation is part of the key, so the new server instance
+// can never replay the old store's hits.
+TEST(ServeCachesGeneration, RebuildInvalidatesResultCache) {
+  const std::vector<seq::Sequence> recs_v1 = test::net_records(20, 808);
+  std::vector<seq::Sequence> recs_v2 = recs_v1;
+  recs_v2.push_back(seq::Sequence::dna("ACGTACGTACGTACGTACGTACGT", "planted2"));
+
+  const std::uint64_t g1 =
+      db::Store::open(test::build_net_store(recs_v1, "gen_inv1.swdb")).generation();
+  const std::uint64_t g2 =
+      db::Store::open(test::build_net_store(recs_v2, "gen_inv2.swdb")).generation();
+  ASSERT_NE(g1, g2);
+
+  // The cache key is exactly (query, options, generation): same request
+  // against the two generations lands in different entries.
+  const WireRequest req = test::planted_request(1);
+  const ResultKey k1{query_text_hash(req.query), request_options_hash(req), g1};
+  const ResultKey k2{query_text_hash(req.query), request_options_hash(req), g2};
+
+  ResultCache cache(1 << 20, nullptr, "svc.cache.result");
+  cache.insert(k1, small_response("stale", 99));
+  EXPECT_FALSE(cache.lookup(k2).has_value())
+      << "a rebuilt store must never see the old generation's entries";
+  EXPECT_TRUE(cache.lookup(k1).has_value());
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// Socket storm: concurrent connections, mixed tenants, cancels, slow
+// readers and mid-request disconnects against one live server. The exit
+// assertions are the ones that matter in production: per-tenant token
+// buckets keep a greedy tenant inside its configured rate, and the
+// svc.net.* counters reconcile exactly — every request that entered
+// handle_request left through exactly one outcome counter. TSan runs this
+// whole file in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "svc/net/client.hpp"
+#include "svc/net/wire.hpp"
+#include "net_test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::svc::net;
+using namespace std::chrono_literals;
+
+svc::net::ServerConfig storm_config() {
+  svc::net::ServerConfig cfg;
+  cfg.service.cpu_workers = 2;
+  cfg.service.queue_capacity = 64;
+  cfg.write_timeout = 2000ms;
+  // alice is effectively unthrottled; bob is tightly rate-limited. Both
+  // are configured explicitly so they get per-tenant counters.
+  cfg.tenant_limits["alice"] = {10000.0, 64};
+  cfg.tenant_limits["bob"] = {5.0, 2};
+  return cfg;
+}
+
+TEST(NetStorm, MixedTenantsCancelsAndDisconnects) {
+  test::NetServerFixture fixture("net_storm.swdb", storm_config());
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::atomic<int> alice_ok{0};
+  std::atomic<int> bob_ok{0};
+  std::atomic<int> bob_shed{0};
+  std::atomic<int> transport_errors{0};
+
+  std::vector<std::thread> threads;
+
+  // 4 alice connections, each a burst of sequential requests.
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&fixture, &alice_ok, &transport_errors, t] {
+      ScanClient client;
+      std::string error;
+      if (!client.connect("127.0.0.1", fixture.port(), error)) {
+        ++transport_errors;
+        return;
+      }
+      for (int k = 0; k < 8; ++k) {
+        const ClientResponse resp = client.scan(
+            test::planted_request(static_cast<std::uint64_t>(t * 100 + k), "alice"));
+        if (resp.ok) {
+          ++alice_ok;
+        } else if (resp.errors.empty()) {
+          ++transport_errors;
+        }
+        // Overloaded/Shed responses are legitimate storm outcomes; they
+        // reconcile via the server counters below.
+      }
+    });
+  }
+
+  // 2 bob connections hammering far past 5 req/s — most must shed.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&fixture, &bob_ok, &bob_shed, &transport_errors, t] {
+      ScanClient client;
+      std::string error;
+      if (!client.connect("127.0.0.1", fixture.port(), error)) {
+        ++transport_errors;
+        return;
+      }
+      for (int k = 0; k < 15; ++k) {
+        const ClientResponse resp = client.scan(
+            test::planted_request(static_cast<std::uint64_t>(1000 + t * 100 + k), "bob"));
+        if (resp.ok) {
+          ++bob_ok;
+        } else if (!resp.errors.empty() && resp.errors[0].code == ErrorCode::Shed) {
+          EXPECT_GT(resp.errors[0].retry_after_ms, 0u) << "shed must carry a retry hint";
+          ++bob_shed;
+        }
+      }
+    });
+  }
+
+  // Cancellers: submit, cancel the in-flight id, read to completion.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&fixture, &transport_errors, t] {
+      ScanClient client;
+      std::string error;
+      if (!client.connect("127.0.0.1", fixture.port(), error)) {
+        ++transport_errors;
+        return;
+      }
+      for (int k = 0; k < 5; ++k) {
+        const auto id = static_cast<std::uint64_t>(2000 + t * 100 + k);
+        if (!client.send_frame(FrameType::Request, encode(test::planted_request(id)))) {
+          ++transport_errors;
+          return;
+        }
+        client.send_cancel(id);
+        // The server still finishes the exchange: hits (possibly partial)
+        // then a Done trailer whose status may be done or cancelled.
+        ClientFrame frame;
+        bool done = false;
+        for (int reads = 0; reads < 64 && !done; ++reads) {
+          if (!client.read_frame(frame, 10000ms, error)) {
+            ++transport_errors;
+            return;
+          }
+          done = frame.type == FrameType::Done || frame.type == FrameType::Error;
+        }
+        EXPECT_TRUE(done);
+      }
+    });
+  }
+
+  // Mid-request disconnects: send a request, vanish without reading.
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&fixture, t] {
+      ScanClient client;
+      std::string error;
+      if (!client.connect("127.0.0.1", fixture.port(), error)) return;
+      client.send_frame(FrameType::Request,
+                        encode(test::planted_request(static_cast<std::uint64_t>(3000 + t))));
+      client.close();
+    });
+  }
+
+  // A slow reader: requests with alignments, then reads with long pauses.
+  // Its stalls must not block any other tenant (the threads above finish
+  // while this one is still dawdling).
+  threads.emplace_back([&fixture, &transport_errors] {
+    ScanClient client;
+    std::string error;
+    if (!client.connect("127.0.0.1", fixture.port(), error)) return;
+    WireRequest req = test::planted_request(4000, "alice");
+    req.align = 1;
+    if (!client.send_frame(FrameType::Request, encode(req))) return;
+    ClientFrame frame;
+    for (int reads = 0; reads < 64; ++reads) {
+      std::this_thread::sleep_for(50ms);
+      if (!client.read_frame(frame, 10000ms, error)) {
+        ++transport_errors;
+        return;
+      }
+      if (frame.type == FrameType::Done || frame.type == FrameType::Error) return;
+    }
+  });
+
+  for (std::thread& th : threads) th.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  // Quiesce: joins every connection thread, so all outcome accounting for
+  // the disconnected requests has landed before the snapshot.
+  fixture.server().stop();
+  const obs::Snapshot snap = fixture.registry().snapshot();
+
+  EXPECT_EQ(transport_errors.load(), 0);
+
+  // The reconciliation invariant.
+  const std::uint64_t requests = snap.counter("svc.net.requests");
+  const std::uint64_t outcomes =
+      snap.counter("svc.net.responses") + snap.counter("svc.net.shed") +
+      snap.counter("svc.net.overloaded") + snap.counter("svc.net.invalid_requests") +
+      snap.counter("svc.net.aborted");
+  EXPECT_EQ(requests, outcomes);
+  EXPECT_GT(requests, 0u);
+
+  // Per-tenant counters agree with what the clients saw.
+  EXPECT_EQ(snap.counter("svc.net.tenant.bob.shed"), static_cast<std::uint64_t>(bob_shed.load()));
+  EXPECT_GE(snap.counter("svc.net.tenant.alice.served"),
+            static_cast<std::uint64_t>(alice_ok.load()));
+
+  // Token-bucket fairness: bob can never beat burst + rate * time (with
+  // a slack term for timer coarseness); alice is not starved by bob.
+  EXPECT_GE(bob_shed.load(), 1) << "storm never pressured bob's bucket";
+  const double bob_budget = 2.0 + 5.0 * elapsed + 2.0;
+  EXPECT_LE(static_cast<double>(bob_ok.load()), bob_budget)
+      << "bob served past his token budget (elapsed " << elapsed << "s)";
+  EXPECT_GE(alice_ok.load(), bob_ok.load());
+  EXPECT_GE(alice_ok.load(), 24) << "alice (unthrottled) should serve nearly all requests";
+
+  // The storm's malformed/teardown traffic must not leak connections.
+  EXPECT_EQ(fixture.server().active_connections(), 0u);
+}
+
+// Cancel for a *different* request id must not cancel the in-flight scan.
+TEST(NetStorm, CancelIsScopedToRequestId) {
+  svc::net::ServerConfig cfg;
+  cfg.service.cpu_workers = 1;
+  test::NetServerFixture fixture("net_cancel_scope.swdb", cfg);
+
+  ScanClient client = fixture.connect();
+  const std::uint64_t id = 42;
+  ASSERT_TRUE(client.send_frame(FrameType::Request, encode(test::planted_request(id))));
+  ASSERT_TRUE(client.send_cancel(id + 1));  // someone else's id
+
+  ClientFrame frame;
+  std::string error;
+  WireDone done;
+  bool got_done = false;
+  for (int reads = 0; reads < 64 && !got_done; ++reads) {
+    ASSERT_TRUE(client.read_frame(frame, 10000ms, error)) << error;
+    if (frame.type == FrameType::Done) {
+      const auto d = decode_done(frame.payload);
+      ASSERT_TRUE(d.has_value());
+      done = *d;
+      got_done = true;
+    }
+  }
+  ASSERT_TRUE(got_done);
+  EXPECT_EQ(done.status, static_cast<std::uint8_t>(svc::QueryStatus::Done))
+      << "a mismatched cancel id must not cancel the scan";
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Wire parity: every byte the daemon writes for a request must be
+// bit-identical to encoding an in-process ScanService response for the
+// same request. This is the contract that makes `swr serve` a drop-in for
+// `swr scan --batch` — covered across the exact tier, the seeded
+// prefilter tier, and alignment retrieval, plus the cold/warm cache
+// paths (a cache replay goes through the same encoder, so parity holds
+// for it by the same comparison).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/net/client.hpp"
+#include "svc/net/server.hpp"
+#include "svc/scan_service.hpp"
+#include "net_test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::svc::net;
+using namespace std::chrono_literals;
+
+class ServeParity : public ::testing::Test {
+ protected:
+  static svc::net::ServerConfig config() {
+    svc::net::ServerConfig cfg;
+    cfg.service.cpu_workers = 1;
+    return cfg;
+  }
+
+  ServeParity() : fixture_("serve_parity.swdb", config()) {
+    // The in-process reference: same store, same service knobs, no
+    // network. Chunk merge is deterministic, so worker count does not
+    // matter for parity — but mirror the server anyway.
+    reference_ = std::make_unique<svc::ScanService>(fixture_.store(), config().service);
+  }
+
+  /// Maps a WireRequest exactly as the server does and runs it in-process.
+  [[nodiscard]] std::vector<std::uint8_t> reference_bytes(const WireRequest& req) {
+    seq::Sequence query(fixture_.store().alphabet(), req.query, req.query_name);
+    host::ScanOptions opt;
+    opt.top_k = req.top_k;
+    opt.min_score = req.min_score;
+    opt.filter = req.filter == 1 ? host::FilterMode::Seeded : host::FilterMode::Exact;
+    opt.filter_threshold = req.filter_threshold;
+    opt.align = req.align != 0;
+    opt.max_hits = req.max_hits;
+    const svc::Ticket ticket = reference_->submit(std::move(query), opt,
+                                                  std::chrono::milliseconds(req.deadline_ms));
+    const svc::ScanResponse resp = ticket.response.get();
+    EXPECT_EQ(resp.status, svc::QueryStatus::Done);
+    return encode_response_bytes(to_wire(resp, fixture_.store()), req.request_id);
+  }
+
+  void expect_parity(const WireRequest& req) {
+    ScanClient client = fixture_.connect();
+    const ClientResponse over_wire = client.scan(req);
+    ASSERT_TRUE(over_wire.ok) << over_wire.error;
+    EXPECT_EQ(over_wire.raw_bytes, reference_bytes(req))
+        << "socket bytes diverged from the in-process encoding (request "
+        << req.request_id << ")";
+  }
+
+  test::NetServerFixture fixture_;
+  std::unique_ptr<svc::ScanService> reference_;
+};
+
+TEST_F(ServeParity, ExactTier) {
+  WireRequest req = test::planted_request(11);
+  req.top_k = 8;
+  expect_parity(req);
+}
+
+TEST_F(ServeParity, SeededPrefilterTier) {
+  WireRequest req = test::planted_request(12);
+  req.filter = 1;  // seeded prefilter + exact rescore
+  req.top_k = 8;
+  expect_parity(req);
+}
+
+TEST_F(ServeParity, AlignmentRetrieval) {
+  WireRequest req = test::planted_request(13);
+  req.align = 1;
+  req.top_k = 4;
+  expect_parity(req);
+
+  // And alignments on top of the seeded tier.
+  WireRequest seeded = test::planted_request(14);
+  seeded.filter = 1;
+  seeded.align = 1;
+  seeded.top_k = 4;
+  expect_parity(seeded);
+}
+
+TEST_F(ServeParity, EmptyHitSet) {
+  WireRequest req = test::planted_request(15);
+  req.min_score = 1 << 20;  // nothing can reach this
+  expect_parity(req);
+}
+
+TEST_F(ServeParity, MaxHitsCap) {
+  WireRequest req = test::planted_request(16);
+  req.top_k = 10;
+  req.max_hits = 2;
+  expect_parity(req);
+}
+
+// Several requests pipelined over one connection keep byte parity — no
+// state from an earlier exchange may leak into a later one.
+TEST_F(ServeParity, SequentialRequestsOnOneConnection) {
+  ScanClient client = fixture_.connect();
+  for (std::uint64_t id = 20; id < 25; ++id) {
+    WireRequest req = test::planted_request(id);
+    req.top_k = static_cast<std::uint32_t>(1 + id % 5);
+    req.align = id % 2;
+    const ClientResponse over_wire = client.scan(req);
+    ASSERT_TRUE(over_wire.ok) << over_wire.error;
+    EXPECT_EQ(over_wire.raw_bytes, reference_bytes(req)) << "request " << id;
+  }
+}
+
+// The warm (result-cache) path replays through the same encoder: warm
+// bytes equal cold bytes equal the in-process encoding.
+TEST_F(ServeParity, CacheReplayKeepsParity) {
+  WireRequest req = test::planted_request(30);
+  req.align = 1;
+  const std::vector<std::uint8_t> expect = reference_bytes(req);
+
+  ScanClient client = fixture_.connect();
+  const ClientResponse cold = client.scan(req);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  const ClientResponse warm = client.scan(req);
+  ASSERT_TRUE(warm.ok) << warm.error;
+
+  EXPECT_EQ(cold.raw_bytes, expect);
+  EXPECT_EQ(warm.raw_bytes, expect);
+  EXPECT_GE(fixture_.registry().snapshot().counter("svc.cache.result.hits"), 1u);
+}
+
+}  // namespace
