@@ -31,6 +31,7 @@
 #include "bench_util.hpp"
 #include "core/accelerator.hpp"
 #include "core/cpu_features.hpp"
+#include "core/topology.hpp"
 #include "db/builder.hpp"
 #include "db/store.hpp"
 #include "host/batch.hpp"
@@ -260,7 +261,8 @@ const char* simd_name(host::SimdPolicy p) {
 void write_scan_json(const ScanWorkload& w, const std::vector<ScanRow>& rows,
                      double speedup_vs_seq_baseline, double speedup_vs_cpu_scalar) {
   std::ofstream js("BENCH_scan.json");
-  js << "{\n  \"workload\": {\"query_len\": " << w.query.size()
+  js << "{\n  \"host\": " << bench::host_meta_json() << ",\n";
+  js << "  \"workload\": {\"query_len\": " << w.query.size()
      << ", \"records\": " << w.records.size() << ", \"cells\": " << w.cells << "},\n";
   js << "  \"rows\": [\n";
   for (std::size_t k = 0; k < rows.size(); ++k) {
@@ -405,7 +407,8 @@ void run_simd_comparison() {
   std::printf("widest (%s) vs swar8: %.2fx GCUPS\n", widest.simd.c_str(), speedup);
 
   std::ofstream js("BENCH_simd.json");
-  js << "{\n  \"workload\": {\"query_len\": " << w.query.size()
+  js << "{\n  \"host\": " << bench::host_meta_json() << ",\n";
+  js << "  \"workload\": {\"query_len\": " << w.query.size()
      << ", \"records\": " << w.records.size() << ", \"cells\": " << w.cells << "},\n";
   js << "  \"detected_isa\": \"" << core::simd_isa_name(core::detected_simd_isa()) << "\",\n";
   js << "  \"rows\": [\n";
@@ -531,7 +534,8 @@ void run_interseq_comparison() {
               interseq_ge_striped ? "yes" : "NO");
 
   std::ofstream js("BENCH_interseq.json");
-  js << "{\n  \"query_len\": " << query.size() << ",\n";
+  js << "{\n  \"host\": " << bench::host_meta_json() << ",\n";
+  js << "  \"query_len\": " << query.size() << ",\n";
   js << "  \"simd\": \"" << core::simd_isa_name(core::detected_simd_isa()) << "\",\n";
   js << "  \"databases\": [\n";
   for (std::size_t i = 0; i < cases.size(); ++i) {
@@ -689,7 +693,8 @@ int run_filter_comparison() {
   }
 
   std::ofstream js("BENCH_filter.json");
-  js << "{\n  \"query_len\": " << query.size() << ",\n";
+  js << "{\n  \"host\": " << bench::host_meta_json() << ",\n";
+  js << "  \"query_len\": " << query.size() << ",\n";
   js << "  \"simd\": \"" << core::simd_isa_name(core::detected_simd_isa()) << "\",\n";
   js << "  \"min_score\": " << opt.min_score << ",\n";
   js << "  \"databases\": [\n";
@@ -840,7 +845,8 @@ int run_retrieve_comparison() {
   std::printf("peak cells linear in m+n on every window: %s\n", all_linear ? "yes" : "NO");
 
   std::ofstream js("BENCH_retrieve.json");
-  js << "{\n  \"workload\": {\"query_len\": " << w.query.size()
+  js << "{\n  \"host\": " << bench::host_meta_json() << ",\n";
+  js << "  \"workload\": {\"query_len\": " << w.query.size()
      << ", \"records\": " << w.records.size() << ", \"top_k\": " << base.top_k
      << ", \"hits\": " << plain.hits.size() << "},\n";
   js << "  \"scan_only_seconds\": " << scan_s << ",\n";
@@ -1050,7 +1056,8 @@ int run_serve_comparison() {
   std::printf("tenant QoS: %s\n", qos_ok ? "pass" : "FAIL");
 
   std::ofstream js("BENCH_serve.json");
-  js << "{\n  \"workload\": {\"records\": " << store.size() << ", \"query_len\": 100},\n";
+  js << "{\n  \"host\": " << bench::host_meta_json() << ",\n";
+  js << "  \"workload\": {\"records\": " << store.size() << ", \"query_len\": 100},\n";
   js << "  \"connections\": [\n";
   for (std::size_t k = 0; k < conn_rows.size(); ++k) {
     const ConnRow& r = conn_rows[k];
@@ -1158,7 +1165,8 @@ void run_db_comparison() {
   }
 
   std::ofstream js("BENCH_db.json");
-  js << "{\n  \"workload\": {\"records\": " << w.records.size() << ", \"cells\": " << w.cells
+  js << "{\n  \"host\": " << bench::host_meta_json() << ",\n";
+  js << "  \"workload\": {\"records\": " << w.records.size() << ", \"cells\": " << w.cells
      << ", \"swdb_bytes\": " << built.file_bytes << ", \"encoding\": \""
      << (built.encoding == db::Encoding::Packed2 ? "packed2" : "raw8") << "\"},\n";
   js << "  \"load\": {\"fasta_parse_seconds\": " << fasta_s
@@ -1204,6 +1212,150 @@ BENCHMARK(BM_ScanCpu)
     ->Args({8, static_cast<int>(host::SimdPolicy::Auto)})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// ---- NUMA placement comparison (BENCH_numa.json) -------------------------
+//
+// The tentpole's scaling evidence: a store-backed scan measured across
+// thread counts with placement off vs a deterministic fake 2-node split
+// of this machine's cpus. Alongside the GCUPS curve it checks the
+// placement contract: hits bit-identical to the placement-blind scan, and
+// scan.numa.local_bytes + scan.numa.remote_bytes reconciling exactly with
+// the encoded payload bytes the scan streamed. CI runs
+// `bench_kernels --numa-only`; a parity or reconciliation break exits
+// non-zero.
+int run_numa_comparison() {
+  bench::header("numa placement: off vs fake 2-node split (store-backed, GCUPS)");
+  seq::RandomSequenceGenerator gen(7171);
+  const seq::Sequence query = gen.uniform(seq::dna(), 100, "q");
+  const std::size_t n_records = bench::full_scale() ? 20'000 : 2'000;
+  std::vector<seq::Sequence> records;
+  records.reserve(n_records);
+  for (std::size_t r = 0; r < n_records; ++r) {
+    records.push_back(gen.uniform(seq::dna(), 500, "n" + std::to_string(r)));
+  }
+  const std::string path = "BENCH_numa_workload.swdb";
+  db::build_store(records, path);
+  const db::Store store = db::Store::open(path);
+
+  std::uint64_t cells = 0;
+  std::uint64_t payload = 0;  // what local_bytes + remote_bytes must equal
+  for (std::size_t r = 0; r < store.size(); ++r) {
+    cells += static_cast<std::uint64_t>(store.length(r)) * query.size();
+    payload += store.payload_range(r).bytes;
+  }
+  std::printf("workload: %zu records, %.1f MBP database, %llu payload bytes\n", store.size(),
+              static_cast<double>(cells) / query.size() / 1e6,
+              static_cast<unsigned long long>(payload));
+
+  // Half this machine's cpus per fake node: a 2-node split whose affinity
+  // masks are real, so pinning actually happens.
+  const unsigned ncpu = std::max(2u, std::thread::hardware_concurrency());
+  const std::string fake = "fake:2x" + std::to_string(ncpu / 2);
+
+  struct NumaRow {
+    std::string mode;
+    std::size_t threads = 0;
+    double seconds = 0.0;
+    double gcups = 0.0;
+    std::uint64_t local_bytes = 0;
+    std::uint64_t remote_bytes = 0;
+    std::uint64_t prefault_pages = 0;
+  };
+  std::vector<NumaRow> rows;
+  std::vector<host::Hit> baseline;  // --numa off, 1 thread
+  bool hits_ok = true;
+  bool counters_ok = true;
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}}) {
+    for (const std::string& mode : {std::string("off"), fake}) {
+      host::ScanOptions o;
+      o.top_k = 10;
+      o.min_score = 20;
+      o.threads = threads;
+      o.numa = core::parse_numa_request(mode);
+
+      NumaRow row;
+      row.mode = mode;
+      row.threads = threads;
+      row.seconds = 1e100;
+      host::ScanResult res;
+      for (int rep = 0; rep < 3; ++rep) {  // min-of-3: the noise-free estimate
+        const bench::Timer t;
+        res = host::scan_database_cpu(query, store, kSc, o);
+        benchmark::DoNotOptimize(&res);
+        row.seconds = std::min(row.seconds, t.seconds());
+      }
+      row.gcups = static_cast<double>(cells) / row.seconds / 1e9;
+
+      // One extra accounting pass against a fresh registry so the
+      // counters cover exactly one scan.
+      obs::Registry reg;
+      o.metrics = &reg;
+      res = host::scan_database_cpu(query, store, kSc, o);
+      row.local_bytes = reg.counter("scan.numa.local_bytes").value();
+      row.remote_bytes = reg.counter("scan.numa.remote_bytes").value();
+      row.prefault_pages = reg.counter("scan.numa.prefault_pages").value();
+      if (mode != "off" && row.local_bytes + row.remote_bytes != payload) counters_ok = false;
+      if (mode == "off" && (row.local_bytes | row.remote_bytes) != 0) counters_ok = false;
+
+      if (baseline.empty()) {
+        baseline = res.hits;
+      } else if (res.hits.size() != baseline.size()) {
+        hits_ok = false;
+      } else {
+        for (std::size_t h = 0; h < baseline.size(); ++h) {
+          if (res.hits[h].record != baseline[h].record ||
+              res.hits[h].result.score != baseline[h].result.score ||
+              !(res.hits[h].result.end == baseline[h].result.end)) {
+            hits_ok = false;
+          }
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::printf("  %-10s %8s %10s %10s %14s %14s %9s\n", "numa", "threads", "seconds", "GCUPS",
+              "local bytes", "remote bytes", "prefault");
+  bench::rule(82);
+  for (const NumaRow& r : rows) {
+    std::printf("  %-10s %8zu %10.4f %10.3f %14llu %14llu %9llu\n",
+                r.mode == "off" ? "off" : "fake-2node", r.threads, r.seconds, r.gcups,
+                static_cast<unsigned long long>(r.local_bytes),
+                static_cast<unsigned long long>(r.remote_bytes),
+                static_cast<unsigned long long>(r.prefault_pages));
+  }
+  bench::rule(82);
+  std::printf("hits bit-identical across modes/threads: %s\n", hits_ok ? "yes" : "NO");
+  std::printf("local+remote bytes == payload bytes scanned: %s\n", counters_ok ? "yes" : "NO");
+
+  std::ofstream js("BENCH_numa.json");
+  js << "{\n  \"host\": " << bench::host_meta_json() << ",\n";
+  js << "  \"workload\": {\"query_len\": " << query.size() << ", \"records\": " << store.size()
+     << ", \"cells\": " << cells << ", \"payload_bytes\": " << payload << "},\n";
+  js << "  \"fake_spec\": \"" << fake.substr(5) << "\",\n";
+  js << "  \"rows\": [\n";
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const NumaRow& r = rows[k];
+    js << "    {\"numa\": \"" << r.mode << "\", \"threads\": " << r.threads
+       << ", \"seconds\": " << r.seconds << ", \"gcups\": " << r.gcups
+       << ", \"local_bytes\": " << r.local_bytes << ", \"remote_bytes\": " << r.remote_bytes
+       << ", \"prefault_pages\": " << r.prefault_pages << "}"
+       << (k + 1 < rows.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n";
+  // Placement on/off delta at the widest measured thread count.
+  const NumaRow& off8 = rows[rows.size() - 2];
+  const NumaRow& on8 = rows[rows.size() - 1];
+  js << "  \"placement_vs_off_at_" << off8.threads << "_threads\": " << on8.gcups / off8.gcups
+     << ",\n";
+  js << "  \"hits_identical\": " << (hits_ok ? "true" : "false") << ",\n";
+  js << "  \"counters_reconcile\": " << (counters_ok ? "true" : "false") << "\n}\n";
+  std::printf("machine-readable dump: BENCH_numa.json\n");
+  std::remove(path.c_str());
+  return hits_ok && counters_ok ? 0 : 1;
+}
 
 // ---- observability overhead (printed; CI gate via --obs-overhead-only) ---
 
@@ -1364,6 +1516,9 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--serve-only") {
       return run_serve_comparison();
     }
+    if (std::string(argv[i]) == "--numa-only") {
+      return run_numa_comparison();
+    }
   }
   run_scan_comparison();
   run_simd_comparison();
@@ -1371,6 +1526,7 @@ int main(int argc, char** argv) {
   if (const int rc = run_filter_comparison(); rc != 0) return rc;
   if (const int rc = run_retrieve_comparison(); rc != 0) return rc;
   if (const int rc = run_serve_comparison(); rc != 0) return rc;
+  if (const int rc = run_numa_comparison(); rc != 0) return rc;
   run_db_comparison();
   if (const int rc = run_obs_overhead(/*ci_mode=*/false); rc != 0) return rc;
   benchmark::Initialize(&argc, argv);

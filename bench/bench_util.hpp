@@ -9,7 +9,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+
+#include "core/topology.hpp"
+
+#if defined(__linux__)
+#include <sys/utsname.h>
+#endif
 
 namespace swr::bench {
 
@@ -30,6 +38,42 @@ class Timer {
 inline bool full_scale() {
   const char* v = std::getenv("SWR_FULL");
   return v != nullptr && std::string(v) == "1";
+}
+
+/// The machine's transparent-hugepage policy — the bracketed token of
+/// /sys/kernel/mm/transparent_hugepage/enabled ("always"/"madvise"/
+/// "never"), or "unknown" where the knob does not exist.
+inline std::string thp_status() {
+  std::ifstream in("/sys/kernel/mm/transparent_hugepage/enabled");
+  std::string line;
+  if (in && std::getline(in, line)) {
+    const std::size_t lb = line.find('[');
+    const std::size_t rb = line.find(']');
+    if (lb != std::string::npos && rb != std::string::npos && rb > lb) {
+      return line.substr(lb + 1, rb - lb - 1);
+    }
+  }
+  return "unknown";
+}
+
+/// One-line JSON host-metadata object stamped into every BENCH_*.json so
+/// numbers are comparable across machines: probed NUMA node count and
+/// per-node cpu counts (the real topology — SWR_NUMA_FAKE does not apply
+/// here), transparent-hugepage policy, and the kernel release.
+inline std::string host_meta_json() {
+  const core::Topology topo = core::probe_system_topology();
+  std::ostringstream js;
+  js << "{\"numa_nodes\": " << topo.node_count() << ", \"cpus_per_node\": [";
+  for (std::size_t n = 0; n < topo.nodes.size(); ++n) {
+    js << (n != 0 ? ", " : "") << topo.nodes[n].cpus.size();
+  }
+  js << "], \"hugepage\": \"" << thp_status() << "\"";
+#if defined(__linux__)
+  struct utsname un {};
+  if (::uname(&un) == 0) js << ", \"kernel\": \"" << un.release << "\"";
+#endif
+  js << "}";
+  return js.str();
 }
 
 /// Prints a horizontal rule sized to the table width.

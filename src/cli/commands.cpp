@@ -22,6 +22,7 @@
 #include "cli/serve_cmd.hpp"
 #include "core/accelerator.hpp"
 #include "core/cpu_features.hpp"
+#include "core/topology.hpp"
 #include "db/builder.hpp"
 #include "db/store.hpp"
 #include "host/batch.hpp"
@@ -219,6 +220,17 @@ host::KernelShape kernel_shape_by_name(const std::string& name) {
   }
 }
 
+// Same contract for --numa: spelling and fake-spec validation live in
+// core/topology; bad values are usage errors here (the SWR_NUMA_FAKE env
+// path warns instead).
+core::NumaRequest numa_request_by_name(const std::string& name) {
+  try {
+    return core::parse_numa_request(name);
+  } catch (const core::TopologyError& e) {
+    throw ArgError(e.what());
+  }
+}
+
 /// True when `path` starts with the .swdb magic bytes — `scan` sniffs the
 /// database file instead of trusting its extension.
 bool looks_like_swdb(const std::string& path) {
@@ -355,6 +367,7 @@ int scan_batch(const ArgParser& args, const seq::Alphabet& ab, const align::Scor
                                              queries.size());
   cfg.max_inflight = static_cast<std::size_t>(args.get_int("inflight"));
   cfg.chunk_records = static_cast<std::size_t>(args.get_int("chunk"));
+  cfg.numa = opt.numa;
   cfg.scoring = sc;
   cfg.metrics = metrics;
   // One span per query; keep them all so the --stats trace table is
@@ -442,6 +455,7 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
       .option("threads", "1")
       .option("simd", "auto")
       .option("kernel", "auto")
+      .option("numa", "auto")
       .option("filter", "exact")
       .option("filter-threshold", "0")
       .flag("align")
@@ -471,6 +485,7 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
   opt.threads = static_cast<std::size_t>(args.get_int("threads"));
   opt.simd_policy = simd_policy_by_name(args.get("simd"));
   opt.kernel = kernel_shape_by_name(args.get("kernel"));
+  opt.numa = numa_request_by_name(args.get("numa"));
 
   const std::string filter_name = args.get("filter");
   if (filter_name == "exact") {
@@ -678,10 +693,16 @@ int cmd_swdb(const std::vector<std::string>& argv, std::ostream& out) {
 
   if (sub == "info") {
     ArgParser args;
-    args.flag("verify").flag("json");
+    args.flag("verify").flag("json").flag("populate");
     args.parse(rest);
     if (args.positionals().size() != 1) throw ArgError("swdb info needs <db.swdb>");
-    const db::Store store = db::Store::open(args.positionals()[0]);
+    const db::Store store =
+        db::Store::open(args.positionals()[0], nullptr, args.has("populate"));
+    // Streaming diagnostics: how much of the payload a scan would find
+    // already in RAM (--populate pre-faults the whole file first), and
+    // whether MADV_HUGEPAGE applies on this kernel/mapping.
+    const db::PayloadResidency res = store.payload_residency();
+    const bool hugepage_ok = store.advise_payload_hugepage();
     const db::FileHeader& h = store.header();
     if (args.has("json")) {
       if (args.has("verify")) store.verify_payload();  // throws on corruption
@@ -695,6 +716,10 @@ int cmd_swdb(const std::vector<std::string>& argv, std::ostream& out) {
       out << "  \"records\": " << store.size() << ",\n";
       out << "  \"residues\": " << store.total_residues() << ",\n";
       out << "  \"payload_bytes\": " << h.payload_bytes << ",\n";
+      out << "  \"payload_residency\": {\"pages_total\": " << res.pages_total
+          << ", \"pages_resident\": " << res.pages_resident
+          << ", \"fraction\": " << res.fraction() << "},\n";
+      out << "  \"hugepage_advise\": " << (hugepage_ok ? "true" : "false") << ",\n";
       if (!store.empty()) {
         const db::ScheduleStats st = db::schedule_stats(store);
         out << "  \"record_length\": {\"min\": " << st.min_length << ", \"max\": "
@@ -726,6 +751,14 @@ int cmd_swdb(const std::vector<std::string>& argv, std::ostream& out) {
     out << "  " << store.size() << " records, " << store.total_residues() << " residues, "
         << h.payload_bytes << " payload bytes\n";
     out << "  generation " << store.generation() << "\n";
+    {
+      std::ostringstream rs;
+      rs.precision(1);
+      rs << std::fixed << res.fraction() * 100.0;
+      out << "  payload residency " << res.pages_resident << "/" << res.pages_total
+          << " pages (" << rs.str() << "%), hugepage advise "
+          << (hugepage_ok ? "ok" : "unavailable") << "\n";
+    }
     if (!store.empty()) {
       const db::ScheduleStats st = db::schedule_stats(store);
       out << "  record length " << st.min_length << ".." << st.max_length << ", median "
@@ -902,7 +935,7 @@ std::string usage() {
          "  scan <query.fa> <db.fa|db.swdb>  [--top K] [--min-score S] [--pes N]\n"
          "                       [--alphabet ...] [--engine auto|accel|cpu] [--threads N]\n"
          "                       [--simd auto|scalar|swar16|swar8|sse41|avx2]\n"
-         "                       [--kernel auto|striped|interseq]\n"
+         "                       [--kernel auto|striped|interseq] [--numa off|auto|fake:<spec>]\n"
          "                       [--filter exact|seeded] [--filter-threshold S]\n"
          "                       [--align [--max-hits K]] [--format text|tsv|pretty]\n"
          "                       [--batch [--cpu-workers N] [--boards N] [--inflight N]\n"
@@ -912,7 +945,8 @@ std::string usage() {
          "                       [--queue N] [--chunk N] [--rate R --burst B]\n"
          "                       [--tenants name=rate/burst,...] [--result-cache-mb N]\n"
          "                       [--profile-cache N] [--write-timeout-ms N]\n"
-         "                       [--idle-timeout-ms N] [--stats] [--metrics-out <json>]\n"
+         "                       [--idle-timeout-ms N] [--numa off|auto|fake:<spec>]\n"
+         "                       [--stats] [--metrics-out <json>]\n"
          "  client <query.fa> --port N  [--host H] [--tenant T] [--top K] [--min-score S]\n"
          "                       [--filter exact|seeded] [--filter-threshold S]\n"
          "                       [--align [--max-hits K]] [--deadline-ms N]\n"
@@ -920,7 +954,7 @@ std::string usage() {
          "  stats-dump [metrics.json]  [--json]\n"
          "  swdb build <in.fa> <out.swdb>  [--alphabet ...] [--encoding auto|raw8|packed2]\n"
          "                       [--seed-k N] [--no-index]\n"
-         "  swdb info <db.swdb>  [--verify] [--json]\n"
+         "  swdb info <db.swdb>  [--verify] [--json] [--populate]\n"
          "  nearbest <a.fa> <b.fa>  [--max K] [--min-score S]\n"
          "  map <reads.fq> <reference.fa>  [--k N] [--pad N] [--min-score S]\n"
          "  translate <dna.fa>  [--frame 0|1|2 | --six]\n"

@@ -11,6 +11,7 @@
 
 #include "align/scoring.hpp"
 #include "cli/args.hpp"
+#include "core/topology.hpp"
 #include "db/store.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -38,6 +39,16 @@ align::Scoring serve_scoring(const ArgParser& args, const seq::Alphabet& ab) {
   if (const auto v = args.get_optional("gap")) sc.gap = static_cast<align::Score>(std::stol(*v));
   sc.validate();
   return sc;
+}
+
+// --numa spelling/validation lives in core/topology; bad values are
+// usage errors here.
+core::NumaRequest numa_request_by_name(const std::string& name) {
+  try {
+    return core::parse_numa_request(name);
+  } catch (const core::TopologyError& e) {
+    throw ArgError(e.what());
+  }
 }
 
 svc::net::TenantTable::Limits parse_limits(const std::string& spec) {
@@ -126,6 +137,7 @@ int cmd_serve(const std::vector<std::string>& argv, std::ostream& out) {
       .option("inflight", "4")
       .option("queue", "64")
       .option("chunk", "256")
+      .option("numa", "auto")
       .option("match")
       .option("mismatch")
       .option("gap")
@@ -156,6 +168,7 @@ int cmd_serve(const std::vector<std::string>& argv, std::ostream& out) {
   cfg.service.max_inflight = static_cast<std::size_t>(args.get_int("inflight"));
   cfg.service.queue_capacity = static_cast<std::size_t>(args.get_int("queue"));
   cfg.service.chunk_records = static_cast<std::size_t>(args.get_int("chunk"));
+  cfg.service.numa = numa_request_by_name(args.get("numa"));
   cfg.service.scoring = serve_scoring(args, store.alphabet());
   cfg.service.metrics = reg;
   cfg.host = args.get("host");

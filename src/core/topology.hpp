@@ -1,0 +1,142 @@
+// NUMA topology probing and memory-placement policy.
+//
+// The scan engine shards a database across worker threads; on a
+// multi-socket machine the shards live on specific memory nodes, so a
+// worker streaming a remote node's pages pays the interconnect on every
+// cache line. This module answers two questions once per scan: what does
+// the machine look like (nodes and their cpus), and where should each
+// worker run (node assignment + cpu mask) so shards are scanned by
+// threads on their owning node.
+//
+// The probe reads /sys/devices/system/node directly — no libnuma
+// dependency, and a machine without the sysfs tree (or with one node)
+// degrades to a single node holding every cpu. Placement logic is
+// deterministically testable on any box through the fake-topology
+// override, mirroring the SWR_SIMD / SWR_KERNEL precedence rules
+// (cpu_features.hpp):
+//   1. an explicit `--numa fake:<spec>` on the command line;
+//   2. the `SWR_NUMA_FAKE` environment variable (applies to `auto`
+//      resolution; malformed values warn once and fall back to the probe
+//      — a bad ambient variable must not kill a scan);
+//   3. auto: the sysfs probe, degrading to "placement off" on a
+//      single-node machine with a one-time warning, never an error.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swr::core {
+
+/// Named error for malformed fake-topology specs. CLI parsing surfaces it
+/// as a usage error; the SWR_NUMA_FAKE env path catches it, warns once and
+/// falls back to the probe instead.
+class TopologyError : public std::invalid_argument {
+ public:
+  explicit TopologyError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// One memory node and the cpus local to it (sorted, deduplicated).
+struct NumaNode {
+  unsigned id = 0;
+  std::vector<unsigned> cpus;
+};
+
+/// The machine (or fake) layout placement decisions run against.
+struct Topology {
+  std::vector<NumaNode> nodes;
+  bool fake = false;  ///< came from SWR_NUMA_FAKE / --numa fake:<spec>
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes.size(); }
+  [[nodiscard]] std::size_t total_cpus() const noexcept;
+  [[nodiscard]] bool multi_node() const noexcept { return nodes.size() > 1; }
+};
+
+/// Parses a fake-topology spec. Two forms:
+///   "NxM"            — N nodes of M cpus each, cpu ids dense from 0
+///                      ("2x4" = nodes {0-3} and {4-7});
+///   cpulists + '/'   — one sysfs-style cpulist per node, '/'-separated
+///                      ("0-2,8/3-5" = a 4-cpu node and a 3-cpu node).
+/// Every node needs at least one cpu and no cpu may appear on two nodes.
+/// @throws TopologyError naming the spec and the defect.
+Topology parse_fake_topology(std::string_view spec);
+
+/// Canonical cpulist spelling of `topo` ("0-3/4-7"); parses back to an
+/// equal topology (the round-trip tests rely on it).
+std::string topology_spec(const Topology& topo);
+
+/// sysfs probe of /sys/devices/system/node. Machines without the tree,
+/// or where it lists no node, yield one node holding every online cpu.
+/// Never throws; the result is not cached (current_topology caches).
+Topology probe_system_topology();
+
+/// The topology `auto` resolution sees: the SWR_NUMA_FAKE override when
+/// set and well-formed (freshly read, so tests can setenv between calls;
+/// malformed values warn on stderr once per process and fall back), else
+/// the sysfs probe (cached after the first call).
+Topology current_topology();
+
+/// Memory-placement mode (`--numa`). Off = the pre-placement engine
+/// behaviour, bit-identical output guaranteed by the parity suite.
+enum class NumaMode { Off, Auto, Fake };
+
+/// Canonical lower-case name ("off", "auto", "fake").
+const char* numa_mode_name(NumaMode mode) noexcept;
+
+/// The accepted spelling list, for error messages.
+const char* numa_mode_choices() noexcept;
+
+/// A parsed `--numa` value. Fake carries its spec verbatim.
+struct NumaRequest {
+  NumaMode mode = NumaMode::Auto;
+  std::string fake_spec;
+};
+
+/// Parses "off" | "auto" | "fake:<spec>" (empty = auto). The fake spec is
+/// validated eagerly so a bad CLI value fails at parse time.
+/// @throws TopologyError listing the accepted choices or naming the
+/// spec defect.
+NumaRequest parse_numa_request(std::string_view value);
+
+/// Resolves a request into the topology placement will use. nullopt =
+/// placement disabled: mode Off, or Auto on a single-node machine — that
+/// degrade warns on stderr once per process and is never an error, so
+/// `--numa auto` is always safe to pass.
+std::optional<Topology> resolve_numa_topology(const NumaRequest& req);
+
+/// Splits `total` units across weights proportionally (largest-remainder
+/// rounding, ties to the lower index). shares.size() == weights.size(),
+/// sum == total, zero-weight entries get zero. The one arithmetic every
+/// placement decision (workers to nodes, records to nodes, chunks to
+/// nodes) shares, so they can never disagree about rounding.
+std::vector<std::size_t> proportional_shares(std::size_t total,
+                                             const std::vector<std::size_t>& weights);
+
+/// One worker's placement: the node it serves and the cpu mask to pin to
+/// (the node's full cpu list — the OS balances within the node).
+struct WorkerPlacement {
+  unsigned node = 0;
+  std::vector<unsigned> cpus;
+};
+
+/// Distributes `workers` across `topo`'s nodes proportionally to cpu
+/// counts (proportional_shares), emitted node-major: workers serving node
+/// 0 first. Deterministic; workers < nodes leaves the lightest nodes
+/// unserved (their shards are stolen at scan time).
+std::vector<WorkerPlacement> place_workers(const Topology& topo, std::size_t workers);
+
+/// Best-effort sched_setaffinity of the calling thread to `cpus`,
+/// intersected with the cpus that actually exist (a fake topology may
+/// name more cpus than the machine has). Returns false when nothing
+/// could be applied — never throws; placement is an optimisation, not a
+/// correctness requirement.
+bool pin_current_thread(const std::vector<unsigned>& cpus) noexcept;
+
+/// Best-effort pthread_setname_np of the calling thread (names truncate
+/// to the kernel's 15-char limit). No-op where unsupported.
+void set_current_thread_name(const char* name) noexcept;
+
+}  // namespace swr::core

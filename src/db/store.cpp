@@ -29,9 +29,16 @@ std::size_t record_bytes(Encoding enc, std::uint32_t length) {
   return enc == Encoding::Packed2 ? seq::packed2_bytes(length) : length;
 }
 
+#if SWR_DB_HAVE_MMAP
+std::size_t page_size() {
+  static const long ps = ::sysconf(_SC_PAGESIZE);
+  return ps > 0 ? static_cast<std::size_t>(ps) : 4096;
+}
+#endif
+
 }  // namespace
 
-Store Store::open(const std::string& path, obs::Registry* metrics) {
+Store Store::open(const std::string& path, obs::Registry* metrics, bool populate) {
   const auto start = std::chrono::steady_clock::now();
   Store s;
   s.path_ = path;
@@ -49,12 +56,26 @@ Store Store::open(const std::string& path, obs::Registry* metrics) {
     ::close(fd);
     fail(path, "truncated: smaller than the header");
   }
-  void* map = ::mmap(nullptr, s.bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+  int flags = MAP_PRIVATE;
+#if defined(MAP_POPULATE)
+  if (populate) flags |= MAP_POPULATE;
+#else
+  (void)populate;
+#endif
+  void* map = ::mmap(nullptr, s.bytes_, PROT_READ, flags, fd, 0);
+#if defined(MAP_POPULATE)
+  // An old kernel rejecting MAP_POPULATE must not fail the open — retry
+  // without the pre-fault, exactly the behaviour a plain open gives.
+  if (map == MAP_FAILED && populate) {
+    map = ::mmap(nullptr, s.bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+  }
+#endif
   ::close(fd);  // the mapping keeps the file alive
   if (map == MAP_FAILED) fail(path, "mmap failed");
   s.data_ = static_cast<const std::uint8_t*>(map);
   s.mapped_ = true;
 #else
+  (void)populate;  // the owned buffer below is resident by construction
   std::ifstream in(path, std::ios::binary);
   if (!in) fail(path, "cannot open");
   s.fallback_.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
@@ -224,8 +245,114 @@ double KmerIndexView::load_factor() const noexcept {
   return static_cast<double>(occupied) / static_cast<double>(offsets_.size() - 1);
 }
 
+PayloadRange Store::payload_range(std::size_t r) const {
+  const RecordMeta& m = meta_at(r);
+  return {m.offset, record_bytes(encoding(), m.length)};
+}
+
+namespace {
+
+// One madvise wrapper all three hints share: aligns the range down to a
+// page boundary (madvise requires it; the few extra bytes belong to the
+// preceding section and the hint is harmless there) and reports whether
+// the kernel accepted the hint.
+#if SWR_DB_HAVE_MMAP
+bool madvise_range(const std::uint8_t* base, const std::uint8_t* addr, std::size_t len,
+                   int advice) noexcept {
+  if (addr == nullptr || len == 0) return false;
+  const std::size_t ps = page_size();
+  const std::uintptr_t raw = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uintptr_t aligned = raw & ~static_cast<std::uintptr_t>(ps - 1);
+  if (aligned < reinterpret_cast<std::uintptr_t>(base)) return false;
+  const std::size_t total = len + static_cast<std::size_t>(raw - aligned);
+  return ::madvise(reinterpret_cast<void*>(aligned), total, advice) == 0;
+}
+#endif
+
+void count_hint(obs::Registry* metrics, const char* name, bool issued) {
+  if (issued && metrics != nullptr) metrics->counter(name).add(1);
+}
+
+}  // namespace
+
+bool Store::advise_sequential(obs::Registry* metrics) const noexcept {
+  bool ok = false;
+#if SWR_DB_HAVE_MMAP
+  if (mapped_) ok = madvise_range(data_, data_, bytes_, MADV_SEQUENTIAL);
+#endif
+  count_hint(metrics, "db.madvise.sequential", ok);
+  return ok;
+}
+
+bool Store::advise_payload_willneed(obs::Registry* metrics) const noexcept {
+  bool ok = false;
+#if SWR_DB_HAVE_MMAP
+  if (mapped_) ok = madvise_range(data_, payload_, payload_bytes(), MADV_WILLNEED);
+#endif
+  count_hint(metrics, "db.madvise.willneed", ok);
+  return ok;
+}
+
+bool Store::advise_payload_hugepage(obs::Registry* metrics) const noexcept {
+  bool ok = false;
+#if SWR_DB_HAVE_MMAP && defined(MADV_HUGEPAGE)
+  if (mapped_) ok = madvise_range(data_, payload_, payload_bytes(), MADV_HUGEPAGE);
+#endif
+  count_hint(metrics, "db.madvise.hugepage", ok);
+  return ok;
+}
+
+std::size_t Store::prefault_payload(std::uint64_t offset, std::size_t bytes) const noexcept {
+  if (payload_ == nullptr || offset >= payload_bytes()) return 0;
+  bytes = std::min(bytes, payload_bytes() - static_cast<std::size_t>(offset));
+  if (bytes == 0) return 0;
+#if SWR_DB_HAVE_MMAP
+  const std::size_t ps = page_size();
+#else
+  const std::size_t ps = 4096;
+#endif
+  // Round down to the first page boundary at-or-before offset so every
+  // page the range overlaps is touched exactly once.
+  const std::uintptr_t raw = reinterpret_cast<std::uintptr_t>(payload_ + offset);
+  const std::uintptr_t first = raw & ~static_cast<std::uintptr_t>(ps - 1);
+  const std::uintptr_t last = raw + bytes - 1;
+  std::size_t pages = 0;
+  for (std::uintptr_t p = first; p <= last; p += ps) {
+    // volatile defeats dead-read elimination: the load is the product.
+    (void)*reinterpret_cast<const volatile std::uint8_t*>(p);
+    ++pages;
+  }
+  return pages;
+}
+
+PayloadResidency Store::payload_residency() const noexcept {
+  PayloadResidency res;
+#if SWR_DB_HAVE_MMAP
+  if (!mapped_ || payload_ == nullptr || payload_bytes() == 0) return res;
+  const std::size_t ps = page_size();
+  const std::uintptr_t raw = reinterpret_cast<std::uintptr_t>(payload_);
+  const std::uintptr_t aligned = raw & ~static_cast<std::uintptr_t>(ps - 1);
+  const std::size_t len = payload_bytes() + static_cast<std::size_t>(raw - aligned);
+  res.pages_total = (len + ps - 1) / ps;
+  std::vector<unsigned char> vec(res.pages_total);
+#if defined(__linux__)
+  if (::mincore(reinterpret_cast<void*>(aligned), len, vec.data()) != 0) {
+#else
+  if (::mincore(reinterpret_cast<void*>(aligned), len, reinterpret_cast<char*>(vec.data())) != 0) {
+#endif
+    res.pages_total = 0;
+    return res;
+  }
+  for (const unsigned char v : vec) {
+    if ((v & 1u) != 0) ++res.pages_resident;
+  }
+#endif
+  return res;
+}
+
 void Store::verify_payload(obs::Registry* metrics) const {
   const auto start = std::chrono::steady_clock::now();
+  advise_sequential(metrics);
   const std::uint64_t got =
       fnv1a(data_ + sizeof(FileHeader), bytes_ - sizeof(FileHeader));
   if (metrics != nullptr) {

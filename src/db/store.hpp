@@ -60,6 +60,24 @@ class KmerIndexView {
   std::span<const KmerPosting> postings_;
 };
 
+/// Byte extent of one record's encoded payload within the payload
+/// section (offset is payload-relative, not file-relative).
+struct PayloadRange {
+  std::uint64_t offset = 0;
+  std::size_t bytes = 0;
+};
+
+/// mincore snapshot of the payload section — how much of the database a
+/// scan would stream from RAM versus fault in from disk. Zeros on the
+/// non-mmap fallback path (the owned buffer is trivially resident).
+struct PayloadResidency {
+  std::size_t pages_total = 0;
+  std::size_t pages_resident = 0;
+  [[nodiscard]] double fraction() const noexcept {
+    return pages_total == 0 ? 0.0 : static_cast<double>(pages_resident) / pages_total;
+  }
+};
+
 /// A read-only, memory-mapped .swdb database.
 class Store {
  public:
@@ -67,8 +85,12 @@ class Store {
   /// record's offset/name range are checked up front; the residue payload
   /// is NOT hashed here (see verify_payload). With a non-null `metrics`
   /// registry, records db.opens / db.bytes_mapped counters and a
-  /// db.open_us histogram (null = strict no-op). @throws StoreError.
-  static Store open(const std::string& path, obs::Registry* metrics = nullptr);
+  /// db.open_us histogram (null = strict no-op). `populate` maps with
+  /// MAP_POPULATE, pre-faulting the whole file into the page cache before
+  /// open returns (trades open latency for no scan-time majors; ignored
+  /// where unsupported). @throws StoreError.
+  static Store open(const std::string& path, obs::Registry* metrics = nullptr,
+                    bool populate = false);
 
   Store(Store&& other) noexcept;
   Store& operator=(Store&& other) noexcept;
@@ -133,11 +155,52 @@ class Store {
     return kindex_;
   }
 
+  /// Total encoded payload-section bytes (the header's payload_bytes).
+  [[nodiscard]] std::size_t payload_bytes() const noexcept {
+    return static_cast<std::size_t>(header_.payload_bytes);
+  }
+
+  /// Byte extent of record `r`'s encoded payload — what the NUMA layer
+  /// accounts as "shard bytes" (local vs remote) and what prefaulting
+  /// places. @throws std::out_of_range.
+  [[nodiscard]] PayloadRange payload_range(std::size_t r) const;
+
+  /// Advises the kernel the whole mapping is about to be read
+  /// sequentially (madvise MADV_SEQUENTIAL) — issued by verify_payload
+  /// before its single front-to-back hashing pass. Counts
+  /// db.madvise.sequential per hint issued. False when the hint could not
+  /// be applied (non-mmap fallback, or an madvise failure) — never an
+  /// error.
+  bool advise_sequential(obs::Registry* metrics = nullptr) const noexcept;
+
+  /// Advises the kernel the payload section will be needed soon (madvise
+  /// MADV_WILLNEED) — the scan engines issue it once per store-backed
+  /// scan so readahead runs ahead of the kernels. Counts
+  /// db.madvise.willneed per hint issued.
+  bool advise_payload_willneed(obs::Registry* metrics = nullptr) const noexcept;
+
+  /// Requests transparent hugepages for the payload section (madvise
+  /// MADV_HUGEPAGE): fewer TLB misses while the kernels stream residues.
+  /// Counts db.madvise.hugepage per hint issued. False where THP is
+  /// unavailable (kernel without CONFIG_TRANSPARENT_HUGEPAGE, non-mmap
+  /// fallback) — callers degrade, never error.
+  bool advise_payload_hugepage(obs::Registry* metrics = nullptr) const noexcept;
+
+  /// Explicit first-touch pass over payload bytes [offset, offset+bytes):
+  /// reads one byte per page so the pages fault in on the CALLING thread
+  /// — pinned to a node, this is what places a shard's pages on its
+  /// owning node. Returns pages touched. Out-of-range tails are clamped.
+  std::size_t prefault_payload(std::uint64_t offset, std::size_t bytes) const noexcept;
+
+  /// mincore accounting of the payload section (see PayloadResidency).
+  [[nodiscard]] PayloadResidency payload_residency() const noexcept;
+
   /// Re-hashes everything after the header and compares against the
   /// header's payload_hash — the full-integrity check tier-1 tests and
-  /// operators run; scans skip it. With a non-null `metrics` registry,
-  /// records db.verifies / db.bytes_verified and a db.verify_us
-  /// histogram. @throws StoreError on mismatch.
+  /// operators run; scans skip it. Advises MADV_SEQUENTIAL for its one
+  /// front-to-back pass. With a non-null `metrics` registry, records
+  /// db.verifies / db.bytes_verified and a db.verify_us histogram.
+  /// @throws StoreError on mismatch.
   void verify_payload(obs::Registry* metrics = nullptr) const;
 
  private:

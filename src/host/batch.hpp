@@ -15,6 +15,7 @@
 #include "align/cigar.hpp"
 #include "core/accelerator.hpp"
 #include "core/cpu_features.hpp"
+#include "core/topology.hpp"
 #include "host/pipeline.hpp"
 #include "retrieve/traceback.hpp"
 
@@ -99,6 +100,16 @@ struct ScanOptions {
   /// explicit InterSeq request the machine/scheme cannot honour degrades
   /// to striped with a one-time warning.
   KernelShape kernel = KernelShape::Auto;
+
+  /// Memory placement for scan_database_cpu (core/topology.hpp). Auto
+  /// (the default) probes the machine and activates per-node shard
+  /// ownership + worker affinity on multi-node boxes, degrading to Off on
+  /// single-node machines with a one-time warning. Off reproduces the
+  /// placement-blind engine exactly (strict no-op: no probe, no pinning,
+  /// no scan.numa.* metrics). Fake runs the placement logic against
+  /// NumaRequest::fake_spec — deterministically testable anywhere. Hits
+  /// are bit-identical across every mode; the parity suite enforces it.
+  core::NumaRequest numa;
 
   /// Candidate filter for scan_database_cpu / scan_records_cpu. Seeded
   /// requires an indexed .swdb source and preserves the exact hit set for

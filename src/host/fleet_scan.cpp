@@ -65,7 +65,9 @@ ScanResult scan_fleet_source(core::BoardFleet& fleet, const seq::Sequence& query
   } else {
     std::mutex err_mu;
     std::exception_ptr first_error;
-    par::ThreadPool pool(threads);
+    par::ThreadPoolOptions popts;
+    popts.name_prefix = "swr-fleet";
+    par::ThreadPool pool(threads, std::move(popts));
     std::vector<std::function<void()>> tasks;
     tasks.reserve(fleet.size());
     for (std::size_t b = 0; b < fleet.size(); ++b) {

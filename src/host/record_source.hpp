@@ -73,6 +73,13 @@ class RecordSource {
     return out.assign(rec.alphabet(), rec.codes(), rec.name());
   }
 
+  /// Encoded bytes record `r` streams through the kernels: the store's
+  /// payload extent, or the in-memory code-buffer size. What the NUMA
+  /// layer accounts as local vs remote shard bytes.
+  [[nodiscard]] std::size_t payload_bytes(std::size_t r) const {
+    return store_ != nullptr ? store_->payload_range(r).bytes : (*records_)[r].size();
+  }
+
   /// Whether this source is a memory-mapped store (the path with a
   /// precomputed length schedule).
   [[nodiscard]] bool is_store() const noexcept { return store_ != nullptr; }

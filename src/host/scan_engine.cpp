@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <numeric>
 #include <optional>
@@ -19,6 +20,7 @@
 #include "align/sw_profile.hpp"
 #include "align/sw_striped.hpp"
 #include "core/cpu_features.hpp"
+#include "core/topology.hpp"
 #include "host/prefilter.hpp"
 #include "host/profile_cache.hpp"
 #include "obs/metrics.hpp"
@@ -163,9 +165,24 @@ struct ScanMetrics {
   obs::Counter* filter_rescored = nullptr;
   obs::Counter* filter_recall_guard = nullptr;
   obs::Histogram* filter_candidate_ratio = nullptr;
+  // Placement handles, fetched only when the NUMA plan resolved active so
+  // a placement-off scan never pays the extra registry lookups.
+  obs::Gauge* numa_nodes = nullptr;
+  obs::Counter* numa_local_bytes = nullptr;
+  obs::Counter* numa_remote_bytes = nullptr;
+  obs::Counter* numa_prefault_pages = nullptr;
+  obs::Gauge* numa_resident_pages = nullptr;
 
-  ScanMetrics(obs::Registry* reg, SimdPolicy resolved, KernelShape shape, bool seeded) {
+  ScanMetrics(obs::Registry* reg, SimdPolicy resolved, KernelShape shape, bool seeded,
+              bool numa_active) {
     if (reg == nullptr) return;
+    if (numa_active) {
+      numa_nodes = &reg->gauge("scan.numa.nodes");
+      numa_local_bytes = &reg->counter("scan.numa.local_bytes");
+      numa_remote_bytes = &reg->counter("scan.numa.remote_bytes");
+      numa_prefault_pages = &reg->counter("scan.numa.prefault_pages");
+      numa_resident_pages = &reg->gauge("scan.numa.resident_pages");
+    }
     if (seeded) {
       filter_candidates = &reg->counter("scan.filter.candidates");
       filter_rejected = &reg->counter("scan.filter.rejected");
@@ -237,7 +254,112 @@ struct Worker {
   std::uint64_t rec_striped16 = 0;
   std::uint64_t rec_interseq = 0;   // records whose score came out of a lane
   std::uint64_t decode_reused = 0;  // sequence_into calls that avoided a realloc
+  // NUMA accounting (zeros unless a placement plan is active): encoded
+  // payload bytes this worker scanned from shards its own node owns vs
+  // shards it stole, and pages its first-touch pre-fault pass placed.
+  std::uint64_t numa_local_bytes = 0;
+  std::uint64_t numa_remote_bytes = 0;
+  std::uint64_t numa_prefault_pages = 0;
 };
+
+// The per-scan memory-placement plan (core/topology.hpp). Inactive —
+// opt.numa Off, or Auto on a single-node box — leaves every field empty
+// and the engine byte-for-byte on its placement-blind path. Active: each
+// worker is placed on a node (proportional to node cpu counts), the scan
+// domain is split into one contiguous run per node (proportional to that
+// node's worker count), and the payload byte-section is split the same
+// way for the first-touch pre-fault pass.
+struct NumaPlan {
+  bool active = false;
+  core::Topology topo;
+  std::vector<core::WorkerPlacement> placement;  // size == threads
+  std::vector<std::size_t> workers_per_node;     // size == nodes
+  std::vector<std::size_t> node_lo;              // size nodes+1: domain run bounds
+  std::vector<std::uint64_t> byte_lo;            // size nodes+1: payload byte bounds
+
+  [[nodiscard]] std::size_t nodes() const noexcept { return topo.nodes.size(); }
+  [[nodiscard]] unsigned node_of(std::size_t worker) const noexcept {
+    return active ? placement[worker].node : 0u;
+  }
+};
+
+NumaPlan make_numa_plan(const core::NumaRequest& req, std::size_t threads, std::size_t domain,
+                        std::size_t payload_bytes) {
+  NumaPlan plan;
+  const std::optional<core::Topology> topo = core::resolve_numa_topology(req);
+  if (!topo.has_value()) return plan;
+  plan.active = true;
+  plan.topo = *topo;
+  plan.placement = core::place_workers(plan.topo, threads);
+  plan.workers_per_node.assign(plan.nodes(), 0);
+  for (const core::WorkerPlacement& p : plan.placement) ++plan.workers_per_node[p.node];
+  const std::vector<std::size_t> runs = core::proportional_shares(domain, plan.workers_per_node);
+  plan.node_lo.assign(plan.nodes() + 1, 0);
+  for (std::size_t n = 0; n < runs.size(); ++n) plan.node_lo[n + 1] = plan.node_lo[n] + runs[n];
+  const std::vector<std::size_t> bytes =
+      core::proportional_shares(payload_bytes, plan.workers_per_node);
+  plan.byte_lo.assign(plan.nodes() + 1, 0);
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    plan.byte_lo[n + 1] = plan.byte_lo[n] + bytes[n];
+  }
+  return plan;
+}
+
+// Shard claiming for the worker loops. Placement off: one atomic cursor
+// over [0, domain) — exactly the placement-blind engine. Placement on:
+// one cursor per node over that node's contiguous run; a worker drains
+// its own node's run first, then steals from the other nodes in id order
+// — stolen shards are the scan.numa.remote_bytes the bench watches. The
+// final merge re-sorts the union of per-worker top-k lists under the
+// hit_ranks_before total order, so hits are bit-identical no matter which
+// cursor handed out which shard.
+class ShardDeck {
+ public:
+  ShardDeck(std::size_t domain, std::size_t threads, const NumaPlan& plan) {
+    shard_ = std::max<std::size_t>(1, domain / (threads * 8));
+    if (plan.active) {
+      node_lo_ = plan.node_lo;
+    } else {
+      node_lo_ = {0, domain};
+    }
+    const std::size_t nodes = node_lo_.size() - 1;
+    cursors_ = std::make_unique<std::atomic<std::size_t>[]>(nodes);
+    shards_.resize(nodes);
+    for (std::size_t n = 0; n < nodes; ++n) {
+      cursors_[n].store(0, std::memory_order_relaxed);
+      shards_[n] = (node_lo_[n + 1] - node_lo_[n] + shard_ - 1) / shard_;
+    }
+  }
+
+  struct Claim {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    bool local = true;  // owning node == the claiming worker's node
+  };
+
+  std::optional<Claim> next(unsigned my_node) noexcept {
+    const std::size_t nodes = shards_.size();
+    for (std::size_t k = 0; k < nodes; ++k) {
+      const std::size_t n = (my_node + k) % nodes;
+      const std::size_t s = cursors_[n].fetch_add(1, std::memory_order_relaxed);
+      if (s >= shards_[n]) continue;
+      Claim c;
+      c.lo = node_lo_[n] + s * shard_;
+      c.hi = std::min(node_lo_[n + 1], c.lo + shard_);
+      c.local = k == 0;
+      return c;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::size_t shard_ = 1;
+  std::vector<std::size_t> node_lo_;  // nodes+1 domain bounds
+  std::vector<std::size_t> shards_;   // shard count per node run
+  std::unique_ptr<std::atomic<std::size_t>[]> cursors_;
+};
+
+std::atomic<bool> warned_hugepage_unavailable{false};
 
 align::LocalScoreResult score_record(std::span<const seq::Code> rec,
                                      std::span<const seq::Code> query, const align::Scoring& sc,
@@ -446,6 +568,21 @@ void flush_scan_metrics(const ScanMetrics& metrics, const std::vector<Worker>& w
       }
     }
   }
+  if (metrics.numa_local_bytes != nullptr) {
+    std::uint64_t local = 0;
+    std::uint64_t remote = 0;
+    std::uint64_t prefault = 0;
+    for (const Worker& w : workers) {
+      local += w.numa_local_bytes;
+      remote += w.numa_remote_bytes;
+      prefault += w.numa_prefault_pages;
+    }
+    // local + remote reconciles with the encoded payload bytes the scan
+    // streamed (the parity suite enforces it).
+    if (local != 0) metrics.numa_local_bytes->add(local);
+    if (remote != 0) metrics.numa_remote_bytes->add(remote);
+    if (prefault != 0) metrics.numa_prefault_pages->add(prefault);
+  }
   if (metrics.filter_candidates != nullptr) {
     if (out.filter_candidates != 0) metrics.filter_candidates->add(out.filter_candidates);
     if (out.filter_rejected != 0) metrics.filter_rejected->add(out.filter_rejected);
@@ -515,22 +652,54 @@ ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
       acquire_bundle(query, sc, policy, opt.profile_cache);
   const ShapePlan plan =
       resolve_kernel_shape(requested_shape_after_env(opt.kernel), *bundle, src.is_store());
-  const ScanMetrics metrics(opt.metrics, policy, plan.shape, seeded);
   if (domain == 0) {
     // Everything rejected: still a completed scan — flush so the
     // scan.filter.* counters reconcile with ScanResult.
+    const ScanMetrics metrics(opt.metrics, policy, plan.shape, seeded, false);
     const std::vector<Worker> none;
     flush_scan_metrics(metrics, none, out);
     return out;
   }
 
-  // Contiguous shards claimed through an atomic cursor: cheap enough to
-  // keep shards small (good balance against wildly varying record
-  // lengths), coarse enough that the cursor is not contended.
   const std::size_t threads = std::min(opt.threads, domain);
-  const std::size_t shard = std::max<std::size_t>(1, domain / (threads * 8));
-  const std::size_t num_shards = (domain + shard - 1) / shard;
-  std::atomic<std::size_t> cursor{0};
+  const db::Store* store = src.store();
+  const NumaPlan numa =
+      make_numa_plan(opt.numa, threads, domain, store != nullptr ? store->payload_bytes() : 0);
+  const ScanMetrics metrics(opt.metrics, policy, plan.shape, seeded, numa.active);
+
+  // Streaming hints, issued once per store-backed scan: WILLNEED always
+  // (readahead runs ahead of the kernels), HUGEPAGE when a placement plan
+  // is active (fewer TLB misses while streaming) — degrading with a
+  // one-time note where THP is unavailable, never an error.
+  if (store != nullptr) {
+    store->advise_payload_willneed(opt.metrics);
+    if (numa.active && !store->advise_payload_hugepage(opt.metrics) &&
+        !warned_hugepage_unavailable.exchange(true)) {
+      std::fprintf(stderr,
+                   "SWR: numa: transparent hugepages unavailable for the payload mapping; "
+                   "continuing without\n");
+    }
+  }
+  if (metrics.numa_nodes != nullptr) {
+    metrics.numa_nodes->set(static_cast<std::int64_t>(numa.nodes()));
+    if (store != nullptr) {
+      metrics.numa_resident_pages->set(
+          static_cast<std::int64_t>(store->payload_residency().pages_resident));
+    }
+  }
+
+  // Contiguous shards claimed through atomic cursors (per node when a
+  // placement plan is active, one global otherwise): cheap enough to keep
+  // shards small (good balance against wildly varying record lengths),
+  // coarse enough that the cursors are not contended.
+  ShardDeck deck(domain, threads, numa);
+  std::unique_ptr<std::atomic<bool>[]> prefaulted;
+  if (numa.active && store != nullptr) {
+    prefaulted = std::make_unique<std::atomic<bool>[]>(numa.nodes());
+    for (std::size_t n = 0; n < numa.nodes(); ++n) {
+      prefaulted[n].store(false, std::memory_order_relaxed);
+    }
+  }
 
   std::vector<Worker> workers;
   workers.reserve(threads);
@@ -551,17 +720,41 @@ ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
   }
 
   const std::span<const seq::Code> qcodes = query.codes();
-  const auto scan_shards = [&](Worker& w) {
+  // Shard-claim accounting: with an active plan, the claimed records'
+  // encoded bytes are summed onto the worker's local/remote tally
+  // (record_for maps a domain index to its record id — the same mapping
+  // the scan loops below use, so the tallies reconcile with the payload
+  // bytes actually streamed).
+  const auto account_claim = [&](const ShardDeck::Claim& c, Worker& w,
+                                 const std::function<std::size_t(std::size_t)>& record_for) {
+    if (!numa.active) return;
+    std::uint64_t bytes = 0;
+    for (std::size_t i = c.lo; i < c.hi; ++i) bytes += src.payload_bytes(record_for(i));
+    (c.local ? w.numa_local_bytes : w.numa_remote_bytes) += bytes;
+  };
+  const auto scan_shards = [&](Worker& w, unsigned my_node) {
     const auto start = std::chrono::steady_clock::now();
+    // First worker to arrive per node pre-faults that node's payload byte
+    // slice: one read per page from a thread pinned to the node, so
+    // first-touch places the pages on the node whose workers will stream
+    // them.
+    if (prefaulted != nullptr && !prefaulted[my_node].exchange(true, std::memory_order_relaxed)) {
+      w.numa_prefault_pages += store->prefault_payload(
+          numa.byte_lo[my_node],
+          static_cast<std::size_t>(numa.byte_lo[my_node + 1] - numa.byte_lo[my_node]));
+    }
     if (plan.shape == KernelShape::InterSeq) {
       // The lanes pull records one at a time; shards are claimed through
-      // the same cursor, but walked via a length-descending order so
+      // the same deck, but walked via a length-descending order so
       // co-resident lanes retire near-together: the store's precomputed
       // schedule_order (exact), the pre-sorted candidate list (seeded),
       // or — for vector sources, which have no precomputed schedule — a
       // shard-local sort (length desc, id asc).
       const std::span<const std::uint32_t> order =
           seeded ? std::span<const std::uint32_t>(seeded_order) : src.schedule_order();
+      const auto record_for = [&](std::size_t i) -> std::size_t {
+        return order.empty() ? i : order[i];
+      };
       std::vector<std::uint32_t> ids;  // vector-source shard, length-sorted
       std::size_t idx = 0;
       std::size_t idx_end = 0;
@@ -571,13 +764,12 @@ ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
             const std::size_t i = idx++;
             return order.empty() ? ids[i] : order[i];
           }
-          const std::size_t s = cursor.fetch_add(1, std::memory_order_relaxed);
-          if (s >= num_shards) return std::nullopt;
-          const std::size_t lo = s * shard;
-          const std::size_t hi = std::min(domain, lo + shard);
+          const std::optional<ShardDeck::Claim> c = deck.next(my_node);
+          if (!c.has_value()) return std::nullopt;
+          account_claim(*c, w, record_for);
           if (order.empty()) {
-            ids.resize(hi - lo);
-            std::iota(ids.begin(), ids.end(), static_cast<std::uint32_t>(lo));
+            ids.resize(c->hi - c->lo);
+            std::iota(ids.begin(), ids.end(), static_cast<std::uint32_t>(c->lo));
             std::sort(ids.begin(), ids.end(), [&](std::uint32_t a, std::uint32_t b) {
               const std::size_t la = src.length(a);
               const std::size_t lb = src.length(b);
@@ -587,20 +779,22 @@ ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
             idx = 0;
             idx_end = ids.size();
           } else {
-            idx = lo;
-            idx_end = hi;
+            idx = c->lo;
+            idx_end = c->hi;
           }
         }
       };
       scan_interseq(src, *plan.iprofile, qcodes, opt, w, next_record);
     } else {
+      const auto record_for = [&](std::size_t i) -> std::size_t {
+        return seeded ? candidates[i] : i;
+      };
       for (;;) {
-        const std::size_t s = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (s >= num_shards) break;
-        const std::size_t lo = s * shard;
-        const std::size_t hi = std::min(domain, lo + shard);
-        for (std::size_t r = lo; r < hi; ++r) {
-          scan_one(src, seeded ? candidates[r] : r, qcodes, sc, opt, policy, w);
+        const std::optional<ShardDeck::Claim> c = deck.next(my_node);
+        if (!c.has_value()) break;
+        account_claim(*c, w, record_for);
+        for (std::size_t r = c->lo; r < c->hi; ++r) {
+          scan_one(src, record_for(r), qcodes, sc, opt, policy, w);
         }
       }
     }
@@ -611,20 +805,30 @@ ScanResult scan_source_cpu(const seq::Sequence& query, const RecordSource& src,
   };
 
   if (threads == 1) {
-    scan_shards(workers[0]);
+    // Inline on the calling thread — never pinned: affinity is a property
+    // of pool workers, not of whoever called scan_database_cpu.
+    scan_shards(workers[0], numa.node_of(0));
   } else {
     // A task throwing inside the pool would terminate the process; catch
     // per task, surface the first failure after the barrier.
     std::mutex err_mu;
     std::exception_ptr first_error;
-    par::ThreadPool pool(threads);
+    par::ThreadPoolOptions popts;
+    popts.name_prefix = "swr-scan";
+    if (numa.active) {
+      popts.on_worker_start = [&numa](std::size_t t) {
+        core::pin_current_thread(numa.placement[t].cpus);
+      };
+    }
+    par::ThreadPool pool(threads, std::move(popts));
     std::vector<std::function<void()>> tasks;
     tasks.reserve(threads);
     for (std::size_t t = 0; t < threads; ++t) {
       Worker* w = &workers[t];
-      tasks.emplace_back([&, w] {
+      const unsigned node = numa.node_of(t);
+      tasks.emplace_back([&, w, node] {
         try {
-          scan_shards(*w);
+          scan_shards(*w, node);
         } catch (...) {
           const std::lock_guard<std::mutex> lock(err_mu);
           if (!first_error) first_error = std::current_exception();
@@ -686,7 +890,10 @@ ScanResult scan_records_cpu(const seq::Sequence& query, const RecordSource& src,
       acquire_bundle(query, sc, policy, opt.profile_cache);
   const ShapePlan plan =
       resolve_kernel_shape(requested_shape_after_env(opt.kernel), *bundle, src.is_store());
-  const ScanMetrics metrics(opt.metrics, policy, plan.shape, seeded);
+  // Chunk scans run single-worker inside a service executor that already
+  // owns placement (the dispatcher hands node-local chunks to pinned
+  // executors), so the engine-level plan stays off here.
+  const ScanMetrics metrics(opt.metrics, policy, plan.shape, seeded, false);
   std::vector<Worker> workers;
   workers.emplace_back(bundle);
   const std::span<const seq::Code> qcodes = query.codes();

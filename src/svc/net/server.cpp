@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/topology.hpp"
+
 namespace swr::svc::net {
 namespace {
 
@@ -174,7 +176,10 @@ bool ScanServer::start(std::string& error) {
   if (!sock.valid()) return false;
   listener_ = std::move(sock);
   port_ = port;
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  accept_thread_ = std::thread([this] {
+    core::set_current_thread_name("swr-accept");
+    accept_loop();
+  });
   return true;
 }
 
@@ -232,6 +237,7 @@ void ScanServer::accept_loop() {
       conns_.push_back(std::move(conn));
     }
     raw->thread = std::thread([this, raw] {
+      core::set_current_thread_name("swr-conn");
       inc(metrics_->connections);
       if (metrics_->connections_active) metrics_->connections_active->add(1);
       try {

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "core/accelerator.hpp"
+#include "core/topology.hpp"
 #include "host/scan_engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -58,7 +59,12 @@ struct QueryState {
   std::span<const std::uint32_t> ids;   ///< dispatch order (service-owned)
   std::size_t chunk_records = 1;
   std::size_t chunks_total = 0;
-  std::size_t next_chunk = 0;   ///< first undispatched chunk
+  // Per-node chunk runs (one run covering everything when placement is
+  // off): node_lo bounds the runs, node_next is each run's first
+  // undispatched offset, chunks_dispatched the total claimed so far.
+  std::vector<std::size_t> node_lo;    ///< size nodes+1
+  std::vector<std::size_t> node_next;  ///< size nodes
+  std::size_t chunks_dispatched = 0;
   std::size_t chunks_done = 0;  ///< folded chunks (dispatched or skipped)
   std::size_t inflight = 0;     ///< chunks/phases executing right now
 
@@ -111,9 +117,19 @@ struct ServiceMetrics {
   obs::Histogram* merge_us = nullptr;
   obs::Histogram* traceback_us = nullptr;
   obs::Histogram* query_us = nullptr;
+  // Placement handles, fetched only when the NUMA plan resolved active so
+  // a placement-off service never pays the extra registry lookups.
+  obs::Gauge* numa_nodes = nullptr;
+  obs::Counter* numa_local_chunks = nullptr;
+  obs::Counter* numa_remote_chunks = nullptr;
 
-  explicit ServiceMetrics(obs::Registry* reg) {
+  ServiceMetrics(obs::Registry* reg, bool numa_active) {
     if (reg == nullptr) return;
+    if (numa_active) {
+      numa_nodes = &reg->gauge("svc.numa.nodes");
+      numa_local_chunks = &reg->counter("svc.numa.local_chunks");
+      numa_remote_chunks = &reg->counter("svc.numa.remote_chunks");
+    }
     admitted = &reg->counter("svc.queries_admitted");
     rejected = &reg->counter("svc.queries_rejected");
     done = &reg->counter("svc.queries_done");
@@ -149,7 +165,14 @@ struct ScanService::Impl {
   // -- immutable after construction ---------------------------------------
   ServiceConfig cfg;
   host::RecordSource source;
+  // Placement plan (nullopt = off): executor unit i (cpu workers first,
+  // then boards) runs pinned to placement[i]'s node; node_weights counts
+  // executors per node ({all-units} when off) and weights each query's
+  // per-node chunk runs.
+  std::optional<core::Topology> topo;
   ServiceMetrics metrics;
+  std::vector<core::WorkerPlacement> placement;
+  std::vector<std::size_t> node_weights;
   std::vector<std::uint32_t> dispatch_order;  ///< what QueryState::ids views
   std::vector<std::thread> threads;
 
@@ -168,7 +191,10 @@ struct ScanService::Impl {
 
   template <typename Db>
   Impl(const Db& database, ServiceConfig config)
-      : cfg(config), source(database), metrics(config.metrics) {
+      : cfg(config),
+        source(database),
+        topo(core::resolve_numa_topology(config.numa)),
+        metrics(config.metrics, topo.has_value()) {
     cfg.validate();
     if (cfg.boards > 0 && cfg.board_device == nullptr) cfg.board_device = &core::xc2vp70();
     cfg.scoring.validate();
@@ -185,16 +211,73 @@ struct ScanService::Impl {
       std::iota(dispatch_order.begin(), dispatch_order.end(), 0u);
     }
 
-    threads.reserve(cfg.cpu_workers + cfg.boards);
-    for (std::size_t t = 0; t < cfg.cpu_workers; ++t) {
-      threads.emplace_back([this] { executor_loop(/*board=*/nullptr); });
+    // Every execution unit (CPU + board) is a placement unit: boards
+    // materialize records out of the same payload the CPU kernels stream,
+    // so both kinds prefer node-local chunks.
+    const std::size_t units = cfg.cpu_workers + cfg.boards;
+    if (topo.has_value()) {
+      placement = core::place_workers(*topo, units);
+      node_weights.assign(topo->nodes.size(), 0);
+      for (const core::WorkerPlacement& p : placement) ++node_weights[p.node];
+    } else {
+      node_weights.assign(1, units);
     }
-    for (std::size_t b = 0; b < cfg.boards; ++b) {
-      threads.emplace_back([this] {
-        core::SmithWatermanAccelerator board(*cfg.board_device, cfg.board_pes, cfg.scoring);
-        executor_loop(&board);
+    if (metrics.numa_nodes != nullptr) {
+      metrics.numa_nodes->set(static_cast<std::int64_t>(node_weights.size()));
+    }
+
+    threads.reserve(units);
+    for (std::size_t t = 0; t < cfg.cpu_workers; ++t) {
+      threads.emplace_back([this, t] {
+        core::set_current_thread_name(("swr-svc-cpu" + std::to_string(t)).c_str());
+        std::size_t node = 0;
+        if (!placement.empty()) {
+          core::pin_current_thread(placement[t].cpus);
+          node = placement[t].node;
+        }
+        executor_loop(/*board=*/nullptr, node);
       });
     }
+    for (std::size_t b = 0; b < cfg.boards; ++b) {
+      const std::size_t unit = cfg.cpu_workers + b;
+      threads.emplace_back([this, b, unit] {
+        core::set_current_thread_name(("swr-svc-brd" + std::to_string(b)).c_str());
+        std::size_t node = 0;
+        if (!placement.empty()) {
+          core::pin_current_thread(placement[unit].cpus);
+          node = placement[unit].node;
+        }
+        core::SmithWatermanAccelerator board(*cfg.board_device, cfg.board_pes, cfg.scoring);
+        executor_loop(&board, node);
+      });
+    }
+  }
+
+  // Per-node chunk run bounds for one query: chunks_total split
+  // proportionally to each node's executor count. One run covering every
+  // chunk when placement is off — claims then walk 0,1,2,... exactly like
+  // the placement-blind dispatcher.
+  [[nodiscard]] std::vector<std::size_t> chunk_run_bounds(std::size_t chunks_total) const {
+    const std::vector<std::size_t> runs = core::proportional_shares(chunks_total, node_weights);
+    std::vector<std::size_t> bounds(node_weights.size() + 1, 0);
+    for (std::size_t n = 0; n < runs.size(); ++n) bounds[n + 1] = bounds[n] + runs[n];
+    return bounds;
+  }
+
+  // Claims the next chunk for an executor on `node`: its own node's run
+  // first, then steals from the other runs in rotation. `local` reports
+  // which happened (the svc.numa.local/remote_chunks split). Pre:
+  // q.chunks_dispatched < q.chunks_total.
+  static std::size_t claim_chunk_locked(QueryState& q, std::size_t node, bool& local) {
+    const std::size_t nodes = q.node_next.size();
+    for (std::size_t k = 0; k < nodes; ++k) {
+      const std::size_t n = (node + k) % nodes;
+      if (q.node_next[n] < q.node_lo[n + 1] - q.node_lo[n]) {
+        local = k == 0;
+        return q.node_lo[n] + q.node_next[n]++;
+      }
+    }
+    throw std::logic_error("ScanService: claim_chunk_locked on a fully dispatched query");
   }
 
   ~Impl() {
@@ -233,7 +316,7 @@ struct ScanService::Impl {
         if (q->inflight == 0) return true;
         continue;
       }
-      if (q->next_chunk < q->chunks_total) return true;
+      if (q->chunks_dispatched < q->chunks_total) return true;
       if (traceback_pending_locked(*q)) return true;
     }
     return false;
@@ -318,7 +401,7 @@ struct ScanService::Impl {
   // One executor thread: CPU scan-engine worker (board == nullptr) or a
   // board driver. Both draw chunks from the same scheduler, so a free
   // board accelerates CPU-bound traffic and vice versa.
-  void executor_loop(core::SmithWatermanAccelerator* board) {
+  void executor_loop(core::SmithWatermanAccelerator* board, std::size_t node) {
     std::unique_lock<std::mutex> lock(mu);
     for (;;) {
       cv.wait(lock, [&] { return stopping || dispatchable_locked(); });
@@ -351,7 +434,7 @@ struct ScanService::Impl {
           tb = cand;
           break;
         }
-        if (cand->next_chunk >= cand->chunks_total) continue;
+        if (cand->chunks_dispatched >= cand->chunks_total) continue;
         if (Clock::now() >= cand->deadline) {
           cand->aborted = true;
           cand->abort_reason = QueryStatus::DeadlineExpired;
@@ -367,7 +450,12 @@ struct ScanService::Impl {
       }
       if (!q) continue;  // state changed under us; re-evaluate predicate
 
-      const std::size_t chunk = q->next_chunk++;
+      bool local = true;
+      const std::size_t chunk = claim_chunk_locked(*q, node, local);
+      ++q->chunks_dispatched;
+      if (metrics.numa_local_chunks != nullptr) {
+        (local ? metrics.numa_local_chunks : metrics.numa_remote_chunks)->add(1);
+      }
       ++q->inflight;
       if (!q->dispatched) {
         q->dispatched = true;
@@ -543,6 +631,8 @@ std::optional<Ticket> ScanService::try_submit(seq::Sequence query, host::ScanOpt
   q->ids = impl_->dispatch_order;
   q->chunk_records = impl_->cfg.chunk_records;
   q->chunks_total = (q->ids.size() + q->chunk_records - 1) / q->chunk_records;
+  q->node_lo = impl_->chunk_run_bounds(q->chunks_total);
+  q->node_next.assign(q->node_lo.size() - 1, 0);
 
   Ticket ticket;
   ticket.response = q->promise.get_future().share();

@@ -73,6 +73,16 @@ struct ServiceConfig {
 
   align::Scoring scoring = align::Scoring::paper_default();
 
+  /// Memory placement for the executor fleet (core/topology.hpp): with an
+  /// active plan (auto on a multi-node box, or fake:<spec>), executors are
+  /// pinned across nodes proportionally to node cpu counts and every
+  /// query's chunk sequence is split into per-node runs — an executor
+  /// claims its own node's chunks first and steals across runs only when
+  /// its own is dry (svc.numa.local_chunks / svc.numa.remote_chunks).
+  /// Hits are bit-identical across modes: the merge sorts the chunk union
+  /// under the hit_ranks_before total order regardless of who ran what.
+  core::NumaRequest numa;
+
   /// When true the service admits queries but dispatches nothing until
   /// resume() — deterministic admission-control tests, drain-free
   /// maintenance windows.

@@ -11,6 +11,7 @@
 #include "seq/fasta.hpp"
 #include "seq/mutate.hpp"
 #include "seq/random.hpp"
+#include "test_util.hpp"
 
 namespace {
 
@@ -46,10 +47,10 @@ struct Fixture {
       if (r % 13 == 5) rec.append(seq::point_mutate(query, 0.04, gen.engine()));
       recs.push_back(std::move(rec));
     }
-    query_fa = testing::TempDir() + "/filter_q.fa";
-    db_fa = testing::TempDir() + "/filter_db.fa";
-    db_swdb = testing::TempDir() + "/filter_db.swdb";
-    db_v1 = testing::TempDir() + "/filter_db_v1.swdb";
+    query_fa = testing::TempDir() + "/" + test::unique_leaf("filter_q.fa");
+    db_fa = testing::TempDir() + "/" + test::unique_leaf("filter_db.fa");
+    db_swdb = testing::TempDir() + "/" + test::unique_leaf("filter_db.swdb");
+    db_v1 = testing::TempDir() + "/" + test::unique_leaf("filter_db_v1.swdb");
     seq::write_fasta_file(query_fa, {query});
     seq::write_fasta_file(db_fa, recs);
     EXPECT_EQ(run("swdb", {"build", db_fa, db_swdb}).code, 0);
@@ -154,7 +155,7 @@ TEST(FilterLegSeeded, SwdbInfoShowsIndexSection) {
 
 TEST(FilterLegSeeded, BuildSeedKControlsIndex) {
   const Fixture& f = fixture();
-  const std::string k5 = testing::TempDir() + "/filter_db_k5.swdb";
+  const std::string k5 = testing::TempDir() + "/" + test::unique_leaf("filter_db_k5.swdb");
   const RunResult b = run("swdb", {"build", f.db_fa, k5, "--seed-k", "5"});
   EXPECT_EQ(b.code, 0) << b.err;
   EXPECT_NE(b.out.find("k=5"), std::string::npos) << b.out;

@@ -1,0 +1,228 @@
+// NUMA topology layer (core/topology.hpp): fake-spec parsing round-trips,
+// malformed specs rejected with the named error, request parsing, auto
+// resolution (including the single-node degrade that must never throw),
+// the shared proportional-shares arithmetic, worker placement against
+// asymmetric fake topologies, and the thread pin/name helpers.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace {
+
+using namespace swr::core;
+
+/// Scoped SWR_NUMA_FAKE override; restores the previous value on exit so
+/// tests cannot leak topology into each other.
+class FakeEnvGuard {
+ public:
+  explicit FakeEnvGuard(const char* value) {
+    const char* prev = std::getenv("SWR_NUMA_FAKE");
+    if (prev != nullptr) saved_ = prev;
+    if (value != nullptr) {
+      ::setenv("SWR_NUMA_FAKE", value, 1);
+    } else {
+      ::unsetenv("SWR_NUMA_FAKE");
+    }
+  }
+  ~FakeEnvGuard() {
+    if (saved_.has_value()) {
+      ::setenv("SWR_NUMA_FAKE", saved_->c_str(), 1);
+    } else {
+      ::unsetenv("SWR_NUMA_FAKE");
+    }
+  }
+  FakeEnvGuard(const FakeEnvGuard&) = delete;
+  FakeEnvGuard& operator=(const FakeEnvGuard&) = delete;
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+TEST(Topology, NxMSugarExpandsDense) {
+  const Topology topo = parse_fake_topology("2x4");
+  ASSERT_EQ(topo.node_count(), 2u);
+  EXPECT_TRUE(topo.fake);
+  EXPECT_TRUE(topo.multi_node());
+  EXPECT_EQ(topo.total_cpus(), 8u);
+  EXPECT_EQ(topo.nodes[0].id, 0u);
+  EXPECT_EQ(topo.nodes[0].cpus, (std::vector<unsigned>{0, 1, 2, 3}));
+  EXPECT_EQ(topo.nodes[1].id, 1u);
+  EXPECT_EQ(topo.nodes[1].cpus, (std::vector<unsigned>{4, 5, 6, 7}));
+}
+
+TEST(Topology, CpulistFormParsesRangesAndSingles) {
+  const Topology topo = parse_fake_topology("0-2,8/3-5");
+  ASSERT_EQ(topo.node_count(), 2u);
+  EXPECT_EQ(topo.nodes[0].cpus, (std::vector<unsigned>{0, 1, 2, 8}));
+  EXPECT_EQ(topo.nodes[1].cpus, (std::vector<unsigned>{3, 4, 5}));
+  EXPECT_EQ(topo.total_cpus(), 7u);
+}
+
+TEST(Topology, SpecRoundTrips) {
+  for (const char* spec : {"2x4", "1x1", "4x2", "0-2,8/3-5", "0/1/2-3", "5,7,9/0-4"}) {
+    const Topology a = parse_fake_topology(spec);
+    const std::string canon = topology_spec(a);
+    const Topology b = parse_fake_topology(canon);
+    ASSERT_EQ(a.node_count(), b.node_count()) << spec;
+    for (std::size_t n = 0; n < a.nodes.size(); ++n) {
+      EXPECT_EQ(a.nodes[n].cpus, b.nodes[n].cpus) << spec << " node " << n;
+    }
+    // Canonical form is a fixed point.
+    EXPECT_EQ(topology_spec(b), canon) << spec;
+  }
+}
+
+TEST(Topology, MalformedSpecsThrowNamedError) {
+  for (const char* bad : {"", "0x4", "2x0", "x4", "2x", "3-1/4", "0-2,/3", "0-2/", "/0-2",
+                          "a-b/c", "0-2/2-4", "2x4x8", "0--2/3"}) {
+    EXPECT_THROW(parse_fake_topology(bad), TopologyError) << "spec: \"" << bad << '"';
+  }
+}
+
+TEST(Topology, ErrorMessageNamesTheSpec) {
+  try {
+    parse_fake_topology("0-2/2-4");
+    FAIL() << "duplicate cpu accepted";
+  } catch (const TopologyError& e) {
+    EXPECT_NE(std::string(e.what()).find("0-2/2-4"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Topology, ProbeNeverThrowsAndCoversAllCpus) {
+  const Topology topo = probe_system_topology();
+  ASSERT_GE(topo.node_count(), 1u);
+  EXPECT_FALSE(topo.fake);
+  EXPECT_GE(topo.total_cpus(), 1u);
+  for (const NumaNode& n : topo.nodes) EXPECT_FALSE(n.cpus.empty());
+}
+
+TEST(Topology, ParseNumaRequestModes) {
+  EXPECT_EQ(parse_numa_request("off").mode, NumaMode::Off);
+  EXPECT_EQ(parse_numa_request("auto").mode, NumaMode::Auto);
+  EXPECT_EQ(parse_numa_request("").mode, NumaMode::Auto);
+  const NumaRequest fake = parse_numa_request("fake:2x2");
+  EXPECT_EQ(fake.mode, NumaMode::Fake);
+  EXPECT_EQ(fake.fake_spec, "2x2");
+  // Fake specs are validated eagerly: a bad CLI value fails at parse time.
+  EXPECT_THROW(parse_numa_request("fake:2x0"), TopologyError);
+  EXPECT_THROW(parse_numa_request("fake:"), TopologyError);
+  EXPECT_THROW(parse_numa_request("on"), TopologyError);
+  try {
+    parse_numa_request("bogus");
+    FAIL() << "unknown mode accepted";
+  } catch (const TopologyError& e) {
+    // The error lists the accepted choices.
+    EXPECT_NE(std::string(e.what()).find(numa_mode_choices()), std::string::npos) << e.what();
+  }
+}
+
+TEST(Topology, ModeNamesAreCanonical) {
+  EXPECT_STREQ(numa_mode_name(NumaMode::Off), "off");
+  EXPECT_STREQ(numa_mode_name(NumaMode::Auto), "auto");
+  EXPECT_STREQ(numa_mode_name(NumaMode::Fake), "fake");
+}
+
+TEST(Topology, ResolveOffIsAlwaysDisabled) {
+  const FakeEnvGuard env("2x2");  // even a multi-node override must not re-enable it
+  NumaRequest req;
+  req.mode = NumaMode::Off;
+  EXPECT_FALSE(resolve_numa_topology(req).has_value());
+}
+
+TEST(Topology, ResolveFakeUsesTheSpec) {
+  NumaRequest req;
+  req.mode = NumaMode::Fake;
+  req.fake_spec = "0-2,8/3-5";
+  const std::optional<Topology> topo = resolve_numa_topology(req);
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_TRUE(topo->fake);
+  ASSERT_EQ(topo->node_count(), 2u);
+  EXPECT_EQ(topo->nodes[0].cpus.size(), 4u);
+  EXPECT_EQ(topo->nodes[1].cpus.size(), 3u);
+}
+
+TEST(Topology, AutoDegradesToDisabledOnSingleNode) {
+  // A single-node topology (here forced via the env override) turns
+  // placement off: auto warns once on stderr but never errors.
+  const FakeEnvGuard env("1x8");
+  NumaRequest req;
+  req.mode = NumaMode::Auto;
+  EXPECT_FALSE(resolve_numa_topology(req).has_value());
+}
+
+TEST(Topology, AutoActivatesOnMultiNode) {
+  const FakeEnvGuard env("2x2");
+  NumaRequest req;
+  req.mode = NumaMode::Auto;
+  const std::optional<Topology> topo = resolve_numa_topology(req);
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(topo->node_count(), 2u);
+}
+
+TEST(Topology, MalformedEnvFallsBackInsteadOfThrowing) {
+  // A bad ambient SWR_NUMA_FAKE must not kill a scan: auto warns and falls
+  // back to the probe.
+  const FakeEnvGuard env("2x0");
+  NumaRequest req;
+  req.mode = NumaMode::Auto;
+  EXPECT_NO_THROW((void)resolve_numa_topology(req));
+}
+
+TEST(Topology, ProportionalSharesExactAndOrdered) {
+  // Even split.
+  EXPECT_EQ(proportional_shares(8, {4, 4}), (std::vector<std::size_t>{4, 4}));
+  // Largest-remainder rounding, ties to the lower index: 10 over 3:1 is
+  // 7.5/2.5 — both remainders .5, the extra unit lands on index 0.
+  EXPECT_EQ(proportional_shares(10, {3, 1}), (std::vector<std::size_t>{8, 2}));
+  // Fewer units than nodes: the heavier node wins.
+  EXPECT_EQ(proportional_shares(1, {2, 6}), (std::vector<std::size_t>{0, 1}));
+  // Zero total and zero weights stay well-defined.
+  EXPECT_EQ(proportional_shares(0, {3, 5}), (std::vector<std::size_t>{0, 0}));
+  EXPECT_EQ(proportional_shares(7, {0, 4}), (std::vector<std::size_t>{0, 7}));
+  // Sum is always exact.
+  const std::vector<std::size_t> shares = proportional_shares(13, {5, 3, 1});
+  std::size_t sum = 0;
+  for (const std::size_t s : shares) sum += s;
+  EXPECT_EQ(sum, 13u);
+}
+
+TEST(Topology, PlaceWorkersProportionalNodeMajor) {
+  const Topology topo = parse_fake_topology("0-5/6-7");  // 6-cpu and 2-cpu nodes
+  const std::vector<WorkerPlacement> placed = place_workers(topo, 4);
+  ASSERT_EQ(placed.size(), 4u);
+  // 4 workers over 6:2 cpus -> 3 on node 0, 1 on node 1, node-major order.
+  EXPECT_EQ(placed[0].node, 0u);
+  EXPECT_EQ(placed[1].node, 0u);
+  EXPECT_EQ(placed[2].node, 0u);
+  EXPECT_EQ(placed[3].node, 1u);
+  // Every worker's mask is its node's full cpu list.
+  EXPECT_EQ(placed[0].cpus, topo.nodes[0].cpus);
+  EXPECT_EQ(placed[3].cpus, topo.nodes[1].cpus);
+}
+
+TEST(Topology, PlaceWorkersFewerThanNodes) {
+  const Topology topo = parse_fake_topology("2x4");
+  const std::vector<WorkerPlacement> placed = place_workers(topo, 1);
+  ASSERT_EQ(placed.size(), 1u);
+  EXPECT_EQ(placed[0].node, 0u);  // ties to the lower index
+}
+
+TEST(Topology, PinAndNameAreBestEffortNoexcept) {
+  // Run in a scratch thread so the test binary's main thread keeps its
+  // affinity. Pinning to cpu 0 must succeed on any Linux box; a mask of
+  // cpus the machine does not have reports failure instead of throwing.
+  std::thread([] {
+    set_current_thread_name("swr-topotest");
+    EXPECT_TRUE(pin_current_thread({0}));
+    EXPECT_FALSE(pin_current_thread({}));
+    EXPECT_FALSE(pin_current_thread({4096, 4097}));
+  }).join();
+}
+
+}  // namespace

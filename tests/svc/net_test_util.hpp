@@ -32,7 +32,7 @@ inline std::vector<seq::Sequence> net_records(int n = 48, std::uint64_t seed = 9
 /// Builds a .swdb (with its default k-mer index) under the test temp dir.
 inline std::string build_net_store(const std::vector<seq::Sequence>& recs,
                                    const std::string& leaf) {
-  const std::string path = testing::TempDir() + "/" + leaf;
+  const std::string path = testing::TempDir() + "/" + unique_leaf(leaf);
   db::build_store(recs, path);
   return path;
 }

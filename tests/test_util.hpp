@@ -3,11 +3,29 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
 
 #include "seq/random.hpp"
 #include "seq/sequence.hpp"
 
 namespace swr::test {
+
+/// Temp-file leaf made unique per process. gtest_discover_tests runs
+/// every TEST as its own process, so a fixture naming a fixed leaf under
+/// testing::TempDir() collides when `ctest -j` schedules two tests of the
+/// same suite together — one process's build_store truncates the .swdb
+/// another process has mmap'd mid-scan (SIGBUS).
+inline std::string unique_leaf(const std::string& leaf) {
+#if defined(__linux__)
+  return std::to_string(::getpid()) + "_" + leaf;
+#else
+  return leaf;
+#endif
+}
 
 /// Deterministic random DNA of length n.
 inline seq::Sequence random_dna(std::size_t n, std::uint64_t seed) {
