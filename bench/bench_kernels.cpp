@@ -31,12 +31,17 @@
 #include "bench_util.hpp"
 #include "core/accelerator.hpp"
 #include "core/cpu_features.hpp"
+#include "core/multiboard.hpp"
+#include "core/performance_model.hpp"
 #include "core/topology.hpp"
 #include "db/builder.hpp"
 #include "db/store.hpp"
 #include "host/batch.hpp"
+#include "host/fleet_scan.hpp"
+#include "host/pci.hpp"
 #include "host/record_source.hpp"
 #include "host/scan_engine.hpp"
+#include "hw/sched.hpp"
 #include "obs/metrics.hpp"
 #include "par/wavefront.hpp"
 #include "retrieve/traceback.hpp"
@@ -1357,6 +1362,210 @@ int run_numa_comparison() {
   return hits_ok && counters_ok ? 0 : 1;
 }
 
+// ---- fleet / event-scheduler comparison (BENCH_fleet.json) ---------------
+//
+// The tentpole's evidence, three parts:
+//
+//   1. Simulator throughput: event vs dense scheduler on a 1000-PE array
+//      scanning short streams. The activity-driven scheduler only clocks
+//      the live wavefront, so it must be at least kFleetSpeedupGate
+//      faster wall-clock while producing bit-identical scores and cycle
+//      counts (both gated).
+//   2. DMA double buffering: the two-slot overlapped stream against the
+//      ship-everything-then-compute serialized timeline, on the same bus
+//      parameters (delta reported to the JSON).
+//   3. The table-3-style fleet curve: modelled board wall times at
+//      100/500/1000 PEs x 1/4/16 boards, every cell's measured cycle
+//      count cross-checked EXACTLY against the analytic model (gated).
+//
+// CI runs `bench_kernels --fleet-only`; any gate break exits non-zero.
+constexpr double kFleetSpeedupGate = 10.0;
+
+int run_fleet_comparison() {
+  bench::header("fleet: event-vs-dense scheduler, DMA overlap, board scaling");
+
+  // -- part 1: scheduler wall-clock on short streams ----------------------
+  seq::RandomSequenceGenerator gen(9090);
+  const std::size_t npes_big = 1000;
+  const seq::Sequence long_query = gen.uniform(seq::dna(), npes_big, "q1000");
+  const std::size_t n_short = bench::full_scale() ? 40 : 8;
+  std::vector<seq::Sequence> shorts;
+  shorts.reserve(n_short);
+  for (std::size_t r = 0; r < n_short; ++r) {
+    shorts.push_back(gen.uniform(seq::dna(), 100, "s" + std::to_string(r)));
+  }
+
+  // 1000 elements outstrip every Virtex-II-era die; the catalog's
+  // late-generation xc7v2000t entry exists for these projections.
+  const core::FpgaDevice& big_dev = core::device("xc7v2000t");
+  core::SmithWatermanAccelerator dense(big_dev, npes_big, kSc, 16, 32, true, false,
+                                       hw::SchedMode::Dense);
+  core::SmithWatermanAccelerator event(big_dev, npes_big, kSc, 16, 32, true, false,
+                                       hw::SchedMode::Event);
+
+  bool identical = true;
+  std::uint64_t sim_cycles = 0;
+  for (const seq::Sequence& s : shorts) {  // warm-up + parity check
+    const core::JobResult a = dense.run(long_query, s);
+    const core::JobResult b = event.run(long_query, s);
+    if (!(a.best == b.best) || a.stats.total_cycles != b.stats.total_cycles) identical = false;
+    sim_cycles += a.stats.total_cycles;
+  }
+  const auto time_scan = [&](core::SmithWatermanAccelerator& acc) {
+    double best = 1e100;
+    for (int rep = 0; rep < 2; ++rep) {
+      const bench::Timer t;
+      for (const seq::Sequence& s : shorts) {
+        benchmark::DoNotOptimize(acc.run(long_query, s));
+      }
+      best = std::min(best, t.seconds());
+    }
+    return best;
+  };
+  const double dense_s = time_scan(dense);
+  const double event_s = time_scan(event);
+  const double speedup = dense_s / event_s;
+  const std::uint64_t dense_evals = dense.controller().array().evaluations();
+  const std::uint64_t event_evals = event.controller().array().evaluations();
+
+  std::printf("scheduler: %zu-PE array, %zu x 100 BP streams, %llu simulated cycles\n",
+              npes_big, n_short, static_cast<unsigned long long>(sim_cycles));
+  std::printf("  dense  %10.4f s   %12llu PE evaluations\n", dense_s,
+              static_cast<unsigned long long>(dense_evals));
+  std::printf("  event  %10.4f s   %12llu PE evaluations\n", event_s,
+              static_cast<unsigned long long>(event_evals));
+  std::printf("  speedup %.1fx (gate >= %.0fx); results bit-identical: %s\n", speedup,
+              kFleetSpeedupGate, identical ? "yes" : "NO");
+
+  // -- part 2: DMA double-buffer overlap ----------------------------------
+  // A representative stream: 1 MiB of database against the compute window
+  // a 1000-PE array needs for it, on the default PCI parameters.
+  const std::size_t stream_bytes = 1u << 20;
+  const double freq = dense.freq_mhz();
+  const double window =
+      core::cycles_to_seconds(stream_bytes + npes_big - 1, freq);
+  host::PciModel pci{host::PciConfig{}};
+  const host::DmaTimeline dma =
+      pci.stream_overlapped(stream_bytes, window, host::DmaConfig{}, freq);
+  std::printf("dma: %zu B stream, %llu chunks: overlapped %.4f s vs serialized %.4f s "
+              "(%.2fx, stall %.4f s)\n",
+              stream_bytes, static_cast<unsigned long long>(dma.chunks),
+              dma.overlapped_seconds, dma.serialized_seconds,
+              dma.serialized_seconds / dma.overlapped_seconds, dma.stall_seconds);
+
+  // -- part 3: fleet scaling curve, cycles gated against the model --------
+  const seq::Sequence query = gen.uniform(seq::dna(), 100, "q");
+  const std::size_t n_records = bench::full_scale() ? 400 : 60;
+  std::vector<seq::Sequence> records;
+  records.reserve(n_records);
+  for (std::size_t r = 0; r < n_records; ++r) {
+    // Length-skewed mix, the case the least-loaded deal exists for.
+    const std::size_t len = 80 + 53 * (r % 7);
+    records.push_back(gen.uniform(seq::dna(), len, "rec" + std::to_string(r)));
+  }
+
+  struct FleetRow {
+    std::size_t pes = 0;
+    std::size_t boards = 0;
+    std::string device;
+    double board_seconds = 0.0;
+    std::uint64_t cycles = 0;
+    double speedup_vs_1board = 0.0;
+  };
+  std::vector<FleetRow> rows;
+  bool cycles_ok = true;
+
+  std::printf("  %6s %7s %14s %14s %10s %8s\n", "PEs", "boards", "modelled s", "cycles",
+              "vs 1brd", "model");
+  bench::rule(70);
+  for (const std::size_t pes : {std::size_t{100}, std::size_t{500}, std::size_t{1000}}) {
+    std::uint64_t expected = 0;
+    for (const seq::Sequence& r : records) {
+      expected += core::predict_cycles(query.size(), r.size(), pes, true).total_cycles;
+    }
+    double one_board = 0.0;
+    for (const std::size_t boards : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+      core::FleetOptions fo;
+      // The prototype device holds the paper's 100 elements; the larger
+      // design points move to the projection part.
+      fo.device = pes <= 150 ? "xc2vp70" : "xc7v2000t";
+      fo.boards = boards;
+      fo.pes_per_board = pes;
+      fo.model_bus = true;
+      core::BoardFleet fleet = core::make_board_fleet(fo, kSc);
+      host::ScanOptions opt;
+      opt.top_k = 10;
+      opt.threads = std::min<std::size_t>(boards, std::thread::hardware_concurrency());
+      const host::ScanResult res = host::scan_database_fleet(fleet, query, records, opt);
+
+      FleetRow row;
+      row.pes = pes;
+      row.boards = boards;
+      row.device = fo.device;
+      row.board_seconds = res.board_seconds;
+      row.cycles = res.board_cycles;
+      if (boards == 1) one_board = res.board_seconds;
+      row.speedup_vs_1board = one_board / res.board_seconds;
+      const bool ok = res.board_cycles == expected;
+      if (!ok) cycles_ok = false;
+      std::printf("  %6zu %7zu %14.6f %14llu %9.2fx %8s\n", pes, boards, row.board_seconds,
+                  static_cast<unsigned long long>(row.cycles), row.speedup_vs_1board,
+                  ok ? "exact" : "MISMATCH");
+      rows.push_back(row);
+    }
+  }
+  bench::rule(70);
+  std::printf("measured cycles == analytic prediction at every cell: %s\n",
+              cycles_ok ? "yes" : "NO");
+
+  // -- JSON dump + verdict -------------------------------------------------
+  std::ofstream js("BENCH_fleet.json");
+  js << "{\n  \"host\": " << bench::host_meta_json() << ",\n";
+  js << "  \"sched\": \"" << hw::sched_mode_name(hw::default_sched_mode()) << "\",\n";
+  js << "  \"scheduler\": {\"pes\": " << npes_big << ", \"streams\": " << n_short
+     << ", \"stream_len\": 100, \"sim_cycles\": " << sim_cycles
+     << ", \"dense_seconds\": " << dense_s << ", \"event_seconds\": " << event_s
+     << ", \"speedup\": " << speedup << ", \"gate\": " << kFleetSpeedupGate
+     << ", \"dense_evaluations\": " << dense_evals
+     << ", \"event_evaluations\": " << event_evals
+     << ", \"identical\": " << (identical ? "true" : "false") << "},\n";
+  js << "  \"dma\": {\"bytes\": " << stream_bytes << ", \"chunks\": " << dma.chunks
+     << ", \"overlapped_seconds\": " << dma.overlapped_seconds
+     << ", \"serialized_seconds\": " << dma.serialized_seconds
+     << ", \"stall_seconds\": " << dma.stall_seconds
+     << ", \"overlap_gain\": " << dma.serialized_seconds / dma.overlapped_seconds << "},\n";
+  js << "  \"fleet\": {\"query_len\": " << query.size() << ", \"records\": " << records.size()
+     << ", \"rows\": [\n";
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const FleetRow& r = rows[k];
+    js << "    {\"pes\": " << r.pes << ", \"boards\": " << r.boards
+       << ", \"device\": \"" << r.device << "\""
+       << ", \"board_seconds\": " << r.board_seconds << ", \"cycles\": " << r.cycles
+       << ", \"speedup_vs_1board\": " << r.speedup_vs_1board << "}"
+       << (k + 1 < rows.size() ? "," : "") << "\n";
+  }
+  js << "  ]},\n";
+  js << "  \"cycles_match_model\": " << (cycles_ok ? "true" : "false") << ",\n";
+  js << "  \"speedup_gate_met\": " << (speedup >= kFleetSpeedupGate ? "true" : "false")
+     << "\n}\n";
+  std::printf("machine-readable dump: BENCH_fleet.json\n");
+
+  if (!identical) {
+    std::printf("FAIL: event scheduler diverged from dense\n");
+    return 1;
+  }
+  if (!cycles_ok) {
+    std::printf("FAIL: measured fleet cycles diverged from the analytic model\n");
+    return 1;
+  }
+  if (speedup < kFleetSpeedupGate) {
+    std::printf("FAIL: event speedup %.1fx below the %.0fx gate\n", speedup, kFleetSpeedupGate);
+    return 1;
+  }
+  std::printf("OK: all fleet gates met\n");
+  return 0;
+}
+
 // ---- observability overhead (printed; CI gate via --obs-overhead-only) ---
 
 // DESIGN.md §3e documents the disabled-metrics bound: a null registry may
@@ -1519,6 +1728,9 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--numa-only") {
       return run_numa_comparison();
     }
+    if (std::string(argv[i]) == "--fleet-only") {
+      return run_fleet_comparison();
+    }
   }
   run_scan_comparison();
   run_simd_comparison();
@@ -1527,6 +1739,7 @@ int main(int argc, char** argv) {
   if (const int rc = run_retrieve_comparison(); rc != 0) return rc;
   if (const int rc = run_serve_comparison(); rc != 0) return rc;
   if (const int rc = run_numa_comparison(); rc != 0) return rc;
+  if (const int rc = run_fleet_comparison(); rc != 0) return rc;
   run_db_comparison();
   if (const int rc = run_obs_overhead(/*ci_mode=*/false); rc != 0) return rc;
   benchmark::Initialize(&argc, argv);

@@ -26,7 +26,9 @@
 #include "db/builder.hpp"
 #include "db/store.hpp"
 #include "host/batch.hpp"
+#include "host/fleet_scan.hpp"
 #include "host/scan_engine.hpp"
+#include "hw/sched.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -363,6 +365,8 @@ int scan_batch(const ArgParser& args, const seq::Alphabet& ab, const align::Scor
   cfg.cpu_workers = static_cast<std::size_t>(args.get_int("cpu-workers"));
   cfg.boards = static_cast<std::size_t>(args.get_int("boards"));
   cfg.board_pes = static_cast<std::size_t>(args.get_int("pes"));
+  cfg.board_device_name = args.get("board-device");
+  if (const auto sched = hw::parse_sched_mode(args.get("sched"))) cfg.board_sched = *sched;
   cfg.queue_capacity = std::max<std::size_t>(static_cast<std::size_t>(args.get_int("queue")),
                                              queries.size());
   cfg.max_inflight = static_cast<std::size_t>(args.get_int("inflight"));
@@ -452,6 +456,8 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
       .option("min-score", "20")
       .option("pes", "100")
       .option("engine", "auto")
+      .option("sched", "auto")
+      .option("board-device", "xc2vp70")
       .option("threads", "1")
       .option("simd", "auto")
       .option("kernel", "auto")
@@ -517,20 +523,36 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
   // engines report bit-identical hits; tests enforce it. Validated before
   // any file is opened so bad options fail as usage errors.
   const std::string engine_name = args.get("engine");
-  if (engine_name != "auto" && engine_name != "accel" && engine_name != "cpu") {
-    throw ArgError("unknown engine '" + engine_name + "' (auto|accel|cpu)");
+  if (engine_name != "auto" && engine_name != "accel" && engine_name != "cpu" &&
+      engine_name != "board") {
+    throw ArgError("unknown engine '" + engine_name + "' (auto|accel|cpu|board)");
   }
-  if (engine_name == "accel" && seeded) {
+  const bool use_fleet = engine_name == "board";
+  if ((engine_name == "accel" || use_fleet) && seeded) {
     throw ArgError("--filter seeded needs the CPU engine (--engine cpu or auto)");
   }
   const bool use_cpu =
       engine_name == "cpu" || (engine_name == "auto" && (opt.threads > 1 || seeded));
-  if (!use_cpu && opt.threads > 1) {
+  if (!use_cpu && !use_fleet && opt.threads > 1) {
     throw ArgError("--engine accel is single-threaded; use --engine cpu with --threads");
   }
   if (seeded && args.has("batch") && args.get_int("boards") > 0) {
     throw ArgError("--filter seeded runs on CPU workers only; use --boards 0");
   }
+  if (use_fleet && args.has("batch")) {
+    throw ArgError("--engine board is the direct fleet scan; --batch serves boards via "
+                   "--boards N instead");
+  }
+
+  // Scheduler override (hw/sched.hpp): "auto" defers to SWR_HW_SCHED /
+  // the event default. Validated here so a typo fails as a usage error.
+  std::optional<hw::SchedMode> sched_override;
+  try {
+    sched_override = hw::parse_sched_mode(args.get("sched"));
+  } catch (const std::invalid_argument& e) {
+    throw ArgError(e.what());
+  }
+  const hw::SchedMode sched = sched_override.value_or(hw::default_sched_mode());
 
   // Observability is opt-in: --stats or --metrics-out turns the process
   // registry on; otherwise every instrumented layer sees nullptr and
@@ -573,9 +595,27 @@ int cmd_scan(const std::vector<std::string>& argv, std::ostream& out) {
   if (use_cpu) {
     scan = database.store ? host::scan_database_cpu(query, *database.store, sc, opt)
                           : host::scan_database_cpu(query, database.records, sc, opt);
+  } else if (use_fleet) {
+    core::FleetOptions fopt;
+    fopt.device = args.get("board-device");
+    fopt.boards = std::max<std::size_t>(1, static_cast<std::size_t>(args.get_int("boards")));
+    fopt.pes_per_board = static_cast<std::size_t>(args.get_int("pes"));
+    fopt.sched = sched;
+    fopt.model_bus = true;  // fleet scans report DMA-overlapped wall times
+    core::BoardFleet fleet;
+    try {
+      fleet = core::make_board_fleet(fopt, sc);
+    } catch (const std::invalid_argument& e) {
+      throw ArgError(e.what());
+    }
+    scan = database.store ? host::scan_database_fleet(fleet, query, *database.store, opt)
+                          : host::scan_database_fleet(fleet, query, database.records, opt);
   } else {
     core::SmithWatermanAccelerator acc(core::xc2vp70(),
-                                       static_cast<std::size_t>(args.get_int("pes")), sc);
+                                       static_cast<std::size_t>(args.get_int("pes")), sc,
+                                       /*score_bits=*/16u, /*cycle_bits=*/32u,
+                                       /*charge_query_load=*/true,
+                                       /*shuffle_evaluation=*/false, sched);
     scan = database.store ? host::scan_database(acc, query, *database.store, opt)
                           : host::scan_database(acc, query, database.records, opt);
   }
@@ -933,7 +973,9 @@ std::string usage() {
          "                       [--pes N] [--matrix]\n"
          "                       [--affine --gap-open N --gap-extend N]\n"
          "  scan <query.fa> <db.fa|db.swdb>  [--top K] [--min-score S] [--pes N]\n"
-         "                       [--alphabet ...] [--engine auto|accel|cpu] [--threads N]\n"
+         "                       [--alphabet ...] [--engine auto|accel|cpu|board] [--threads N]\n"
+         "                       [--sched auto|dense|event] [--board-device xc2vp70|...]\n"
+         "                       [--boards N (with --engine board: fleet size)]\n"
          "                       [--simd auto|scalar|swar16|swar8|sse41|avx2]\n"
          "                       [--kernel auto|striped|interseq] [--numa off|auto|fake:<spec>]\n"
          "                       [--filter exact|seeded] [--filter-threshold S]\n"

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
@@ -16,8 +17,26 @@
 #include "core/device.hpp"
 #include "core/performance_model.hpp"
 #include "core/resource_model.hpp"
+// host/pci.hpp is header-only, so the facade can model the bus without a
+// core -> host link edge; the accelerator is where compute cycles and bus
+// seconds meet, which is why the timeline lives here and not in the scan
+// layers.
+#include "host/pci.hpp"
 
 namespace swr::core {
+
+/// Bus leg of one job, filled only when a bus model is attached
+/// (attach_bus): the DMA double-buffer timeline for the database stream
+/// plus the serialized query/result transactions around it.
+struct JobBusTiming {
+  bool modelled = false;                 ///< false = no bus attached, fields zero
+  std::uint64_t bytes_to_board = 0;      ///< query + database payload
+  std::uint64_t bytes_from_board = 0;    ///< the paper's "few bytes" of results
+  double overlapped_seconds = 0.0;       ///< bus wall under double buffering
+  double serialized_seconds = 0.0;       ///< bus wall if nothing overlapped
+  double stall_seconds = 0.0;            ///< compute stalled on the stream
+  std::uint64_t stall_cycles = 0;        ///< the stall at the board clock
+};
 
 /// Outcome of one accelerator job.
 struct JobResult {
@@ -25,6 +44,11 @@ struct JobResult {
   RunStats stats;                ///< measured on the cycle-level model
   double seconds = 0.0;          ///< stats.total_cycles at the modelled clock
   double gcups = 0.0;            ///< useful cell updates per second / 1e9
+  JobBusTiming bus;              ///< bus leg (attach_bus), zeroed otherwise
+  /// Board wall-clock estimate: compute plus the overlapped bus timeline
+  /// when a bus is modelled; equal to `seconds` otherwise. The scan
+  /// layers report this as board_seconds.
+  double wall_seconds = 0.0;
 };
 
 /// The accelerator, templated over the PE datapath (ScorePe = the paper's
@@ -39,19 +63,43 @@ class BasicAccelerator {
   /// device — the model's equivalent of a failed place-and-route.
   BasicAccelerator(const FpgaDevice& dev, std::size_t num_pes, const Scoring& scoring,
                    unsigned score_bits = 16, unsigned cycle_bits = 32,
-                   bool charge_query_load = true, bool shuffle_evaluation = false)
+                   bool charge_query_load = true, bool shuffle_evaluation = false,
+                   hw::SchedMode sched = hw::default_sched_mode())
       : device_(dev),
         scoring_(scoring),
         features_{score_bits, cycle_bits, /*coordinate_tracking=*/true,
                   /*affine=*/std::is_same_v<Pe, AffinePe>},
         synth_(estimate_resources(dev, num_pes, features_)),
         controller_(num_pes, score_bits, scoring, dev.board_sram_bytes, charge_query_load,
-                    shuffle_evaluation) {
+                    shuffle_evaluation, sched) {
     if (!synth_.fits) {
       throw std::invalid_argument("BasicAccelerator: " + std::to_string(num_pes) +
                                   " elements do not fit device " + dev.name);
     }
   }
+
+  /// Attaches a host<->board bus model: run() then charges the query
+  /// shipment, streams the database through the two-slot DMA double
+  /// buffer overlapped with the first pass's compute window, and reads
+  /// the result words back — filling JobResult::bus and switching
+  /// wall_seconds to the overlapped timeline. Without it (the default)
+  /// the facade behaves exactly as before: compute-only timing.
+  void attach_bus(const host::PciConfig& pci = {}, const host::DmaConfig& dma = {}) {
+    pci.validate();
+    dma.validate();
+    bus_.emplace(pci);
+    dma_ = dma;
+  }
+
+  /// Routes the attached bus's hw.pci.* metrics to `reg` (nullptr
+  /// detaches; strict no-op when no bus is attached).
+  void bind_bus_metrics(obs::Registry* reg) {
+    if (bus_) bus_->bind_metrics(reg);
+  }
+
+  /// The attached bus model, or nullptr (white-box tests, fleet totals).
+  [[nodiscard]] const host::PciModel* bus() const noexcept { return bus_ ? &*bus_ : nullptr; }
+  [[nodiscard]] hw::SchedMode sched_mode() const noexcept { return controller_.sched_mode(); }
 
   /// Runs a comparison on the cycle-level model. Coordinates follow the
   /// library convention: i = database position, j = query position,
@@ -62,6 +110,36 @@ class BasicAccelerator {
     r.stats = controller_.run_stats();
     r.seconds = cycles_to_seconds(r.stats.total_cycles, synth_.freq_mhz);
     r.gcups = r.stats.cell_updates == 0 ? 0.0 : core::gcups(r.stats.cell_updates, r.seconds);
+    r.wall_seconds = r.seconds;
+    if (bus_ && !query.empty() && !db.empty()) {
+      // Query shipment and result readback are short serialized
+      // transactions; the database stream double-buffers against the
+      // first pass's compute window (later passes replay it from board
+      // SRAM). The overlap can only hide the stream inside that window —
+      // whatever sticks out is stall, charged on top of compute.
+      const double query_s = bus_->transfer(query.size(), host::BusDirection::ToBoard);
+      const double window =
+          cycles_to_seconds(db.size() + num_pes() - 1, synth_.freq_mhz);
+      const host::DmaTimeline dma =
+          bus_->stream_overlapped(db.size(), window, dma_, synth_.freq_mhz);
+      const double result_s = bus_->transfer(kResultBytes, host::BusDirection::FromBoard);
+      // The stream timeline decomposes as overlapped = first_fill +
+      // compute_window + stall; only first_fill and stall are bus time
+      // the compute side actually waits for. bus.overlapped_seconds is
+      // that exposed bus time (plus the serialized query/result legs), so
+      // wall = compute + bus.overlapped_seconds by construction.
+      const double first_fill =
+          dma.overlapped_seconds - dma.compute_seconds - dma.stall_seconds;
+      r.bus.modelled = true;
+      r.bus.bytes_to_board = query.size() + db.size();
+      r.bus.bytes_from_board = kResultBytes;
+      r.bus.stall_seconds = dma.stall_seconds;
+      r.bus.stall_cycles =
+          static_cast<std::uint64_t>(dma.stall_seconds * synth_.freq_mhz * 1e6);
+      r.bus.overlapped_seconds = query_s + first_fill + dma.stall_seconds + result_s;
+      r.bus.serialized_seconds = query_s + dma.transfer_seconds + result_s;
+      r.wall_seconds = r.seconds + r.bus.overlapped_seconds;
+    }
     return r;
   }
 
@@ -99,11 +177,17 @@ class BasicAccelerator {
   }
 
  private:
+  /// Result readback: best score + (i, j) coordinates, the paper's "few
+  /// bytes" (matches the host pipeline's result transaction).
+  static constexpr std::size_t kResultBytes = 20;
+
   FpgaDevice device_;
   Scoring scoring_;
   PeFeatures features_;
   ResourceEstimate synth_;
   ArrayController<Pe> controller_;
+  std::optional<host::PciModel> bus_;
+  host::DmaConfig dma_{};
 };
 
 /// The paper's accelerator: linear gaps, coordinate tracking.

@@ -53,13 +53,17 @@ class ArrayController {
   using Scoring = typename Array::Scoring;
 
   ArrayController(std::size_t num_pes, unsigned score_bits, const Scoring& scoring,
-                  std::size_t sram_capacity_bytes, bool charge_query_load, bool shuffle_evaluation)
-      : array_(num_pes, score_bits, scoring),
+                  std::size_t sram_capacity_bytes, bool charge_query_load, bool shuffle_evaluation,
+                  hw::SchedMode sched = hw::default_sched_mode())
+      : array_(num_pes, score_bits, scoring, sched),
         sim_(shuffle_evaluation, /*seed=*/1),
         sram_(sram_capacity_bytes),
         charge_query_load_(charge_query_load) {
     sim_.add(&array_);
   }
+
+  /// The scheduling policy the array was built with.
+  [[nodiscard]] hw::SchedMode sched_mode() const noexcept { return array_.sched_mode(); }
 
   /// Optional per-cycle probe (VCD tracing, schedule tests). Called after
   /// every clock edge with the post-edge array state and cycle number.

@@ -10,6 +10,11 @@ const std::vector<FpgaDevice>& device_catalog() {
       {"xcv2000e",   19200,   38400,  38400,  804,  655,     16u << 20,      85.0},
       {"xcv1000",    12288,   24576,  24576,  512,  131,     8u << 20,       70.0},
       {"xc2vp100",   44096,   88192,  88192,  1164, 7992,    64u << 20,      180.0},
+      // Late-generation part for large-array projections (the Table-3
+      // 500/1000-element design points exceed every Virtex-II-era die).
+      // The structural model is Virtex-II-calibrated, so treat estimates
+      // on this entry as capacity projections, not synthesis predictions.
+      {"xc7v2000t",  305400,  2443200, 1221600, 1200, 46512,  512u << 20,    200.0},
   };
   return kCatalog;
 }

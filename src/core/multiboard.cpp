@@ -72,4 +72,26 @@ BoardFleet make_board_fleet(const FpgaDevice& dev, std::size_t n, std::size_t pe
   return fleet;
 }
 
+void FleetOptions::validate() const {
+  if (boards == 0) throw std::invalid_argument("FleetOptions: zero boards");
+  if (pes_per_board == 0) throw std::invalid_argument("FleetOptions: zero PEs per board");
+  pci.validate();
+  dma.validate();
+}
+
+BoardFleet make_board_fleet(const FleetOptions& opt, const align::Scoring& sc) {
+  opt.validate();
+  const FpgaDevice& dev = device(opt.device);  // throws on an unknown name
+  BoardFleet fleet;
+  fleet.reserve(opt.boards);
+  for (std::size_t k = 0; k < opt.boards; ++k) {
+    auto board = std::make_unique<SmithWatermanAccelerator>(
+        dev, opt.pes_per_board, sc, /*score_bits=*/16u, /*cycle_bits=*/32u,
+        /*charge_query_load=*/true, /*shuffle_evaluation=*/false, opt.sched);
+    if (opt.model_bus) board->attach_bus(opt.pci, opt.dma);
+    fleet.push_back(std::move(board));
+  }
+  return fleet;
+}
+
 }  // namespace swr::core

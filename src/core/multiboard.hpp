@@ -11,9 +11,11 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/accelerator.hpp"
+#include "core/device.hpp"
 
 namespace swr::core {
 
@@ -44,5 +46,29 @@ MultiBoardResult multiboard_run(BoardFleet& boards, const seq::Sequence& query,
 /// Convenience: builds `n` identical boards on one device.
 BoardFleet make_board_fleet(const FpgaDevice& dev, std::size_t n, std::size_t pes_per_board,
                             const align::Scoring& sc);
+
+/// Catalog-driven fleet description: the device is named (resolved
+/// through core::device_catalog()), the simulation scheduler is explicit,
+/// and each board can carry its own DMA-modelled bus.
+struct FleetOptions {
+  std::string device = "xc2vp70";  ///< catalog name (device() resolves it)
+  std::size_t boards = 1;
+  std::size_t pes_per_board = 100;
+  hw::SchedMode sched = hw::default_sched_mode();
+  /// Attach a host::PciModel to every board so job wall-times use the DMA
+  /// double-buffered timeline (JobResult::bus). Off keeps compute-only
+  /// timing.
+  bool model_bus = false;
+  host::PciConfig pci{};
+  host::DmaConfig dma{};
+
+  /// @throws std::invalid_argument on zero boards/PEs or bad bus config.
+  void validate() const;
+};
+
+/// Builds a fleet from a catalog description. @throws std::invalid_argument
+/// on an unknown device name, an invalid option set, or a PE count that
+/// does not fit the device.
+BoardFleet make_board_fleet(const FleetOptions& opt, const align::Scoring& sc);
 
 }  // namespace swr::core

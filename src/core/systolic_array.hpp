@@ -1,9 +1,35 @@
 // The systolic array (paper figure 5): a chain of PEs plus the array-level
 // mode and input registers. Templated over the PE type so the linear-gap
 // design (ScorePe) and the affine extension (AffinePe) share one chassis.
+//
+// Two scheduling policies drive the chain (hw::SchedMode):
+//
+//   dense — the textbook two-phase stepper: every PE evaluates and commits
+//   every clock. O(N) per cycle regardless of activity.
+//
+//   event — the activity-driven scheduler. A compute stream entering an
+//   N-element array only ever keeps a contiguous wavefront of PEs busy:
+//   at stream cycle t the valid strobes live in [max(0, t-|db|), min(t,
+//   N)), so that span (plus one element to absorb the advancing edge) is
+//   all that needs cycling. The result drain is handled with a snapshot:
+//   DrainLoad latches every column's (Bs, Bc) once, and each DrainShift
+//   clocks only the rightmost PE, fed from the snapshot through a virtual
+//   shift cursor — O(1) per drain cycle instead of O(N).
+//
+// Event mode is bit-identical to dense on every architectural observation
+// point (PE outputs, Bs/Bc/Cl registers, drain_out, cycle counts — the
+// signals the VCD tracer and the schedule tests probe). It rests on two
+// invariants: hw::Reg guarantees that committing a non-evaluated register
+// is a no-op, and a PE whose inputs are invalid and whose out.valid is
+// already false stages exactly its current state. The one deliberate
+// non-architectural divergence: during a drain, inner PEs' drain_slot()
+// registers go stale (the chain is virtualised); only drain_out() — the
+// port the controller samples — is maintained.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <type_traits>
@@ -12,6 +38,7 @@
 #include "core/pe.hpp"
 #include "hw/module.hpp"
 #include "hw/satarith.hpp"
+#include "hw/sched.hpp"
 
 namespace swr::core {
 
@@ -41,13 +68,20 @@ class SystolicArray final : public hw::Module {
   using Scoring = typename detail::PeTraits<Pe>::Scoring;
   using Context = typename detail::PeTraits<Pe>::Context;
 
-  SystolicArray(std::size_t n, unsigned score_bits, Scoring scoring)
-      : hw::Module("systolic_array"), sat_(score_bits), scoring_(scoring), pes_(n) {
+  SystolicArray(std::size_t n, unsigned score_bits, Scoring scoring,
+                hw::SchedMode sched = hw::default_sched_mode())
+      : hw::Module("systolic_array"),
+        sat_(score_bits),
+        scoring_(scoring),
+        pes_(n),
+        sched_(sched),
+        drain_snapshot_(n) {
     if (n == 0) throw std::invalid_argument("SystolicArray: zero PEs");
     scoring_.validate();
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return pes_.size(); }
+  [[nodiscard]] hw::SchedMode sched_mode() const noexcept { return sched_; }
 
   /// Loads a query chunk into the SP registers. Elements beyond the chunk
   /// are marked inactive (figure-7 padding). @throws std::invalid_argument
@@ -97,25 +131,119 @@ class SystolicArray final : public hw::Module {
   void set_mode(ArrayMode mode) noexcept { mode_ = mode; }
 
   void evaluate() override {
-    const ArrayMode mode = mode_;
     const Context ctx{sat_, scoring_};
-    static constexpr DrainSlot kEmptySlot{};
-    // PE 0 reads the input wires; PE j>0 reads PE j-1's registered
-    // output. All register reads are pre-edge values.
-    pes_[0].evaluate(mode, in_, kEmptySlot, ctx);
-    for (std::size_t j = 1; j < pes_.size(); ++j) {
-      pes_[j].evaluate(mode, pes_[j - 1].out(), pes_[j - 1].drain_slot(), ctx);
+    const std::size_t n = pes_.size();
+    if (sched_ == hw::SchedMode::Dense) {
+      eval_lo_ = 0;
+      eval_hi_ = n;
+      eval_head_ = false;
+      evaluations_ += n;
+      evaluate_chain(0, n, ctx);
+      return;
     }
+
+    // Event: pick the active set for this clock. act_[lo,hi) is the
+    // maintained invariant "every PE outside this span has out().valid ==
+    // false" — those PEs stage exactly their current state, so skipping
+    // them is exact.
+    eval_lo_ = eval_hi_ = 0;
+    eval_head_ = false;
+    switch (mode_) {
+      case ArrayMode::Idle:
+        // Only valid strobes need clearing; everything else holds.
+        eval_lo_ = act_lo_;
+        eval_hi_ = act_hi_;
+        break;
+      case ArrayMode::Compute:
+        if (act_lo_ < act_hi_) {
+          // The span itself plus the PE the leading edge advances into.
+          eval_lo_ = act_lo_;
+          eval_hi_ = act_hi_ < n ? act_hi_ + 1 : n;
+        }
+        // PE 0 consumes the input wires; cover it when the span does not.
+        eval_head_ = in_.valid && (eval_lo_ > 0 || eval_lo_ >= eval_hi_);
+        break;
+      case ArrayMode::DrainLoad:
+        // Every column latches (Bs, Bc) — inherently O(N), once per pass.
+        eval_lo_ = 0;
+        eval_hi_ = n;
+        break;
+      case ArrayMode::DrainShift: {
+        // Virtual shift: only the rightmost PE is clocked, fed the slot
+        // the real chain would deliver — snapshot[N-1-k] after k shifts,
+        // empty once the chain has fully run out (PE 0 shifts empties in).
+        const std::uint64_t k = drain_shifts_ + 1;
+        const DrainSlot& feed =
+            k < n ? drain_snapshot_[n - 1 - static_cast<std::size_t>(k)] : kEmptySlot;
+        pes_[n - 1].evaluate(mode_, n == 1 ? in_ : pes_[n - 2].out(), feed, ctx);
+        eval_lo_ = n - 1;
+        eval_hi_ = n;
+        ++evaluations_;
+        return;
+      }
+    }
+    if (eval_head_) {
+      pes_[0].evaluate(mode_, in_, kEmptySlot, ctx);
+      ++evaluations_;
+    }
+    evaluations_ += eval_hi_ - eval_lo_;
+    evaluate_chain(eval_lo_, eval_hi_, ctx);
   }
 
   void commit() override {
-    for (Pe& pe : pes_) pe.commit();
+    if (sched_ == hw::SchedMode::Dense) {
+      for (Pe& pe : pes_) pe.commit();
+      return;
+    }
+    if (eval_head_) pes_[0].commit();
+    for (std::size_t j = eval_lo_; j < eval_hi_; ++j) pes_[j].commit();
+
+    // Post-edge bookkeeping: retighten the valid span / advance the
+    // virtual drain cursor. The mode wires are stable across one
+    // evaluate/commit pair (the simulator clocks between driver updates).
+    switch (mode_) {
+      case ArrayMode::Idle:
+        act_lo_ = act_hi_ = 0;  // every evaluated PE cleared its strobe
+        break;
+      case ArrayMode::Compute: {
+        std::size_t lo = pes_.size();
+        std::size_t hi = 0;
+        if (eval_head_ && pes_[0].out().valid) {
+          lo = 0;
+          hi = 1;
+        }
+        for (std::size_t j = eval_lo_; j < eval_hi_; ++j) {
+          if (pes_[j].out().valid) {
+            if (j < lo) lo = j;
+            hi = j + 1;
+          }
+        }
+        act_lo_ = lo < hi ? lo : 0;
+        act_hi_ = lo < hi ? hi : 0;
+        break;
+      }
+      case ArrayMode::DrainLoad:
+        act_lo_ = act_hi_ = 0;
+        for (std::size_t j = 0; j < pes_.size(); ++j) {
+          drain_snapshot_[j] = pes_[j].drain_slot();
+        }
+        drain_shifts_ = 0;
+        break;
+      case ArrayMode::DrainShift:
+        ++drain_shifts_;
+        break;
+    }
   }
 
   void reset() override {
     in_ = PeLink{};
     mode_ = ArrayMode::Idle;
     for (Pe& pe : pes_) pe.reset();
+    act_lo_ = act_hi_ = 0;
+    eval_lo_ = eval_hi_ = 0;
+    eval_head_ = false;
+    drain_shifts_ = 0;
+    std::fill(drain_snapshot_.begin(), drain_snapshot_.end(), DrainSlot{});
   }
 
   /// Per-pass reset of PE state without losing the loaded query.
@@ -130,12 +258,43 @@ class SystolicArray final : public hw::Module {
   [[nodiscard]] const hw::SatArith& sat() const noexcept { return sat_; }
   [[nodiscard]] const Scoring& scoring() const noexcept { return scoring_; }
 
+  /// Cumulative PE evaluations since construction — the work the scheduler
+  /// actually did. Dense charges N per clock; event charges the active
+  /// set. The speedup benches and the activity tests read this.
+  [[nodiscard]] std::uint64_t evaluations() const noexcept { return evaluations_; }
+
+  /// Whether PE `j` was clocked by the most recent evaluate() — the
+  /// active-set membership probe for the schedule tests.
+  [[nodiscard]] bool evaluated_last_cycle(std::size_t j) const noexcept {
+    return (eval_head_ && j == 0) || (j >= eval_lo_ && j < eval_hi_);
+  }
+
  private:
+  void evaluate_chain(std::size_t lo, std::size_t hi, const Context& ctx) {
+    // PE 0 reads the input wires; PE j>0 reads PE j-1's registered
+    // output. All register reads are pre-edge values.
+    if (lo == 0 && hi > 0) pes_[0].evaluate(mode_, in_, kEmptySlot, ctx);
+    for (std::size_t j = lo == 0 ? 1 : lo; j < hi; ++j) {
+      pes_[j].evaluate(mode_, pes_[j - 1].out(), pes_[j - 1].drain_slot(), ctx);
+    }
+  }
+
+  static constexpr DrainSlot kEmptySlot{};
+
   hw::SatArith sat_;
   Scoring scoring_;
   std::vector<Pe> pes_;
   PeLink in_{};
   ArrayMode mode_ = ArrayMode::Idle;
+  hw::SchedMode sched_;
+
+  // Event-scheduler bookkeeping (never consulted in dense mode).
+  std::size_t act_lo_ = 0, act_hi_ = 0;    ///< valid-strobe span invariant
+  std::size_t eval_lo_ = 0, eval_hi_ = 0;  ///< span clocked this cycle
+  bool eval_head_ = false;                 ///< PE 0 clocked separately
+  std::vector<DrainSlot> drain_snapshot_;  ///< (Bs, Bc) latched at DrainLoad
+  std::uint64_t drain_shifts_ = 0;         ///< virtual shift cursor
+  std::uint64_t evaluations_ = 0;
 };
 
 }  // namespace swr::core

@@ -64,14 +64,15 @@ ScanResult scan_source(core::SmithWatermanAccelerator& accelerator, const seq::S
     if (src.sequence_into(r, rec, scratch)) ++decode_reused;
     const core::JobResult job = accelerator.run(query, rec);
     out.cell_updates += job.stats.cell_updates;
-    out.board_seconds += job.seconds;
+    out.board_seconds += job.wall_seconds;
+    out.board_cycles += job.stats.total_cycles;
     if (job.best.score < opt.min_score) continue;
     if (dust_suppressed(rec, job.best.end, opt)) continue;
 
     Hit hit;
     hit.record = r;
     hit.result = job.best;
-    hit.board_seconds = job.seconds;
+    hit.board_seconds = job.wall_seconds;
     retrieve::topk_insert(out.hits, std::move(hit), opt.top_k, hit_ranks_before);
   }
   if (opt.metrics != nullptr && decode_reused != 0) {

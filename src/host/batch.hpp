@@ -176,6 +176,10 @@ struct ScanResult {
   std::uint64_t cell_updates = 0; ///< total matrix cells across records
   std::uint64_t swar8_fallbacks = 0; ///< 8-bit -> 16-bit lazy re-runs
   double board_seconds = 0.0;     ///< modelled accelerator time, summed
+  /// Total simulator cycles the accelerator engines measured (0 for the
+  /// CPU engines) — the hook the fleet/service layers cross-validate
+  /// against core/performance_model's analytic prediction.
+  std::uint64_t board_cycles = 0;
   // Seeded-filter funnel (zeros under FilterMode::Exact). records_scanned
   // stays the full domain; cell_updates covers only rescored records —
   // the cells the filter saved are exactly the difference against an

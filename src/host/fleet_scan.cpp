@@ -4,6 +4,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <numeric>
 #include <stdexcept>
 
 #include "host/record_source.hpp"
@@ -14,32 +15,67 @@
 namespace swr::host {
 namespace {
 
-// One board's share of the scan: records r with r % boards == board,
+// One board's share of the scan: the records the dealer assigned to it,
 // scored on that board's own accelerator, folded into a private top-k.
 // Used by both the sequential and the threaded fleet paths so results
 // stay bit-identical.
 struct BoardPartial {
   std::vector<Hit> hits;
   std::uint64_t cell_updates = 0;
+  std::uint64_t board_cycles = 0;
   double board_seconds = 0.0;
 };
 
-BoardPartial scan_board_share(core::SmithWatermanAccelerator& board, std::size_t board_idx,
-                              std::size_t num_boards, const seq::Sequence& query,
-                              const RecordSource& src, const ScanOptions& opt) {
+// Deals records to boards: walk the length-descending schedule (the
+// store's precomputed schedule_order; vector sources sort an index
+// permutation the same way) and hand each record to the currently
+// least-loaded board, load measured in residues. Longest-processing-time
+// dealing keeps per-board work balanced on length-skewed databases, where
+// the old index round-robin could pile every long record onto one board.
+// The merge below is a total order over the union of per-board top-ks, so
+// the hit set is invariant to the assignment — parity with the round-robin
+// deal is asserted by tests, not assumed.
+std::vector<std::vector<std::uint32_t>> deal_records(const RecordSource& src,
+                                                     std::size_t num_boards) {
+  std::vector<std::uint32_t> order(src.schedule_order().begin(), src.schedule_order().end());
+  if (order.empty()) {
+    order.resize(src.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(), [&src](std::uint32_t a, std::uint32_t b) {
+      return src.length(a) > src.length(b);
+    });
+  }
+  std::vector<std::vector<std::uint32_t>> shares(num_boards);
+  std::vector<std::uint64_t> load(num_boards, 0);
+  for (const std::uint32_t r : order) {
+    std::size_t lightest = 0;
+    for (std::size_t b = 1; b < num_boards; ++b) {
+      if (load[b] < load[lightest]) lightest = b;  // tie -> lowest index
+    }
+    shares[lightest].push_back(r);
+    load[lightest] += src.length(r);
+  }
+  return shares;
+}
+
+BoardPartial scan_board_share(core::SmithWatermanAccelerator& board,
+                              const std::vector<std::uint32_t>& share,
+                              const seq::Sequence& query, const RecordSource& src,
+                              const ScanOptions& opt) {
   BoardPartial p;
-  for (std::size_t r = board_idx; r < src.size(); r += num_boards) {
+  for (const std::uint32_t r : share) {
     if (src.length(r) == 0 || query.empty()) continue;
     const seq::Sequence rec = src.sequence(r);
     const core::JobResult job = board.run(query, rec);
     p.cell_updates += job.stats.cell_updates;
-    p.board_seconds += job.seconds;
+    p.board_cycles += job.stats.total_cycles;
+    p.board_seconds += job.wall_seconds;
     if (job.best.score < opt.min_score) continue;
 
     Hit hit;
     hit.record = r;
     hit.result = job.best;
-    hit.board_seconds = job.seconds;
+    hit.board_seconds = job.wall_seconds;
     retrieve::topk_insert(p.hits, std::move(hit), opt.top_k, hit_ranks_before);
   }
   return p;
@@ -52,15 +88,17 @@ ScanResult scan_fleet_source(core::BoardFleet& fleet, const seq::Sequence& query
   src.check_alphabet(query, "scan_database_fleet");
 
   // Each accelerator is stateful, so a board is the unit of parallelism:
-  // with opt.threads > 1 every pool worker drives whole boards. The record
-  // -> board assignment (round-robin) and the per-board fold are the same
-  // either way, and the final merge is a total order, so hits are
-  // bit-identical to the sequential fleet scan.
+  // with opt.threads > 1 every pool worker drives whole boards. The
+  // record -> board deal (least-loaded over the length-descending
+  // schedule) and the per-board fold are the same either way, and the
+  // final merge is a total order, so hits are bit-identical to the
+  // sequential fleet scan.
+  const std::vector<std::vector<std::uint32_t>> shares = deal_records(src, fleet.size());
   std::vector<BoardPartial> partials(fleet.size());
   const std::size_t threads = std::min(opt.threads, fleet.size());
   if (threads <= 1) {
     for (std::size_t b = 0; b < fleet.size(); ++b) {
-      partials[b] = scan_board_share(*fleet[b], b, fleet.size(), query, src, opt);
+      partials[b] = scan_board_share(*fleet[b], shares[b], query, src, opt);
     }
   } else {
     std::mutex err_mu;
@@ -73,7 +111,7 @@ ScanResult scan_fleet_source(core::BoardFleet& fleet, const seq::Sequence& query
     for (std::size_t b = 0; b < fleet.size(); ++b) {
       tasks.emplace_back([&, b] {
         try {
-          partials[b] = scan_board_share(*fleet[b], b, fleet.size(), query, src, opt);
+          partials[b] = scan_board_share(*fleet[b], shares[b], query, src, opt);
         } catch (...) {
           const std::lock_guard<std::mutex> lock(err_mu);
           if (!first_error) first_error = std::current_exception();
@@ -90,6 +128,7 @@ ScanResult scan_fleet_source(core::BoardFleet& fleet, const seq::Sequence& query
   double busiest = 0.0;
   for (BoardPartial& p : partials) {
     out.cell_updates += p.cell_updates;
+    out.board_cycles += p.board_cycles;
     busiest = std::max(busiest, p.board_seconds);
     retrieve::topk_union(out.hits, std::move(p.hits));
   }

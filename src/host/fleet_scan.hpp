@@ -1,6 +1,7 @@
 // Fleet database scanning: the batch scanner spread over several boards —
-// records dealt round-robin, per-board top-k merged. The conclusion's
-// cluster scenario applied to the SAMBA-style multi-record workload.
+// records dealt least-loaded-first from the length-descending schedule,
+// per-board top-k merged. The conclusion's cluster scenario applied to
+// the SAMBA-style multi-record workload.
 #pragma once
 
 #include "core/multiboard.hpp"
@@ -8,21 +9,25 @@
 
 namespace swr::host {
 
-/// Fleet version of scan_database: records are distributed round-robin
-/// over the boards (modelled as parallel — the reported board time is the
-/// busiest board's). With `opt.threads > 1` the board simulations
-/// themselves run concurrently on a par::ThreadPool, one worker per board
-/// (each accelerator is stateful, so a board is the unit of parallelism).
-/// Hit results are identical to the single-board scan for every thread
-/// count (tests enforce it); only the wall time changes.
+/// Fleet version of scan_database: records are dealt to the currently
+/// least-loaded board walking the length-descending schedule (the store's
+/// schedule_order; vector sources sort the same way), so per-board work
+/// stays balanced on length-skewed databases. Boards are modelled as
+/// parallel — the reported board time is the busiest board's. With
+/// `opt.threads > 1` the board simulations themselves run concurrently on
+/// a par::ThreadPool, one worker per board (each accelerator is stateful,
+/// so a board is the unit of parallelism). Hit results are identical to
+/// the single-board scan for every thread count and every deal — the
+/// merge is a total order over the union (tests enforce it); only the
+/// wall time changes.
 /// @throws std::invalid_argument on an empty fleet / bad options.
 ScanResult scan_database_fleet(core::BoardFleet& fleet, const seq::Sequence& query,
                                const std::vector<seq::Sequence>& records,
                                const ScanOptions& opt);
 
-/// Fleet scan over a memory-mapped .swdb store — same round-robin deal
-/// and merge, records decoded from the mapping as each board consumes
-/// them. Hits are bit-identical to the vector overload.
+/// Fleet scan over a memory-mapped .swdb store — same deal and merge,
+/// records decoded from the mapping as each board consumes them. Hits are
+/// bit-identical to the vector overload.
 ScanResult scan_database_fleet(core::BoardFleet& fleet, const seq::Sequence& query,
                                const db::Store& store, const ScanOptions& opt);
 

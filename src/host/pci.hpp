@@ -7,10 +7,29 @@
 // host ... in few milliseconds through the PCI bus". This model makes
 // that argument quantitative: a bandwidth + per-transaction latency cost
 // for every movement between host and board.
+//
+// Two refinements on top of the plain accumulator:
+//
+//   * Direction accounting — bytes to the board (query, database stream)
+//     vs bytes back (the paper's "few bytes" of results) are tracked
+//     separately, which is exactly the asymmetry §3 leans on.
+//
+//   * A two-slot burst-DMA timeline (stream_overlapped): the database is
+//     shipped in chunks through a double buffer, chunk k+1 prefetching
+//     while the array consumes chunk k. The timeline reports the
+//     overlapped wall time, the fully-serialized wall time it replaces,
+//     and the stall the compute side ate waiting on the bus.
+//
+// When bound to an obs::Registry the model publishes hw.pci.{bytes,
+// bytes_to_board, bytes_from_board, transactions, seconds, stall_cycles};
+// unbound (the default) it touches no registry state at all.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
 
 namespace swr::host {
 
@@ -32,10 +51,52 @@ struct PciConfig {
   }
 };
 
+/// Burst-DMA parameters for the double-buffered stream: one descriptor
+/// (transaction) per chunk, two buffer slots on the board.
+struct DmaConfig {
+  std::size_t chunk_bytes = 64 * 1024;
+
+  /// @throws std::invalid_argument on a zero chunk.
+  void validate() const {
+    if (chunk_bytes == 0) throw std::invalid_argument("DmaConfig: zero chunk_bytes");
+  }
+};
+
+/// Transfer direction, for the asymmetric byte accounting.
+enum class BusDirection : std::uint8_t { ToBoard, FromBoard };
+
+/// Outcome of one double-buffered stream.
+struct DmaTimeline {
+  std::uint64_t bytes = 0;            ///< payload shipped to the board
+  std::uint64_t chunks = 0;           ///< DMA descriptors issued
+  double transfer_seconds = 0.0;      ///< bus busy time (sum of chunk costs)
+  double compute_seconds = 0.0;       ///< the compute window overlapped against
+  double overlapped_seconds = 0.0;    ///< wall: fill first slot, then max(compute, prefetch)
+  double serialized_seconds = 0.0;    ///< wall if every chunk shipped before compute
+  double stall_seconds = 0.0;         ///< compute idle, waiting on the bus
+};
+
 /// Accumulating transfer-cost model.
 class PciModel {
  public:
   explicit PciModel(const PciConfig& cfg) : cfg_(cfg) { cfg.validate(); }
+
+  /// Binds the hw.pci.* instruments. nullptr (the default state) keeps
+  /// every record path a strict no-op on the registry.
+  void bind_metrics(obs::Registry* reg) {
+    if (reg == nullptr) {
+      bytes_ctr_ = bytes_to_ctr_ = bytes_from_ctr_ = transactions_ctr_ = stall_cycles_ctr_ =
+          nullptr;
+      seconds_hist_ = nullptr;
+      return;
+    }
+    bytes_ctr_ = &reg->counter("hw.pci.bytes");
+    bytes_to_ctr_ = &reg->counter("hw.pci.bytes_to_board");
+    bytes_from_ctr_ = &reg->counter("hw.pci.bytes_from_board");
+    transactions_ctr_ = &reg->counter("hw.pci.transactions");
+    stall_cycles_ctr_ = &reg->counter("hw.pci.stall_cycles");
+    seconds_hist_ = &reg->histogram("hw.pci.seconds");
+  }
 
   /// Cost of one transaction of `bytes`.
   [[nodiscard]] double transfer_seconds(std::size_t bytes) const noexcept {
@@ -44,30 +105,117 @@ class PciModel {
   }
 
   /// Records a transaction and returns its cost.
-  double transfer(std::size_t bytes) {
+  double transfer(std::size_t bytes, BusDirection dir = BusDirection::ToBoard) {
     const double s = transfer_seconds(bytes);
     total_seconds_ += s;
     total_bytes_ += bytes;
+    if (dir == BusDirection::ToBoard) {
+      bytes_to_board_ += bytes;
+    } else {
+      bytes_from_board_ += bytes;
+    }
     ++transactions_;
+    if (bytes_ctr_ != nullptr) {
+      bytes_ctr_->add(bytes);
+      (dir == BusDirection::ToBoard ? bytes_to_ctr_ : bytes_from_ctr_)->add(bytes);
+      transactions_ctr_->add(1);
+      seconds_hist_->observe_seconds(s);
+    }
     return s;
+  }
+
+  /// Double-buffered stream of `bytes` to the board against a compute
+  /// window of `compute_seconds` (the array consuming the stream at a
+  /// uniform rate). Chunk 0 fills the first slot up front; from then on
+  /// chunk k+1 prefetches into the idle slot while the array works chunk
+  /// k, so each round costs max(compute share, next transfer) and the
+  /// difference is compute stall. `freq_mhz` (optional) converts the
+  /// stall into board clock cycles for the hw.pci.stall_cycles counter.
+  /// Totals and metrics are updated as for transfer().
+  DmaTimeline stream_overlapped(std::size_t bytes, double compute_seconds, const DmaConfig& dma,
+                                double freq_mhz = 0.0) {
+    dma.validate();
+    if (compute_seconds < 0.0) {
+      throw std::invalid_argument("PciModel::stream_overlapped: negative compute window");
+    }
+    DmaTimeline t;
+    t.bytes = bytes;
+    t.compute_seconds = compute_seconds;
+    if (bytes == 0) {
+      t.overlapped_seconds = t.serialized_seconds = compute_seconds;
+      return t;
+    }
+    t.chunks = (bytes + dma.chunk_bytes - 1) / dma.chunk_bytes;
+    // Transfer cost of a full chunk and of the final (possibly partial)
+    // one; the compute share of a chunk is proportional to its bytes.
+    const std::size_t tail_bytes = bytes - (t.chunks - 1) * dma.chunk_bytes;
+    const double per_byte_compute = compute_seconds / static_cast<double>(bytes);
+    double wall = transfer_seconds(std::min<std::size_t>(bytes, dma.chunk_bytes));
+    t.transfer_seconds = wall;
+    for (std::uint64_t k = 0; k < t.chunks; ++k) {
+      const std::size_t chunk = k + 1 == t.chunks ? tail_bytes : dma.chunk_bytes;
+      const double compute = per_byte_compute * static_cast<double>(chunk);
+      if (k + 1 < t.chunks) {
+        const std::size_t next = k + 2 == t.chunks ? tail_bytes : dma.chunk_bytes;
+        const double prefetch = transfer_seconds(next);
+        t.transfer_seconds += prefetch;
+        wall += std::max(compute, prefetch);
+        t.stall_seconds += std::max(0.0, prefetch - compute);
+      } else {
+        wall += compute;
+      }
+    }
+    t.overlapped_seconds = wall;
+    t.serialized_seconds = t.transfer_seconds + compute_seconds;
+
+    total_seconds_ += t.transfer_seconds;
+    total_bytes_ += bytes;
+    bytes_to_board_ += bytes;
+    transactions_ += t.chunks;
+    dma_stall_seconds_ += t.stall_seconds;
+    if (bytes_ctr_ != nullptr) {
+      bytes_ctr_->add(bytes);
+      bytes_to_ctr_->add(bytes);
+      transactions_ctr_->add(t.chunks);
+      seconds_hist_->observe_seconds(t.transfer_seconds);
+      if (freq_mhz > 0.0) {
+        stall_cycles_ctr_->add(static_cast<std::uint64_t>(t.stall_seconds * freq_mhz * 1e6));
+      }
+    }
+    return t;
   }
 
   [[nodiscard]] double total_seconds() const noexcept { return total_seconds_; }
   [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] std::uint64_t bytes_to_board() const noexcept { return bytes_to_board_; }
+  [[nodiscard]] std::uint64_t bytes_from_board() const noexcept { return bytes_from_board_; }
   [[nodiscard]] std::uint64_t transactions() const noexcept { return transactions_; }
+  [[nodiscard]] double dma_stall_seconds() const noexcept { return dma_stall_seconds_; }
   [[nodiscard]] const PciConfig& config() const noexcept { return cfg_; }
 
   void reset() noexcept {
     total_seconds_ = 0.0;
     total_bytes_ = 0;
+    bytes_to_board_ = 0;
+    bytes_from_board_ = 0;
     transactions_ = 0;
+    dma_stall_seconds_ = 0.0;
   }
 
  private:
   PciConfig cfg_;
   double total_seconds_ = 0.0;
   std::uint64_t total_bytes_ = 0;
+  std::uint64_t bytes_to_board_ = 0;
+  std::uint64_t bytes_from_board_ = 0;
   std::uint64_t transactions_ = 0;
+  double dma_stall_seconds_ = 0.0;
+  obs::Counter* bytes_ctr_ = nullptr;
+  obs::Counter* bytes_to_ctr_ = nullptr;
+  obs::Counter* bytes_from_ctr_ = nullptr;
+  obs::Counter* transactions_ctr_ = nullptr;
+  obs::Counter* stall_cycles_ctr_ = nullptr;
+  obs::Histogram* seconds_hist_ = nullptr;
 };
 
 }  // namespace swr::host

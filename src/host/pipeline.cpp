@@ -56,7 +56,7 @@ PipelineResult HostPipeline::align(const seq::Sequence& query, const seq::Sequen
     }
     // Each pass ships its result record back to the host.
     out.bytes_from_board += kResultBytes;
-    out.timing.transfer_seconds += pci_.transfer(kResultBytes);
+    out.timing.transfer_seconds += pci_.transfer(kResultBytes, BusDirection::FromBoard);
     return job.best;
   };
 
@@ -98,7 +98,7 @@ PipelineResult AffineHostPipeline::align(const seq::Sequence& query, const seq::
           out.reverse_stats = job.stats;
         }
         out.bytes_from_board += kResultBytes;
-        out.timing.transfer_seconds += pci_.transfer(kResultBytes);
+        out.timing.transfer_seconds += pci_.transfer(kResultBytes, BusDirection::FromBoard);
         return job.best;
       };
 

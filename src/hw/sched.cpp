@@ -1,0 +1,53 @@
+#include "hw/sched.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace swr::hw {
+
+namespace {
+// One warning per process: scans construct accelerators in bulk and
+// stderr must not scale with them.
+std::atomic<bool> warned_bad_env{false};
+}  // namespace
+
+const char* sched_mode_name(SchedMode mode) noexcept {
+  switch (mode) {
+    case SchedMode::Dense: return "dense";
+    case SchedMode::Event: return "event";
+  }
+  return "unknown";
+}
+
+const char* sched_mode_choices() noexcept { return "auto|dense|event"; }
+
+std::optional<SchedMode> parse_sched_mode(std::string_view name) {
+  if (name.empty() || name == "auto") return std::nullopt;
+  if (name == "dense") return SchedMode::Dense;
+  if (name == "event") return SchedMode::Event;
+  throw std::invalid_argument("unknown hw scheduler '" + std::string(name) +
+                              "' (choices: " + sched_mode_choices() + ")");
+}
+
+std::optional<SchedMode> sched_mode_env_override() {
+  const char* raw = std::getenv("SWR_HW_SCHED");
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  try {
+    return parse_sched_mode(raw);
+  } catch (const std::invalid_argument& e) {
+    if (!warned_bad_env.exchange(true)) {
+      std::fprintf(stderr, "SWR: ignoring SWR_HW_SCHED: %s\n", e.what());
+    }
+    return std::nullopt;
+  }
+}
+
+SchedMode default_sched_mode() {
+  if (const std::optional<SchedMode> env = sched_mode_env_override()) return *env;
+  return SchedMode::Event;
+}
+
+}  // namespace swr::hw

@@ -196,6 +196,12 @@ struct ScanService::Impl {
         topo(core::resolve_numa_topology(config.numa)),
         metrics(config.metrics, topo.has_value()) {
     cfg.validate();
+    // Catalog name wins over the raw pointer; both fall back to the
+    // paper's device. Resolution throws here (construction), not in the
+    // executor threads.
+    if (cfg.boards > 0 && !cfg.board_device_name.empty()) {
+      cfg.board_device = &core::device(cfg.board_device_name);
+    }
     if (cfg.boards > 0 && cfg.board_device == nullptr) cfg.board_device = &core::xc2vp70();
     cfg.scoring.validate();
     paused = cfg.start_paused;
@@ -247,7 +253,14 @@ struct ScanService::Impl {
           core::pin_current_thread(placement[unit].cpus);
           node = placement[unit].node;
         }
-        core::SmithWatermanAccelerator board(*cfg.board_device, cfg.board_pes, cfg.scoring);
+        core::SmithWatermanAccelerator board(*cfg.board_device, cfg.board_pes, cfg.scoring,
+                                             /*score_bits=*/16u, /*cycle_bits=*/32u,
+                                             /*charge_query_load=*/true,
+                                             /*shuffle_evaluation=*/false, cfg.board_sched);
+        if (cfg.board_bus) {
+          board.attach_bus(cfg.board_pci, cfg.board_dma);
+          board.bind_bus_metrics(cfg.metrics);
+        }
         executor_loop(&board, node);
       });
     }
@@ -575,13 +588,14 @@ struct ScanService::Impl {
       const seq::Sequence rec = source.sequence(r);
       const core::JobResult job = board.run(q.query, rec);
       out.cell_updates += job.stats.cell_updates;
-      out.board_seconds += job.seconds;
+      out.board_seconds += job.wall_seconds;
+      out.board_cycles += job.stats.total_cycles;
       if (job.best.score < q.opt.min_score) continue;
       if (host::dust_suppressed(rec, job.best.end, q.opt)) continue;
       host::Hit hit;
       hit.record = r;
       hit.result = job.best;
-      hit.board_seconds = job.seconds;
+      hit.board_seconds = job.wall_seconds;
       const auto pos =
           std::upper_bound(out.hits.begin(), out.hits.end(), hit, host::hit_ranks_before);
       out.hits.insert(pos, std::move(hit));
@@ -595,6 +609,7 @@ struct ScanService::Impl {
     acc.cell_updates += part.cell_updates;
     acc.swar8_fallbacks += part.swar8_fallbacks;
     acc.board_seconds += part.board_seconds;
+    acc.board_cycles += part.board_cycles;
     acc.filter_candidates += part.filter_candidates;
     acc.filter_rescored += part.filter_rescored;
     acc.filter_rejected += part.filter_rejected;

@@ -40,7 +40,9 @@
 #include "core/device.hpp"
 #include "db/store.hpp"
 #include "host/batch.hpp"
+#include "host/pci.hpp"
 #include "host/record_source.hpp"
+#include "hw/sched.hpp"
 #include "seq/sequence.hpp"
 
 namespace swr::obs {
@@ -66,6 +68,25 @@ struct ServiceConfig {
   std::size_t boards = 0;       ///< accelerator board executor threads
   const core::FpgaDevice* board_device = nullptr;  ///< defaults to xc2vp70
   std::size_t board_pes = 100;  ///< PEs per board
+
+  /// Catalog name for the board device ("xc2vp70", ...). When non-empty
+  /// it is resolved through core::device_catalog() at construction and
+  /// takes precedence over `board_device`. @throws (from the constructor)
+  /// std::invalid_argument on an unknown name.
+  std::string board_device_name;
+
+  /// Simulation scheduler for the board models (hw/sched.hpp): dense is
+  /// the evaluate-all oracle, event the activity-driven fast path. Hits
+  /// and cycle counts are bit-identical either way; defaults to the
+  /// SWR_HW_SCHED process default.
+  hw::SchedMode board_sched = hw::default_sched_mode();
+
+  /// Model the host<->board bus on every board executor: per-job DMA
+  /// double-buffered stream timing folded into board_seconds. Off keeps
+  /// compute-only board times.
+  bool board_bus = false;
+  host::PciConfig board_pci{};
+  host::DmaConfig board_dma{};
 
   std::size_t queue_capacity = 64;  ///< max live (unfinished) queries
   std::size_t max_inflight = 4;     ///< queries dispatched concurrently

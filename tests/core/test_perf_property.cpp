@@ -1,0 +1,126 @@
+// Property suite: the analytic cycle model against the measured simulator,
+// over randomly drawn job shapes and both scheduling policies. The paper's
+// table-3 extrapolations lean on predict_cycles; this is the evidence that
+// the formula and the clocked model never drift apart — including
+// multi-pass partitioning, narrow datapaths and the event scheduler.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "align/sw_linear.hpp"
+#include "core/controller.hpp"
+#include "core/performance_model.hpp"
+#include "hw/sched.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace swr;
+using namespace swr::core;
+
+const align::Scoring kSc = align::Scoring::paper_default();
+
+struct JobShape {
+  std::size_t m, n, npes;
+  unsigned score_bits;
+  bool charge_load;
+  hw::SchedMode sched;
+};
+
+JobShape draw(std::mt19937& rng) {
+  std::uniform_int_distribution<std::size_t> mlen(1, 96);
+  std::uniform_int_distribution<std::size_t> nlen(1, 140);
+  std::uniform_int_distribution<std::size_t> pes(1, 48);
+  std::uniform_int_distribution<int> bits(0, 1);
+  std::uniform_int_distribution<int> coin(0, 1);
+  return JobShape{mlen(rng),
+                  nlen(rng),
+                  pes(rng),
+                  bits(rng) == 0 ? 8u : 16u,
+                  coin(rng) == 1,
+                  coin(rng) == 1 ? hw::SchedMode::Event : hw::SchedMode::Dense};
+}
+
+TEST(PerfProperty, MeasuredCyclesMatchPredictionOnRandomShapes) {
+  std::mt19937 rng(20260808);
+  for (int trial = 0; trial < 60; ++trial) {
+    const JobShape s = draw(rng);
+    const seq::Sequence query = swr::test::random_dna(s.m, 1000 + trial * 2);
+    const seq::Sequence db = swr::test::random_dna(s.n, 1001 + trial * 2);
+    ArrayController<ScorePe> ctl(s.npes, s.score_bits, kSc, 8 << 20, s.charge_load,
+                                 /*shuffle=*/false, s.sched);
+    (void)ctl.run(query, db);
+    const RunStats& st = ctl.run_stats();
+    const CyclePrediction p = predict_cycles(s.m, s.n, s.npes, s.charge_load);
+    const auto label = [&] {
+      return "m=" + std::to_string(s.m) + " n=" + std::to_string(s.n) +
+             " npes=" + std::to_string(s.npes) + " bits=" + std::to_string(s.score_bits) +
+             " charge=" + std::to_string(s.charge_load) + " sched=" +
+             hw::sched_mode_name(s.sched);
+    }();
+    EXPECT_EQ(st.passes, p.passes) << label;
+    EXPECT_EQ(st.load_cycles, p.load_cycles) << label;
+    EXPECT_EQ(st.compute_cycles, p.compute_cycles) << label;
+    EXPECT_EQ(st.drain_cycles, p.drain_cycles) << label;
+    EXPECT_EQ(st.total_cycles, p.total_cycles) << label;
+  }
+}
+
+TEST(PerfProperty, MultiPassShapesAgreeAndScoresStayExact) {
+  // Force heavy partitioning (m >> N) and check the score alongside the
+  // cycle identity, both schedulers on the same drawn workload.
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::uniform_int_distribution<std::size_t> mlen(40, 120);
+    std::uniform_int_distribution<std::size_t> nlen(10, 80);
+    std::uniform_int_distribution<std::size_t> pes(3, 16);
+    const std::size_t m = mlen(rng), n = nlen(rng), npes = pes(rng);
+    const seq::Sequence query = swr::test::random_dna(m, 2000 + trial);
+    const seq::Sequence db = swr::test::random_dna(n, 2100 + trial);
+    const align::LocalScoreResult oracle = align::sw_linear(db, query, kSc);
+    const CyclePrediction p = predict_cycles(m, n, npes, true);
+    ASSERT_GT(p.passes, 1u);
+    for (const hw::SchedMode sched : {hw::SchedMode::Dense, hw::SchedMode::Event}) {
+      ArrayController<ScorePe> ctl(npes, 16, kSc, 8 << 20, true, false, sched);
+      EXPECT_EQ(ctl.run(query, db), oracle);
+      EXPECT_EQ(ctl.run_stats().total_cycles, p.total_cycles)
+          << "m=" << m << " n=" << n << " npes=" << npes << " sched="
+          << hw::sched_mode_name(sched);
+    }
+  }
+}
+
+TEST(PerfProperty, EventActivityIsBoundedByWavefrontWidth) {
+  // The event scheduler's total PE-evaluations must never exceed dense's,
+  // and per compute cycle the active set is at most min(n, N) + 1 wide
+  // (wavefront + advancing edge). Drawn shapes keep the bound honest.
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 12; ++trial) {
+    std::uniform_int_distribution<std::size_t> mlen(1, 40);
+    std::uniform_int_distribution<std::size_t> nlen(1, 60);
+    std::uniform_int_distribution<std::size_t> pes(1, 40);
+    const std::size_t m = mlen(rng), n = nlen(rng), npes = pes(rng);
+    const seq::Sequence query = swr::test::random_dna(m, 3000 + trial);
+    const seq::Sequence db = swr::test::random_dna(n, 3100 + trial);
+
+    ArrayController<ScorePe> ctl(npes, 16, kSc, 8 << 20, true, false, hw::SchedMode::Event);
+    std::size_t max_active = 0;
+    ctl.set_observer([&](const SystolicArray<ScorePe>& arr, std::uint64_t) {
+      std::size_t active = 0;
+      for (std::size_t j = 0; j < arr.size(); ++j) {
+        if (arr.evaluated_last_cycle(j)) ++active;
+      }
+      max_active = std::max(max_active, active);
+    });
+    (void)ctl.run(query, db);
+
+    const std::uint64_t dense_evals =
+        static_cast<std::uint64_t>(npes) * ctl.run_stats().total_cycles;
+    EXPECT_LE(ctl.array().evaluations(), dense_evals);
+    // DrainLoad clocks all N once per pass; every other phase obeys the
+    // wavefront bound.
+    EXPECT_LE(max_active, npes);
+  }
+}
+
+}  // namespace

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "db/builder.hpp"
+#include "db/store.hpp"
 #include "host/fleet_scan.hpp"
+#include "retrieve/topk.hpp"
 #include "seq/mutate.hpp"
 #include "seq/random.hpp"
 #include "test_util.hpp"
@@ -57,6 +60,172 @@ TEST(FleetScan, ParallelTimeShrinksWithBoards) {
   const double t3 = scan_database_fleet(three, fx.query, fx.records, opt).board_seconds;
   EXPECT_LT(t3, t1);
   EXPECT_GT(t3, t1 / 4.0);  // 3 boards can't beat 3x by much (uneven records)
+}
+
+// The deal this module used to ship: record r to board r % boards, in
+// index order. Kept here as the parity baseline for the least-loaded deal.
+ScanResult scan_round_robin(const seq::Sequence& query, const std::vector<seq::Sequence>& records,
+                            std::size_t boards, std::size_t pes, const ScanOptions& opt,
+                            double* busiest_out = nullptr) {
+  std::vector<std::vector<std::uint32_t>> shares(boards);
+  for (std::uint32_t r = 0; r < records.size(); ++r) shares[r % boards].push_back(r);
+
+  ScanResult out;
+  out.records_scanned = records.size();
+  double busiest = 0.0;
+  for (const auto& share : shares) {
+    core::SmithWatermanAccelerator board(core::xc2vp70(), pes, kSc);
+    std::vector<Hit> hits;
+    double seconds = 0.0;
+    for (const std::uint32_t r : share) {
+      if (records[r].empty() || query.empty()) continue;
+      const core::JobResult job = board.run(query, records[r]);
+      out.cell_updates += job.stats.cell_updates;
+      seconds += job.wall_seconds;
+      if (job.best.score < opt.min_score) continue;
+      Hit hit;
+      hit.record = r;
+      hit.result = job.best;
+      retrieve::topk_insert(hits, std::move(hit), opt.top_k, hit_ranks_before);
+    }
+    busiest = std::max(busiest, seconds);
+    retrieve::topk_union(out.hits, std::move(hits));
+  }
+  retrieve::topk_finalize(out.hits, opt.top_k, hit_ranks_before);
+  if (busiest_out != nullptr) *busiest_out = busiest;
+  return out;
+}
+
+TEST(FleetScan, LeastLoadedDealMatchesRoundRobinHits) {
+  // The deal changed from index round-robin to least-loaded over the
+  // length-descending schedule; the merge is a total order over the union,
+  // so the reported hits must not move. Asserted, not assumed.
+  const Fixture fx(31);
+  ScanOptions opt;
+  opt.top_k = 5;
+  opt.min_score = 12;
+  const ScanResult rr = scan_round_robin(fx.query, fx.records, 3, 40, opt);
+  core::BoardFleet fleet = core::make_board_fleet(core::xc2vp70(), 3, 40, kSc);
+  const ScanResult ll = scan_database_fleet(fleet, fx.query, fx.records, opt);
+  ASSERT_EQ(ll.hits.size(), rr.hits.size());
+  for (std::size_t k = 0; k < ll.hits.size(); ++k) {
+    EXPECT_EQ(ll.hits[k].record, rr.hits[k].record) << "rank " << k;
+    EXPECT_EQ(ll.hits[k].result, rr.hits[k].result) << "rank " << k;
+  }
+  EXPECT_EQ(ll.cell_updates, rr.cell_updates);
+}
+
+TEST(FleetScan, LeastLoadedDealBalancesSkewedLengths) {
+  // Adversarial workload for the old deal: record lengths arranged so
+  // index round-robin piles the long records onto one board. The
+  // least-loaded deal's busiest board must finish no later than the
+  // round-robin deal's busiest board.
+  seq::RandomSequenceGenerator gen(33);
+  const seq::Sequence query = gen.uniform(seq::dna(), 30, "q");
+  std::vector<seq::Sequence> records;
+  for (int r = 0; r < 12; ++r) {
+    // Boards = 3: indices 0,3,6,9 land on board 0 under round-robin, and
+    // those are exactly the long ones.
+    const std::size_t len = (r % 3 == 0) ? 1200 : 60;
+    records.push_back(gen.uniform(seq::dna(), len, "rec" + std::to_string(r)));
+  }
+  ScanOptions opt;
+  double rr_busiest = 0.0;
+  const ScanResult rr = scan_round_robin(query, records, 3, 30, opt, &rr_busiest);
+  core::BoardFleet fleet = core::make_board_fleet(core::xc2vp70(), 3, 30, kSc);
+  const ScanResult ll = scan_database_fleet(fleet, query, records, opt);
+  EXPECT_LT(ll.board_seconds, rr_busiest * 0.75);  // materially better, not just equal
+  ASSERT_EQ(ll.hits.size(), rr.hits.size());
+  for (std::size_t k = 0; k < ll.hits.size(); ++k) {
+    EXPECT_EQ(ll.hits[k].record, rr.hits[k].record);
+  }
+}
+
+TEST(FleetScan, StoreScheduleOrderPathIsBitIdenticalToVector) {
+  // Store sources hand the dealer their precomputed length-descending
+  // schedule_order; vector sources sort one on the fly. Same records
+  // either way -> same deal -> same everything.
+  const Fixture fx(34);
+  const std::string path = testing::TempDir() + "/fleet_deal.swdb";
+  db::build_store(fx.records, path);
+  const db::Store store = db::Store::open(path);
+
+  ScanOptions opt;
+  opt.top_k = 4;
+  opt.min_score = 15;
+  core::BoardFleet f1 = core::make_board_fleet(core::xc2vp70(), 3, 40, kSc);
+  core::BoardFleet f2 = core::make_board_fleet(core::xc2vp70(), 3, 40, kSc);
+  const ScanResult vec = scan_database_fleet(f1, fx.query, fx.records, opt);
+  const ScanResult st = scan_database_fleet(f2, fx.query, store, opt);
+  ASSERT_EQ(vec.hits.size(), st.hits.size());
+  for (std::size_t k = 0; k < vec.hits.size(); ++k) {
+    EXPECT_EQ(vec.hits[k].record, st.hits[k].record);
+    EXPECT_EQ(vec.hits[k].result, st.hits[k].result);
+  }
+  EXPECT_EQ(vec.cell_updates, st.cell_updates);
+  EXPECT_EQ(vec.board_cycles, st.board_cycles);
+  EXPECT_GT(st.board_cycles, 0u);
+}
+
+TEST(FleetScan, ThreadedFleetMatchesSequentialAndCountsCycles) {
+  const Fixture fx(35);
+  ScanOptions seq_opt;
+  seq_opt.top_k = 4;
+  ScanOptions par_opt = seq_opt;
+  par_opt.threads = 4;
+  core::BoardFleet f1 = core::make_board_fleet(core::xc2vp70(), 4, 40, kSc);
+  core::BoardFleet f2 = core::make_board_fleet(core::xc2vp70(), 4, 40, kSc);
+  const ScanResult a = scan_database_fleet(f1, fx.query, fx.records, seq_opt);
+  const ScanResult b = scan_database_fleet(f2, fx.query, fx.records, par_opt);
+  ASSERT_EQ(a.hits.size(), b.hits.size());
+  for (std::size_t k = 0; k < a.hits.size(); ++k) {
+    EXPECT_EQ(a.hits[k].record, b.hits[k].record);
+    EXPECT_EQ(a.hits[k].result, b.hits[k].result);
+  }
+  EXPECT_EQ(a.board_cycles, b.board_cycles);
+  EXPECT_NEAR(a.board_seconds, b.board_seconds, 1e-12);
+}
+
+TEST(FleetScan, BusModelAddsTransferTimeWithoutMovingHits) {
+  // FleetOptions with model_bus: every job's wall time gains the DMA
+  // double-buffered bus timeline; scores, coordinates and cycle counts
+  // are untouched.
+  const Fixture fx(36);
+  ScanOptions opt;
+  opt.top_k = 4;
+  core::FleetOptions fo;
+  fo.boards = 2;
+  fo.pes_per_board = 40;
+  core::BoardFleet compute_only = core::make_board_fleet(fo, kSc);
+  fo.model_bus = true;
+  core::BoardFleet with_bus = core::make_board_fleet(fo, kSc);
+  const ScanResult a = scan_database_fleet(compute_only, fx.query, fx.records, opt);
+  const ScanResult b = scan_database_fleet(with_bus, fx.query, fx.records, opt);
+  ASSERT_EQ(a.hits.size(), b.hits.size());
+  for (std::size_t k = 0; k < a.hits.size(); ++k) {
+    EXPECT_EQ(a.hits[k].record, b.hits[k].record);
+    EXPECT_EQ(a.hits[k].result, b.hits[k].result);
+  }
+  EXPECT_EQ(a.board_cycles, b.board_cycles);
+  EXPECT_GT(b.board_seconds, a.board_seconds);  // the bus costs real time
+}
+
+TEST(FleetOptions, CatalogAndValidation) {
+  core::FleetOptions fo;
+  fo.device = "nosuch-device";
+  EXPECT_THROW((void)core::make_board_fleet(fo, kSc), std::invalid_argument);
+  fo = core::FleetOptions{};
+  fo.boards = 0;
+  EXPECT_THROW(fo.validate(), std::invalid_argument);
+  fo = core::FleetOptions{};
+  fo.pes_per_board = 0;
+  EXPECT_THROW(fo.validate(), std::invalid_argument);
+  fo = core::FleetOptions{};
+  fo.sched = hw::SchedMode::Dense;
+  core::BoardFleet fleet = core::make_board_fleet(fo, kSc);
+  ASSERT_EQ(fleet.size(), 1u);
+  EXPECT_EQ(fleet[0]->sched_mode(), hw::SchedMode::Dense);
+  EXPECT_EQ(fleet[0]->bus(), nullptr);
 }
 
 TEST(FleetScan, Validation) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "host/pci.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -44,6 +45,122 @@ TEST(PciConfig, Validation) {
   bad = PciConfig{};
   bad.per_transfer_latency_s = -1;
   EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(PciModel, DirectionalByteAccounting) {
+  PciModel pci(PciConfig{});
+  (void)pci.transfer(1000, BusDirection::ToBoard);
+  (void)pci.transfer(20, BusDirection::FromBoard);
+  (void)pci.transfer(500, BusDirection::ToBoard);
+  EXPECT_EQ(pci.bytes_to_board(), 1500u);
+  EXPECT_EQ(pci.bytes_from_board(), 20u);
+  EXPECT_EQ(pci.total_bytes(), 1520u);
+  pci.reset();
+  EXPECT_EQ(pci.bytes_to_board(), 0u);
+  EXPECT_EQ(pci.bytes_from_board(), 0u);
+}
+
+TEST(DmaStream, TimelineInvariantsHold) {
+  // Structural identities of the double-buffer timeline, checked on a
+  // stream that is neither bus- nor compute-bound throughout:
+  //   overlapped = first_chunk_fill + compute + stall
+  //   serialized = all transfers + compute
+  //   overlapped <= serialized (prefetch never loses)
+  PciConfig cfg;
+  cfg.bandwidth_bytes_per_s = 1e6;
+  cfg.per_transfer_latency_s = 1e-5;
+  PciModel pci(cfg);
+  DmaConfig dma;
+  dma.chunk_bytes = 1024;
+  const std::size_t bytes = 10 * 1024 + 37;  // partial tail chunk
+  const double compute = 8e-3;
+  const DmaTimeline t = pci.stream_overlapped(bytes, compute, dma);
+
+  EXPECT_EQ(t.bytes, bytes);
+  EXPECT_EQ(t.chunks, 11u);
+  const double first_fill = pci.transfer_seconds(1024);
+  EXPECT_NEAR(t.overlapped_seconds, first_fill + t.compute_seconds + t.stall_seconds, 1e-12);
+  EXPECT_NEAR(t.serialized_seconds, t.transfer_seconds + compute, 1e-12);
+  EXPECT_LE(t.overlapped_seconds, t.serialized_seconds + 1e-12);
+  EXPECT_GE(t.stall_seconds, 0.0);
+  // Model totals account the stream as bus traffic: one descriptor per
+  // chunk, all bytes toward the board.
+  EXPECT_EQ(pci.total_bytes(), bytes);
+  EXPECT_EQ(pci.bytes_to_board(), bytes);
+  EXPECT_EQ(pci.transactions(), 11u);
+  EXPECT_NEAR(pci.dma_stall_seconds(), t.stall_seconds, 1e-15);
+}
+
+TEST(DmaStream, ComputeBoundStreamHidesAllButFirstChunk) {
+  // When every compute share exceeds the next prefetch, the stream stalls
+  // zero and the wall is exactly first fill + compute.
+  PciConfig cfg;
+  cfg.bandwidth_bytes_per_s = 1e9;  // fast bus
+  cfg.per_transfer_latency_s = 1e-7;
+  PciModel pci(cfg);
+  DmaConfig dma;
+  dma.chunk_bytes = 4096;
+  const DmaTimeline t = pci.stream_overlapped(64 * 1024, /*compute=*/1.0, dma);
+  EXPECT_DOUBLE_EQ(t.stall_seconds, 0.0);
+  EXPECT_NEAR(t.overlapped_seconds, pci.transfer_seconds(4096) + 1.0, 1e-12);
+  EXPECT_LT(t.overlapped_seconds, t.serialized_seconds);
+}
+
+TEST(DmaStream, BusBoundStreamDegeneratesToSerialized) {
+  // A compute window of zero cannot hide anything: overlapped == all
+  // transfers plus nothing, i.e. the serialized time, all of it stall.
+  PciModel pci(PciConfig{});
+  DmaConfig dma;
+  dma.chunk_bytes = 1000;
+  const DmaTimeline t = pci.stream_overlapped(5000, 0.0, dma);
+  EXPECT_NEAR(t.overlapped_seconds, t.serialized_seconds, 1e-12);
+  EXPECT_NEAR(t.stall_seconds, t.transfer_seconds - pci.transfer_seconds(1000), 1e-12);
+}
+
+TEST(DmaStream, EdgeCases) {
+  PciModel pci(PciConfig{});
+  DmaConfig dma;
+  dma.chunk_bytes = 4096;
+  // Zero bytes: pure compute, no transactions.
+  const DmaTimeline none = pci.stream_overlapped(0, 0.5, dma);
+  EXPECT_EQ(none.chunks, 0u);
+  EXPECT_DOUBLE_EQ(none.overlapped_seconds, 0.5);
+  EXPECT_EQ(pci.transactions(), 0u);
+  // Sub-chunk payload: one descriptor, serialized == overlapped shape.
+  const DmaTimeline one = pci.stream_overlapped(100, 0.1, dma);
+  EXPECT_EQ(one.chunks, 1u);
+  EXPECT_NEAR(one.overlapped_seconds, pci.transfer_seconds(100) + 0.1, 1e-12);
+  // Exact multiple: no partial tail.
+  const DmaTimeline exact = pci.stream_overlapped(3 * 4096, 0.1, dma);
+  EXPECT_EQ(exact.chunks, 3u);
+  EXPECT_NEAR(exact.transfer_seconds, 3 * pci.transfer_seconds(4096), 1e-12);
+  // Bad configs are loud.
+  DmaConfig zero;
+  zero.chunk_bytes = 0;
+  EXPECT_THROW((void)pci.stream_overlapped(10, 0.1, zero), std::invalid_argument);
+  EXPECT_THROW((void)pci.stream_overlapped(10, -1.0, dma), std::invalid_argument);
+}
+
+TEST(PciMetrics, BoundRegistryRecordsAndUnboundIsNoOp) {
+  swr::obs::Registry reg;
+  PciModel pci(PciConfig{});
+  pci.bind_metrics(&reg);
+  (void)pci.transfer(1000, BusDirection::ToBoard);
+  (void)pci.transfer(20, BusDirection::FromBoard);
+  DmaConfig dma;
+  dma.chunk_bytes = 512;
+  (void)pci.stream_overlapped(2048, 0.0, dma, /*freq_mhz=*/100.0);
+
+  EXPECT_EQ(reg.counter("hw.pci.bytes").value(), 1000u + 20u + 2048u);
+  EXPECT_EQ(reg.counter("hw.pci.bytes_to_board").value(), 1000u + 2048u);
+  EXPECT_EQ(reg.counter("hw.pci.bytes_from_board").value(), 20u);
+  EXPECT_EQ(reg.counter("hw.pci.transactions").value(), 2u + 4u);
+  EXPECT_GT(reg.counter("hw.pci.stall_cycles").value(), 0u);
+
+  // Unbinding restores the strict no-op path.
+  pci.bind_metrics(nullptr);
+  (void)pci.transfer(777);
+  EXPECT_EQ(reg.counter("hw.pci.bytes").value(), 1000u + 20u + 2048u);
 }
 
 }  // namespace
